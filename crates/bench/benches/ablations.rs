@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * chain **contraction** on/off — the weighted-edge extension that makes
+//!   the chain technique pay off on road networks;
+//! * **fixpoint** iteration of the removal passes on/off;
+//! * forced **cut-vertex sampling** is structural (cannot be disabled), so
+//!   its cost shows up via the `use_bcc` toggle instead.
+
+use brics::{BricsEstimator, Method, ReductionConfig, SampleSize};
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_reduce::reduce;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 8_000;
+
+fn bench_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_contraction");
+    group.sample_size(10);
+    for class in [GraphClass::Road, GraphClass::Community] {
+        let g = class.generate(ClassParams::new(N, 21));
+        for (label, reductions) in [
+            ("contract", ReductionConfig::all()),
+            ("no_contract", ReductionConfig::all().without_contraction()),
+        ] {
+            let method = Method::Custom { reductions, use_bcc: false };
+            group.bench_with_input(BenchmarkId::new(label, class.name()), &g, |b, g| {
+                b.iter(|| {
+                    black_box(
+                        BricsEstimator::new(method)
+                            .sample(SampleSize::Fraction(0.4))
+                            .seed(5)
+                            .run(g)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fixpoint");
+    let g = GraphClass::Web.generate(ClassParams::new(N, 22));
+    for (label, cfg) in [
+        ("single_pass", ReductionConfig::all()),
+        ("fixpoint", ReductionConfig::all().with_fixpoint()),
+    ] {
+        group.bench_function(label, |b| b.iter(|| black_box(reduce(&g, &cfg))));
+    }
+    group.finish();
+}
+
+fn bench_bcc_toggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bcc");
+    group.sample_size(10);
+    for class in [GraphClass::Web, GraphClass::Social] {
+        let g = class.generate(ClassParams::new(N, 23));
+        for (label, use_bcc) in [("bcc", true), ("flat", false)] {
+            let method = Method::Custom { reductions: ReductionConfig::all(), use_bcc };
+            group.bench_with_input(BenchmarkId::new(label, class.name()), &g, |b, g| {
+                b.iter(|| {
+                    black_box(
+                        BricsEstimator::new(method)
+                            .sample(SampleSize::Fraction(0.4))
+                            .seed(5)
+                            .run(g)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contraction, bench_fixpoint, bench_bcc_toggle);
+criterion_main!(benches);

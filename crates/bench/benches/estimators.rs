@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the end-to-end estimators — one per method,
+//! across the four graph classes. These are the timing kernels behind the
+//! speedup bars of Figures 4 and 6–9 (the harness binaries report the
+//! same comparisons with quality attached).
+
+use brics::{BricsEstimator, Method, SampleSize};
+use brics_graph::generators::GraphClass;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BENCH_NODES: usize = 8_000;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(10);
+    for class in GraphClass::ALL {
+        let g = class.generate(brics_graph::generators::ClassParams::new(BENCH_NODES, 11));
+        for method in [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name().replace('+', "_"), class.name()),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        black_box(
+                            BricsEstimator::new(method)
+                                .sample(SampleSize::Fraction(0.4))
+                                .seed(3)
+                                .run(g)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sampling_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_rate");
+    group.sample_size(10);
+    let g = GraphClass::Community.generate(brics_graph::generators::ClassParams::new(
+        BENCH_NODES,
+        13,
+    ));
+    for rate in [0.1, 0.2, 0.3, 0.4] {
+        group.bench_with_input(
+            BenchmarkId::new("cumulative", format!("{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    black_box(
+                        BricsEstimator::new(Method::Cumulative)
+                            .sample(SampleSize::Fraction(rate))
+                            .seed(3)
+                            .run(&g)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_sampling_rates);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Reproduces **Figures 6–9**: relative speedup and quality of the paper's
+//! three configurations — C+R, I+C+R and Cumulative — against random
+//! sampling, per graph class.
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin ablation -- web        # Fig. 6
+//! cargo run --release -p brics-bench --bin ablation -- social     # Fig. 7
+//! cargo run --release -p brics-bench --bin ablation -- community  # Fig. 8
+//! cargo run --release -p brics-bench --bin ablation -- road       # Fig. 9
+//! cargo run --release -p brics-bench --bin ablation -- all
+//! ```
+//!
+//! All methods run at the paper's 40 % sampling rate (of their sampling
+//! population: the full graph for random, the reduced graph otherwise).
+
+use brics::report::measure;
+use brics::{exact_farness, Method, SampleSize};
+use brics_bench::{datasets_in_class, scale_from_env, TableWriter};
+use brics_graph::generators::GraphClass;
+
+fn run_class(class: GraphClass, scale: f64) {
+    let fig = match class {
+        GraphClass::Web => 6,
+        GraphClass::Social => 7,
+        GraphClass::Community => 8,
+        GraphClass::Road => 9,
+    };
+    println!(
+        "Fig. {fig}: optimization ablation on {} graphs (40% sampling, scale {scale})\n",
+        class.name()
+    );
+    let methods = [
+        Method::RandomSampling,
+        Method::CR,
+        Method::ICR,
+        Method::Cumulative,
+    ];
+    let mut t = TableWriter::new([
+        "graph", "method", "seconds", "speedup", "quality", "quality-raw", "sources",
+    ]);
+    for d in datasets_in_class(class) {
+        let g = d.load(scale);
+        let exact = exact_farness(&g).expect("dataset must be connected");
+        let mut base_seconds = None;
+        for m in methods {
+            let o = measure(&g, m, SampleSize::Fraction(0.4), 42, Some(&exact))
+                .unwrap_or_else(|e| panic!("{} {}: {e}", d.name, m.name()));
+            let speedup = match base_seconds {
+                None => {
+                    base_seconds = Some(o.seconds);
+                    1.0
+                }
+                Some(b) => b / o.seconds,
+            };
+            t.row([
+                d.name.to_string(),
+                o.method.clone(),
+                format!("{:.3}", o.seconds),
+                format!("{speedup:.2}x"),
+                format!("{:.3}", o.quality.unwrap()),
+                format!("{:.3}", o.quality_raw.unwrap()),
+                o.num_sources.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    let note = match class {
+        GraphClass::Web => "paper: all reductions help; adding BiCC slightly lowers web speedup (many tiny blocks).",
+        GraphClass::Social => "paper: skewed giant block limits speedup, but quality beats random sampling.",
+        GraphClass::Community => "paper: I+C+R all applied; giant block (~80%) limits BiCC gains; slightly better quality.",
+        GraphClass::Road => "paper: chains dominate (70-85% deg<=2); chain reduction gives the speedup; BiCC does not help quality.",
+    };
+    println!("\n{note}\n");
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "all" => {
+            for class in GraphClass::ALL {
+                run_class(class, scale);
+            }
+        }
+        other => match other.parse::<GraphClass>() {
+            Ok(class) => run_class(class, scale),
+            Err(e) => {
+                eprintln!("{e} (expected web|social|community|road|all)");
+                std::process::exit(2);
+            }
+        },
+    }
+}

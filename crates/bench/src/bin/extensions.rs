@@ -1,0 +1,84 @@
+//! Measures the extensions built beyond the paper's evaluation
+//! (DESIGN.md §4's extension table):
+//!
+//! * exact **top-k** closeness via lower-bound pruning — BFS budget vs the
+//!   brute-force `n`-BFS baseline;
+//! * **dynamic** edge insertions — incremental repair vs from-scratch
+//!   re-estimation.
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin extensions
+//! ```
+
+use brics::dynamic::DynamicFarness;
+use brics::topk::top_k_closeness;
+use brics::{BricsEstimator, Method, SampleSize};
+use brics_bench::{all_datasets, scale_from_env, TableWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Extension measurements (scale {scale})\n");
+
+    // ---- Exact top-k: pruning power across classes. ----
+    println!("exact top-10 closeness via BRICS lower bounds (rate 0.3):");
+    let mut t = TableWriter::new([
+        "graph", "n", "pruned", "bfs-verifies", "free", "exact-baseline-bfs",
+    ]);
+    for d in all_datasets() {
+        if !["synth-web-notredame", "synth-soc-douban", "synth-caida", "synth-usroads"]
+            .contains(&d.name)
+        {
+            continue;
+        }
+        let g = d.load(scale);
+        let est = BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(0.3))
+            .seed(42);
+        let topk = top_k_closeness(&g, 10, &est).expect("connected");
+        t.row([
+            d.name.to_string(),
+            g.num_nodes().to_string(),
+            topk.pruned.to_string(),
+            topk.verified_with_bfs.to_string(),
+            topk.verified_for_free.to_string(),
+            g.num_nodes().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // ---- Dynamic insertions: incremental vs rebuild. ----
+    println!("\ndynamic farness under 100 edge insertions (rate 0.3):");
+    let mut t = TableWriter::new(["graph", "n", "incremental-s", "rebuild-s", "ratio"]);
+    for d in all_datasets() {
+        if !["synth-soc-douban", "synth-caida"].contains(&d.name) {
+            continue;
+        }
+        let g = d.load(scale);
+        let n = g.num_nodes() as u32;
+        let mut dynf = DynamicFarness::new(&g, SampleSize::Fraction(0.3), 7).expect("connected");
+        let mut rng = StdRng::seed_from_u64(5);
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if u != v {
+                dynf.insert_edge(u, v);
+            }
+        }
+        let incremental = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        dynf.rebuild();
+        let rebuild = t1.elapsed().as_secs_f64();
+        t.row([
+            d.name.to_string(),
+            g.num_nodes().to_string(),
+            format!("{incremental:.3}"),
+            format!("{rebuild:.3}"),
+            format!("{:.1}x", rebuild / incremental.max(1e-9)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(rebuild re-runs every retained BFS; incremental repairs only changed entries)");
+}

@@ -1,0 +1,74 @@
+//! Reproduces **Figure 4**: quality and speedup of the Cumulative method
+//! versus random sampling over all 12 graphs.
+//!
+//! * `fig4 a` — both methods at a 40 % sampling rate (Fig. 4(a)).
+//! * `fig4 b` — Cumulative at 20 % vs random sampling at 30 % (Fig. 4(b)).
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin fig4 -- a
+//! cargo run --release -p brics-bench --bin fig4 -- b
+//! ```
+
+use brics::report::compare;
+use brics::{Method, SampleSize};
+use brics_bench::{all_datasets, scale_from_env, TableWriter};
+
+fn main() {
+    let variant = std::env::args().nth(1).unwrap_or_else(|| "a".into());
+    let (cand_rate, base_rate, title) = match variant.as_str() {
+        "a" => (0.40, 0.40, "Fig. 4(a): Cumulative@40% vs Random@40%"),
+        "b" => (0.20, 0.30, "Fig. 4(b): Cumulative@20% vs Random@30%"),
+        other => {
+            eprintln!("unknown variant '{other}' (expected 'a' or 'b')");
+            std::process::exit(2);
+        }
+    };
+    let scale = scale_from_env();
+    println!("{title}  (scale {scale})\n");
+    let mut t = TableWriter::new([
+        "graph",
+        "class",
+        "rand-s",
+        "cum-s",
+        "speedup",
+        "rand-Q",
+        "cum-Q",
+        "rand-Qraw",
+        "cum-Qraw",
+    ]);
+    let mut per_class: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    for d in all_datasets() {
+        let g = d.load(scale);
+        let c = compare(
+            &g,
+            Method::Cumulative,
+            SampleSize::Fraction(cand_rate),
+            SampleSize::Fraction(base_rate),
+            42,
+            true,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        per_class.entry(d.class.name()).or_default().push(c.speedup);
+        t.row([
+            d.name.to_string(),
+            d.class.name().to_string(),
+            format!("{:.3}", c.baseline.seconds),
+            format!("{:.3}", c.candidate.seconds),
+            format!("{:.2}x", c.speedup),
+            format!("{:.3}", c.baseline.quality.unwrap()),
+            format!("{:.3}", c.candidate.quality.unwrap()),
+            format!("{:.3}", c.baseline.quality_raw.unwrap()),
+            format!("{:.3}", c.candidate.quality_raw.unwrap()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nmean speedup per class:");
+    for (class, speedups) in per_class {
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!("  {class:<10} {mean:.2}x");
+    }
+    println!(
+        "\npaper (Fig. 4(a), 40%): web 2.73x, social 2.0x, community 1.36x, road 1.96x; \
+         Cumulative quality >= random on average."
+    );
+}

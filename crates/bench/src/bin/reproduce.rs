@@ -1,0 +1,58 @@
+//! One-shot reproduction driver: runs every harness in sequence and writes
+//! their outputs under `results/`, mirroring what EXPERIMENTS.md records.
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin reproduce [-- results-dir]
+//! ```
+//!
+//! Equivalent to invoking `table1`, `fig4 a`, `fig4 b`, `fig5`,
+//! `ablation all`, `sweep` and `extensions` by hand, except the harness
+//! code is linked in-process (no cargo re-invocations), so it also works
+//! from a bare binary distribution.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn main() {
+    let dir = PathBuf::from(
+        std::env::args().nth(1).unwrap_or_else(|| "results".to_string()),
+    );
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin dir");
+
+    let jobs: &[(&str, &[&str], &str)] = &[
+        ("table1", &[], "table1.txt"),
+        ("fig4", &["a"], "fig4a.txt"),
+        ("fig4", &["b"], "fig4b.txt"),
+        ("fig5", &[], "fig5.txt"),
+        ("ablation", &["all"], "ablation.txt"),
+        ("sweep", &[], "sweep.txt"),
+        ("extensions", &[], "extensions.txt"),
+    ];
+    let mut failures = 0;
+    for (bin, args, out_name) in jobs {
+        let exe = bin_dir.join(bin);
+        if !exe.exists() {
+            eprintln!("skip {bin}: not built (run `cargo build --release -p brics-bench` first)");
+            failures += 1;
+            continue;
+        }
+        print!("running {bin} {} -> {out_name} ... ", args.join(" "));
+        std::io::stdout().flush().ok();
+        let output = Command::new(&exe).args(*args).output().expect("spawn harness");
+        std::fs::write(dir.join(out_name), &output.stdout).expect("write result");
+        if output.status.success() {
+            println!("ok ({} bytes)", output.stdout.len());
+        } else {
+            println!("FAILED: {}", String::from_utf8_lossy(&output.stderr));
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} harness runs failed");
+        std::process::exit(1);
+    }
+    println!("\nall harness outputs written to {}", dir.display());
+}

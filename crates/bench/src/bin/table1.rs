@@ -1,0 +1,42 @@
+//! Reproduces **Table I**: structural characteristics of every dataset —
+//! |V|, |E|, identical nodes (plain + chain), redundant 3/4-degree nodes,
+//! chain nodes, and biconnected-component count / max / average size.
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin table1
+//! ```
+//! `BRICS_SCALE=<f>` scales every dataset's vertex count.
+
+use brics_bench::table::fmt_count;
+use brics_bench::{all_datasets, scale_from_env, TableWriter};
+use brics_bicc::biconnected_components;
+use brics_reduce::{reduce, ReductionConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table I — dataset characteristics (synthetic counterparts, scale {scale})\n");
+    let mut t = TableWriter::new([
+        "graph", "class", "|V|", "|E|", "ident.nodes", "ident.ch", "redundant", "chain",
+        "bicc#", "bicc-max", "bicc-avg",
+    ]);
+    for d in all_datasets() {
+        let g = d.load(scale);
+        let red = reduce(&g, &ReductionConfig::all());
+        let bi = biconnected_components(&g);
+        t.row([
+            d.name.to_string(),
+            d.class.name().to_string(),
+            fmt_count(g.num_nodes()),
+            fmt_count(g.num_edges()),
+            fmt_count(red.stats.identical_nodes),
+            fmt_count(red.stats.identical_chain_nodes),
+            fmt_count(red.stats.redundant_nodes),
+            fmt_count(red.stats.chain_nodes),
+            fmt_count(bi.blocks.len()),
+            fmt_count(bi.max_block_len()),
+            format!("{:.0}", bi.avg_block_len()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\npaper rows for comparison: Table I of the paper (12 graphs, same classes).");
+}

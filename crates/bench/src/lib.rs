@@ -1,0 +1,26 @@
+//! Dataset registry and shared harness utilities for reproducing the
+//! paper's evaluation (Table I, Figures 4–9).
+//!
+//! The original SNAP / UF-collection files are unavailable offline, so each
+//! of the paper's 12 graphs is replaced by a synthetic counterpart from
+//! `brics_graph::generators::classes` at a laptop-tractable scale (see
+//! DESIGN.md §3). Names are prefixed `synth-` to make the substitution
+//! explicit in every output table.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod table;
+
+pub use registry::{all_datasets, datasets_in_class, Dataset};
+pub use table::TableWriter;
+
+/// Scale multiplier for dataset sizes, read from `BRICS_SCALE`
+/// (e.g. `BRICS_SCALE=0.25` quarters every vertex count for smoke runs).
+pub fn scale_from_env() -> f64 {
+    std::env::var("BRICS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && s.is_finite())
+        .unwrap_or(1.0)
+}

@@ -1,0 +1,91 @@
+//! The 12 synthetic counterparts of the paper's Table I datasets.
+
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::CsrGraph;
+
+/// One evaluation dataset: a named synthetic stand-in for a Table I graph.
+#[derive(Clone, Copy, Debug)]
+pub struct Dataset {
+    /// `synth-` name marking the substitution for the paper's graph.
+    pub name: &'static str,
+    /// The paper's original dataset this one stands in for.
+    pub paper_name: &'static str,
+    /// Graph class (Table I grouping).
+    pub class: GraphClass,
+    /// Target vertex count at scale 1.0.
+    pub nodes: usize,
+    /// Generation seed (fixed → every run sees identical graphs).
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// Generates the graph at the given scale multiplier.
+    pub fn load(&self, scale: f64) -> CsrGraph {
+        let n = ((self.nodes as f64 * scale) as usize).max(64);
+        self.class.generate(ClassParams::new(n, self.seed))
+    }
+}
+
+/// All 12 datasets in the paper's Table I order.
+pub fn all_datasets() -> Vec<Dataset> {
+    use GraphClass::*;
+    vec![
+        // Web graphs. Paper sizes: 325 K / 685 K / 1 M vertices; scaled to
+        // keep exact ground truth (one BFS per vertex) affordable.
+        Dataset { name: "synth-web-notredame", paper_name: "web-NotreDame", class: Web, nodes: 12_000, seed: 101 },
+        Dataset { name: "synth-web-berkstan", paper_name: "web-BerkStan", class: Web, nodes: 16_000, seed: 102 },
+        Dataset { name: "synth-webbase", paper_name: "webbase-1M", class: Web, nodes: 20_000, seed: 103 },
+        // Social graphs (77 K / 82 K / 131 K in the paper).
+        Dataset { name: "synth-soc-slashdot0811", paper_name: "soc-Slashdot081106", class: Social, nodes: 8_000, seed: 201 },
+        Dataset { name: "synth-soc-slashdot0902", paper_name: "soc-Slashdot090216", class: Social, nodes: 9_000, seed: 202 },
+        Dataset { name: "synth-soc-douban", paper_name: "soc-douban", class: Social, nodes: 12_000, seed: 203 },
+        // Community networks (192 K / 268 K / 334 K in the paper).
+        Dataset { name: "synth-caida", paper_name: "caidaRouterLevel", class: Community, nodes: 10_000, seed: 301 },
+        Dataset { name: "synth-citeseer", paper_name: "com-citationCiteseer", class: Community, nodes: 12_000, seed: 302 },
+        Dataset { name: "synth-amazon", paper_name: "com-amazon", class: Community, nodes: 14_000, seed: 303 },
+        // Road networks (2.6 K / 114 K / 29 K in the paper; minnesota kept
+        // at its true size).
+        Dataset { name: "synth-minnesota", paper_name: "osm-minnesota", class: Road, nodes: 2_642, seed: 401 },
+        Dataset { name: "synth-luxembourg", paper_name: "osm-luxembourg", class: Road, nodes: 12_000, seed: 402 },
+        Dataset { name: "synth-usroads", paper_name: "usroads", class: Road, nodes: 8_000, seed: 403 },
+    ]
+}
+
+/// The three datasets of one class.
+pub fn datasets_in_class(class: GraphClass) -> Vec<Dataset> {
+    all_datasets().into_iter().filter(|d| d.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::connectivity::is_connected;
+
+    #[test]
+    fn twelve_datasets_three_per_class() {
+        let all = all_datasets();
+        assert_eq!(all.len(), 12);
+        for class in GraphClass::ALL {
+            assert_eq!(datasets_in_class(class).len(), 3, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_marked_synthetic() {
+        let all = all_datasets();
+        let mut names: Vec<_> = all.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert!(all.iter().all(|d| d.name.starts_with("synth-")));
+    }
+
+    #[test]
+    fn tiny_scale_loads_connected() {
+        for d in all_datasets() {
+            let g = d.load(0.05);
+            assert!(is_connected(&g), "{}", d.name);
+            assert!(g.num_nodes() >= 64);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-text table rendering for the harness binaries.
+//!
+//! Output is meant to be diffed into EXPERIMENTS.md, so formatting is
+//! deterministic: fixed column order, right-aligned numerics, one header.
+
+use std::io::Write;
+
+/// Accumulates rows and renders them with per-column widths.
+#[derive(Debug, Default)]
+pub struct TableWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; must match the header arity.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align the first column (names), right-align the rest.
+                if c == 0 {
+                    line.push_str(&format!("{:<width$}", cells[c], width = widths[c]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cells[c], width = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders to a writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(self.render().as_bytes())
+    }
+}
+
+/// Formats a count with thousands separators (`12_345` → `12,345`).
+pub fn fmt_count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    let bytes = s.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableWriter::new(["name", "n"]);
+        t.row(["alpha", "5"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("alpha"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_row() {
+        let mut t = TableWriter::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(0), "0");
+    }
+}

@@ -1,0 +1,293 @@
+//! The Block-Cut Tree (BCT).
+//!
+//! Nodes of the BCT are the blocks of the graph plus its cut vertices; a
+//! block is adjacent to exactly the cut vertices it contains (paper Fig. 2).
+//! For a connected graph the BCT is a tree; for a forest it is a forest with
+//! one tree per component.
+
+use crate::tarjan::{biconnected_components, Biconnectivity, Block};
+use brics_graph::{CsrGraph, NodeId, INVALID_NODE};
+
+/// A node of the Block-Cut Tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BctNode {
+    /// A biconnected component, by block index.
+    Block(u32),
+    /// A cut vertex, by index into [`BlockCutTree::cut_vertices`].
+    Cut(u32),
+}
+
+/// Block-Cut Tree of a graph.
+#[derive(Clone, Debug)]
+pub struct BlockCutTree {
+    blocks: Vec<Block>,
+    is_cut: Vec<bool>,
+    /// Sorted global ids of the articulation points.
+    cut_vertices: Vec<NodeId>,
+    /// Global vertex id → index into `cut_vertices`, or `INVALID_NODE`.
+    cut_index: Vec<NodeId>,
+    /// Non-cut vertex → its unique block; `INVALID_NODE` for cut vertices.
+    block_of: Vec<u32>,
+    /// Cut index → blocks containing that cut vertex.
+    blocks_of_cut: Vec<Vec<u32>>,
+}
+
+impl BlockCutTree {
+    /// Decomposes `g` and assembles its Block-Cut Tree.
+    pub fn build(g: &CsrGraph) -> Self {
+        Self::from_biconnectivity(g.num_nodes(), biconnected_components(g))
+    }
+
+    /// Assembles the BCT from a precomputed decomposition.
+    pub fn from_biconnectivity(num_nodes: usize, bi: Biconnectivity) -> Self {
+        let Biconnectivity { blocks, is_cut } = bi;
+        debug_assert_eq!(is_cut.len(), num_nodes);
+        let cut_vertices: Vec<NodeId> = (0..num_nodes as NodeId)
+            .filter(|&v| is_cut[v as usize])
+            .collect();
+        let mut cut_index = vec![INVALID_NODE; num_nodes];
+        for (i, &c) in cut_vertices.iter().enumerate() {
+            cut_index[c as usize] = i as NodeId;
+        }
+        let mut block_of = vec![INVALID_NODE; num_nodes];
+        let mut blocks_of_cut = vec![Vec::new(); cut_vertices.len()];
+        for (bi, block) in blocks.iter().enumerate() {
+            for &v in &block.vertices {
+                let ci = cut_index[v as usize];
+                if ci == INVALID_NODE {
+                    debug_assert_eq!(
+                        block_of[v as usize], INVALID_NODE,
+                        "non-cut vertex {v} in two blocks"
+                    );
+                    block_of[v as usize] = bi as u32;
+                } else {
+                    blocks_of_cut[ci as usize].push(bi as u32);
+                }
+            }
+        }
+        Self { blocks, is_cut, cut_vertices, cut_index, block_of, blocks_of_cut }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of cut vertices.
+    pub fn num_cut_vertices(&self) -> usize {
+        self.cut_vertices.len()
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// One block.
+    pub fn block(&self, b: u32) -> &Block {
+        &self.blocks[b as usize]
+    }
+
+    /// Sorted global ids of all cut vertices.
+    pub fn cut_vertices(&self) -> &[NodeId] {
+        &self.cut_vertices
+    }
+
+    /// Whether global vertex `v` is an articulation point.
+    pub fn is_cut_vertex(&self, v: NodeId) -> bool {
+        self.is_cut[v as usize]
+    }
+
+    /// Index of `v` in [`Self::cut_vertices`], if it is a cut vertex.
+    pub fn cut_index_of(&self, v: NodeId) -> Option<u32> {
+        let i = self.cut_index[v as usize];
+        (i != INVALID_NODE).then_some(i)
+    }
+
+    /// The unique block of a non-cut vertex (`None` for cut vertices).
+    pub fn block_of(&self, v: NodeId) -> Option<u32> {
+        let b = self.block_of[v as usize];
+        (b != INVALID_NODE).then_some(b)
+    }
+
+    /// All blocks containing `v` (one for non-cut vertices, several for cut
+    /// vertices).
+    pub fn blocks_of(&self, v: NodeId) -> Vec<u32> {
+        match self.cut_index_of(v) {
+            Some(ci) => self.blocks_of_cut[ci as usize].clone(),
+            None => self.block_of(v).into_iter().collect(),
+        }
+    }
+
+    /// Blocks containing a cut vertex, by cut index.
+    pub fn blocks_of_cut(&self, ci: u32) -> &[u32] {
+        &self.blocks_of_cut[ci as usize]
+    }
+
+    /// Neighbours of a BCT node (blocks ↔ cut vertices).
+    pub fn bct_neighbors(&self, node: BctNode) -> Vec<BctNode> {
+        match node {
+            BctNode::Block(b) => self
+                .blocks[b as usize]
+                .vertices
+                .iter()
+                .filter_map(|&v| self.cut_index_of(v).map(BctNode::Cut))
+                .collect(),
+            BctNode::Cut(c) => self.blocks_of_cut[c as usize]
+                .iter()
+                .map(|&b| BctNode::Block(b))
+                .collect(),
+        }
+    }
+
+    /// Number of BCT edges (each block–cut incidence).
+    pub fn num_bct_edges(&self) -> usize {
+        self.blocks_of_cut.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the BCT of a *connected* input graph forms a tree.
+    pub fn is_tree(&self) -> bool {
+        let nodes = self.num_blocks() + self.num_cut_vertices();
+        nodes == 0 || self.num_bct_edges() == nodes - 1
+    }
+
+    /// Rooted BFS order over BCT nodes starting at `Block(0)` (or the first
+    /// available node). Returns `(order, parent)` where `parent[i]` is the
+    /// BCT-order index of the parent of `order[i]` (`usize::MAX` at roots).
+    /// Covers every component of a forest.
+    pub fn rooted_order(&self) -> (Vec<BctNode>, Vec<usize>) {
+        let nb = self.num_blocks();
+        let nc = self.num_cut_vertices();
+        let total = nb + nc;
+        let idx = |n: BctNode| match n {
+            BctNode::Block(b) => b as usize,
+            BctNode::Cut(c) => nb + c as usize,
+        };
+        let mut visited = vec![false; total];
+        let mut order = Vec::with_capacity(total);
+        let mut parent = Vec::with_capacity(total);
+        for start in 0..nb {
+            if visited[start] {
+                continue;
+            }
+            visited[start] = true;
+            order.push(BctNode::Block(start as u32));
+            parent.push(usize::MAX);
+            let mut head = order.len() - 1;
+            while head < order.len() {
+                let cur = order[head];
+                let cur_pos = head;
+                head += 1;
+                for nbr in self.bct_neighbors(cur) {
+                    let i = idx(nbr);
+                    if !visited[i] {
+                        visited[i] = true;
+                        order.push(nbr);
+                        parent.push(cur_pos);
+                    }
+                }
+            }
+        }
+        (order, parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::{cycle_graph, gnm_random_connected, lollipop, path_graph};
+    use brics_graph::GraphBuilder;
+
+    fn bowtie() -> CsrGraph {
+        GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+    }
+
+    #[test]
+    fn bowtie_tree_shape() {
+        let bct = BlockCutTree::build(&bowtie());
+        assert_eq!(bct.num_blocks(), 2);
+        assert_eq!(bct.num_cut_vertices(), 1);
+        assert_eq!(bct.num_bct_edges(), 2);
+        assert!(bct.is_tree());
+        assert_eq!(bct.cut_vertices(), &[2]);
+        assert_eq!(bct.blocks_of(2).len(), 2);
+        assert_eq!(bct.blocks_of(0).len(), 1);
+    }
+
+    #[test]
+    fn cycle_single_block() {
+        let bct = BlockCutTree::build(&cycle_graph(5));
+        assert_eq!(bct.num_blocks(), 1);
+        assert_eq!(bct.num_cut_vertices(), 0);
+        assert!(bct.is_tree());
+        assert_eq!(bct.block_of(3), Some(0));
+    }
+
+    #[test]
+    fn path_alternates_blocks_and_cuts() {
+        let bct = BlockCutTree::build(&path_graph(4));
+        assert_eq!(bct.num_blocks(), 3);
+        assert_eq!(bct.num_cut_vertices(), 2);
+        assert!(bct.is_tree());
+        for v in [1, 2] {
+            assert!(bct.is_cut_vertex(v));
+            assert_eq!(bct.blocks_of(v).len(), 2);
+        }
+    }
+
+    #[test]
+    fn bct_neighbors_symmetric() {
+        let bct = BlockCutTree::build(&lollipop(4, 3));
+        for b in 0..bct.num_blocks() as u32 {
+            for nbr in bct.bct_neighbors(BctNode::Block(b)) {
+                assert!(bct.bct_neighbors(nbr).contains(&BctNode::Block(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_order_covers_everything_once() {
+        let bct = BlockCutTree::build(&lollipop(5, 4));
+        let (order, parent) = bct.rooted_order();
+        assert_eq!(order.len(), bct.num_blocks() + bct.num_cut_vertices());
+        assert_eq!(parent.len(), order.len());
+        assert_eq!(parent.iter().filter(|&&p| p == usize::MAX).count(), 1);
+        // Parents precede children.
+        for (i, &p) in parent.iter().enumerate() {
+            if p != usize::MAX {
+                assert!(p < i);
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_form_trees() {
+        for seed in 0..8 {
+            let g = gnm_random_connected(60, 75, seed);
+            let bct = BlockCutTree::build(&g);
+            assert!(bct.is_tree(), "seed {seed}");
+            // Every vertex is in at least one block.
+            for v in g.nodes() {
+                assert!(!bct.blocks_of(v).is_empty(), "vertex {v} missing from blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn forest_input_yields_forest() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let bct = BlockCutTree::build(&g);
+        let (order, parent) = bct.rooted_order();
+        assert_eq!(order.len(), bct.num_blocks() + bct.num_cut_vertices());
+        assert_eq!(parent.iter().filter(|&&p| p == usize::MAX).count(), 2);
+    }
+
+    #[test]
+    fn cut_index_roundtrip() {
+        let bct = BlockCutTree::build(&bowtie());
+        let ci = bct.cut_index_of(2).unwrap();
+        assert_eq!(bct.cut_vertices()[ci as usize], 2);
+        assert_eq!(bct.cut_index_of(0), None);
+        assert_eq!(bct.block_of(2), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! Biconnected-component decomposition and the Block-Cut Tree.
+//!
+//! The **B** in BRICS: the paper decomposes the reduced graph into its
+//! biconnected components ("blocks") and connects them through their shared
+//! cut vertices into the Block-Cut Tree (BCT, paper Fig. 2). Two facts make
+//! this profitable for farness estimation (paper §III-D):
+//!
+//! 1. every shortest path between vertices of different blocks passes
+//!    through the cut vertices on the unique BCT path between those blocks,
+//!    so BFS can be confined to one block at a time; and
+//! 2. the total distance contribution of an entire subtree of blocks enters
+//!    a block through a single cut vertex, so cross-block contributions
+//!    aggregate along the tree (paper Algorithm 6).
+//!
+//! # Example
+//!
+//! ```
+//! use brics_graph::GraphBuilder;
+//! use brics_bicc::BlockCutTree;
+//!
+//! // Two triangles sharing vertex 2 — a "bow-tie".
+//! let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+//! let bct = BlockCutTree::build(&g);
+//! assert_eq!(bct.num_blocks(), 2);
+//! assert!(bct.is_cut_vertex(2));
+//! assert_eq!(bct.cut_vertices().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bct;
+mod tarjan;
+
+pub use bct::{BctNode, BlockCutTree};
+pub use tarjan::{biconnected_components, Biconnectivity, Block};

@@ -1,0 +1,337 @@
+//! Iterative Hopcroft–Tarjan biconnected components.
+//!
+//! The classic recursive formulation overflows the thread stack on the long
+//! chains road networks are made of, so the DFS is fully iterative with an
+//! explicit frame stack. `O(n + m)` time and space.
+
+use brics_graph::{CsrGraph, NodeId, INVALID_NODE};
+use serde::{Deserialize, Serialize};
+
+/// One biconnected component ("block").
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Vertices of the block (each cut vertex appears in several blocks).
+    pub vertices: Vec<NodeId>,
+    /// The block's edges. A bridge is a block with one edge; an isolated
+    /// vertex is represented as a block with one vertex and no edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Block {
+    /// Number of vertices in the block.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the block is empty (never produced by the decomposition).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether the block is a single edge (a bridge of the graph).
+    pub fn is_bridge(&self) -> bool {
+        self.edges.len() == 1
+    }
+}
+
+/// Result of the biconnectivity computation.
+#[derive(Clone, Debug, Default)]
+pub struct Biconnectivity {
+    /// The blocks. Edge sets partition `E(G)`; singleton blocks are added
+    /// for isolated vertices so the blocks also cover `V(G)`.
+    pub blocks: Vec<Block>,
+    /// `is_cut[v]` — whether `v` is an articulation point.
+    pub is_cut: Vec<bool>,
+}
+
+impl Biconnectivity {
+    /// Number of articulation points.
+    pub fn num_cut_vertices(&self) -> usize {
+        self.is_cut.iter().filter(|&&c| c).count()
+    }
+
+    /// Size of the largest block (vertex count), 0 if there are none.
+    pub fn max_block_len(&self) -> usize {
+        self.blocks.iter().map(Block::len).max().unwrap_or(0)
+    }
+
+    /// Mean block size (vertex count), 0.0 if there are none.
+    pub fn avg_block_len(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().map(Block::len).sum::<usize>() as f64 / self.blocks.len() as f64
+    }
+}
+
+/// DFS frame for the iterative traversal.
+struct Frame {
+    v: NodeId,
+    parent: NodeId,
+    /// Next index into `g.neighbors(v)` to inspect.
+    next: usize,
+}
+
+/// Computes biconnected components and articulation points.
+pub fn biconnected_components(g: &CsrGraph) -> Biconnectivity {
+    let n = g.num_nodes();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut is_cut = vec![false; n];
+    let mut blocks = Vec::new();
+    let mut edge_stack: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut time = 0u32;
+    // Scratch for collecting a block's distinct vertices.
+    let mut seen_mark = vec![false; n];
+
+    for root in 0..n as NodeId {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        if g.degree(root) == 0 {
+            // Isolated vertex: synthetic singleton block so blocks cover V.
+            disc[root as usize] = u32::MAX;
+            blocks.push(Block { vertices: vec![root], edges: Vec::new() });
+            continue;
+        }
+        let mut root_children = 0usize;
+        time += 1;
+        disc[root as usize] = time;
+        low[root as usize] = time;
+        frames.push(Frame { v: root, parent: INVALID_NODE, next: 0 });
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            let nbrs = g.neighbors(v);
+            if frame.next < nbrs.len() {
+                let w = nbrs[frame.next];
+                frame.next += 1;
+                if w == frame.parent {
+                    continue; // simple graph: exactly one parent arc to skip
+                }
+                let dw = disc[w as usize];
+                if dw == 0 {
+                    // Tree edge.
+                    edge_stack.push((v, w));
+                    time += 1;
+                    disc[w as usize] = time;
+                    low[w as usize] = time;
+                    frames.push(Frame { v: w, parent: v, next: 0 });
+                } else if dw < disc[v as usize] {
+                    // Back edge to an ancestor.
+                    edge_stack.push((v, w));
+                    low[v as usize] = low[v as usize].min(dw);
+                }
+                continue;
+            }
+            // v is finished.
+            let parent = frame.parent;
+            frames.pop();
+            if parent == INVALID_NODE {
+                break;
+            }
+            let p = parent as usize;
+            low[p] = low[p].min(low[v as usize]);
+            if low[v as usize] >= disc[p] {
+                // (parent, v) closes a block.
+                if parent == root {
+                    root_children += 1;
+                } else {
+                    is_cut[p] = true;
+                }
+                let mut block = Block::default();
+                loop {
+                    let (a, b) = edge_stack.pop().expect("edge stack underflow");
+                    block.edges.push((a, b));
+                    for x in [a, b] {
+                        if !seen_mark[x as usize] {
+                            seen_mark[x as usize] = true;
+                            block.vertices.push(x);
+                        }
+                    }
+                    if (a, b) == (parent, v) {
+                        break;
+                    }
+                }
+                for &x in &block.vertices {
+                    seen_mark[x as usize] = false;
+                }
+                blocks.push(block);
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root as usize] = true;
+        }
+        debug_assert!(edge_stack.is_empty(), "dangling edges after root {root}");
+    }
+    Biconnectivity { blocks, is_cut }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::{complete_graph, cycle_graph, lollipop, path_graph, star_graph};
+    use brics_graph::GraphBuilder;
+
+    fn sorted_blocks(b: &Biconnectivity) -> Vec<Vec<NodeId>> {
+        let mut out: Vec<Vec<NodeId>> = b
+            .blocks
+            .iter()
+            .map(|blk| {
+                let mut v = blk.vertices.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn path_every_edge_is_a_block() {
+        let g = path_graph(5);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 4);
+        assert!(b.blocks.iter().all(Block::is_bridge));
+        // Interior vertices are articulation points.
+        assert_eq!(b.is_cut, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cycle_is_one_block_no_cuts() {
+        let g = cycle_graph(8);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0].edges.len(), 8);
+        assert_eq!(b.num_cut_vertices(), 0);
+    }
+
+    #[test]
+    fn complete_is_one_block() {
+        let g = complete_graph(6);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0].vertices.len(), 6);
+        assert_eq!(b.blocks[0].edges.len(), 15);
+    }
+
+    #[test]
+    fn star_centre_is_cut() {
+        let g = star_graph(5);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 4);
+        assert!(b.is_cut[0]);
+        assert_eq!(b.num_cut_vertices(), 1);
+    }
+
+    #[test]
+    fn bowtie_shares_cut_vertex() {
+        // Triangles {0,1,2} and {2,3,4}.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let b = biconnected_components(&g);
+        assert_eq!(sorted_blocks(&b), vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        assert_eq!(b.is_cut, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn lollipop_blocks() {
+        let g = lollipop(4, 2); // K4 + path of 2
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 3); // K4, and two bridge edges
+        assert!(b.is_cut[0]); // clique vertex holding the tail
+        assert!(b.is_cut[4]); // interior tail vertex
+        assert!(!b.is_cut[5]); // tail end
+        assert_eq!(b.max_block_len(), 4);
+    }
+
+    #[test]
+    fn edges_partition() {
+        let g = GraphBuilder::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (1, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+        );
+        let b = biconnected_components(&g);
+        let total_edges: usize = b.blocks.iter().map(|blk| blk.edges.len()).sum();
+        assert_eq!(total_edges, g.num_edges());
+        // No edge appears in two blocks.
+        let mut all: Vec<(NodeId, NodeId)> = b
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.edges.iter().map(|&(a, c)| if a < c { (a, c) } else { (c, a) }))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), g.num_edges());
+    }
+
+    #[test]
+    fn isolated_vertices_get_singleton_blocks() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 3);
+        let singles: Vec<_> = b.blocks.iter().filter(|blk| blk.edges.is_empty()).collect();
+        assert_eq!(singles.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 2);
+        assert_eq!(b.num_cut_vertices(), 0);
+    }
+
+    #[test]
+    fn long_chain_no_stack_overflow() {
+        let g = path_graph(200_000);
+        let b = biconnected_components(&g);
+        assert_eq!(b.blocks.len(), 199_999);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let g = lollipop(5, 3);
+        let b = biconnected_components(&g);
+        assert_eq!(b.max_block_len(), 5);
+        assert!(b.avg_block_len() > 1.0);
+        assert_eq!(biconnected_components(&CsrGraph::empty()).avg_block_len(), 0.0);
+    }
+
+    use brics_graph::CsrGraph;
+
+    /// Brute-force articulation check: v is a cut vertex iff removing it
+    /// increases the number of connected components among the rest.
+    fn brute_cut_vertices(g: &CsrGraph) -> Vec<bool> {
+        use brics_graph::connectivity::connected_components;
+        let n = g.num_nodes();
+        let base = connected_components(g);
+        let mut out = vec![false; n];
+        for v in 0..n as NodeId {
+            let keep: Vec<NodeId> = (0..n as NodeId).filter(|&x| x != v).collect();
+            let sub = brics_graph::InducedSubgraph::extract(g, &keep);
+            let comps = connected_components(&sub.graph);
+            // Removing v removes one vertex from its component; if that
+            // component splits, count rises by more than the singleton loss.
+            let others_in_v_comp =
+                base.sizes[base.comp[v as usize] as usize] - 1;
+            let expected = if others_in_v_comp == 0 {
+                base.count() - 1
+            } else {
+                base.count()
+            };
+            out[v as usize] = comps.count() > expected;
+        }
+        out
+    }
+
+    #[test]
+    fn articulation_matches_brute_force_on_random_graphs() {
+        use brics_graph::generators::gnm_random_connected;
+        for seed in 0..10 {
+            let g = gnm_random_connected(30, 40, seed);
+            let fast = biconnected_components(&g).is_cut;
+            assert_eq!(fast, brute_cut_vertices(&g), "seed {seed}");
+        }
+    }
+}

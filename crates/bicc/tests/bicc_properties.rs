@@ -1,0 +1,119 @@
+//! Property tests for the biconnected decomposition, checked against
+//! brute-force definitions on random graphs.
+
+use brics_bicc::{biconnected_components, BlockCutTree};
+use brics_graph::connectivity::connected_components;
+use brics_graph::{CsrGraph, GraphBuilder, InducedSubgraph, NodeId};
+use proptest::prelude::*;
+
+fn edge_soup() -> impl Strategy<Value = CsrGraph> {
+    (1usize..25).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..3 * n)
+            .prop_map(move |edges| GraphBuilder::from_edges(n, &edges))
+    })
+}
+
+/// Brute-force articulation test by vertex deletion.
+fn brute_is_cut(g: &CsrGraph, v: NodeId) -> bool {
+    let n = g.num_nodes();
+    let base = connected_components(g);
+    let keep: Vec<NodeId> = (0..n as NodeId).filter(|&x| x != v).collect();
+    let sub = InducedSubgraph::extract(g, &keep);
+    let comps = connected_components(&sub.graph);
+    let others_in_v_comp = base.sizes[base.comp[v as usize] as usize] - 1;
+    let expected = if others_in_v_comp == 0 { base.count() - 1 } else { base.count() };
+    comps.count() > expected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Articulation points match the deletion definition on any graph.
+    #[test]
+    fn articulation_matches_brute_force(g in edge_soup()) {
+        let bi = biconnected_components(&g);
+        for v in g.nodes() {
+            prop_assert_eq!(bi.is_cut[v as usize], brute_is_cut(&g, v), "vertex {}", v);
+        }
+    }
+
+    /// Block edge sets partition E; vertices are covered; two blocks share
+    /// at most one vertex, and any shared vertex is a cut vertex.
+    #[test]
+    fn blocks_partition_and_overlap_only_at_cuts(g in edge_soup()) {
+        let bi = biconnected_components(&g);
+        let mut all_edges: Vec<(NodeId, NodeId)> = bi
+            .blocks
+            .iter()
+            .flat_map(|b| b.edges.iter().map(|&(a, c)| (a.min(c), a.max(c))))
+            .collect();
+        all_edges.sort_unstable();
+        let mut expect: Vec<(NodeId, NodeId)> = g.edges().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(all_edges, expect);
+
+        for (i, a) in bi.blocks.iter().enumerate() {
+            for b in bi.blocks.iter().skip(i + 1) {
+                let shared: Vec<NodeId> = a
+                    .vertices
+                    .iter()
+                    .copied()
+                    .filter(|v| b.vertices.contains(v))
+                    .collect();
+                prop_assert!(shared.len() <= 1, "blocks share {:?}", shared);
+                for v in shared {
+                    prop_assert!(bi.is_cut[v as usize], "shared vertex {} not a cut", v);
+                }
+            }
+        }
+    }
+
+    /// Every block with ≥ 3 vertices is itself 2-connected (no internal
+    /// articulation points), per the definition of a biconnected component.
+    #[test]
+    fn blocks_are_biconnected(g in edge_soup()) {
+        let bi = biconnected_components(&g);
+        for blk in &bi.blocks {
+            if blk.vertices.len() < 3 {
+                continue;
+            }
+            let sub = InducedSubgraph::from_edge_list(&g, &blk.vertices, &blk.edges);
+            let inner = biconnected_components(&sub.graph);
+            prop_assert_eq!(
+                inner.num_cut_vertices(), 0,
+                "block {:?} has internal cut vertices", blk.vertices
+            );
+            prop_assert_eq!(inner.blocks.len(), 1);
+        }
+    }
+
+    /// The BCT of each connected component is a tree (|edges| = |nodes| − #components).
+    #[test]
+    fn bct_is_forest(g in edge_soup()) {
+        let bct = BlockCutTree::build(&g);
+        let nodes = bct.num_blocks() + bct.num_cut_vertices();
+        let comps = {
+            // Components with at least one vertex produce at least one block.
+            let (order, parent) = bct.rooted_order();
+            let _ = order;
+            parent.iter().filter(|&&p| p == usize::MAX).count()
+        };
+        prop_assert_eq!(bct.num_bct_edges(), nodes - comps);
+    }
+
+    /// `blocks_of` is consistent: v appears in exactly the blocks that list it.
+    #[test]
+    fn blocks_of_consistency(g in edge_soup()) {
+        let bct = BlockCutTree::build(&g);
+        for v in g.nodes() {
+            let claimed = bct.blocks_of(v);
+            for &b in &claimed {
+                prop_assert!(bct.block(b).vertices.contains(&v));
+            }
+            let actual = (0..bct.num_blocks() as u32)
+                .filter(|&b| bct.block(b).vertices.contains(&v))
+                .count();
+            prop_assert_eq!(claimed.len(), actual, "vertex {}", v);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal flag parsing (positional args + `--flag value` pairs).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order plus `--key value` options
+/// (`--key` with no value stores an empty string, acting as a boolean).
+#[derive(Debug, Default, Clone)]
+pub struct Parsed {
+    pub positional: Vec<String>,
+    pub options: BTreeMap<String, String>,
+}
+
+/// Splits `argv` into positionals and options.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if key.is_empty() {
+                return Err("stray '--'".into());
+            }
+            let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                i += 1;
+                argv[i].clone()
+            } else {
+                String::new()
+            };
+            out.options.insert(key.to_string(), value);
+        } else {
+            out.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// Typed option lookup with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse::<T>().map_err(|e| format!("--{key} {v}: {e}")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// String option lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn splits_positionals_and_flags() {
+        let p = parse(&argv(&["farness", "g.txt", "--rate", "0.3", "--exact"])).unwrap();
+        assert_eq!(p.positional, vec!["farness", "g.txt"]);
+        assert_eq!(p.get("rate"), Some("0.3"));
+        assert!(p.has("exact"));
+        assert!(!p.has("seed"));
+    }
+
+    #[test]
+    fn typed_lookup() {
+        let p = parse(&argv(&["x", "--rate", "0.25"])).unwrap();
+        assert_eq!(p.get_parse("rate", 0.2f64).unwrap(), 0.25);
+        assert_eq!(p.get_parse("seed", 7u64).unwrap(), 7);
+        assert!(p.get_parse::<f64>("rate", 0.0).is_ok());
+    }
+
+    #[test]
+    fn bad_value_reports_flag() {
+        let p = parse(&argv(&["x", "--seed", "abc"])).unwrap();
+        let err = p.get_parse::<u64>("seed", 0).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let p = parse(&argv(&["x", "--exact", "--rate", "0.1"])).unwrap();
+        assert_eq!(p.get("exact"), Some(""));
+        assert_eq!(p.get("rate"), Some("0.1"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Subcommand implementations.
+
+use crate::args::{parse, Parsed};
+use brics::{exact_farness, BricsEstimator, Method, SampleSize};
+use brics_bicc::biconnected_components;
+use brics_graph::connectivity::{is_connected, make_connected};
+use brics_graph::degree::degree_stats;
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::io::{read_edge_list, read_metis, read_mtx, write_edge_list, write_metis, write_mtx};
+use brics_graph::CsrGraph;
+use brics_reduce::{reduce, ReductionConfig};
+
+const HELP: &str = "\
+brics — farness/closeness centrality estimation (BRICS reproduction)
+
+USAGE:
+  brics stats <graph>
+      Structural statistics: degrees, reductions, biconnected components.
+
+  brics farness <graph> [--method random|cr|icr|cumulative|exact]
+                        [--rate 0.2] [--seed 0] [--top K] [--json]
+      Estimate (default: cumulative @ 20%) or compute exact farness.
+      Prints `vertex farness closeness` per line, or the --top K most
+      central vertices; --json emits a machine-readable document.
+
+  brics topk <graph> <k> [--rate 0.3] [--seed 0] [--json]
+      EXACT top-k closeness ranking, pruned by BRICS lower bounds —
+      far cheaper than computing all-pairs farness.
+
+  brics betweenness <graph> [--rate 0.3] [--seed 0] [--top K] [--exact]
+      Betweenness centrality via Brandes pivots (--exact for all sources).
+
+  brics generate <web|social|community|road> <nodes> [--seed 0]
+                 [--out FILE]
+      Write a synthetic class graph (.el edge list, .mtx MatrixMarket or
+      .graph/.metis METIS, by extension; stdout edge list when --out is
+      omitted).
+
+Graph files: SNAP edge lists (default), MatrixMarket (.mtx), or METIS
+(.graph/.metis). Disconnected inputs are connected by linking components
+(paper §IV-B); pass --giant to `farness` to keep only the largest
+component instead.
+";
+
+/// Entry point used by `main` (and by the CLI's integration tests).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let parsed = parse(argv)?;
+    match parsed.positional.first().map(String::as_str) {
+        Some("stats") => stats(&parsed),
+        Some("farness") => farness(&parsed),
+        Some("topk") => topk(&parsed),
+        Some("betweenness") => betweenness(&parsed),
+        Some("generate") => generate(&parsed),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try `brics help`)")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    load_graph_with(path, false)
+}
+
+fn load_graph_with(path: &str, giant: bool) -> Result<CsrGraph, String> {
+    let g = if path.ends_with(".mtx") {
+        read_mtx(path).map_err(|e| format!("{path}: {e}"))?
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        read_metis(path).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        read_edge_list(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    if g.num_nodes() == 0 {
+        return Err(format!("{path}: empty graph"));
+    }
+    if is_connected(&g) {
+        Ok(g)
+    } else if giant {
+        let sub = brics_graph::connectivity::largest_component(&g);
+        eprintln!(
+            "note: input was disconnected; kept the largest component ({} of {} \
+             vertices; ids remapped)",
+            sub.len(),
+            g.num_nodes()
+        );
+        Ok(sub.graph)
+    } else {
+        let (g2, added) = make_connected(&g);
+        eprintln!(
+            "note: input was disconnected; added {added} linking edges (paper §IV-B); \
+             pass --giant to keep only the largest component instead"
+        );
+        Ok(g2)
+    }
+}
+
+fn stats(p: &Parsed) -> Result<(), String> {
+    let path = p.positional.get(1).ok_or("usage: brics stats <graph>")?;
+    let g = load_graph(path)?;
+    let d = degree_stats(&g);
+    let red = reduce(&g, &ReductionConfig::all());
+    let bi = biconnected_components(&g);
+    println!("graph            {path}");
+    println!("vertices         {}", d.num_nodes);
+    println!("edges            {}", d.num_edges);
+    println!("degree           min {} max {} mean {:.2}", d.min, d.max, d.mean);
+    println!(
+        "deg<=2 fraction  {:.1}% (deg1 {}, deg2 {})",
+        100.0 * d.low_degree_fraction(),
+        d.deg1,
+        d.deg2
+    );
+    println!("identical nodes  {}", red.stats.identical_nodes);
+    println!("identical chains {}", red.stats.identical_chain_nodes);
+    println!("chain nodes      {}", red.stats.chain_nodes);
+    println!("redundant nodes  {}", red.stats.redundant_nodes);
+    println!("contracted nodes {}", red.stats.contracted_chain_nodes);
+    println!(
+        "reduced graph    {} vertices, {} edges ({:.1}% of original vertices)",
+        red.stats.surviving_nodes,
+        red.stats.surviving_edges,
+        100.0 * red.stats.surviving_nodes as f64 / d.num_nodes as f64
+    );
+    println!(
+        "biconnected      {} blocks, largest {}, avg {:.1}",
+        bi.blocks.len(),
+        bi.max_block_len(),
+        bi.avg_block_len()
+    );
+    let db = brics_graph::eccentricity::diameter_bounds(&g, 0, 16);
+    if db.lower == db.upper {
+        println!("diameter         {} ({} BFS runs)", db.lower, db.bfs_runs);
+    } else {
+        println!(
+            "diameter         in [{}, {}] ({} BFS runs)",
+            db.lower, db.upper, db.bfs_runs
+        );
+    }
+    Ok(())
+}
+
+fn method_of(name: &str) -> Result<Method, String> {
+    match name {
+        "random" => Ok(Method::RandomSampling),
+        "cr" => Ok(Method::CR),
+        "icr" => Ok(Method::ICR),
+        "cumulative" => Ok(Method::Cumulative),
+        other => Err(format!("unknown method '{other}'")),
+    }
+}
+
+fn farness(p: &Parsed) -> Result<(), String> {
+    let path = p.positional.get(1).ok_or("usage: brics farness <graph> [options]")?;
+    let g = load_graph_with(path, p.has("giant"))?;
+    let rate: f64 = p.get_parse("rate", 0.2)?;
+    let seed: u64 = p.get_parse("seed", 0)?;
+    let top: usize = p.get_parse("top", 0)?;
+    let method_name = p.get("method").unwrap_or("cumulative");
+
+    let (values, sampled, label): (Vec<u64>, Vec<bool>, String) = if method_name == "exact" {
+        let f = exact_farness(&g).map_err(|e| e.to_string())?;
+        let n = f.len();
+        (f, vec![true; n], "exact".into())
+    } else {
+        let method = method_of(method_name)?;
+        let est = BricsEstimator::new(method)
+            .sample(SampleSize::Fraction(rate))
+            .seed(seed)
+            .run(&g)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "note: {} sources, {:.3}s",
+            est.num_sources(),
+            est.elapsed().as_secs_f64()
+        );
+        let sampled = est.sampled_mask().to_vec();
+        (est.raw().to_vec(), sampled, method_name.into())
+    };
+
+    let order: Vec<u32> = {
+        let mut idx: Vec<u32> = (0..values.len() as u32).collect();
+        if top > 0 {
+            idx.sort_by_key(|&v| (values[v as usize], v));
+            idx.truncate(top);
+        }
+        idx
+    };
+    if p.has("json") {
+        let doc = serde_json::json!({
+            "graph": path,
+            "method": label,
+            "vertices": order.iter().map(|&v| serde_json::json!({
+                "id": v,
+                "farness": values[v as usize],
+                "closeness": if values[v as usize] == 0 { 0.0 } else { 1.0 / values[v as usize] as f64 },
+                "exact": sampled[v as usize],
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        println!("# vertex  farness  closeness  exact");
+        for &v in &order {
+            let f = values[v as usize];
+            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
+            println!("{v} {f} {c:.3e} {}", sampled[v as usize]);
+        }
+    }
+    Ok(())
+}
+
+fn topk(p: &Parsed) -> Result<(), String> {
+    let path = p.positional.get(1).ok_or("usage: brics topk <graph> <k>")?;
+    let k: usize = p
+        .positional
+        .get(2)
+        .ok_or("usage: brics topk <graph> <k>")?
+        .parse()
+        .map_err(|e| format!("bad k: {e}"))?;
+    let g = load_graph(path)?;
+    let rate: f64 = p.get_parse("rate", 0.3)?;
+    let seed: u64 = p.get_parse("seed", 0)?;
+    let estimator = BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Fraction(rate))
+        .seed(seed);
+    let t = brics::topk::top_k_closeness(&g, k, &estimator).map_err(|e| e.to_string())?;
+    eprintln!(
+        "note: {} pruned, {} verified by BFS, {} for free (of {})",
+        t.pruned,
+        t.verified_with_bfs,
+        t.verified_for_free,
+        g.num_nodes()
+    );
+    if p.has("json") {
+        let doc = serde_json::json!({
+            "graph": path,
+            "k": k,
+            "pruned": t.pruned,
+            "ranked": t.ranked.iter().map(|&(v, f)| serde_json::json!({
+                "id": v, "farness": f,
+                "closeness": if f == 0 { 0.0 } else { 1.0 / f as f64 },
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        println!("# rank vertex farness closeness (exact)");
+        for (i, &(v, f)) in t.ranked.iter().enumerate() {
+            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
+            println!("{} {v} {f} {c:.3e}", i + 1);
+        }
+    }
+    Ok(())
+}
+
+fn betweenness(p: &Parsed) -> Result<(), String> {
+    let path = p.positional.get(1).ok_or("usage: brics betweenness <graph> [options]")?;
+    let g = load_graph_with(path, p.has("giant"))?;
+    let top: usize = p.get_parse("top", 10)?;
+    let values = if p.has("exact") {
+        brics::betweenness::exact_betweenness(&g)
+    } else {
+        let rate: f64 = p.get_parse("rate", 0.3)?;
+        let seed: u64 = p.get_parse("seed", 0)?;
+        brics::betweenness::sampled_betweenness(&g, SampleSize::Fraction(rate), seed)
+            .map_err(|e| e.to_string())?
+    };
+    let mut idx: Vec<u32> = (0..values.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        values[b as usize]
+            .partial_cmp(&values[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx.truncate(top.max(1));
+    println!("# rank vertex betweenness");
+    for (i, &v) in idx.iter().enumerate() {
+        println!("{} {v} {:.3}", i + 1, values[v as usize]);
+    }
+    Ok(())
+}
+
+fn generate(p: &Parsed) -> Result<(), String> {
+    let class: GraphClass = p
+        .positional
+        .get(1)
+        .ok_or("usage: brics generate <class> <nodes>")?
+        .parse()?;
+    let nodes: usize = p
+        .positional
+        .get(2)
+        .ok_or("usage: brics generate <class> <nodes>")?
+        .parse()
+        .map_err(|e| format!("bad node count: {e}"))?;
+    let seed: u64 = p.get_parse("seed", 0)?;
+    let g = class.generate(ClassParams::new(nodes, seed));
+    eprintln!(
+        "generated {} graph: {} vertices, {} edges (seed {seed})",
+        class.name(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+    match p.get("out") {
+        Some(path) if path.ends_with(".mtx") => {
+            write_mtx(&g, path).map_err(|e| e.to_string())?;
+        }
+        Some(path) if path.ends_with(".graph") || path.ends_with(".metis") => {
+            write_metis(&g, path).map_err(|e| e.to_string())?;
+        }
+        Some(path) => {
+            write_edge_list(&g, path).map_err(|e| e.to_string())?;
+        }
+        None => {
+            brics_graph::io::write_edge_list_to(&g, std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("brics-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&["help"]).is_ok());
+        assert!(run(&[]).is_ok());
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn generate_stats_farness_roundtrip() {
+        let path = tmp("road.el");
+        run(&["generate", "road", "500", "--seed", "3", "--out", path.to_str().unwrap()])
+            .unwrap();
+        run(&["stats", path.to_str().unwrap()]).unwrap();
+        run(&["farness", path.to_str().unwrap(), "--method", "cumulative", "--rate", "0.5",
+              "--top", "5"])
+            .unwrap();
+        run(&["farness", path.to_str().unwrap(), "--method", "exact", "--top", "3", "--json"])
+            .unwrap();
+    }
+
+    #[test]
+    fn betweenness_subcommand() {
+        let path = tmp("betw.el");
+        run(&["generate", "social", "300", "--seed", "4", "--out", path.to_str().unwrap()])
+            .unwrap();
+        run(&["betweenness", path.to_str().unwrap(), "--top", "5"]).unwrap();
+        run(&["betweenness", path.to_str().unwrap(), "--exact", "--top", "3"]).unwrap();
+        assert!(run(&["betweenness"]).is_err());
+    }
+
+    #[test]
+    fn topk_subcommand() {
+        let path = tmp("comm.el");
+        run(&["generate", "community", "400", "--seed", "2", "--out", path.to_str().unwrap()])
+            .unwrap();
+        run(&["topk", path.to_str().unwrap(), "5"]).unwrap();
+        run(&["topk", path.to_str().unwrap(), "3", "--rate", "0.5", "--json"]).unwrap();
+        assert!(run(&["topk", path.to_str().unwrap()]).is_err()); // missing k
+        assert!(run(&["topk", path.to_str().unwrap(), "x"]).is_err());
+    }
+
+    #[test]
+    fn mtx_output_supported() {
+        let path = tmp("web.mtx");
+        run(&["generate", "web", "300", "--out", path.to_str().unwrap()]).unwrap();
+        run(&["stats", path.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_method_and_class() {
+        let path = tmp("sock.el");
+        run(&["generate", "social", "200", "--out", path.to_str().unwrap()]).unwrap();
+        assert!(run(&["farness", path.to_str().unwrap(), "--method", "magic"]).is_err());
+        assert!(run(&["generate", "metro", "100"]).is_err());
+        assert!(run(&["stats"]).is_err());
+        assert!(run(&["stats", "/nonexistent/file"]).is_err());
+    }
+}

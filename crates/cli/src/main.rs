@@ -1,0 +1,40 @@
+//! `brics` — estimate farness/closeness centrality from the command line.
+//!
+//! ```text
+//! brics stats <graph>                         structural statistics
+//! brics farness <graph> [options]             estimate (or compute) farness
+//! brics generate <class> <nodes> [options]    write a synthetic graph
+//! brics help
+//! ```
+//!
+//! Graph files are SNAP-style edge lists (`*.txt`, `*.el`) or MatrixMarket
+//! (`*.mtx`), auto-detected by extension. Disconnected inputs are made
+//! connected the way the paper's preprocessing does (§IV-B).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Piping into `head`/`less` closes stdout early; Rust's print macros
+    // then panic with a backtrace. Treat a broken pipe as the normal
+    // end-of-consumer signal (grep/cat semantics) and exit quietly.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).or_else(|| {
+            info.payload().downcast_ref::<&str>().copied()
+        });
+        if msg.is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+    }));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Estimator configuration and the top-level front door.
+
+use crate::cumulative::cumulative_estimate;
+use crate::reduced::reduced_estimate;
+use crate::sampling::random_sampling;
+use crate::{CentralityError, FarnessEstimate};
+use brics_graph::CsrGraph;
+use brics_reduce::ReductionConfig;
+use serde::{Deserialize, Serialize};
+
+/// How many BFS sources to use.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SampleSize {
+    /// A fraction of the sampling population (the whole graph for random
+    /// sampling; the reduced graph for the BRICS methods — the paper states
+    /// its percentages against the reduced graph, §IV-C1).
+    Fraction(f64),
+    /// An absolute number of sources.
+    Count(usize),
+}
+
+impl SampleSize {
+    /// Resolves to a concrete count against a population of `n`, clamped to
+    /// `1..=n` (0 only when `n == 0`).
+    pub fn resolve(&self, n: usize) -> usize {
+        let k = match *self {
+            SampleSize::Fraction(f) => (f * n as f64).round() as usize,
+            SampleSize::Count(c) => c,
+        };
+        k.clamp(usize::from(n > 0), n)
+    }
+}
+
+/// The estimation methods of the paper's evaluation (§IV-C2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Plain uniform random sampling over the whole graph
+    /// (paper Algorithm 1; the baseline).
+    RandomSampling,
+    /// Chain + redundant-node reductions, then sampling on the reduced
+    /// graph — the paper's "C+R" configuration.
+    CR,
+    /// Identical + chain + redundant-node reductions, then sampling —
+    /// the paper's "I+C+R" configuration.
+    ICR,
+    /// Full pipeline: I+C+R reductions, biconnected decomposition,
+    /// block-local sampling and the Block-Cut-Tree combination —
+    /// the paper's "Cumulative" method (Algorithms 4–6).
+    Cumulative,
+    /// Custom: choose reductions and whether to use the biconnected
+    /// decomposition independently (for ablations beyond the paper's three).
+    Custom {
+        /// Which reductions to run.
+        reductions: ReductionConfig,
+        /// Whether to decompose into biconnected components.
+        use_bcc: bool,
+    },
+}
+
+impl Method {
+    /// The reduction configuration this method implies.
+    pub fn reductions(&self) -> ReductionConfig {
+        match self {
+            Method::RandomSampling => ReductionConfig::none(),
+            Method::CR => ReductionConfig::cr(),
+            Method::ICR => ReductionConfig::icr(),
+            Method::Cumulative => ReductionConfig::all(),
+            Method::Custom { reductions, .. } => *reductions,
+        }
+    }
+
+    /// Whether this method uses the biconnected decomposition.
+    pub fn uses_bcc(&self) -> bool {
+        matches!(self, Method::Cumulative | Method::Custom { use_bcc: true, .. })
+    }
+
+    /// Name used in harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::RandomSampling => "random",
+            Method::CR => "C+R",
+            Method::ICR => "I+C+R",
+            Method::Cumulative => "cumulative",
+            Method::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// Builder-style front door for all estimation methods.
+///
+/// ```
+/// use brics::{BricsEstimator, Method, SampleSize};
+/// use brics_graph::generators::path_graph;
+///
+/// let g = path_graph(50);
+/// let est = BricsEstimator::new(Method::RandomSampling)
+///     .sample(SampleSize::Count(10))
+///     .seed(3)
+///     .run(&g)
+///     .unwrap();
+/// assert_eq!(est.num_sources(), 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BricsEstimator {
+    /// Estimation method.
+    pub method: Method,
+    /// Number of BFS sources.
+    pub sample: SampleSize,
+    /// RNG seed for source selection (estimation is deterministic per seed
+    /// up to the bit-identical farness sums, which are order-independent).
+    pub seed: u64,
+}
+
+impl BricsEstimator {
+    /// Creates an estimator with the paper's default 20 % sampling rate for
+    /// the given method.
+    pub fn new(method: Method) -> Self {
+        Self { method, sample: SampleSize::Fraction(0.2), seed: 0 }
+    }
+
+    /// Sets the sample size.
+    pub fn sample(mut self, sample: SampleSize) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the configured estimation on `g`.
+    ///
+    /// `g` must be connected (see
+    /// `brics_graph::connectivity::make_connected`).
+    pub fn run(&self, g: &CsrGraph) -> Result<FarnessEstimate, CentralityError> {
+        if g.num_nodes() == 0 {
+            return Err(CentralityError::EmptyGraph);
+        }
+        match self.method {
+            Method::RandomSampling => random_sampling(g, self.sample, self.seed),
+            m if m.uses_bcc() => cumulative_estimate(g, &m.reductions(), self.sample, self.seed),
+            m => reduced_estimate(g, &m.reductions(), self.sample, self.seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_resolution() {
+        assert_eq!(SampleSize::Fraction(0.3).resolve(100), 30);
+        assert_eq!(SampleSize::Fraction(0.0).resolve(100), 1);
+        assert_eq!(SampleSize::Fraction(1.5).resolve(100), 100);
+        assert_eq!(SampleSize::Count(7).resolve(100), 7);
+        assert_eq!(SampleSize::Count(0).resolve(100), 1);
+        assert_eq!(SampleSize::Count(500).resolve(100), 100);
+        assert_eq!(SampleSize::Count(5).resolve(0), 0);
+    }
+
+    #[test]
+    fn method_properties() {
+        assert!(!Method::RandomSampling.uses_bcc());
+        assert!(Method::Cumulative.uses_bcc());
+        assert!(!Method::CR.reductions().identical);
+        assert!(Method::ICR.reductions().identical);
+        assert_eq!(Method::Cumulative.name(), "cumulative");
+        let custom = Method::Custom { reductions: ReductionConfig::chains_only(), use_bcc: true };
+        assert!(custom.uses_bcc());
+        assert!(custom.reductions().chains);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let e = BricsEstimator::new(Method::RandomSampling).run(&CsrGraph::empty());
+        assert!(matches!(e, Err(CentralityError::EmptyGraph)));
+    }
+}

@@ -1,0 +1,338 @@
+//! The Block-Cut-Tree sweep (paper Algorithm 6, Step 3).
+//!
+//! Computes, for every (cut vertex `c`, block `B`) incidence, the pair
+//!
+//! * `W(c→B)` — the number of vertices in the BCT subtree hanging off `c`
+//!   away from `B` (blocks' owned vertices + cut vertices, including `c`);
+//! * `D(c→B)` — the sum of their exact distances to `c`.
+//!
+//! One bottom-up pass accumulates child subtrees towards the root; one
+//! top-down pass fills the root-side direction (the paper's Fig. 3 (a)/(b)
+//! `weight` / `dCarry` traversals). Legs between cut vertices inside one
+//! block use the exact block-local cut-to-cut distances from phase A.
+
+use brics_bicc::{BctNode, BlockCutTree};
+
+/// Per-block inputs collected by phase A.
+pub(crate) struct BlockLocalSums<'a> {
+    /// Global cut-vertex ids of each block (defines the cut index order).
+    pub cuts_of_block: &'a [Vec<u32>],
+    /// `sdo[b][j]` — Σ of distances from cut `j` of block `b` to every
+    /// vertex *owned* by `b` (non-cut survivors + homed removed vertices).
+    pub sdo: &'a [Vec<u64>],
+    /// `cutdist[b][i][j]` — block-local distance between cuts `i` and `j`.
+    pub cutdist: &'a [Vec<Vec<u32>>],
+    /// `own[b]` — number of vertices owned by block `b`.
+    pub own: &'a [u64],
+    /// Multiplicity of each cut vertex (by cut index): 1 plus the number of
+    /// identical twins riding on it (engine docs). Twins sit at distance 0
+    /// from their cut for every outside vertex, so only the weight grows.
+    pub cut_mult: &'a [u64],
+}
+
+/// Output: `w[b][j]` / `d[b][j]` per (block, cut-index) incidence.
+pub(crate) struct Aggregates {
+    pub w: Vec<Vec<u64>>,
+    pub d: Vec<Vec<u64>>,
+}
+
+pub(crate) fn sweep(bct: &BlockCutTree, input: &BlockLocalSums<'_>) -> Aggregates {
+    let nb = bct.num_blocks();
+    let nc = bct.num_cut_vertices();
+    let (order, parent) = bct.rooted_order();
+
+    // Children positions per order position.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    for (i, &p) in parent.iter().enumerate() {
+        if p != usize::MAX {
+            children[p].push(i);
+        }
+    }
+    let cut_idx_in_block = |b: usize, cut_global: u32| -> usize {
+        input.cuts_of_block[b]
+            .iter()
+            .position(|&c| c == cut_global)
+            .expect("cut not in its block's cut list")
+    };
+
+    // ---- Bottom-up: subtree aggregates away from the root. ----
+    // wd/dd: per cut node — the subtree at the cut, away from its parent
+    // block. wb/db: per block node — the block side, evaluated at its
+    // parent cut.
+    let mut wd = vec![0u64; nc];
+    let mut dd = vec![0u64; nc];
+    let mut wb = vec![0u64; nb];
+    let mut db = vec![0u64; nb];
+    for i in (0..order.len()).rev() {
+        match order[i] {
+            BctNode::Cut(c) => {
+                let mut w = input.cut_mult[c as usize];
+                let mut d = 0u64;
+                for &ch in &children[i] {
+                    let BctNode::Block(b) = order[ch] else { unreachable!("cut child of cut") };
+                    w += wb[b as usize];
+                    d += db[b as usize];
+                }
+                wd[c as usize] = w;
+                dd[c as usize] = d;
+            }
+            BctNode::Block(b) => {
+                let b = b as usize;
+                if parent[i] == usize::MAX {
+                    continue; // root block: no upward side
+                }
+                let BctNode::Cut(cp) = order[parent[i]] else {
+                    unreachable!("block parent must be a cut")
+                };
+                let jp = cut_idx_in_block(b, bct.cut_vertices()[cp as usize]);
+                let mut w = input.own[b];
+                let mut d = input.sdo[b][jp];
+                for &ch in &children[i] {
+                    let BctNode::Cut(c) = order[ch] else { unreachable!() };
+                    let j = cut_idx_in_block(b, bct.cut_vertices()[c as usize]);
+                    w += wd[c as usize];
+                    d += dd[c as usize]
+                        + wd[c as usize] * input.cutdist[b][j][jp] as u64;
+                }
+                wb[b] = w;
+                db[b] = d;
+            }
+        }
+    }
+
+    // ---- Top-down: fill final per-incidence values. ----
+    let mut w_final: Vec<Vec<u64>> =
+        input.cuts_of_block.iter().map(|cs| vec![0; cs.len()]).collect();
+    let mut d_final: Vec<Vec<u64>> =
+        input.cuts_of_block.iter().map(|cs| vec![0; cs.len()]).collect();
+    // Root-side values handed down: per block (set by its parent cut) and
+    // per cut (set by its parent block).
+    let mut w_from_parent = vec![0u64; nb];
+    let mut d_from_parent = vec![0u64; nb];
+    let mut upw_cut = vec![0u64; nc];
+    let mut upd_cut = vec![0u64; nc];
+
+    for (i, node) in order.iter().enumerate() {
+        match *node {
+            BctNode::Block(b) => {
+                let b = b as usize;
+                let parent_cut: Option<u32> = match parent[i] {
+                    usize::MAX => None,
+                    p => match order[p] {
+                        BctNode::Cut(c) => Some(bct.cut_vertices()[c as usize]),
+                        BctNode::Block(_) => unreachable!(),
+                    },
+                };
+                for (j, &cg) in input.cuts_of_block[b].iter().enumerate() {
+                    if parent_cut == Some(cg) {
+                        w_final[b][j] = w_from_parent[b];
+                        d_final[b][j] = d_from_parent[b];
+                    } else {
+                        let ci = bct.cut_index_of(cg).expect("not a cut") as usize;
+                        w_final[b][j] = wd[ci];
+                        d_final[b][j] = dd[ci];
+                    }
+                }
+                // Upward values for this block's child cuts.
+                for &ch in &children[i] {
+                    let BctNode::Cut(c) = order[ch] else { unreachable!() };
+                    let cg = bct.cut_vertices()[c as usize];
+                    let jc = cut_idx_in_block(b, cg);
+                    let mut w = input.own[b];
+                    let mut d = input.sdo[b][jc];
+                    for j in 0..input.cuts_of_block[b].len() {
+                        if j == jc {
+                            continue;
+                        }
+                        w += w_final[b][j];
+                        d += d_final[b][j]
+                            + w_final[b][j] * input.cutdist[b][j][jc] as u64;
+                    }
+                    upw_cut[c as usize] = w;
+                    upd_cut[c as usize] = d;
+                }
+            }
+            BctNode::Cut(c) => {
+                let c = c as usize;
+                let child_blocks: Vec<usize> = children[i]
+                    .iter()
+                    .map(|&ch| match order[ch] {
+                        BctNode::Block(b) => b as usize,
+                        BctNode::Cut(_) => unreachable!(),
+                    })
+                    .collect();
+                let total_w: u64 = child_blocks.iter().map(|&b| wb[b]).sum();
+                let total_d: u64 = child_blocks.iter().map(|&b| db[b]).sum();
+                for &b in &child_blocks {
+                    w_from_parent[b] = input.cut_mult[c] + upw_cut[c] + (total_w - wb[b]);
+                    d_from_parent[b] = upd_cut[c] + (total_d - db[b]);
+                }
+            }
+        }
+    }
+
+    Aggregates { w: w_final, d: d_final }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_bicc::BlockCutTree;
+    use brics_graph::generators::path_graph;
+
+    /// Path 0-1-2: blocks {0,1} and {1,2}, cut vertex 1. Own counts:
+    /// each block owns its non-cut endpoint. From block {0,1}: the subtree
+    /// beyond cut 1 is {1 itself, 2}: W = 2, D = d(1,1) + d(2,1) = 1.
+    #[test]
+    fn three_vertex_path_by_hand() {
+        let g = path_graph(3);
+        let bct = BlockCutTree::build(&g);
+        assert_eq!(bct.num_blocks(), 2);
+        assert_eq!(bct.cut_vertices(), &[1]);
+        let cuts_of_block = vec![vec![1u32], vec![1u32]];
+        // Each block: cut 1 at distance 1 from the owned endpoint → sdo = 1.
+        let sdo = vec![vec![1u64], vec![1u64]];
+        let cutdist = vec![vec![vec![0u32]], vec![vec![0u32]]];
+        let own = vec![1u64, 1u64];
+        let agg = sweep(
+            &bct,
+            &BlockLocalSums {
+                cuts_of_block: &cuts_of_block,
+                sdo: &sdo,
+                cutdist: &cutdist,
+                own: &own,
+                cut_mult: &[1],
+            },
+        );
+        for b in 0..2 {
+            assert_eq!(agg.w[b][0], 2, "block {b}");
+            assert_eq!(agg.d[b][0], 1, "block {b}");
+        }
+    }
+
+    /// Path 0-1-2-3: three bridge blocks, cuts {1, 2}.
+    #[test]
+    fn four_vertex_path_by_hand() {
+        let g = path_graph(4);
+        let bct = BlockCutTree::build(&g);
+        assert_eq!(bct.num_blocks(), 3);
+        assert_eq!(bct.cut_vertices(), &[1, 2]);
+        // Block order from the decomposition is deterministic; identify
+        // blocks by their vertex sets.
+        let mut blocks: Vec<Vec<u32>> = bct
+            .blocks()
+            .iter()
+            .map(|b| {
+                let mut v = b.vertices.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let idx_of = |vs: &[u32]| blocks.iter().position(|b| b == vs).unwrap();
+        let b01 = idx_of(&[0, 1]);
+        let b12 = idx_of(&[1, 2]);
+        let b23 = idx_of(&[2, 3]);
+        blocks.sort();
+
+        let mut cuts_of_block = vec![Vec::new(); 3];
+        cuts_of_block[b01] = vec![1u32];
+        cuts_of_block[b12] = vec![1u32, 2u32];
+        cuts_of_block[b23] = vec![2u32];
+        let mut sdo = vec![Vec::new(); 3];
+        sdo[b01] = vec![1]; // owned {0}, d(1,0)=1
+        sdo[b12] = vec![0, 0]; // owns nothing (both vertices are cuts)
+        sdo[b23] = vec![1];
+        let mut cutdist = vec![Vec::new(); 3];
+        cutdist[b01] = vec![vec![0]];
+        cutdist[b12] = vec![vec![0, 1], vec![1, 0]];
+        cutdist[b23] = vec![vec![0]];
+        let own = {
+            let mut o = vec![0u64; 3];
+            o[b01] = 1;
+            o[b12] = 0;
+            o[b23] = 1;
+            o
+        };
+        let agg = sweep(
+            &bct,
+            &BlockLocalSums {
+                cuts_of_block: &cuts_of_block,
+                sdo: &sdo,
+                cutdist: &cutdist,
+                own: &own,
+                cut_mult: &[1, 1],
+            },
+        );
+        // From b01, beyond cut 1: {1, 2, 3} with distances 0, 1, 2 → W=3, D=3.
+        assert_eq!(agg.w[b01][0], 3);
+        assert_eq!(agg.d[b01][0], 3);
+        // From b23, beyond cut 2: {2, 1, 0} distances 0, 1, 2 → W=3, D=3.
+        assert_eq!(agg.w[b23][0], 3);
+        assert_eq!(agg.d[b23][0], 3);
+        // From b12, beyond cut 1: {1, 0} → W=2, D=1; beyond cut 2: {2, 3}.
+        let j1 = cuts_of_block[b12].iter().position(|&c| c == 1).unwrap();
+        let j2 = 1 - j1;
+        assert_eq!(agg.w[b12][j1], 2);
+        assert_eq!(agg.d[b12][j1], 1);
+        assert_eq!(agg.w[b12][j2], 2);
+        assert_eq!(agg.d[b12][j2], 1);
+    }
+
+    /// Global invariant: own(B) + Σ_j W[b][j] == total vertex count.
+    #[test]
+    fn weights_partition_the_graph() {
+        use brics_graph::generators::lollipop;
+        let g = lollipop(4, 3); // K4 {0..3} + tail 4,5,6
+        let bct = BlockCutTree::build(&g);
+        let n = g.num_nodes();
+        // Build honest local sums via brute-force BFS inside each block.
+        let mut cuts_of_block = Vec::new();
+        let mut sdo = Vec::new();
+        let mut cutdist = Vec::new();
+        let mut own = Vec::new();
+        for blk in bct.blocks() {
+            let cuts: Vec<u32> =
+                blk.vertices.iter().copied().filter(|&v| bct.is_cut_vertex(v)).collect();
+            let sub = brics_graph::InducedSubgraph::from_edge_list(&g, &blk.vertices, &blk.edges);
+            let owned: Vec<u32> = blk
+                .vertices
+                .iter()
+                .copied()
+                .filter(|&v| !bct.is_cut_vertex(v))
+                .collect();
+            own.push(owned.len() as u64);
+            let mut row_sdo = Vec::new();
+            let mut row_cd = vec![vec![0u32; cuts.len()]; cuts.len()];
+            for (i, &c) in cuts.iter().enumerate() {
+                let d = brics_graph::traversal::bfs_distances(
+                    &sub.graph,
+                    sub.to_local(c).unwrap(),
+                );
+                row_sdo.push(
+                    owned.iter().map(|&v| d[sub.to_local(v).unwrap() as usize] as u64).sum(),
+                );
+                for (j, &c2) in cuts.iter().enumerate() {
+                    row_cd[i][j] = d[sub.to_local(c2).unwrap() as usize];
+                }
+            }
+            cuts_of_block.push(cuts);
+            sdo.push(row_sdo);
+            cutdist.push(row_cd);
+        }
+        let cut_mult = vec![1u64; bct.num_cut_vertices()];
+        let agg = sweep(
+            &bct,
+            &BlockLocalSums {
+                cuts_of_block: &cuts_of_block,
+                sdo: &sdo,
+                cutdist: &cutdist,
+                own: &own,
+                cut_mult: &cut_mult,
+            },
+        );
+        for (b, own_b) in own.iter().enumerate() {
+            let covered: u64 = own_b + agg.w[b].iter().sum::<u64>();
+            assert_eq!(covered, n as u64, "block {b}");
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Orchestration of the Cumulative estimate (paper Algorithm 5).
+
+use super::aggregate::{sweep, Aggregates, BlockLocalSums};
+use super::homing::home_records;
+use crate::config::SampleSize;
+use crate::{CentralityError, FarnessEstimate};
+use brics_bicc::{biconnected_components, BlockCutTree};
+use brics_graph::traversal::{atomic_view, Bfs, DialBfs};
+use brics_graph::weighted::{build_weighted, edge_weight};
+use brics_graph::{CsrGraph, GraphBuilder, NodeId, INFINITE_DIST, INVALID_NODE};
+use brics_reduce::{apply_record, reduce, ReductionConfig, Removal};
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-block working context (paper: one BCT block node).
+struct BlockCtx {
+    /// Block subgraph over local ids.
+    graph: CsrGraph,
+    /// Arc-aligned edge weights of the block subgraph, present when the
+    /// reduction contracted chains (see `brics-reduce`).
+    weights: Option<Vec<u32>>,
+    /// Local id → global id.
+    verts: Vec<NodeId>,
+    /// Whether each local vertex is a cut vertex of the whole graph.
+    is_cut_local: Vec<bool>,
+    /// Local ids of the block's cut vertices (defines the cut index order
+    /// used by the aggregates).
+    cut_locals: Vec<NodeId>,
+    /// Global ids of the block's cut vertices, aligned with `cut_locals`.
+    cut_globals: Vec<NodeId>,
+    /// Removal-record indices homed to this block, ascending.
+    records: Vec<usize>,
+    /// Owned vertex count: non-cut block vertices + homed removed vertices.
+    own: u64,
+    /// Sampled sources (local ids): all cut vertices first, then the
+    /// randomly chosen non-cut vertices.
+    sources_local: Vec<NodeId>,
+    /// How many of `sources_local` are non-cut (the block's `k_i`).
+    k_noncut: usize,
+}
+
+/// Puts the vertices of the given records back into the reduced graph:
+/// marks them surviving, re-adds their incident edges, and drops the
+/// records. Only multi-anchor records (parallel chains, redundant nodes)
+/// can straddle blocks, and both carry enough information to rebuild their
+/// edges exactly.
+fn restore_records(red: &mut brics_reduce::ReductionResult, indices: &[usize]) {
+    use std::collections::BTreeSet;
+    let idx: BTreeSet<usize> = indices.iter().copied().collect();
+    // Rebuild as weighted triples so contracted edges keep their weights;
+    // restored edges are unit-weight (they are original graph edges). A
+    // restored contracted chain may coexist with its own weighted edge —
+    // harmless, the edge parallels the path at equal length.
+    let mut triples: Vec<(NodeId, NodeId, u32)> = match &red.weights {
+        Some(w) => red
+            .graph
+            .edges()
+            .map(|(u, v)| (u, v, edge_weight(&red.graph, w, u, v).unwrap()))
+            .collect(),
+        None => red.graph.edges().map(|(u, v)| (u, v, 1)).collect(),
+    };
+    for &i in &idx {
+        match &red.records[i] {
+            Removal::Chain { u, v, nodes, .. } => {
+                debug_assert_ne!(u, v, "single-anchor chains cannot straddle blocks");
+                let mut prev = *u;
+                for &x in nodes {
+                    triples.push((prev, x, 1));
+                    red.removed[x as usize] = false;
+                    prev = x;
+                }
+                triples.push((prev, *v, 1));
+            }
+            Removal::Redundant { node, neighbors } => {
+                for &w in neighbors {
+                    triples.push((*node, w, 1));
+                }
+                red.removed[*node as usize] = false;
+            }
+            Removal::Identical { .. } => {
+                unreachable!("identical records have one anchor and never straddle")
+            }
+        }
+    }
+    let weighted = red.weights.is_some();
+    let (g, w) = build_weighted(red.graph.num_nodes(), &triples);
+    red.graph = g;
+    red.weights = weighted.then_some(w);
+    let mut j = 0usize;
+    red.records.retain(|_| {
+        let keep = !idx.contains(&j);
+        j += 1;
+        keep
+    });
+}
+
+/// Runs the full BRICS Cumulative pipeline.
+pub fn cumulative_estimate(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+) -> Result<FarnessEstimate, CentralityError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    // Connectivity gate: the BCT combination assumes one component.
+    {
+        let mut bfs = Bfs::new(n);
+        let (reached, _) = bfs.run_with(g, 0, |_, _| {});
+        if reached != n {
+            let comps = brics_graph::connectivity::connected_components(g).count();
+            return Err(CentralityError::Disconnected { components: comps });
+        }
+    }
+    let start = Instant::now();
+
+    // ---- Reduce and decompose (Algorithm 4). ----
+    let mut red = reduce(g, reductions);
+    // Home every record; records whose anchors straddle blocks (paper Fact
+    // III.5) are *restored* into the reduced graph — sound because every
+    // removal's validity argument is local, and convergent because
+    // restoration only merges blocks. Typically 0 or 1 extra rounds.
+    let (bct, homing) = loop {
+        let mut bi = biconnected_components(&red.graph);
+        // Removed vertices are isolated in the reduced CSR; drop their
+        // synthetic singleton blocks (survivor singletons stay).
+        bi.blocks
+            .retain(|b| !b.edges.is_empty() || !red.removed[b.vertices[0] as usize]);
+        let bct = BlockCutTree::from_biconnectivity(n, bi);
+        let homing = home_records(&red, &bct);
+        if homing.cross_records.is_empty() {
+            break (bct, homing);
+        }
+        restore_records(&mut red, &homing.cross_records);
+    };
+    // Identical twins of *cut vertices* cannot be homed to a single block:
+    // d(x, twin) = d(x, rep) everywhere, and the rep spans several blocks.
+    // They are pulled out of block homing and modelled as extra multiplicity
+    // on the cut's BCT node (distance 0 from the cut for every outside
+    // vertex; the rep itself sees each of its twins at distance exactly 2,
+    // added at assembly). `twin_rep[v]` marks such vertices; their final
+    // estimate is a verbatim copy of the rep's (farness equality, §III-A).
+    let mut homing = homing;
+    let mut cut_mult = vec![1u64; bct.num_cut_vertices()];
+    let mut twin_rep: Vec<Option<NodeId>> = vec![None; n];
+    let mut is_twin_record = vec![false; red.records.len()];
+    for (i, rec) in red.records.iter().enumerate() {
+        if let Removal::Identical { node, rep } = rec {
+            if !red.removed[*rep as usize] {
+                if let Some(ci) = bct.cut_index_of(*rep) {
+                    cut_mult[ci as usize] += 1;
+                    twin_rep[*node as usize] = Some(*rep);
+                    is_twin_record[i] = true;
+                }
+            }
+        }
+    }
+    for list in &mut homing.block_records {
+        list.retain(|&ri| !is_twin_record[ri]);
+    }
+    let survivors = red.surviving();
+    let k_total = sample.resolve(survivors.len());
+    if k_total == 0 {
+        return Err(CentralityError::NoSamples);
+    }
+
+    // ---- Materialize block contexts + per-block sampling (Step 2 prep). ----
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g2l = vec![INVALID_NODE; n];
+    let nb = bct.num_blocks();
+    let mut removed_per_block = vec![0u64; nb];
+    for (b, recs) in homing.block_records.iter().enumerate() {
+        removed_per_block[b] =
+            recs.iter().map(|&ri| red.records[ri].removed_count() as u64).sum();
+    }
+    let mut blocks = Vec::with_capacity(nb);
+    for (b, blk) in bct.blocks().iter().enumerate() {
+        let verts = blk.vertices.clone();
+        for (l, &v) in verts.iter().enumerate() {
+            g2l[v as usize] = l as NodeId;
+        }
+        let (graph, block_weights) = match &red.weights {
+            None => {
+                let mut builder = GraphBuilder::with_capacity(verts.len(), blk.edges.len());
+                for &(u, v) in &blk.edges {
+                    builder.add_edge(g2l[u as usize], g2l[v as usize]);
+                }
+                (builder.build(), None)
+            }
+            Some(w) => {
+                let triples: Vec<(NodeId, NodeId, u32)> = blk
+                    .edges
+                    .iter()
+                    .map(|&(u, v)| {
+                        (
+                            g2l[u as usize],
+                            g2l[v as usize],
+                            edge_weight(&red.graph, w, u, v).expect("block edge missing"),
+                        )
+                    })
+                    .collect();
+                let (g, lw) = build_weighted(verts.len(), &triples);
+                // Blocks untouched by contraction run the plain-BFS path.
+                let lw = lw.iter().any(|&x| x != 1).then_some(lw);
+                (g, lw)
+            }
+        };
+        let is_cut_local: Vec<bool> = verts.iter().map(|&v| bct.is_cut_vertex(v)).collect();
+        let cut_locals: Vec<NodeId> = (0..verts.len() as NodeId)
+            .filter(|&l| is_cut_local[l as usize])
+            .collect();
+        let cut_globals: Vec<NodeId> =
+            cut_locals.iter().map(|&l| verts[l as usize]).collect();
+        let noncut: Vec<NodeId> = (0..verts.len() as NodeId)
+            .filter(|&l| !is_cut_local[l as usize])
+            .collect();
+
+        // Paper Algorithm 5 line 9: k_i = ⌈k·|B_i|/|G_R|⌉ − |cuts|.
+        let quota =
+            ((k_total as f64) * (verts.len() as f64) / (survivors.len() as f64)).ceil() as usize;
+        let k_noncut = quota.saturating_sub(cut_locals.len()).min(noncut.len());
+        let mut sources_local = cut_locals.clone();
+        if k_noncut > 0 {
+            let mut picked: Vec<NodeId> = index_sample(&mut rng, noncut.len(), k_noncut)
+                .into_iter()
+                .map(|i| noncut[i])
+                .collect();
+            picked.sort_unstable();
+            sources_local.extend(picked);
+        }
+        for &v in &verts {
+            g2l[v as usize] = INVALID_NODE;
+        }
+        blocks.push(BlockCtx {
+            graph,
+            weights: block_weights,
+            verts,
+            is_cut_local,
+            cut_locals,
+            cut_globals,
+            records: homing.block_records[b].clone(),
+            own: (blk.vertices.len() as u64
+                - bct.blocks()[b].vertices.iter().filter(|&&v| bct.is_cut_vertex(v)).count()
+                    as u64)
+                + removed_per_block[b],
+            sources_local,
+            k_noncut,
+        });
+    }
+    let records: &[Removal] = &red.records;
+
+    // ---- Phase A: block-local BFS from every cut vertex. ----
+    let phase_a: Vec<(Vec<u64>, Vec<Vec<u32>>)> = blocks
+        .par_iter()
+        .map_init(
+            || (DialBfs::new(64), vec![INFINITE_DIST; n]),
+            |(bfs, gdist), ctx| {
+                let nc = ctx.cut_locals.len();
+                let mut sdo = Vec::with_capacity(nc);
+                let mut cd = vec![vec![0u32; nc]; nc];
+                for (ci, &cl) in ctx.cut_locals.iter().enumerate() {
+                    bfs.run_with(&ctx.graph, ctx.weights.as_deref(), cl, |_, _| {});
+                    let dl = &bfs.distances()[..ctx.verts.len()];
+                    for (cj, &cl2) in ctx.cut_locals.iter().enumerate() {
+                        cd[ci][cj] = dl[cl2 as usize];
+                    }
+                    let mut s = 0u64;
+                    for (l, &d) in dl.iter().enumerate() {
+                        if !ctx.is_cut_local[l] {
+                            s += d as u64;
+                        }
+                    }
+                    if !ctx.records.is_empty() {
+                        for (l, &gid) in ctx.verts.iter().enumerate() {
+                            gdist[gid as usize] = dl[l];
+                        }
+                        for &ri in ctx.records.iter().rev() {
+                            apply_record(&records[ri], gdist);
+                        }
+                        for &ri in &ctx.records {
+                            for x in records[ri].removed_nodes() {
+                                let d = gdist[x as usize];
+                                debug_assert_ne!(d, INFINITE_DIST);
+                                s += d as u64;
+                                gdist[x as usize] = INFINITE_DIST;
+                            }
+                        }
+                        for &gid in &ctx.verts {
+                            gdist[gid as usize] = INFINITE_DIST;
+                        }
+                    }
+                    sdo.push(s);
+                }
+                (sdo, cd)
+            },
+        )
+        .collect();
+
+    // ---- Step 3: the BCT sweep. ----
+    let cuts_of_block: Vec<Vec<u32>> = blocks.iter().map(|c| c.cut_globals.clone()).collect();
+    let sdo: Vec<Vec<u64>> = phase_a.iter().map(|(s, _)| s.clone()).collect();
+    let cutdist: Vec<Vec<Vec<u32>>> = phase_a.into_iter().map(|(_, c)| c).collect();
+    let own: Vec<u64> = blocks.iter().map(|c| c.own).collect();
+    let agg: Aggregates = sweep(
+        &bct,
+        &BlockLocalSums {
+            cuts_of_block: &cuts_of_block,
+            sdo: &sdo,
+            cutdist: &cutdist,
+            own: &own,
+            cut_mult: &cut_mult,
+        },
+    );
+    #[cfg(debug_assertions)]
+    for (b, own_b) in own.iter().enumerate() {
+        debug_assert_eq!(
+            own_b + agg.w[b].iter().sum::<u64>(),
+            n as u64,
+            "weight partition broken at block {b}"
+        );
+    }
+
+    // ---- Phase B: block-local BFS from every sampled source (Step 2). ----
+    let mut acc = vec![0u64; n]; // intra partial sums (non-cut sources)
+    let mut inter = vec![0u64; n]; // exact inter-block mass (cut sources)
+    let mut exact = vec![0u64; n]; // per-source exact farness
+    let acc_a: &[AtomicU64] = atomic_view(&mut acc);
+    let inter_a: &[AtomicU64] = atomic_view(&mut inter);
+    let exact_a: &[AtomicU64] = atomic_view(&mut exact);
+
+    let tasks: Vec<(u32, u32)> = blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(b, ctx)| {
+            (0..ctx.sources_local.len() as u32).map(move |si| (b as u32, si))
+        })
+        .collect();
+
+    tasks.par_iter().for_each_init(
+        || (DialBfs::new(64), vec![INFINITE_DIST; n]),
+        |(bfs, gdist), &(b, si)| {
+            let ctx = &blocks[b as usize];
+            let sl = ctx.sources_local[si as usize];
+            let s_global = ctx.verts[sl as usize];
+            let is_cut_source = ctx.is_cut_local[sl as usize];
+            bfs.run_with(&ctx.graph, ctx.weights.as_deref(), sl, |_, _| {});
+            let dl = &bfs.distances()[..ctx.verts.len()];
+            // Cut-source constants for the inter terms of this source.
+            let (dc, wc) = if is_cut_source {
+                let j = ctx.cut_locals.iter().position(|&l| l == sl).unwrap();
+                (agg.d[b as usize][j], agg.w[b as usize][j])
+            } else {
+                (0, 0)
+            };
+
+            let mut own_sum = 0u64;
+            for (l, &d) in dl.iter().enumerate() {
+                if ctx.is_cut_local[l] {
+                    continue;
+                }
+                let gid = ctx.verts[l] as usize;
+                let d = d as u64;
+                own_sum += d;
+                if is_cut_source {
+                    inter_a[gid].fetch_add(dc + wc * d, Ordering::Relaxed);
+                } else if d > 0 {
+                    acc_a[gid].fetch_add(d, Ordering::Relaxed);
+                }
+            }
+            if !ctx.records.is_empty() {
+                for (l, &gid) in ctx.verts.iter().enumerate() {
+                    gdist[gid as usize] = dl[l];
+                }
+                for &ri in ctx.records.iter().rev() {
+                    apply_record(&records[ri], gdist);
+                }
+                for &ri in &ctx.records {
+                    for x in records[ri].removed_nodes() {
+                        let d = gdist[x as usize] as u64;
+                        own_sum += d;
+                        if is_cut_source {
+                            inter_a[x as usize].fetch_add(dc + wc * d, Ordering::Relaxed);
+                        } else {
+                            acc_a[x as usize].fetch_add(d, Ordering::Relaxed);
+                        }
+                        gdist[x as usize] = INFINITE_DIST;
+                    }
+                }
+                for &gid in &ctx.verts {
+                    gdist[gid as usize] = INFINITE_DIST;
+                }
+            }
+            // Inter part of this source's own (exact) farness.
+            let mut inter_part = 0u64;
+            for (j, &cl) in ctx.cut_locals.iter().enumerate() {
+                if cl == sl {
+                    continue; // a cut vertex skips its own subtree term
+                }
+                inter_part +=
+                    agg.d[b as usize][j] + agg.w[b as usize][j] * dl[cl as usize] as u64;
+            }
+            exact_a[s_global as usize].fetch_add(own_sum + inter_part, Ordering::Relaxed);
+        },
+    );
+
+    // ---- Step 4: assemble farness values. ----
+    let mut sampled = vec![false; n];
+    for ctx in &blocks {
+        for &sl in &ctx.sources_local {
+            sampled[ctx.verts[sl as usize] as usize] = true;
+        }
+    }
+    let num_sources = sampled.iter().filter(|&&s| s).count();
+
+    // Scaled view: expand the intra partial sum per home block by
+    // `own(B) / k_B`, then de-bias with the block's structural-offset mass —
+    // sources are all survivors, so the raw sums systematically miss the
+    // extra hops removed vertices sit beyond their anchors (DESIGN.md §5).
+    let factor_of_block: Vec<f64> = blocks
+        .iter()
+        .map(|ctx| {
+            if ctx.k_noncut == 0 {
+                1.0
+            } else {
+                (ctx.own as f64) / (ctx.k_noncut as f64)
+            }
+        })
+        .collect();
+    let offsets = brics_reduce::structural_offsets(records, n);
+    let mut offset_of_block = vec![0u64; nb];
+    for v in 0..n {
+        if red.removed[v] && twin_rep[v].is_none() {
+            offset_of_block[homing.vertex_home[v] as usize] += offsets[v] as u64;
+        }
+    }
+    let mut raw = vec![0u64; n];
+    let mut scaled = vec![0f64; n];
+    for v in 0..n {
+        if twin_rep[v].is_some() {
+            continue; // copied from the rep below
+        }
+        if sampled[v] {
+            raw[v] = exact[v];
+            if let Some(ci) = bct.cut_index_of(v as NodeId) {
+                // The rep sees each of its own twins at distance exactly 2.
+                raw[v] += 2 * (cut_mult[ci as usize] - 1);
+            }
+            scaled[v] = raw[v] as f64;
+        } else {
+            raw[v] = acc[v] + inter[v];
+            let b = if red.removed[v] {
+                homing.vertex_home[v]
+            } else {
+                bct.block_of(v as NodeId).expect("non-cut survivor must have a block")
+            } as usize;
+            scaled[v] = inter[v] as f64
+                + acc[v] as f64 * factor_of_block[b]
+                + offset_of_block[b] as f64;
+        }
+    }
+    for v in 0..n {
+        if let Some(rep) = twin_rep[v] {
+            raw[v] = raw[rep as usize];
+            scaled[v] = scaled[rep as usize];
+        }
+    }
+    // Coverage: sampled vertices (and twins of sampled cut reps) saw all
+    // n-1 others; everyone else saw the exact inter-block mass (n - own(B))
+    // plus their block's non-cut sources.
+    let mut coverage = vec![0u32; n];
+    for v in 0..n {
+        if sampled[v] || twin_rep[v].is_some() {
+            coverage[v] = (n - 1) as u32;
+        } else {
+            let b = if red.removed[v] {
+                homing.vertex_home[v]
+            } else {
+                bct.block_of(v as NodeId).expect("non-cut survivor must have a block")
+            } as usize;
+            coverage[v] = (n as u64 - blocks[b].own + blocks[b].k_noncut as u64) as u32;
+        }
+    }
+    Ok(FarnessEstimate::new(raw, scaled, sampled, coverage, num_sources, start.elapsed()))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by vertex id
+mod tests {
+    use super::*;
+    use crate::exact_farness;
+    use brics_graph::generators::{
+        caterpillar, community_like, cycle_graph, gnm_random_connected, lollipop, path_graph,
+        road_like, social_like, star_graph, web_like, ClassParams,
+    };
+    use brics_graph::traversal::bfs_distances;
+
+    /// At a 100 % sampling rate every survivor's estimate must be exact,
+    /// and every removed vertex must satisfy
+    /// `est(x) + Σ_{y removed, home(y) = home(x)} d(x, y) == exact(x)`:
+    /// removed vertices are never BFS sources, so a removed vertex misses
+    /// exactly its distances to the removed vertices of its *own* home
+    /// block (other blocks' removed vertices flow in exactly through the
+    /// BCT weights) — the same semantics as the paper's Facts III.3/III.4.
+    fn assert_full_sampling_semantics(g: &CsrGraph, reductions: &ReductionConfig, seed: u64) {
+        let n = g.num_nodes();
+        let exact = exact_farness(g).unwrap();
+        let est = cumulative_estimate(g, reductions, SampleSize::Fraction(1.0), seed).unwrap();
+        let red = reduce(g, reductions);
+        // Recreate the homing the engine used (same deterministic inputs).
+        let mut bi = biconnected_components(&red.graph);
+        bi.blocks
+            .retain(|b| !b.edges.is_empty() || !red.removed[b.vertices[0] as usize]);
+        let bct = BlockCutTree::from_biconnectivity(n, bi);
+        let homing = home_records(&red, &bct);
+        let removed: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| red.removed[v as usize]).collect();
+        // Identical twins of surviving cut vertices are assembled by copying
+        // the rep's (exact) estimate; identify them the way the engine does.
+        let is_cut_twin = |v: usize| -> bool {
+            red.records.iter().any(|r| match r {
+                Removal::Identical { node, rep } => {
+                    *node as usize == v
+                        && !red.removed[*rep as usize]
+                        && bct.cut_index_of(*rep).is_some()
+                }
+                _ => false,
+            })
+        };
+        for v in 0..n {
+            if !red.removed[v] {
+                assert_eq!(
+                    est.raw()[v], exact[v],
+                    "survivor {v} (cut or sampled) inexact at 100% sampling"
+                );
+            } else if is_cut_twin(v) {
+                assert_eq!(est.raw()[v], exact[v], "cut twin {v} must copy its rep");
+            } else {
+                let d = bfs_distances(g, v as NodeId);
+                let home = homing.vertex_home[v];
+                let same_home_mass: u64 = removed
+                    .iter()
+                    .filter(|&&y| {
+                        homing.vertex_home[y as usize] == home && !is_cut_twin(y as usize)
+                    })
+                    .map(|&y| d[y as usize] as u64)
+                    .sum();
+                assert_eq!(
+                    est.raw()[v] + same_home_mass,
+                    exact[v],
+                    "removed vertex {v} off by more than same-home removed mass"
+                );
+                assert!(est.raw()[v] <= exact[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_on_structured_graphs() {
+        for g in [
+            path_graph(12),
+            cycle_graph(9),
+            star_graph(11),
+            lollipop(5, 4),
+            caterpillar(7, 2),
+        ] {
+            assert_full_sampling_semantics(&g, &ReductionConfig::all(), 3);
+            assert_full_sampling_semantics(&g, &ReductionConfig::none(), 3);
+        }
+    }
+
+    #[test]
+    fn exactness_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnm_random_connected(50, 65 + (seed as usize * 7) % 40, seed);
+            assert_full_sampling_semantics(&g, &ReductionConfig::all(), seed);
+        }
+    }
+
+    #[test]
+    fn exactness_without_reductions_pure_bcc() {
+        // Isolates the BCT machinery: no removals, all vertices survive.
+        for seed in 0..6 {
+            let g = gnm_random_connected(40, 46, 50 + seed);
+            let exact = exact_farness(&g).unwrap();
+            let est =
+                cumulative_estimate(&g, &ReductionConfig::none(), SampleSize::Fraction(1.0), 1)
+                    .unwrap();
+            assert_eq!(est.raw(), exact.as_slice(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exactness_on_class_graphs() {
+        let params = ClassParams::new(300, 17);
+        for g in [
+            web_like(params),
+            social_like(params),
+            community_like(params),
+            road_like(params),
+        ] {
+            assert_full_sampling_semantics(&g, &ReductionConfig::all(), 5);
+        }
+    }
+
+    #[test]
+    fn partial_sampling_bounds() {
+        let g = community_like(ClassParams::new(400, 3));
+        let exact = exact_farness(&g).unwrap();
+        let est =
+            cumulative_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(0.3), 11)
+                .unwrap();
+        for v in 0..g.num_nodes() {
+            assert!(
+                est.raw()[v] <= exact[v],
+                "estimate exceeds exact at {v}: {} > {}",
+                est.raw()[v],
+                exact[v]
+            );
+            if est.is_sampled(v as u32) && !reduce(&g, &ReductionConfig::all()).removed[v] {
+                assert_eq!(est.raw()[v], exact[v], "sampled vertex {v} not exact");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_vertices_always_sampled_and_exact() {
+        let g = lollipop(6, 5);
+        let exact = exact_farness(&g).unwrap();
+        // Tiny sampling rate: only cut vertices are forced in.
+        let est = cumulative_estimate(
+            &g,
+            &ReductionConfig::none(),
+            SampleSize::Count(1),
+            2,
+        )
+        .unwrap();
+        let bct = BlockCutTree::build(&g);
+        for &c in bct.cut_vertices() {
+            assert!(est.is_sampled(c), "cut {c} not sampled");
+            assert_eq!(est.raw()[c as usize], exact[c as usize], "cut {c} inexact");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = social_like(ClassParams::new(300, 9));
+        let a = cumulative_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(0.25), 4)
+            .unwrap();
+        let b = cumulative_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(0.25), 4)
+            .unwrap();
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(a.sampled_mask(), b.sampled_mask());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = GraphBuilder::new(1).build();
+        let est =
+            cumulative_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(1.0), 0)
+                .unwrap();
+        assert_eq!(est.raw(), &[0]);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let r = cumulative_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(1.0), 0);
+        assert!(matches!(r, Err(CentralityError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn inter_block_mass_is_exact_even_at_tiny_rates() {
+        // A path of blocks: farness of any vertex is dominated by
+        // inter-block mass, which must be exact regardless of sampling.
+        let g = path_graph(40);
+        let exact = exact_farness(&g).unwrap();
+        let est =
+            cumulative_estimate(&g, &ReductionConfig::none(), SampleSize::Count(1), 0).unwrap();
+        // In a path every interior vertex is a cut vertex → sampled → exact;
+        // ends are in bridge blocks whose only non-cut vertex they are.
+        for v in 0..40 {
+            assert!(est.raw()[v] <= exact[v]);
+        }
+        let exact_hits = (0..40).filter(|&v| est.raw()[v] == exact[v]).count();
+        assert!(exact_hits >= 38, "only {exact_hits}/40 exact");
+    }
+}

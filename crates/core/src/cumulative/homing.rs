@@ -1,0 +1,192 @@
+//! Assigning removal records to blocks (paper Algorithm 5, Step 1).
+//!
+//! Each removal record must be replayed inside exactly one block so that
+//! (a) block-local BFS runs can reconstruct the removed vertices' distances
+//! and (b) the removed vertices are counted in exactly one block's weight.
+//!
+//! A record's anchors (the surviving vertices its reconstruction reads)
+//! determine the candidate blocks; processing records in reverse removal
+//! order resolves anchors that were themselves removed by a *later* pass to
+//! the block that record was homed to. The paper's Facts III.2 and III.6
+//! make identical and redundant records block-consistent in the common
+//! case; Fact III.5 notes parallel chains may straddle two blocks of the
+//! reduced graph. Such records are reported in
+//! [`Homing::cross_records`] and the engine *restores* them into the
+//! reduced graph (restoration merges the straddled blocks, so the loop
+//! converges), keeping the whole pipeline lossless — where the paper simply
+//! "leaves those chains" (Algorithm 5, Step 1).
+
+use brics_bicc::BlockCutTree;
+use brics_graph::NodeId;
+use brics_reduce::ReductionResult;
+
+/// Result of homing every record.
+#[derive(Clone, Debug)]
+pub(crate) struct Homing {
+    /// `record_home[i]` — block id record `i` is replayed in.
+    #[allow(dead_code)] // diagnostic surface; block_records is the hot path
+    pub record_home: Vec<u32>,
+    /// Record indices per block, ascending (replay them in reverse).
+    pub block_records: Vec<Vec<usize>>,
+    /// Home block per removed vertex (`u32::MAX` for survivors).
+    pub vertex_home: Vec<u32>,
+    /// Indices of records whose anchors straddled blocks (paper Fact III.5).
+    /// The engine *restores* these into the reduced graph and re-homes, so
+    /// after its fixpoint this is always empty; exposed for that loop.
+    pub cross_records: Vec<usize>,
+}
+
+/// Candidate blocks of a surviving anchor.
+fn candidate_blocks(bct: &BlockCutTree, v: NodeId) -> Vec<u32> {
+    bct.blocks_of(v)
+}
+
+/// Homes every record of `red` against the Block-Cut Tree of its reduced
+/// graph.
+pub(crate) fn home_records(red: &ReductionResult, bct: &BlockCutTree) -> Homing {
+    let n = red.removed.len();
+    let num_records = red.records.len();
+    let mut record_home = vec![u32::MAX; num_records];
+    let mut vertex_home = vec![u32::MAX; n];
+    let mut cross = Vec::new();
+
+    for (i, rec) in red.records.iter().enumerate().rev() {
+        let anchors = rec.anchors();
+        // Candidate set per anchor; `None` encodes "no constraint" never
+        // happens (every record has ≥1 anchor).
+        let mut inter: Option<Vec<u32>> = None;
+        let mut first_choice: Option<u32> = None;
+        for &a in &anchors {
+            let cand: Vec<u32> = if red.removed[a as usize] {
+                // Removed anchor ⇒ removed by a *later* record (an anchor is
+                // alive at its record's removal time), already homed.
+                debug_assert_ne!(vertex_home[a as usize], u32::MAX, "anchor {a} unhomed");
+                vec![vertex_home[a as usize]]
+            } else {
+                candidate_blocks(bct, a)
+            };
+            if first_choice.is_none() {
+                first_choice = cand.first().copied();
+            }
+            inter = Some(match inter {
+                None => cand,
+                Some(prev) => prev.into_iter().filter(|b| cand.contains(b)).collect(),
+            });
+        }
+        let inter = inter.unwrap_or_default();
+        let home = match inter.iter().min() {
+            Some(&b) => b,
+            None => {
+                cross.push(i);
+                first_choice.expect("record with no anchors")
+            }
+        };
+        record_home[i] = home;
+        for x in rec.removed_nodes() {
+            vertex_home[x as usize] = home;
+        }
+    }
+
+    let mut block_records = vec![Vec::new(); bct.num_blocks()];
+    for (i, &h) in record_home.iter().enumerate() {
+        block_records[h as usize].push(i);
+    }
+    cross.reverse(); // ascending record order
+    Homing { record_home, block_records, vertex_home, cross_records: cross }
+}
+
+/// Validates a homing against its inputs (used by tests): every removed
+/// vertex homed, survivors unhomed, record lists ascending and complete.
+#[cfg(test)]
+pub(crate) fn validate_homing(red: &ReductionResult, bct: &BlockCutTree, h: &Homing) {
+    for (v, &removed) in red.removed.iter().enumerate() {
+        if removed {
+            assert_ne!(h.vertex_home[v], u32::MAX, "removed vertex {v} unhomed");
+            assert!((h.vertex_home[v] as usize) < bct.num_blocks());
+        } else {
+            assert_eq!(h.vertex_home[v], u32::MAX, "survivor {v} homed");
+        }
+    }
+    let total: usize = h.block_records.iter().map(Vec::len).sum();
+    assert_eq!(total, red.records.len());
+    for list in &h.block_records {
+        assert!(list.windows(2).all(|w| w[0] < w[1]));
+    }
+    for (rec, &home) in red.records.iter().zip(&h.record_home) {
+        let _ = (rec, home);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_bicc::biconnected_components;
+    use brics_graph::generators::{caterpillar, gnm_random_connected, lollipop, star_graph};
+    use brics_graph::CsrGraph;
+    use brics_reduce::{reduce, ReductionConfig};
+
+    fn bct_of(red: &ReductionResult) -> BlockCutTree {
+        let mut bi = biconnected_components(&red.graph);
+        bi.blocks
+            .retain(|b| !b.edges.is_empty() || !red.removed[b.vertices[0] as usize]);
+        BlockCutTree::from_biconnectivity(red.graph.num_nodes(), bi)
+    }
+
+    fn check(g: &CsrGraph) -> Homing {
+        let red = reduce(g, &ReductionConfig::all());
+        let bct = bct_of(&red);
+        let h = home_records(&red, &bct);
+        validate_homing(&red, &bct, &h);
+        h
+    }
+
+    #[test]
+    fn star_homes_everything_to_single_block() {
+        let h = check(&star_graph(10));
+        assert!(h.block_records.iter().filter(|l| !l.is_empty()).count() <= 1);
+        assert_eq!(h.cross_records.len(), 0);
+    }
+
+    #[test]
+    fn lollipop_homing() {
+        // K5 + tail: tail is a pendant chain homed to a block containing
+        // its anchor.
+        let h = check(&lollipop(5, 4));
+        assert_eq!(h.cross_records.len(), 0);
+    }
+
+    #[test]
+    fn caterpillar_homing() {
+        let h = check(&caterpillar(8, 2));
+        assert_eq!(h.cross_records.len(), 0);
+    }
+
+    #[test]
+    fn random_graphs_home_cleanly() {
+        for seed in 0..10 {
+            let g = gnm_random_connected(60, 90, seed);
+            let h = check(&g);
+            // Cross-block chains are possible but rare in these graphs.
+            assert!(h.cross_records.len() <= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chained_identical_to_pendant_dependency() {
+        // Leaves 1..=4 on hub 0, plus an anchor edge 0-5-6 triangle to keep
+        // a block: identical pass keeps leaf 1, chain pass removes it;
+        // identical records' anchor (leaf 1) is removed later and must
+        // resolve through its own home.
+        let g = brics_graph::GraphBuilder::from_edges(
+            7,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 0)],
+        );
+        let red = reduce(&g, &ReductionConfig::all());
+        let bct = bct_of(&red);
+        let h = home_records(&red, &bct);
+        validate_homing(&red, &bct, &h);
+        // All removed leaves share one home (the block of hub 0).
+        let homes: Vec<u32> = (1..=4).map(|v| h.vertex_home[v]).collect();
+        assert!(homes.iter().all(|&b| b == homes[0]));
+    }
+}

@@ -1,0 +1,368 @@
+//! Dynamic farness estimation under edge insertions — the paper's stated
+//! future work ("Extension of this problem to dynamic setting is an
+//! interesting study", §V), built here as an extension.
+//!
+//! The estimator keeps the sampled sources' full distance arrays
+//! (`O(k·n)` memory). Inserting an edge can only *shrink* distances, so
+//! each source's array is repaired incrementally: seed a BFS wave at the
+//! endpoint whose distance improved and relax outward, touching only the
+//! vertices whose distance actually changes (Ramalingam–Reps style).
+//! Farness sums are updated by the deltas, so a batch of insertions costs
+//! time proportional to the distances it changes rather than to a full
+//! re-estimation.
+//!
+//! Edge *deletions* can grow distances, which this structure does not
+//! repair incrementally; [`DynamicFarness::rebuild`] re-estimates from
+//! scratch (same sources) for that case.
+//!
+//! Reductions are deliberately not composed with dynamism: an insertion
+//! can invalidate identical/chain/redundant classifications arbitrarily,
+//! so the dynamic estimator builds on the random-sampling baseline
+//! (paper Algorithm 1) semantics.
+
+use crate::config::SampleSize;
+use crate::sampling::draw_sources;
+use crate::{CentralityError, FarnessEstimate};
+use brics_graph::traversal::Bfs;
+use brics_graph::{CsrGraph, Dist, GraphBuilder, NodeId, INFINITE_DIST};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Farness estimates maintained under edge insertions.
+#[derive(Clone, Debug)]
+pub struct DynamicFarness {
+    /// Mutable adjacency (sorted neighbour lists).
+    adj: Vec<Vec<NodeId>>,
+    /// Number of undirected edges.
+    num_edges: usize,
+    /// The sampled BFS sources (fixed for the structure's lifetime).
+    sources: Vec<NodeId>,
+    /// Per-source distance rows, kept exact under insertions.
+    rows: Vec<Vec<Dist>>,
+    /// `acc[v] = Σ_s d(s, v)` — the partial farness of every vertex.
+    acc: Vec<u64>,
+    /// `Σ_x d(s, x)` per source — the exact farness of each source.
+    source_sum: Vec<u64>,
+    /// Sampled mask.
+    sampled: Vec<bool>,
+}
+
+impl DynamicFarness {
+    /// Builds the structure on a connected graph, sampling `sample` sources
+    /// with `seed` (paper Algorithm 1 semantics).
+    pub fn new(g: &CsrGraph, sample: SampleSize, seed: u64) -> Result<Self, CentralityError> {
+        let n = g.num_nodes();
+        if n == 0 {
+            return Err(CentralityError::EmptyGraph);
+        }
+        let k = sample.resolve(n);
+        if k == 0 {
+            return Err(CentralityError::NoSamples);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources = draw_sources(n, k, &mut rng);
+        let rows: Vec<Vec<Dist>> = sources
+            .par_iter()
+            .map_init(
+                || Bfs::new(n),
+                |bfs, &s| bfs.run(g, s)[..n].to_vec(),
+            )
+            .collect();
+        if rows.iter().any(|r| r.contains(&INFINITE_DIST)) {
+            let comps = brics_graph::connectivity::connected_components(g).count();
+            return Err(CentralityError::Disconnected { components: comps });
+        }
+        let mut acc = vec![0u64; n];
+        let mut source_sum = vec![0u64; sources.len()];
+        for (si, row) in rows.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                acc[v] += d as u64;
+                source_sum[si] += d as u64;
+            }
+        }
+        let mut sampled = vec![false; n];
+        for &s in &sources {
+            sampled[s as usize] = true;
+        }
+        Ok(Self {
+            adj: g.nodes().map(|v| g.neighbors(v).to_vec()).collect(),
+            num_edges: g.num_edges(),
+            sources,
+            rows,
+            acc,
+            source_sum,
+            sampled,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges (current).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The fixed sampled sources.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Inserts the undirected edge `{u, v}` and repairs every source's
+    /// distances incrementally. Returns the total number of (source,
+    /// vertex) distance entries that improved. Inserting an existing edge
+    /// or a self-loop is a no-op returning 0.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> usize {
+        let n = self.adj.len();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+        if u == v {
+            return 0;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return 0,
+            Err(pos) => self.adj[u as usize].insert(pos, v),
+        }
+        let pos = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pos, u);
+        self.num_edges += 1;
+
+        // Repair every source row in parallel; each worker owns its row and
+        // returns the per-vertex deltas it applied.
+        let adj = &self.adj;
+        let deltas: Vec<Vec<(NodeId, u32)>> = self
+            .rows
+            .par_iter_mut()
+            .map(|row| repair_row(adj, row, u, v))
+            .collect();
+        let mut improved_entries = 0usize;
+        for (si, delta) in deltas.iter().enumerate() {
+            for &(x, by) in delta {
+                self.acc[x as usize] -= by as u64;
+                self.source_sum[si] -= by as u64;
+                improved_entries += 1;
+            }
+        }
+        improved_entries
+    }
+
+    /// Current estimate in the baseline's semantics: sources exact,
+    /// everyone else the partial sum over sources.
+    pub fn estimate(&self) -> FarnessEstimate {
+        let start = Instant::now();
+        let n = self.adj.len();
+        let k = self.sources.len();
+        let mut raw = self.acc.clone();
+        for (si, &s) in self.sources.iter().enumerate() {
+            raw[s as usize] = self.source_sum[si];
+        }
+        let factor = (n as f64 - 1.0) / k as f64;
+        let scaled: Vec<f64> = raw
+            .iter()
+            .zip(&self.sampled)
+            .map(|(&x, &is_src)| if is_src { x as f64 } else { x as f64 * factor })
+            .collect();
+        let coverage: Vec<u32> = self
+            .sampled
+            .iter()
+            .map(|&s| if s { (n - 1) as u32 } else { k as u32 })
+            .collect();
+        FarnessEstimate::new(raw, scaled, self.sampled.clone(), coverage, k, start.elapsed())
+    }
+
+    /// The current graph as CSR (rebuilt on demand).
+    pub fn graph(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.adj.len(), self.num_edges);
+        for (x, nbrs) in self.adj.iter().enumerate() {
+            for &y in nbrs {
+                if (x as NodeId) < y {
+                    b.add_edge(x as NodeId, y);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Full re-estimation with the same sources (the deletion fallback).
+    pub fn rebuild(&mut self) {
+        let g = self.graph();
+        let n = g.num_nodes();
+        let rows: Vec<Vec<Dist>> = self
+            .sources
+            .par_iter()
+            .map_init(
+                || Bfs::new(n),
+                |bfs, &s| bfs.run(&g, s)[..n].to_vec(),
+            )
+            .collect();
+        self.acc = vec![0u64; n];
+        self.source_sum = vec![0u64; self.sources.len()];
+        for (si, row) in rows.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                self.acc[v] += d as u64;
+                self.source_sum[si] += d as u64;
+            }
+        }
+        self.rows = rows;
+    }
+}
+
+/// Repairs one source row after inserting `{u, v}`: relaxes outward from
+/// whichever endpoint got closer, touching only improved vertices.
+/// Returns the `(vertex, improvement)` list.
+fn repair_row(adj: &[Vec<NodeId>], row: &mut [Dist], u: NodeId, v: NodeId) -> Vec<(NodeId, u32)> {
+    let (du, dv) = (row[u as usize], row[v as usize]);
+    // The edge helps only if it shortcuts one endpoint through the other.
+    let start = if du + 1 < dv {
+        v
+    } else if dv + 1 < du {
+        u
+    } else {
+        return Vec::new();
+    };
+    let mut deltas = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let improved_to = row[u as usize].min(row[v as usize]) + 1;
+    deltas.push((start, row[start as usize] - improved_to));
+    row[start as usize] = improved_to;
+    queue.push_back(start);
+    while let Some(x) = queue.pop_front() {
+        let dx = row[x as usize];
+        for &y in &adj[x as usize] {
+            if dx + 1 < row[y as usize] {
+                deltas.push((y, row[y as usize] - (dx + 1)));
+                row[y as usize] = dx + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::random_sampling;
+    use brics_graph::generators::{cycle_graph, gnm_random_connected, path_graph};
+    use rand::Rng;
+
+    /// Oracle: after any insertions, the dynamic estimate must equal a
+    /// from-scratch estimation with the *same* sources on the new graph.
+    fn assert_matches_scratch(dyn_f: &DynamicFarness) {
+        let g = dyn_f.graph();
+        let n = g.num_nodes();
+        let mut bfs = Bfs::new(n);
+        let mut acc = vec![0u64; n];
+        let mut sums = Vec::new();
+        for &s in dyn_f.sources() {
+            let (_, sum) = bfs.run_with(&g, s, |x, d| acc[x as usize] += d as u64);
+            sums.push(sum);
+        }
+        let est = dyn_f.estimate();
+        for v in 0..n {
+            let expect = if est.is_sampled(v as u32) {
+                sums[dyn_f.sources().iter().position(|&s| s == v as u32).unwrap()]
+            } else {
+                acc[v]
+            };
+            assert_eq!(est.raw()[v], expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn single_insertion_on_path() {
+        // Path 0..9, then close it into a cycle: distances shrink a lot.
+        let g = path_graph(10);
+        let mut d = DynamicFarness::new(&g, SampleSize::Fraction(1.0), 3).unwrap();
+        let improved = d.insert_edge(0, 9);
+        assert!(improved > 0);
+        assert_eq!(d.num_edges(), 10);
+        assert_matches_scratch(&d);
+        // Now matches the cycle's exact farness everywhere (all sampled).
+        let exact = crate::exact_farness(&cycle_graph(10)).unwrap();
+        assert_eq!(d.estimate().raw(), exact.as_slice());
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_noops() {
+        let g = cycle_graph(6);
+        let mut d = DynamicFarness::new(&g, SampleSize::Fraction(0.5), 1).unwrap();
+        assert_eq!(d.insert_edge(0, 1), 0); // exists
+        assert_eq!(d.insert_edge(3, 3), 0); // self-loop
+        assert_eq!(d.num_edges(), 6);
+        assert_matches_scratch(&d);
+    }
+
+    #[test]
+    fn random_insertion_sequences_match_scratch() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..6 {
+            let g = gnm_random_connected(40, 50, trial);
+            let mut d = DynamicFarness::new(&g, SampleSize::Fraction(0.4), trial).unwrap();
+            for _ in 0..15 {
+                let u = rng.gen_range(0..40) as NodeId;
+                let v = rng.gen_range(0..40) as NodeId;
+                if u != v {
+                    d.insert_edge(u, v);
+                }
+            }
+            assert_matches_scratch(&d);
+        }
+    }
+
+    #[test]
+    fn estimate_agrees_with_static_sampling_before_updates() {
+        let g = gnm_random_connected(60, 80, 4);
+        let d = DynamicFarness::new(&g, SampleSize::Fraction(0.3), 11).unwrap();
+        let s = random_sampling(&g, SampleSize::Fraction(0.3), 11).unwrap();
+        assert_eq!(d.estimate().raw(), s.raw());
+        assert_eq!(d.estimate().sampled_mask(), s.sampled_mask());
+    }
+
+    #[test]
+    fn farness_never_increases_under_insertion() {
+        let g = gnm_random_connected(50, 60, 2);
+        let mut d = DynamicFarness::new(&g, SampleSize::Fraction(1.0), 5).unwrap();
+        let before = d.estimate().raw().to_vec();
+        d.insert_edge(0, 25);
+        d.insert_edge(10, 40);
+        let after = d.estimate().raw().to_vec();
+        for v in 0..50 {
+            assert!(after[v] <= before[v], "farness grew at {v}");
+        }
+    }
+
+    #[test]
+    fn rebuild_is_equivalent_to_incremental() {
+        let g = gnm_random_connected(45, 55, 8);
+        let mut a = DynamicFarness::new(&g, SampleSize::Fraction(0.5), 2).unwrap();
+        let mut b = a.clone();
+        for (u, v) in [(0u32, 22u32), (5, 33), (14, 40)] {
+            a.insert_edge(u, v);
+            b.insert_edge(u, v);
+        }
+        b.rebuild();
+        assert_eq!(a.estimate().raw(), b.estimate().raw());
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        let g = CsrGraph::empty();
+        assert!(DynamicFarness::new(&g, SampleSize::Count(1), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(
+            DynamicFarness::new(&g, SampleSize::Fraction(1.0), 0),
+            Err(CentralityError::Disconnected { .. })
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the estimators.
+
+use std::fmt;
+
+/// Errors returned by the farness estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CentralityError {
+    /// Farness is defined on connected graphs only (the paper preprocesses
+    /// datasets into connected form; see
+    /// `brics_graph::connectivity::make_connected`).
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// A sampling specification resolved to zero sources.
+    NoSamples,
+}
+
+impl fmt::Display for CentralityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CentralityError::Disconnected { components } => write!(
+                f,
+                "graph is disconnected ({components} components); farness requires a \
+                 connected graph — consider brics_graph::connectivity::make_connected"
+            ),
+            CentralityError::EmptyGraph => write!(f, "graph has no vertices"),
+            CentralityError::NoSamples => {
+                write!(f, "sampling specification resolved to zero BFS sources")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CentralityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = CentralityError::Disconnected { components: 3 };
+        assert!(e.to_string().contains("3 components"));
+        assert!(e.to_string().contains("make_connected"));
+        assert!(CentralityError::EmptyGraph.to_string().contains("no vertices"));
+        assert!(CentralityError::NoSamples.to_string().contains("zero"));
+    }
+}

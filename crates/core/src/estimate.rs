@@ -1,0 +1,186 @@
+//! The estimator output type.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Farness estimates for every vertex of a graph.
+///
+/// Estimates follow the paper's semantics (§II-A): a vertex that served as a
+/// BFS source has its farness computed *exactly*; any other vertex carries
+/// the partial sum of its distances to the sampled sources. The
+/// [`FarnessEstimate::scaled`] view additionally applies the
+/// Eppstein–Wang-style expansion `(population − 1) / samples` to the partial
+/// sums, an extension the paper does not use but which makes estimates
+/// magnitude-comparable with exact values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FarnessEstimate {
+    /// Raw estimate per vertex (paper semantics; unscaled partial sums).
+    raw: Vec<u64>,
+    /// Scaled estimate per vertex.
+    scaled: Vec<f64>,
+    /// Whether each vertex was a BFS source (its raw value is then exact;
+    /// in the cumulative method removed/reconstructed vertices are never
+    /// sources but cut vertices always are).
+    sampled: Vec<bool>,
+    /// How many of the other `n - 1` vertices contributed distance mass to
+    /// each vertex's raw value (`n - 1` ⇒ the raw value is exact). Every
+    /// uncovered vertex is at distance ≥ 1, which makes
+    /// [`FarnessEstimate::lower_bounds`] sound.
+    coverage: Vec<u32>,
+    /// Total number of BFS sources used.
+    num_sources: usize,
+    /// Wall-clock time of the estimation run.
+    elapsed: Duration,
+}
+
+impl FarnessEstimate {
+    /// Assembles an estimate. `scaled` may equal the raw values cast to
+    /// `f64` when an estimator does not support expansion.
+    pub(crate) fn new(
+        raw: Vec<u64>,
+        scaled: Vec<f64>,
+        sampled: Vec<bool>,
+        coverage: Vec<u32>,
+        num_sources: usize,
+        elapsed: Duration,
+    ) -> Self {
+        debug_assert_eq!(raw.len(), scaled.len());
+        debug_assert_eq!(raw.len(), sampled.len());
+        debug_assert_eq!(raw.len(), coverage.len());
+        Self { raw, scaled, sampled, coverage, num_sources, elapsed }
+    }
+
+    /// Raw farness estimates (paper semantics).
+    pub fn raw(&self) -> &[u64] {
+        &self.raw
+    }
+
+    /// Scaled farness estimates.
+    pub fn scaled(&self) -> &[f64] {
+        &self.scaled
+    }
+
+    /// Whether vertex `v` was a BFS source (estimate is exact).
+    pub fn is_sampled(&self, v: u32) -> bool {
+        self.sampled[v as usize]
+    }
+
+    /// Per-vertex sampled mask.
+    pub fn sampled_mask(&self) -> &[bool] {
+        &self.sampled
+    }
+
+    /// Per-vertex coverage: how many of the other vertices contributed
+    /// distance mass to the raw value (`n - 1` ⇒ exact).
+    pub fn coverage(&self) -> &[u32] {
+        &self.coverage
+    }
+
+    /// Sound per-vertex **lower bounds** on the true farness:
+    /// `raw(v) + (n − 1 − coverage(v))` — the raw partial sum plus one hop
+    /// for every vertex it has not seen. Exact for fully-covered vertices.
+    /// These bounds drive the exact top-k pruning in [`crate::topk`].
+    pub fn lower_bounds(&self) -> Vec<u64> {
+        let n = self.raw.len() as u64;
+        self.raw
+            .iter()
+            .zip(&self.coverage)
+            .map(|(&r, &c)| r + (n - 1).saturating_sub(c as u64))
+            .collect()
+    }
+
+    /// Number of BFS sources used.
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Wall-clock estimation time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the estimate covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Closeness view of the raw estimates: `1 / farness`, with `0.0` for
+    /// vertices of farness 0 (single-vertex graphs).
+    pub fn closeness(&self) -> Vec<f64> {
+        self.raw
+            .iter()
+            .map(|&f| if f == 0 { 0.0 } else { 1.0 / f as f64 })
+            .collect()
+    }
+
+    /// The `k` vertices with smallest raw farness (highest closeness),
+    /// ties broken by vertex id.
+    pub fn top_k_central(&self, k: usize) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.raw.len() as u32).collect();
+        idx.sort_by_key(|&v| (self.raw[v as usize], v));
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(raw: Vec<u64>) -> FarnessEstimate {
+        let scaled = raw.iter().map(|&x| x as f64).collect();
+        let n = raw.len();
+        FarnessEstimate::new(raw, scaled, vec![false; n], vec![0; n], 0, Duration::ZERO)
+    }
+
+    #[test]
+    fn lower_bounds_add_uncovered_hops() {
+        // n = 3; vertex 0 fully covered (exact), vertex 1 saw 1 of 2 others.
+        let e = FarnessEstimate::new(
+            vec![10, 4, 0],
+            vec![10.0, 4.0, 0.0],
+            vec![true, false, false],
+            vec![2, 1, 0],
+            1,
+            Duration::ZERO,
+        );
+        assert_eq!(e.lower_bounds(), vec![10, 5, 2]);
+    }
+
+    #[test]
+    fn closeness_inverts() {
+        let e = est(vec![4, 2, 0]);
+        assert_eq!(e.closeness(), vec![0.25, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn top_k_orders_by_farness() {
+        let e = est(vec![9, 3, 7, 3]);
+        assert_eq!(e.top_k_central(3), vec![1, 3, 2]);
+        assert_eq!(e.top_k_central(0), Vec::<u32>::new());
+        assert_eq!(e.top_k_central(10).len(), 4);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = FarnessEstimate::new(
+            vec![1, 2],
+            vec![1.0, 2.0],
+            vec![true, false],
+            vec![1, 1],
+            1,
+            Duration::from_millis(5),
+        );
+        assert!(e.is_sampled(0));
+        assert!(!e.is_sampled(1));
+        assert_eq!(e.num_sources(), 1);
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.elapsed(), Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact farness: one BFS per vertex, parallel over sources.
+//!
+//! Ground truth for every quality measurement in the paper's evaluation
+//! (the `farness_actual(v)` of §IV-C1). `O(n·(n+m))` — use on graphs small
+//! enough that this is affordable; the estimators exist for everything else.
+
+use crate::CentralityError;
+use brics_graph::traversal::Bfs;
+use brics_graph::{CsrGraph, NodeId};
+use rayon::prelude::*;
+
+/// Computes the exact farness of every vertex.
+///
+/// Returns [`CentralityError::Disconnected`] if any BFS fails to reach the
+/// whole graph, and [`CentralityError::EmptyGraph`] for an empty input.
+pub fn exact_farness(g: &CsrGraph) -> Result<Vec<u64>, CentralityError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    let rows: Vec<(usize, u64)> = (0..n as NodeId)
+        .into_par_iter()
+        .map_init(|| Bfs::new(n), |bfs, s| bfs.run_with(g, s, |_, _| {}))
+        .collect();
+    if let Some((_, _)) = rows.iter().find(|&&(reached, _)| reached != n) {
+        let comps = brics_graph::connectivity::connected_components(g).count();
+        return Err(CentralityError::Disconnected { components: comps });
+    }
+    Ok(rows.into_iter().map(|(_, sum)| sum).collect())
+}
+
+/// Exact closeness: `1 / farness` (`0.0` where farness is 0, i.e. `n = 1`).
+pub fn exact_closeness(g: &CsrGraph) -> Result<Vec<f64>, CentralityError> {
+    Ok(exact_farness(g)?
+        .into_iter()
+        .map(|f| if f == 0 { 0.0 } else { 1.0 / f as f64 })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+    use brics_graph::GraphBuilder;
+
+    #[test]
+    fn path_farness() {
+        // Path 0-1-2-3: farness(0) = 1+2+3 = 6, farness(1) = 1+1+2 = 4.
+        let f = exact_farness(&path_graph(4)).unwrap();
+        assert_eq!(f, vec![6, 4, 4, 6]);
+    }
+
+    #[test]
+    fn cycle_farness_uniform() {
+        // C6: distances 1,2,3,2,1 from anywhere → farness 9 for all.
+        let f = exact_farness(&cycle_graph(6)).unwrap();
+        assert_eq!(f, vec![9; 6]);
+    }
+
+    #[test]
+    fn star_farness() {
+        // K_{1,4}: centre 4, leaves 1 + 3·2 = 7.
+        let f = exact_farness(&star_graph(5)).unwrap();
+        assert_eq!(f, vec![4, 7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn complete_graph_farness() {
+        let f = exact_farness(&complete_graph(7)).unwrap();
+        assert_eq!(f, vec![6; 7]);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            exact_farness(&g),
+            Err(CentralityError::Disconnected { components: 2 })
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(exact_farness(&CsrGraph::empty()), Err(CentralityError::EmptyGraph));
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = GraphBuilder::new(1).build();
+        assert_eq!(exact_farness(&g).unwrap(), vec![0]);
+        assert_eq!(exact_closeness(&g).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn closeness_is_reciprocal() {
+        let g = path_graph(4);
+        let f = exact_farness(&g).unwrap();
+        let c = exact_closeness(&g).unwrap();
+        for (fi, ci) in f.iter().zip(&c) {
+            assert!((ci - 1.0 / *fi as f64).abs() < 1e-12);
+        }
+    }
+}

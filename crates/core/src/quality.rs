@@ -1,0 +1,122 @@
+//! Estimate quality metrics (paper §IV-C1).
+//!
+//! `AR(v) = farness_estimated(v) / farness_actual(v)` and
+//! `Quality = (Σ_v AR(v)) / n`. The paper's estimates are unscaled partial
+//! sums, so `AR(v) ∈ [0, 1]` and higher is better (1.0 = exact everywhere).
+
+/// Approximation ratio of a single vertex. Vertices with actual farness 0
+/// (only possible when `n == 1`) report 1.0.
+pub fn approximation_ratio(estimated: u64, actual: u64) -> f64 {
+    if actual == 0 {
+        1.0
+    } else {
+        estimated as f64 / actual as f64
+    }
+}
+
+/// Mean approximation ratio over all vertices — the paper's "Quality".
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn quality(estimated: &[u64], actual: &[u64]) -> f64 {
+    assert_eq!(estimated.len(), actual.len(), "length mismatch");
+    if estimated.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = estimated
+        .iter()
+        .zip(actual)
+        .map(|(&e, &a)| approximation_ratio(e, a))
+        .sum();
+    sum / estimated.len() as f64
+}
+
+/// Quality of a scaled (`f64`) estimate, measured as the mean of
+/// `min(est, actual) / max(est, actual)` so over-estimates are penalised
+/// symmetrically. Used for the scaled-estimator ablation.
+pub fn symmetric_quality(estimated: &[f64], actual: &[u64]) -> f64 {
+    assert_eq!(estimated.len(), actual.len(), "length mismatch");
+    if estimated.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = estimated
+        .iter()
+        .zip(actual)
+        .map(|(&e, &a)| {
+            let a = a as f64;
+            if a == 0.0 && e == 0.0 {
+                1.0
+            } else {
+                let (lo, hi) = if e < a { (e, a) } else { (a, e) };
+                if hi == 0.0 {
+                    1.0
+                } else {
+                    (lo / hi).max(0.0)
+                }
+            }
+        })
+        .sum();
+    sum / estimated.len() as f64
+}
+
+/// Mean absolute percentage error of a scaled estimate — the "average error
+/// percentage" view the paper's abstract mentions.
+pub fn mean_error_percent(estimated: &[f64], actual: &[u64]) -> f64 {
+    assert_eq!(estimated.len(), actual.len(), "length mismatch");
+    if estimated.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = estimated
+        .iter()
+        .zip(actual)
+        .map(|(&e, &a)| {
+            if a == 0 {
+                0.0
+            } else {
+                ((e - a as f64) / a as f64).abs()
+            }
+        })
+        .sum();
+    100.0 * sum / estimated.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_basics() {
+        assert_eq!(approximation_ratio(5, 10), 0.5);
+        assert_eq!(approximation_ratio(10, 10), 1.0);
+        assert_eq!(approximation_ratio(3, 0), 1.0);
+    }
+
+    #[test]
+    fn quality_averages() {
+        assert_eq!(quality(&[5, 10], &[10, 10]), 0.75);
+        assert_eq!(quality(&[], &[]), 1.0);
+        assert_eq!(quality(&[7, 7], &[7, 7]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn quality_checks_lengths() {
+        quality(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn symmetric_penalises_overestimates() {
+        let q = symmetric_quality(&[20.0], &[10]);
+        assert!((q - 0.5).abs() < 1e-12);
+        let q = symmetric_quality(&[5.0], &[10]);
+        assert!((q - 0.5).abs() < 1e-12);
+        assert_eq!(symmetric_quality(&[0.0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn error_percent() {
+        let e = mean_error_percent(&[9.0, 11.0], &[10, 10]);
+        assert!((e - 10.0).abs() < 1e-9);
+        assert_eq!(mean_error_percent(&[], &[]), 0.0);
+    }
+}

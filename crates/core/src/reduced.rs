@@ -1,0 +1,263 @@
+//! Reduction-based estimation *without* the biconnected decomposition —
+//! the paper's C+R and I+C+R ablation configurations (§IV-C2).
+//!
+//! The graph is reduced (identical / chain / redundant removals as
+//! configured), `k` sources are sampled from the *survivors*, and each BFS
+//! runs on the reduced graph. After each BFS the removal log is replayed to
+//! reconstruct the exact distance of every removed vertex from that source
+//! (paper Algorithms 2–3), so removed vertices still receive distance mass
+//! from every source and every source still gets its exact farness over the
+//! *full* vertex set. Quality is therefore identical to random sampling
+//! with the same sources (the paper's observation that only the BiCC
+//! technique affects quality); time drops because BFS touches fewer edges
+//! and the sample budget `k%` is taken of the smaller surviving population.
+
+use crate::config::SampleSize;
+use crate::sampling::draw_sources;
+use crate::{CentralityError, FarnessEstimate};
+use brics_graph::traversal::{atomic_view, Bfs, DialBfs};
+use brics_graph::{CsrGraph, NodeId, INFINITE_DIST};
+use brics_reduce::{reconstruct_distances, reduce, ReductionConfig, Removal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Estimates farness with structural reductions and plain (non-block)
+/// sampling.
+pub fn reduced_estimate(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+) -> Result<FarnessEstimate, CentralityError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    let start = Instant::now();
+    let r = reduce(g, reductions);
+    let survivors = r.surviving();
+    let k = sample.resolve(survivors.len());
+    if k == 0 {
+        return Err(CentralityError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source_idx = draw_sources(survivors.len(), k, &mut rng);
+    let sources: Vec<NodeId> = source_idx.iter().map(|&i| survivors[i as usize]).collect();
+
+    let mut acc = vec![0u64; n];
+    let atomic_acc = atomic_view(&mut acc);
+    let num_surviving = survivors.len();
+    let records = &r.records;
+    let reduced_graph = &r.graph;
+    let weights = r.weights.as_deref();
+
+    // One (possibly weighted) BFS per source; removed-vertex distances are
+    // reconstructed from the same thread-local distance array the traversal
+    // wrote, then reset so the array's sparse-reset invariant holds for the
+    // next source.
+    let per_source: Vec<(usize, u64)> = sources
+        .par_iter()
+        .map_init(
+            || DialBfs::new(n),
+            |bfs, &s| {
+                let (reached, mut sum) = bfs.run_with(reduced_graph, weights, s, |v, d| {
+                    if d > 0 {
+                        atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                    }
+                });
+                let dist = bfs.distances_mut();
+                reconstruct_distances(records, dist);
+                for rec in records {
+                    for x in rec.removed_nodes() {
+                        let d = dist[x as usize];
+                        debug_assert_ne!(d, INFINITE_DIST, "unreachable removed vertex {x}");
+                        atomic_acc[x as usize].fetch_add(d as u64, Ordering::Relaxed);
+                        sum += d as u64;
+                        dist[x as usize] = INFINITE_DIST;
+                    }
+                }
+                (reached, sum)
+            },
+        )
+        .collect();
+
+    if per_source.iter().any(|&(reached, _)| reached != num_surviving) {
+        let comps = brics_graph::connectivity::connected_components(g).count();
+        return Err(CentralityError::Disconnected { components: comps });
+    }
+
+    let mut sampled = vec![false; n];
+    for (&s, &(_, sum)) in sources.iter().zip(&per_source) {
+        sampled[s as usize] = true;
+        acc[s as usize] = sum;
+    }
+    // Scaled view: expand partial sums by (n-1)/k, then de-bias with the
+    // total structural-offset mass (sources are survivors only; removed
+    // vertices sit `offset` hops beyond their anchors — DESIGN.md §5).
+    let factor = (n as f64 - 1.0) / k as f64;
+    let offset_total: u64 = brics_reduce::structural_offsets(records, n)
+        .iter()
+        .map(|&o| o as u64)
+        .sum();
+    let scaled: Vec<f64> = acc
+        .iter()
+        .zip(&sampled)
+        .map(|(&v, &is_src)| {
+            if is_src {
+                v as f64
+            } else {
+                v as f64 * factor + offset_total as f64
+            }
+        })
+        .collect();
+    let coverage: Vec<u32> =
+        sampled.iter().map(|&s| if s { (n - 1) as u32 } else { k as u32 }).collect();
+    Ok(FarnessEstimate::new(acc, scaled, sampled, coverage, k, start.elapsed()))
+}
+
+/// Exact farness via the reduction pipeline: sample **every** survivor.
+/// Exists mainly as a stronger test oracle (it exercises the reconstruction
+/// on all sources) and as a faster exact algorithm on reducible graphs.
+pub fn reduced_exact_farness(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+) -> Result<Vec<u64>, CentralityError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    let est = reduced_estimate(g, reductions, SampleSize::Fraction(1.0), 0)?;
+    // Every survivor was a source, so survivors are exact. A removed vertex
+    // x holds Σ_{s surviving} d(s, x), which misses its distances to the
+    // *other removed* vertices. Complete those with one true BFS per removed
+    // vertex on the original graph — still cheaper than full exact when the
+    // removed set is small, and a strong oracle for the reconstruction path.
+    let r = reduce(g, reductions);
+    let removed: Vec<NodeId> = (0..n as NodeId).filter(|&v| r.removed[v as usize]).collect();
+    let mut values = est.raw().to_vec();
+    let sums: Vec<(NodeId, u64)> = removed
+        .par_iter()
+        .map_init(
+            || Bfs::new(n),
+            |bfs, &x| {
+                let (_, sum) = bfs.run_with(g, x, |_, _| {});
+                (x, sum)
+            },
+        )
+        .collect();
+    for (x, sum) in sums {
+        values[x as usize] = sum;
+    }
+    Ok(values)
+}
+
+/// Returns the reduction result the estimator would use — exposed so
+/// harnesses can report Table-I statistics without re-running detection.
+pub fn reduction_preview(g: &CsrGraph, reductions: &ReductionConfig) -> brics_reduce::ReductionResult {
+    reduce(g, reductions)
+}
+
+/// Sum of distances from `source` to every vertex of the original graph,
+/// computed on the (possibly weighted) reduced graph + reconstruction.
+/// Test helper and building block for single-vertex farness queries.
+pub fn reduced_single_source_sum(
+    reduced_graph: &CsrGraph,
+    weights: Option<&[u32]>,
+    records: &[Removal],
+    source: NodeId,
+) -> u64 {
+    let mut bfs = DialBfs::new(reduced_graph.num_nodes());
+    let (_, mut sum) = bfs.run_with(reduced_graph, weights, source, |_, _| {});
+    let dist = bfs.distances_mut();
+    reconstruct_distances(records, dist);
+    for rec in records {
+        for x in rec.removed_nodes() {
+            sum += dist[x as usize] as u64;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_farness;
+    use brics_graph::generators::{
+        caterpillar, gnm_random_connected, lollipop, social_like, star_graph, ClassParams,
+    };
+
+    #[test]
+    fn full_sampling_matches_exact_for_sources() {
+        for seed in 0..6 {
+            let g = gnm_random_connected(50, 70, seed);
+            let exact = exact_farness(&g).unwrap();
+            let est =
+                reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(1.0), seed)
+                    .unwrap();
+            for v in 0..50u32 {
+                if est.is_sampled(v) {
+                    assert_eq!(est.raw()[v as usize], exact[v as usize], "seed {seed} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_exact_matches_exact_everywhere() {
+        for seed in 0..6 {
+            let g = gnm_random_connected(40, 55, 100 + seed);
+            let exact = exact_farness(&g).unwrap();
+            let red = reduced_exact_farness(&g, &ReductionConfig::all()).unwrap();
+            assert_eq!(red, exact, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn structured_graphs_exact() {
+        for g in [star_graph(12), caterpillar(6, 2), lollipop(5, 4)] {
+            let exact = exact_farness(&g).unwrap();
+            let red = reduced_exact_farness(&g, &ReductionConfig::all()).unwrap();
+            assert_eq!(red, exact);
+        }
+    }
+
+    #[test]
+    fn class_graph_exactness() {
+        let g = social_like(ClassParams::new(400, 5));
+        let exact = exact_farness(&g).unwrap();
+        let red = reduced_exact_farness(&g, &ReductionConfig::all()).unwrap();
+        assert_eq!(red, exact);
+    }
+
+    #[test]
+    fn partial_sampling_is_lower_bound() {
+        let g = gnm_random_connected(60, 90, 2);
+        let exact = exact_farness(&g).unwrap();
+        let est =
+            reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(0.4), 3).unwrap();
+        for v in 0..60u32 {
+            assert!(est.raw()[v as usize] <= exact[v as usize], "v {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = caterpillar(8, 3);
+        let a = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Count(4), 9).unwrap();
+        let b = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Count(4), 9).unwrap();
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn sources_drawn_from_survivors_only() {
+        let g = star_graph(20);
+        let est = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(1.0), 1)
+            .unwrap();
+        // Star reduces to the hub alone; only it can be sampled.
+        assert_eq!(est.num_sources(), 1);
+        assert!(est.is_sampled(0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Random-sampling baseline (paper Algorithm 1).
+//!
+//! Picks `k` sources uniformly at random, runs one BFS per source in
+//! parallel, and accumulates `farness[u] += d(s, u)` — `O(n)` memory rather
+//! than `O(n·k)`, the space optimisation §II-A describes. Sources receive
+//! their exact farness (their BFS reaches everything); everyone else keeps
+//! the partial sum over the `k` sources.
+
+use crate::config::SampleSize;
+use crate::{CentralityError, FarnessEstimate};
+use brics_graph::traversal::par_bfs_accumulate;
+use brics_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Draws `k` distinct vertices uniformly at random.
+pub(crate) fn draw_sources(n: usize, k: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    let mut s: Vec<NodeId> = index_sample(rng, n, k.min(n))
+        .into_iter()
+        .map(|i| i as NodeId)
+        .collect();
+    s.sort_unstable();
+    s
+}
+
+/// Estimates farness by uniform random sampling (paper Algorithm 1).
+pub fn random_sampling(
+    g: &CsrGraph,
+    sample: SampleSize,
+    seed: u64,
+) -> Result<FarnessEstimate, CentralityError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    let k = sample.resolve(n);
+    if k == 0 {
+        return Err(CentralityError::NoSamples);
+    }
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sources = draw_sources(n, k, &mut rng);
+
+    let mut acc = vec![0u64; n];
+    let (per_source, _) = par_bfs_accumulate(g, &sources, &mut acc);
+    if let Some(&(reached, _)) = per_source.iter().find(|&&(r, _)| r != n) {
+        let _ = reached;
+        let comps = brics_graph::connectivity::connected_components(g).count();
+        return Err(CentralityError::Disconnected { components: comps });
+    }
+
+    let mut sampled = vec![false; n];
+    for (&s, &(_, sum)) in sources.iter().zip(&per_source) {
+        sampled[s as usize] = true;
+        // Exact farness for sources (overwrites the partial accumulation).
+        acc[s as usize] = sum;
+    }
+    // Scaled view: expand partial sums by (n - 1) / k.
+    let factor = if k > 0 { (n as f64 - 1.0) / k as f64 } else { 1.0 };
+    let scaled: Vec<f64> = acc
+        .iter()
+        .zip(&sampled)
+        .map(|(&v, &is_src)| if is_src { v as f64 } else { v as f64 * factor })
+        .collect();
+    let coverage: Vec<u32> =
+        sampled.iter().map(|&s| if s { (n - 1) as u32 } else { k as u32 }).collect();
+    Ok(FarnessEstimate::new(acc, scaled, sampled, coverage, k, start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_farness;
+    use brics_graph::generators::{cycle_graph, gnm_random_connected, path_graph};
+
+    #[test]
+    fn full_sampling_is_exact() {
+        let g = gnm_random_connected(60, 90, 4);
+        let est = random_sampling(&g, SampleSize::Fraction(1.0), 9).unwrap();
+        let exact = exact_farness(&g).unwrap();
+        assert_eq!(est.raw(), exact.as_slice());
+        assert!(est.sampled_mask().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sources_get_exact_values() {
+        let g = path_graph(30);
+        let est = random_sampling(&g, SampleSize::Count(5), 3).unwrap();
+        let exact = exact_farness(&g).unwrap();
+        for v in 0..30u32 {
+            if est.is_sampled(v) {
+                assert_eq!(est.raw()[v as usize], exact[v as usize], "source {v}");
+            } else {
+                assert!(est.raw()[v as usize] <= exact[v as usize], "partial sum bound {v}");
+            }
+        }
+        assert_eq!(est.num_sources(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = cycle_graph(40);
+        let a = random_sampling(&g, SampleSize::Count(8), 5).unwrap();
+        let b = random_sampling(&g, SampleSize::Count(8), 5).unwrap();
+        assert_eq!(a.raw(), b.raw());
+        let c = random_sampling(&g, SampleSize::Count(8), 6).unwrap();
+        assert_eq!(a.raw().len(), c.raw().len());
+    }
+
+    #[test]
+    fn scaled_view_expands_partials() {
+        let g = cycle_graph(9); // farness 20 everywhere
+        let est = random_sampling(&g, SampleSize::Count(3), 1).unwrap();
+        for v in 0..9u32 {
+            if !est.is_sampled(v) {
+                let expect = est.raw()[v as usize] as f64 * 8.0 / 3.0;
+                assert!((est.scaled()[v as usize] - expect).abs() < 1e-9);
+            } else {
+                assert_eq!(est.scaled()[v as usize], est.raw()[v as usize] as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = brics_graph::GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let r = random_sampling(&g, SampleSize::Fraction(1.0), 0);
+        assert!(matches!(r, Err(CentralityError::Disconnected { components: 2 })));
+    }
+
+    #[test]
+    fn draw_sources_distinct_sorted() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = draw_sources(50, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut d = s.clone();
+        d.dedup();
+        assert_eq!(d, s);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

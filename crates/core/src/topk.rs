@@ -1,0 +1,213 @@
+//! Exact top-k closeness via BRICS lower bounds.
+//!
+//! Ranking the k most central vertices is the application the paper cites
+//! through Okamoto et al. (§I, §I-A). BRICS makes an *exact* top-k
+//! algorithm cheap: raw estimates are partial distance sums, hence sound
+//! **lower bounds** on true farness — and the Cumulative method's bounds
+//! are tight because the whole inter-block mass is exact.
+//!
+//! The algorithm scans vertices in ascending estimated farness, verifying
+//! each with one true BFS, and stops as soon as the next lower bound is no
+//! better than the current k-th verified farness — everything unscanned is
+//! provably outside the top-k. Vertices that served as BFS sources during
+//! estimation are already exact and verify for free.
+
+use crate::{BricsEstimator, CentralityError, FarnessEstimate};
+use brics_graph::traversal::Bfs;
+use brics_graph::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Result of an exact top-k closeness query.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopK {
+    /// The k most central vertices with their *exact* farness, ascending
+    /// (ties broken by vertex id).
+    pub ranked: Vec<(NodeId, u64)>,
+    /// Vertices whose exact farness had to be verified with a fresh BFS.
+    pub verified_with_bfs: usize,
+    /// Vertices accepted for free (they were estimation BFS sources).
+    pub verified_for_free: usize,
+    /// Vertices pruned by the lower bound without any BFS.
+    pub pruned: usize,
+}
+
+/// Computes the exact top-k closeness ranking (smallest farness) using a
+/// BRICS estimate for pruning.
+///
+/// `estimator` controls the estimation pass (method, rate, seed); higher
+/// sampling rates tighten the bounds and prune more, at higher estimation
+/// cost. `k` is clamped to the vertex count.
+pub fn top_k_closeness(
+    g: &CsrGraph,
+    k: usize,
+    estimator: &BricsEstimator,
+) -> Result<TopK, CentralityError> {
+    let est = estimator.run(g)?;
+    Ok(top_k_from_estimate(g, k, &est))
+}
+
+/// Same as [`top_k_closeness`], reusing an existing estimate.
+pub fn top_k_from_estimate(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> TopK {
+    let n = g.num_nodes();
+    let k = k.min(n);
+    if k == 0 {
+        return TopK { ranked: Vec::new(), verified_with_bfs: 0, verified_for_free: 0, pruned: n };
+    }
+    // Ascending lower-bound order. On top of the estimate's built-in
+    // bound (uncovered vertices are ≥ 1 hop away), at most deg(v) of the
+    // uncovered vertices can be neighbours — every other one is ≥ 2 hops
+    // away, which tightens the bound by another (uncovered − deg(v))⁺.
+    let bounds: Vec<u64> = est
+        .lower_bounds()
+        .into_iter()
+        .zip(est.coverage())
+        .enumerate()
+        .map(|(v, (lb, &cov))| {
+            let uncovered = (n as u64 - 1).saturating_sub(cov as u64);
+            lb + uncovered.saturating_sub(g.degree(v as NodeId) as u64)
+        })
+        .collect();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&v| (bounds[v as usize], v));
+
+    let mut bfs = Bfs::new(n);
+    // (farness, vertex) of verified candidates; k is small, a sorted Vec
+    // beats a heap here.
+    let mut best: Vec<(u64, NodeId)> = Vec::with_capacity(k + 1);
+    let mut verified_with_bfs = 0usize;
+    let mut verified_for_free = 0usize;
+    let mut scanned = 0usize;
+
+    for &v in &order {
+        let bound = bounds[v as usize];
+        if best.len() == k {
+            let (tau, _) = *best.last().unwrap();
+            // Strictly worse bounds can never enter the top-k; ties at tau
+            // are still scanned so id tie-breaking matches the exact order.
+            if bound > tau {
+                break;
+            }
+        }
+        scanned += 1;
+        let exact = if est.is_sampled(v) {
+            verified_for_free += 1;
+            est.raw()[v as usize]
+        } else {
+            verified_with_bfs += 1;
+            let (_, sum) = bfs.run_with(g, v, |_, _| {});
+            sum
+        };
+        best.push((exact, v));
+        best.sort_unstable();
+        best.truncate(k);
+    }
+
+    TopK {
+        ranked: best.into_iter().map(|(f, v)| (v, f)).collect(),
+        verified_with_bfs,
+        verified_for_free,
+        pruned: n - scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact_farness, Method, SampleSize};
+    use brics_graph::generators::{
+        community_like, gnm_random_connected, lollipop, social_like, ClassParams,
+    };
+
+    fn brute_top_k(g: &CsrGraph, k: usize) -> Vec<(NodeId, u64)> {
+        let exact = exact_farness(g).unwrap();
+        let mut idx: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        idx.sort_by_key(|&v| (exact[v as usize], v));
+        idx.truncate(k);
+        idx.into_iter().map(|v| (v, exact[v as usize])).collect()
+    }
+
+    fn estimator() -> BricsEstimator {
+        BricsEstimator::new(Method::Cumulative).sample(SampleSize::Fraction(0.3)).seed(7)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnm_random_connected(80, 120, seed);
+            let t = top_k_closeness(&g, 5, &estimator()).unwrap();
+            assert_eq!(t.ranked, brute_top_k(&g, 5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_class_graphs() {
+        for g in [social_like(ClassParams::new(500, 3)), community_like(ClassParams::new(500, 4))]
+        {
+            let t = top_k_closeness(&g, 10, &estimator()).unwrap();
+            assert_eq!(t.ranked, brute_top_k(&g, 10));
+            assert_eq!(t.pruned + t.verified_for_free + t.verified_with_bfs, g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn pruning_actually_prunes_and_improves_with_rate() {
+        let g = social_like(ClassParams::new(800, 5));
+        let prune_at = |rate: f64| {
+            let e = BricsEstimator::new(Method::Cumulative)
+                .sample(SampleSize::Fraction(rate))
+                .seed(7);
+            let t = top_k_closeness(&g, 5, &e).unwrap();
+            assert_eq!(t.ranked, brute_top_k(&g, 5), "rate {rate}");
+            t.pruned
+        };
+        let p_low = prune_at(0.2);
+        let p_high = prune_at(0.8);
+        assert!(p_low > 0, "bounds should prune something even at 20%");
+        assert!(
+            p_high > p_low && p_high > g.num_nodes() / 2,
+            "pruning should strengthen with rate: {p_low} -> {p_high} of {}",
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn k_clamped_and_complete() {
+        let g = lollipop(5, 3);
+        let t = top_k_closeness(&g, 100, &estimator()).unwrap();
+        assert_eq!(t.ranked.len(), 8);
+        assert_eq!(t.ranked, brute_top_k(&g, 8));
+        // Ascending farness order with id tiebreaks.
+        assert!(t.ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn k_zero() {
+        let g = lollipop(4, 2);
+        let t = top_k_closeness(&g, 0, &estimator()).unwrap();
+        assert!(t.ranked.is_empty());
+        assert_eq!(t.pruned, g.num_nodes());
+    }
+
+    #[test]
+    fn reuses_existing_estimate() {
+        let g = gnm_random_connected(60, 90, 1);
+        let est = estimator().run(&g).unwrap();
+        let a = top_k_from_estimate(&g, 4, &est);
+        let b = top_k_from_estimate(&g, 4, &est);
+        assert_eq!(a.ranked, b.ranked);
+        assert_eq!(a.ranked, brute_top_k(&g, 4));
+    }
+
+    #[test]
+    fn full_rate_estimate_verifies_mostly_for_free() {
+        let g = gnm_random_connected(70, 100, 2);
+        let est = BricsEstimator::new(Method::RandomSampling)
+            .sample(SampleSize::Fraction(1.0))
+            .seed(0)
+            .run(&g)
+            .unwrap();
+        let t = top_k_from_estimate(&g, 5, &est);
+        assert_eq!(t.verified_with_bfs, 0);
+        assert_eq!(t.ranked, brute_top_k(&g, 5));
+    }
+}

@@ -1,0 +1,191 @@
+//! Edge-list accumulation and normalisation into [`CsrGraph`].
+//!
+//! The paper preprocesses every dataset into a *simple, undirected,
+//! unweighted, connected* graph (§IV-B): self-loops are dropped, parallel
+//! edges collapsed, directed edges symmetrised, and a few edges are added to
+//! connect disconnected inputs. [`GraphBuilder`] implements the first three;
+//! [`crate::connectivity::make_connected`] implements the last.
+
+use crate::{CsrGraph, NodeId};
+
+/// Accumulates edges and produces a normalised [`CsrGraph`].
+///
+/// Accepts arbitrary input: duplicate edges, both orientations of the same
+/// edge, and self-loops are all tolerated and normalised away in
+/// [`GraphBuilder::build`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` vertices
+    /// (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes < NodeId::MAX as usize,
+            "node count {num_nodes} exceeds u32 id space"
+        );
+        Self { num_nodes, edges: Vec::new() }
+    }
+
+    /// Creates a builder with a capacity hint for the expected edge count.
+    ///
+    /// The hint is clamped (64 Mi entries ≈ 512 MB) so untrusted counts —
+    /// e.g. a corrupt size line in a graph file — cannot abort the process
+    /// through a failed up-front allocation; the vector still grows to any
+    /// real size on demand.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        const MAX_HINT: usize = 1 << 26;
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(num_edges.min(MAX_HINT));
+        b
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of raw (pre-normalisation) edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge. Orientation is irrelevant; duplicates and
+    /// self-loops are allowed here and removed at build time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push(if u <= v { (u, v) } else { (v, u) });
+    }
+
+    /// Adds every edge from an iterator of pairs.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Grows the vertex set so ids up to `id` are valid, returning the new count.
+    pub fn ensure_node(&mut self, id: NodeId) -> usize {
+        if (id as usize) >= self.num_nodes {
+            self.num_nodes = id as usize + 1;
+        }
+        self.num_nodes
+    }
+
+    /// Normalises and builds the CSR graph: drops self-loops, collapses
+    /// parallel edges, symmetrises, and sorts every neighbour list.
+    ///
+    /// Runs in `O(m log m)` for `m` raw edges.
+    pub fn build(mut self) -> CsrGraph {
+        // Canonical ordering, then dedup, then drop loops.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self.edges.retain(|&(u, v)| u != v);
+
+        let n = self.num_nodes;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; acc];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were globally sorted by (u, v); the second insertion pass
+        // (v side) is not globally sorted, so sort each list. Lists are
+        // typically tiny; this is cheaper than a second counting pass.
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        CsrGraph::from_parts_unchecked(offsets, targets)
+    }
+
+    /// Builds a graph directly from an edge list. Convenience wrapper.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+        let mut b = Self::with_capacity(num_nodes, edges.len());
+        b.extend_edges(edges.iter().copied());
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_self_loops() {
+        let g = GraphBuilder::from_edges(3, &[(0, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn collapses_parallel_and_reversed_edges() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1), (1, 0), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn isolated_nodes_kept() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1)]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn ensure_node_grows() {
+        let mut b = GraphBuilder::new(1);
+        b.ensure_node(9);
+        b.add_edge(0, 9);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.has_edge(0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_checks_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn build_is_valid_csr() {
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(3, 1), (5, 0), (2, 4), (1, 0), (4, 1), (0, 3), (3, 0)],
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_builder() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Connected components and the "make connected" normalisation.
+//!
+//! The paper requires connected inputs and states (§IV-B) that disconnected
+//! datasets were patched by adding a few edges. [`make_connected`] reproduces
+//! that: it links one representative of every non-giant component to a
+//! representative of the largest component.
+
+use crate::traversal::Bfs;
+use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
+
+/// Vertex partition into connected components.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `comp[v]` = component index of `v` (dense, `0..num_components`).
+    pub comp: Vec<u32>,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index of the largest component (ties broken by lowest index).
+    pub fn largest(&self) -> usize {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Labels connected components with repeated BFS. `O(n + m)`.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_nodes();
+    let mut comp = vec![INVALID_NODE; n];
+    let mut sizes = Vec::new();
+    let mut bfs = Bfs::new(n);
+    for v in 0..n as NodeId {
+        if comp[v as usize] != INVALID_NODE {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        bfs.run_with(g, v, |u, _| {
+            comp[u as usize] = id;
+            size += 1;
+        });
+        sizes.push(size);
+    }
+    Components { comp, sizes }
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).count() == 1
+}
+
+/// Returns a connected version of `g`: one edge is added from the
+/// minimum-id vertex of each non-giant component to the minimum-id vertex
+/// of the largest component. Returns the graph unchanged (clone) if already
+/// connected, along with the number of edges added.
+pub fn make_connected(g: &CsrGraph) -> (CsrGraph, usize) {
+    let comps = connected_components(g);
+    if comps.count() <= 1 {
+        return (g.clone(), 0);
+    }
+    let giant = comps.largest() as u32;
+    // Minimum-id representative per component.
+    let mut rep = vec![INVALID_NODE; comps.count()];
+    for v in 0..g.num_nodes() {
+        let c = comps.comp[v] as usize;
+        if rep[c] == INVALID_NODE {
+            rep[c] = v as NodeId;
+        }
+    }
+    let anchor = rep[giant as usize];
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() + comps.count());
+    b.extend_edges(g.edges());
+    let mut added = 0usize;
+    for (c, &r) in rep.iter().enumerate() {
+        if c as u32 != giant {
+            b.add_edge(anchor, r);
+            added += 1;
+        }
+    }
+    (b.build(), added)
+}
+
+/// Returns the subgraph induced by the largest connected component, with
+/// its id mapping — the alternative normalisation to [`make_connected`]
+/// (keep the giant component, drop the rest) that network-analysis
+/// pipelines often prefer.
+pub fn largest_component(g: &CsrGraph) -> crate::InducedSubgraph {
+    let comps = connected_components(g);
+    let giant = comps.largest() as u32;
+    let verts: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&v| comps.comp[v as usize] == giant)
+        .collect();
+    crate::InducedSubgraph::extract(g, &verts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn largest_component_extracts_giant() {
+        let g = GraphBuilder::from_edges(8, &[(0, 1), (1, 2), (2, 3), (5, 6)]);
+        let sub = largest_component(&g);
+        assert_eq!(sub.len(), 4);
+        assert!(is_connected(&sub.graph));
+        assert_eq!(sub.to_global(0), 0);
+        assert_eq!(sub.to_local(5), None);
+    }
+
+    #[test]
+    fn largest_component_of_connected_is_identity_sized() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(largest_component(&g).len(), 4);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.sizes, vec![4]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components_labelled() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.comp[0], c.comp[1]);
+        assert_eq!(c.comp[2], c.comp[3]);
+        assert_eq!(c.comp[3], c.comp[4]);
+        assert_ne!(c.comp[0], c.comp[2]);
+        assert_ne!(c.comp[2], c.comp[5]);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn largest_picks_biggest() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.sizes[c.largest()], 3);
+    }
+
+    #[test]
+    fn make_connected_noop_when_connected() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let (g2, added) = make_connected(&g);
+        assert_eq!(added, 0);
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    fn make_connected_links_all_components() {
+        let g = GraphBuilder::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]);
+        let (g2, added) = make_connected(&g);
+        assert_eq!(added, 2);
+        assert!(is_connected(&g2));
+        assert_eq!(g2.num_edges(), g.num_edges() + 2);
+    }
+
+    #[test]
+    fn make_connected_handles_isolated_vertices() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1)]);
+        let (g2, added) = make_connected(&g);
+        assert_eq!(added, 2);
+        assert!(is_connected(&g2));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&CsrGraph::empty()));
+    }
+}

@@ -1,0 +1,260 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! The whole workspace operates on immutable, simple, undirected graphs.
+//! CSR keeps each vertex's neighbour list contiguous, which is the layout
+//! the BFS kernels want: one cache-friendly slice scan per frontier vertex.
+
+use crate::{Dist, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, simple, undirected graph in CSR form.
+///
+/// Invariants (maintained by [`crate::GraphBuilder`] and checked by
+/// [`CsrGraph::validate`]):
+///
+/// * every undirected edge `{u, v}` is stored twice, once per direction;
+/// * no self-loops, no parallel edges;
+/// * each neighbour list is sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` delimits `v`'s neighbour list in `targets`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbour lists (length = 2 · number of undirected edges).
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays violate the CSR invariants listed on the type.
+    /// Use [`crate::GraphBuilder`] to construct graphs from edge lists.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        let g = Self { offsets, targets };
+        g.validate().expect("invalid CSR arrays");
+        g
+    }
+
+    /// Builds without validation. Caller must uphold the CSR invariants.
+    /// Used by trusted internal constructors (builder, subgraph extraction).
+    pub(crate) fn from_parts_unchecked(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(Self { offsets: offsets.clone(), targets: targets.clone() }
+            .validate()
+            .is_ok());
+        Self { offsets, targets }
+    }
+
+    /// The empty graph.
+    pub fn empty() -> Self {
+        Self { offsets: vec![0], targets: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of stored directed arcs (`2 · num_edges`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists. `O(log deg(u))`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Raw CSR offsets (length `num_nodes() + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw concatenated neighbour lists.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Checks every CSR invariant; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must have at least one entry".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() {
+            return Err("offsets must end at targets.len()".into());
+        }
+        let n = self.num_nodes();
+        if n > (NodeId::MAX as usize) {
+            return Err("too many nodes for u32 node ids".into());
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+            let nbrs = &self.targets[self.offsets[v]..self.offsets[v + 1]];
+            for w in nbrs.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("neighbour list of {v} not strictly sorted"));
+                }
+            }
+            for &t in nbrs {
+                if t as usize >= n {
+                    return Err(format!("edge target {t} out of range at {v}"));
+                }
+                if t as usize == v {
+                    return Err(format!("self-loop at {v}"));
+                }
+            }
+        }
+        // Symmetry: every arc has its reverse.
+        for v in 0..n as NodeId {
+            for &t in self.neighbors(v) {
+                if !self.has_edge(t, v) {
+                    return Err(format!("missing reverse arc {t}->{v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of distances `Σ_w d(v, w)` given a distance array, skipping
+    /// unreachable vertices. Convenience for tests and oracles.
+    pub fn sum_distances(dist: &[Dist]) -> u64 {
+        dist.iter()
+            .filter(|&&d| d != crate::INFINITE_DIST)
+            .map(|&d| d as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path5() -> CsrGraph {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn path_counts() {
+        let g = path5();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path5();
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = path5();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn validate_rejects_self_loop() {
+        let g = CsrGraph { offsets: vec![0, 1], targets: vec![0] };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_asymmetry() {
+        let g = CsrGraph { offsets: vec![0, 1, 1], targets: vec![1] };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted() {
+        let g = CsrGraph {
+            offsets: vec![0, 2, 3, 4],
+            targets: vec![2, 1, 0, 0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CSR")]
+    fn from_parts_panics_on_bad_input() {
+        CsrGraph::from_parts(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = path5();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: CsrGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Degree statistics.
+//!
+//! The paper's per-class analysis (§IV-C2) is driven by degree structure:
+//! road networks are "70–85 % nodes of degree one and two", web graphs have
+//! huge identical-node groups, etc. These statistics feed Table I style
+//! summaries and the generators' self-checks.
+
+use crate::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a graph's degree distribution.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Count of degree-1 vertices.
+    pub deg1: usize,
+    /// Count of degree-2 vertices.
+    pub deg2: usize,
+    /// Count of degree-3 vertices.
+    pub deg3: usize,
+    /// Count of degree-4 vertices.
+    pub deg4: usize,
+}
+
+impl DegreeStats {
+    /// Fraction of vertices with degree one or two — the paper's headline
+    /// statistic for chain-reduction potential.
+    pub fn low_degree_fraction(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        (self.deg1 + self.deg2) as f64 / self.num_nodes as f64
+    }
+}
+
+/// Computes [`DegreeStats`] in one pass.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_nodes();
+    let mut s = DegreeStats {
+        num_nodes: n,
+        num_edges: g.num_edges(),
+        min: usize::MAX,
+        ..Default::default()
+    };
+    if n == 0 {
+        s.min = 0;
+        return s;
+    }
+    for v in 0..n as NodeId {
+        let d = g.degree(v);
+        s.min = s.min.min(d);
+        s.max = s.max.max(d);
+        match d {
+            1 => s.deg1 += 1,
+            2 => s.deg2 += 1,
+            3 => s.deg3 += 1,
+            4 => s.deg4 += 1,
+            _ => {}
+        }
+    }
+    s.mean = 2.0 * g.num_edges() as f64 / n as f64;
+    s
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..g.num_nodes() as NodeId {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn star_stats() {
+        // Star K_{1,4}: centre degree 4, leaves degree 1.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.deg1, 4);
+        assert_eq!(s.deg4, 1);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert!((s.low_degree_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_matches_counts() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&CsrGraph::empty());
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.low_degree_fraction(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertex_counts_degree_zero() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Eccentricity, diameter and radius.
+//!
+//! The diameter shapes every farness value (distances are bounded by it)
+//! and the paper leans on diameter-related work for context (Crescenzi et
+//! al., reference 7 of the paper). This module provides the standard toolkit:
+//!
+//! * [`double_sweep`] — the classic two-BFS heuristic: a *lower* bound on
+//!   the diameter that is exact on trees and extremely tight on real-world
+//!   graphs;
+//! * [`diameter_bounds`] — iterative refinement (a light-weight variant of
+//!   iFUB): repeatedly sweeps from high-eccentricity vertices, maintaining
+//!   certified lower and upper bounds until they meet or a budget runs out;
+//! * [`exact_eccentricities`] — one BFS per vertex, parallel; the oracle.
+
+use crate::traversal::Bfs;
+use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
+use rayon::prelude::*;
+
+/// Certified diameter bounds (`lower == upper` means exact).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiameterBounds {
+    /// Largest distance actually observed.
+    pub lower: Dist,
+    /// Certified upper bound.
+    pub upper: Dist,
+    /// BFS traversals spent.
+    pub bfs_runs: usize,
+}
+
+/// One BFS from `v`: returns (farthest vertex, its distance).
+/// Ties break to the smallest id. Requires a connected graph for a
+/// meaningful result; unreachable vertices are ignored.
+fn farthest(bfs: &mut Bfs, g: &CsrGraph, v: NodeId) -> (NodeId, Dist) {
+    let mut best = (v, 0);
+    bfs.run_with(g, v, |u, d| {
+        if d > best.1 {
+            best = (u, d);
+        }
+    });
+    best
+}
+
+/// Double-sweep heuristic: BFS from `start`, then BFS from the farthest
+/// vertex found. Returns a certified **lower** bound on the diameter
+/// (exact on trees).
+pub fn double_sweep(g: &CsrGraph, start: NodeId) -> Dist {
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let mut bfs = Bfs::new(g.num_nodes());
+    let (a, _) = farthest(&mut bfs, g, start);
+    let (_, d) = farthest(&mut bfs, g, a);
+    d
+}
+
+/// Iteratively tightens diameter bounds with at most `budget` BFS runs
+/// beyond the initial double sweep. Works on connected graphs; on
+/// disconnected input the bounds describe `start`'s component.
+///
+/// Strategy: maintain `lower` = max distance seen. The eccentricity of any
+/// vertex `v` bounds the diameter: `diam ≤ 2·ecc(v)`; sweeping from
+/// midpoints of long paths shrinks the upper bound quickly.
+pub fn diameter_bounds(g: &CsrGraph, start: NodeId, budget: usize) -> DiameterBounds {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DiameterBounds { lower: 0, upper: 0, bfs_runs: 0 };
+    }
+    let mut bfs = Bfs::new(n);
+    let mut runs = 0usize;
+
+    // Double sweep for the initial lower bound; remember the middle of the
+    // long path as a good low-eccentricity candidate.
+    let (a, _) = farthest(&mut bfs, g, start);
+    runs += 1;
+    let mut far_b = a;
+    let mut lower = 0;
+    let mut parent_path_mid = a;
+    {
+        // BFS from a, tracking distances to find the far end and midpoint.
+        bfs.run_with(g, a, |_, _| {});
+        runs += 1;
+        let dist = bfs.distances();
+        for v in 0..n as NodeId {
+            let d = dist[v as usize];
+            if d != INFINITE_DIST && d > lower {
+                lower = d;
+                far_b = v;
+            }
+        }
+        // Midpoint of the a—far_b path: any vertex at distance lower/2
+        // from a on the path; approximate with any vertex at that level.
+        let half = lower / 2;
+        for v in 0..n as NodeId {
+            if dist[v as usize] == half {
+                parent_path_mid = v;
+                break;
+            }
+        }
+    }
+    let _ = far_b;
+    // ecc(mid) gives upper = 2·ecc(mid); refine from the highest-level
+    // vertices of mid's BFS tree.
+    let (_, ecc_mid) = farthest(&mut bfs, g, parent_path_mid);
+    runs += 1;
+    let mut upper = ecc_mid.saturating_mul(2);
+    lower = lower.max(ecc_mid);
+
+    // Refine: sweep from vertices with the largest distance from mid.
+    let levels: Vec<(NodeId, Dist)> = {
+        let dist = bfs.distances();
+        let mut vs: Vec<(NodeId, Dist)> = (0..n as NodeId)
+            .map(|v| (v, dist[v as usize]))
+            .filter(|&(_, d)| d != INFINITE_DIST)
+            .collect();
+        vs.sort_by_key(|&(v, d)| (std::cmp::Reverse(d), v));
+        vs
+    };
+    for &(v, level) in levels.iter().take(budget) {
+        if lower >= upper || lower >= ecc_mid + level {
+            // No unvisited vertex can extend the diameter beyond what is
+            // already certified: ecc(v) ≤ level(v) + ecc_mid ≤ lower.
+            upper = upper.min(lower.max(ecc_mid + level));
+            break;
+        }
+        let (_, e) = farthest(&mut bfs, g, v);
+        runs += 1;
+        lower = lower.max(e);
+        // Visited prefix is measured; the rest is bounded through mid.
+        upper = upper.min(lower.max(ecc_mid + level));
+    }
+    DiameterBounds { lower, upper: upper.max(lower), bfs_runs: runs }
+}
+
+/// Exact eccentricity of every vertex (`INFINITE_DIST` on disconnected
+/// graphs for vertices that cannot reach everything). One BFS per vertex.
+pub fn exact_eccentricities(g: &CsrGraph) -> Vec<Dist> {
+    let n = g.num_nodes();
+    (0..n as NodeId)
+        .into_par_iter()
+        .map_init(
+            || Bfs::new(n),
+            |bfs, v| {
+                let mut ecc = 0;
+                let (reached, _) = bfs.run_with(g, v, |_, d| ecc = ecc.max(d));
+                if reached == n {
+                    ecc
+                } else {
+                    INFINITE_DIST
+                }
+            },
+        )
+        .collect()
+}
+
+/// Exact diameter (max eccentricity) and radius (min eccentricity).
+/// Returns `None` for empty or disconnected graphs.
+pub fn diameter_radius(g: &CsrGraph) -> Option<(Dist, Dist)> {
+    let ecc = exact_eccentricities(g);
+    if ecc.is_empty() || ecc.contains(&INFINITE_DIST) {
+        return None;
+    }
+    Some((*ecc.iter().max().unwrap(), *ecc.iter().min().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{
+        complete_graph, cycle_graph, gnm_random_connected, grid_graph, path_graph, star_graph,
+    };
+
+    #[test]
+    fn path_diameter_exact_via_double_sweep() {
+        let g = path_graph(17);
+        assert_eq!(double_sweep(&g, 8), 16);
+        let b = diameter_bounds(&g, 8, 10);
+        assert_eq!(b.lower, 16);
+        assert!(b.upper >= 16);
+    }
+
+    #[test]
+    fn known_diameters() {
+        assert_eq!(diameter_radius(&path_graph(10)), Some((9, 5)));
+        assert_eq!(diameter_radius(&cycle_graph(10)), Some((5, 5)));
+        assert_eq!(diameter_radius(&star_graph(7)), Some((2, 1)));
+        assert_eq!(diameter_radius(&complete_graph(5)), Some((1, 1)));
+        assert_eq!(diameter_radius(&grid_graph(3, 4)), Some((5, 3)));
+    }
+
+    #[test]
+    fn bounds_bracket_exact_diameter() {
+        for seed in 0..10 {
+            let g = gnm_random_connected(60, 90, seed);
+            let (diam, _) = diameter_radius(&g).unwrap();
+            let b = diameter_bounds(&g, 0, 8);
+            assert!(b.lower <= diam, "seed {seed}: lower {} > diam {diam}", b.lower);
+            assert!(b.upper >= diam, "seed {seed}: upper {} < diam {diam}", b.upper);
+            // Double sweep is usually exact on these graphs; certify ≥ half.
+            assert!(b.lower * 2 >= diam, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eccentricities_on_path() {
+        let e = exact_eccentricities(&path_graph(5));
+        assert_eq!(e, vec![4, 3, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disconnected_handled() {
+        let g = crate::GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter_radius(&g), None);
+        let e = exact_eccentricities(&g);
+        assert!(e.iter().all(|&x| x == INFINITE_DIST));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(diameter_radius(&CsrGraph::empty()), None);
+        let single = crate::GraphBuilder::new(1).build();
+        assert_eq!(diameter_radius(&single), Some((0, 0)));
+        assert_eq!(double_sweep(&single, 0), 0);
+    }
+}

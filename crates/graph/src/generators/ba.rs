@@ -1,0 +1,100 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert model: starts from a small clique of `m + 1` vertices;
+/// each new vertex attaches `m` edges to existing vertices chosen with
+/// probability proportional to degree (implemented with the standard
+/// repeated-endpoint urn). Produces the heavy-tailed degree distributions
+/// characteristic of web and social graphs.
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "m must be positive");
+    assert!(n > m, "need n > m");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Urn of edge endpoints: sampling uniformly from it is degree-biased.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on m + 1 vertices.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            b.add_edge(i as NodeId, j as NodeId);
+            urn.push(i as NodeId);
+            urn.push(j as NodeId);
+        }
+    }
+    let mut picked = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        picked.clear();
+        // Draw m distinct degree-biased targets.
+        let mut guard = 0;
+        while picked.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = urn[rng.gen_range(0..urn.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        // Extremely unlikely fallback: fill with arbitrary earlier vertices.
+        let mut fill = 0 as NodeId;
+        while picked.len() < m {
+            if !picked.contains(&fill) {
+                picked.push(fill);
+            }
+            fill += 1;
+        }
+        for &t in &picked {
+            b.add_edge(v as NodeId, t);
+            urn.push(v as NodeId);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use crate::degree::degree_stats;
+
+    #[test]
+    fn connected_with_expected_size() {
+        let g = barabasi_albert(500, 3, 11);
+        assert_eq!(g.num_nodes(), 500);
+        assert!(is_connected(&g));
+        // clique(4) has 6 edges; each of the 496 remaining vertices adds 3.
+        assert_eq!(g.num_edges(), 6 + 496 * 3);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(200, 4, 3);
+        let s = degree_stats(&g);
+        assert!(s.min >= 4);
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let g = barabasi_albert(2000, 2, 9);
+        let s = degree_stats(&g);
+        // Hubs should be far above the mean for a BA graph of this size.
+        assert!(s.max as f64 > 8.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_m() {
+        barabasi_albert(10, 0, 1);
+    }
+}

@@ -1,0 +1,500 @@
+//! Synthetic counterparts of the paper's four dataset classes.
+//!
+//! The paper evaluates on 12 real graphs (Table I) grouped into web, social,
+//! community and road classes, and its per-class analysis (§IV-C2) explains
+//! each technique's benefit through four structural fingerprints:
+//!
+//! | class     | identical | deg-1/2 chains | redundant 3/4 | BiCC structure |
+//! |-----------|-----------|----------------|---------------|----------------|
+//! | web       | ~44 %     | ~54 %          | ~2.4 %        | very many tiny BiCCs + one large |
+//! | social    | ~38 %     | ~50 %          | ≈ 0           | skewed: largest ≈ 72 % after I+C |
+//! | community | moderate  | moderate       | ~5–7 %        | largest ≈ 80 % |
+//! | road      | few       | 70–85 %        | ≈ 0           | largest > 90 %, few BiCCs |
+//!
+//! These generators reproduce those fingerprints at configurable scale, so
+//! the per-class conclusions — *which* technique pays off *where* — can be
+//! reproduced without the original files (unavailable offline; see
+//! DESIGN.md §3).
+
+use super::{barabasi_albert, grid_graph};
+use crate::connectivity::make_connected;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four dataset classes of the paper (Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphClass {
+    /// Hyperlink graphs (web-NotreDame, web-BerkStan, webbase-1M).
+    Web,
+    /// Social networks (soc-Slashdot*, soc-douban).
+    Social,
+    /// Community / collaboration networks (caidaRouterLevel, citationCiteseer, com-amazon).
+    Community,
+    /// Road networks (osm-minnesota, osm-luxembourg, usroads).
+    Road,
+}
+
+impl GraphClass {
+    /// All classes, in the paper's Table I order.
+    pub const ALL: [GraphClass; 4] =
+        [GraphClass::Web, GraphClass::Social, GraphClass::Community, GraphClass::Road];
+
+    /// Generates a synthetic member of this class.
+    pub fn generate(self, params: ClassParams) -> CsrGraph {
+        match self {
+            GraphClass::Web => web_like(params),
+            GraphClass::Social => social_like(params),
+            GraphClass::Community => community_like(params),
+            GraphClass::Road => road_like(params),
+        }
+    }
+
+    /// Lower-case name as used in harness CLIs.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphClass::Web => "web",
+            GraphClass::Social => "social",
+            GraphClass::Community => "community",
+            GraphClass::Road => "road",
+        }
+    }
+}
+
+impl std::str::FromStr for GraphClass {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "web" => Ok(GraphClass::Web),
+            "social" => Ok(GraphClass::Social),
+            "community" => Ok(GraphClass::Community),
+            "road" => Ok(GraphClass::Road),
+            other => Err(format!("unknown graph class '{other}'")),
+        }
+    }
+}
+
+/// Scale and seed for a class generator. The generators treat
+/// `target_nodes` as approximate (± a few percent): structure, not exact
+/// size, is what the experiments depend on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassParams {
+    /// Approximate vertex count of the generated graph.
+    pub target_nodes: usize,
+    /// RNG seed; generation is deterministic per (class, params).
+    pub seed: u64,
+}
+
+impl ClassParams {
+    /// Convenience constructor.
+    pub fn new(target_nodes: usize, seed: u64) -> Self {
+        Self { target_nodes, seed }
+    }
+}
+
+/// Rebuilds `core` into a [`GraphBuilder`] with headroom for `extra` vertices.
+fn builder_from(core: &CsrGraph, extra: usize) -> GraphBuilder {
+    // Node ids beyond the core are claimed lazily via `ensure_node` so no
+    // isolated padding vertices are ever created.
+    let mut b = GraphBuilder::with_capacity(core.num_nodes(), core.num_edges() + 2 * extra);
+    b.extend_edges(core.edges());
+    b
+}
+
+/// Attaches `count` degree-1 leaves to hubs of `core`, in identical groups
+/// of `group_lo..=group_hi` leaves per hub. Returns the next free id.
+fn attach_identical_leaf_groups(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    core_nodes: usize,
+    mut next: NodeId,
+    count: usize,
+    group_lo: usize,
+    group_hi: usize,
+) -> NodeId {
+    let mut remaining = count;
+    while remaining > 0 {
+        let hub = rng.gen_range(0..core_nodes) as NodeId;
+        let size = rng.gen_range(group_lo..=group_hi).min(remaining);
+        for _ in 0..size {
+            b.ensure_node(next);
+            b.add_edge(hub, next);
+            next += 1;
+        }
+        remaining -= size;
+    }
+    next
+}
+
+/// Attaches pendant chains (paper Type-1) of length `len_lo..=len_hi` to
+/// random core vertices until `count` chain vertices are added.
+fn attach_pendant_chains(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    core_nodes: usize,
+    mut next: NodeId,
+    count: usize,
+    len_lo: usize,
+    len_hi: usize,
+) -> NodeId {
+    let mut remaining = count;
+    while remaining > 0 {
+        let mut anchor = rng.gen_range(0..core_nodes) as NodeId;
+        let len = rng.gen_range(len_lo..=len_hi).min(remaining);
+        for _ in 0..len {
+            b.ensure_node(next);
+            b.add_edge(anchor, next);
+            anchor = next;
+            next += 1;
+        }
+        remaining -= len;
+    }
+    next
+}
+
+/// Attaches parallel 2-vertex "identical chain" pairs: two fresh vertices,
+/// both adjacent to the same random pair `(a, b)` of core vertices — each is
+/// a degree-2 chain of length 1 between the same endpoints (paper Type-4 /
+/// Fig. 1(c)).
+fn attach_identical_chain_pairs(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    core_nodes: usize,
+    mut next: NodeId,
+    pairs: usize,
+) -> NodeId {
+    for _ in 0..pairs {
+        let a = rng.gen_range(0..core_nodes) as NodeId;
+        let mut c = rng.gen_range(0..core_nodes) as NodeId;
+        if c == a {
+            c = (c + 1) % core_nodes as NodeId;
+        }
+        for _ in 0..2 {
+            b.ensure_node(next);
+            b.add_edge(a, next);
+            b.add_edge(c, next);
+            next += 1;
+        }
+    }
+    next
+}
+
+/// Adds `count` redundant degree-3 apexes (paper Fig. 1(e)): closes a wedge
+/// of `core` into a triangle and attaches a fresh vertex to all three
+/// corners. Wedges are read from `core`, so apexes never stack on apexes.
+fn attach_redundant3(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    core: &CsrGraph,
+    mut next: NodeId,
+    count: usize,
+) -> NodeId {
+    let n = core.num_nodes();
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < count && guard < 50 * count + 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n) as NodeId;
+        let nbrs = core.neighbors(u);
+        if nbrs.len() < 2 {
+            continue;
+        }
+        let i = rng.gen_range(0..nbrs.len());
+        let mut j = rng.gen_range(0..nbrs.len());
+        if i == j {
+            j = (j + 1) % nbrs.len();
+        }
+        let (v, w) = (nbrs[i], nbrs[j]);
+        b.add_edge(v, w); // close the wedge (no-op if already an edge)
+        b.ensure_node(next);
+        b.add_edge(next, u);
+        b.add_edge(next, v);
+        b.add_edge(next, w);
+        next += 1;
+        added += 1;
+    }
+    next
+}
+
+/// Adds `count` redundant degree-4 apexes (paper Fig. 1(f)): picks a wedge,
+/// closes it into a triangle `u,v,w`, adds one helper vertex `y` adjacent to
+/// all of `u,v,w` (forming a K4), then the apex adjacent to all four — every
+/// apex neighbour is adjacent to ≥ 2 other apex neighbours.
+fn attach_redundant4(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    core: &CsrGraph,
+    mut next: NodeId,
+    count: usize,
+) -> NodeId {
+    let n = core.num_nodes();
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < count && guard < 50 * count + 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n) as NodeId;
+        let nbrs = core.neighbors(u);
+        if nbrs.len() < 2 {
+            continue;
+        }
+        let i = rng.gen_range(0..nbrs.len());
+        let mut j = rng.gen_range(0..nbrs.len());
+        if i == j {
+            j = (j + 1) % nbrs.len();
+        }
+        let (v, w) = (nbrs[i], nbrs[j]);
+        b.add_edge(v, w);
+        let y = next;
+        b.ensure_node(y);
+        b.add_edge(y, u);
+        b.add_edge(y, v);
+        b.add_edge(y, w);
+        let apex = next + 1;
+        b.ensure_node(apex);
+        b.add_edge(apex, u);
+        b.add_edge(apex, v);
+        b.add_edge(apex, w);
+        b.add_edge(apex, y);
+        next += 2;
+        added += 1;
+    }
+    next
+}
+
+/// Web-class generator: scale-free hyperlink-like core plus a dominant
+/// fringe of identical leaf groups and pendant chains, and a sprinkle of
+/// redundant 3-degree apexes. Roughly 44 % of vertices end up in identical
+/// groups and over half have degree ≤ 2, matching Table I's web rows.
+pub fn web_like(params: ClassParams) -> CsrGraph {
+    let n = params.target_nodes.max(64);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let core_n = (n as f64 * 0.28) as usize;
+    let core = barabasi_albert(core_n.max(8), 3, rng.gen());
+
+    let identical = (n as f64 * 0.38) as usize;
+    let chains = (n as f64 * 0.24) as usize;
+    // Table I: web graphs carry ~7 % identical *chain* nodes (22 K/325 K).
+    let ident_chain_pairs = (n as f64 * 0.033) as usize;
+    let redundant = (n as f64 * 0.025) as usize;
+
+    let mut b = builder_from(&core, identical + chains + 2 * ident_chain_pairs + redundant);
+    let mut next = core.num_nodes() as NodeId;
+    next = attach_identical_leaf_groups(&mut b, &mut rng, core.num_nodes(), next, identical, 2, 6);
+    next = attach_pendant_chains(&mut b, &mut rng, core.num_nodes(), next, chains, 2, 6);
+    next = attach_identical_chain_pairs(&mut b, &mut rng, core.num_nodes(), next, ident_chain_pairs);
+    let _ = attach_redundant3(&mut b, &mut rng, &core, next, redundant);
+    make_connected(&b.build()).0
+}
+
+/// Social-class generator: a large preferential-attachment core (the skewed
+/// giant BiCC the paper reports), a heavy degree-1/2 fringe with identical
+/// leaf groups, and essentially no redundant 3/4-degree structure — which is
+/// why the paper *skips* the R technique on this class.
+pub fn social_like(params: ClassParams) -> CsrGraph {
+    let n = params.target_nodes.max(64);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let core_n = (n as f64 * 0.45) as usize;
+    let core = barabasi_albert(core_n.max(10), 4, rng.gen());
+
+    let identical = (n as f64 * 0.33) as usize;
+    let chains = (n as f64 * 0.18) as usize;
+    let ident_chain_pairs = (n as f64 * 0.005) as usize;
+
+    let mut b = builder_from(&core, identical + chains + 2 * ident_chain_pairs);
+    let mut next = core.num_nodes() as NodeId;
+    next = attach_identical_leaf_groups(&mut b, &mut rng, core.num_nodes(), next, identical, 2, 4);
+    next = attach_pendant_chains(&mut b, &mut rng, core.num_nodes(), next, chains, 1, 3);
+    let _ = attach_identical_chain_pairs(&mut b, &mut rng, core.num_nodes(), next, ident_chain_pairs);
+    make_connected(&b.build()).0
+}
+
+/// Community-class generator: dense planted communities bridged by sparse
+/// inter-community edges (one dominant BiCC covering ~80 % of the reduced
+/// graph), with moderate identical / chain fringes and a visible population
+/// of redundant 3/4-degree vertices — the class where the paper applies
+/// *all* of I+C+R.
+pub fn community_like(params: ClassParams) -> CsrGraph {
+    let n = params.target_nodes.max(128);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let core_n = (n as f64 * 0.62) as usize;
+    let comm_size = 60usize.min(core_n / 4).max(8);
+    let num_comm = (core_n / comm_size).max(2);
+
+    let mut b = GraphBuilder::with_capacity(core_n, core_n * 4);
+    b.ensure_node((core_n - 1) as NodeId);
+    // Dense intra-community wiring: ring + random chords.
+    for c in 0..num_comm {
+        let lo = c * comm_size;
+        let hi = ((c + 1) * comm_size).min(core_n);
+        if hi - lo < 2 {
+            continue;
+        }
+        for v in lo..hi {
+            let w = if v + 1 < hi { v + 1 } else { lo };
+            b.add_edge(v as NodeId, w as NodeId);
+        }
+        let chords = (hi - lo) * 2;
+        for _ in 0..chords {
+            let u = rng.gen_range(lo..hi) as NodeId;
+            let v = rng.gen_range(lo..hi) as NodeId;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    // Inter-community bridges: ring of communities + random extra pairs,
+    // two edges per link so the union stays biconnected (one giant BiCC).
+    let link = |b: &mut GraphBuilder, rng: &mut StdRng, c1: usize, c2: usize| {
+        for _ in 0..2 {
+            let u = (c1 * comm_size + rng.gen_range(0..comm_size.min(core_n - c1 * comm_size)))
+                as NodeId;
+            let v = (c2 * comm_size + rng.gen_range(0..comm_size.min(core_n - c2 * comm_size)))
+                as NodeId;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    };
+    for c in 0..num_comm {
+        link(&mut b, &mut rng, c, (c + 1) % num_comm);
+    }
+    for _ in 0..num_comm {
+        let c1 = rng.gen_range(0..num_comm);
+        let c2 = rng.gen_range(0..num_comm);
+        if c1 != c2 {
+            link(&mut b, &mut rng, c1, c2);
+        }
+    }
+    let core = b.build();
+
+    let identical = (n as f64 * 0.12) as usize;
+    let chains = (n as f64 * 0.17) as usize;
+    let redundant3 = (n as f64 * 0.045) as usize;
+    let redundant4_sites = (n as f64 * 0.01) as usize;
+
+    let mut b = builder_from(&core, identical + chains + redundant3 + 2 * redundant4_sites);
+    let mut next = core.num_nodes() as NodeId;
+    next = attach_identical_leaf_groups(&mut b, &mut rng, core.num_nodes(), next, identical, 2, 3);
+    next = attach_pendant_chains(&mut b, &mut rng, core.num_nodes(), next, chains, 1, 4);
+    next = attach_redundant3(&mut b, &mut rng, &core, next, redundant3);
+    let _ = attach_redundant4(&mut b, &mut rng, &core, next, redundant4_sites);
+    make_connected(&b.build()).0
+}
+
+/// Road-class generator: a planar-ish grid whose edges are subdivided into
+/// degree-2 runs (streets between junctions) plus dead-end pendant chains —
+/// 70–85 % of vertices end up with degree ≤ 2 and one biconnected component
+/// covers the overwhelming majority of the graph, matching Table I's road
+/// rows. Identical and redundant nodes are nearly absent, which is why the
+/// paper applies only the chain technique to this class.
+pub fn road_like(params: ClassParams) -> CsrGraph {
+    let n = params.target_nodes.max(64);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Expected vertices per grid edge after subdivision: 1 + E[extra] with
+    // extra uniform in 0..=3 (mean 1.5). A rows*cols grid has ~2*r*c edges.
+    // Solve r*c * (1 + 2*1.5) ≈ 0.9 n  →  r*c ≈ 0.225 n.
+    let junctions = ((n as f64 * 0.225) as usize).max(9);
+    let side = (junctions as f64).sqrt() as usize;
+    let (rows, cols) = (side.max(3), (junctions / side.max(1)).max(3));
+    let grid = grid_graph(rows, cols);
+
+    let pendant = (n as f64 * 0.08) as usize;
+    let mut b = GraphBuilder::with_capacity(grid.num_nodes(), 2 * n);
+    let mut next = grid.num_nodes() as NodeId;
+    // Subdivide each grid edge into a path with 0..=3 interior vertices.
+    for (u, v) in grid.edges() {
+        let interior = rng.gen_range(0..=3usize);
+        let mut prev = u;
+        for _ in 0..interior {
+            b.ensure_node(next);
+            b.add_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+        b.add_edge(prev, v);
+    }
+    // Dead-end streets.
+    next = attach_pendant_chains(&mut b, &mut rng, grid.num_nodes(), next, pendant, 1, 5);
+    // Rounding in the junction/subdivision arithmetic can undershoot small
+    // targets; top up with extra dead ends so the output stays near `n`.
+    if (next as usize) < n * 17 / 20 {
+        let deficit = n * 17 / 20 - next as usize;
+        let _ = attach_pendant_chains(&mut b, &mut rng, grid.num_nodes(), next, deficit, 1, 4);
+    }
+    make_connected(&b.build()).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use crate::degree::degree_stats;
+
+    fn params(n: usize) -> ClassParams {
+        ClassParams::new(n, 12345)
+    }
+
+    #[test]
+    fn all_classes_connected_and_sized() {
+        for class in GraphClass::ALL {
+            let g = class.generate(params(3000));
+            assert!(is_connected(&g), "{class:?} not connected");
+            let n = g.num_nodes();
+            assert!(
+                (2000..=4500).contains(&n),
+                "{class:?} size {n} far from target 3000"
+            );
+        }
+    }
+
+    #[test]
+    fn road_is_low_degree_dominated() {
+        let g = road_like(params(4000));
+        let frac = degree_stats(&g).low_degree_fraction();
+        assert!(
+            (0.55..=0.95).contains(&frac),
+            "road deg<=2 fraction {frac} outside paper's band"
+        );
+    }
+
+    #[test]
+    fn web_has_majority_low_degree_fringe() {
+        let g = web_like(params(4000));
+        let frac = degree_stats(&g).low_degree_fraction();
+        assert!(frac > 0.45, "web deg<=2 fraction {frac} too small");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        for class in GraphClass::ALL {
+            assert_eq!(class.generate(params(1500)), class.generate(params(1500)));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = web_like(ClassParams::new(1500, 1));
+        let b = web_like(ClassParams::new(1500, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_parsing() {
+        assert_eq!("web".parse::<GraphClass>().unwrap(), GraphClass::Web);
+        assert_eq!("ROAD".parse::<GraphClass>().unwrap(), GraphClass::Road);
+        assert!("metro".parse::<GraphClass>().is_err());
+        for c in GraphClass::ALL {
+            assert_eq!(c.name().parse::<GraphClass>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn tiny_targets_clamped() {
+        for class in GraphClass::ALL {
+            let g = class.generate(ClassParams::new(10, 3));
+            assert!(is_connected(&g));
+            assert!(g.num_nodes() >= 10);
+        }
+    }
+}

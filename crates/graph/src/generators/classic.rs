@@ -1,0 +1,182 @@
+//! Deterministic structured graphs.
+//!
+//! These exercise exactly the structures the BRICS reductions target:
+//! paths and caterpillars (chains), stars (identical leaves), cliques
+//! (redundant nodes), lollipops (biconnected block + pendant chain).
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Path `0 - 1 - … - (n-1)`.
+pub fn path_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// Cycle `0 - 1 - … - (n-1) - 0`. Requires `n >= 3`.
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// Star with centre `0` and `n - 1` leaves.
+pub fn star_graph(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n {
+        b.add_edge(0, i as NodeId);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as NodeId, j as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` vertices with `legs` pendant leaves
+/// on every spine vertex. Spine ids come first.
+pub fn caterpillar(spine: usize, legs: usize) -> CsrGraph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..spine {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    let mut next = spine as NodeId;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(s as NodeId, next);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Lollipop: clique `K_m` (ids `0..m`) plus a pendant path of `tail`
+/// vertices attached to vertex `0`.
+pub fn lollipop(m: usize, tail: usize) -> CsrGraph {
+    assert!(m >= 1);
+    let n = m + tail;
+    let mut b = GraphBuilder::with_capacity(n, m * m / 2 + tail);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            b.add_edge(i as NodeId, j as NodeId);
+        }
+    }
+    let mut prev = 0 as NodeId;
+    for t in 0..tail {
+        let v = (m + t) as NodeId;
+        b.add_edge(prev, v);
+        prev = v;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn path_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_too_small() {
+        cycle_graph(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star_graph(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete_graph(5);
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 11); // a tree
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 3); // end of spine + 2 legs
+        assert_eq!(g.degree(1), 4); // interior spine + 2 legs
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.degree(0), 4); // clique + tail
+        assert_eq!(g.degree(6), 1); // tail end
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(path_graph(0).num_nodes(), 0);
+        assert_eq!(path_graph(1).num_edges(), 0);
+        assert_eq!(star_graph(1).num_edges(), 0);
+        assert_eq!(complete_graph(1).num_edges(), 0);
+    }
+}

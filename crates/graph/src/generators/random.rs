@@ -1,0 +1,93 @@
+//! Uniform-ish random models.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random labelled tree: vertex `i > 0` attaches to a uniformly random
+/// earlier vertex. (A random recursive tree — not Prüfer-uniform, but cheap,
+/// connected by construction, and adequate for tests.)
+pub fn random_tree(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(p as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// Connected `G(n, m)`-style graph: a random recursive tree plus
+/// `m - (n-1)` extra distinct uniformly random edges (best effort — the
+/// final edge count can be slightly below `m` if duplicates are drawn
+/// repeatedly; it is never above).
+///
+/// # Panics
+/// Panics if `m < n - 1` (cannot be connected) for `n > 0`.
+pub fn gnm_random_connected(n: usize, m: usize, seed: u64) -> CsrGraph {
+    if n == 0 {
+        return CsrGraph::empty();
+    }
+    assert!(m + 1 >= n, "m = {m} too small to connect {n} vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(p as NodeId, i as NodeId);
+    }
+    let extra = m.saturating_sub(n.saturating_sub(1));
+    let mut attempts = 0usize;
+    let max_attempts = extra.saturating_mul(20) + 100;
+    let mut added = 0usize;
+    while added < extra && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn tree_is_connected_tree() {
+        let g = random_tree(50, 7);
+        assert_eq!(g.num_edges(), 49);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnm_connected_and_sized() {
+        let g = gnm_random_connected(100, 300, 42);
+        assert!(is_connected(&g));
+        assert!(g.num_edges() <= 300);
+        assert!(g.num_edges() >= 99);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(gnm_random_connected(40, 80, 5), gnm_random_connected(40, 80, 5));
+        assert_ne!(gnm_random_connected(40, 80, 5), gnm_random_connected(40, 80, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn gnm_rejects_underconnected() {
+        gnm_random_connected(10, 3, 1);
+    }
+
+    #[test]
+    fn degenerate() {
+        assert_eq!(random_tree(0, 1).num_nodes(), 0);
+        assert_eq!(random_tree(1, 1).num_nodes(), 1);
+        assert_eq!(gnm_random_connected(0, 0, 1).num_nodes(), 0);
+        assert_eq!(gnm_random_connected(1, 0, 1).num_nodes(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! R-MAT recursive matrix generator (Chakrabarti–Zhan–Faloutsos).
+
+use crate::{connectivity::make_connected, CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT generator over `2^scale` vertices with `edges` undirected edge
+/// draws and quadrant probabilities `(a, b, c)` (`d = 1 - a - b - c`).
+/// The classic skewed setting is `(0.57, 0.19, 0.19)`.
+///
+/// The result is normalised to a simple graph and made connected (isolated
+/// padding vertices are linked in), so the final edge count can differ
+/// slightly from `edges`.
+///
+/// # Panics
+/// Panics if the probabilities are invalid or `scale` is 0.
+pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
+    assert!((1..31).contains(&scale), "scale out of range");
+    let d = 1.0 - a - b - c;
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must be a distribution"
+    );
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, edges);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    let (g, _) = make_connected(&builder.build());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use crate::degree::degree_stats;
+
+    #[test]
+    fn size_and_connectivity() {
+        let g = rmat(10, 4000, 0.57, 0.19, 0.19, 1);
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(is_connected(&g));
+        assert!(g.num_edges() <= 4000 + 1024);
+    }
+
+    #[test]
+    fn skewed_quadrants_give_skewed_degrees() {
+        let g = rmat(11, 10000, 0.57, 0.19, 0.19, 7);
+        let s = degree_stats(&g);
+        assert!(s.max as f64 > 5.0 * s.mean);
+    }
+
+    #[test]
+    fn uniform_quadrants_roughly_flat() {
+        let g = rmat(10, 8000, 0.25, 0.25, 0.25, 7);
+        let s = degree_stats(&g);
+        assert!((s.max as f64) < 4.0 * s.mean.max(4.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            rmat(8, 1000, 0.57, 0.19, 0.19, 3),
+            rmat(8, 1000, 0.57, 0.19, 0.19, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probabilities() {
+        rmat(8, 100, 0.9, 0.2, 0.2, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! A fast, non-cryptographic hasher for integer-heavy keys.
+//!
+//! Identical-node detection hashes millions of short neighbour lists; the
+//! std `SipHash` is needlessly slow for that (see the Rust Performance Book,
+//! "Hashing"). This is the well-known Fx multiply-rotate-xor construction
+//! (as used by rustc), reimplemented here (~40 lines) instead of adding a
+//! crate outside the allowed dependency set. HashDoS resistance is not a
+//! concern: inputs are graph structure, not attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash (64-bit golden-ratio based).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style streaming hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hashes a slice of node ids in one shot (used for neighbour-list grouping).
+pub fn hash_ids(ids: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(ids.len());
+    for &id in ids {
+        h.write_u32(id);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_hash_equal() {
+        assert_eq!(hash_ids(&[1, 2, 3]), hash_ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn different_slices_hash_differently() {
+        // Not guaranteed in general, but these must differ for any sane hash.
+        assert_ne!(hash_ids(&[1, 2, 3]), hash_ids(&[1, 2, 4]));
+        assert_ne!(hash_ids(&[1, 2]), hash_ids(&[1, 2, 0]));
+        assert_ne!(hash_ids(&[]), hash_ids(&[0]));
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(hash_ids(&[1, 2]), hash_ids(&[2, 1]));
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(42, 7);
+        assert_eq!(m.get(&42), Some(&7));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+    }
+
+    #[test]
+    fn write_bytes_consistent_with_chunks() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,133 @@
+//! SNAP-style edge list format.
+//!
+//! One `u v` pair per line, any whitespace separator; lines beginning with
+//! `#` or `%` are comments. Vertex ids are arbitrary `u32`s; the reader
+//! sizes the graph to `max id + 1`. Directed inputs are symmetrised by the
+//! builder, matching the paper's preprocessing.
+
+use super::IoError;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an edge list from any reader.
+pub fn read_edge_list_from<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut b = GraphBuilder::new(0);
+    let mut line = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<NodeId, IoError> {
+            tok.ok_or_else(|| IoError::Parse {
+                line: lineno,
+                message: "expected two vertex ids".into(),
+            })?
+            .parse::<NodeId>()
+            .map_err(|e| IoError::Parse { line: lineno, message: format!("bad vertex id: {e}") })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        b.ensure_node(u.max(v));
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Reads an edge list file.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    read_edge_list_from(std::fs::File::open(path)?)
+}
+
+/// Writes each undirected edge once as `u v`, preceded by a summary comment.
+pub fn write_edge_list_to<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# undirected simple graph: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an edge list file.
+pub fn write_edge_list<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), IoError> {
+    write_edge_list_to(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let data = "# comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let g = read_edge_list_from(data.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn tolerates_tabs_and_extra_columns() {
+        let data = "0\t5\t1.5\n5 2 weight\n";
+        let g = read_edge_list_from(data.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetrises_directed_input() {
+        let data = "0 1\n1 0\n";
+        let g = read_edge_list_from(data.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list_from("0 x\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_column() {
+        assert!(read_edge_list_from("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list_to(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_from(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list_from("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let dir = std::env::temp_dir().join("brics-edgelist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Typed IO errors.
+
+use std::fmt;
+
+/// Errors produced by the graph readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem / stream error.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file header or contents are structurally invalid for the format.
+    Format(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = IoError::Parse { line: 3, message: "bad id".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: bad id");
+        let e = IoError::Format("empty header".into());
+        assert!(e.to_string().contains("empty header"));
+    }
+
+    #[test]
+    fn io_error_sources() {
+        use std::error::Error;
+        let e: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

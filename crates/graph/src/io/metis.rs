@@ -1,0 +1,203 @@
+//! METIS graph format.
+//!
+//! The format of the METIS partitioner the paper contrasts against (§I-A):
+//! a header `n m [fmt [ncon]]` followed by one line per vertex listing its
+//! neighbours, **1-based**. We read the plain unweighted variant (fmt
+//! absent or `0`/`00`/`000`) and tolerate-but-ignore vertex/edge weights
+//! for `fmt ∈ {1, 10, 11, 100, 101, 110, 111}` is *not* attempted — those
+//! interleave weights positionally and silently misreading them would
+//! corrupt the graph, so they are rejected with a clear error.
+
+use super::IoError;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a METIS graph file (unweighted variant).
+pub fn read_metis_from<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    // Header: first non-comment line. Comments start with '%'.
+    let (n, m) = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(IoError::Format("empty file".into()));
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(IoError::Format("header needs at least 'n m'".into()));
+        }
+        let n: usize = fields[0]
+            .parse()
+            .map_err(|e| IoError::Parse { line: lineno, message: format!("bad n: {e}") })?;
+        let m: usize = fields[1]
+            .parse()
+            .map_err(|e| IoError::Parse { line: lineno, message: format!("bad m: {e}") })?;
+        if let Some(fmt) = fields.get(2) {
+            if fmt.chars().any(|c| c != '0') {
+                return Err(IoError::Format(format!(
+                    "weighted METIS format '{fmt}' is not supported (weights would be \
+                     silently misread); strip weights first"
+                )));
+            }
+        }
+        break (n, m);
+    };
+
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut vertex = 0usize;
+    while vertex < n {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(IoError::Format(format!(
+                "expected {n} vertex lines, found {vertex}"
+            )));
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        for tok in t.split_whitespace() {
+            let w: usize = tok.parse().map_err(|e| IoError::Parse {
+                line: lineno,
+                message: format!("bad neighbour id '{tok}': {e}"),
+            })?;
+            if w == 0 || w > n {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    message: format!("neighbour {w} outside 1..={n}"),
+                });
+            }
+            b.add_edge(vertex as NodeId, (w - 1) as NodeId);
+        }
+        vertex += 1;
+    }
+    let g = b.build();
+    if g.num_edges() != m {
+        // METIS counts each undirected edge once; tolerate mismatches from
+        // deduplication but report blatant corruption.
+        if g.num_edges() > m {
+            return Err(IoError::Format(format!(
+                "header claims {m} edges but file contains {}",
+                g.num_edges()
+            )));
+        }
+    }
+    Ok(g)
+}
+
+/// Reads a METIS file.
+pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    read_metis_from(std::fs::File::open(path)?)
+}
+
+/// Writes the graph in METIS format (unweighted).
+pub fn write_metis_to<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% written by brics-graph")?;
+    writeln!(w, "{} {}", g.num_nodes(), g.num_edges())?;
+    for v in g.nodes() {
+        let mut first = true;
+        for &u in g.neighbors(v) {
+            if first {
+                write!(w, "{}", u + 1)?;
+                first = false;
+            } else {
+                write!(w, " {}", u + 1)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a METIS file.
+pub fn write_metis<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), IoError> {
+    write_metis_to(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIANGLE_TAIL: &str = "% comment\n4 4\n2 3\n1 3\n1 2 4\n3\n";
+
+    #[test]
+    fn parses_basic() {
+        let g = read_metis_from(TRIANGLE_TAIL.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn isolated_vertices_blank_lines() {
+        let data = "3 1\n2\n1\n\n";
+        let g = read_metis_from(data.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn rejects_weighted_format() {
+        let data = "2 1 1\n2 5\n1 5\n";
+        assert!(matches!(read_metis_from(data.as_bytes()), Err(IoError::Format(_))));
+        let data011 = "2 1 011\n";
+        assert!(read_metis_from(data011.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn accepts_fmt_zero() {
+        let data = "2 1 0\n2\n1\n";
+        let g = read_metis_from(data.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_garbage() {
+        assert!(read_metis_from("2 1\n3\n\n".as_bytes()).is_err());
+        assert!(read_metis_from("2 1\n0\n\n".as_bytes()).is_err());
+        assert!(read_metis_from("2 1\nx\n\n".as_bytes()).is_err());
+        assert!(read_metis_from("".as_bytes()).is_err());
+        assert!(read_metis_from("5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_overcount() {
+        assert!(read_metis_from("3 2\n2\n1\n".as_bytes()).is_err()); // missing line
+        assert!(read_metis_from("3 1\n2 3\n1 3\n1 2\n".as_bytes()).is_err()); // >m edges
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        );
+        let mut buf = Vec::new();
+        write_metis_to(&g, &mut buf).unwrap();
+        let g2 = read_metis_from(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = crate::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let dir = std::env::temp_dir().join("brics-metis-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.graph");
+        write_metis(&g, &path).unwrap();
+        assert_eq!(read_metis(&path).unwrap(), g);
+    }
+}

@@ -1,0 +1,25 @@
+//! Graph file IO.
+//!
+//! Three formats cover the paper's data sources and the surrounding
+//! toolchain:
+//!
+//! * `edgelist` — whitespace-separated `u v` pairs per line, `#`/`%`
+//!   comments; the SNAP collection's native format.
+//! * `mtx` — MatrixMarket `coordinate` files; the University of Florida
+//!   (SuiteSparse) collection's native format.
+//! * `metis` — the METIS partitioner's adjacency format (unweighted
+//!   variant), for interop with the decomposition tooling the paper
+//!   contrasts against (§I-A).
+//!
+//! Both readers normalise through [`crate::GraphBuilder`], so loaded graphs
+//! are always simple and undirected, as the paper's preprocessing requires.
+
+mod edgelist;
+mod error;
+mod metis;
+mod mtx;
+
+pub use edgelist::{read_edge_list, read_edge_list_from, write_edge_list, write_edge_list_to};
+pub use error::IoError;
+pub use metis::{read_metis, read_metis_from, write_metis, write_metis_to};
+pub use mtx::{read_mtx, read_mtx_from, write_mtx, write_mtx_to};

@@ -1,0 +1,189 @@
+//! MatrixMarket coordinate format (SuiteSparse / UF collection).
+//!
+//! Supported: `%%MatrixMarket matrix coordinate <field> <symmetry>` where
+//! the field is `pattern`, `real` or `integer` (values are ignored — the
+//! paper treats all graphs as unweighted) and symmetry is `general` or
+//! `symmetric`. Ids in the file are 1-based per the specification.
+
+use super::IoError;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a MatrixMarket coordinate file as an undirected graph.
+pub fn read_mtx_from<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    // Header line.
+    if reader.read_line(&mut line)? == 0 {
+        return Err(IoError::Format("empty file".into()));
+    }
+    lineno += 1;
+    let header: Vec<String> = line.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    if header.len() < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+        return Err(IoError::Format(format!("not a MatrixMarket header: {}", line.trim())));
+    }
+    if header[2] != "coordinate" {
+        return Err(IoError::Format(format!("unsupported storage '{}'", header[2])));
+    }
+    match header[3].as_str() {
+        "pattern" | "real" | "integer" => {}
+        other => return Err(IoError::Format(format!("unsupported field '{other}'"))),
+    }
+    match header[4].as_str() {
+        "general" | "symmetric" => {}
+        other => return Err(IoError::Format(format!("unsupported symmetry '{other}'"))),
+    }
+
+    // Size line (first non-comment line).
+    let (rows, cols, nnz) = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(IoError::Format("missing size line".into()));
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let mut next_usize = || -> Result<usize, IoError> {
+            it.next()
+                .ok_or_else(|| IoError::Parse { line: lineno, message: "short size line".into() })?
+                .parse::<usize>()
+                .map_err(|e| IoError::Parse { line: lineno, message: format!("bad size: {e}") })
+        };
+        break (next_usize()?, next_usize()?, next_usize()?);
+    };
+    if rows != cols {
+        return Err(IoError::Format(format!("adjacency matrix must be square, got {rows}x{cols}")));
+    }
+
+    let mut b = GraphBuilder::with_capacity(rows, nnz);
+    let mut seen = 0usize;
+    while seen < nnz {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(IoError::Format(format!("expected {nnz} entries, found {seen}")));
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let mut next_id = || -> Result<usize, IoError> {
+            it.next()
+                .ok_or_else(|| IoError::Parse { line: lineno, message: "short entry".into() })?
+                .parse::<usize>()
+                .map_err(|e| IoError::Parse { line: lineno, message: format!("bad id: {e}") })
+        };
+        let i = next_id()?;
+        let j = next_id()?;
+        if i == 0 || j == 0 || i > rows || j > rows {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("entry ({i},{j}) outside 1..={rows}"),
+            });
+        }
+        b.add_edge((i - 1) as NodeId, (j - 1) as NodeId);
+        seen += 1;
+    }
+    Ok(b.build())
+}
+
+/// Reads a MatrixMarket file.
+pub fn read_mtx<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    read_mtx_from(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as a symmetric pattern MatrixMarket file.
+pub fn write_mtx_to<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern symmetric")?;
+    writeln!(w, "{} {} {}", g.num_nodes(), g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        // Symmetric format stores the lower triangle: row >= column.
+        writeln!(w, "{} {}", v + 1, u + 1)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a MatrixMarket file.
+pub fn write_mtx<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), IoError> {
+    write_mtx_to(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIANGLE: &str = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                            % a triangle\n\
+                            3 3 3\n\
+                            2 1\n3 1\n3 2\n";
+
+    #[test]
+    fn parses_symmetric_pattern() {
+        let g = read_mtx_from(TRIANGLE.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn parses_real_general_ignoring_values() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 4\n\
+                    1 2 0.5\n2 1 0.5\n2 3 1.25\n1 1 9.0\n";
+        let g = read_mtx_from(data.as_bytes()).unwrap();
+        // self-loop (1,1) dropped, (1,2)/(2,1) collapsed
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
+        assert!(matches!(read_mtx_from(data.as_bytes()), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_mtx_from("hello\n".as_bytes()).is_err());
+        assert!(read_mtx_from(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_entries() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n";
+        assert!(read_mtx_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 3\n";
+        assert!(read_mtx_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut buf = Vec::new();
+        write_mtx_to(&g, &mut buf).unwrap();
+        let g2 = read_mtx_from(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn one_based_ids_mapped() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n4 4 1\n4 1\n";
+        let g = read_mtx_from(data.as_bytes()).unwrap();
+        assert!(g.has_edge(3, 0));
+    }
+}

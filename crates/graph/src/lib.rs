@@ -1,0 +1,68 @@
+//! Graph substrate for the BRICS farness-centrality estimator.
+//!
+//! This crate provides everything the estimator crates build on:
+//!
+//! * [`CsrGraph`] — a compact, immutable, undirected graph in Compressed
+//!   Sparse Row form, the representation every algorithm in the workspace
+//!   operates on.
+//! * [`GraphBuilder`] — normalises arbitrary edge lists into simple
+//!   undirected graphs (self-loops dropped, parallel edges collapsed,
+//!   directions symmetrised), exactly the preprocessing the paper applies to
+//!   its datasets (§IV-B).
+//! * [`io`] — plain edge-list and MatrixMarket readers/writers.
+//! * [`generators`] — classic random-graph models plus per-class synthetic
+//!   counterparts of the paper's web / social / community / road datasets.
+//! * [`traversal`] — serial BFS with reusable buffers and rayon-parallel
+//!   multi-source BFS, the computational kernel of farness estimation.
+//! * [`connectivity`] — connected components and the "make connected"
+//!   normalisation the paper uses.
+//!
+//! # Example
+//!
+//! ```
+//! use brics_graph::{GraphBuilder, traversal::Bfs};
+//!
+//! let mut b = GraphBuilder::new(5);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 3);
+//! b.add_edge(3, 4);
+//! let g = b.build();
+//!
+//! let mut bfs = Bfs::new(g.num_nodes());
+//! let dist = bfs.run(&g, 0);
+//! assert_eq!(dist[4], 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod connectivity;
+pub mod csr;
+pub mod degree;
+pub mod eccentricity;
+pub mod generators;
+pub mod hash;
+pub mod io;
+pub mod reorder;
+pub mod subgraph;
+pub mod traversal;
+pub mod weighted;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use subgraph::InducedSubgraph;
+
+/// Node identifier. Graphs in this workspace are bounded to `u32::MAX - 1`
+/// vertices; 32-bit ids halve the memory traffic of the BFS kernels relative
+/// to `usize` on 64-bit targets (see the CSR layout notes in [`csr`]).
+pub type NodeId = u32;
+
+/// Sentinel for "no node" / "unvisited" in dense arrays.
+pub const INVALID_NODE: NodeId = NodeId::MAX;
+
+/// Distance type used by BFS. `u32::MAX` marks unreachable.
+pub type Dist = u32;
+
+/// Sentinel distance for unreachable vertices.
+pub const INFINITE_DIST: Dist = Dist::MAX;

@@ -1,0 +1,159 @@
+//! Induced subgraph extraction with id mapping.
+//!
+//! The BRICS cumulative estimator runs BFS *inside* each biconnected
+//! component (paper Algorithm 5, step 2). Blocks are materialised as compact
+//! CSR graphs over local ids `0..|B|`, with both directions of the id
+//! mapping retained so distances can be reported against original ids.
+
+use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
+
+/// A vertex-induced subgraph plus the local↔global id maps.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph over local ids `0..local_to_global.len()`.
+    pub graph: CsrGraph,
+    /// `local_to_global[l]` = original id of local vertex `l`.
+    pub local_to_global: Vec<NodeId>,
+    /// `global_to_local[g]` = local id of original vertex `g`,
+    /// or `INVALID_NODE` if `g` is not in the subgraph.
+    pub global_to_local: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Extracts the subgraph induced by `vertices` (duplicates are ignored;
+    /// local ids follow first-occurrence order of `vertices`).
+    pub fn extract(g: &CsrGraph, vertices: &[NodeId]) -> Self {
+        let mut global_to_local = vec![INVALID_NODE; g.num_nodes()];
+        let mut local_to_global = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            if global_to_local[v as usize] == INVALID_NODE {
+                global_to_local[v as usize] = local_to_global.len() as NodeId;
+                local_to_global.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(local_to_global.len());
+        for (l, &v) in local_to_global.iter().enumerate() {
+            for &w in g.neighbors(v) {
+                let lw = global_to_local[w as usize];
+                if lw != INVALID_NODE && (lw as usize) > l {
+                    b.add_edge(l as NodeId, lw);
+                }
+            }
+        }
+        Self { graph: b.build(), local_to_global, global_to_local }
+    }
+
+    /// Extracts a subgraph over `vertices` keeping only the listed `edges`
+    /// (given in *global* ids). Used for biconnected blocks, where the block
+    /// is defined by an edge set: a cut vertex belongs to several blocks and
+    /// the induced edge set would wrongly merge them.
+    pub fn from_edge_list(g: &CsrGraph, vertices: &[NodeId], edges: &[(NodeId, NodeId)]) -> Self {
+        let mut global_to_local = vec![INVALID_NODE; g.num_nodes()];
+        let mut local_to_global = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            if global_to_local[v as usize] == INVALID_NODE {
+                global_to_local[v as usize] = local_to_global.len() as NodeId;
+                local_to_global.push(v);
+            }
+        }
+        let mut b = GraphBuilder::with_capacity(local_to_global.len(), edges.len());
+        for &(u, v) in edges {
+            let lu = global_to_local[u as usize];
+            let lv = global_to_local[v as usize];
+            assert!(
+                lu != INVALID_NODE && lv != INVALID_NODE,
+                "edge ({u},{v}) references a vertex outside the subgraph"
+            );
+            b.add_edge(lu, lv);
+        }
+        Self { graph: b.build(), local_to_global, global_to_local }
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn len(&self) -> usize {
+        self.local_to_global.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.local_to_global.is_empty()
+    }
+
+    /// Local id of a global vertex, if present.
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        let l = self.global_to_local[global as usize];
+        (l != INVALID_NODE).then_some(l)
+    }
+
+    /// Global id of a local vertex.
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.local_to_global[local as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_plus_tail() -> CsrGraph {
+        // 0-1, 0-2, 1-3, 2-3 (diamond), 3-4 (tail)
+        GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn extract_induced_keeps_internal_edges_only() {
+        let g = diamond_plus_tail();
+        let sub = InducedSubgraph::extract(&g, &[0, 1, 3]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.graph.num_edges(), 2); // 0-1 and 1-3
+        assert!(sub.graph.has_edge(0, 1)); // local(0)-local(1)
+        let l3 = sub.to_local(3).unwrap();
+        let l0 = sub.to_local(0).unwrap();
+        assert!(!sub.graph.has_edge(l0, l3)); // 0-3 not an edge in g
+    }
+
+    #[test]
+    fn id_maps_roundtrip() {
+        let g = diamond_plus_tail();
+        let sub = InducedSubgraph::extract(&g, &[4, 2, 3]);
+        for l in 0..sub.len() as NodeId {
+            assert_eq!(sub.to_local(sub.to_global(l)), Some(l));
+        }
+        assert_eq!(sub.to_local(0), None);
+        assert_eq!(sub.to_global(0), 4); // first-occurrence order
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = diamond_plus_tail();
+        let sub = InducedSubgraph::extract(&g, &[1, 1, 2, 1]);
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn from_edge_list_restricts_edges() {
+        let g = diamond_plus_tail();
+        // Vertices of the diamond, but only 3 of its 4 edges.
+        let sub =
+            InducedSubgraph::from_edge_list(&g, &[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(sub.graph.num_edges(), 3);
+        let l2 = sub.to_local(2).unwrap();
+        let l3 = sub.to_local(3).unwrap();
+        assert!(!sub.graph.has_edge(l2, l3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the subgraph")]
+    fn from_edge_list_rejects_foreign_edges() {
+        let g = diamond_plus_tail();
+        InducedSubgraph::from_edge_list(&g, &[0, 1], &[(3, 4)]);
+    }
+
+    #[test]
+    fn empty_extraction() {
+        let g = diamond_plus_tail();
+        let sub = InducedSubgraph::extract(&g, &[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.graph.num_nodes(), 0);
+    }
+}

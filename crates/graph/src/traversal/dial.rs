@@ -1,0 +1,271 @@
+//! Dial's algorithm: single-source shortest paths with small non-negative
+//! integer edge weights, via a bucket queue.
+//!
+//! Chain contraction (see `brics-reduce`) replaces degree-2 runs with
+//! weighted edges, so the reduced graph needs a weighted traversal. Weights
+//! are chain lengths — small integers — which makes Dial's bucket queue the
+//! right tool: `O(n + m + max_dist)` with no heap, and identical to plain
+//! BFS when every weight is 1.
+
+use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
+
+/// Reusable Dial scratch: distance array plus a rolling bucket queue.
+/// When called without weights it degenerates to a plain FIFO BFS with no
+/// bucket overhead, so one scratch type serves both traversals.
+#[derive(Clone, Debug)]
+pub struct DialBfs {
+    dist: Vec<Dist>,
+    touched: Vec<NodeId>,
+    buckets: Vec<Vec<NodeId>>,
+    queue: Vec<NodeId>,
+}
+
+impl DialBfs {
+    /// Creates scratch space for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist: vec![INFINITE_DIST; n],
+            touched: Vec::new(),
+            buckets: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Grows the distance array if needed.
+    pub fn resize(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITE_DIST);
+        }
+    }
+
+    /// Runs weighted SSSP from `source`. `weights`, when present, is
+    /// aligned with `g.targets()` (the arc order of the CSR); when absent
+    /// every edge has weight 1.
+    ///
+    /// Invokes `visit(v, d)` once per settled vertex (including the source
+    /// at 0) and returns `(settled_count, Σ distances)`.
+    ///
+    /// # Panics
+    /// Panics if any weight is 0 (contracted chains always have length ≥ 1,
+    /// so a zero weight indicates corrupted input).
+    pub fn run_with<F: FnMut(NodeId, Dist)>(
+        &mut self,
+        g: &CsrGraph,
+        weights: Option<&[u32]>,
+        source: NodeId,
+        mut visit: F,
+    ) -> (usize, u64) {
+        debug_assert!((source as usize) < g.num_nodes());
+        let Some(weights) = weights else {
+            return self.run_unweighted(g, source, visit);
+        };
+        assert_eq!(weights.len(), g.targets().len(), "weights misaligned with arcs");
+        self.resize(g.num_nodes());
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITE_DIST;
+        }
+        self.touched.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        if self.buckets.is_empty() {
+            self.buckets.push(Vec::new());
+        }
+        self.buckets[0].push(source);
+
+        let offsets = g.offsets();
+        let targets = g.targets();
+        let mut reached = 0usize;
+        let mut sum = 0u64;
+        let mut cur = 0usize;
+        let mut pending = 1usize;
+        while pending > 0 {
+            while cur < self.buckets.len() && self.buckets[cur].is_empty() {
+                cur += 1;
+            }
+            if cur >= self.buckets.len() {
+                break;
+            }
+            let u = self.buckets[cur].pop().unwrap();
+            pending -= 1;
+            let du = cur as Dist;
+            if self.dist[u as usize] != du {
+                continue; // stale entry (lazy deletion)
+            }
+            reached += 1;
+            sum += du as u64;
+            visit(u, du);
+            let (lo, hi) = (offsets[u as usize], offsets[u as usize + 1]);
+            for a in lo..hi {
+                let v = targets[a];
+                let w = weights[a];
+                assert!(w > 0, "zero edge weight");
+                let dv = du.saturating_add(w);
+                if dv < self.dist[v as usize] {
+                    if self.dist[v as usize] == INFINITE_DIST {
+                        self.touched.push(v);
+                    }
+                    self.dist[v as usize] = dv;
+                    let bi = dv as usize;
+                    if bi >= self.buckets.len() {
+                        self.buckets.resize_with(bi + 1, Vec::new);
+                    }
+                    self.buckets[bi].push(v);
+                    pending += 1;
+                }
+            }
+        }
+        // Drain any remaining stale entries so the next run starts clean.
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        (reached, sum)
+    }
+
+    /// Plain FIFO BFS fast path for unit weights.
+    fn run_unweighted<F: FnMut(NodeId, Dist)>(
+        &mut self,
+        g: &CsrGraph,
+        source: NodeId,
+        mut visit: F,
+    ) -> (usize, u64) {
+        self.resize(g.num_nodes());
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITE_DIST;
+        }
+        self.touched.clear();
+        self.queue.clear();
+
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.queue.push(source);
+        visit(source, 0);
+
+        let mut head = 0usize;
+        let mut reached = 1usize;
+        let mut sum = 0u64;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &v in g.neighbors(u) {
+                if self.dist[v as usize] == INFINITE_DIST {
+                    let dv = du + 1;
+                    self.dist[v as usize] = dv;
+                    self.touched.push(v);
+                    self.queue.push(v);
+                    visit(v, dv);
+                    reached += 1;
+                    sum += dv as u64;
+                }
+            }
+        }
+        (reached, sum)
+    }
+
+    /// Distance array of the most recent run.
+    pub fn distances(&self) -> &[Dist] {
+        &self.dist
+    }
+
+    /// Mutable distance array (same caveats as `Bfs::distances_mut`).
+    pub fn distances_mut(&mut self) -> &mut [Dist] {
+        &mut self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances;
+    use crate::generators::{cycle_graph, gnm_random_connected};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        for seed in 0..5 {
+            let g = gnm_random_connected(60, 90, seed);
+            let mut dial = DialBfs::new(60);
+            dial.run_with(&g, None, 3, |_, _| {});
+            assert_eq!(dial.distances()[..60], bfs_distances(&g, 3)[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weighted_triangle() {
+        // 0-1 w=5, 1-2 w=1, 0-2 w=1: d(0,1) = 2 via 2.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        // CSR arcs: 0:[1,2], 1:[0,2], 2:[0,1] — weights aligned.
+        let weights = vec![5, 1, 5, 1, 1, 1];
+        let mut dial = DialBfs::new(3);
+        let (reached, sum) = dial.run_with(&g, Some(&weights), 0, |_, _| {});
+        assert_eq!(reached, 3);
+        assert_eq!(dial.distances(), &[0, 2, 1]);
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn weighted_path_contracted_semantics() {
+        // Simulates a contracted chain: 0 -(w3)- 1 -(w1)- 2.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let weights = vec![3, 3, 1, 1]; // arcs: 0:[1], 1:[0,2], 2:[1]
+        let mut dial = DialBfs::new(3);
+        dial.run_with(&g, Some(&weights), 2, |_, _| {});
+        assert_eq!(dial.distances(), &[4, 1, 0]);
+    }
+
+    #[test]
+    fn visit_called_once_per_vertex() {
+        let g = cycle_graph(8);
+        let mut dial = DialBfs::new(8);
+        let mut count = [0u32; 8];
+        dial.run_with(&g, None, 0, |v, _| count[v as usize] += 1);
+        assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn reuse_resets() {
+        let g = cycle_graph(6);
+        let mut dial = DialBfs::new(6);
+        dial.run_with(&g, None, 0, |_, _| {});
+        let first = dial.distances().to_vec();
+        dial.run_with(&g, None, 0, |_, _| {});
+        assert_eq!(dial.distances(), &first[..]);
+        dial.run_with(&g, None, 3, |_, _| {});
+        assert_eq!(dial.distances()[3], 0);
+        assert_eq!(dial.distances()[0], 3);
+    }
+
+    #[test]
+    fn disconnected_unreached_is_infinite() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut dial = DialBfs::new(4);
+        let (reached, _) = dial.run_with(&g, None, 0, |_, _| {});
+        assert_eq!(reached, 2);
+        assert_eq!(dial.distances()[2], INFINITE_DIST);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_weights_rejected() {
+        let g = cycle_graph(4);
+        let mut dial = DialBfs::new(4);
+        dial.run_with(&g, Some(&[1, 2]), 0, |_, _| {});
+    }
+
+    #[test]
+    fn stale_entries_skipped() {
+        // Diamond where relaxation improves a vertex after first insert:
+        // 0-1 w=10, 0-2 w=1, 2-1 w=1: 1 gets bucket 10 then bucket 2.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let weights = vec![10, 1, 10, 1, 1, 1];
+        let mut dial = DialBfs::new(3);
+        let (reached, sum) = dial.run_with(&g, Some(&weights), 0, |_, _| {});
+        assert_eq!(reached, 3);
+        assert_eq!(dial.distances(), &[0, 2, 1]);
+        assert_eq!(sum, 3);
+    }
+}

@@ -1,0 +1,16 @@
+//! Breadth-first traversal kernels.
+//!
+//! Farness estimation is BFS-bound: the random-sampling baseline runs one
+//! BFS per sampled vertex over the whole graph, and the BRICS cumulative
+//! approach runs block-local BFS per sampled vertex. Both parallelise over
+//! *sources* (the paper's OpenMP model, §II-A / Algorithm 5 step 2), which
+//! rayon expresses as a parallel iterator over sources with thread-local
+//! scratch buffers.
+
+mod bfs;
+mod dial;
+mod parallel;
+
+pub use bfs::{bfs_distances, Bfs};
+pub use dial::DialBfs;
+pub use parallel::{atomic_view, par_bfs_accumulate, par_bfs_from_sources, AccumulatorStats};

@@ -1,0 +1,171 @@
+//! Rayon-parallel multi-source BFS.
+//!
+//! Parallelism is over *sources*: each worker owns a private [`Bfs`] scratch
+//! (via `map_init`) and publishes per-vertex distance sums into a shared
+//! atomic accumulator. This mirrors the paper's OpenMP loop over sampled
+//! vertices (Algorithm 1 line 3, Algorithm 5 line 5) and keeps memory at
+//! `O(n)` total rather than `O(n·k)` — the same space optimisation §II-A
+//! describes.
+
+use super::bfs::Bfs;
+use crate::{CsrGraph, Dist, NodeId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reinterprets an exclusively-held `u64` slice as atomics so rayon workers
+/// can publish into it lock-free. Safe: `AtomicU64` is `repr(transparent)`
+/// over `u64` and the exclusive borrow guarantees no other access.
+pub fn atomic_view(acc: &mut [u64]) -> &[AtomicU64] {
+    unsafe { std::slice::from_raw_parts(acc.as_ptr() as *const AtomicU64, acc.len()) }
+}
+
+/// Summary statistics of a multi-source accumulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccumulatorStats {
+    /// Number of BFS traversals performed.
+    pub num_sources: usize,
+    /// Total vertices visited across all traversals.
+    pub total_visited: u64,
+}
+
+/// Runs one BFS per source in parallel and accumulates, for every vertex
+/// `u`, the partial farness `Σ_{s ∈ sources} d(s, u)` into `acc[u]`.
+///
+/// Additionally returns, per source `s` (in input order), the pair
+/// `(reached, Σ_w d(s, w))` — the source's *exact* farness when the graph is
+/// connected.
+///
+/// Unreachable pairs contribute nothing (callers are expected to pass
+/// connected graphs or blocks; the reached counts let them detect otherwise).
+pub fn par_bfs_accumulate(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    acc: &mut [u64],
+) -> (Vec<(usize, u64)>, AccumulatorStats) {
+    assert!(acc.len() >= g.num_nodes(), "accumulator too small");
+    let atomic_acc = atomic_view(acc);
+
+    let per_source: Vec<(usize, u64)> = sources
+        .par_iter()
+        .map_init(
+            || Bfs::new(g.num_nodes()),
+            |bfs, &s| {
+                bfs.run_with(g, s, |v, d| {
+                    if d > 0 {
+                        atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                    }
+                })
+            },
+        )
+        .collect();
+
+    let stats = AccumulatorStats {
+        num_sources: sources.len(),
+        total_visited: per_source.iter().map(|&(r, _)| r as u64).sum(),
+    };
+    (per_source, stats)
+}
+
+/// Runs one BFS per source in parallel, returning the full distance array of
+/// each (row order matches `sources`).
+///
+/// `O(n·k)` memory — intended for block-local use where `n` is a block size,
+/// or for tests and oracles.
+pub fn par_bfs_from_sources(g: &CsrGraph, sources: &[NodeId]) -> Vec<Vec<Dist>> {
+    sources
+        .par_iter()
+        .map_init(
+            || Bfs::new(g.num_nodes()),
+            |bfs, &s| bfs.run(g, s)[..g.num_nodes()].to_vec(),
+        )
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by vertex id
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances;
+    use crate::GraphBuilder;
+
+    fn grid3x3() -> CsrGraph {
+        // 0 1 2
+        // 3 4 5
+        // 6 7 8
+        let mut b = GraphBuilder::new(9);
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c < 2 {
+                    b.add_edge(v, v + 1);
+                }
+                if r < 2 {
+                    b.add_edge(v, v + 3);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn accumulate_matches_serial_sum() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![0, 4, 8];
+        let mut acc = vec![0u64; 9];
+        let (per_source, stats) = par_bfs_accumulate(&g, &sources, &mut acc);
+
+        for v in 0..9 {
+            let expect: u64 = sources
+                .iter()
+                .map(|&s| bfs_distances(&g, s)[v] as u64)
+                .sum();
+            assert_eq!(acc[v], expect, "vertex {v}");
+        }
+        assert_eq!(stats.num_sources, 3);
+        assert_eq!(stats.total_visited, 27);
+        // Per-source farness of the centre of a 3x3 grid is 1*4 + 2*4 = 12.
+        assert_eq!(per_source[1], (9, 12));
+    }
+
+    #[test]
+    fn accumulate_all_sources_gives_exact_farness() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let mut acc = vec![0u64; 9];
+        let (per_source, _) = par_bfs_accumulate(&g, &sources, &mut acc);
+        // With every vertex as a source, acc[v] == farness(v) == per-source sum.
+        for v in 0..9 {
+            assert_eq!(acc[v], per_source[v].1);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_matches_serial() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![2, 6];
+        let rows = par_bfs_from_sources(&g, &sources);
+        assert_eq!(rows[0], bfs_distances(&g, 2));
+        assert_eq!(rows[1], bfs_distances(&g, 6));
+    }
+
+    #[test]
+    fn empty_sources() {
+        let g = grid3x3();
+        let mut acc = vec![0u64; 9];
+        let (rows, stats) = par_bfs_accumulate(&g, &[], &mut acc);
+        assert!(rows.is_empty());
+        assert_eq!(stats.total_visited, 0);
+        assert!(acc.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn accumulator_is_additive_across_calls() {
+        let g = grid3x3();
+        let mut acc = vec![0u64; 9];
+        par_bfs_accumulate(&g, &[0], &mut acc);
+        par_bfs_accumulate(&g, &[8], &mut acc);
+        let mut expect = vec![0u64; 9];
+        par_bfs_accumulate(&g, &[0, 8], &mut expect);
+        assert_eq!(acc, expect);
+    }
+}

@@ -1,0 +1,102 @@
+//! Weighted-graph support for chain contraction.
+//!
+//! The workspace's graphs are unweighted; the single place weights appear
+//! is the *contracted* reduced graph, where a surviving degree-2 chain is
+//! replaced by one edge carrying the chain's path length. Weights are
+//! stored as a `Vec<u32>` aligned with [`CsrGraph::targets`] so the CSR
+//! type itself (and everything structural built on it — biconnectivity,
+//! subgraphs) stays untouched.
+
+use crate::{CsrGraph, NodeId};
+
+/// Builds a simple undirected weighted graph from `(u, v, w)` triples.
+/// Parallel edges collapse to the *minimum* weight (the only semantics
+/// under which collapsing preserves shortest-path distances); self-loops
+/// are dropped.
+///
+/// Returns the CSR graph and the arc-aligned weight array.
+pub fn build_weighted(num_nodes: usize, edges: &[(NodeId, NodeId, u32)]) -> (CsrGraph, Vec<u32>) {
+    let mut canon: Vec<(NodeId, NodeId, u32)> = edges
+        .iter()
+        .filter(|&&(u, v, _)| u != v)
+        .map(|&(u, v, w)| if u <= v { (u, v, w) } else { (v, u, w) })
+        .collect();
+    // Sort so equal endpoints group together with smallest weight first.
+    canon.sort_unstable();
+    canon.dedup_by(|next, prev| {
+        // prev comes earlier (smaller weight for same endpoints): drop next.
+        next.0 == prev.0 && next.1 == prev.1
+    });
+    let mut b = crate::GraphBuilder::with_capacity(num_nodes, canon.len());
+    for &(u, v, _) in &canon {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    // Weight lookup aligned to CSR arcs via binary search in canon.
+    let mut weights = Vec::with_capacity(g.num_arcs());
+    for u in g.nodes() {
+        for &v in g.neighbors(u) {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            let idx = canon
+                .binary_search_by(|&(a, b2, _)| (a, b2).cmp(&key))
+                .expect("arc missing from canonical edge list");
+            weights.push(canon[idx].2);
+        }
+    }
+    (g, weights)
+}
+
+/// The weight of the undirected edge `{u, v}` in an arc-aligned weight
+/// array, or `None` when the edge does not exist.
+pub fn edge_weight(g: &CsrGraph, weights: &[u32], u: NodeId, v: NodeId) -> Option<u32> {
+    let nbrs = g.neighbors(u);
+    let pos = nbrs.binary_search(&v).ok()?;
+    Some(weights[g.offsets()[u as usize] + pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::DialBfs;
+
+    #[test]
+    fn builds_and_aligns() {
+        let (g, w) = build_weighted(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 7), (3, 0, 2)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(w.len(), 8);
+        assert_eq!(edge_weight(&g, &w, 0, 1), Some(3));
+        assert_eq!(edge_weight(&g, &w, 1, 0), Some(3));
+        assert_eq!(edge_weight(&g, &w, 2, 3), Some(7));
+        assert_eq!(edge_weight(&g, &w, 0, 2), None);
+    }
+
+    #[test]
+    fn parallel_edges_take_min() {
+        let (g, w) = build_weighted(2, &[(0, 1, 9), (1, 0, 4), (0, 1, 6)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(edge_weight(&g, &w, 0, 1), Some(4));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let (g, _) = build_weighted(2, &[(0, 0, 5), (0, 1, 2)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn dial_runs_on_built_weights() {
+        // Square with one heavy side: 0-1 (1), 1-2 (1), 2-3 (1), 3-0 (10).
+        let (g, w) =
+            build_weighted(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 10)]);
+        let mut dial = DialBfs::new(4);
+        dial.run_with(&g, Some(&w), 0, |_, _| {});
+        assert_eq!(dial.distances(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (g, w) = build_weighted(3, &[]);
+        assert_eq!(g.num_nodes(), 3);
+        assert!(w.is_empty());
+    }
+}

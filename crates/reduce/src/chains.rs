@@ -1,0 +1,412 @@
+//! Chain detection, classification and removal (paper §III-B, Fig. 1).
+//!
+//! A *chain* is a maximal run of degree-2 vertices between two endpoints of
+//! other degree (plus single pendant leaves, the degenerate length-1 case).
+//! The paper's four redundant types are removed; a non-redundant chain — the
+//! unique shortest route between its endpoints — stays in the graph:
+//!
+//! * **Type-1 pendant** — the run ends in a degree-1 vertex: nothing beyond
+//!   it, so every distance into the run goes through the inner anchor.
+//! * **Type-2 cycle** — the run closes a loop on one anchor.
+//! * **Type-3 longer-parallel** — a strictly longer parallel chain between
+//!   the same endpoints (incl. when the direct edge exists, Fig. 1(d)).
+//! * **Type-4 identical-parallel** — equal-length parallel chains; one
+//!   representative chain survives per group.
+//!
+//! Classification is made non-overlapping in exactly the order above, as
+//! §III-B requires.
+
+use crate::mutgraph::MutGraph;
+use crate::records::{ChainKind, Removal};
+use brics_graph::hash::FxHashMap;
+use brics_graph::NodeId;
+
+/// Shape of a detected maximal chain, before redundancy classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainShape {
+    /// Run terminates in a degree-1 vertex (included in `nodes`);
+    /// `u` is the surviving anchor, `v == u`.
+    Pendant,
+    /// Run closes a cycle on anchor `u == v`.
+    Cycle,
+    /// Run connects two distinct endpoints of degree ≥ 3.
+    Between,
+    /// The entire connected component is one cycle of degree-2 vertices;
+    /// there is no anchor, so the chain is never removed.
+    FullCycle,
+}
+
+/// A maximal chain found by [`find_chains`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectedChain {
+    /// First endpoint (the anchor for pendant/cycle shapes).
+    pub u: NodeId,
+    /// Second endpoint (`== u` for pendant/cycle/full-cycle shapes).
+    pub v: NodeId,
+    /// The degree-≤2 run in path order from `u` towards `v`.
+    pub nodes: Vec<NodeId>,
+    /// Structural shape.
+    pub shape: ChainShape,
+}
+
+/// Counters reported by the chain pass (Table I's "Chain Nodes" and the
+/// identical-chain share of its "Identical / Ch.Nodes" column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Vertices lying in any detected chain (kept or removed).
+    pub total_chain_nodes: usize,
+    /// Vertices removed by the pass.
+    pub removed_chain_nodes: usize,
+    /// Vertices removed as identical-parallel (Type-4) chains.
+    pub identical_chain_nodes: usize,
+    /// Number of chains removed, by type: (pendant, cycle, longer, identical).
+    pub removed_chains_by_type: [usize; 4],
+}
+
+/// Finds every maximal chain among the live vertices of `g`.
+pub fn find_chains(g: &MutGraph) -> Vec<DetectedChain> {
+    let n = g.num_ids();
+    let mut in_chain = vec![false; n];
+    let mut chains = Vec::new();
+
+    // Walk helper: from `prev = start`, step to `first`, extend while the
+    // current vertex has degree 2. Returns the endpoint reached, or None if
+    // the walk returned to `start` (component is a pure cycle).
+    let walk = |start: NodeId,
+                first: NodeId,
+                out: &mut Vec<NodeId>,
+                in_chain: &mut Vec<bool>|
+     -> Option<NodeId> {
+        let mut prev = start;
+        let mut cur = first;
+        loop {
+            if cur == start {
+                return None;
+            }
+            if g.degree(cur) != 2 {
+                return Some(cur);
+            }
+            in_chain[cur as usize] = true;
+            out.push(cur);
+            let nbrs = g.neighbors(cur);
+            let nxt = if nbrs[0] == prev { nbrs[1] } else { nbrs[0] };
+            prev = cur;
+            cur = nxt;
+        }
+    };
+
+    for s in 0..n as NodeId {
+        if g.is_removed(s) || g.degree(s) != 2 || in_chain[s as usize] {
+            continue;
+        }
+        in_chain[s as usize] = true;
+        let (a, b) = (g.neighbors(s)[0], g.neighbors(s)[1]);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let end_left = walk(s, a, &mut left, &mut in_chain);
+        if end_left.is_none() {
+            // Pure cycle component: `left` holds every other run vertex.
+            let mut nodes = vec![s];
+            nodes.extend(left);
+            chains.push(DetectedChain { u: s, v: s, nodes, shape: ChainShape::FullCycle });
+            continue;
+        }
+        let end_right = walk(s, b, &mut right, &mut in_chain);
+        let eu = end_left.unwrap();
+        let ev = end_right.expect("right walk cannot re-close a non-cycle");
+
+        // Assemble the run in path order from eu to ev.
+        let mut nodes: Vec<NodeId> = left.iter().rev().copied().collect();
+        nodes.push(s);
+        nodes.extend(right.iter().copied());
+
+        let (du, dv) = (g.degree(eu), g.degree(ev));
+        if eu == ev {
+            chains.push(DetectedChain { u: eu, v: eu, nodes, shape: ChainShape::Cycle });
+        } else if du == 1 && dv == 1 {
+            // Whole component is a path: anchor at eu, absorb ev.
+            nodes.push(ev);
+            in_chain[ev as usize] = true;
+            chains.push(DetectedChain { u: eu, v: eu, nodes, shape: ChainShape::Pendant });
+        } else if dv == 1 {
+            nodes.push(ev);
+            in_chain[ev as usize] = true;
+            chains.push(DetectedChain { u: eu, v: eu, nodes, shape: ChainShape::Pendant });
+        } else if du == 1 {
+            nodes.reverse();
+            nodes.push(eu);
+            in_chain[eu as usize] = true;
+            chains.push(DetectedChain { u: ev, v: ev, nodes, shape: ChainShape::Pendant });
+        } else {
+            chains.push(DetectedChain { u: eu, v: ev, nodes, shape: ChainShape::Between });
+        }
+    }
+
+    // Degenerate pendant leaves with no degree-2 run: a degree-1 vertex
+    // whose neighbour is not degree 2 (else a walk above already owns it).
+    for v in 0..n as NodeId {
+        if g.is_removed(v) || g.degree(v) != 1 || in_chain[v as usize] {
+            continue;
+        }
+        let w = g.neighbors(v)[0];
+        if g.degree(w) == 2 {
+            // `v` is the surviving anchor of a whole-path component whose
+            // run was collected by a walk above; nothing to do.
+            continue;
+        }
+        if g.degree(w) == 1 {
+            // Two-vertex component: keep the smaller id as anchor.
+            if in_chain[w as usize] {
+                continue;
+            }
+            let (anchor, leaf) = if v < w { (v, w) } else { (w, v) };
+            in_chain[leaf as usize] = true;
+            chains
+                .push(DetectedChain { u: anchor, v: anchor, nodes: vec![leaf], shape: ChainShape::Pendant });
+        } else {
+            in_chain[v as usize] = true;
+            chains.push(DetectedChain { u: w, v: w, nodes: vec![v], shape: ChainShape::Pendant });
+        }
+    }
+    chains
+}
+
+/// Detects chains, removes the redundant ones, appends [`Removal::Chain`]
+/// records, and returns pass statistics.
+pub fn remove_redundant_chains(g: &mut MutGraph, records: &mut Vec<Removal>) -> ChainStats {
+    let chains = find_chains(g);
+    let mut stats = ChainStats {
+        total_chain_nodes: chains.iter().map(|c| c.nodes.len()).sum(),
+        ..ChainStats::default()
+    };
+
+    // Partition: pendant / cycle removed outright; Between grouped by
+    // endpoint pair for the parallel analysis; full cycles kept.
+    let mut groups: FxHashMap<(NodeId, NodeId), Vec<DetectedChain>> = FxHashMap::default();
+    let mut removals: Vec<(DetectedChain, ChainKind)> = Vec::new();
+    for c in chains {
+        match c.shape {
+            ChainShape::Pendant => removals.push((c, ChainKind::Pendant)),
+            ChainShape::Cycle => removals.push((c, ChainKind::Cycle)),
+            ChainShape::FullCycle => {}
+            ChainShape::Between => {
+                let key = (c.u.min(c.v), c.u.max(c.v));
+                groups.entry(key).or_default().push(c);
+            }
+        }
+    }
+    let mut keys: Vec<(NodeId, NodeId)> = groups.keys().copied().collect();
+    keys.sort_unstable(); // deterministic removal order
+    for key in keys {
+        let mut group = groups.remove(&key).unwrap();
+        let direct_edge = g.has_edge(key.0, key.1);
+        // Shortest chain first; ties broken by first interior vertex id so
+        // the surviving representative is deterministic.
+        group.sort_by_key(|c| (c.nodes.len(), c.nodes[0]));
+        let keep_len = if direct_edge { 0 } else { group[0].nodes.len() };
+        let start = usize::from(!direct_edge); // keep group[0] unless direct edge
+        for c in group.into_iter().skip(start) {
+            let kind = if !direct_edge && c.nodes.len() == keep_len {
+                ChainKind::IdenticalParallel
+            } else {
+                ChainKind::LongerParallel
+            };
+            removals.push((c, kind));
+        }
+    }
+
+    for (c, kind) in removals {
+        stats.removed_chain_nodes += c.nodes.len();
+        match kind {
+            ChainKind::Pendant => stats.removed_chains_by_type[0] += 1,
+            ChainKind::Cycle => stats.removed_chains_by_type[1] += 1,
+            ChainKind::LongerParallel => stats.removed_chains_by_type[2] += 1,
+            ChainKind::IdenticalParallel => {
+                stats.removed_chains_by_type[3] += 1;
+                stats.identical_chain_nodes += c.nodes.len();
+            }
+            ChainKind::Contracted => unreachable!("contraction happens in the pipeline"),
+        }
+        for &x in &c.nodes {
+            g.remove_vertex(x);
+        }
+        records.push(Removal::Chain { u: c.u, v: c.v, nodes: c.nodes, kind });
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::{cycle_graph, path_graph};
+    use brics_graph::GraphBuilder;
+
+    fn mg(edges: &[(NodeId, NodeId)], n: usize) -> MutGraph {
+        MutGraph::from_csr(&GraphBuilder::from_edges(n, edges))
+    }
+
+    #[test]
+    fn pendant_chain_detected_with_terminal() {
+        // Triangle 0-1-2 with pendant path 2-3-4-5. The triangle's two
+        // degree-2 vertices 0, 1 also form a cycle-chain anchored at 2.
+        let g = mg(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)], 6);
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 2);
+        let pendant = chains.iter().find(|c| c.shape == ChainShape::Pendant).unwrap();
+        assert_eq!(pendant.u, 2);
+        assert_eq!(pendant.nodes, vec![3, 4, 5]);
+        let cyc = chains.iter().find(|c| c.shape == ChainShape::Cycle).unwrap();
+        assert_eq!(cyc.u, 2);
+        assert_eq!(cyc.nodes.len(), 2);
+    }
+
+    #[test]
+    fn single_leaf_detected() {
+        // K4 (no degree-2 vertices) with one leaf on vertex 0.
+        let g = mg(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)], 5);
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].shape, ChainShape::Pendant);
+        assert_eq!(chains[0].u, 0);
+        assert_eq!(chains[0].nodes, vec![4]);
+    }
+
+    #[test]
+    fn cycle_chain_detected() {
+        // K4 on 0..4 plus a cycle 0-4-5-6-0.
+        let g = mg(
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4), (4, 5), (5, 6), (6, 0)],
+            7,
+        );
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.shape, ChainShape::Cycle);
+        assert_eq!(c.u, 0);
+        assert_eq!(c.v, 0);
+        let mut nodes = c.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![4, 5, 6]);
+        // Path order: consecutive nodes adjacent, ends adjacent to anchor.
+        assert!(g.has_edge(c.u, c.nodes[0]));
+        assert!(g.has_edge(c.u, *c.nodes.last().unwrap()));
+    }
+
+    #[test]
+    fn between_chain_detected() {
+        // Two K4s joined by a 2-node chain: endpoints 3 and 6.
+        let g = mg(
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 A
+                (3, 4), (4, 5), (5, 6), // chain
+                (6, 7), (6, 8), (6, 9), (7, 8), (7, 9), (8, 9), // K4 B
+            ],
+            10,
+        );
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.shape, ChainShape::Between);
+        let (mut a, mut b) = (c.u, c.v);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        assert_eq!((a, b), (3, 6));
+        assert_eq!(c.nodes.len(), 2);
+    }
+
+    #[test]
+    fn full_cycle_not_removable() {
+        let mut g = MutGraph::from_csr(&cycle_graph(6));
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].shape, ChainShape::FullCycle);
+        let mut records = Vec::new();
+        let stats = remove_redundant_chains(&mut g, &mut records);
+        assert_eq!(stats.removed_chain_nodes, 0);
+        assert!(records.is_empty());
+        assert_eq!(g.num_live(), 6);
+    }
+
+    #[test]
+    fn whole_path_component_anchored_at_one_end() {
+        let mut g = MutGraph::from_csr(&path_graph(5));
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.shape, ChainShape::Pendant);
+        assert_eq!(c.nodes.len(), 4); // everything except the anchor
+        let mut records = Vec::new();
+        remove_redundant_chains(&mut g, &mut records);
+        assert_eq!(g.num_live(), 1);
+    }
+
+    #[test]
+    fn parallel_chains_keep_shortest() {
+        // Endpoints 0 and 1; chains 0-2-1 (len 1), 0-3-4-1 (len 2).
+        let mut g = mg(&[(0, 2), (2, 1), (0, 3), (3, 4), (4, 1), (0, 5), (1, 6)], 7);
+        // leaves 5, 6 give endpoints degree 3 so the runs are Between chains
+        let mut records = Vec::new();
+        let stats = remove_redundant_chains(&mut g, &mut records);
+        assert!(!g.is_removed(2), "shortest parallel chain must survive");
+        assert!(g.is_removed(3) && g.is_removed(4));
+        assert_eq!(stats.removed_chains_by_type[2], 1); // one longer-parallel
+        assert_eq!(stats.identical_chain_nodes, 0);
+    }
+
+    #[test]
+    fn identical_parallel_chains_keep_one() {
+        // Two equal 2-node chains between 0 and 1 (+ leaves for degree).
+        let mut g = mg(
+            &[(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1), (0, 6), (1, 7), (0, 1)],
+            8,
+        );
+        // Note: direct edge 0-1 exists → per Fig. 1(d) ALL chains are redundant.
+        let mut records = Vec::new();
+        let stats = remove_redundant_chains(&mut g, &mut records);
+        assert!(g.is_removed(2) && g.is_removed(3) && g.is_removed(4) && g.is_removed(5));
+        assert_eq!(stats.removed_chains_by_type[2], 2);
+        // Without the direct edge, one representative chain survives.
+        let mut g2 = mg(&[(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1), (0, 6), (1, 7)], 8);
+        let mut records2 = Vec::new();
+        let stats2 = remove_redundant_chains(&mut g2, &mut records2);
+        assert!(!g2.is_removed(2) && !g2.is_removed(3), "representative chain survives");
+        assert!(g2.is_removed(4) && g2.is_removed(5));
+        assert_eq!(stats2.removed_chains_by_type[3], 1);
+        assert_eq!(stats2.identical_chain_nodes, 2);
+    }
+
+    #[test]
+    fn two_vertex_component() {
+        let mut g = mg(&[(0, 1)], 2);
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].u, 0);
+        assert_eq!(chains[0].nodes, vec![1]);
+        let mut records = Vec::new();
+        remove_redundant_chains(&mut g, &mut records);
+        assert_eq!(g.num_live(), 1);
+    }
+
+    #[test]
+    fn stats_count_total_nodes() {
+        // Triangle + pendant path of 2: the triangle's degree-2 vertices 1, 2
+        // form a cycle-chain (2 nodes) and the pendant run has 2 nodes.
+        let g = mg(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)], 5);
+        let chains = find_chains(&g);
+        let total: usize = chains.iter().map(|c| c.nodes.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn star_leaves_are_individual_pendants() {
+        let mut g = MutGraph::from_csr(&brics_graph::generators::star_graph(4));
+        let chains = find_chains(&g);
+        assert_eq!(chains.len(), 3);
+        assert!(chains.iter().all(|c| c.shape == ChainShape::Pendant && c.u == 0));
+        let mut records = Vec::new();
+        let stats = remove_redundant_chains(&mut g, &mut records);
+        assert_eq!(stats.removed_chain_nodes, 3);
+        assert_eq!(g.num_live(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Identical-node detection and removal (paper §III-A).
+//!
+//! Two vertices are *identical* when their open neighbourhoods are equal —
+//! which for a simple graph implies they are non-adjacent. Every BFS from
+//! anywhere else assigns them the same distance, so each group keeps one
+//! representative and the rest are removed.
+//!
+//! Detection hashes each live vertex's sorted neighbour list (the paper's
+//! "hashing the neighbour list" suggestion) and then verifies equality
+//! exactly within each bucket, so hash collisions can never merge distinct
+//! groups.
+
+use crate::mutgraph::MutGraph;
+use crate::records::Removal;
+use brics_graph::hash::{hash_ids, FxHashMap};
+use brics_graph::NodeId;
+
+/// One group of mutually identical vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdenticalGroup {
+    /// The surviving representative (smallest id in the group).
+    pub rep: NodeId,
+    /// The removed members (all ids except `rep`).
+    pub removed: Vec<NodeId>,
+    /// The group's shared degree at detection time (removals may change the
+    /// rep's degree afterwards; Table-I classification needs this snapshot).
+    pub degree: usize,
+}
+
+/// Finds all identical-node groups among live vertices of `g`.
+///
+/// Vertices of degree 0 are ignored (they are either removed already or
+/// meaningless for a connected input).
+pub fn find_identical_groups(g: &MutGraph) -> Vec<IdenticalGroup> {
+    let mut buckets: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
+    for v in 0..g.num_ids() as NodeId {
+        if g.is_removed(v) || g.degree(v) == 0 {
+            continue;
+        }
+        buckets.entry(hash_ids(g.neighbors(v))).or_default().push(v);
+    }
+    let mut groups = Vec::new();
+    let mut bucket_keys: Vec<u64> = buckets
+        .iter()
+        .filter(|(_, vs)| vs.len() > 1)
+        .map(|(&k, _)| k)
+        .collect();
+    bucket_keys.sort_unstable(); // deterministic output order
+    for key in bucket_keys {
+        let mut members = buckets.remove(&key).unwrap();
+        // Exact verification: sort by neighbour list, then group equal runs.
+        members.sort_by(|&a, &b| g.neighbors(a).cmp(g.neighbors(b)).then(a.cmp(&b)));
+        let mut i = 0;
+        while i < members.len() {
+            let mut j = i + 1;
+            while j < members.len() && g.neighbors(members[j]) == g.neighbors(members[i]) {
+                j += 1;
+            }
+            if j - i > 1 {
+                groups.push(IdenticalGroup {
+                    rep: members[i],
+                    removed: members[i + 1..j].to_vec(),
+                    degree: g.degree(members[i]),
+                });
+            }
+            i = j;
+        }
+    }
+    groups.sort_by_key(|g| g.rep);
+    groups
+}
+
+/// Detects identical groups, removes all non-representatives from `g`, and
+/// appends the corresponding [`Removal::Identical`] records.
+///
+/// Returns `(plain_removed, chain_shaped_removed)`: members of degree-2
+/// groups are identical *chain* nodes of length 1 (paper Fig. 1(c) with
+/// k = ℓ = 1) and are counted separately for Table I. Degrees are
+/// snapshotted at detection time — removals from one group can change
+/// another rep's degree.
+pub fn remove_identical_nodes(g: &mut MutGraph, records: &mut Vec<Removal>) -> (usize, usize) {
+    let groups = find_identical_groups(g);
+    let (mut plain, mut chain_shaped) = (0usize, 0usize);
+    for group in groups {
+        let chainish = group.degree == 2;
+        for node in group.removed {
+            g.remove_vertex(node);
+            records.push(Removal::Identical { node, rep: group.rep });
+            if chainish {
+                chain_shaped += 1;
+            } else {
+                plain += 1;
+            }
+        }
+    }
+    (plain, chain_shaped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::{complete_graph, star_graph};
+    use brics_graph::GraphBuilder;
+
+    fn mg(edges: &[(NodeId, NodeId)], n: usize) -> MutGraph {
+        MutGraph::from_csr(&GraphBuilder::from_edges(n, edges))
+    }
+
+    #[test]
+    fn star_leaves_form_one_group() {
+        let g = MutGraph::from_csr(&star_graph(6));
+        let groups = find_identical_groups(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].rep, 1);
+        assert_eq!(groups[0].removed, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clique_has_no_identical_nodes() {
+        // In K_n, neighbourhoods all differ (each excludes the vertex itself).
+        let g = MutGraph::from_csr(&complete_graph(5));
+        assert!(find_identical_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn degree_two_twins_detected() {
+        // 2 and 3 both adjacent to exactly {0, 1}.
+        let g = mg(&[(0, 2), (1, 2), (0, 3), (1, 3), (0, 1)], 4);
+        let groups = find_identical_groups(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].rep, 2);
+        assert_eq!(groups[0].removed, vec![3]);
+    }
+
+    #[test]
+    fn adjacent_vertices_never_identical() {
+        // 0 and 1 adjacent; N(0) = {1, 2}, N(1) = {0, 2} differ.
+        let g = mg(&[(0, 1), (0, 2), (1, 2)], 3);
+        assert!(find_identical_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn multiple_groups_on_different_hubs() {
+        // Leaves 3,4 on hub 0; leaves 5,6,7 on hub 1.
+        let g = mg(&[(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (1, 5), (1, 6), (1, 7)], 8);
+        let groups = find_identical_groups(&g);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].removed, vec![4]);
+        assert_eq!(groups[1].removed, vec![6, 7]);
+    }
+
+    #[test]
+    fn removal_logs_and_removes() {
+        let mut g = MutGraph::from_csr(&star_graph(5));
+        let mut records = Vec::new();
+        let (plain, chain_shaped) = remove_identical_nodes(&mut g, &mut records);
+        assert_eq!(plain + chain_shaped, 3);
+        assert_eq!(chain_shaped, 0); // leaves are degree-1, not chain-shaped
+        assert_eq!(records.len(), 3);
+        assert!(g.is_removed(2) && g.is_removed(3) && g.is_removed(4));
+        assert!(!g.is_removed(1));
+        assert_eq!(g.degree(0), 1); // only the representative leaf remains
+        for r in &records {
+            match r {
+                Removal::Identical { rep, .. } => assert_eq!(*rep, 1),
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skips_removed_vertices() {
+        let mut g = MutGraph::from_csr(&star_graph(4));
+        g.remove_vertex(3);
+        let groups = find_identical_groups(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].removed, vec![2]);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let g = mg(&[(0, 3), (0, 4), (1, 5), (1, 6), (0, 1), (1, 2), (2, 0)], 7);
+        let a = find_identical_groups(&g);
+        let b = find_identical_groups(&g);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! The R, I and C of BRICS: structural reductions that shrink a graph
+//! without disturbing any surviving shortest-path distance.
+//!
+//! Three techniques from the paper (§III-A–C), applied in the order of its
+//! Algorithm 4:
+//!
+//! 1. **Identical nodes** ([`identical`]) — vertices with equal open
+//!    neighbourhoods share all distances from everywhere else; every group
+//!    keeps one representative.
+//! 2. **Chain nodes** ([`chains`]) — maximal runs of degree-2 vertices.
+//!    The four *redundant* chain types of Fig. 1 (pendant, cycle,
+//!    longer-parallel, identical-parallel) are removed.
+//! 3. **Redundant 3/4-degree nodes** ([`redundant`]) — vertices whose
+//!    neighbourhood is dense enough that no through-shortest-path can need
+//!    them.
+//!
+//! Every removal is logged as a [`Removal`] record; given BFS distances on
+//! the reduced graph, [`reconstruct_distances`] replays the records in
+//! reverse to recover the *exact* distance of every removed vertex (paper
+//! Algorithms 2 and 3). The pipeline is lossless: only sampling, applied
+//! later, introduces estimation error.
+//!
+//! # Example
+//!
+//! ```
+//! use brics_graph::{GraphBuilder, traversal::bfs_distances};
+//! use brics_reduce::{reduce, reconstruct_distances, ReductionConfig};
+//!
+//! // A triangle with a pendant path 2-3-4: the pendant run {3,4} and the
+//! // triangle's degree-2 cycle run {0,1} are all redundant; vertex 2 remains.
+//! let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+//! let r = reduce(&g, &ReductionConfig::all());
+//! assert!(r.removed[3] && r.removed[4]);
+//! assert_eq!(r.num_surviving(), 1);
+//!
+//! // BFS on the reduced graph from a surviving source + reconstruction
+//! // equals BFS on the original graph.
+//! let mut d = bfs_distances(&r.graph, 2);
+//! reconstruct_distances(&r.records, &mut d);
+//! assert_eq!(d, bfs_distances(&g, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod identical;
+mod mutgraph;
+pub mod pipeline;
+mod records;
+pub mod redundant;
+
+pub use mutgraph::MutGraph;
+pub use pipeline::{reduce, ReductionConfig, ReductionResult, ReductionStats};
+pub use records::{
+    apply_record, reconstruct_distances, structural_offsets, ChainKind, Removal,
+};

@@ -1,0 +1,160 @@
+//! A mutable adjacency-list view used while reductions are in flight.
+//!
+//! The reduction passes remove vertices one technique at a time, and each
+//! pass must see the degrees left behind by the previous one (paper
+//! Algorithm 4 applies I, then C, then R to the *running* reduced graph).
+//! CSR cannot be edited in place, so passes operate on this sorted-Vec
+//! adjacency structure and the pipeline converts back to CSR at the end.
+
+use brics_graph::{CsrGraph, GraphBuilder, NodeId};
+
+/// Mutable simple undirected graph with vertex removal.
+#[derive(Clone, Debug)]
+pub struct MutGraph {
+    adj: Vec<Vec<NodeId>>,
+    removed: Vec<bool>,
+    live_edges: usize,
+}
+
+impl MutGraph {
+    /// Copies a CSR graph into mutable form.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let adj = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
+        Self { adj, removed: vec![false; g.num_nodes()], live_edges: g.num_edges() }
+    }
+
+    /// Number of vertices in the original id space (including removed).
+    pub fn num_ids(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of surviving (non-removed) vertices.
+    pub fn num_live(&self) -> usize {
+        self.removed.iter().filter(|&&r| !r).count()
+    }
+
+    /// Number of surviving edges.
+    pub fn num_live_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Whether `v` has been removed.
+    #[inline]
+    pub fn is_removed(&self, v: NodeId) -> bool {
+        self.removed[v as usize]
+    }
+
+    /// Current degree of `v` (0 after removal).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Current sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether the edge `{u, v}` currently exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Removes vertex `v` and all its incident edges.
+    ///
+    /// # Panics
+    /// Panics (debug) if `v` was already removed.
+    pub fn remove_vertex(&mut self, v: NodeId) {
+        debug_assert!(!self.removed[v as usize], "double removal of {v}");
+        self.removed[v as usize] = true;
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        self.live_edges -= nbrs.len();
+        for w in nbrs {
+            let list = &mut self.adj[w as usize];
+            if let Ok(pos) = list.binary_search(&v) {
+                list.remove(pos);
+            }
+        }
+    }
+
+    /// The removal mask (indexed by original vertex id).
+    pub fn removed_mask(&self) -> &[bool] {
+        &self.removed
+    }
+
+    /// Iterates over every live undirected edge once, as `(u, v)`, `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(v, nbrs)| {
+            nbrs.iter()
+                .copied()
+                .filter(move |&w| (v as NodeId) < w)
+                .map(move |w| (v as NodeId, w))
+        })
+    }
+
+    /// Converts back to CSR over the same id space. Removed vertices become
+    /// isolated (degree 0) so original ids remain valid everywhere.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.num_ids(), self.live_edges);
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            for &w in nbrs {
+                if (v as NodeId) < w {
+                    b.add_edge(v as NodeId, w);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::cycle_graph;
+
+    #[test]
+    fn roundtrip_without_removal() {
+        let g = cycle_graph(6);
+        let m = MutGraph::from_csr(&g);
+        assert_eq!(m.to_csr(), g);
+        assert_eq!(m.num_live(), 6);
+        assert_eq!(m.num_live_edges(), 6);
+    }
+
+    #[test]
+    fn remove_vertex_updates_neighbors() {
+        let g = cycle_graph(4);
+        let mut m = MutGraph::from_csr(&g);
+        m.remove_vertex(0);
+        assert!(m.is_removed(0));
+        assert_eq!(m.degree(0), 0);
+        assert_eq!(m.degree(1), 1);
+        assert_eq!(m.degree(3), 1);
+        assert_eq!(m.degree(2), 2);
+        assert_eq!(m.num_live(), 3);
+        assert_eq!(m.num_live_edges(), 2);
+        assert!(!m.has_edge(1, 0));
+        assert!(m.has_edge(1, 2));
+    }
+
+    #[test]
+    fn to_csr_isolates_removed() {
+        let g = cycle_graph(5);
+        let mut m = MutGraph::from_csr(&g);
+        m.remove_vertex(2);
+        let r = m.to_csr();
+        assert_eq!(r.num_nodes(), 5);
+        assert_eq!(r.degree(2), 0);
+        assert_eq!(r.num_edges(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double removal")]
+    fn double_removal_panics() {
+        let mut m = MutGraph::from_csr(&cycle_graph(3));
+        m.remove_vertex(1);
+        m.remove_vertex(1);
+    }
+}

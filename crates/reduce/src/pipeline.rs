@@ -1,0 +1,427 @@
+//! The staged reduction pipeline (paper Algorithm 4).
+//!
+//! Applies, in order: identical-node removal (I), redundant-chain removal
+//! (C), redundant 3/4-degree removal (R) — each technique individually
+//! toggleable so the paper's C+R / I+C+R / Cumulative ablations (§IV-C2)
+//! can be expressed — and returns the reduced graph together with the
+//! removal log and Table-I-style statistics.
+
+use crate::chains::remove_redundant_chains;
+use crate::identical::remove_identical_nodes;
+use crate::mutgraph::MutGraph;
+use crate::records::{ChainKind, Removal};
+use crate::redundant::remove_redundant_nodes;
+use brics_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// Which reduction techniques to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionConfig {
+    /// I — identical-node removal (paper §III-A).
+    pub identical: bool,
+    /// C — redundant-chain removal (paper §III-B).
+    pub chains: bool,
+    /// R — redundant 3/4-degree removal (paper §III-C).
+    pub redundant: bool,
+    /// Contract surviving (non-redundant) chains into weighted edges after
+    /// the removal passes. Lossless (weighted BFS preserves every
+    /// distance); this is what makes the chain technique pay off on road
+    /// networks, whose chains are overwhelmingly non-redundant. Requires
+    /// `chains`. Enabled in every preset except [`ReductionConfig::none`];
+    /// disable with [`ReductionConfig::without_contraction`] for the
+    /// paper-literal ablation.
+    pub contract: bool,
+    /// Extension (off by default / not part of the paper's one-pass
+    /// Algorithm 4): repeat the C and R passes until a fixpoint, catching
+    /// chains and redundant nodes exposed by earlier removals.
+    pub fixpoint: bool,
+}
+
+impl ReductionConfig {
+    /// No reductions at all (the random-sampling baseline's view).
+    pub fn none() -> Self {
+        Self { identical: false, chains: false, redundant: false, contract: false, fixpoint: false }
+    }
+
+    /// All paper techniques, single pass: the Cumulative configuration's
+    /// preprocessing (I + C + R), with chain contraction.
+    pub fn all() -> Self {
+        Self { identical: true, chains: true, redundant: true, contract: true, fixpoint: false }
+    }
+
+    /// The paper's "C+R" ablation: chains then redundant nodes, no identical.
+    pub fn cr() -> Self {
+        Self { identical: false, chains: true, redundant: true, contract: true, fixpoint: false }
+    }
+
+    /// The paper's "I+C+R" ablation.
+    pub fn icr() -> Self {
+        Self::all()
+    }
+
+    /// Chain-only configuration (the paper's choice for road networks).
+    pub fn chains_only() -> Self {
+        Self { identical: false, chains: true, redundant: false, contract: true, fixpoint: false }
+    }
+
+    /// Enables fixpoint iteration on top of this configuration.
+    pub fn with_fixpoint(mut self) -> Self {
+        self.fixpoint = true;
+        self
+    }
+
+    /// Disables chain contraction (removal-only chain handling, as in a
+    /// literal reading of the paper's Algorithm 4).
+    pub fn without_contraction(mut self) -> Self {
+        self.contract = false;
+        self
+    }
+
+    /// Whether any technique is enabled.
+    pub fn any(&self) -> bool {
+        self.identical || self.chains || self.redundant
+    }
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Per-technique counts, in the shape of the paper's Table I columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionStats {
+    /// Vertices removed as identical nodes (non-chain shaped;
+    /// Table I "Identical / Nodes").
+    pub identical_nodes: usize,
+    /// Vertices removed as identical *chain* nodes: degree-2 twins caught by
+    /// the identical pass plus Type-4 chains caught by the chain pass
+    /// (Table I "Identical / Ch.Nodes").
+    pub identical_chain_nodes: usize,
+    /// Vertices removed as redundant 3/4-degree nodes (Table I "Redundant").
+    pub redundant_nodes: usize,
+    /// Vertices lying in detected chains, kept or removed (Table I "Chain
+    /// Nodes" counts all chain membership).
+    pub chain_nodes: usize,
+    /// Vertices removed by the chain pass, *excluding* Type-4 identical
+    /// chains (those are counted under `identical_chain_nodes`, mirroring
+    /// Table I's column layout). The five counters
+    /// `identical_nodes + identical_chain_nodes + removed_chain_nodes +
+    /// contracted_chain_nodes + redundant_nodes` partition `total_removed`.
+    pub removed_chain_nodes: usize,
+    /// Vertices removed by contracting surviving chains into weighted edges.
+    pub contracted_chain_nodes: usize,
+    /// Total removed vertices across all passes.
+    pub total_removed: usize,
+    /// Surviving vertices.
+    pub surviving_nodes: usize,
+    /// Surviving edges.
+    pub surviving_edges: usize,
+    /// Number of fixpoint rounds executed (1 without `fixpoint`).
+    pub rounds: usize,
+}
+
+/// Output of [`reduce`].
+#[derive(Clone, Debug)]
+pub struct ReductionResult {
+    /// The reduced graph over the *original* id space; removed vertices are
+    /// isolated (degree 0). Keeping ids stable lets distance arrays be
+    /// shared between the reduced and original graphs.
+    pub graph: CsrGraph,
+    /// Edge weights aligned with `graph.targets()`, present only when chain
+    /// contraction produced non-unit edges. `None` means every edge has
+    /// weight 1 (traverse with plain BFS); `Some` requires a weighted
+    /// traversal (`brics_graph::traversal::DialBfs`).
+    pub weights: Option<Vec<u32>>,
+    /// `removed[v]` — whether original vertex `v` was removed.
+    pub removed: Vec<bool>,
+    /// Removal log in removal order. Replay in reverse to reconstruct
+    /// distances (see [`crate::reconstruct_distances`]).
+    pub records: Vec<Removal>,
+    /// Table-I-style statistics.
+    pub stats: ReductionStats,
+}
+
+impl ReductionResult {
+    /// Ids of surviving vertices, ascending.
+    pub fn surviving(&self) -> Vec<brics_graph::NodeId> {
+        self.removed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| !r)
+            .map(|(v, _)| v as brics_graph::NodeId)
+            .collect()
+    }
+
+    /// Number of surviving vertices.
+    pub fn num_surviving(&self) -> usize {
+        self.stats.surviving_nodes
+    }
+}
+
+/// Runs the reduction pipeline on `g` (paper Algorithm 4 lines 1–6).
+///
+/// The input is expected to be simple and undirected (any [`CsrGraph`]).
+/// Connectivity is *not* required, but the estimator crates assume it.
+pub fn reduce(g: &CsrGraph, config: &ReductionConfig) -> ReductionResult {
+    let mut mg = MutGraph::from_csr(g);
+    let mut records = Vec::new();
+    let mut stats = ReductionStats::default();
+
+    if config.identical {
+        let (plain, chain_shaped) = remove_identical_nodes(&mut mg, &mut records);
+        stats.identical_nodes += plain;
+        stats.identical_chain_nodes += chain_shaped;
+    }
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut removed_this_round = 0usize;
+        if config.chains {
+            let cs = remove_redundant_chains(&mut mg, &mut records);
+            if rounds == 1 {
+                stats.chain_nodes = cs.total_chain_nodes;
+            }
+            stats.removed_chain_nodes += cs.removed_chain_nodes - cs.identical_chain_nodes;
+            stats.identical_chain_nodes += cs.identical_chain_nodes;
+            removed_this_round += cs.removed_chain_nodes;
+        }
+        if config.redundant {
+            let rs = remove_redundant_nodes(&mut mg, &mut records);
+            stats.redundant_nodes += rs.removed();
+            removed_this_round += rs.removed();
+        }
+        if !config.fixpoint || removed_this_round == 0 {
+            break;
+        }
+    }
+    stats.rounds = rounds;
+
+    // Contraction: replace every surviving between-endpoints chain with a
+    // weighted edge carrying the chain's path length (lossless; see the
+    // `ChainKind::Contracted` docs). Runs after all removal passes so it
+    // also catches chains exposed by the redundant pass.
+    let mut contracted_edges: Vec<(brics_graph::NodeId, brics_graph::NodeId, u32)> = Vec::new();
+    if config.contract && config.chains {
+        for c in crate::chains::find_chains(&mg) {
+            if c.shape != crate::chains::ChainShape::Between {
+                continue;
+            }
+            let w = c.nodes.len() as u32 + 1;
+            for &x in &c.nodes {
+                mg.remove_vertex(x);
+            }
+            stats.contracted_chain_nodes += c.nodes.len();
+            contracted_edges.push((c.u, c.v, w));
+            records.push(Removal::Chain {
+                u: c.u,
+                v: c.v,
+                nodes: c.nodes,
+                kind: ChainKind::Contracted,
+            });
+        }
+    }
+
+    stats.total_removed = records.iter().map(Removal::removed_count).sum();
+    stats.surviving_nodes = mg.num_live();
+
+    let (graph, weights) = if contracted_edges.is_empty() {
+        (mg.to_csr(), None)
+    } else {
+        let mut all: Vec<(brics_graph::NodeId, brics_graph::NodeId, u32)> =
+            mg.edges().map(|(u, v)| (u, v, 1)).collect();
+        all.extend(contracted_edges);
+        let (g, w) = brics_graph::weighted::build_weighted(mg.num_ids(), &all);
+        (g, Some(w))
+    };
+    stats.surviving_edges = graph.num_edges();
+    ReductionResult {
+        graph,
+        weights,
+        removed: mg.removed_mask().to_vec(),
+        records,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::reconstruct_distances;
+    use brics_graph::generators::{
+        caterpillar, complete_graph, cycle_graph, gnm_random_connected, lollipop, star_graph,
+    };
+    use brics_graph::traversal::bfs_distances;
+    use brics_graph::{GraphBuilder, NodeId};
+
+    /// End-to-end exactness oracle: (possibly weighted) BFS on the reduced
+    /// graph from every surviving source + reconstruction must equal BFS on
+    /// the original graph.
+    fn assert_lossless(g: &CsrGraph, config: &ReductionConfig) {
+        use brics_graph::traversal::DialBfs;
+        let r = reduce(g, config);
+        assert_eq!(r.removed.iter().filter(|&&x| x).count(), r.stats.total_removed);
+        let mut dial = DialBfs::new(g.num_nodes());
+        for s in 0..g.num_nodes() as NodeId {
+            if r.removed[s as usize] {
+                continue;
+            }
+            dial.run_with(&r.graph, r.weights.as_deref(), s, |_, _| {});
+            let mut d = dial.distances()[..g.num_nodes()].to_vec();
+            reconstruct_distances(&r.records, &mut d);
+            assert_eq!(d, bfs_distances(g, s), "source {s} config {config:?}");
+        }
+    }
+
+    #[test]
+    fn lossless_on_structured_graphs() {
+        let graphs = [star_graph(8),
+            cycle_graph(9),
+            complete_graph(6),
+            lollipop(5, 4),
+            caterpillar(6, 3),
+            GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])];
+        for (i, g) in graphs.iter().enumerate() {
+            for config in [
+                ReductionConfig::all(),
+                ReductionConfig::cr(),
+                ReductionConfig::chains_only(),
+                ReductionConfig::all().with_fixpoint(),
+            ] {
+                eprintln!("graph {i} config {config:?}");
+                assert_lossless(g, &config);
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_on_random_graphs() {
+        for seed in 0..12 {
+            let g = gnm_random_connected(40, 48 + (seed as usize % 30), seed);
+            assert_lossless(&g, &ReductionConfig::all());
+            assert_lossless(&g, &ReductionConfig::all().with_fixpoint());
+        }
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let g = lollipop(4, 3);
+        let r = reduce(&g, &ReductionConfig::none());
+        assert_eq!(r.graph, g);
+        assert!(r.records.is_empty());
+        assert_eq!(r.stats.total_removed, 0);
+        assert_eq!(r.num_surviving(), 7);
+    }
+
+    #[test]
+    fn star_reduces_to_two_vertices() {
+        // Identical pass keeps one leaf; chain pass removes it as a pendant.
+        let r = reduce(&star_graph(10), &ReductionConfig::all());
+        assert_eq!(r.num_surviving(), 1);
+        assert_eq!(r.stats.identical_nodes, 8);
+        assert_eq!(r.stats.removed_chain_nodes, 1);
+    }
+
+    #[test]
+    fn caterpillar_fixpoint_collapses_further() {
+        let g = caterpillar(10, 2);
+        let one = reduce(&g, &ReductionConfig::chains_only());
+        let fix = reduce(&g, &ReductionConfig::chains_only().with_fixpoint());
+        assert!(fix.num_surviving() <= one.num_surviving());
+        assert!(fix.stats.rounds >= 1);
+        assert_lossless(&g, &ReductionConfig::chains_only().with_fixpoint());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = gnm_random_connected(60, 80, 3);
+        let r = reduce(&g, &ReductionConfig::all());
+        assert_eq!(r.stats.surviving_nodes + r.stats.total_removed, g.num_nodes());
+        assert_eq!(r.graph.num_edges(), r.stats.surviving_edges);
+        assert_eq!(r.surviving().len(), r.stats.surviving_nodes);
+        assert_eq!(
+            r.stats.total_removed,
+            r.stats.identical_nodes
+                + r.stats.identical_chain_nodes
+                + r.stats.removed_chain_nodes
+                + r.stats.contracted_chain_nodes
+                + r.stats.redundant_nodes
+        );
+    }
+
+    #[test]
+    fn contraction_collapses_grid_subdivisions() {
+        // A subdivided grid (road-like structure): every subdivision vertex
+        // is a non-redundant chain node; contraction must remove them all.
+        use brics_graph::generators::grid_graph;
+        let base = grid_graph(5, 5);
+        let mut b = brics_graph::GraphBuilder::with_capacity(25, 200);
+        for (next, (u, v)) in (25u32..).zip(base.edges()) {
+            // subdivide each edge once: u - x - v
+            b.ensure_node(next);
+            b.add_edge(u, next);
+            b.add_edge(next, v);
+        }
+        let g = b.build();
+        let with = reduce(&g, &ReductionConfig::chains_only());
+        let without = reduce(&g, &ReductionConfig::chains_only().without_contraction());
+        assert!(with.stats.contracted_chain_nodes > 0);
+        assert!(with.num_surviving() < without.num_surviving());
+        // All subdivision vertices go, and the four degree-2 grid corners
+        // are themselves chain nodes so they contract away too: 25 - 4.
+        assert_eq!(with.num_surviving(), 21);
+        assert!(with.weights.is_some());
+        assert_lossless(&g, &ReductionConfig::chains_only());
+    }
+
+    #[test]
+    fn contraction_lossless_on_random_graphs() {
+        use brics_graph::generators::gnm_random_connected;
+        for seed in 0..10 {
+            // Sparse graphs (m close to n) have many surviving chains.
+            let g = gnm_random_connected(50, 54, 700 + seed);
+            assert_lossless(&g, &ReductionConfig::all());
+            assert_lossless(&g, &ReductionConfig::all().without_contraction());
+            assert_lossless(&g, &ReductionConfig::all().with_fixpoint());
+        }
+    }
+
+    #[test]
+    fn contracted_weights_match_chain_lengths() {
+        // Two K4s joined by a 3-vertex chain → contracted edge weight 4.
+        let g = brics_graph::GraphBuilder::from_edges(
+            11,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                (3, 4), (4, 5), (5, 6), (6, 7),
+                (7, 8), (7, 9), (7, 10), (8, 9), (8, 10), (9, 10),
+            ],
+        );
+        let r = reduce(&g, &ReductionConfig::chains_only());
+        assert_eq!(r.stats.contracted_chain_nodes, 3);
+        let w = r.weights.as_ref().unwrap();
+        assert_eq!(brics_graph::weighted::edge_weight(&r.graph, w, 3, 7), Some(4));
+        assert_lossless(&g, &ReductionConfig::chains_only());
+    }
+
+    #[test]
+    fn reduced_graph_keeps_id_space() {
+        let g = star_graph(6);
+        let r = reduce(&g, &ReductionConfig::all());
+        assert_eq!(r.graph.num_nodes(), g.num_nodes());
+        for v in 0..6 {
+            if r.removed[v] {
+                assert_eq!(r.graph.degree(v as NodeId), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_cycle_untouched() {
+        let g = cycle_graph(12);
+        let r = reduce(&g, &ReductionConfig::all().with_fixpoint());
+        assert_eq!(r.num_surviving(), 12);
+    }
+}

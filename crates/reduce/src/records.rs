@@ -1,0 +1,361 @@
+//! Removal records and distance reconstruction.
+//!
+//! Every reduction logs what it removed and which surviving vertices anchor
+//! the removed ones. Given a BFS distance array computed on the reduced
+//! graph, [`reconstruct_distances`] replays the log *in reverse removal
+//! order* — so an anchor that was itself removed by a later pass is filled
+//! in before anything depending on it — and recovers the exact distance of
+//! every removed vertex. These are the paper's Algorithm 2 (chains) and
+//! Algorithm 3 (redundant nodes), plus the representative rule for
+//! identical nodes (§III-A).
+
+use brics_graph::{Dist, NodeId, INFINITE_DIST};
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four redundant-chain types a removed chain is
+/// (Fig. 1 (a)–(d)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChainKind {
+    /// Type-1: pendant chain; one end of the run terminates in a degree-1
+    /// vertex. The whole run including the terminal is removed and is
+    /// reachable only through the anchor `u`.
+    Pendant,
+    /// Type-2: the run closes a cycle on a single anchor `u == v`.
+    Cycle,
+    /// Type-3: a strictly longer parallel chain between `u` and `v` (or any
+    /// parallel chain when the direct edge `u–v` exists, Fig. 1(d)).
+    LongerParallel,
+    /// Type-4: an identical (equal-length, same-endpoint) parallel chain;
+    /// one chain of the group survives.
+    IdenticalParallel,
+    /// A *contracted* non-redundant chain: the run was replaced by a single
+    /// weighted edge `u–v` of weight `len + 1`, so removal is lossless even
+    /// though the chain was the (or a) shortest route between its
+    /// endpoints. Distances reconstruct exactly like the parallel kinds.
+    /// This is the extension that realises the paper's road-network chain
+    /// speedups (§IV-C2(d)); see `brics-reduce`'s crate docs.
+    Contracted,
+}
+
+/// One logged removal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Removal {
+    /// `node` had the same open neighbourhood as the surviving `rep`;
+    /// `d(w, node) = d(w, rep)` for every other vertex `w`.
+    Identical {
+        /// The removed vertex.
+        node: NodeId,
+        /// Its surviving representative.
+        rep: NodeId,
+    },
+    /// A removed redundant chain (for [`ChainKind::Pendant`] and
+    /// [`ChainKind::Cycle`], `v == u`; a pendant run's terminal vertex is
+    /// the last element of `nodes`).
+    Chain {
+        /// First endpoint (the anchor for pendant/cycle kinds).
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// The removed run, in path order from `u` towards `v`.
+        nodes: Vec<NodeId>,
+        /// Which redundant-chain type this was.
+        kind: ChainKind,
+    },
+    /// A redundant 3/4-degree vertex; all of `neighbors` survive the
+    /// reduction pass that removed it.
+    Redundant {
+        /// The removed vertex.
+        node: NodeId,
+        /// Its neighbours at removal time (the reconstruction anchors).
+        neighbors: Vec<NodeId>,
+    },
+}
+
+impl Removal {
+    /// Number of vertices this record removes.
+    pub fn removed_count(&self) -> usize {
+        match self {
+            Removal::Identical { .. } | Removal::Redundant { .. } => 1,
+            Removal::Chain { nodes, .. } => nodes.len(),
+        }
+    }
+
+    /// Iterates over the removed vertex ids.
+    pub fn removed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        match self {
+            Removal::Identical { node, .. } | Removal::Redundant { node, .. } => {
+                std::slice::from_ref(node).iter().copied()
+            }
+            Removal::Chain { nodes, .. } => nodes.iter().copied(),
+        }
+    }
+
+    /// The surviving vertices this record's reconstruction reads from.
+    /// ("Surviving" relative to the pass that created the record — an
+    /// earlier pass's anchor may be removed by a later pass, which is why
+    /// reconstruction runs in reverse order.)
+    pub fn anchors(&self) -> Vec<NodeId> {
+        match self {
+            Removal::Identical { rep, .. } => vec![*rep],
+            Removal::Chain { u, v, .. } => {
+                if u == v {
+                    vec![*u]
+                } else {
+                    vec![*u, *v]
+                }
+            }
+            Removal::Redundant { neighbors, .. } => neighbors.clone(),
+        }
+    }
+}
+
+/// Saturating distance increment that keeps `INFINITE_DIST` infinite.
+#[inline]
+fn plus(d: Dist, inc: u32) -> Dist {
+    if d == INFINITE_DIST {
+        INFINITE_DIST
+    } else {
+        d.saturating_add(inc)
+    }
+}
+
+/// Applies one record to a distance array: fills the distances of the
+/// vertices it removed from the distances of its anchors.
+///
+/// Anchors that are unreachable (or absent — e.g. outside the current
+/// block in block-local replay) saturate at `INFINITE_DIST`, so a parallel
+/// chain with one endpoint missing degrades gracefully to the one-sided
+/// (pendant-style) distance.
+#[inline]
+pub fn apply_record(rec: &Removal, dist: &mut [Dist]) {
+    match rec {
+        Removal::Identical { node, rep } => {
+            // d(w, node) = d(w, rep) for every w other than the pair itself.
+            // When the source *is* the representative (d = 0), the twin sits
+            // at distance exactly 2: the pair is non-adjacent (open
+            // neighbourhoods are equal in a simple graph) and shares at
+            // least one neighbour.
+            let d = dist[*rep as usize];
+            dist[*node as usize] = if d == 0 { 2 } else { d };
+        }
+        Removal::Redundant { node, neighbors } => {
+            let best = neighbors
+                .iter()
+                .map(|&w| dist[w as usize])
+                .min()
+                .unwrap_or(INFINITE_DIST);
+            dist[*node as usize] = plus(best, 1);
+        }
+        Removal::Chain { u, v, nodes, kind } => {
+            let du = dist[*u as usize];
+            let l = nodes.len() as u32;
+            match kind {
+                ChainKind::Pendant => {
+                    for (j, &a) in nodes.iter().enumerate() {
+                        dist[a as usize] = plus(du, j as u32 + 1);
+                    }
+                }
+                ChainKind::Cycle => {
+                    for (j, &a) in nodes.iter().enumerate() {
+                        let i = j as u32 + 1;
+                        dist[a as usize] = plus(du, i.min(l + 1 - i));
+                    }
+                }
+                ChainKind::LongerParallel
+                | ChainKind::IdenticalParallel
+                | ChainKind::Contracted => {
+                    let dv = dist[*v as usize];
+                    for (j, &a) in nodes.iter().enumerate() {
+                        let i = j as u32 + 1;
+                        dist[a as usize] = plus(du, i).min(plus(dv, l + 1 - i));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fills in distances of all removed vertices given distances on the
+/// reduced graph, replaying `records` in reverse removal order.
+///
+/// `dist` is indexed by original vertex id; entries of surviving vertices
+/// must already hold their reduced-graph BFS distances (which equal their
+/// original-graph distances — the reductions are distance-preserving).
+pub fn reconstruct_distances(records: &[Removal], dist: &mut [Dist]) {
+    for rec in records.iter().rev() {
+        apply_record(rec, dist);
+    }
+}
+
+/// Structural depth offsets: for every removed vertex, how many hops it
+/// sits beyond the surviving graph.
+///
+/// Replaying the records over an all-zeros distance array yields, per
+/// removed vertex `y`, the extra distance `offset(y)` such that
+/// `d(x, y) ≈ d(x, nearest anchor) + offset(y)` for a far-away vertex `x`.
+/// Identical twins use offset 0 (`d(x, twin) = d(x, rep)` exactly), which
+/// is why this does not reuse [`apply_record`] (whose `0 → 2` rule is for
+/// the rep-is-the-source case).
+///
+/// The estimators use these offsets to de-bias their scaled views: sampled
+/// BFS sources are all survivors, so raw partial sums systematically miss
+/// the removed fringe's extra depth (see `brics::cumulative`).
+pub fn structural_offsets(records: &[Removal], num_nodes: usize) -> Vec<Dist> {
+    let mut dist = vec![0 as Dist; num_nodes];
+    for rec in records.iter().rev() {
+        match rec {
+            Removal::Identical { node, rep } => dist[*node as usize] = dist[*rep as usize],
+            _ => apply_record(rec, &mut dist),
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_copies_rep() {
+        let mut d = vec![7, INFINITE_DIST];
+        apply_record(&Removal::Identical { node: 1, rep: 0 }, &mut d);
+        assert_eq!(d, vec![7, 7]);
+    }
+
+    #[test]
+    fn identical_twin_of_the_source_sits_at_two() {
+        // Source == representative: the twin is non-adjacent with a shared
+        // neighbour, so its distance is exactly 2, not 0.
+        let mut d = vec![0, 99];
+        apply_record(&Removal::Identical { node: 1, rep: 0 }, &mut d);
+        assert_eq!(d, vec![0, 2]);
+        let mut d = vec![INFINITE_DIST, 5];
+        apply_record(&Removal::Identical { node: 1, rep: 0 }, &mut d);
+        assert_eq!(d[1], INFINITE_DIST);
+    }
+
+    #[test]
+    fn redundant_takes_min_plus_one() {
+        let mut d = vec![5, 3, 9, 0];
+        apply_record(&Removal::Redundant { node: 3, neighbors: vec![0, 1, 2] }, &mut d);
+        assert_eq!(d[3], 4);
+    }
+
+    #[test]
+    fn redundant_with_unreachable_neighbors() {
+        let mut d = vec![INFINITE_DIST, INFINITE_DIST, 0];
+        apply_record(&Removal::Redundant { node: 2, neighbors: vec![0, 1] }, &mut d);
+        assert_eq!(d[2], INFINITE_DIST);
+    }
+
+    #[test]
+    fn pendant_walks_outward() {
+        // u = 0 at distance 4; chain 1-2-3 hangs off it.
+        let mut d = vec![4, 0, 0, 0];
+        apply_record(
+            &Removal::Chain { u: 0, v: 0, nodes: vec![1, 2, 3], kind: ChainKind::Pendant },
+            &mut d,
+        );
+        assert_eq!(d, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn cycle_meets_in_the_middle() {
+        // Anchor 0 at distance 2; 4-cycle-run 1-2-3-4 back to 0.
+        let mut d = vec![2, 0, 0, 0, 0];
+        apply_record(
+            &Removal::Chain { u: 0, v: 0, nodes: vec![1, 2, 3, 4], kind: ChainKind::Cycle },
+            &mut d,
+        );
+        assert_eq!(d, vec![2, 3, 4, 4, 3]);
+    }
+
+    #[test]
+    fn parallel_takes_nearer_end() {
+        // u = 0 at 1, v = 4 at 6, removed run 1-2-3 (l = 3).
+        let mut d = vec![1, 0, 0, 0, 6];
+        apply_record(
+            &Removal::Chain { u: 0, v: 4, nodes: vec![1, 2, 3], kind: ChainKind::LongerParallel },
+            &mut d,
+        );
+        // i=1: min(1+1, 6+3)=2; i=2: min(3,8)=3; i=3: min(4,7)=4
+        assert_eq!(d, vec![1, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn parallel_with_closer_far_end() {
+        // u = 0 at 9, v = 4 at 0.
+        let mut d = vec![9, 0, 0, 0, 0];
+        apply_record(
+            &Removal::Chain {
+                u: 0,
+                v: 4,
+                nodes: vec![1, 2, 3],
+                kind: ChainKind::IdenticalParallel,
+            },
+            &mut d,
+        );
+        // i=1: min(10, 0+3)=3; i=2: min(11, 2)=2; i=3: min(12, 1)=1
+        assert_eq!(d, vec![9, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn reverse_order_resolves_dependencies() {
+        // Pass 1 removed identical node 2 with rep 1; pass 2 removed 1 as a
+        // pendant hanging from 0. Reconstruction must fill 1 before 2.
+        let records = vec![
+            Removal::Identical { node: 2, rep: 1 },
+            Removal::Chain { u: 0, v: 0, nodes: vec![1], kind: ChainKind::Pendant },
+        ];
+        let mut d = vec![3, 0, 0];
+        reconstruct_distances(&records, &mut d);
+        assert_eq!(d, vec![3, 4, 4]);
+    }
+
+    #[test]
+    fn structural_offsets_measure_depth() {
+        // Pendant chain 1-2-3 below anchor 0, identical twin 4 of rep 0.
+        let records = vec![
+            Removal::Identical { node: 4, rep: 0 },
+            Removal::Chain { u: 0, v: 0, nodes: vec![1, 2, 3], kind: ChainKind::Pendant },
+        ];
+        let off = structural_offsets(&records, 5);
+        assert_eq!(off, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn structural_offsets_resolve_dependencies() {
+        // Identical twin 2 of rep 1, where 1 is itself a pendant below 0.
+        let records = vec![
+            Removal::Identical { node: 2, rep: 1 },
+            Removal::Chain { u: 0, v: 0, nodes: vec![1], kind: ChainKind::Pendant },
+        ];
+        let off = structural_offsets(&records, 3);
+        assert_eq!(off, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn structural_offsets_parallel_take_near_side() {
+        let records = vec![Removal::Chain {
+            u: 0,
+            v: 1,
+            nodes: vec![2, 3, 4],
+            kind: ChainKind::Contracted,
+        }];
+        let off = structural_offsets(&records, 5);
+        assert_eq!(off, vec![0, 0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let c = Removal::Chain { u: 0, v: 1, nodes: vec![5, 6], kind: ChainKind::LongerParallel };
+        assert_eq!(c.removed_count(), 2);
+        assert_eq!(c.removed_nodes().collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(c.anchors(), vec![0, 1]);
+        let p = Removal::Chain { u: 3, v: 3, nodes: vec![4], kind: ChainKind::Pendant };
+        assert_eq!(p.anchors(), vec![3]);
+        let r = Removal::Redundant { node: 9, neighbors: vec![1, 2, 3] };
+        assert_eq!(r.removed_count(), 1);
+        assert_eq!(r.anchors(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Redundant 3- and 4-degree node removal (paper §III-C, Fig. 1(e)–(f)).
+//!
+//! A degree-3 vertex whose three neighbours are mutually adjacent, or a
+//! degree-4 vertex each of whose neighbours is adjacent to at least two of
+//! its other neighbours, lies on no shortest path except as an endpoint
+//! (paper Fact III.7): any `x – v – y` through such a `v` can be rerouted
+//! inside `N(v)` at equal or smaller length. Removal therefore preserves
+//! every surviving distance, and the removed vertex's own distance is
+//! `min over its neighbours + 1` (paper Algorithm 3).
+//!
+//! Candidates are tested against the *current* graph, so a removal may
+//! enable or disable later candidates. This is sound by induction: each
+//! single removal preserves all distances among the vertices that remain at
+//! that moment, and reconstruction replays the log in reverse removal
+//! order, so an anchor that was itself removed later is always filled in
+//! before any record that reads it.
+
+use crate::mutgraph::MutGraph;
+use crate::records::Removal;
+use brics_graph::NodeId;
+
+/// Whether `v` is redundant of degree 3: its neighbours form a triangle.
+pub fn is_redundant3(g: &MutGraph, v: NodeId) -> bool {
+    let nbrs = g.neighbors(v);
+    if nbrs.len() != 3 {
+        return false;
+    }
+    g.has_edge(nbrs[0], nbrs[1]) && g.has_edge(nbrs[0], nbrs[2]) && g.has_edge(nbrs[1], nbrs[2])
+}
+
+/// Whether `v` is redundant of degree 4: every neighbour is adjacent to at
+/// least two of `v`'s other neighbours.
+pub fn is_redundant4(g: &MutGraph, v: NodeId) -> bool {
+    let nbrs = g.neighbors(v);
+    if nbrs.len() != 4 {
+        return false;
+    }
+    nbrs.iter().all(|&x| {
+        nbrs.iter().filter(|&&y| y != x && g.has_edge(x, y)).count() >= 2
+    })
+}
+
+/// Statistics of the redundant-node pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RedundantStats {
+    /// Degree-3 vertices removed.
+    pub removed_deg3: usize,
+    /// Degree-4 vertices removed.
+    pub removed_deg4: usize,
+}
+
+impl RedundantStats {
+    /// Total vertices removed by the pass.
+    pub fn removed(&self) -> usize {
+        self.removed_deg3 + self.removed_deg4
+    }
+}
+
+/// Removes redundant 3/4-degree vertices in ascending id order, appending
+/// [`Removal::Redundant`] records. Each candidate is validated against the
+/// graph as it stands at that moment.
+pub fn remove_redundant_nodes(g: &mut MutGraph, records: &mut Vec<Removal>) -> RedundantStats {
+    let n = g.num_ids();
+    let mut stats = RedundantStats::default();
+    for v in 0..n as NodeId {
+        if g.is_removed(v) {
+            continue;
+        }
+        // Degrees shift as the pass removes vertices; re-testing against the
+        // *current* graph keeps each accepted candidate sound on its own.
+        let deg3 = is_redundant3(g, v);
+        let deg4 = !deg3 && is_redundant4(g, v);
+        if !deg3 && !deg4 {
+            continue;
+        }
+        let neighbors = g.neighbors(v).to_vec();
+        g.remove_vertex(v);
+        records.push(Removal::Redundant { node: v, neighbors });
+        if deg3 {
+            stats.removed_deg3 += 1;
+        } else {
+            stats.removed_deg4 += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::generators::complete_graph;
+    use brics_graph::GraphBuilder;
+
+    fn mg(edges: &[(NodeId, NodeId)], n: usize) -> MutGraph {
+        MutGraph::from_csr(&GraphBuilder::from_edges(n, edges))
+    }
+
+    #[test]
+    fn apex_on_triangle_is_redundant3() {
+        // Triangle 0,1,2 with apex 3; extra leaf 4 keeps it interesting.
+        let g = mg(&[(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (3, 2), (0, 4)], 5);
+        assert!(is_redundant3(&g, 3));
+        assert!(!is_redundant3(&g, 0)); // degree 4
+        assert!(!is_redundant3(&g, 4));
+    }
+
+    #[test]
+    fn open_wedge_is_not_redundant3() {
+        // 3 adjacent to 0,1,2 but 1-2 edge missing.
+        let g = mg(&[(0, 1), (2, 0), (3, 0), (3, 1), (3, 2)], 4);
+        assert!(!is_redundant3(&g, 3));
+    }
+
+    #[test]
+    fn k5_vertices_are_redundant4() {
+        let g = MutGraph::from_csr(&complete_graph(5));
+        for v in 0..5 {
+            assert!(is_redundant4(&g, v));
+        }
+    }
+
+    #[test]
+    fn four_cycle_neighborhood_is_redundant4() {
+        // Apex 4 over a 4-cycle 0-1-2-3-0 (no diagonals).
+        let g = mg(&[(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (4, 1), (4, 2), (4, 3)], 5);
+        assert!(is_redundant4(&g, 4));
+    }
+
+    #[test]
+    fn sparse_neighborhood_not_redundant4() {
+        // Apex over a path 0-1-2 3: endpoint neighbours have 1 adjacency.
+        let g = mg(&[(0, 1), (1, 2), (2, 3), (4, 0), (4, 1), (4, 2), (4, 3)], 5);
+        assert!(!is_redundant4(&g, 4));
+    }
+
+    #[test]
+    fn removal_logs_neighbors() {
+        // Triangle 0,1,2 pinned by leaves 4,5,6 (so the corners are not
+        // redundant themselves) with apex 3 over the triangle.
+        let mut g = mg(
+            &[(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (3, 2), (0, 4), (1, 5), (2, 6)],
+            7,
+        );
+        let mut records = Vec::new();
+        let stats = remove_redundant_nodes(&mut g, &mut records);
+        assert_eq!(stats.removed_deg3, 1);
+        assert!(g.is_removed(3));
+        assert_eq!(
+            records,
+            vec![Removal::Redundant { node: 3, neighbors: vec![0, 1, 2] }]
+        );
+    }
+
+    #[test]
+    fn adjacent_candidates_become_independent_set() {
+        // Two non-adjacent apexes 3 and 4 over the same pinned triangle:
+        // both are candidates and both can go (they are independent).
+        let mut g = mg(
+            &[
+                (0, 1), (1, 2), (2, 0),
+                (3, 0), (3, 1), (3, 2),
+                (4, 0), (4, 1), (4, 2),
+                (0, 5), (1, 6), (2, 7),
+            ],
+            8,
+        );
+        let mut records = Vec::new();
+        let stats = remove_redundant_nodes(&mut g, &mut records);
+        assert_eq!(stats.removed_deg3, 2);
+        assert!(g.is_removed(3) && g.is_removed(4));
+    }
+
+    #[test]
+    fn k4_stops_after_one_removal() {
+        // In K4 every vertex is redundant3; removing 0 leaves a triangle of
+        // degree-2 vertices, which are no longer candidates.
+        let mut g = MutGraph::from_csr(&complete_graph(4));
+        let mut records = Vec::new();
+        let stats = remove_redundant_nodes(&mut g, &mut records);
+        assert_eq!(stats.removed(), 1);
+        assert_eq!(g.num_live(), 3);
+    }
+
+    #[test]
+    fn chained_removals_reconstruct_exactly() {
+        // K5: vertex 0 goes (redundant4), then vertex 1 becomes redundant3
+        // in the remaining K4 and goes too — its record is an *anchor* of
+        // 0's record. Reverse-order reconstruction must resolve the chain.
+        use crate::records::reconstruct_distances;
+        use brics_graph::traversal::bfs_distances;
+        let csr = complete_graph(5);
+        let mut g = MutGraph::from_csr(&csr);
+        let mut records = Vec::new();
+        let stats = remove_redundant_nodes(&mut g, &mut records);
+        assert_eq!(stats.removed(), 2);
+        assert!(g.is_removed(0) && g.is_removed(1));
+        let reduced = g.to_csr();
+        for s in [2u32, 3, 4] {
+            let mut d = bfs_distances(&reduced, s);
+            reconstruct_distances(&records, &mut d);
+            assert_eq!(d, bfs_distances(&csr, s), "source {s}");
+        }
+    }
+}

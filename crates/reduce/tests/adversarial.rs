@@ -1,0 +1,275 @@
+//! Adversarial structures for the reduction pipeline: shapes chosen to
+//! stress the interplay *between* techniques (identical → chain → redundant
+//! → contraction), where one pass's removals change what the next sees.
+
+use brics_graph::traversal::{bfs_distances, DialBfs};
+use brics_graph::{CsrGraph, GraphBuilder, NodeId};
+use brics_reduce::{reconstruct_distances, reduce, ReductionConfig};
+
+/// Oracle: every surviving source's distances, after reconstruction, match
+/// the original graph exactly.
+fn assert_lossless(g: &CsrGraph, config: &ReductionConfig) {
+    let r = reduce(g, config);
+    let mut dial = DialBfs::new(g.num_nodes());
+    for s in 0..g.num_nodes() as NodeId {
+        if r.removed[s as usize] {
+            continue;
+        }
+        dial.run_with(&r.graph, r.weights.as_deref(), s, |_, _| {});
+        let mut d = dial.distances()[..g.num_nodes()].to_vec();
+        reconstruct_distances(&r.records, &mut d);
+        assert_eq!(d, bfs_distances(g, s), "source {s} under {config:?}");
+    }
+}
+
+fn all_configs() -> Vec<ReductionConfig> {
+    vec![
+        ReductionConfig::all(),
+        ReductionConfig::all().without_contraction(),
+        ReductionConfig::all().with_fixpoint(),
+        ReductionConfig::cr(),
+        ReductionConfig::chains_only(),
+    ]
+}
+
+/// Theta graph: vertices a, b joined by three internally-disjoint paths of
+/// lengths 2, 3 and 4 — one survives (or contracts), two are redundant.
+#[test]
+fn theta_graph() {
+    let mut b = GraphBuilder::new(8);
+    // a = 0, b = 1; paths: 0-2-1, 0-3-4-1, 0-5-6-7-1
+    for &(u, v) in &[(0, 2), (2, 1), (0, 3), (3, 4), (4, 1), (0, 5), (5, 6), (6, 7), (7, 1)] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let r = reduce(&g, &ReductionConfig::all());
+    // The two longer paths are Type-3 redundant; the shortest one survives
+    // (after the removals the component degenerates into a path, whose
+    // interior is no longer a Between chain, so contraction skips it).
+    assert!(r.removed[3] && r.removed[4] && r.removed[5] && r.removed[6] && r.removed[7]);
+    assert_eq!(r.num_surviving(), 3);
+    // Fixpoint mode detects the leftover path in round 2 and strips it.
+    let fix = reduce(&g, &ReductionConfig::all().with_fixpoint());
+    assert_eq!(fix.num_surviving(), 1);
+}
+
+/// Figure-eight: two cycles sharing one anchor — both are Type-2 chains.
+#[test]
+fn figure_eight() {
+    let mut b = GraphBuilder::new(7);
+    for &(u, v) in &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 5), (5, 6), (6, 0)] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let r = reduce(&g, &ReductionConfig::all());
+    assert_eq!(r.num_surviving(), 1, "both cycles hang off vertex 0");
+}
+
+/// A tree of chains: pendant chains hanging off pendant chains — only the
+/// fixpoint mode collapses everything, but both modes must stay lossless.
+#[test]
+fn nested_pendant_chains() {
+    // Spine 0-1-2 (0 is a K4 corner to pin degrees), chains off 1 and off
+    // the middle of those chains.
+    let mut b = GraphBuilder::new(14);
+    for &(u, v) in &[
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
+        (0, 4), (4, 5), (5, 6), // chain A
+        (5, 7), (7, 8), // chain B off A's middle (makes 5 a degree-3 vertex)
+        (0, 9), (9, 10), (10, 11), (11, 12), (12, 13), // long chain C
+    ] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let single = reduce(&g, &ReductionConfig::all());
+    let fix = reduce(&g, &ReductionConfig::all().with_fixpoint());
+    assert!(fix.num_surviving() <= single.num_surviving());
+    // Fixpoint cascades all the way: chains expose a redundant K4 corner,
+    // whose removal turns the rest of the K4 into a removable cycle-chain,
+    // leaving a single vertex.
+    assert_eq!(fix.num_surviving(), 1);
+    assert!(fix.stats.rounds >= 2);
+}
+
+/// Identical twins whose representative later becomes a chain node, which
+/// itself hangs off a redundant vertex's neighbourhood.
+#[test]
+fn cascading_dependencies() {
+    let mut b = GraphBuilder::new(12);
+    for &(u, v) in &[
+        // K4 core 0-3
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        // redundant-3 apex 4 on triangle 0,1,2
+        (4, 0), (4, 1), (4, 2),
+        // chain 3-5-6
+        (3, 5), (5, 6),
+        // twins 7,8 both adjacent to {6, 0} (identical, degree 2)
+        (7, 6), (7, 0), (8, 6), (8, 0),
+        // leaves 9,10,11 on vertex 3 (identical leaf group)
+        (9, 3), (10, 3), (11, 3),
+    ] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let r = reduce(&g, &ReductionConfig::all());
+    // Twin 8 removed as identical to 7; leaves 10,11 identical to 9;
+    // leaf 9 then a pendant; apex 4 redundant.
+    assert!(r.removed[8]);
+    assert!(r.removed[10] && r.removed[11]);
+    assert!(r.removed[9]);
+    assert!(r.removed[4]);
+}
+
+/// Chain of cliques: K5s connected by 2-vertex chains — contraction must
+/// produce weighted edges between consecutive clique gateways.
+#[test]
+fn chain_of_cliques() {
+    let k = 4; // cliques
+    let size = 5;
+    let mut edges = Vec::new();
+    let mut next = 0u32;
+    let mut gateways = Vec::new();
+    for _ in 0..k {
+        let base = next;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push((base + i, base + j));
+            }
+        }
+        gateways.push(base);
+        next += size;
+    }
+    // Connect gateway of clique i to gateway of clique i+1 via 2 chain nodes.
+    for w in gateways.windows(2) {
+        let (a, b2) = (w[0], w[1]);
+        edges.push((a, next));
+        edges.push((next, next + 1));
+        edges.push((next + 1, b2));
+        next += 2;
+    }
+    let g = GraphBuilder::from_edges(next as usize, &edges);
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let r = reduce(&g, &ReductionConfig::chains_only());
+    assert_eq!(r.stats.contracted_chain_nodes, 2 * (k - 1));
+    let w = r.weights.as_ref().expect("contraction must produce weights");
+    for win in gateways.windows(2) {
+        assert_eq!(
+            brics_graph::weighted::edge_weight(&r.graph, w, win[0], win[1]),
+            Some(3),
+            "gateway pair {win:?}"
+        );
+    }
+}
+
+/// Parallel identical chains *and* a direct edge: everything is redundant
+/// (paper Fig. 1(d)).
+#[test]
+fn direct_edge_plus_identical_chains() {
+    let mut b = GraphBuilder::new(10);
+    for &(u, v) in &[
+        (0, 1), // direct edge
+        (0, 2), (2, 3), (3, 1), // chain 1
+        (0, 4), (4, 5), (5, 1), // chain 2 (identical length)
+        (0, 6), (6, 7), (7, 1), // chain 3 (identical length)
+        (0, 8), (1, 9), // leaves to pin degrees
+    ] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let r = reduce(&g, &ReductionConfig::chains_only());
+    for v in 2..=7 {
+        assert!(r.removed[v], "chain vertex {v} should be removed");
+    }
+}
+
+/// Torus (4-regular, vertex-transitive): nothing is removable — the
+/// pipeline must recognise that and leave the graph alone.
+#[test]
+fn torus_is_irreducible() {
+    let (rows, cols) = (5, 6);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as NodeId;
+            let right = (r * cols + (c + 1) % cols) as NodeId;
+            let down = (((r + 1) % rows) * cols + c) as NodeId;
+            b.add_edge(v, right);
+            b.add_edge(v, down);
+        }
+    }
+    let g = b.build();
+    let r = reduce(&g, &ReductionConfig::all().with_fixpoint());
+    assert_eq!(r.num_surviving(), rows * cols);
+    assert!(r.records.is_empty());
+    assert!(r.weights.is_none());
+}
+
+/// Windmill: many triangles sharing one hub — each triangle's outer pair
+/// is a cycle-chain; the hub survives alone.
+#[test]
+fn windmill() {
+    let blades = 6;
+    let mut b = GraphBuilder::new(1 + 2 * blades);
+    for i in 0..blades as NodeId {
+        let (x, y) = (1 + 2 * i, 2 + 2 * i);
+        b.add_edge(0, x);
+        b.add_edge(0, y);
+        b.add_edge(x, y);
+    }
+    let g = b.build();
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+    let r = reduce(&g, &ReductionConfig::all());
+    assert_eq!(r.num_surviving(), 1);
+}
+
+/// Barbell with twin bells: two identical K4s joined by a long chain —
+/// identical-node detection must NOT merge vertices across the two bells
+/// (their neighbourhoods differ by the bell's internal ids).
+#[test]
+fn barbell_no_false_identicals() {
+    let mut edges = Vec::new();
+    for base in [0u32, 10] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    edges.extend([(3, 4), (4, 5), (5, 6), (6, 10)]);
+    let g = GraphBuilder::from_edges(14, &edges);
+    let r = reduce(
+        &g,
+        &ReductionConfig {
+            identical: true,
+            chains: false,
+            redundant: false,
+            contract: false,
+            fixpoint: false,
+        },
+    );
+    // K4 corners within one bell are pairwise adjacent → never identical;
+    // across bells their neighbour sets differ. Nothing to remove.
+    assert_eq!(r.stats.total_removed, 0);
+    for c in all_configs() {
+        assert_lossless(&g, &c);
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: estimate farness centrality on a small graph and compare
+//! against the exact values.
+//!
+//! ```text
+//! cargo run --release -p brics --example quickstart
+//! ```
+
+#![allow(clippy::needless_range_loop)] // parallel arrays indexed by vertex id
+
+use brics::{exact_farness, BricsEstimator, Method, SampleSize};
+use brics_graph::GraphBuilder;
+
+fn main() {
+    // A hand-built graph: two communities bridged by a corridor, plus a
+    // few pendant members — the structures BRICS exploits.
+    //
+    //      0───1          8───9
+    //      │ ╳ │  4─5─6─7 │ ╳ │        (╳ = diagonals: both communities
+    //      2───3          10──11        are 4-cliques)
+    //        │                │
+    //       12               13───14   (pendants)
+    let mut b = GraphBuilder::new(15);
+    for &(u, v) in &[
+        // clique A
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        // corridor
+        (3, 4), (4, 5), (5, 6), (6, 7), (7, 8),
+        // clique B
+        (8, 9), (8, 10), (8, 11), (9, 10), (9, 11), (10, 11),
+        // pendants
+        (3, 12), (11, 13), (13, 14),
+    ] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+
+    // Exact farness: one BFS per vertex (fine at this size).
+    let exact = exact_farness(&g).expect("connected");
+
+    // The BRICS estimate with every remaining vertex sampled. The corridor
+    // and the pendants are *removed* by the chain reductions and carry
+    // reconstructed partial sums (the paper's semantics for removed
+    // vertices); every surviving vertex is exact.
+    let est = BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Fraction(1.0))
+        .seed(42)
+        .run(&g)
+        .expect("connected");
+
+    println!("vertex  exact  estimate  sampled  closeness");
+    for v in 0..g.num_nodes() {
+        println!(
+            "{v:>6}  {:>5}  {:>8}  {:>7}  {:.4}",
+            exact[v],
+            est.raw()[v],
+            est.is_sampled(v as u32),
+            1.0 / exact[v] as f64
+        );
+    }
+
+    // Surviving (sampled) vertices are exact at a 100 % sampling rate.
+    for v in 0..g.num_nodes() as u32 {
+        if est.is_sampled(v) {
+            assert_eq!(est.raw()[v as usize], exact[v as usize], "vertex {v}");
+        }
+    }
+
+    // Vertex 6 is the true 1-median: the corridor's centre of mass, pulled
+    // one step towards the (heavier) right community.
+    let true_center = (0..g.num_nodes() as u32)
+        .min_by_key(|&v| (exact[v as usize], v))
+        .unwrap();
+    println!("\nmost central vertex (exact): {true_center}");
+    assert_eq!(true_center, 6);
+
+    // The estimate agrees the centre lies on the corridor.
+    let est_center = est.top_k_central(1)[0];
+    println!("most central vertex (estimated): {est_center}");
+    assert!((4..=7).contains(&est_center), "estimated centre should be on the corridor");
+
+    // At partial sampling rates the estimator is faster; sampled vertices
+    // stay exact.
+    let partial = BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Fraction(0.4))
+        .seed(42)
+        .run(&g)
+        .unwrap();
+    println!(
+        "at 40% sampling: {} of {} vertices served as BFS sources",
+        partial.num_sources(),
+        g.num_nodes()
+    );
+}

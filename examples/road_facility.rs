@@ -1,0 +1,69 @@
+//! Facility location on a road network: the *1-median* — the junction with
+//! minimum total travel distance to everywhere — is exactly the vertex with
+//! minimum farness (a use-case the paper cites via Thorup's k-median work).
+//!
+//! Road networks are the chain-reduction showcase: most vertices lie on
+//! degree-2 road segments, so contraction shrinks the graph dramatically
+//! before any BFS runs.
+//!
+//! ```text
+//! cargo run --release -p brics --example road_facility
+//! ```
+
+use brics::{exact_farness, BricsEstimator, Method, ReductionConfig, SampleSize};
+use brics_graph::generators::{road_like, ClassParams};
+use brics_reduce::reduce;
+use std::time::Instant;
+
+fn main() {
+    let g = road_like(ClassParams::new(30_000, 5));
+    println!("road network: {} junctions/segments, {} road links", g.num_nodes(), g.num_edges());
+
+    // How much does the chain machinery shrink this network?
+    let red = reduce(&g, &ReductionConfig::chains_only());
+    println!(
+        "after chain removal + contraction: {} vertices remain ({:.1}%), {} contracted",
+        red.stats.surviving_nodes,
+        100.0 * red.stats.surviving_nodes as f64 / g.num_nodes() as f64,
+        red.stats.contracted_chain_nodes,
+    );
+
+    // Estimate with the road configuration the paper recommends (§IV-C2(d)):
+    // chains only, no biconnected decomposition.
+    let method = Method::Custom { reductions: ReductionConfig::chains_only(), use_bcc: false };
+    let t0 = Instant::now();
+    let est = BricsEstimator::new(method)
+        .sample(SampleSize::Fraction(0.4))
+        .seed(9)
+        .run(&g)
+        .unwrap();
+    let est_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let exact = exact_farness(&g).unwrap();
+    let exact_time = t1.elapsed();
+
+    let est_median = est.top_k_central(1)[0];
+    let true_median = (0..g.num_nodes() as u32)
+        .min_by_key(|&v| (exact[v as usize], v))
+        .unwrap();
+
+    println!(
+        "\nestimated 1-median: junction {est_median} (true total distance {})",
+        exact[est_median as usize]
+    );
+    println!(
+        "true 1-median:      junction {true_median} (true total distance {})",
+        exact[true_median as usize]
+    );
+    let ratio =
+        exact[est_median as usize] as f64 / exact[true_median as usize] as f64;
+    println!("estimated median is within {:.2}% of optimal total distance", (ratio - 1.0) * 100.0);
+    println!(
+        "\ntime: estimate {:.2}s vs exact {:.2}s ({:.1}x faster)",
+        est_time.as_secs_f64(),
+        exact_time.as_secs_f64(),
+        exact_time.as_secs_f64() / est_time.as_secs_f64()
+    );
+    assert!(ratio < 1.10, "estimated median should be near-optimal (ratio {ratio})");
+}

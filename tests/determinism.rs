@@ -1,0 +1,71 @@
+//! Determinism: every estimator is bit-identical for a fixed (graph, seed)
+//! pair, regardless of rayon's scheduling — farness sums are accumulated
+//! with order-independent integer addition, so parallelism must not leak
+//! into results.
+
+use brics::{BricsEstimator, Method, SampleSize};
+use brics_graph::generators::{ClassParams, GraphClass};
+
+#[test]
+fn all_methods_deterministic_across_runs() {
+    for class in GraphClass::ALL {
+        let g = class.generate(ClassParams::new(900, 77));
+        for method in [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative] {
+            let run = || {
+                BricsEstimator::new(method)
+                    .sample(SampleSize::Fraction(0.35))
+                    .seed(123)
+                    .run(&g)
+                    .unwrap()
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.raw(), b.raw(), "{class:?}/{}", method.name());
+            assert_eq!(a.sampled_mask(), b.sampled_mask(), "{class:?}/{}", method.name());
+            assert_eq!(a.num_sources(), b.num_sources());
+            // Scaled views are pure functions of raw + structure.
+            assert_eq!(a.scaled(), b.scaled());
+        }
+    }
+}
+
+#[test]
+fn different_seeds_choose_different_sources() {
+    let g = GraphClass::Social.generate(ClassParams::new(900, 5));
+    let run = |seed| {
+        BricsEstimator::new(Method::RandomSampling)
+            .sample(SampleSize::Fraction(0.3))
+            .seed(seed)
+            .run(&g)
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a.sampled_mask(), b.sampled_mask());
+}
+
+#[test]
+fn thread_pool_size_does_not_change_results() {
+    // Run the same estimation inside a 1-thread and a 4-thread pool.
+    let g = GraphClass::Web.generate(ClassParams::new(700, 3));
+    let compute = || {
+        BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(0.5))
+            .seed(9)
+            .run(&g)
+            .unwrap()
+            .raw()
+            .to_vec()
+    };
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(compute);
+    let multi = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap()
+        .install(compute);
+    assert_eq!(single, multi);
+}

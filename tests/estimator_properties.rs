@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) over random connected graphs: the
+//! lossless-reduction invariants, the BCT accounting identity, and the
+//! estimator's core guarantees.
+
+// Tests index several parallel arrays by vertex id; the indexed loops
+// are clearer than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+use brics::{exact_farness, BricsEstimator, Method, ReductionConfig, SampleSize};
+use brics_bicc::{biconnected_components, BlockCutTree};
+use brics_graph::traversal::{bfs_distances, DialBfs};
+use brics_graph::{CsrGraph, GraphBuilder, NodeId};
+use brics_reduce::{reconstruct_distances, reduce};
+use proptest::prelude::*;
+
+/// Strategy: connected graph with `n ∈ [2, 40]` vertices — a random
+/// spanning tree plus a random set of extra edges (possibly none, so trees,
+/// and possibly many, so dense blocks).
+fn connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0usize..usize::MAX, n - 1);
+        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..2 * n);
+        (Just(n), tree, extra).prop_map(|(n, parents, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = (i + 1) as NodeId;
+                b.add_edge(child, (p % (i + 1)) as NodeId);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reductions + reconstruction reproduce the original BFS distances
+    /// from every surviving source, under every preset.
+    #[test]
+    fn reductions_are_lossless(g in connected_graph(), fixpoint in any::<bool>()) {
+        let mut config = ReductionConfig::all();
+        config.fixpoint = fixpoint;
+        let r = reduce(&g, &config);
+        let mut dial = DialBfs::new(g.num_nodes());
+        for s in 0..g.num_nodes() as NodeId {
+            if r.removed[s as usize] {
+                continue;
+            }
+            dial.run_with(&r.graph, r.weights.as_deref(), s, |_, _| {});
+            let mut d = dial.distances()[..g.num_nodes()].to_vec();
+            reconstruct_distances(&r.records, &mut d);
+            prop_assert_eq!(&d, &bfs_distances(&g, s), "source {}", s);
+        }
+    }
+
+    /// Identical-node groups have identical exact farness (paper §III-A).
+    #[test]
+    fn identical_groups_share_farness(g in connected_graph()) {
+        let r = reduce(&g, &ReductionConfig {
+            identical: true, chains: false, redundant: false,
+            contract: false, fixpoint: false,
+        });
+        let exact = exact_farness(&g).unwrap();
+        for rec in &r.records {
+            if let brics_reduce::Removal::Identical { node, rep } = rec {
+                prop_assert_eq!(exact[*node as usize], exact[*rep as usize]);
+            }
+        }
+    }
+
+    /// The BCT's block edge sets partition E, blocks cover V, and the tree
+    /// relation holds.
+    #[test]
+    fn bct_structure(g in connected_graph()) {
+        let bct = BlockCutTree::build(&g);
+        prop_assert!(bct.is_tree());
+        let edge_total: usize = bct.blocks().iter().map(|b| b.edges.len()).sum();
+        prop_assert_eq!(edge_total, g.num_edges());
+        for v in g.nodes() {
+            prop_assert!(!bct.blocks_of(v).is_empty(), "vertex {} uncovered", v);
+        }
+        // Articulation count sanity: matches a fresh decomposition.
+        let bi = biconnected_components(&g);
+        prop_assert_eq!(bct.num_cut_vertices(), bi.num_cut_vertices());
+    }
+
+    /// Cumulative at full rate: survivors exact, nothing overestimates.
+    #[test]
+    fn cumulative_full_rate_invariants(g in connected_graph(), seed in 0u64..1000) {
+        let exact = exact_farness(&g).unwrap();
+        let est = BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(1.0))
+            .seed(seed)
+            .run(&g)
+            .unwrap();
+        for v in 0..g.num_nodes() {
+            prop_assert!(est.raw()[v] <= exact[v], "overestimate at {}", v);
+            if est.is_sampled(v as u32) {
+                prop_assert_eq!(est.raw()[v], exact[v], "sampled {} inexact", v);
+            }
+        }
+    }
+
+    /// Partial rates never overestimate and sampled vertices stay exact,
+    /// for both the plain-reduction and the cumulative estimator.
+    #[test]
+    fn partial_rate_invariants(
+        g in connected_graph(),
+        rate in 0.05f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let exact = exact_farness(&g).unwrap();
+        for method in [Method::RandomSampling, Method::ICR, Method::Cumulative] {
+            let est = BricsEstimator::new(method)
+                .sample(SampleSize::Fraction(rate))
+                .seed(seed)
+                .run(&g)
+                .unwrap();
+            for v in 0..g.num_nodes() {
+                prop_assert!(est.raw()[v] <= exact[v]);
+                if est.is_sampled(v as u32) && method == Method::RandomSampling {
+                    prop_assert_eq!(est.raw()[v], exact[v]);
+                }
+            }
+        }
+    }
+
+    /// The exact top-k search returns exactly the brute-force ranking for
+    /// any graph, rate and k.
+    #[test]
+    fn topk_matches_brute_force(
+        g in connected_graph(),
+        rate in 0.1f64..1.0,
+        k_raw in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let est = BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(rate))
+            .seed(seed)
+            .run(&g)
+            .unwrap();
+        let t = brics::topk::top_k_from_estimate(&g, k_raw, &est);
+        let exact = exact_farness(&g).unwrap();
+        let mut idx: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        idx.sort_by_key(|&v| (exact[v as usize], v));
+        idx.truncate(k_raw.min(g.num_nodes()));
+        let brute: Vec<(u32, u64)> =
+            idx.into_iter().map(|v| (v, exact[v as usize])).collect();
+        prop_assert_eq!(t.ranked, brute);
+    }
+
+    /// Scaled estimates are within a factor of the truth for sampled
+    /// vertices (they equal raw, hence exact) and positive everywhere on
+    /// graphs with >= 2 vertices.
+    #[test]
+    fn scaled_estimates_sane(g in connected_graph(), seed in 0u64..100) {
+        let est = BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(0.5))
+            .seed(seed)
+            .run(&g)
+            .unwrap();
+        for v in 0..g.num_nodes() as u32 {
+            let s = est.scaled()[v as usize];
+            prop_assert!(s.is_finite());
+            prop_assert!(s >= est.raw()[v as usize] as f64 - 1e-9);
+            if est.is_sampled(v) {
+                prop_assert!((s - est.raw()[v as usize] as f64).abs() < 1e-9);
+            }
+        }
+    }
+}

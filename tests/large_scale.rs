@@ -1,0 +1,57 @@
+//! Large-scale smoke tests — `#[ignore]`d by default (minutes of CPU);
+//! run with `cargo test --release --test large_scale -- --ignored`.
+//!
+//! These exercise the estimators at the paper's dataset scale (10⁵–10⁶
+//! vertices) to catch stack overflows, quadratic blowups and overflow bugs
+//! that small tests cannot.
+
+use brics::{BricsEstimator, Method, SampleSize};
+use brics_graph::generators::{ClassParams, GraphClass};
+
+fn run_class(class: GraphClass, n: usize) {
+    let g = class.generate(ClassParams::new(n, 99));
+    assert!(g.num_nodes() >= n / 2);
+    for method in [Method::RandomSampling, Method::ICR, Method::Cumulative] {
+        let est = BricsEstimator::new(method)
+            .sample(SampleSize::Fraction(0.02))
+            .seed(3)
+            .run(&g)
+            .unwrap_or_else(|e| panic!("{class:?}/{}: {e}", method.name()));
+        assert_eq!(est.len(), g.num_nodes());
+        assert!(est.num_sources() > 0);
+        // Farness values fit comfortably in u64 and are non-trivial.
+        let max = est.raw().iter().max().copied().unwrap();
+        assert!(max > 0 && max < u64::MAX / 4);
+    }
+}
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored"]
+fn web_at_paper_scale() {
+    run_class(GraphClass::Web, 325_000); // web-NotreDame's size
+}
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored"]
+fn road_at_paper_scale() {
+    run_class(GraphClass::Road, 114_000); // osm-luxembourg's size
+}
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored"]
+fn social_at_paper_scale() {
+    run_class(GraphClass::Social, 131_000); // soc-douban's size
+}
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored"]
+fn deep_chain_no_stack_overflow() {
+    // A single 500k-vertex path: the worst case for any recursive DFS/BFS.
+    let g = brics_graph::generators::path_graph(500_000);
+    let est = BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Count(4))
+        .seed(0)
+        .run(&g)
+        .unwrap();
+    assert_eq!(est.len(), 500_000);
+}

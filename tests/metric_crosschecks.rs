@@ -1,0 +1,144 @@
+//! Cross-metric invariants: farness, eccentricity, harmonic and
+//! betweenness centrality constrain each other; these tests wire the
+//! workspace's metrics together and check the textbook inequalities on
+//! random and structured graphs.
+
+use brics::betweenness::exact_betweenness;
+use brics::harmonic::exact_harmonic;
+use brics::{exact_farness, BricsEstimator, Method, SampleSize};
+use brics_bicc::BlockCutTree;
+use brics_graph::eccentricity::exact_eccentricities;
+use brics_graph::generators::{gnm_random_connected, ClassParams, GraphClass};
+use brics_graph::CsrGraph;
+
+fn graphs() -> Vec<CsrGraph> {
+    let mut gs: Vec<CsrGraph> = (0..5).map(|s| gnm_random_connected(60, 90, s)).collect();
+    for class in GraphClass::ALL {
+        gs.push(class.generate(ClassParams::new(250, 11)));
+    }
+    gs
+}
+
+/// `ecc(v) ≤ farness(v) ≤ (n−1)·ecc(v)` on every connected graph.
+#[test]
+fn farness_bracketed_by_eccentricity() {
+    for g in graphs() {
+        let n = g.num_nodes() as u64;
+        let far = exact_farness(&g).unwrap();
+        let ecc = exact_eccentricities(&g);
+        for v in 0..g.num_nodes() {
+            assert!(far[v] >= ecc[v] as u64, "v {v}");
+            assert!(far[v] <= (n - 1) * ecc[v] as u64, "v {v}");
+        }
+    }
+}
+
+/// Degree-aware lower bound: `farness(v) ≥ deg(v) + 2·(n−1−deg(v))`.
+#[test]
+fn farness_degree_lower_bound() {
+    for g in graphs() {
+        let n = g.num_nodes() as u64;
+        let far = exact_farness(&g).unwrap();
+        for v in 0..g.num_nodes() as u32 {
+            let deg = g.degree(v) as u64;
+            assert!(far[v as usize] >= deg + 2 * (n - 1 - deg), "v {v}");
+        }
+    }
+}
+
+/// Harmonic and closeness agree on the reciprocal relationship at the
+/// extremes: the farness-minimal vertex has harmonic centrality at least
+/// as high as the farness-maximal vertex's.
+#[test]
+fn harmonic_consistent_with_farness_extremes() {
+    for g in graphs() {
+        let far = exact_farness(&g).unwrap();
+        let har = exact_harmonic(&g);
+        let most = (0..far.len()).min_by_key(|&v| far[v]).unwrap();
+        let least = (0..far.len()).max_by_key(|&v| far[v]).unwrap();
+        assert!(
+            har[most] >= har[least] - 1e-9,
+            "harmonic({most})={} < harmonic({least})={}",
+            har[most],
+            har[least]
+        );
+    }
+}
+
+/// By Jensen/AM–HM: `harmonic(v) ≥ (n−1)² / farness(v)`.
+#[test]
+fn harmonic_am_hm_inequality() {
+    for g in graphs() {
+        let n = g.num_nodes() as f64;
+        let far = exact_farness(&g).unwrap();
+        let har = exact_harmonic(&g);
+        for v in 0..g.num_nodes() {
+            let bound = (n - 1.0) * (n - 1.0) / far[v] as f64;
+            assert!(har[v] >= bound - 1e-6, "v {v}: {} < {bound}", har[v]);
+        }
+    }
+}
+
+/// Every internal cut vertex has strictly positive betweenness, and every
+/// degree-1 vertex has zero.
+#[test]
+fn betweenness_respects_structure() {
+    for g in graphs() {
+        let b = exact_betweenness(&g);
+        let bct = BlockCutTree::build(&g);
+        for v in 0..g.num_nodes() as u32 {
+            if bct.is_cut_vertex(v) {
+                assert!(b[v as usize] > 0.0, "cut vertex {v} has zero betweenness");
+            }
+            if g.degree(v) == 1 {
+                assert!(b[v as usize].abs() < 1e-9, "leaf {v} has betweenness");
+            }
+        }
+    }
+}
+
+/// Total betweenness mass equals the total number of interior slots on
+/// shortest paths: Σ_v B(v) = Σ_{pairs} (d(s,t) − 1).
+#[test]
+fn betweenness_mass_conservation() {
+    for g in graphs().into_iter().take(5) {
+        let b = exact_betweenness(&g);
+        let far = exact_farness(&g).unwrap();
+        let total_distance: u64 = far.iter().sum::<u64>() / 2; // pairs once
+        let n_pairs = (g.num_nodes() * (g.num_nodes() - 1) / 2) as u64;
+        let expect = (total_distance - n_pairs) as f64;
+        let got: f64 = b.iter().sum();
+        assert!(
+            (got - expect).abs() < 1e-3 * expect.max(1.0),
+            "mass {got} vs {expect}"
+        );
+    }
+}
+
+/// The exact top-k search built on the BRICS estimate finds the true
+/// 1-median on every class. (Note: the *raw* estimate's argmin alone can
+/// favour a removed vertex — its partial sum omits same-home removed
+/// mass even at a 100 % rate — which is precisely why `brics::topk`
+/// verifies candidates with true BFS before ranking.)
+#[test]
+fn estimator_finds_the_median_at_full_rate() {
+    for class in GraphClass::ALL {
+        let g = class.generate(ClassParams::new(300, 5));
+        let far = exact_farness(&g).unwrap();
+        let est = BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(1.0))
+            .seed(1)
+            .run(&g)
+            .unwrap();
+        let true_median = (0..far.len() as u32).min_by_key(|&v| (far[v as usize], v)).unwrap();
+        // The true median is a survivor (centres never reduce away on these
+        // classes) and so is ranked exactly.
+        assert_eq!(
+            est.raw()[true_median as usize],
+            far[true_median as usize],
+            "{class:?}"
+        );
+        let top = brics::topk::top_k_from_estimate(&g, 1, &est);
+        assert_eq!(top.ranked[0], (true_median, far[true_median as usize]), "{class:?}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the whole pipeline — generators →
+//! reductions → biconnected decomposition → estimators — against exact
+//! ground truth, on every graph class and every method.
+
+// Tests index several parallel arrays by vertex id; the indexed loops
+// are clearer than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+use brics::{exact_farness, BricsEstimator, Method, ReductionConfig, SampleSize};
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::CsrGraph;
+
+fn class_graph(class: GraphClass, n: usize, seed: u64) -> CsrGraph {
+    class.generate(ClassParams::new(n, seed))
+}
+
+const ALL_METHODS: [Method; 4] =
+    [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative];
+
+/// Every method at a 100 % sampling rate gives exact values on all vertices
+/// it samples, and never overestimates anywhere.
+#[test]
+fn full_rate_sampled_vertices_exact_all_classes_all_methods() {
+    for class in GraphClass::ALL {
+        let g = class_graph(class, 600, 42);
+        let exact = exact_farness(&g).unwrap();
+        for method in ALL_METHODS {
+            let est = BricsEstimator::new(method)
+                .sample(SampleSize::Fraction(1.0))
+                .seed(7)
+                .run(&g)
+                .unwrap();
+            for v in 0..g.num_nodes() {
+                assert!(
+                    est.raw()[v] <= exact[v],
+                    "{class:?}/{}: overestimate at {v}",
+                    method.name()
+                );
+                if est.is_sampled(v as u32) {
+                    assert_eq!(
+                        est.raw()[v],
+                        exact[v],
+                        "{class:?}/{}: sampled vertex {v} inexact",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Random sampling at 100 % is exact *everywhere* (no reductions, so every
+/// vertex is a source). This pins the baseline semantics.
+#[test]
+fn random_sampling_full_rate_exact_everywhere() {
+    for class in GraphClass::ALL {
+        let g = class_graph(class, 500, 3);
+        let exact = exact_farness(&g).unwrap();
+        let est = BricsEstimator::new(Method::RandomSampling)
+            .sample(SampleSize::Fraction(1.0))
+            .seed(0)
+            .run(&g)
+            .unwrap();
+        assert_eq!(est.raw(), exact.as_slice(), "{class:?}");
+    }
+}
+
+/// The reduced (non-BCC) estimator and the cumulative estimator agree with
+/// each other on every vertex they both sample exactly.
+#[test]
+fn methods_agree_on_commonly_exact_vertices() {
+    let g = class_graph(GraphClass::Community, 700, 9);
+    let exact = exact_farness(&g).unwrap();
+    let icr = BricsEstimator::new(Method::ICR)
+        .sample(SampleSize::Fraction(1.0))
+        .seed(5)
+        .run(&g)
+        .unwrap();
+    let cum = BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Fraction(1.0))
+        .seed(5)
+        .run(&g)
+        .unwrap();
+    for v in 0..g.num_nodes() {
+        if icr.is_sampled(v as u32) && cum.is_sampled(v as u32) {
+            assert_eq!(icr.raw()[v], cum.raw()[v], "vertex {v}");
+            assert_eq!(icr.raw()[v], exact[v], "vertex {v}");
+        }
+    }
+}
+
+/// Estimates grow monotonically with more distance mass: raw estimates are
+/// partial sums, so they can never exceed the exact farness at any rate.
+#[test]
+fn raw_estimates_never_exceed_exact_at_any_rate() {
+    let g = class_graph(GraphClass::Web, 800, 21);
+    let exact = exact_farness(&g).unwrap();
+    for rate in [0.1, 0.3, 0.5, 0.8] {
+        for method in ALL_METHODS {
+            let est = BricsEstimator::new(method)
+                .sample(SampleSize::Fraction(rate))
+                .seed(11)
+                .run(&g)
+                .unwrap();
+            for v in 0..g.num_nodes() {
+                assert!(
+                    est.raw()[v] <= exact[v],
+                    "{}@{rate}: overestimate at {v}: {} > {}",
+                    method.name(),
+                    est.raw()[v],
+                    exact[v]
+                );
+            }
+        }
+    }
+}
+
+/// Scaled quality improves (or holds) as the sampling rate rises.
+#[test]
+fn scaled_quality_improves_with_rate() {
+    use brics::quality::symmetric_quality;
+    let g = class_graph(GraphClass::Social, 800, 2);
+    let exact = exact_farness(&g).unwrap();
+    let q_at = |rate: f64| {
+        let est = BricsEstimator::new(Method::Cumulative)
+            .sample(SampleSize::Fraction(rate))
+            .seed(4)
+            .run(&g)
+            .unwrap();
+        symmetric_quality(est.scaled(), &exact)
+    };
+    let (q1, q2, q3) = (q_at(0.1), q_at(0.4), q_at(1.0));
+    assert!(q2 > q1 - 0.05, "quality dropped: {q1} -> {q2}");
+    assert!(q3 > q2 - 0.05, "quality dropped: {q2} -> {q3}");
+    assert!(q3 > 0.9, "full-rate scaled quality should be high: {q3}");
+}
+
+/// The paper's configuration table: every ReductionConfig preset works
+/// under both the plain and the BCC estimator on every class.
+#[test]
+fn all_reduction_presets_run_everywhere() {
+    let presets = [
+        ReductionConfig::none(),
+        ReductionConfig::chains_only(),
+        ReductionConfig::cr(),
+        ReductionConfig::all(),
+        ReductionConfig::all().without_contraction(),
+        ReductionConfig::all().with_fixpoint(),
+    ];
+    for class in GraphClass::ALL {
+        let g = class_graph(class, 400, 1);
+        let exact = exact_farness(&g).unwrap();
+        for reductions in presets {
+            for use_bcc in [false, true] {
+                let est = BricsEstimator::new(Method::Custom { reductions, use_bcc })
+                    .sample(SampleSize::Fraction(1.0))
+                    .seed(2)
+                    .run(&g)
+                    .unwrap();
+                for v in 0..g.num_nodes() {
+                    assert!(est.raw()[v] <= exact[v], "{class:?} {reductions:?} bcc={use_bcc}");
+                    if est.is_sampled(v as u32) {
+                        assert_eq!(
+                            est.raw()[v],
+                            exact[v],
+                            "{class:?} {reductions:?} bcc={use_bcc} v={v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate inputs across the public API.
+#[test]
+fn degenerate_graphs() {
+    use brics_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+    for g in [
+        path_graph(2),
+        path_graph(3),
+        cycle_graph(3),
+        star_graph(2),
+        complete_graph(3),
+        brics_graph::GraphBuilder::new(1).build(),
+    ] {
+        let exact = exact_farness(&g).unwrap();
+        for method in ALL_METHODS {
+            let est = BricsEstimator::new(method)
+                .sample(SampleSize::Fraction(1.0))
+                .seed(0)
+                .run(&g)
+                .unwrap_or_else(|e| panic!("{method:?} on {} nodes: {e}", g.num_nodes()));
+            for v in 0..g.num_nodes() {
+                assert!(est.raw()[v] <= exact[v]);
+            }
+        }
+    }
+}
