@@ -1,7 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{parse, Parsed};
-use brics::{exact_farness, BricsEstimator, Method, SampleSize};
+use crate::error::CliError;
+use brics::{exact_farness_ctl, BricsEstimator, Method, RunControl, RunOutcome, SampleSize};
 use brics_bicc::biconnected_components;
 use brics_graph::connectivity::{is_connected, make_connected};
 use brics_graph::degree::degree_stats;
@@ -30,11 +31,28 @@ USAGE:
   brics betweenness <graph> [--rate 0.3] [--seed 0] [--top K] [--exact]
       Betweenness centrality via Brandes pivots (--exact for all sources).
 
-  brics generate <web|social|community|road> <nodes> [--seed 0]
+  brics generate <web|social|community|road|rmat> <nodes> [--seed 0]
                  [--out FILE]
       Write a synthetic class graph (.el edge list, .mtx MatrixMarket or
       .graph/.metis METIS, by extension; stdout edge list when --out is
-      omitted).
+      omitted). `rmat` is a Graph500-parameter stress generator.
+
+EXECUTION LIMITS (farness, topk, betweenness):
+  --timeout SECS     Wall-clock budget. When it expires mid-run, already
+                     completed BFS sources are kept: `farness` and
+                     `betweenness` print the sound partial estimate and
+                     exit 4; `topk` and `--method exact` refuse (they
+                     promise exact answers) and exit 4 with no output.
+  --max-mem-mb N     Refuse up-front (exit 3) if the run's dominant
+                     allocations would exceed N MiB.
+
+EXIT CODES:
+  0  success
+  2  usage error (unknown command/flag value, missing argument)
+  3  input/data error (unreadable file, parse failure, memory budget)
+  4  interrupted by --timeout or cancellation (partial result printed
+     where the method supports it)
+  5  internal error (worker panic)
 
 Graph files: SNAP edge lists (default), MatrixMarket (.mtx), or METIS
 (.graph/.metis). Disconnected inputs are connected by linking components
@@ -43,8 +61,8 @@ component instead.
 ";
 
 /// Entry point used by `main` (and by the CLI's integration tests).
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
-    let parsed = parse(argv)?;
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
+    let parsed = parse(argv).map_err(CliError::Usage)?;
     match parsed.positional.first().map(String::as_str) {
         Some("stats") => stats(&parsed),
         Some("farness") => farness(&parsed),
@@ -55,24 +73,53 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             print!("{HELP}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}' (try `brics help`)")),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}' (try `brics help`)"))),
     }
 }
 
-fn load_graph(path: &str) -> Result<CsrGraph, String> {
+fn usage(msg: &str) -> CliError {
+    CliError::Usage(msg.to_string())
+}
+
+/// Builds the [`RunControl`] from `--timeout` / `--max-mem-mb`.
+fn control_from(p: &Parsed) -> Result<RunControl, CliError> {
+    let mut ctl = RunControl::new();
+    if p.has("timeout") {
+        let secs: f64 = p.get_parse("timeout", 0.0).map_err(CliError::Usage)?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(CliError::Usage(format!("--timeout {secs}: must be a finite non-negative number of seconds")));
+        }
+        ctl = ctl.with_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    if p.has("max-mem-mb") {
+        let mb: u64 = p.get_parse("max-mem-mb", 0).map_err(CliError::Usage)?;
+        ctl = ctl.with_memory_budget_mb(mb);
+    }
+    Ok(ctl)
+}
+
+fn outcome_name(o: RunOutcome) -> &'static str {
+    match o {
+        RunOutcome::Complete => "complete",
+        RunOutcome::Deadline => "deadline",
+        RunOutcome::Cancelled => "cancelled",
+    }
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, CliError> {
     load_graph_with(path, false)
 }
 
-fn load_graph_with(path: &str, giant: bool) -> Result<CsrGraph, String> {
+fn load_graph_with(path: &str, giant: bool) -> Result<CsrGraph, CliError> {
     let g = if path.ends_with(".mtx") {
-        read_mtx(path).map_err(|e| format!("{path}: {e}"))?
+        read_mtx(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?
     } else if path.ends_with(".graph") || path.ends_with(".metis") {
-        read_metis(path).map_err(|e| format!("{path}: {e}"))?
+        read_metis(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?
     } else {
-        read_edge_list(path).map_err(|e| format!("{path}: {e}"))?
+        read_edge_list(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?
     };
     if g.num_nodes() == 0 {
-        return Err(format!("{path}: empty graph"));
+        return Err(CliError::Input(format!("{path}: empty graph")));
     }
     if is_connected(&g) {
         Ok(g)
@@ -95,8 +142,8 @@ fn load_graph_with(path: &str, giant: bool) -> Result<CsrGraph, String> {
     }
 }
 
-fn stats(p: &Parsed) -> Result<(), String> {
-    let path = p.positional.get(1).ok_or("usage: brics stats <graph>")?;
+fn stats(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional.get(1).ok_or_else(|| usage("usage: brics stats <graph>"))?;
     let g = load_graph(path)?;
     let d = degree_stats(&g);
     let red = reduce(&g, &ReductionConfig::all());
@@ -140,90 +187,153 @@ fn stats(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn method_of(name: &str) -> Result<Method, String> {
+fn method_of(name: &str) -> Result<Method, CliError> {
     match name {
         "random" => Ok(Method::RandomSampling),
         "cr" => Ok(Method::CR),
         "icr" => Ok(Method::ICR),
         "cumulative" => Ok(Method::Cumulative),
-        other => Err(format!("unknown method '{other}'")),
+        other => Err(CliError::Usage(format!("unknown method '{other}'"))),
     }
 }
 
-fn farness(p: &Parsed) -> Result<(), String> {
-    let path = p.positional.get(1).ok_or("usage: brics farness <graph> [options]")?;
+fn farness(p: &Parsed) -> Result<(), CliError> {
+    let path =
+        p.positional.get(1).ok_or_else(|| usage("usage: brics farness <graph> [options]"))?;
+    // The control is built *before* loading so `--timeout` bounds the whole
+    // command: a slow parse eats into the budget and the (uninterruptible)
+    // load is followed by an immediate deadline check inside the estimator.
+    let ctl = control_from(p)?;
     let g = load_graph_with(path, p.has("giant"))?;
-    let rate: f64 = p.get_parse("rate", 0.2)?;
-    let seed: u64 = p.get_parse("seed", 0)?;
-    let top: usize = p.get_parse("top", 0)?;
+    let rate: f64 = p.get_parse("rate", 0.2).map_err(CliError::Usage)?;
+    let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
+    let top: usize = p.get_parse("top", 0).map_err(CliError::Usage)?;
     let method_name = p.get("method").unwrap_or("cumulative");
 
-    let (values, sampled, label): (Vec<u64>, Vec<bool>, String) = if method_name == "exact" {
-        let f = exact_farness(&g).map_err(|e| e.to_string())?;
+    struct Rows {
+        values: Vec<u64>,
+        sampled: Vec<bool>,
+        coverage: Vec<u32>,
+        label: String,
+        num_sources: usize,
+        outcome: RunOutcome,
+    }
+    let rows = if method_name == "exact" {
+        // Exact computation is all-or-nothing: an expired --timeout comes
+        // back as `CentralityError::Interrupted` (exit 4, no output).
+        let f = exact_farness_ctl(&g, &ctl)?;
         let n = f.len();
-        (f, vec![true; n], "exact".into())
+        Rows {
+            values: f,
+            sampled: vec![true; n],
+            coverage: vec![(n as u32).saturating_sub(1); n],
+            label: "exact".into(),
+            num_sources: n,
+            outcome: RunOutcome::Complete,
+        }
     } else {
         let method = method_of(method_name)?;
         let est = BricsEstimator::new(method)
             .sample(SampleSize::Fraction(rate))
             .seed(seed)
-            .run(&g)
-            .map_err(|e| e.to_string())?;
+            .run_with_control(&g, &ctl)?;
+        let partial_note = if est.is_partial() {
+            format!(" — PARTIAL ({})", outcome_name(est.outcome()))
+        } else {
+            String::new()
+        };
         eprintln!(
-            "note: {} sources, {:.3}s",
+            "note: {} sources, {:.3}s{partial_note}",
             est.num_sources(),
             est.elapsed().as_secs_f64()
         );
-        let sampled = est.sampled_mask().to_vec();
-        (est.raw().to_vec(), sampled, method_name.into())
+        Rows {
+            values: est.raw().to_vec(),
+            sampled: est.sampled_mask().to_vec(),
+            coverage: est.coverage().to_vec(),
+            label: method_name.into(),
+            num_sources: est.num_sources(),
+            outcome: est.outcome(),
+        }
     };
 
     let order: Vec<u32> = {
-        let mut idx: Vec<u32> = (0..values.len() as u32).collect();
+        let mut idx: Vec<u32> = (0..rows.values.len() as u32).collect();
         if top > 0 {
-            idx.sort_by_key(|&v| (values[v as usize], v));
+            idx.sort_by_key(|&v| (rows.values[v as usize], v));
             idx.truncate(top);
         }
         idx
     };
+    // Streamed + buffered output: the document can cover half a million
+    // vertices, and on a timed-out run the printing happens *after* the
+    // deadline — building one giant `Value` tree (or a syscall per line)
+    // would add seconds past the budget for no benefit.
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::io::stdout().lock());
     if p.has("json") {
-        let doc = serde_json::json!({
-            "graph": path,
-            "method": label,
-            "vertices": order.iter().map(|&v| serde_json::json!({
-                "id": v,
-                "farness": values[v as usize],
-                "closeness": if values[v as usize] == 0 { 0.0 } else { 1.0 / values[v as usize] as f64 },
-                "exact": sampled[v as usize],
-            })).collect::<Vec<_>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
-    } else {
-        println!("# vertex  farness  closeness  exact");
-        for &v in &order {
-            let f = values[v as usize];
+        writeln!(w, "{{").unwrap();
+        writeln!(w, "  \"graph\": {},", serde_json::to_string(path).unwrap()).unwrap();
+        writeln!(w, "  \"method\": {},", serde_json::to_string(&rows.label).unwrap()).unwrap();
+        writeln!(w, "  \"outcome\": \"{}\",", outcome_name(rows.outcome)).unwrap();
+        writeln!(w, "  \"num_sources\": {},", rows.num_sources).unwrap();
+        writeln!(w, "  \"vertices\": [").unwrap();
+        for (i, &v) in order.iter().enumerate() {
+            let f = rows.values[v as usize];
             let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
-            println!("{v} {f} {c:.3e} {}", sampled[v as usize]);
+            writeln!(
+                w,
+                "    {{\"id\": {v}, \"farness\": {f}, \"closeness\": {}, \
+                 \"coverage\": {}, \"exact\": {}}}{}",
+                serde_json::to_string(&c).unwrap(),
+                rows.coverage[v as usize],
+                rows.sampled[v as usize],
+                if i + 1 == order.len() { "" } else { "," },
+            )
+            .unwrap();
         }
+        writeln!(w, "  ]").unwrap();
+        writeln!(w, "}}").unwrap();
+    } else {
+        writeln!(w, "# vertex  farness  closeness  exact").unwrap();
+        for &v in &order {
+            let f = rows.values[v as usize];
+            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
+            writeln!(w, "{v} {f} {c:.3e} {}", rows.sampled[v as usize]).unwrap();
+        }
+    }
+    w.flush().unwrap();
+    if !rows.outcome.is_complete() {
+        // The partial (but sound) estimate went to stdout above; the exit
+        // code still has to tell scripts the run was cut short.
+        return Err(CliError::TimeoutPartial(format!(
+            "{} interrupted the run after {} completed sources; the printed \
+             estimate is a sound partial lower bound",
+            outcome_name(rows.outcome),
+            rows.num_sources
+        )));
     }
     Ok(())
 }
 
-fn topk(p: &Parsed) -> Result<(), String> {
-    let path = p.positional.get(1).ok_or("usage: brics topk <graph> <k>")?;
+fn topk(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional.get(1).ok_or_else(|| usage("usage: brics topk <graph> <k>"))?;
     let k: usize = p
         .positional
         .get(2)
-        .ok_or("usage: brics topk <graph> <k>")?
+        .ok_or_else(|| usage("usage: brics topk <graph> <k>"))?
         .parse()
-        .map_err(|e| format!("bad k: {e}"))?;
+        .map_err(|e| CliError::Usage(format!("bad k: {e}")))?;
+    let ctl = control_from(p)?; // before load: --timeout bounds the command
     let g = load_graph(path)?;
-    let rate: f64 = p.get_parse("rate", 0.3)?;
-    let seed: u64 = p.get_parse("seed", 0)?;
+    let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
+    let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     let estimator = BricsEstimator::new(Method::Cumulative)
         .sample(SampleSize::Fraction(rate))
         .seed(seed);
-    let t = brics::topk::top_k_closeness(&g, k, &estimator).map_err(|e| e.to_string())?;
+    // Top-k promises exact answers, so interruption is an error (exit 4),
+    // never a shorter/looser ranking.
+    let t = brics::topk::top_k_closeness_ctl(&g, k, &estimator, &ctl)?;
     eprintln!(
         "note: {} pruned, {} verified by BFS, {} for free (of {})",
         t.pruned,
@@ -252,17 +362,18 @@ fn topk(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn betweenness(p: &Parsed) -> Result<(), String> {
-    let path = p.positional.get(1).ok_or("usage: brics betweenness <graph> [options]")?;
+fn betweenness(p: &Parsed) -> Result<(), CliError> {
+    let path =
+        p.positional.get(1).ok_or_else(|| usage("usage: brics betweenness <graph> [options]"))?;
+    let ctl = control_from(p)?; // before load: --timeout bounds the command
     let g = load_graph_with(path, p.has("giant"))?;
-    let top: usize = p.get_parse("top", 10)?;
-    let values = if p.has("exact") {
-        brics::betweenness::exact_betweenness(&g)
+    let top: usize = p.get_parse("top", 10).map_err(CliError::Usage)?;
+    let (values, outcome) = if p.has("exact") {
+        (brics::betweenness::exact_betweenness(&g), RunOutcome::Complete)
     } else {
-        let rate: f64 = p.get_parse("rate", 0.3)?;
-        let seed: u64 = p.get_parse("seed", 0)?;
-        brics::betweenness::sampled_betweenness(&g, SampleSize::Fraction(rate), seed)
-            .map_err(|e| e.to_string())?
+        let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
+        let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
+        brics::betweenness::sampled_betweenness_ctl(&g, SampleSize::Fraction(rate), seed, &ctl)?
     };
     let mut idx: Vec<u32> = (0..values.len() as u32).collect();
     idx.sort_by(|&a, &b| {
@@ -276,22 +387,30 @@ fn betweenness(p: &Parsed) -> Result<(), String> {
     for (i, &v) in idx.iter().enumerate() {
         println!("{} {v} {:.3}", i + 1, values[v as usize]);
     }
+    if !outcome.is_complete() {
+        return Err(CliError::TimeoutPartial(format!(
+            "{} interrupted the run; the printed betweenness is the unbiased \
+             estimate over the completed pivots",
+            outcome_name(outcome)
+        )));
+    }
     Ok(())
 }
 
-fn generate(p: &Parsed) -> Result<(), String> {
+fn generate(p: &Parsed) -> Result<(), CliError> {
     let class: GraphClass = p
         .positional
         .get(1)
-        .ok_or("usage: brics generate <class> <nodes>")?
-        .parse()?;
+        .ok_or_else(|| usage("usage: brics generate <class> <nodes>"))?
+        .parse()
+        .map_err(CliError::Usage)?;
     let nodes: usize = p
         .positional
         .get(2)
-        .ok_or("usage: brics generate <class> <nodes>")?
+        .ok_or_else(|| usage("usage: brics generate <class> <nodes>"))?
         .parse()
-        .map_err(|e| format!("bad node count: {e}"))?;
-    let seed: u64 = p.get_parse("seed", 0)?;
+        .map_err(|e| CliError::Usage(format!("bad node count: {e}")))?;
+    let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     let g = class.generate(ClassParams::new(nodes, seed));
     eprintln!(
         "generated {} graph: {} vertices, {} edges (seed {seed})",
@@ -301,17 +420,17 @@ fn generate(p: &Parsed) -> Result<(), String> {
     );
     match p.get("out") {
         Some(path) if path.ends_with(".mtx") => {
-            write_mtx(&g, path).map_err(|e| e.to_string())?;
+            write_mtx(&g, path).map_err(|e| CliError::Input(e.to_string()))?;
         }
         Some(path) if path.ends_with(".graph") || path.ends_with(".metis") => {
-            write_metis(&g, path).map_err(|e| e.to_string())?;
+            write_metis(&g, path).map_err(|e| CliError::Input(e.to_string()))?;
         }
         Some(path) => {
-            write_edge_list(&g, path).map_err(|e| e.to_string())?;
+            write_edge_list(&g, path).map_err(|e| CliError::Input(e.to_string()))?;
         }
         None => {
             brics_graph::io::write_edge_list_to(&g, std::io::stdout().lock())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Input(e.to_string()))?;
         }
     }
     Ok(())
@@ -321,7 +440,7 @@ fn generate(p: &Parsed) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run(args: &[&str]) -> Result<(), String> {
+    fn run(args: &[&str]) -> Result<(), CliError> {
         dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -335,7 +454,7 @@ mod tests {
     fn help_and_unknown() {
         assert!(run(&["help"]).is_ok());
         assert!(run(&[]).is_ok());
-        assert!(run(&["frobnicate"]).is_err());
+        assert_eq!(run(&["frobnicate"]).unwrap_err().exit_code(), 2);
     }
 
     #[test]
@@ -383,9 +502,56 @@ mod tests {
     fn rejects_bad_method_and_class() {
         let path = tmp("sock.el");
         run(&["generate", "social", "200", "--out", path.to_str().unwrap()]).unwrap();
-        assert!(run(&["farness", path.to_str().unwrap(), "--method", "magic"]).is_err());
-        assert!(run(&["generate", "metro", "100"]).is_err());
-        assert!(run(&["stats"]).is_err());
-        assert!(run(&["stats", "/nonexistent/file"]).is_err());
+        assert_eq!(
+            run(&["farness", path.to_str().unwrap(), "--method", "magic"])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert_eq!(run(&["generate", "metro", "100"]).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&["stats"]).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&["stats", "/nonexistent/file"]).unwrap_err().exit_code(), 3);
+    }
+
+    #[test]
+    fn timeout_yields_exit_4_after_printing_partial() {
+        let path = tmp("tmo.el");
+        run(&["generate", "web", "400", "--seed", "1", "--out", path.to_str().unwrap()]).unwrap();
+        // An already-expired deadline: every source is skipped, the printed
+        // estimate is the trivial (but sound) zero-coverage partial.
+        let err = run(&["farness", path.to_str().unwrap(), "--timeout", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Exact computation refuses under an expired deadline.
+        let err = run(&["farness", path.to_str().unwrap(), "--method", "exact", "--timeout", "0"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Top-k refuses too — it cannot certify an exact ranking.
+        let err = run(&["topk", path.to_str().unwrap(), "3", "--timeout", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Betweenness prints the partial pivot estimate and exits 4.
+        let err =
+            run(&["betweenness", path.to_str().unwrap(), "--timeout", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // A generous budget completes normally.
+        run(&["farness", path.to_str().unwrap(), "--timeout", "600"]).unwrap();
+    }
+
+    #[test]
+    fn memory_budget_yields_exit_3() {
+        let path = tmp("mem.el");
+        run(&["generate", "road", "300", "--seed", "2", "--out", path.to_str().unwrap()]).unwrap();
+        let err = run(&["farness", path.to_str().unwrap(), "--max-mem-mb", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        run(&["farness", path.to_str().unwrap(), "--max-mem-mb", "4096"]).unwrap();
+    }
+
+    #[test]
+    fn bad_timeout_is_usage_error() {
+        let path = tmp("badtmo.el");
+        run(&["generate", "road", "100", "--out", path.to_str().unwrap()]).unwrap();
+        let err = run(&["farness", path.to_str().unwrap(), "--timeout", "-1"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = run(&["farness", path.to_str().unwrap(), "--timeout", "zebra"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 }

@@ -1,0 +1,101 @@
+//! Typed CLI errors with stable process exit codes.
+//!
+//! Scripts driving `brics` can branch on the exit code alone:
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | success                                                    |
+//! | 2    | usage error (bad flag, missing argument, unknown command)  |
+//! | 3    | input/data error (unreadable file, parse failure, budget)  |
+//! | 4    | deadline/cancellation — a sound partial result was printed |
+//! | 5    | internal error (worker panic, broken invariant)            |
+
+use std::fmt;
+
+/// What went wrong, carrying the exit code the process should end with.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command, bad flag value, missing argument.
+    /// Exit code 2.
+    Usage(String),
+    /// The input could not be used: I/O failure, parse error, empty graph,
+    /// or a memory budget the data does not fit under. Exit code 3.
+    Input(String),
+    /// A `--timeout` deadline (or cancellation) interrupted the run. Any
+    /// sound partial result has already been printed to stdout. Exit code 4.
+    TimeoutPartial(String),
+    /// A worker panicked or an internal invariant broke — the result (if
+    /// any) is not trustworthy. Exit code 5.
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::TimeoutPartial(_) => 4,
+            CliError::Internal(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Input(m) => write!(f, "{m}"),
+            CliError::TimeoutPartial(m) => write!(f, "{m}"),
+            CliError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<brics::CentralityError> for CliError {
+    fn from(e: brics::CentralityError) -> Self {
+        use brics::CentralityError as E;
+        match &e {
+            E::Internal { .. } => CliError::Internal(e.to_string()),
+            E::Interrupted { .. } => CliError::TimeoutPartial(e.to_string()),
+            // Budget refusals and data problems (empty/disconnected graph,
+            // no samples) are properties of the input + configuration.
+            _ => CliError::Input(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics::{CentralityError, RunOutcome};
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Input("x".into()).exit_code(), 3);
+        assert_eq!(CliError::TimeoutPartial("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Internal("x".into()).exit_code(), 5);
+    }
+
+    #[test]
+    fn centrality_errors_map_to_codes() {
+        let c: CliError = CentralityError::Internal { detail: "boom".into() }.into();
+        assert_eq!(c.exit_code(), 5);
+        let c: CliError = CentralityError::Interrupted { outcome: RunOutcome::Deadline }.into();
+        assert_eq!(c.exit_code(), 4);
+        let c: CliError =
+            CentralityError::BudgetExceeded { required_bytes: 10, budget_bytes: 1 }.into();
+        assert_eq!(c.exit_code(), 3);
+        let c: CliError = CentralityError::EmptyGraph.into();
+        assert_eq!(c.exit_code(), 3);
+    }
+
+    #[test]
+    fn display_prefixes_internal() {
+        let c = CliError::Internal("worker panic".into());
+        assert!(c.to_string().contains("internal error"));
+    }
+}

@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod error;
 
 use std::process::ExitCode;
 
@@ -34,7 +35,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            // Stable per-kind exit codes (see `brics help`): usage 2,
+            // input/data 3, timeout-partial 4, internal 5.
+            ExitCode::from(e.exit_code())
         }
     }
 }

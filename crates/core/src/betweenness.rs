@@ -16,10 +16,12 @@
 //! sampling error, and zero for the exactness oracles used in tests (they
 //! compare with a tolerance).
 
+use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::sampling::draw_sources;
 use crate::CentralityError;
-use brics_graph::{CsrGraph, NodeId};
+use brics_graph::traversal::WorkerGuard;
+use brics_graph::{CsrGraph, NodeId, RunControl, RunOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -96,14 +98,31 @@ impl BrandesScratch {
     }
 }
 
-fn betweenness_from_sources(g: &CsrGraph, sources: &[NodeId], scale_up: f64) -> Vec<f64> {
+/// Runs the Brandes source loop under a control. Returns the raw fixed-point
+/// accumulator, the number of sources that completed and the outcome; the
+/// caller applies the scale appropriate to the completed count.
+fn betweenness_from_sources_ctl(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+) -> Result<(Vec<u64>, usize, RunOutcome), CentralityError> {
     let n = g.num_nodes();
     let mut acc = vec![0u64; n];
     let atomic = brics_graph::traversal::atomic_view(&mut acc);
-    sources.par_iter().for_each_init(
-        || BrandesScratch::new(n),
-        |scratch, &s| scratch.run(g, s, atomic),
-    );
+    let guard = WorkerGuard::new(ctl);
+    let completed: Vec<bool> = sources
+        .par_iter()
+        .map_init(
+            || BrandesScratch::new(n),
+            |scratch, &s| guard.run_source(s, || scratch.run(g, s, atomic)).is_some(),
+        )
+        .collect();
+    let outcome = guard.finish()?;
+    let done = completed.iter().filter(|&&c| c).count();
+    Ok((acc, done, outcome))
+}
+
+fn scale_acc(acc: &[u64], scale_up: f64) -> Vec<f64> {
     // Undirected graphs: every pair is counted from both endpoints → halve.
     acc.iter().map(|&x| x as f64 / SCALE * scale_up / 2.0).collect()
 }
@@ -112,7 +131,9 @@ fn betweenness_from_sources(g: &CsrGraph, sources: &[NodeId], scale_up: f64) -> 
 /// convention: each unordered pair counted once).
 pub fn exact_betweenness(g: &CsrGraph) -> Vec<f64> {
     let sources: Vec<NodeId> = g.nodes().collect();
-    betweenness_from_sources(g, &sources, 1.0)
+    let (acc, _, _) = betweenness_from_sources_ctl(g, &sources, &RunControl::new())
+        .expect("unbounded control cannot fail");
+    scale_acc(&acc, 1.0)
 }
 
 /// Pivot-sampled betweenness (Brandes–Pich): `k` random sources, each
@@ -122,6 +143,19 @@ pub fn sampled_betweenness(
     sample: SampleSize,
     seed: u64,
 ) -> Result<Vec<f64>, CentralityError> {
+    sampled_betweenness_ctl(g, sample, seed, &RunControl::new()).map(|(b, _)| b)
+}
+
+/// [`sampled_betweenness`] under a [`RunControl`]. On interruption the
+/// scale uses the number of pivots that actually completed, keeping the
+/// estimator unbiased over the pivots it did run (fewer pivots ⇒ higher
+/// variance, not bias).
+pub fn sampled_betweenness_ctl(
+    g: &CsrGraph,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+) -> Result<(Vec<f64>, RunOutcome), CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
@@ -130,9 +164,12 @@ pub fn sampled_betweenness(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
+    ctl.admit_memory(accumulate_run_bytes(n))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
-    Ok(betweenness_from_sources(g, &sources, n as f64 / k as f64))
+    let (acc, done, outcome) = betweenness_from_sources_ctl(g, &sources, ctl)?;
+    let scale_up = if done > 0 { n as f64 / done as f64 } else { 1.0 };
+    Ok((scale_acc(&acc, scale_up), outcome))
 }
 
 #[cfg(test)]
@@ -285,5 +322,22 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert!(sampled_betweenness(&CsrGraph::empty(), SampleSize::Count(1), 0).is_err());
+    }
+
+    #[test]
+    fn ctl_deadline_yields_zero_partial() {
+        let g = gnm_random_connected(30, 45, 1);
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let (b, outcome) =
+            sampled_betweenness_ctl(&g, SampleSize::Count(10), 0, &ctl).unwrap();
+        assert_eq!(outcome, RunOutcome::Deadline);
+        assert!(b.iter().all(|&x| x == 0.0));
+
+        let ctl = RunControl::new().with_injected_panic(5);
+        let sources: Vec<NodeId> = (0..30).collect();
+        assert!(matches!(
+            betweenness_from_sources_ctl(&g, &sources, &ctl).unwrap_err(),
+            CentralityError::Internal { .. }
+        ));
     }
 }

@@ -1,10 +1,10 @@
 //! Estimator configuration and the top-level front door.
 
-use crate::cumulative::cumulative_estimate;
-use crate::reduced::reduced_estimate;
-use crate::sampling::random_sampling;
+use crate::cumulative::cumulative_estimate_ctl;
+use crate::reduced::reduced_estimate_ctl;
+use crate::sampling::random_sampling_ctl;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::CsrGraph;
+use brics_graph::{CsrGraph, RunControl};
 use brics_reduce::ReductionConfig;
 use serde::{Deserialize, Serialize};
 
@@ -135,13 +135,31 @@ impl BricsEstimator {
     /// `g` must be connected (see
     /// `brics_graph::connectivity::make_connected`).
     pub fn run(&self, g: &CsrGraph) -> Result<FarnessEstimate, CentralityError> {
+        self.run_with_control(g, &RunControl::new())
+    }
+
+    /// Runs the configured estimation under execution limits: wall-clock
+    /// deadline, cooperative cancellation and a memory budget.
+    ///
+    /// The control is *not* part of the serializable configuration (it
+    /// carries live state: an `Instant` deadline and a shared cancel flag),
+    /// which is why it is a call-site argument rather than a builder field.
+    /// On deadline/cancellation the estimate comes back partial — see
+    /// [`FarnessEstimate::outcome`].
+    pub fn run_with_control(
+        &self,
+        g: &CsrGraph,
+        ctl: &RunControl,
+    ) -> Result<FarnessEstimate, CentralityError> {
         if g.num_nodes() == 0 {
             return Err(CentralityError::EmptyGraph);
         }
         match self.method {
-            Method::RandomSampling => random_sampling(g, self.sample, self.seed),
-            m if m.uses_bcc() => cumulative_estimate(g, &m.reductions(), self.sample, self.seed),
-            m => reduced_estimate(g, &m.reductions(), self.sample, self.seed),
+            Method::RandomSampling => random_sampling_ctl(g, self.sample, self.seed, ctl),
+            m if m.uses_bcc() => {
+                cumulative_estimate_ctl(g, &m.reductions(), self.sample, self.seed, ctl)
+            }
+            m => reduced_estimate_ctl(g, &m.reductions(), self.sample, self.seed, ctl),
         }
     }
 }

@@ -2,13 +2,14 @@
 
 use super::aggregate::{sweep, Aggregates, BlockLocalSums};
 use super::homing::home_records;
+use crate::budget::cumulative_run_bytes;
 use crate::config::SampleSize;
 use crate::{CentralityError, FarnessEstimate};
 use brics_bicc::{biconnected_components, BlockCutTree};
-use brics_graph::traversal::{atomic_view, Bfs, DialBfs};
+use brics_graph::traversal::{atomic_view, Bfs, DialBfs, WorkerGuard};
 use brics_graph::weighted::{build_weighted, edge_weight};
-use brics_graph::{CsrGraph, GraphBuilder, NodeId, INFINITE_DIST, INVALID_NODE};
-use brics_reduce::{apply_record, reduce, ReductionConfig, Removal};
+use brics_graph::{CsrGraph, GraphBuilder, NodeId, RunControl, INFINITE_DIST, INVALID_NODE};
+use brics_reduce::{apply_record, reduce_ctl, ReductionConfig, Removal};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -39,8 +40,6 @@ struct BlockCtx {
     /// Sampled sources (local ids): all cut vertices first, then the
     /// randomly chosen non-cut vertices.
     sources_local: Vec<NodeId>,
-    /// How many of `sources_local` are non-cut (the block's `k_i`).
-    k_noncut: usize,
 }
 
 /// Puts the vertices of the given records back into the reduced graph:
@@ -105,10 +104,32 @@ pub fn cumulative_estimate(
     sample: SampleSize,
     seed: u64,
 ) -> Result<FarnessEstimate, CentralityError> {
+    cumulative_estimate_ctl(g, reductions, sample, seed, &RunControl::new())
+}
+
+/// [`cumulative_estimate`] under a [`RunControl`].
+///
+/// Interruption granularity is one BFS task. Phase A (cut-vertex BFS,
+/// feeding the BCT sweep) is all-or-nothing: if the deadline expires there,
+/// no inter-block mass exists yet and a zero-coverage estimate is returned
+/// (trivially sound: every lower bound degrades to `n − 1`). In Phase B each
+/// `(block, source)` task either lands completely or not at all; a source —
+/// in particular a cut vertex, which is a source in *every* block containing
+/// it — is only marked sampled/exact once all of its tasks completed, and
+/// per-vertex coverage counts exactly the completed tasks of the vertex's
+/// home block.
+pub fn cumulative_estimate_ctl(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+) -> Result<FarnessEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
+    ctl.admit_memory(cumulative_run_bytes(n))?;
     // Connectivity gate: the BCT combination assumes one component.
     {
         let mut bfs = Bfs::new(n);
@@ -121,7 +142,23 @@ pub fn cumulative_estimate(
     let start = Instant::now();
 
     // ---- Reduce and decompose (Algorithm 4). ----
-    let mut red = reduce(g, reductions);
+    // The reduction can dominate wall time on large graphs with little
+    // reducible structure, so it too runs under the control; interruption
+    // there degrades to the same zero-coverage estimate as a Phase-A abort.
+    let mut red = match reduce_ctl(g, reductions, ctl) {
+        Ok(r) => r,
+        Err(outcome) => {
+            return Ok(FarnessEstimate::new(
+                vec![0; n],
+                vec![0.0; n],
+                vec![false; n],
+                vec![0; n],
+                0,
+                start.elapsed(),
+                outcome,
+            ))
+        }
+    };
     // Home every record; records whose anchors straddle blocks (paper Fact
     // III.5) are *restored* into the reduced graph — sound because every
     // removal's validity argument is local, and convergent because
@@ -250,17 +287,23 @@ pub fn cumulative_estimate(
                     as u64)
                 + removed_per_block[b],
             sources_local,
-            k_noncut,
         });
     }
     let records: &[Removal] = &red.records;
 
     // ---- Phase A: block-local BFS from every cut vertex. ----
-    let phase_a: Vec<(Vec<u64>, Vec<Vec<u32>>)> = blocks
+    // Guarded per block: the sweep needs *every* block's cut data, so an
+    // interruption here aborts to a zero-coverage estimate below.
+    // Per block: each cut vertex's subtree distance sum, plus the dense
+    // cut-to-cut distance matrix.
+    type CutData = (Vec<u64>, Vec<Vec<u32>>);
+    let guard_a = WorkerGuard::new(ctl);
+    let phase_a: Vec<Option<CutData>> = blocks
         .par_iter()
         .map_init(
             || (DialBfs::new(64), vec![INFINITE_DIST; n]),
             |(bfs, gdist), ctx| {
+                guard_a.run_source(ctx.verts[0], || {
                 let nc = ctx.cut_locals.len();
                 let mut sdo = Vec::with_capacity(nc);
                 let mut cd = vec![vec![0u32; nc]; nc];
@@ -298,9 +341,27 @@ pub fn cumulative_estimate(
                     sdo.push(s);
                 }
                 (sdo, cd)
+                })
             },
         )
         .collect();
+    let outcome_a = guard_a.finish()?;
+    if !outcome_a.is_complete() {
+        // No sweep data ⇒ no inter-block mass for anyone. Zero raw values
+        // with zero coverage: every lower bound degrades to n − 1, which is
+        // sound on a connected graph.
+        return Ok(FarnessEstimate::new(
+            vec![0; n],
+            vec![0.0; n],
+            vec![false; n],
+            vec![0; n],
+            0,
+            start.elapsed(),
+            outcome_a,
+        ));
+    }
+    let phase_a: Vec<(Vec<u64>, Vec<Vec<u32>>)> =
+        phase_a.into_iter().map(Option::unwrap).collect();
 
     // ---- Step 3: the BCT sweep. ----
     let cuts_of_block: Vec<Vec<u32>> = blocks.iter().map(|c| c.cut_globals.clone()).collect();
@@ -342,13 +403,21 @@ pub fn cumulative_estimate(
         })
         .collect();
 
-    tasks.par_iter().for_each_init(
+    // Each (block, source) task is one interruption unit: its intra mass,
+    // reconstruction mass, inter mass and exact-farness contribution land
+    // atomically with respect to the control (checked before the task
+    // starts, never mid-task).
+    let guard_b = WorkerGuard::new(ctl);
+    let completed: Vec<bool> = tasks
+        .par_iter()
+        .map_init(
         || (DialBfs::new(64), vec![INFINITE_DIST; n]),
         |(bfs, gdist), &(b, si)| {
             let ctx = &blocks[b as usize];
             let sl = ctx.sources_local[si as usize];
             let s_global = ctx.verts[sl as usize];
             let is_cut_source = ctx.is_cut_local[sl as usize];
+            guard_b.run_source(s_global, || {
             bfs.run_with(&ctx.graph, ctx.weights.as_deref(), sl, |_, _| {});
             let dl = &bfs.distances()[..ctx.verts.len()];
             // Cut-source constants for the inter terms of this source.
@@ -406,15 +475,42 @@ pub fn cumulative_estimate(
                     agg.d[b as usize][j] + agg.w[b as usize][j] * dl[cl as usize] as u64;
             }
             exact_a[s_global as usize].fetch_add(own_sum + inter_part, Ordering::Relaxed);
+            })
+            .is_some()
         },
-    );
+        )
+        .collect();
+    let outcome = outcome_a.merge(guard_b.finish()?);
 
     // ---- Step 4: assemble farness values. ----
-    let mut sampled = vec![false; n];
-    for ctx in &blocks {
-        for &sl in &ctx.sources_local {
-            sampled[ctx.verts[sl as usize] as usize] = true;
+    // A source counts as sampled (⇒ exact) only when *all* its tasks
+    // completed — a cut vertex has one task per incident block, and a
+    // partial `exact[]` sum is a lower bound, not an exact farness. Per
+    // block, tally the completed cut tasks' subtree weights and completed
+    // non-cut tasks for partial-coverage accounting.
+    let mut task_total = vec![0u32; n];
+    let mut task_done = vec![0u32; n];
+    let mut done_cut_w = vec![0u64; nb];
+    let mut done_noncut = vec![0u64; nb];
+    for (t, &(b, si)) in tasks.iter().enumerate() {
+        let ctx = &blocks[b as usize];
+        let sl = ctx.sources_local[si as usize];
+        let v = ctx.verts[sl as usize] as usize;
+        task_total[v] += 1;
+        if completed[t] {
+            task_done[v] += 1;
+            // sources_local lists cut vertices first, so si indexes the
+            // cut order of the aggregates while it stays below their count.
+            if (si as usize) < ctx.cut_locals.len() {
+                done_cut_w[b as usize] += agg.w[b as usize][si as usize];
+            } else {
+                done_noncut[b as usize] += 1;
+            }
         }
+    }
+    let mut sampled = vec![false; n];
+    for v in 0..n {
+        sampled[v] = task_total[v] > 0 && task_done[v] == task_total[v];
     }
     let num_sources = sampled.iter().filter(|&&s| s).count();
 
@@ -424,11 +520,12 @@ pub fn cumulative_estimate(
     // extra hops removed vertices sit beyond their anchors (DESIGN.md §5).
     let factor_of_block: Vec<f64> = blocks
         .iter()
-        .map(|ctx| {
-            if ctx.k_noncut == 0 {
+        .enumerate()
+        .map(|(b, ctx)| {
+            if done_noncut[b] == 0 {
                 1.0
             } else {
-                (ctx.own as f64) / (ctx.k_noncut as f64)
+                (ctx.own as f64) / (done_noncut[b] as f64)
             }
         })
         .collect();
@@ -454,14 +551,22 @@ pub fn cumulative_estimate(
             scaled[v] = raw[v] as f64;
         } else {
             raw[v] = acc[v] + inter[v];
-            let b = if red.removed[v] {
-                homing.vertex_home[v]
+            // An interrupted run can leave a *cut vertex* unsampled; it has
+            // no single home block (and received no task mass), so it keeps
+            // raw 0 / coverage 0 via the None arm.
+            let home = if red.removed[v] {
+                Some(homing.vertex_home[v] as usize)
             } else {
-                bct.block_of(v as NodeId).expect("non-cut survivor must have a block")
-            } as usize;
-            scaled[v] = inter[v] as f64
-                + acc[v] as f64 * factor_of_block[b]
-                + offset_of_block[b] as f64;
+                bct.block_of(v as NodeId).map(|b| b as usize)
+            };
+            scaled[v] = match home {
+                Some(b) => {
+                    inter[v] as f64
+                        + acc[v] as f64 * factor_of_block[b]
+                        + offset_of_block[b] as f64
+                }
+                None => raw[v] as f64,
+            };
         }
     }
     for v in 0..n {
@@ -470,23 +575,43 @@ pub fn cumulative_estimate(
             scaled[v] = scaled[rep as usize];
         }
     }
-    // Coverage: sampled vertices (and twins of sampled cut reps) saw all
-    // n-1 others; everyone else saw the exact inter-block mass (n - own(B))
-    // plus their block's non-cut sources.
+    // Coverage: sampled vertices saw all n-1 others; everyone else saw the
+    // subtree mass behind each *completed* cut task of their home block plus
+    // that block's completed non-cut sources. On a complete run this reduces
+    // to the exact inter-block mass (n - own(B)) plus k_noncut. Twins copy
+    // their rep's coverage (equal distance vectors ⇒ equally covered).
     let mut coverage = vec![0u32; n];
     for v in 0..n {
-        if sampled[v] || twin_rep[v].is_some() {
+        if twin_rep[v].is_some() {
+            continue;
+        }
+        if sampled[v] {
             coverage[v] = (n - 1) as u32;
         } else {
-            let b = if red.removed[v] {
-                homing.vertex_home[v]
+            let home = if red.removed[v] {
+                Some(homing.vertex_home[v] as usize)
             } else {
-                bct.block_of(v as NodeId).expect("non-cut survivor must have a block")
-            } as usize;
-            coverage[v] = (n as u64 - blocks[b].own + blocks[b].k_noncut as u64) as u32;
+                bct.block_of(v as NodeId).map(|b| b as usize)
+            };
+            if let Some(b) = home {
+                coverage[v] = (done_cut_w[b] + done_noncut[b]) as u32;
+            }
         }
     }
-    Ok(FarnessEstimate::new(raw, scaled, sampled, coverage, num_sources, start.elapsed()))
+    for v in 0..n {
+        if let Some(rep) = twin_rep[v] {
+            coverage[v] = coverage[rep as usize];
+        }
+    }
+    Ok(FarnessEstimate::new(
+        raw,
+        scaled,
+        sampled,
+        coverage,
+        num_sources,
+        start.elapsed(),
+        outcome,
+    ))
 }
 
 #[cfg(test)]
@@ -499,6 +624,7 @@ mod tests {
         road_like, social_like, star_graph, web_like, ClassParams,
     };
     use brics_graph::traversal::bfs_distances;
+    use brics_reduce::reduce;
 
     /// At a 100 % sampling rate every survivor's estimate must be exact,
     /// and every removed vertex must satisfy

@@ -173,7 +173,15 @@ impl DynamicFarness {
             .iter()
             .map(|&s| if s { (n - 1) as u32 } else { k as u32 })
             .collect();
-        FarnessEstimate::new(raw, scaled, self.sampled.clone(), coverage, k, start.elapsed())
+        FarnessEstimate::new(
+            raw,
+            scaled,
+            self.sampled.clone(),
+            coverage,
+            k,
+            start.elapsed(),
+            brics_graph::RunOutcome::Complete,
+        )
     }
 
     /// The current graph as CSR (rebuilt on demand).

@@ -1,9 +1,16 @@
 //! Error type for the estimators.
 
+use brics_graph::control::MemoryBudgetExceeded;
+use brics_graph::traversal::WorkerPanic;
+use brics_graph::RunOutcome;
 use std::fmt;
 
 /// Errors returned by the farness estimators.
+///
+/// Marked `#[non_exhaustive]`: future fault classes (new resource budgets,
+/// new interruption causes) must not break downstream `match`es.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CentralityError {
     /// Farness is defined on connected graphs only (the paper preprocesses
     /// datasets into connected form; see
@@ -16,6 +23,31 @@ pub enum CentralityError {
     EmptyGraph,
     /// A sampling specification resolved to zero sources.
     NoSamples,
+    /// A worker panicked. The run's shared state may be torn, so no partial
+    /// estimate is produced — unlike deadline/cancellation, which interrupt
+    /// only *between* sources.
+    Internal {
+        /// Panic payload rendered as text.
+        detail: String,
+    },
+    /// The run's planned allocations exceed the configured memory budget.
+    /// Raised up-front, before the large allocations happen.
+    BudgetExceeded {
+        /// Bytes the run would need.
+        required_bytes: u64,
+        /// The configured cap.
+        budget_bytes: u64,
+    },
+    /// An all-or-nothing computation (e.g. [`crate::exact_farness`]) was
+    /// interrupted by deadline or cancellation. Such computations cannot
+    /// return sound partial results, so interruption is an error; sampling
+    /// estimators instead return a partial [`crate::FarnessEstimate`]
+    /// tagged with the outcome.
+    Interrupted {
+        /// Why the run stopped ([`RunOutcome::Deadline`] or
+        /// [`RunOutcome::Cancelled`]).
+        outcome: RunOutcome,
+    },
 }
 
 impl fmt::Display for CentralityError {
@@ -30,11 +62,43 @@ impl fmt::Display for CentralityError {
             CentralityError::NoSamples => {
                 write!(f, "sampling specification resolved to zero BFS sources")
             }
+            CentralityError::Internal { detail } => {
+                write!(f, "internal error: worker panicked: {detail}")
+            }
+            CentralityError::BudgetExceeded { required_bytes, budget_bytes } => write!(
+                f,
+                "memory budget exceeded: run needs {required_bytes} bytes but the \
+                 budget is {budget_bytes} bytes — raise the budget or reduce the \
+                 sample/block size"
+            ),
+            CentralityError::Interrupted { outcome } => {
+                let cause = match outcome {
+                    RunOutcome::Deadline => "wall-clock deadline expired",
+                    RunOutcome::Cancelled => "run was cancelled",
+                    RunOutcome::Complete => "run completed", // unreachable in practice
+                };
+                write!(f, "computation interrupted before completion: {cause}")
+            }
         }
     }
 }
 
 impl std::error::Error for CentralityError {}
+
+impl From<WorkerPanic> for CentralityError {
+    fn from(p: WorkerPanic) -> Self {
+        CentralityError::Internal { detail: p.detail }
+    }
+}
+
+impl From<MemoryBudgetExceeded> for CentralityError {
+    fn from(e: MemoryBudgetExceeded) -> Self {
+        CentralityError::BudgetExceeded {
+            required_bytes: e.required_bytes,
+            budget_bytes: e.budget_bytes,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -47,5 +111,26 @@ mod tests {
         assert!(e.to_string().contains("make_connected"));
         assert!(CentralityError::EmptyGraph.to_string().contains("no vertices"));
         assert!(CentralityError::NoSamples.to_string().contains("zero"));
+        let e = CentralityError::Internal { detail: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+        let e = CentralityError::BudgetExceeded { required_bytes: 10, budget_bytes: 5 };
+        assert!(e.to_string().contains("10 bytes"));
+        assert!(e.to_string().contains("5 bytes"));
+        let e = CentralityError::Interrupted { outcome: RunOutcome::Deadline };
+        assert!(e.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn conversions_from_graph_layer() {
+        let p = WorkerPanic { detail: "injected".into() };
+        assert_eq!(
+            CentralityError::from(p),
+            CentralityError::Internal { detail: "injected".into() }
+        );
+        let m = MemoryBudgetExceeded { required_bytes: 100, budget_bytes: 64 };
+        assert_eq!(
+            CentralityError::from(m),
+            CentralityError::BudgetExceeded { required_bytes: 100, budget_bytes: 64 }
+        );
     }
 }

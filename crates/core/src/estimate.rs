@@ -1,5 +1,6 @@
 //! The estimator output type.
 
+use brics_graph::RunOutcome;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -27,10 +28,15 @@ pub struct FarnessEstimate {
     /// uncovered vertex is at distance ≥ 1, which makes
     /// [`FarnessEstimate::lower_bounds`] sound.
     coverage: Vec<u32>,
-    /// Total number of BFS sources used.
+    /// Total number of BFS sources that actually *completed*. On an
+    /// interrupted run this is smaller than the number scheduled, and
+    /// `coverage`/`raw` reflect only those completed sources — which keeps
+    /// [`FarnessEstimate::lower_bounds`] sound even for partial results.
     num_sources: usize,
     /// Wall-clock time of the estimation run.
     elapsed: Duration,
+    /// Whether the run completed or stopped early (deadline/cancellation).
+    outcome: RunOutcome,
 }
 
 impl FarnessEstimate {
@@ -43,11 +49,12 @@ impl FarnessEstimate {
         coverage: Vec<u32>,
         num_sources: usize,
         elapsed: Duration,
+        outcome: RunOutcome,
     ) -> Self {
         debug_assert_eq!(raw.len(), scaled.len());
         debug_assert_eq!(raw.len(), sampled.len());
         debug_assert_eq!(raw.len(), coverage.len());
-        Self { raw, scaled, sampled, coverage, num_sources, elapsed }
+        Self { raw, scaled, sampled, coverage, num_sources, elapsed, outcome }
     }
 
     /// Raw farness estimates (paper semantics).
@@ -89,9 +96,20 @@ impl FarnessEstimate {
             .collect()
     }
 
-    /// Number of BFS sources used.
+    /// Number of BFS sources that completed.
     pub fn num_sources(&self) -> usize {
         self.num_sources
+    }
+
+    /// Whether the run completed or was interrupted (and why).
+    pub fn outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
+    /// `true` when the run stopped early and the estimate covers only the
+    /// sources that completed before the interruption.
+    pub fn is_partial(&self) -> bool {
+        !self.outcome.is_complete()
     }
 
     /// Wall-clock estimation time.
@@ -135,7 +153,15 @@ mod tests {
     fn est(raw: Vec<u64>) -> FarnessEstimate {
         let scaled = raw.iter().map(|&x| x as f64).collect();
         let n = raw.len();
-        FarnessEstimate::new(raw, scaled, vec![false; n], vec![0; n], 0, Duration::ZERO)
+        FarnessEstimate::new(
+            raw,
+            scaled,
+            vec![false; n],
+            vec![0; n],
+            0,
+            Duration::ZERO,
+            RunOutcome::Complete,
+        )
     }
 
     #[test]
@@ -148,6 +174,7 @@ mod tests {
             vec![2, 1, 0],
             1,
             Duration::ZERO,
+            RunOutcome::Complete,
         );
         assert_eq!(e.lower_bounds(), vec![10, 5, 2]);
     }
@@ -175,6 +202,7 @@ mod tests {
             vec![1, 1],
             1,
             Duration::from_millis(5),
+            RunOutcome::Complete,
         );
         assert!(e.is_sampled(0));
         assert!(!e.is_sampled(1));
@@ -182,5 +210,18 @@ mod tests {
         assert_eq!(e.len(), 2);
         assert!(!e.is_empty());
         assert_eq!(e.elapsed(), Duration::from_millis(5));
+        assert_eq!(e.outcome(), RunOutcome::Complete);
+        assert!(!e.is_partial());
+        let partial = FarnessEstimate::new(
+            vec![0],
+            vec![0.0],
+            vec![false],
+            vec![0],
+            0,
+            Duration::ZERO,
+            RunOutcome::Deadline,
+        );
+        assert!(partial.is_partial());
+        assert_eq!(partial.outcome(), RunOutcome::Deadline);
     }
 }

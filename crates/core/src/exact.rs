@@ -4,25 +4,38 @@
 //! (the `farness_actual(v)` of §IV-C1). `O(n·(n+m))` — use on graphs small
 //! enough that this is affordable; the estimators exist for everything else.
 
+use crate::budget::exact_run_bytes;
 use crate::CentralityError;
-use brics_graph::traversal::Bfs;
-use brics_graph::{CsrGraph, NodeId};
-use rayon::prelude::*;
+use brics_graph::traversal::par_bfs_sums_ctl;
+use brics_graph::{CsrGraph, NodeId, RunControl};
 
 /// Computes the exact farness of every vertex.
 ///
 /// Returns [`CentralityError::Disconnected`] if any BFS fails to reach the
 /// whole graph, and [`CentralityError::EmptyGraph`] for an empty input.
 pub fn exact_farness(g: &CsrGraph) -> Result<Vec<u64>, CentralityError> {
+    exact_farness_ctl(g, &RunControl::new())
+}
+
+/// [`exact_farness`] under a [`RunControl`].
+///
+/// Exact farness is all-or-nothing — a subset of sources is an *estimate*,
+/// not ground truth — so deadline/cancellation surfaces as
+/// [`CentralityError::Interrupted`] rather than a partial result. Use the
+/// sampling estimators when partial answers are acceptable.
+pub fn exact_farness_ctl(g: &CsrGraph, ctl: &RunControl) -> Result<Vec<u64>, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
-    let rows: Vec<(usize, u64)> = (0..n as NodeId)
-        .into_par_iter()
-        .map_init(|| Bfs::new(n), |bfs, s| bfs.run_with(g, s, |_, _| {}))
-        .collect();
-    if let Some((_, _)) = rows.iter().find(|&&(reached, _)| reached != n) {
+    ctl.admit_memory(exact_run_bytes(n))?;
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    let (rows, outcome) = par_bfs_sums_ctl(g, &sources, ctl)?;
+    if !outcome.is_complete() {
+        return Err(CentralityError::Interrupted { outcome });
+    }
+    let rows: Vec<(usize, u64)> = rows.into_iter().map(Option::unwrap).collect();
+    if rows.iter().any(|&(reached, _)| reached != n) {
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });
     }
@@ -89,6 +102,37 @@ mod tests {
         let g = GraphBuilder::new(1).build();
         assert_eq!(exact_farness(&g).unwrap(), vec![0]);
         assert_eq!(exact_closeness(&g).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn ctl_deadline_is_an_error_not_a_partial_result() {
+        let g = cycle_graph(20);
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let err = exact_farness_ctl(&g, &ctl).unwrap_err();
+        assert!(matches!(
+            err,
+            CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Deadline }
+        ));
+    }
+
+    #[test]
+    fn ctl_budget_and_panic_paths() {
+        let g = cycle_graph(50);
+        let ctl = RunControl::new().with_memory_budget_bytes(1);
+        assert!(matches!(
+            exact_farness_ctl(&g, &ctl).unwrap_err(),
+            CentralityError::BudgetExceeded { .. }
+        ));
+        let ctl = RunControl::new().with_injected_panic(7);
+        assert!(matches!(
+            exact_farness_ctl(&g, &ctl).unwrap_err(),
+            CentralityError::Internal { .. }
+        ));
+        // Unbounded control matches the plain entry point.
+        assert_eq!(
+            exact_farness_ctl(&g, &RunControl::new()).unwrap(),
+            exact_farness(&g).unwrap()
+        );
     }
 
     #[test]

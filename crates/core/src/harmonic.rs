@@ -11,11 +11,12 @@
 //! parallel accumulation stays deterministic regardless of thread
 //! interleaving, mirroring the integer farness sums.
 
+use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::sampling::draw_sources;
 use crate::CentralityError;
-use brics_graph::traversal::Bfs;
-use brics_graph::{CsrGraph, NodeId};
+use brics_graph::traversal::{Bfs, WorkerGuard};
+use brics_graph::{CsrGraph, NodeId, RunControl, RunOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -33,8 +34,12 @@ pub struct HarmonicEstimate {
     pub values: Vec<f64>,
     /// Scaled (expanded) view, magnitude-comparable with exact values.
     pub scaled: Vec<f64>,
-    /// Whether each vertex was a BFS source.
+    /// Whether each vertex was a BFS source (and its BFS completed).
     pub sampled: Vec<bool>,
+    /// Whether the run completed or was interrupted. Partial values are
+    /// still valid *lower* bounds of the true harmonic centrality (every
+    /// reciprocal distance is non-negative).
+    pub outcome: RunOutcome,
 }
 
 /// Exact harmonic centrality: one BFS per vertex, in parallel. Unlike
@@ -65,6 +70,17 @@ pub fn harmonic_sampling(
     sample: SampleSize,
     seed: u64,
 ) -> Result<HarmonicEstimate, CentralityError> {
+    harmonic_sampling_ctl(g, sample, seed, &RunControl::new())
+}
+
+/// [`harmonic_sampling`] under a [`RunControl`]: the same per-source
+/// interruption contract as the farness estimators.
+pub fn harmonic_sampling_ctl(
+    g: &CsrGraph,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+) -> Result<HarmonicEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
@@ -73,42 +89,50 @@ pub fn harmonic_sampling(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
+    ctl.admit_memory(accumulate_run_bytes(n))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
 
     let mut acc = vec![0u64; n];
     let atomic_acc = brics_graph::traversal::atomic_view(&mut acc);
-    let per_source: Vec<u64> = sources
+    let guard = WorkerGuard::new(ctl);
+    let per_source: Vec<Option<u64>> = sources
         .par_iter()
         .map_init(
             || Bfs::new(n),
             |bfs, &s| {
-                let mut own = 0u64;
-                bfs.run_with(g, s, |v, d| {
-                    if d > 0 {
-                        let r = SCALE / d as u64;
-                        own += r;
-                        atomic_acc[v as usize].fetch_add(r, Ordering::Relaxed);
-                    }
-                });
-                own
+                guard.run_source(s, || {
+                    let mut own = 0u64;
+                    bfs.run_with(g, s, |v, d| {
+                        if d > 0 {
+                            let r = SCALE / d as u64;
+                            own += r;
+                            atomic_acc[v as usize].fetch_add(r, Ordering::Relaxed);
+                        }
+                    });
+                    own
+                })
             },
         )
         .collect();
+    let outcome = guard.finish()?;
 
     let mut sampled = vec![false; n];
-    for (&s, &own) in sources.iter().zip(&per_source) {
-        sampled[s as usize] = true;
-        acc[s as usize] = own;
+    for (&s, per) in sources.iter().zip(&per_source) {
+        if let Some(own) = *per {
+            sampled[s as usize] = true;
+            acc[s as usize] = own;
+        }
     }
-    let factor = (n as f64 - 1.0) / k as f64;
+    let k_done = per_source.iter().flatten().count();
+    let factor = if k_done > 0 { (n as f64 - 1.0) / k_done as f64 } else { 1.0 };
     let values: Vec<f64> = acc.iter().map(|&x| x as f64 / SCALE as f64).collect();
     let scaled: Vec<f64> = values
         .iter()
         .zip(&sampled)
         .map(|(&v, &is_src)| if is_src { v } else { v * factor })
         .collect();
-    Ok(HarmonicEstimate { values, scaled, sampled })
+    Ok(HarmonicEstimate { values, scaled, sampled, outcome })
 }
 
 #[cfg(test)]
@@ -176,5 +200,21 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert!(harmonic_sampling(&CsrGraph::empty(), SampleSize::Count(1), 0).is_err());
+    }
+
+    #[test]
+    fn ctl_deadline_and_budget() {
+        let g = gnm_random_connected(40, 60, 1);
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let est = harmonic_sampling_ctl(&g, SampleSize::Count(10), 0, &ctl).unwrap();
+        assert_eq!(est.outcome, RunOutcome::Deadline);
+        assert!(est.sampled.iter().all(|&s| !s));
+        assert!(est.values.iter().all(|&v| v == 0.0));
+
+        let ctl = RunControl::new().with_memory_budget_bytes(4);
+        assert!(matches!(
+            harmonic_sampling_ctl(&g, SampleSize::Count(10), 0, &ctl).unwrap_err(),
+            CentralityError::BudgetExceeded { .. }
+        ));
     }
 }

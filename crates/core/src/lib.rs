@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod betweenness;
+mod budget;
 pub mod config;
 pub mod cumulative;
 pub mod dynamic;
@@ -71,8 +72,9 @@ pub mod topk;
 pub use config::{BricsEstimator, Method, SampleSize};
 pub use error::CentralityError;
 pub use estimate::FarnessEstimate;
-pub use exact::exact_farness;
+pub use exact::{exact_farness, exact_farness_ctl};
 
 // Re-exported so downstream users need only one crate in scope for the
 // common flow (generate → estimate → compare).
+pub use brics_graph::{CancelToken, RunControl, RunOutcome};
 pub use brics_reduce::ReductionConfig;

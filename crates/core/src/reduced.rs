@@ -12,12 +12,13 @@
 //! technique affects quality); time drops because BFS touches fewer edges
 //! and the sample budget `k%` is taken of the smaller surviving population.
 
+use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::sampling::draw_sources;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::traversal::{atomic_view, Bfs, DialBfs};
-use brics_graph::{CsrGraph, NodeId, INFINITE_DIST};
-use brics_reduce::{reconstruct_distances, reduce, ReductionConfig, Removal};
+use brics_graph::traversal::{atomic_view, Bfs, DialBfs, WorkerGuard};
+use brics_graph::{CsrGraph, NodeId, RunControl, INFINITE_DIST};
+use brics_reduce::{reconstruct_distances, reduce, reduce_ctl, ReductionConfig, Removal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -32,12 +33,43 @@ pub fn reduced_estimate(
     sample: SampleSize,
     seed: u64,
 ) -> Result<FarnessEstimate, CentralityError> {
+    reduced_estimate_ctl(g, reductions, sample, seed, &RunControl::new())
+}
+
+/// [`reduced_estimate`] under a [`RunControl`]: same per-source interruption
+/// contract as [`crate::sampling::random_sampling_ctl`]. A source's BFS *and*
+/// its removed-vertex reconstruction are one unit of work — either both land
+/// in the accumulator or neither does.
+pub fn reduced_estimate_ctl(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+) -> Result<FarnessEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
+    ctl.admit_memory(accumulate_run_bytes(n))?;
     let start = Instant::now();
-    let r = reduce(g, reductions);
+    // The reduction runs under the control too: on large graphs it can
+    // dominate wall time, and a deadline hit mid-pipeline degrades to the
+    // zero-coverage estimate (no source completed; trivially sound bounds).
+    let r = match reduce_ctl(g, reductions, ctl) {
+        Ok(r) => r,
+        Err(outcome) => {
+            return Ok(FarnessEstimate::new(
+                vec![0; n],
+                vec![0.0; n],
+                vec![false; n],
+                vec![0; n],
+                0,
+                start.elapsed(),
+                outcome,
+            ))
+        }
+    };
     let survivors = r.surviving();
     let k = sample.resolve(survivors.len());
     if k == 0 {
@@ -53,51 +85,58 @@ pub fn reduced_estimate(
     let records = &r.records;
     let reduced_graph = &r.graph;
     let weights = r.weights.as_deref();
+    let guard = WorkerGuard::new(ctl);
 
     // One (possibly weighted) BFS per source; removed-vertex distances are
     // reconstructed from the same thread-local distance array the traversal
     // wrote, then reset so the array's sparse-reset invariant holds for the
     // next source.
-    let per_source: Vec<(usize, u64)> = sources
+    let per_source: Vec<Option<(usize, u64)>> = sources
         .par_iter()
         .map_init(
             || DialBfs::new(n),
             |bfs, &s| {
-                let (reached, mut sum) = bfs.run_with(reduced_graph, weights, s, |v, d| {
-                    if d > 0 {
-                        atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                guard.run_source(s, || {
+                    let (reached, mut sum) = bfs.run_with(reduced_graph, weights, s, |v, d| {
+                        if d > 0 {
+                            atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                        }
+                    });
+                    let dist = bfs.distances_mut();
+                    reconstruct_distances(records, dist);
+                    for rec in records {
+                        for x in rec.removed_nodes() {
+                            let d = dist[x as usize];
+                            debug_assert_ne!(d, INFINITE_DIST, "unreachable removed vertex {x}");
+                            atomic_acc[x as usize].fetch_add(d as u64, Ordering::Relaxed);
+                            sum += d as u64;
+                            dist[x as usize] = INFINITE_DIST;
+                        }
                     }
-                });
-                let dist = bfs.distances_mut();
-                reconstruct_distances(records, dist);
-                for rec in records {
-                    for x in rec.removed_nodes() {
-                        let d = dist[x as usize];
-                        debug_assert_ne!(d, INFINITE_DIST, "unreachable removed vertex {x}");
-                        atomic_acc[x as usize].fetch_add(d as u64, Ordering::Relaxed);
-                        sum += d as u64;
-                        dist[x as usize] = INFINITE_DIST;
-                    }
-                }
-                (reached, sum)
+                    (reached, sum)
+                })
             },
         )
         .collect();
+    let outcome = guard.finish()?;
 
-    if per_source.iter().any(|&(reached, _)| reached != num_surviving) {
+    if per_source.iter().flatten().any(|&(reached, _)| reached != num_surviving) {
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });
     }
 
     let mut sampled = vec![false; n];
-    for (&s, &(_, sum)) in sources.iter().zip(&per_source) {
-        sampled[s as usize] = true;
-        acc[s as usize] = sum;
+    for (&s, per) in sources.iter().zip(&per_source) {
+        if let Some((_, sum)) = *per {
+            sampled[s as usize] = true;
+            acc[s as usize] = sum;
+        }
     }
-    // Scaled view: expand partial sums by (n-1)/k, then de-bias with the
+    let k_done = per_source.iter().flatten().count();
+    // Scaled view: expand partial sums by (n-1)/k_done, then de-bias with the
     // total structural-offset mass (sources are survivors only; removed
     // vertices sit `offset` hops beyond their anchors — DESIGN.md §5).
-    let factor = (n as f64 - 1.0) / k as f64;
+    let factor = if k_done > 0 { (n as f64 - 1.0) / k_done as f64 } else { 1.0 };
     let offset_total: u64 = brics_reduce::structural_offsets(records, n)
         .iter()
         .map(|&o| o as u64)
@@ -108,14 +147,26 @@ pub fn reduced_estimate(
         .map(|(&v, &is_src)| {
             if is_src {
                 v as f64
-            } else {
+            } else if k_done > 0 {
                 v as f64 * factor + offset_total as f64
+            } else {
+                v as f64
             }
         })
         .collect();
-    let coverage: Vec<u32> =
-        sampled.iter().map(|&s| if s { (n - 1) as u32 } else { k as u32 }).collect();
-    Ok(FarnessEstimate::new(acc, scaled, sampled, coverage, k, start.elapsed()))
+    let coverage: Vec<u32> = sampled
+        .iter()
+        .map(|&s| if s { (n - 1) as u32 } else { k_done as u32 })
+        .collect();
+    Ok(FarnessEstimate::new(
+        acc,
+        scaled,
+        sampled,
+        coverage,
+        k_done,
+        start.elapsed(),
+        outcome,
+    ))
 }
 
 /// Exact farness via the reduction pipeline: sample **every** survivor.
@@ -249,6 +300,32 @@ mod tests {
         let a = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Count(4), 9).unwrap();
         let b = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Count(4), 9).unwrap();
         assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn ctl_deadline_partial_and_panic_paths() {
+        let g = gnm_random_connected(50, 70, 4);
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let est =
+            reduced_estimate_ctl(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctl)
+                .unwrap();
+        assert!(est.is_partial());
+        assert_eq!(est.num_sources(), 0);
+        assert!(est.raw().iter().all(|&x| x == 0));
+
+        // Panic inside the reduced BFS+reconstruction unit.
+        let full = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Count(8), 1).unwrap();
+        let victim = (0..50u32).find(|&v| full.is_sampled(v)).unwrap();
+        let ctl = RunControl::new().with_injected_panic(victim);
+        let err = reduced_estimate_ctl(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctl)
+            .unwrap_err();
+        assert!(matches!(err, CentralityError::Internal { .. }));
+
+        // Budget rejection happens before any BFS.
+        let ctl = RunControl::new().with_memory_budget_bytes(1);
+        let err = reduced_estimate_ctl(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctl)
+            .unwrap_err();
+        assert!(matches!(err, CentralityError::BudgetExceeded { .. }));
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! their exact farness (their BFS reaches everything); everyone else keeps
 //! the partial sum over the `k` sources.
 
+use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::traversal::par_bfs_accumulate;
-use brics_graph::{CsrGraph, NodeId};
+use brics_graph::traversal::par_bfs_accumulate_ctl;
+use brics_graph::{CsrGraph, NodeId, RunControl};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -31,6 +32,21 @@ pub fn random_sampling(
     sample: SampleSize,
     seed: u64,
 ) -> Result<FarnessEstimate, CentralityError> {
+    random_sampling_ctl(g, sample, seed, &RunControl::new())
+}
+
+/// [`random_sampling`] under a [`RunControl`].
+///
+/// The control is consulted before each BFS source. On deadline or
+/// cancellation the returned estimate is *partial*: `num_sources`, the
+/// scaling factor, and per-vertex `coverage` all reflect only the sources
+/// that completed, so [`FarnessEstimate::lower_bounds`] stays sound.
+pub fn random_sampling_ctl(
+    g: &CsrGraph,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+) -> Result<FarnessEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
@@ -39,34 +55,49 @@ pub fn random_sampling(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
+    ctl.admit_memory(accumulate_run_bytes(n))?;
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
 
     let mut acc = vec![0u64; n];
-    let (per_source, _) = par_bfs_accumulate(g, &sources, &mut acc);
-    if let Some(&(reached, _)) = per_source.iter().find(|&&(r, _)| r != n) {
-        let _ = reached;
+    let run = par_bfs_accumulate_ctl(g, &sources, &mut acc, ctl)?;
+    if run.per_source.iter().flatten().any(|&(reached, _)| reached != n) {
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });
     }
 
+    // Only completed sources are marked sampled / get their exact farness;
+    // skipped sources contributed nothing to `acc` (per-source granularity).
     let mut sampled = vec![false; n];
-    for (&s, &(_, sum)) in sources.iter().zip(&per_source) {
-        sampled[s as usize] = true;
-        // Exact farness for sources (overwrites the partial accumulation).
-        acc[s as usize] = sum;
+    for (&s, per) in sources.iter().zip(&run.per_source) {
+        if let Some((_, sum)) = *per {
+            sampled[s as usize] = true;
+            // Exact farness for sources (overwrites the partial accumulation).
+            acc[s as usize] = sum;
+        }
     }
-    // Scaled view: expand partial sums by (n - 1) / k.
-    let factor = if k > 0 { (n as f64 - 1.0) / k as f64 } else { 1.0 };
+    let k_done = run.stats.num_sources;
+    // Scaled view: expand partial sums by (n - 1) / k_done.
+    let factor = if k_done > 0 { (n as f64 - 1.0) / k_done as f64 } else { 1.0 };
     let scaled: Vec<f64> = acc
         .iter()
         .zip(&sampled)
         .map(|(&v, &is_src)| if is_src { v as f64 } else { v as f64 * factor })
         .collect();
-    let coverage: Vec<u32> =
-        sampled.iter().map(|&s| if s { (n - 1) as u32 } else { k as u32 }).collect();
-    Ok(FarnessEstimate::new(acc, scaled, sampled, coverage, k, start.elapsed()))
+    let coverage: Vec<u32> = sampled
+        .iter()
+        .map(|&s| if s { (n - 1) as u32 } else { k_done as u32 })
+        .collect();
+    Ok(FarnessEstimate::new(
+        acc,
+        scaled,
+        sampled,
+        coverage,
+        k_done,
+        start.elapsed(),
+        run.outcome,
+    ))
 }
 
 #[cfg(test)]
@@ -128,6 +159,55 @@ mod tests {
         let g = brics_graph::GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
         let r = random_sampling(&g, SampleSize::Fraction(1.0), 0);
         assert!(matches!(r, Err(CentralityError::Disconnected { components: 2 })));
+    }
+
+    #[test]
+    fn ctl_expired_deadline_yields_empty_partial() {
+        let g = cycle_graph(30);
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let est = random_sampling_ctl(&g, SampleSize::Count(10), 7, &ctl).unwrap();
+        assert!(est.is_partial());
+        assert_eq!(est.outcome(), brics_graph::RunOutcome::Deadline);
+        assert_eq!(est.num_sources(), 0);
+        assert!(est.raw().iter().all(|&x| x == 0));
+        assert!(est.coverage().iter().all(|&c| c == 0));
+        // Zero coverage ⇒ lower bound is (n-1) per vertex — trivially sound.
+        assert!(est.lower_bounds().iter().all(|&b| b == 29));
+    }
+
+    #[test]
+    fn ctl_memory_budget_rejects_up_front() {
+        let g = cycle_graph(1000);
+        let ctl = RunControl::new().with_memory_budget_bytes(16);
+        let err = random_sampling_ctl(&g, SampleSize::Count(4), 0, &ctl).unwrap_err();
+        assert!(matches!(err, CentralityError::BudgetExceeded { budget_bytes: 16, .. }));
+    }
+
+    #[test]
+    fn ctl_injected_panic_becomes_internal_error() {
+        let g = cycle_graph(30);
+        // Seed 3 / Count(5): pick any vertex guaranteed to be a source by
+        // injecting on every possible source in turn until one trips.
+        let est = random_sampling(&g, SampleSize::Count(5), 3).unwrap();
+        let victim = (0..30u32).find(|&v| est.is_sampled(v)).unwrap();
+        let ctl = RunControl::new().with_injected_panic(victim);
+        let err = random_sampling_ctl(&g, SampleSize::Count(5), 3, &ctl).unwrap_err();
+        match err {
+            CentralityError::Internal { detail } => {
+                assert!(detail.contains("injected worker panic"), "got: {detail}")
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctl_unbounded_matches_plain() {
+        let g = gnm_random_connected(40, 70, 2);
+        let plain = random_sampling(&g, SampleSize::Count(6), 11).unwrap();
+        let ctl = random_sampling_ctl(&g, SampleSize::Count(6), 11, &RunControl::new()).unwrap();
+        assert_eq!(plain.raw(), ctl.raw());
+        assert_eq!(plain.num_sources(), ctl.num_sources());
+        assert!(!ctl.is_partial());
     }
 
     #[test]

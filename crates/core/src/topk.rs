@@ -14,7 +14,7 @@
 
 use crate::{BricsEstimator, CentralityError, FarnessEstimate};
 use brics_graph::traversal::Bfs;
-use brics_graph::{CsrGraph, NodeId};
+use brics_graph::{CsrGraph, NodeId, RunControl};
 use serde::{Deserialize, Serialize};
 
 /// Result of an exact top-k closeness query.
@@ -42,16 +42,46 @@ pub fn top_k_closeness(
     k: usize,
     estimator: &BricsEstimator,
 ) -> Result<TopK, CentralityError> {
-    let est = estimator.run(g)?;
-    Ok(top_k_from_estimate(g, k, &est))
+    top_k_closeness_ctl(g, k, estimator, &RunControl::new())
+}
+
+/// [`top_k_closeness`] under a [`RunControl`].
+///
+/// A top-k ranking is a *certificate* — either every returned vertex is
+/// provably in the top-k or the result is worthless — so unlike the
+/// estimators this function cannot return a partial answer: interruption
+/// during the estimation pass or the verification scan surfaces as
+/// [`CentralityError::Interrupted`]. A partial estimate whose deadline has
+/// not yet expired is still usable (weaker bounds just mean more BFS
+/// verification).
+pub fn top_k_closeness_ctl(
+    g: &CsrGraph,
+    k: usize,
+    estimator: &BricsEstimator,
+    ctl: &RunControl,
+) -> Result<TopK, CentralityError> {
+    let est = estimator.run_with_control(g, ctl)?;
+    top_k_from_estimate_ctl(g, k, &est, ctl)
 }
 
 /// Same as [`top_k_closeness`], reusing an existing estimate.
 pub fn top_k_from_estimate(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> TopK {
+    top_k_from_estimate_ctl(g, k, est, &RunControl::new())
+        .expect("unbounded control cannot be interrupted")
+}
+
+/// [`top_k_from_estimate`] under a [`RunControl`]: the control is consulted
+/// before each verification BFS.
+pub fn top_k_from_estimate_ctl(
+    g: &CsrGraph,
+    k: usize,
+    est: &FarnessEstimate,
+    ctl: &RunControl,
+) -> Result<TopK, CentralityError> {
     let n = g.num_nodes();
     let k = k.min(n);
     if k == 0 {
-        return TopK { ranked: Vec::new(), verified_with_bfs: 0, verified_for_free: 0, pruned: n };
+        return Ok(TopK { ranked: Vec::new(), verified_with_bfs: 0, verified_for_free: 0, pruned: n });
     }
     // Ascending lower-bound order. On top of the estimate's built-in
     // bound (uncovered vertices are ≥ 1 hop away), at most deg(v) of the
@@ -93,6 +123,9 @@ pub fn top_k_from_estimate(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> Top
             verified_for_free += 1;
             est.raw()[v as usize]
         } else {
+            if let Some(outcome) = ctl.should_stop() {
+                return Err(CentralityError::Interrupted { outcome });
+            }
             verified_with_bfs += 1;
             let (_, sum) = bfs.run_with(g, v, |_, _| {});
             sum
@@ -102,12 +135,12 @@ pub fn top_k_from_estimate(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> Top
         best.truncate(k);
     }
 
-    TopK {
+    Ok(TopK {
         ranked: best.into_iter().map(|(f, v)| (v, f)).collect(),
         verified_with_bfs,
         verified_for_free,
         pruned: n - scanned,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -196,6 +229,34 @@ mod tests {
         let b = top_k_from_estimate(&g, 4, &est);
         assert_eq!(a.ranked, b.ranked);
         assert_eq!(a.ranked, brute_top_k(&g, 4));
+    }
+
+    #[test]
+    fn ctl_interruption_is_an_error_not_a_wrong_ranking() {
+        let g = gnm_random_connected(80, 120, 4);
+        // Expired deadline: the estimation pass yields a (sound but empty)
+        // partial estimate, and the verification scan must refuse to certify.
+        let ctl = crate::RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let err = top_k_closeness_ctl(&g, 5, &estimator(), &ctl).unwrap_err();
+        assert!(matches!(
+            err,
+            CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Deadline }
+        ));
+
+        // Cancellation mid-scan via an existing estimate.
+        let est = estimator().run(&g).unwrap();
+        let ctl = crate::RunControl::new();
+        ctl.cancel_token().cancel();
+        let err = top_k_from_estimate_ctl(&g, 5, &est, &ctl).unwrap_err();
+        assert!(matches!(
+            err,
+            CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Cancelled }
+        ));
+
+        // An unexpired control certifies normally.
+        let ctl = crate::RunControl::new().with_timeout(std::time::Duration::from_secs(600));
+        let t = top_k_closeness_ctl(&g, 5, &estimator(), &ctl).unwrap();
+        assert_eq!(t.ranked, brute_top_k(&g, 5));
     }
 
     #[test]

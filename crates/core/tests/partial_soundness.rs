@@ -1,0 +1,107 @@
+//! Property tests for the fault-tolerance contract: an estimate produced
+//! under an interrupting `RunControl` — whatever subset of BFS sources
+//! actually completed — must still satisfy every soundness invariant of a
+//! complete run.
+//!
+//! The key property: `lower_bounds()` never exceeds the true farness. The
+//! per-source interruption protocol (a source either runs to completion and
+//! contributes everywhere, or is skipped and contributes nowhere, with
+//! coverage counting only completed sources) is exactly what makes this
+//! hold for *any* completed prefix; thread timing varies which prefix each
+//! run produces, and the property must hold for all of them.
+
+use brics::{exact_farness, BricsEstimator, CancelToken, Method, RunControl, SampleSize};
+use brics_graph::generators::gnm_random_connected;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A small connected graph, an estimation method, a sampling rate and a
+/// deadline in the microsecond range — short enough to interrupt most runs
+/// mid-flight, long enough that some sources usually complete.
+fn scenario() -> impl Strategy<Value = (usize, usize, u64, u8, f64, u64)> {
+    (
+        10usize..120,   // vertices
+        0usize..160,    // extra edges beyond the connecting tree
+        0u64..1000,     // graph seed
+        0u8..4,         // method selector
+        0.1f64..1.0,    // sampling rate
+        0u64..300,      // deadline in microseconds
+    )
+}
+
+fn method_of(sel: u8) -> Method {
+    match sel {
+        0 => Method::RandomSampling,
+        1 => Method::CR,
+        2 => Method::ICR,
+        _ => Method::Cumulative,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any partial estimate's lower bounds stay below the exact farness,
+    /// and its sampled sources carry their exact value.
+    #[test]
+    fn partial_lower_bounds_never_exceed_exact(
+        (n, extra, seed, msel, rate, deadline_us) in scenario()
+    ) {
+        let g = gnm_random_connected(n, n - 1 + extra, seed);
+        let exact = exact_farness(&g).unwrap();
+        let est = BricsEstimator::new(method_of(msel))
+            .sample(SampleSize::Fraction(rate))
+            .seed(seed)
+            .run_with_control(
+                &g,
+                &RunControl::new().with_timeout(Duration::from_micros(deadline_us)),
+            )
+            .unwrap();
+        let lb = est.lower_bounds();
+        for v in 0..g.num_nodes() {
+            prop_assert!(
+                lb[v] <= exact[v],
+                "vertex {v}: lower bound {} > exact {} (outcome {:?}, {} sources)",
+                lb[v], exact[v], est.outcome(), est.num_sources()
+            );
+            if est.is_sampled(v as u32) {
+                prop_assert_eq!(
+                    est.raw()[v], exact[v],
+                    "sampled vertex {} must be exact (outcome {:?})", v, est.outcome()
+                );
+            }
+        }
+        // Coverage must never claim more than a complete run could deliver,
+        // and a vertex no completed source reached must carry no mass.
+        for (v, (&c, &r)) in est.coverage().iter().zip(est.raw()).enumerate() {
+            prop_assert!((c as usize) < g.num_nodes());
+            if c == 0 && !est.is_sampled(v as u32) {
+                prop_assert_eq!(r, 0, "vertex {} has distance mass but zero coverage", v);
+            }
+        }
+    }
+
+    /// Cancellation before the run starts yields the trivial partial
+    /// estimate: zero completed sources, zero coverage — and its bounds are
+    /// still sound (n − 1 per vertex on a connected graph).
+    #[test]
+    fn cancelled_runs_degrade_to_trivial_bounds(
+        (n, extra, seed, msel, rate, _) in scenario()
+    ) {
+        let g = gnm_random_connected(n, n - 1 + extra, seed);
+        let ctl = RunControl::new();
+        let token: CancelToken = ctl.cancel_token();
+        token.cancel();
+        let est = BricsEstimator::new(method_of(msel))
+            .sample(SampleSize::Fraction(rate))
+            .seed(seed)
+            .run_with_control(&g, &ctl)
+            .unwrap();
+        prop_assert!(est.is_partial());
+        prop_assert_eq!(est.num_sources(), 0);
+        let exact = exact_farness(&g).unwrap();
+        for (lb, &x) in est.lower_bounds().into_iter().zip(&exact) {
+            prop_assert!(lb <= x);
+        }
+    }
+}

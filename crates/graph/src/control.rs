@@ -1,0 +1,277 @@
+//! Run control: wall-clock deadlines, cooperative cancellation, memory
+//! budgets and panic capture for long-running traversal loops.
+//!
+//! A [`RunControl`] is threaded through the parallel BFS kernels (see
+//! [`crate::traversal`]) and the estimator loops in the `brics` crate. The
+//! contract is *per-source granularity*: the control is consulted **before**
+//! each BFS source is started, and a source that has started always runs to
+//! completion. This keeps interrupted accumulations sound — shared
+//! accumulators only ever contain complete per-source contributions, so a
+//! partial farness sum is still a valid lower bound of the true farness
+//! (every distance is non-negative and sources are independent).
+//!
+//! Cancellation is shared: clones of a `RunControl` (and [`CancelToken`]s
+//! handed out by [`RunControl::cancel_token`]) observe the same flag, so a
+//! supervisor thread can stop an estimation it started elsewhere.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a controlled run finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Every scheduled BFS source ran.
+    Complete,
+    /// The wall-clock deadline expired; remaining sources were skipped.
+    Deadline,
+    /// The run was cancelled through a [`CancelToken`]; remaining sources
+    /// were skipped.
+    Cancelled,
+}
+
+impl RunOutcome {
+    /// Whether the run processed all scheduled work.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete)
+    }
+
+    /// Merges two outcomes from consecutive phases of one run: the first
+    /// interruption wins.
+    pub fn merge(self, later: RunOutcome) -> RunOutcome {
+        if self.is_complete() {
+            later
+        } else {
+            self
+        }
+    }
+}
+
+/// Handle for cancelling a run from another thread. Cheap to clone; all
+/// clones (and the originating [`RunControl`]) share one flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates an un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Workers notice before starting their next
+    /// BFS source.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Budget exceeded up-front: a run would allocate more memory than allowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBudgetExceeded {
+    /// Bytes the run would need to allocate.
+    pub required_bytes: u64,
+    /// The configured cap.
+    pub budget_bytes: u64,
+}
+
+/// Execution limits for an estimation run. The default is unbounded.
+///
+/// ```
+/// use brics_graph::control::RunControl;
+/// use std::time::Duration;
+///
+/// let ctl = RunControl::new().with_timeout(Duration::from_secs(30));
+/// assert!(ctl.should_stop().is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RunControl {
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    max_mem_bytes: Option<u64>,
+    /// Test-only hook: the worker processing this source panics, exercising
+    /// the panic-isolation path without a purpose-built failure injection
+    /// framework.
+    #[doc(hidden)]
+    panic_on_source: Option<crate::NodeId>,
+}
+
+impl RunControl {
+    /// An unbounded control: never stops, never rejects.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stops scheduling new BFS sources once `budget` has elapsed
+    /// (measured from this call).
+    pub fn with_timeout(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Stops scheduling new BFS sources after `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Rejects runs whose planned allocations exceed `bytes`
+    /// (see [`RunControl::admit_memory`]).
+    pub fn with_memory_budget_bytes(mut self, bytes: u64) -> Self {
+        self.max_mem_bytes = Some(bytes);
+        self
+    }
+
+    /// Rejects runs whose planned allocations exceed `mb` mebibytes.
+    pub fn with_memory_budget_mb(self, mb: u64) -> Self {
+        self.with_memory_budget_bytes(mb.saturating_mul(1024 * 1024))
+    }
+
+    /// Injects a panic when a worker starts the given BFS source.
+    /// Test-only: exercises the `catch_unwind` isolation path.
+    #[doc(hidden)]
+    pub fn with_injected_panic(mut self, source: crate::NodeId) -> Self {
+        self.panic_on_source = Some(source);
+        self
+    }
+
+    /// A token that cancels this run (shared with every clone of `self`).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Checks the cancel flag, then the deadline. `None` means keep going;
+    /// otherwise the cause of the stop. Called once per BFS source — an
+    /// `Instant::now()` per source is noise next to a BFS.
+    pub fn should_stop(&self) -> Option<RunOutcome> {
+        if self.cancel.is_cancelled() {
+            return Some(RunOutcome::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(RunOutcome::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Admits or rejects a run that plans to allocate `required_bytes`.
+    /// Call before the large `O(n·k)` / per-block allocations.
+    pub fn admit_memory(&self, required_bytes: u64) -> Result<(), MemoryBudgetExceeded> {
+        match self.max_mem_bytes {
+            Some(budget) if required_bytes > budget => {
+                Err(MemoryBudgetExceeded { required_bytes, budget_bytes: budget })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The configured memory cap, if any.
+    pub fn memory_budget_bytes(&self) -> Option<u64> {
+        self.max_mem_bytes
+    }
+
+    /// Whether a worker processing `source` should panic (test hook).
+    #[doc(hidden)]
+    pub fn injected_panic_for(&self, source: crate::NodeId) -> bool {
+        self.panic_on_source == Some(source)
+    }
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_stops() {
+        let ctl = RunControl::new();
+        assert_eq!(ctl.should_stop(), None);
+        assert!(ctl.admit_memory(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_stops() {
+        let ctl = RunControl::new().with_timeout(Duration::ZERO);
+        assert_eq!(ctl.should_stop(), Some(RunOutcome::Deadline));
+    }
+
+    #[test]
+    fn future_deadline_does_not_stop() {
+        let ctl = RunControl::new().with_timeout(Duration::from_secs(3600));
+        assert_eq!(ctl.should_stop(), None);
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let ctl = RunControl::new();
+        let clone = ctl.clone();
+        let token = ctl.cancel_token();
+        assert_eq!(clone.should_stop(), None);
+        token.cancel();
+        assert_eq!(clone.should_stop(), Some(RunOutcome::Cancelled));
+        assert_eq!(ctl.should_stop(), Some(RunOutcome::Cancelled));
+    }
+
+    #[test]
+    fn cancel_beats_deadline() {
+        let ctl = RunControl::new().with_timeout(Duration::ZERO);
+        ctl.cancel_token().cancel();
+        assert_eq!(ctl.should_stop(), Some(RunOutcome::Cancelled));
+    }
+
+    #[test]
+    fn memory_budget_boundary() {
+        let ctl = RunControl::new().with_memory_budget_bytes(1000);
+        assert!(ctl.admit_memory(1000).is_ok());
+        let err = ctl.admit_memory(1001).unwrap_err();
+        assert_eq!(err.required_bytes, 1001);
+        assert_eq!(err.budget_bytes, 1000);
+        let mb = RunControl::new().with_memory_budget_mb(2);
+        assert!(mb.admit_memory(2 * 1024 * 1024).is_ok());
+        assert!(mb.admit_memory(2 * 1024 * 1024 + 1).is_err());
+    }
+
+    #[test]
+    fn outcome_merge_keeps_first_interruption() {
+        use RunOutcome::*;
+        assert_eq!(Complete.merge(Deadline), Deadline);
+        assert_eq!(Deadline.merge(Cancelled), Deadline);
+        assert_eq!(Cancelled.merge(Complete), Cancelled);
+        assert_eq!(Complete.merge(Complete), Complete);
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(payload.as_ref()), "static str");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(payload.as_ref()), "owned");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(17u8);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn injected_panic_hook_targets_one_source() {
+        let ctl = RunControl::new().with_injected_panic(5);
+        assert!(ctl.injected_panic_for(5));
+        assert!(!ctl.injected_panic_for(4));
+        assert!(!RunControl::new().injected_panic_for(5));
+    }
+}

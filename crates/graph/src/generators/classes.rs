@@ -34,10 +34,15 @@ pub enum GraphClass {
     Community,
     /// Road networks (osm-minnesota, osm-luxembourg, usroads).
     Road,
+    /// Plain Graph500-parameter R-MAT (a=0.57, b=c=0.19) at ~8 edges per
+    /// vertex. Not one of the paper's Table I classes — provided as a
+    /// stress generator with none of the planted reducible structure.
+    Rmat,
 }
 
 impl GraphClass {
-    /// All classes, in the paper's Table I order.
+    /// The paper's Table I classes, in order (excludes the synthetic-only
+    /// [`GraphClass::Rmat`] stress class).
     pub const ALL: [GraphClass; 4] =
         [GraphClass::Web, GraphClass::Social, GraphClass::Community, GraphClass::Road];
 
@@ -48,6 +53,11 @@ impl GraphClass {
             GraphClass::Social => social_like(params),
             GraphClass::Community => community_like(params),
             GraphClass::Road => road_like(params),
+            GraphClass::Rmat => {
+                let n = params.target_nodes.max(16);
+                let scale = (usize::BITS - (n - 1).leading_zeros()).max(4);
+                super::rmat(scale, 8 * n, 0.57, 0.19, 0.19, params.seed)
+            }
         }
     }
 
@@ -58,6 +68,7 @@ impl GraphClass {
             GraphClass::Social => "social",
             GraphClass::Community => "community",
             GraphClass::Road => "road",
+            GraphClass::Rmat => "rmat",
         }
     }
 }
@@ -70,6 +81,7 @@ impl std::str::FromStr for GraphClass {
             "social" => Ok(GraphClass::Social),
             "community" => Ok(GraphClass::Community),
             "road" => Ok(GraphClass::Road),
+            "rmat" => Ok(GraphClass::Rmat),
             other => Err(format!("unknown graph class '{other}'")),
         }
     }

@@ -5,7 +5,7 @@
 //! sizes the graph to `max id + 1`. Directed inputs are symmetrised by the
 //! builder, matching the paper's preprocessing.
 
-use super::IoError;
+use super::{limits, IoError};
 use crate::{CsrGraph, GraphBuilder, NodeId};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -37,6 +37,15 @@ pub fn read_edge_list_from<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
+        // `u32::MAX` would overflow the id space when the builder sizes the
+        // graph to max id + 1 — reject instead of corrupting the invariant.
+        if u.max(v) > limits::MAX_NODE_ID {
+            return Err(IoError::Limit(format!(
+                "vertex id {} at line {lineno} exceeds the maximum supported id {}",
+                u.max(v),
+                limits::MAX_NODE_ID
+            )));
+        }
         b.ensure_node(u.max(v));
         b.add_edge(u, v);
     }
@@ -103,6 +112,25 @@ mod tests {
     #[test]
     fn rejects_missing_column() {
         assert!(read_edge_list_from("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_ids_outside_the_u32_id_space() {
+        // u32::MAX itself fails to parse one past it; u32::MAX and
+        // u32::MAX - 1 parse but are rejected as over-limit.
+        for bad in [u32::MAX as u64, (u32::MAX - 1) as u64] {
+            let data = format!("0 {bad}\n");
+            match read_edge_list_from(data.as_bytes()).unwrap_err() {
+                IoError::Limit(m) => assert!(m.contains(&bad.to_string()), "{m}"),
+                other => panic!("expected Limit, got {other}"),
+            }
+        }
+        // One past u32::MAX is a parse error, not a silent wrap.
+        let data = format!("{} 0\n", u32::MAX as u64 + 1);
+        assert!(matches!(
+            read_edge_list_from(data.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,23 @@
-//! Typed IO errors.
+//! Typed IO errors and the hard limits the readers enforce.
 
 use std::fmt;
+
+/// Hard ceilings enforced on untrusted input by every reader.
+///
+/// Graph files come from the outside world; a lying header or an
+/// out-of-range id must produce a typed error, never a huge allocation or
+/// an id-space overflow that corrupts the builder's invariants.
+pub mod limits {
+    /// Highest usable vertex id. `CsrGraph` ids are `u32` and the builder
+    /// requires `num_nodes < u32::MAX`, so with `num_nodes = max_id + 1`
+    /// the largest admissible id is `u32::MAX - 2`.
+    pub const MAX_NODE_ID: u32 = u32::MAX - 2;
+    /// Largest vertex count a file header may declare (`MAX_NODE_ID + 1`).
+    pub const MAX_DECLARED_NODES: usize = MAX_NODE_ID as usize + 1;
+    /// Largest edge count a file header may declare. Far beyond any real
+    /// dataset; headers past it are treated as corrupt rather than obeyed.
+    pub const MAX_DECLARED_EDGES: usize = 1 << 33;
+}
 
 /// Errors produced by the graph readers.
 #[derive(Debug)]
@@ -16,6 +33,9 @@ pub enum IoError {
     },
     /// The file header or contents are structurally invalid for the format.
     Format(String),
+    /// The input exceeds a hard limit from [`limits`] — an id outside the
+    /// `u32` id space or a declared size no real dataset reaches.
+    Limit(String),
 }
 
 impl fmt::Display for IoError {
@@ -24,6 +44,7 @@ impl fmt::Display for IoError {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::Limit(m) => write!(f, "limit exceeded: {m}"),
         }
     }
 }
@@ -53,6 +74,16 @@ mod tests {
         assert_eq!(e.to_string(), "parse error at line 3: bad id");
         let e = IoError::Format("empty header".into());
         assert!(e.to_string().contains("empty header"));
+        let e = IoError::Limit("id 4294967295 out of range".into());
+        assert!(e.to_string().contains("limit exceeded"));
+    }
+
+    #[test]
+    fn limits_are_consistent_with_the_builder() {
+        // The builder asserts num_nodes < u32::MAX; the declared-nodes cap
+        // must never let a reader trip that assert.
+        assert!(limits::MAX_DECLARED_NODES < u32::MAX as usize);
+        assert_eq!(limits::MAX_NODE_ID as usize + 1, limits::MAX_DECLARED_NODES);
     }
 
     #[test]

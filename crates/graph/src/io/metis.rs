@@ -8,7 +8,7 @@
 //! interleave weights positionally and silently misreading them would
 //! corrupt the graph, so they are rejected with a clear error.
 
-use super::IoError;
+use super::{limits, IoError};
 use crate::{CsrGraph, GraphBuilder, NodeId};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -50,6 +50,21 @@ pub fn read_metis_from<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
         }
         break (n, m);
     };
+    // Untrusted header: keep the declared sizes inside the u32 id space /
+    // plausibility caps so a corrupt file gets a typed error, not a builder
+    // abort or an obedient giant allocation.
+    if n > limits::MAX_DECLARED_NODES {
+        return Err(IoError::Limit(format!(
+            "declared {n} vertices exceeds the supported maximum {}",
+            limits::MAX_DECLARED_NODES
+        )));
+    }
+    if m > limits::MAX_DECLARED_EDGES {
+        return Err(IoError::Limit(format!(
+            "declared {m} edges exceeds the supported maximum {}",
+            limits::MAX_DECLARED_EDGES
+        )));
+    }
 
     let mut b = GraphBuilder::with_capacity(n, m);
     let mut vertex = 0usize;
@@ -177,6 +192,14 @@ mod tests {
     fn rejects_truncation_and_overcount() {
         assert!(read_metis_from("3 2\n2\n1\n".as_bytes()).is_err()); // missing line
         assert!(read_metis_from("3 1\n2 3\n1 3\n1 2\n".as_bytes()).is_err()); // >m edges
+    }
+
+    #[test]
+    fn rejects_absurd_declared_sizes() {
+        let data = format!("{} 1\n", u32::MAX as u64);
+        assert!(matches!(read_metis_from(data.as_bytes()), Err(IoError::Limit(_))));
+        let data = "3 99999999999999\n2\n1\n\n";
+        assert!(matches!(read_metis_from(data.as_bytes()), Err(IoError::Limit(_))));
     }
 
     #[test]

@@ -20,6 +20,6 @@ mod metis;
 mod mtx;
 
 pub use edgelist::{read_edge_list, read_edge_list_from, write_edge_list, write_edge_list_to};
-pub use error::IoError;
+pub use error::{limits, IoError};
 pub use metis::{read_metis, read_metis_from, write_metis, write_metis_to};
 pub use mtx::{read_mtx, read_mtx_from, write_mtx, write_mtx_to};

@@ -5,7 +5,7 @@
 //! paper treats all graphs as unweighted) and symmetry is `general` or
 //! `symmetric`. Ids in the file are 1-based per the specification.
 
-use super::IoError;
+use super::{limits, IoError};
 use crate::{CsrGraph, GraphBuilder, NodeId};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -59,6 +59,21 @@ pub fn read_mtx_from<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
     };
     if rows != cols {
         return Err(IoError::Format(format!("adjacency matrix must be square, got {rows}x{cols}")));
+    }
+    // Untrusted header: a declared dimension past the u32 id space would
+    // trip the builder's id-space assert (abort, not error), and an absurd
+    // nnz is corruption — fail with a typed error before allocating.
+    if rows > limits::MAX_DECLARED_NODES {
+        return Err(IoError::Limit(format!(
+            "declared dimension {rows} exceeds the supported maximum {}",
+            limits::MAX_DECLARED_NODES
+        )));
+    }
+    if nnz > limits::MAX_DECLARED_EDGES {
+        return Err(IoError::Limit(format!(
+            "declared {nnz} entries exceeds the supported maximum {}",
+            limits::MAX_DECLARED_EDGES
+        )));
     }
 
     let mut b = GraphBuilder::with_capacity(rows, nnz);
@@ -169,6 +184,30 @@ mod tests {
     fn rejects_out_of_range_ids() {
         let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 3\n";
         assert!(read_mtx_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_declared_sizes() {
+        // Dimension past the u32 id space: typed error, not a builder abort.
+        let n = u32::MAX as u64;
+        let data = format!("%%MatrixMarket matrix coordinate pattern general\n{n} {n} 1\n1 2\n");
+        assert!(matches!(read_mtx_from(data.as_bytes()), Err(IoError::Limit(_))));
+        // Entry count no real dataset reaches: treated as a corrupt header.
+        let data =
+            "%%MatrixMarket matrix coordinate pattern general\n10 10 99999999999999\n1 2\n";
+        assert!(matches!(read_mtx_from(data.as_bytes()), Err(IoError::Limit(_))));
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        assert!(read_mtx_from("%%MatrixMarket matrix coordinate pattern\n".as_bytes()).is_err());
+        assert!(read_mtx_from(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3\n".as_bytes()
+        )
+        .is_err());
+        assert!(
+            read_mtx_from("%%MatrixMarket matrix coordinate pattern general\n".as_bytes()).is_err()
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod builder;
 pub mod connectivity;
+pub mod control;
 pub mod csr;
 pub mod degree;
 pub mod eccentricity;
@@ -50,6 +51,7 @@ pub mod traversal;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
+pub use control::{CancelToken, RunControl, RunOutcome};
 pub use csr::CsrGraph;
 pub use subgraph::InducedSubgraph;
 

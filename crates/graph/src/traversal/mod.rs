@@ -13,4 +13,8 @@ mod parallel;
 
 pub use bfs::{bfs_distances, Bfs};
 pub use dial::DialBfs;
-pub use parallel::{atomic_view, par_bfs_accumulate, par_bfs_from_sources, AccumulatorStats};
+pub use parallel::{
+    atomic_view, par_bfs_accumulate, par_bfs_accumulate_ctl, par_bfs_from_sources,
+    par_bfs_from_sources_ctl, par_bfs_sums_ctl, AccumulatorStats, ControlledAccumulation,
+    WorkerGuard, WorkerPanic,
+};

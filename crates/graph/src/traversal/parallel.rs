@@ -8,9 +8,12 @@
 //! describes.
 
 use super::bfs::Bfs;
+use crate::control::{panic_message, RunControl, RunOutcome};
 use crate::{CsrGraph, Dist, NodeId};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// Reinterprets an exclusively-held `u64` slice as atomics so rayon workers
 /// can publish into it lock-free. Safe: `AtomicU64` is `repr(transparent)`
@@ -42,28 +45,184 @@ pub fn par_bfs_accumulate(
     sources: &[NodeId],
     acc: &mut [u64],
 ) -> (Vec<(usize, u64)>, AccumulatorStats) {
+    let run = par_bfs_accumulate_ctl(g, sources, acc, &RunControl::new())
+        .unwrap_or_else(|p| panic!("BFS worker panicked: {}", p.detail));
+    debug_assert!(run.outcome.is_complete());
+    let per_source = run.per_source.into_iter().map(Option::unwrap).collect();
+    (per_source, run.stats)
+}
+
+/// A worker panicked inside a controlled parallel traversal. The shared
+/// accumulator may hold a partial contribution from the panicked source, so
+/// callers must discard it rather than build an estimate from it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Panic payload rendered as text.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.detail)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Result of a controlled multi-source accumulation.
+#[derive(Clone, Debug)]
+pub struct ControlledAccumulation {
+    /// Per source, in input order: `Some((reached, Σ d))` if the source's
+    /// BFS ran, `None` if it was skipped because the run was interrupted.
+    /// A skipped source contributed **nothing** to the accumulator — the
+    /// control is consulted before each source starts, never mid-BFS.
+    pub per_source: Vec<Option<(usize, u64)>>,
+    /// Statistics over the *completed* sources only.
+    pub stats: AccumulatorStats,
+    /// Whether the run completed or was interrupted (and why).
+    pub outcome: RunOutcome,
+}
+
+/// Tracks the first interruption cause observed by any worker.
+struct StopCell(AtomicU8);
+
+impl StopCell {
+    const NONE: u8 = 0;
+
+    fn new() -> Self {
+        StopCell(AtomicU8::new(Self::NONE))
+    }
+
+    fn record(&self, outcome: RunOutcome) {
+        let code = match outcome {
+            RunOutcome::Complete => return,
+            RunOutcome::Deadline => 1,
+            RunOutcome::Cancelled => 2,
+        };
+        // First writer wins; later causes are strictly less interesting.
+        let _ = self.0.compare_exchange(Self::NONE, code, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        match self.0.load(Ordering::Relaxed) {
+            1 => RunOutcome::Deadline,
+            2 => RunOutcome::Cancelled,
+            _ => RunOutcome::Complete,
+        }
+    }
+}
+
+/// Shared panic/stop state for one controlled parallel loop, plus the
+/// per-source worker protocol: skip fast once poisoned or stopped, otherwise
+/// run the payload under `catch_unwind`.
+///
+/// Public so estimators with bespoke per-source work (distance
+/// reconstruction, block-local pivot BFS) can honour the same contract as
+/// the kernels in this module: wrap each source in
+/// [`WorkerGuard::run_source`], then call [`WorkerGuard::finish`] once the
+/// parallel loop drains.
+pub struct WorkerGuard<'c> {
+    ctl: &'c RunControl,
+    stop: StopCell,
+    poisoned: AtomicBool,
+    panic_detail: Mutex<Option<String>>,
+}
+
+impl<'c> WorkerGuard<'c> {
+    /// Fresh guard state for one parallel loop over sources.
+    pub fn new(ctl: &'c RunControl) -> Self {
+        WorkerGuard {
+            ctl,
+            stop: StopCell::new(),
+            poisoned: AtomicBool::new(false),
+            panic_detail: Mutex::new(None),
+        }
+    }
+
+    /// Runs `work` for source `s` unless the run is stopped or poisoned.
+    /// Panics inside `work` are captured and poison the run.
+    pub fn run_source<R>(&self, s: NodeId, work: impl FnOnce() -> R) -> Option<R> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return None;
+        }
+        if let Some(cause) = self.ctl.should_stop() {
+            self.stop.record(cause);
+            return None;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.ctl.injected_panic_for(s) {
+                panic!("injected worker panic (test hook) on source {s}");
+            }
+            work()
+        }));
+        match result {
+            Ok(r) => Some(r),
+            Err(payload) => {
+                let detail = panic_message(payload.as_ref());
+                self.poisoned.store(true, Ordering::Relaxed);
+                let mut slot = self.panic_detail.lock().unwrap();
+                slot.get_or_insert(detail);
+                None
+            }
+        }
+    }
+
+    /// Folds the shared state into a final verdict.
+    pub fn finish(self) -> Result<RunOutcome, WorkerPanic> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            let detail = self
+                .panic_detail
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| "unknown panic".to_string());
+            return Err(WorkerPanic { detail });
+        }
+        Ok(self.stop.outcome())
+    }
+}
+
+/// Controlled variant of [`par_bfs_accumulate`]: consults `ctl` before each
+/// BFS source, skipping the remainder once the deadline passes or the run is
+/// cancelled, and isolates worker panics instead of unwinding through the
+/// pool.
+///
+/// On interruption the returned [`ControlledAccumulation`] is still sound:
+/// `acc` holds complete contributions of exactly the `Some` sources.
+/// On `Err` (worker panic) `acc` may hold a torn contribution and must be
+/// discarded.
+pub fn par_bfs_accumulate_ctl(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    acc: &mut [u64],
+    ctl: &RunControl,
+) -> Result<ControlledAccumulation, WorkerPanic> {
     assert!(acc.len() >= g.num_nodes(), "accumulator too small");
     let atomic_acc = atomic_view(acc);
+    let guard = WorkerGuard::new(ctl);
 
-    let per_source: Vec<(usize, u64)> = sources
+    let per_source: Vec<Option<(usize, u64)>> = sources
         .par_iter()
         .map_init(
             || Bfs::new(g.num_nodes()),
             |bfs, &s| {
-                bfs.run_with(g, s, |v, d| {
-                    if d > 0 {
-                        atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
-                    }
+                guard.run_source(s, || {
+                    bfs.run_with(g, s, |v, d| {
+                        if d > 0 {
+                            atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                        }
+                    })
                 })
             },
         )
         .collect();
 
+    let outcome = guard.finish()?;
     let stats = AccumulatorStats {
-        num_sources: sources.len(),
-        total_visited: per_source.iter().map(|&(r, _)| r as u64).sum(),
+        num_sources: per_source.iter().flatten().count(),
+        total_visited: per_source.iter().flatten().map(|&(r, _)| r as u64).sum(),
     };
-    (per_source, stats)
+    Ok(ControlledAccumulation { per_source, stats, outcome })
 }
 
 /// Runs one BFS per source in parallel, returning the full distance array of
@@ -72,13 +231,53 @@ pub fn par_bfs_accumulate(
 /// `O(n·k)` memory — intended for block-local use where `n` is a block size,
 /// or for tests and oracles.
 pub fn par_bfs_from_sources(g: &CsrGraph, sources: &[NodeId]) -> Vec<Vec<Dist>> {
-    sources
+    let (rows, _) = par_bfs_from_sources_ctl(g, sources, &RunControl::new())
+        .unwrap_or_else(|p| panic!("BFS worker panicked: {}", p.detail));
+    rows.into_iter().map(Option::unwrap).collect()
+}
+
+/// Per-source results of a controlled run: `None` marks a skipped source.
+/// Paired with the [`RunOutcome`] describing why (if) the run stopped early.
+pub type ControlledRows<T> = (Vec<Option<T>>, RunOutcome);
+
+/// One BFS per source under control, returning only `(reached, Σ d)` per
+/// source — no shared accumulator, no distance rows. This is the kernel of
+/// exact farness, where every vertex is its own source and only the
+/// per-source sum matters.
+pub fn par_bfs_sums_ctl(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    let guard = WorkerGuard::new(ctl);
+    let rows: Vec<Option<(usize, u64)>> = sources
         .par_iter()
         .map_init(
             || Bfs::new(g.num_nodes()),
-            |bfs, &s| bfs.run(g, s)[..g.num_nodes()].to_vec(),
+            |bfs, &s| guard.run_source(s, || bfs.run_with(g, s, |_, _| {})),
         )
-        .collect()
+        .collect();
+    let outcome = guard.finish()?;
+    Ok((rows, outcome))
+}
+
+/// Controlled variant of [`par_bfs_from_sources`]: rows of interrupted
+/// sources come back as `None`; worker panics surface as `Err`.
+pub fn par_bfs_from_sources_ctl(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+) -> Result<ControlledRows<Vec<Dist>>, WorkerPanic> {
+    let guard = WorkerGuard::new(ctl);
+    let rows: Vec<Option<Vec<Dist>>> = sources
+        .par_iter()
+        .map_init(
+            || Bfs::new(g.num_nodes()),
+            |bfs, &s| guard.run_source(s, || bfs.run(g, s)[..g.num_nodes()].to_vec()),
+        )
+        .collect();
+    let outcome = guard.finish()?;
+    Ok((rows, outcome))
 }
 
 #[cfg(test)]
@@ -167,5 +366,97 @@ mod tests {
         let mut expect = vec![0u64; 9];
         par_bfs_accumulate(&g, &[0, 8], &mut expect);
         assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn ctl_unbounded_matches_uncontrolled() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![0, 4, 8];
+        let mut acc = vec![0u64; 9];
+        let run = par_bfs_accumulate_ctl(&g, &sources, &mut acc, &RunControl::new()).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Complete);
+        assert_eq!(run.stats.num_sources, 3);
+        assert_eq!(run.per_source[1], Some((9, 12)));
+        assert!(run.per_source.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn ctl_expired_deadline_skips_every_source() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let mut acc = vec![0u64; 9];
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let run = par_bfs_accumulate_ctl(&g, &sources, &mut acc, &ctl).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Deadline);
+        assert_eq!(run.stats.num_sources, 0);
+        assert_eq!(run.stats.total_visited, 0);
+        assert!(run.per_source.iter().all(Option::is_none));
+        assert!(acc.iter().all(|&x| x == 0), "skipped sources must not touch acc");
+    }
+
+    #[test]
+    fn ctl_pre_cancelled_skips_every_source() {
+        let g = grid3x3();
+        let ctl = RunControl::new();
+        ctl.cancel_token().cancel();
+        let mut acc = vec![0u64; 9];
+        let sources: Vec<NodeId> = (0..9).collect();
+        let run = par_bfs_accumulate_ctl(&g, &sources, &mut acc, &ctl).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Cancelled);
+        assert_eq!(run.stats.num_sources, 0);
+        assert!(acc.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn ctl_partial_acc_holds_only_completed_sources() {
+        // Cancel from within a BFS callback: already-started sources finish,
+        // later sources are skipped, and acc equals the serial sum over
+        // exactly the completed (Some) sources.
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let ctl2 = RunControl::new();
+        let mut acc = vec![0u64; 9];
+        let first = par_bfs_accumulate_ctl(&g, &sources[..4], &mut acc, &ctl2).unwrap();
+        assert_eq!(first.outcome, RunOutcome::Complete);
+        ctl2.cancel_token().cancel();
+        let second = par_bfs_accumulate_ctl(&g, &sources[4..], &mut acc, &ctl2).unwrap();
+        assert_eq!(second.outcome, RunOutcome::Cancelled);
+        assert_eq!(second.stats.num_sources, 0);
+
+        let mut expect = vec![0u64; 9];
+        par_bfs_accumulate(&g, &sources[..4], &mut expect);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn ctl_injected_panic_is_captured_not_propagated() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let mut acc = vec![0u64; 9];
+        let ctl = RunControl::new().with_injected_panic(4);
+        let err = par_bfs_accumulate_ctl(&g, &sources, &mut acc, &ctl).unwrap_err();
+        assert!(err.detail.contains("injected worker panic"), "got: {}", err.detail);
+        assert!(err.detail.contains("source 4"), "got: {}", err.detail);
+    }
+
+    #[test]
+    fn ctl_from_sources_deadline_and_panic() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![2, 6];
+
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let (rows, outcome) = par_bfs_from_sources_ctl(&g, &sources, &ctl).unwrap();
+        assert_eq!(outcome, RunOutcome::Deadline);
+        assert!(rows.iter().all(Option::is_none));
+
+        let ctl = RunControl::new().with_injected_panic(6);
+        let err = par_bfs_from_sources_ctl(&g, &sources, &ctl).unwrap_err();
+        assert!(err.detail.contains("source 6"));
+
+        let (rows, outcome) =
+            par_bfs_from_sources_ctl(&g, &sources, &RunControl::new()).unwrap();
+        assert_eq!(outcome, RunOutcome::Complete);
+        assert_eq!(rows[0].as_deref().unwrap(), &bfs_distances(&g, 2)[..]);
+        assert_eq!(rows[1].as_deref().unwrap(), &bfs_distances(&g, 6)[..]);
     }
 }

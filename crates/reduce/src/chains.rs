@@ -19,7 +19,18 @@
 use crate::mutgraph::MutGraph;
 use crate::records::{ChainKind, Removal};
 use brics_graph::hash::FxHashMap;
-use brics_graph::NodeId;
+use brics_graph::{NodeId, RunControl, RunOutcome};
+
+/// Outer-loop iterations between [`RunControl::should_stop`] consultations.
+/// A check is one atomic load plus `Instant::now()`; every 4096 vertices it
+/// is far below measurement noise while bounding interruption latency to a
+/// few thousand O(degree) steps.
+const CHECK_INTERVAL: usize = 4096;
+
+/// Tighter interval for the *removal* loops: deleting a chain node's
+/// back-edge from a hub anchor's adjacency list costs O(hub degree), so a
+/// few hundred removals can already be milliseconds on skewed graphs.
+const REMOVAL_CHECK_INTERVAL: usize = 256;
 
 /// Shape of a detected maximal chain, before redundancy classification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +76,16 @@ pub struct ChainStats {
 
 /// Finds every maximal chain among the live vertices of `g`.
 pub fn find_chains(g: &MutGraph) -> Vec<DetectedChain> {
+    find_chains_ctl(g, &RunControl::new()).expect("unbounded control cannot stop")
+}
+
+/// [`find_chains`] under a [`RunControl`], checked every
+/// [`CHECK_INTERVAL`] scan positions. Detection does not mutate the graph,
+/// so interruption simply discards the partial chain list.
+pub fn find_chains_ctl(
+    g: &MutGraph,
+    ctl: &RunControl,
+) -> Result<Vec<DetectedChain>, RunOutcome> {
     let n = g.num_ids();
     let mut in_chain = vec![false; n];
     let mut chains = Vec::new();
@@ -96,6 +117,11 @@ pub fn find_chains(g: &MutGraph) -> Vec<DetectedChain> {
     };
 
     for s in 0..n as NodeId {
+        if s as usize % CHECK_INTERVAL == 0 {
+            if let Some(o) = ctl.should_stop() {
+                return Err(o);
+            }
+        }
         if g.is_removed(s) || g.degree(s) != 2 || in_chain[s as usize] {
             continue;
         }
@@ -145,6 +171,11 @@ pub fn find_chains(g: &MutGraph) -> Vec<DetectedChain> {
     // Degenerate pendant leaves with no degree-2 run: a degree-1 vertex
     // whose neighbour is not degree 2 (else a walk above already owns it).
     for v in 0..n as NodeId {
+        if v as usize % CHECK_INTERVAL == 0 {
+            if let Some(o) = ctl.should_stop() {
+                return Err(o);
+            }
+        }
         if g.is_removed(v) || g.degree(v) != 1 || in_chain[v as usize] {
             continue;
         }
@@ -168,13 +199,28 @@ pub fn find_chains(g: &MutGraph) -> Vec<DetectedChain> {
             chains.push(DetectedChain { u: w, v: w, nodes: vec![v], shape: ChainShape::Pendant });
         }
     }
-    chains
+    Ok(chains)
 }
 
 /// Detects chains, removes the redundant ones, appends [`Removal::Chain`]
 /// records, and returns pass statistics.
 pub fn remove_redundant_chains(g: &mut MutGraph, records: &mut Vec<Removal>) -> ChainStats {
-    let chains = find_chains(g);
+    remove_redundant_chains_ctl(g, &RunControl::new(), records)
+        .expect("unbounded control cannot stop")
+}
+
+/// [`remove_redundant_chains`] under a [`RunControl`]. The removal loop is
+/// checked every [`CHECK_INTERVAL`] chains: each removal can cost up to
+/// O(max degree) (deleting a hub's back-edge), so on hub-heavy graphs the
+/// loop, not detection, can dominate. Interruption returns `Err(outcome)`
+/// leaving `g` and `records` partially mutated — callers (the pipeline)
+/// must discard both, which [`crate::reduce_ctl`] does.
+pub fn remove_redundant_chains_ctl(
+    g: &mut MutGraph,
+    ctl: &RunControl,
+    records: &mut Vec<Removal>,
+) -> Result<ChainStats, RunOutcome> {
+    let chains = find_chains_ctl(g, ctl)?;
     let mut stats = ChainStats {
         total_chain_nodes: chains.iter().map(|c| c.nodes.len()).sum(),
         ..ChainStats::default()
@@ -197,7 +243,12 @@ pub fn remove_redundant_chains(g: &mut MutGraph, records: &mut Vec<Removal>) -> 
     }
     let mut keys: Vec<(NodeId, NodeId)> = groups.keys().copied().collect();
     keys.sort_unstable(); // deterministic removal order
-    for key in keys {
+    for (i, key) in keys.into_iter().enumerate() {
+        if i % CHECK_INTERVAL == 0 {
+            if let Some(o) = ctl.should_stop() {
+                return Err(o);
+            }
+        }
         let mut group = groups.remove(&key).unwrap();
         let direct_edge = g.has_edge(key.0, key.1);
         // Shortest chain first; ties broken by first interior vertex id so
@@ -215,7 +266,12 @@ pub fn remove_redundant_chains(g: &mut MutGraph, records: &mut Vec<Removal>) -> 
         }
     }
 
-    for (c, kind) in removals {
+    for (i, (c, kind)) in removals.into_iter().enumerate() {
+        if i % REMOVAL_CHECK_INTERVAL == 0 {
+            if let Some(o) = ctl.should_stop() {
+                return Err(o);
+            }
+        }
         stats.removed_chain_nodes += c.nodes.len();
         match kind {
             ChainKind::Pendant => stats.removed_chains_by_type[0] += 1,
@@ -232,7 +288,7 @@ pub fn remove_redundant_chains(g: &mut MutGraph, records: &mut Vec<Removal>) -> 
         }
         records.push(Removal::Chain { u: c.u, v: c.v, nodes: c.nodes, kind });
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

@@ -13,7 +13,14 @@
 use crate::mutgraph::MutGraph;
 use crate::records::Removal;
 use brics_graph::hash::{hash_ids, FxHashMap};
-use brics_graph::NodeId;
+use brics_graph::{NodeId, RunControl, RunOutcome};
+
+/// Loop iterations between [`RunControl::should_stop`] consultations.
+/// Removals are checked more often (every [`REMOVAL_CHECK_INTERVAL`]) than
+/// scans: deleting a member's back-edge from a hub's adjacency list costs
+/// O(hub degree), so a few hundred removals can already be milliseconds.
+const SCAN_CHECK_INTERVAL: usize = 4096;
+const REMOVAL_CHECK_INTERVAL: usize = 256;
 
 /// One group of mutually identical vertices.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,8 +39,22 @@ pub struct IdenticalGroup {
 /// Vertices of degree 0 are ignored (they are either removed already or
 /// meaningless for a connected input).
 pub fn find_identical_groups(g: &MutGraph) -> Vec<IdenticalGroup> {
+    find_identical_groups_ctl(g, &RunControl::new()).expect("unbounded control cannot stop")
+}
+
+/// [`find_identical_groups`] under a [`RunControl`]. Detection is
+/// read-only, so interruption simply discards the partial group list.
+pub fn find_identical_groups_ctl(
+    g: &MutGraph,
+    ctl: &RunControl,
+) -> Result<Vec<IdenticalGroup>, RunOutcome> {
     let mut buckets: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
     for v in 0..g.num_ids() as NodeId {
+        if v as usize % SCAN_CHECK_INTERVAL == 0 {
+            if let Some(o) = ctl.should_stop() {
+                return Err(o);
+            }
+        }
         if g.is_removed(v) || g.degree(v) == 0 {
             continue;
         }
@@ -46,7 +67,12 @@ pub fn find_identical_groups(g: &MutGraph) -> Vec<IdenticalGroup> {
         .map(|(&k, _)| k)
         .collect();
     bucket_keys.sort_unstable(); // deterministic output order
-    for key in bucket_keys {
+    for (i, key) in bucket_keys.into_iter().enumerate() {
+        if i % SCAN_CHECK_INTERVAL == 0 {
+            if let Some(o) = ctl.should_stop() {
+                return Err(o);
+            }
+        }
         let mut members = buckets.remove(&key).unwrap();
         // Exact verification: sort by neighbour list, then group equal runs.
         members.sort_by(|&a, &b| g.neighbors(a).cmp(g.neighbors(b)).then(a.cmp(&b)));
@@ -67,7 +93,7 @@ pub fn find_identical_groups(g: &MutGraph) -> Vec<IdenticalGroup> {
         }
     }
     groups.sort_by_key(|g| g.rep);
-    groups
+    Ok(groups)
 }
 
 /// Detects identical groups, removes all non-representatives from `g`, and
@@ -79,11 +105,31 @@ pub fn find_identical_groups(g: &MutGraph) -> Vec<IdenticalGroup> {
 /// snapshotted at detection time — removals from one group can change
 /// another rep's degree.
 pub fn remove_identical_nodes(g: &mut MutGraph, records: &mut Vec<Removal>) -> (usize, usize) {
-    let groups = find_identical_groups(g);
+    remove_identical_nodes_ctl(g, &RunControl::new(), records)
+        .expect("unbounded control cannot stop")
+}
+
+/// [`remove_identical_nodes`] under a [`RunControl`]. Interruption returns
+/// `Err(outcome)` leaving `g` and `records` partially mutated — callers
+/// must discard both, which [`crate::reduce_ctl`] does.
+pub fn remove_identical_nodes_ctl(
+    g: &mut MutGraph,
+    ctl: &RunControl,
+    records: &mut Vec<Removal>,
+) -> Result<(usize, usize), RunOutcome> {
+    let groups = find_identical_groups_ctl(g, ctl)?;
     let (mut plain, mut chain_shaped) = (0usize, 0usize);
+    let mut since_check = 0usize;
     for group in groups {
         let chainish = group.degree == 2;
         for node in group.removed {
+            since_check += 1;
+            if since_check >= REMOVAL_CHECK_INTERVAL {
+                since_check = 0;
+                if let Some(o) = ctl.should_stop() {
+                    return Err(o);
+                }
+            }
             g.remove_vertex(node);
             records.push(Removal::Identical { node, rep: group.rep });
             if chainish {
@@ -93,7 +139,7 @@ pub fn remove_identical_nodes(g: &mut MutGraph, records: &mut Vec<Removal>) -> (
             }
         }
     }
-    (plain, chain_shaped)
+    Ok((plain, chain_shaped))
 }
 
 #[cfg(test)]

@@ -6,12 +6,12 @@
 //! can be expressed — and returns the reduced graph together with the
 //! removal log and Table-I-style statistics.
 
-use crate::chains::remove_redundant_chains;
-use crate::identical::remove_identical_nodes;
+use crate::chains::remove_redundant_chains_ctl;
+use crate::identical::remove_identical_nodes_ctl;
 use crate::mutgraph::MutGraph;
 use crate::records::{ChainKind, Removal};
 use crate::redundant::remove_redundant_nodes;
-use brics_graph::CsrGraph;
+use brics_graph::{CsrGraph, RunControl, RunOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Which reduction techniques to apply.
@@ -165,12 +165,42 @@ impl ReductionResult {
 /// The input is expected to be simple and undirected (any [`CsrGraph`]).
 /// Connectivity is *not* required, but the estimator crates assume it.
 pub fn reduce(g: &CsrGraph, config: &ReductionConfig) -> ReductionResult {
+    reduce_ctl(g, config, &RunControl::new()).expect("unbounded control cannot stop")
+}
+
+/// [`reduce`] under a [`RunControl`]: the control is consulted between
+/// passes (and between fixpoint rounds), so a deadline or cancellation
+/// stops the pipeline within one pass's worth of work. A partially-applied
+/// reduction is useless to the estimators — the removal log must be
+/// complete for reconstruction to be exact — so interruption returns
+/// `Err(outcome)` rather than a partial result.
+pub fn reduce_ctl(
+    g: &CsrGraph,
+    config: &ReductionConfig,
+    ctl: &RunControl,
+) -> Result<ReductionResult, RunOutcome> {
+    let check = |stage: &mut RunOutcome| -> bool {
+        match ctl.should_stop() {
+            Some(o) => {
+                *stage = o;
+                true
+            }
+            None => false,
+        }
+    };
+    let mut stop = RunOutcome::Complete;
+    if check(&mut stop) {
+        return Err(stop);
+    }
     let mut mg = MutGraph::from_csr(g);
     let mut records = Vec::new();
     let mut stats = ReductionStats::default();
 
     if config.identical {
-        let (plain, chain_shaped) = remove_identical_nodes(&mut mg, &mut records);
+        if check(&mut stop) {
+            return Err(stop);
+        }
+        let (plain, chain_shaped) = remove_identical_nodes_ctl(&mut mg, ctl, &mut records)?;
         stats.identical_nodes += plain;
         stats.identical_chain_nodes += chain_shaped;
     }
@@ -180,7 +210,10 @@ pub fn reduce(g: &CsrGraph, config: &ReductionConfig) -> ReductionResult {
         rounds += 1;
         let mut removed_this_round = 0usize;
         if config.chains {
-            let cs = remove_redundant_chains(&mut mg, &mut records);
+            if check(&mut stop) {
+                return Err(stop);
+            }
+            let cs = remove_redundant_chains_ctl(&mut mg, ctl, &mut records)?;
             if rounds == 1 {
                 stats.chain_nodes = cs.total_chain_nodes;
             }
@@ -189,6 +222,9 @@ pub fn reduce(g: &CsrGraph, config: &ReductionConfig) -> ReductionResult {
             removed_this_round += cs.removed_chain_nodes;
         }
         if config.redundant {
+            if check(&mut stop) {
+                return Err(stop);
+            }
             let rs = remove_redundant_nodes(&mut mg, &mut records);
             stats.redundant_nodes += rs.removed();
             removed_this_round += rs.removed();
@@ -205,7 +241,14 @@ pub fn reduce(g: &CsrGraph, config: &ReductionConfig) -> ReductionResult {
     // also catches chains exposed by the redundant pass.
     let mut contracted_edges: Vec<(brics_graph::NodeId, brics_graph::NodeId, u32)> = Vec::new();
     if config.contract && config.chains {
-        for c in crate::chains::find_chains(&mg) {
+        if check(&mut stop) {
+            return Err(stop);
+        }
+        let between = crate::chains::find_chains_ctl(&mg, ctl)?;
+        for (i, c) in between.into_iter().enumerate() {
+            if i % 256 == 0 && check(&mut stop) {
+                return Err(stop);
+            }
             if c.shape != crate::chains::ChainShape::Between {
                 continue;
             }
@@ -237,13 +280,13 @@ pub fn reduce(g: &CsrGraph, config: &ReductionConfig) -> ReductionResult {
         (g, Some(w))
     };
     stats.surviving_edges = graph.num_edges();
-    ReductionResult {
+    Ok(ReductionResult {
         graph,
         weights,
         removed: mg.removed_mask().to_vec(),
         records,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -423,5 +466,25 @@ mod tests {
         let g = cycle_graph(12);
         let r = reduce(&g, &ReductionConfig::all().with_fixpoint());
         assert_eq!(r.num_surviving(), 12);
+    }
+
+    #[test]
+    fn ctl_interruption_aborts_the_pipeline() {
+        let g = gnm_random_connected(200, 260, 7);
+        // Expired deadline: no pass may start, and no partial result leaks.
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let out = reduce_ctl(&g, &ReductionConfig::all(), &ctl).unwrap_err();
+        assert_eq!(out, RunOutcome::Deadline);
+        // Pre-cancelled token reports the cancellation cause.
+        let ctl = RunControl::new();
+        ctl.cancel_token().cancel();
+        let out = reduce_ctl(&g, &ReductionConfig::all(), &ctl).unwrap_err();
+        assert_eq!(out, RunOutcome::Cancelled);
+        // A generous budget must be indistinguishable from the unbounded run.
+        let ctl = RunControl::new().with_timeout(std::time::Duration::from_secs(600));
+        let bounded = reduce_ctl(&g, &ReductionConfig::all(), &ctl).unwrap();
+        let unbounded = reduce(&g, &ReductionConfig::all());
+        assert_eq!(bounded.removed, unbounded.removed);
+        assert_eq!(bounded.stats, unbounded.stats);
     }
 }

@@ -1,0 +1,205 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Keeps the bench-definition API (`criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`) source-compatible so `cargo bench` runs, but replaces the
+//! statistical machinery with a simple best-of-N wall-clock measurement
+//! printed to stdout. Set `CRITERION_SHIM_ITERS` to change the measurement
+//! count (default 3; `0` still runs each closure once so benches remain
+//! smoke tests).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn measure_iters() -> u32 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+fn human(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Runs one benchmark closure and reports the fastest observed iteration.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..measure_iters() {
+            let start = Instant::now();
+            let out = f();
+            let elapsed = start.elapsed();
+            drop(out);
+            if self.best.map_or(true, |b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+/// Identifier for a parameterised benchmark, e.g. `BenchmarkId::new("bfs", n)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    fn run_one(&mut self, label: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { best: None };
+        run(&mut b);
+        let time = b.best.map(human).unwrap_or_else(|| "not measured".to_string());
+        println!("bench: {}/{label}: {time}", self.name);
+        self.criterion.benchmarks_run += 1;
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // Sampling counts are meaningless for the shim's best-of-N timing.
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchLabel>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().0;
+        self.run_one(&label, |b| f(b));
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        self.run_one(&label, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s for `bench_function`.
+pub struct BenchLabel(String);
+
+impl From<&str> for BenchLabel {
+    fn from(s: &str) -> Self {
+        BenchLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchLabel {
+    fn from(s: String) -> Self {
+        BenchLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchLabel(id.label)
+    }
+}
+
+/// Throughput declaration — accepted and ignored.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        let mut hits = 0usize;
+        group.bench_function("inc", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(hits >= 1);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

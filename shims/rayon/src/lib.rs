@@ -1,0 +1,380 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! slice of rayon's data-parallel API the workspace actually uses — eager
+//! parallel iterators with `map` / `map_init` / `for_each` / `for_each_init` /
+//! `collect` / `sum` — on top of `std::thread::scope`.
+//!
+//! Semantics preserved from real rayon:
+//! * work is executed on multiple OS threads (`available_parallelism`),
+//! * `map_init` / `for_each_init` run the init closure once per worker thread
+//!   and reuse the state across that worker's items (the workspace relies on
+//!   this for per-thread BFS scratch buffers),
+//! * `map(...).collect::<Vec<_>>()` preserves input order,
+//! * a panicking closure propagates a panic to the caller instead of being
+//!   swallowed.
+//!
+//! Deliberately *not* implemented: lazy adaptor chaining (every adaptor here
+//! evaluates eagerly), work stealing (a shared queue hands out items), and the
+//! broader rayon API. The thread count can be bounded with the standard
+//! `RAYON_NUM_THREADS` environment variable.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+thread_local! {
+    /// Set while inside `ThreadPool::install`, overriding the thread count.
+    static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cap = POOL_THREADS
+        .with(|t| t.get())
+        .or_else(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+        })
+        .unwrap_or(hw);
+    cap.min(n).max(1)
+}
+
+/// Mirrors `rayon::ThreadPoolBuilder`; only `num_threads` is honoured.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// In the shim a "pool" is just a thread-count override applied for the
+/// duration of [`ThreadPool::install`]; the actual threads are created per
+/// parallel call by `std::thread::scope`.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Core engine: run `f(state, item)` over all items on a small thread pool,
+/// returning results in input order. `init` runs once per worker thread.
+fn run_pool<T, R, S, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = thread_count(n);
+    if threads == 1 {
+        let mut state = init();
+        return items.into_iter().map(|x| f(&mut state, x)).collect();
+    }
+
+    // Shared queue of (index, item); each worker drains it, keeping results
+    // tagged with their original index so output order matches input order.
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let next = queue.lock().unwrap().pop_front();
+                    match next {
+                        Some((i, x)) => local.push((i, f(&mut state, x))),
+                        None => break,
+                    }
+                }
+                done.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut tagged = done.into_inner().unwrap();
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// An eagerly-evaluated "parallel iterator": adaptors run the parallel work
+/// immediately and hand back a materialised vector of results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParIter { items: run_pool(self.items, || (), |_, x| f(x)) }
+    }
+
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> R + Sync + Send,
+    {
+        ParIter { items: run_pool(self.items, init, f) }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        run_pool(self.items, || (), |_, x| f(x));
+    }
+
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) + Sync + Send,
+    {
+        run_pool(self.items, init, f);
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        ParIter { items: self.items.into_iter().filter(|x| f(x)).collect() }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + Send,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Alias so `use rayon::prelude::*` brings the adaptor methods into scope the
+/// way real rayon's `ParallelIterator` trait does. The methods here are
+/// inherent on [`ParIter`]; this empty trait exists only so the glob import
+/// stays source-compatible.
+pub trait ParallelIterator {}
+impl<T> ParallelIterator for ParIter<T> {}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// Returns the number of threads the pool would use for a large workload,
+/// mirroring `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    thread_count(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_thread() {
+        // Each worker's state counts items it processed; totals must add up.
+        let total = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(
+                || 0usize,
+                |count, &x| {
+                    *count += 1;
+                    total.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(total.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0u32..100).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u64; 64];
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert!(v.iter().all(|&x| x == 2));
+        assert_eq!(out, vec![2u64; 64]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        (0usize..16).into_par_iter().for_each(|i| {
+            if i == 7 {
+                panic!("boom");
+            }
+        });
+    }
+}

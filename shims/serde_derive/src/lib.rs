@@ -1,0 +1,365 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the simplified `Serialize` / `Deserialize` traits defined by the
+//! vendored `serde` shim (`to_value` / `from_value` over a JSON-like
+//! [`Value`] tree). The item is parsed directly from the raw token stream —
+//! no `syn`/`quote`, since the build environment has no network access.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields,
+//! * enums whose variants are unit, tuple, or struct-like,
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Unsupported shapes fail loudly at compile time rather than silently
+//! producing wrong serialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility qualifiers (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // [ ... ]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // (crate) / (super) / ...
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` returning the field names.
+/// Splits on commas at angle-bracket depth zero; commas nested in `(...)`
+/// or `[...]` are invisible because those arrive as single `Group` tokens.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i)
+            .unwrap_or_else(|| panic!("serde shim derive: expected field name, got {:?}", tokens[i].to_string()));
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a ',' at angle depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple variant: top-level comma count + 1 (tolerating a
+/// trailing comma); 0 for empty parens.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut arity = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i)
+            .unwrap_or_else(|| panic!("serde shim derive: expected variant name, got {:?}", tokens[i].to_string()));
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive: explicit discriminants are not supported")
+            }
+            other => panic!("serde shim derive: expected ',' after variant `{name}`, got {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kw = ident_at(&tokens, i).unwrap_or_else(|| panic!("serde shim derive: expected item"));
+    i += 1;
+    let name = ident_at(&tokens, i)
+        .unwrap_or_else(|| panic!("serde shim derive: expected a name after `{kw}`"));
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (deriving `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: parse_named_fields(g.stream()) }
+            }
+            _ => panic!(
+                "serde shim derive: only structs with named fields are supported (deriving `{name}`)"
+            ),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            _ => panic!("serde shim derive: malformed enum body (deriving `{name}`)"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn fields_to_object(prefix: &str, fields: &[String]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({prefix}{f}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let obj = fields_to_object("&self.", fields);
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {obj} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Shape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let obj = fields_to_object("", fields);
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {obj})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}\n",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}\n",
+                inits.join(" ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        Shape::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __arr = ::serde::__tuple_payload(__payload, {arity}, \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Shape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__field(__payload, \"{f}\")?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let str_arm = format!(
+                "::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n_ => ::std::result::Result::Err(::serde::DeError::unknown_variant(__s, \"{name}\")),\n}},",
+                unit_arms.join("\n")
+            );
+            let obj_arm = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n{}\n_ => ::std::result::Result::Err(::serde::DeError::unknown_variant(__tag, \"{name}\")),\n}}\n\
+                     }},",
+                    payload_arms.join("\n")
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n{str_arm}\n{obj_arm}\n_ => ::std::result::Result::Err(::serde::DeError::expected(\"externally tagged variant of {name}\")),\n}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item).parse().expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
