@@ -3,7 +3,9 @@
 
 use brics_bicc::{biconnected_components, BlockCutTree};
 use brics_graph::generators::{gnm_random_connected, grid_graph, web_like, ClassParams};
-use brics_graph::traversal::{bfs_distances, par_bfs_from_sources};
+use brics_graph::traversal::{
+    bfs_distances, par_bfs_from_sources, HybridBfs, HybridParams, ParFrontierBfs,
+};
 use brics_graph::NodeId;
 use brics_reduce::{reduce, ReductionConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -15,6 +17,14 @@ fn bench_bfs(c: &mut Criterion) {
         let g = gnm_random_connected(n, n * 4, 7);
         group.bench_with_input(BenchmarkId::new("single_source", n), &g, |b, g| {
             b.iter(|| black_box(bfs_distances(g, 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("single_source_hybrid", n), &g, |b, g| {
+            let mut bfs = HybridBfs::with_params(g.num_nodes(), HybridParams::default());
+            b.iter(|| black_box(bfs.run_with(g, 0, |_, _| {})))
+        });
+        group.bench_with_input(BenchmarkId::new("single_source_frontier_par", n), &g, |b, g| {
+            let mut bfs = ParFrontierBfs::with_params(g.num_nodes(), HybridParams::default());
+            b.iter(|| black_box(bfs.run(g, 0)))
         });
     }
     let g = gnm_random_connected(20_000, 80_000, 7);

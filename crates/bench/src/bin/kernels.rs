@@ -1,0 +1,184 @@
+//! Kernel benchmark driver: times the top-down, direction-optimizing
+//! hybrid and frontier-parallel BFS kernels on the suite from
+//! `brics_bench::kernels` and writes `BENCH_kernels.json`.
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin kernels -- \
+//!     [--smoke] [--out FILE] [--reps N] [--threads N] [--sources K]
+//! ```
+//!
+//! `--smoke` shrinks every graph and runs one repetition — the CI sanity
+//! configuration. Every run cross-checks the kernels' reach counts and
+//! distance checksums; a mismatch is a hard failure (exit 1), so the
+//! benchmark doubles as an equivalence test.
+
+use brics_bench::kernels::{
+    equivalent, kernel_inputs, measure_frontier_parallel, measure_hybrid, measure_topdown,
+    spread_sources, KernelMeasurement,
+};
+use brics_bench::{scale_from_env, TableWriter};
+use brics_graph::traversal::HybridParams;
+
+struct Opts {
+    smoke: bool,
+    out: String,
+    reps: usize,
+    threads: usize,
+    sources: usize,
+    params: HybridParams,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        out: "BENCH_kernels.json".into(),
+        reps: 3,
+        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).max(4),
+        sources: 16,
+        params: HybridParams::default(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = need(i);
+                i += 1;
+            }
+            "--reps" => {
+                opts.reps = need(i).parse().expect("--reps");
+                i += 1;
+            }
+            "--threads" => {
+                opts.threads = need(i).parse::<usize>().expect("--threads").max(1);
+                i += 1;
+            }
+            "--sources" => {
+                opts.sources = need(i).parse::<usize>().expect("--sources").max(1);
+                i += 1;
+            }
+            "--alpha" => {
+                opts.params.alpha = need(i).parse().expect("--alpha");
+                i += 1;
+            }
+            "--beta" => {
+                opts.params.beta = need(i).parse().expect("--beta");
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if opts.smoke {
+        opts.reps = 1;
+        opts.sources = opts.sources.min(4);
+    }
+    opts
+}
+
+fn ms(m: &KernelMeasurement) -> f64 {
+    m.seconds * 1e3
+}
+
+fn main() {
+    let opts = parse_opts();
+    let scale = if opts.smoke { 0.02 * scale_from_env() } else { scale_from_env() };
+    let params = opts.params;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(opts.threads)
+        .build()
+        .expect("thread pool");
+    let threads = pool.install(rayon::current_num_threads);
+
+    println!(
+        "BFS kernel benchmark (scale {scale}, {} reps, {} sources/graph, {threads} threads)\n",
+        opts.reps, opts.sources
+    );
+    let mut table = TableWriter::new([
+        "graph", "nodes", "arcs", "topdown-ms", "hybrid-ms", "frontier-ms", "hyb-x", "fp-x",
+        "equal",
+    ]);
+    let mut graph_docs = Vec::new();
+    let mut all_equal = true;
+    let mut best_hybrid = 0.0f64;
+    for input in kernel_inputs(scale) {
+        let g = &input.graph;
+        let sources = spread_sources(g.num_nodes(), opts.sources);
+        let td = measure_topdown(g, &sources, opts.reps);
+        let hy = measure_hybrid(g, &sources, opts.reps, params);
+        let fp = pool.install(|| measure_frontier_parallel(g, &sources, opts.reps, params));
+        let runs = [td, hy, fp];
+        let ok = equivalent(&runs);
+        all_equal &= ok;
+        let (td, hy, fp) = (&runs[0], &runs[1], &runs[2]);
+        // Hybrid-vs-topdown isolates the direction switch (both serial);
+        // frontier-vs-hybrid isolates intra-BFS parallelism (same
+        // algorithm, `threads` workers per level).
+        let hyb_speedup = td.seconds / hy.seconds;
+        let fp_speedup = hy.seconds / fp.seconds;
+        best_hybrid = best_hybrid.max(hyb_speedup);
+        table.row([
+            input.name.clone(),
+            g.num_nodes().to_string(),
+            g.num_arcs().to_string(),
+            format!("{:.2}", ms(td)),
+            format!("{:.2}", ms(hy)),
+            format!("{:.2}", ms(fp)),
+            format!("{hyb_speedup:.2}"),
+            format!("{fp_speedup:.2}"),
+            ok.to_string(),
+        ]);
+        graph_docs.push(serde_json::json!({
+            "graph": input.name,
+            "nodes": g.num_nodes(),
+            "arcs": g.num_arcs(),
+            "sources": sources.len(),
+            "low_diameter": input.low_diameter,
+            "equivalence_ok": ok,
+            "kernels": runs.iter().map(|m| serde_json::json!({
+                "kernel": m.kernel,
+                "ms": ms(m),
+                "mteps": m.mteps,
+                "total_reached": m.total_reached,
+                "checksum": m.checksum,
+            })).collect::<Vec<_>>(),
+            "speedup_hybrid_vs_topdown": hyb_speedup,
+            "speedup_frontier_vs_serial_hybrid": fp_speedup,
+        }));
+    }
+    print!("{}", table.render());
+
+    let doc = serde_json::json!({
+        "bench": "kernels",
+        "smoke": opts.smoke,
+        "scale": scale,
+        "reps": opts.reps,
+        "threads": threads,
+        "params": serde_json::json!({"alpha": params.alpha, "beta": params.beta}),
+        "graphs": graph_docs,
+        "summary": serde_json::json!({
+            "all_kernels_equivalent": all_equal,
+            "best_hybrid_speedup_vs_topdown": best_hybrid,
+        }),
+    });
+    std::fs::write(&opts.out, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", opts.out);
+            std::process::exit(3);
+        });
+    println!("\nwrote {} (best hybrid speedup {best_hybrid:.2}x)", opts.out);
+    if !all_equal {
+        eprintln!("FAIL: kernels disagreed on reach counts or distance checksums");
+        std::process::exit(1);
+    }
+}

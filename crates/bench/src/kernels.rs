@@ -1,0 +1,203 @@
+//! Kernel benchmark: serial top-down vs direction-optimizing hybrid vs
+//! frontier-parallel BFS on the generator classes plus low-diameter stress
+//! graphs (where bottom-up shines). The `kernels` bin drives this and
+//! emits `BENCH_kernels.json`; every measurement carries a checksum so a
+//! run doubles as a distance-equivalence test.
+
+use brics_graph::generators::{complete_graph, gnm_random_connected, ClassParams, GraphClass};
+use brics_graph::traversal::{Bfs, HybridBfs, HybridParams, ParFrontierBfs};
+use brics_graph::{CsrGraph, NodeId};
+use std::time::Instant;
+
+/// One benchmark input graph.
+pub struct KernelInput {
+    /// Display name (includes the vertex count).
+    pub name: String,
+    /// Whether the graph's diameter is small enough that the bottom-up
+    /// phase is expected to engage (the hybrid win case).
+    pub low_diameter: bool,
+    /// The graph itself.
+    pub graph: CsrGraph,
+}
+
+/// The benchmark suite: one graph per generator class plus two dense
+/// low-diameter stress graphs. `scale` multiplies vertex counts
+/// (floor 64) so smoke runs stay cheap.
+pub fn kernel_inputs(scale: f64) -> Vec<KernelInput> {
+    let sz = |n: usize| ((n as f64 * scale) as usize).max(64);
+    let mut inputs = Vec::new();
+    for (class, nodes, seed) in [
+        (GraphClass::Web, 8_000, 11),
+        (GraphClass::Social, 8_000, 12),
+        (GraphClass::Community, 8_000, 13),
+        (GraphClass::Road, 6_000, 14),
+        (GraphClass::Rmat, 8_000, 15),
+    ] {
+        let n = sz(nodes);
+        inputs.push(KernelInput {
+            name: format!("{}-{n}", class.name()),
+            low_diameter: class != GraphClass::Road,
+            graph: class.generate(ClassParams::new(n, seed)),
+        });
+    }
+    // Dense G(n, m): average degree 32 ⇒ diameter ~2, the regime where
+    // bottom-up finds a frontier parent in O(1) probes per vertex.
+    let n = sz(3_000);
+    inputs.push(KernelInput {
+        name: format!("dense-gnm-{n}"),
+        low_diameter: true,
+        graph: gnm_random_connected(n, n * 16, 16),
+    });
+    let n = sz(512);
+    inputs.push(KernelInput {
+        name: format!("complete-{n}"),
+        low_diameter: true,
+        graph: complete_graph(n),
+    });
+    inputs
+}
+
+/// Evenly spread BFS sources for an `n`-vertex graph.
+pub fn spread_sources(n: usize, k: usize) -> Vec<NodeId> {
+    let k = k.clamp(1, n);
+    (0..k).map(|i| (i * n / k) as NodeId).collect()
+}
+
+/// Aggregate of one timed kernel sweep over a source list.
+pub struct KernelMeasurement {
+    /// Kernel name (`topdown`, `hybrid`, `frontier-parallel`).
+    pub kernel: &'static str,
+    /// Best-of-reps wall time for the whole source sweep.
+    pub seconds: f64,
+    /// Millions of traversed arcs per second (`sources · arcs / time`).
+    pub mteps: f64,
+    /// Σ over sources of the number of reached vertices.
+    pub total_reached: u64,
+    /// Σ over sources of Σ d(s, v) — the distance checksum used for the
+    /// cross-kernel equivalence verdict.
+    pub checksum: u64,
+}
+
+fn best_of<F: FnMut() -> (u64, u64)>(reps: usize, mut sweep: F) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut totals = (0, 0);
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        totals = sweep();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, totals.0, totals.1)
+}
+
+fn finish(
+    kernel: &'static str,
+    g: &CsrGraph,
+    sources: usize,
+    (seconds, total_reached, checksum): (f64, u64, u64),
+) -> KernelMeasurement {
+    let arcs = (sources * g.num_arcs()) as f64;
+    KernelMeasurement {
+        kernel,
+        seconds,
+        mteps: if seconds > 0.0 { arcs / seconds / 1e6 } else { 0.0 },
+        total_reached,
+        checksum,
+    }
+}
+
+/// Times the classic serial top-down kernel.
+pub fn measure_topdown(g: &CsrGraph, sources: &[NodeId], reps: usize) -> KernelMeasurement {
+    let mut bfs = Bfs::new(g.num_nodes());
+    let totals = best_of(reps, || {
+        sources.iter().fold((0, 0), |(r, c), &s| {
+            let (reached, sum) = bfs.run_with(g, s, |_, _| {});
+            (r + reached as u64, c + sum)
+        })
+    });
+    finish("topdown", g, sources.len(), totals)
+}
+
+/// Times the serial direction-optimizing kernel.
+pub fn measure_hybrid(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    reps: usize,
+    params: HybridParams,
+) -> KernelMeasurement {
+    let mut bfs = HybridBfs::with_params(g.num_nodes(), params);
+    let totals = best_of(reps, || {
+        sources.iter().fold((0, 0), |(r, c), &s| {
+            let (reached, sum) = bfs.run_with(g, s, |_, _| {});
+            (r + reached as u64, c + sum)
+        })
+    });
+    finish("hybrid", g, sources.len(), totals)
+}
+
+/// Times the frontier-parallel kernel. Call inside a
+/// `rayon::ThreadPool::install` to control the thread count; the caller
+/// records `rayon::current_num_threads()` alongside.
+pub fn measure_frontier_parallel(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    reps: usize,
+    params: HybridParams,
+) -> KernelMeasurement {
+    let mut bfs = ParFrontierBfs::with_params(g.num_nodes(), params);
+    let totals = best_of(reps, || {
+        sources.iter().fold((0, 0), |(r, c), &s| {
+            let (reached, sum) = bfs.run(g, s);
+            (r + reached as u64, c + sum)
+        })
+    });
+    finish("frontier-parallel", g, sources.len(), totals)
+}
+
+/// Whether every measurement reached the same vertices with the same
+/// total distance mass — the run-time distance-equivalence verdict.
+pub fn equivalent(measurements: &[KernelMeasurement]) -> bool {
+    measurements
+        .windows(2)
+        .all(|w| w[0].total_reached == w[1].total_reached && w[0].checksum == w[1].checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_connected_at_tiny_scale() {
+        for input in kernel_inputs(0.02) {
+            assert!(
+                brics_graph::connectivity::is_connected(&input.graph),
+                "{}",
+                input.name
+            );
+            assert!(input.graph.num_nodes() >= 64);
+        }
+    }
+
+    #[test]
+    fn measurements_agree_across_kernels() {
+        let g = gnm_random_connected(300, 1200, 5);
+        let sources = spread_sources(g.num_nodes(), 8);
+        let ms = [
+            measure_topdown(&g, &sources, 1),
+            measure_hybrid(&g, &sources, 1, HybridParams::default()),
+            measure_hybrid(&g, &sources, 1, HybridParams::eager_bottom_up()),
+            measure_frontier_parallel(&g, &sources, 1, HybridParams::default()),
+        ];
+        assert!(equivalent(&ms));
+        assert_eq!(ms[0].total_reached, 8 * 300);
+        assert!(ms.iter().all(|m| m.checksum > 0 && m.mteps > 0.0));
+    }
+
+    #[test]
+    fn spread_sources_are_in_range_and_distinct() {
+        let s = spread_sources(100, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&v| (v as usize) < 100));
+        assert_eq!(spread_sources(3, 10).len(), 3);
+    }
+}

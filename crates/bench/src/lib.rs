@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod registry;
 pub mod table;
 

@@ -2,7 +2,10 @@
 
 use crate::args::{parse, Parsed};
 use crate::error::CliError;
-use brics::{exact_farness_ctl, BricsEstimator, Method, RunControl, RunOutcome, SampleSize};
+use brics::{
+    exact_farness_ctl_with, BricsEstimator, Kernel, KernelConfig, Method, RunControl, RunOutcome,
+    SampleSize,
+};
 use brics_bicc::biconnected_components;
 use brics_graph::connectivity::{is_connected, make_connected};
 use brics_graph::degree::degree_stats;
@@ -20,11 +23,13 @@ USAGE:
 
   brics farness <graph> [--method random|cr|icr|cumulative|exact]
                         [--rate 0.2] [--seed 0] [--top K] [--json]
+                        [--kernel auto|topdown|hybrid] [--reorder]
       Estimate (default: cumulative @ 20%) or compute exact farness.
       Prints `vertex farness closeness` per line, or the --top K most
       central vertices; --json emits a machine-readable document.
 
   brics topk <graph> <k> [--rate 0.3] [--seed 0] [--json]
+                         [--kernel auto|topdown|hybrid]
       EXACT top-k closeness ranking, pruned by BRICS lower bounds —
       far cheaper than computing all-pairs farness.
 
@@ -36,6 +41,16 @@ USAGE:
       Write a synthetic class graph (.el edge list, .mtx MatrixMarket or
       .graph/.metis METIS, by extension; stdout edge list when --out is
       omitted). `rmat` is a Graph500-parameter stress generator.
+
+PERFORMANCE (farness, topk):
+  --kernel K         BFS kernel: `auto` (default; direction-optimizing
+                     with stock heuristics), `hybrid` (same, explicit) or
+                     `topdown` (classic frontier expansion). Distances —
+                     and hence every estimate — are identical across
+                     kernels; only wall time differs.
+  --reorder          Relabel vertices by descending degree before the
+                     run (farness only). Improves locality on scale-free
+                     graphs; output is translated back to original ids.
 
 EXECUTION LIMITS (farness, topk, betweenness):
   --timeout SECS     Wall-clock budget. When it expires mid-run, already
@@ -96,6 +111,17 @@ fn control_from(p: &Parsed) -> Result<RunControl, CliError> {
         ctl = ctl.with_memory_budget_mb(mb);
     }
     Ok(ctl)
+}
+
+/// Builds the [`KernelConfig`] from `--kernel`.
+fn kernel_from(p: &Parsed) -> Result<KernelConfig, CliError> {
+    match p.get("kernel") {
+        None => Ok(KernelConfig::default()),
+        Some(name) => {
+            let kernel: Kernel = name.parse().map_err(CliError::Usage)?;
+            Ok(KernelConfig::new(kernel))
+        }
+    }
 }
 
 fn outcome_name(o: RunOutcome) -> &'static str {
@@ -204,7 +230,19 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     // command: a slow parse eats into the budget and the (uninterruptible)
     // load is followed by an immediate deadline check inside the estimator.
     let ctl = control_from(p)?;
-    let g = load_graph_with(path, p.has("giant"))?;
+    let kcfg = kernel_from(p)?;
+    let loaded = load_graph_with(path, p.has("giant"))?;
+    // --reorder runs every traversal on the degree-sorted relabelling and
+    // translates the per-vertex outputs back, so ids in the output are
+    // always the input's ids regardless of the flag.
+    let relabel = if p.has("reorder") {
+        let r = loaded.reorder_by_degree();
+        eprintln!("note: --reorder relabelled vertices by descending degree");
+        Some(r)
+    } else {
+        None
+    };
+    let g = relabel.as_ref().map_or(&loaded, |r| &r.graph);
     let rate: f64 = p.get_parse("rate", 0.2).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     let top: usize = p.get_parse("top", 0).map_err(CliError::Usage)?;
@@ -218,10 +256,10 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         num_sources: usize,
         outcome: RunOutcome,
     }
-    let rows = if method_name == "exact" {
+    let mut rows = if method_name == "exact" {
         // Exact computation is all-or-nothing: an expired --timeout comes
         // back as `CentralityError::Interrupted` (exit 4, no output).
-        let f = exact_farness_ctl(&g, &ctl)?;
+        let f = exact_farness_ctl_with(g, &ctl, &kcfg)?;
         let n = f.len();
         Rows {
             values: f,
@@ -236,7 +274,8 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         let est = BricsEstimator::new(method)
             .sample(SampleSize::Fraction(rate))
             .seed(seed)
-            .run_with_control(&g, &ctl)?;
+            .kernel(kcfg)
+            .run_with_control(g, &ctl)?;
         let partial_note = if est.is_partial() {
             format!(" — PARTIAL ({})", outcome_name(est.outcome()))
         } else {
@@ -256,6 +295,11 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
             outcome: est.outcome(),
         }
     };
+    if let Some(r) = &relabel {
+        rows.values = r.to_original_order(&rows.values);
+        rows.sampled = r.to_original_order(&rows.sampled);
+        rows.coverage = r.to_original_order(&rows.coverage);
+    }
 
     let order: Vec<u32> = {
         let mut idx: Vec<u32> = (0..rows.values.len() as u32).collect();
@@ -330,7 +374,8 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     let estimator = BricsEstimator::new(Method::Cumulative)
         .sample(SampleSize::Fraction(rate))
-        .seed(seed);
+        .seed(seed)
+        .kernel(kernel_from(p)?);
     // Top-k promises exact answers, so interruption is an error (exit 4),
     // never a shorter/looser ranking.
     let t = brics::topk::top_k_closeness_ctl(&g, k, &estimator, &ctl)?;
@@ -534,6 +579,29 @@ mod tests {
         assert_eq!(err.exit_code(), 4, "{err}");
         // A generous budget completes normally.
         run(&["farness", path.to_str().unwrap(), "--timeout", "600"]).unwrap();
+    }
+
+    #[test]
+    fn kernel_and_reorder_flags() {
+        let path = tmp("kern.el");
+        run(&["generate", "social", "300", "--seed", "5", "--out", path.to_str().unwrap()])
+            .unwrap();
+        for kernel in ["auto", "topdown", "hybrid"] {
+            run(&["farness", path.to_str().unwrap(), "--method", "random", "--rate", "0.3",
+                  "--kernel", kernel, "--top", "5"])
+                .unwrap();
+        }
+        run(&["farness", path.to_str().unwrap(), "--method", "exact", "--kernel", "hybrid",
+              "--reorder", "--top", "3", "--json"])
+            .unwrap();
+        run(&["farness", path.to_str().unwrap(), "--reorder", "--rate", "0.4"]).unwrap();
+        run(&["topk", path.to_str().unwrap(), "4", "--kernel", "hybrid"]).unwrap();
+        assert_eq!(
+            run(&["farness", path.to_str().unwrap(), "--kernel", "quantum"])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! Estimator configuration and the top-level front door.
 
-use crate::cumulative::cumulative_estimate_ctl;
+use crate::cumulative::cumulative_estimate_ctl_with;
 use crate::reduced::reduced_estimate_ctl;
-use crate::sampling::random_sampling_ctl;
+use crate::sampling::random_sampling_ctl_with;
 use crate::{CentralityError, FarnessEstimate};
 use brics_graph::{CsrGraph, RunControl};
 use brics_reduce::ReductionConfig;
 use serde::{Deserialize, Serialize};
+
+// The kernel tunables live in the graph crate next to the kernels; they
+// are re-exported here because estimator configuration is their public
+// front door (`BricsEstimator::kernel`).
+pub use brics_graph::traversal::{HybridParams, Kernel, KernelConfig};
 
 /// How many BFS sources to use.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -109,13 +114,22 @@ pub struct BricsEstimator {
     /// RNG seed for source selection (estimation is deterministic per seed
     /// up to the bit-identical farness sums, which are order-independent).
     pub seed: u64,
+    /// BFS kernel choice and direction-switching tunables. Purely a
+    /// performance knob: every kernel computes identical distances, so the
+    /// estimate is bit-identical across configs.
+    pub kernel: KernelConfig,
 }
 
 impl BricsEstimator {
     /// Creates an estimator with the paper's default 20 % sampling rate for
     /// the given method.
     pub fn new(method: Method) -> Self {
-        Self { method, sample: SampleSize::Fraction(0.2), seed: 0 }
+        Self {
+            method,
+            sample: SampleSize::Fraction(0.2),
+            seed: 0,
+            kernel: KernelConfig::default(),
+        }
     }
 
     /// Sets the sample size.
@@ -127,6 +141,12 @@ impl BricsEstimator {
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the BFS kernel configuration.
+    pub fn kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -155,10 +175,20 @@ impl BricsEstimator {
             return Err(CentralityError::EmptyGraph);
         }
         match self.method {
-            Method::RandomSampling => random_sampling_ctl(g, self.sample, self.seed, ctl),
-            m if m.uses_bcc() => {
-                cumulative_estimate_ctl(g, &m.reductions(), self.sample, self.seed, ctl)
+            Method::RandomSampling => {
+                random_sampling_ctl_with(g, self.sample, self.seed, ctl, &self.kernel)
             }
+            m if m.uses_bcc() => cumulative_estimate_ctl_with(
+                g,
+                &m.reductions(),
+                self.sample,
+                self.seed,
+                ctl,
+                &self.kernel,
+            ),
+            // The reduced-graph estimators traverse weighted graphs
+            // (contracted chains), where Dial's bucket queue is the only
+            // applicable kernel — the config is deliberately not threaded.
             m => reduced_estimate_ctl(g, &m.reductions(), self.sample, self.seed, ctl),
         }
     }

@@ -6,9 +6,11 @@ use crate::budget::cumulative_run_bytes;
 use crate::config::SampleSize;
 use crate::{CentralityError, FarnessEstimate};
 use brics_bicc::{biconnected_components, BlockCutTree};
-use brics_graph::traversal::{atomic_view, Bfs, DialBfs, WorkerGuard};
+use brics_graph::traversal::{
+    atomic_view, Bfs, DialBfs, HybridBfs, Kernel, KernelConfig, WorkerGuard,
+};
 use brics_graph::weighted::{build_weighted, edge_weight};
-use brics_graph::{CsrGraph, GraphBuilder, NodeId, RunControl, INFINITE_DIST, INVALID_NODE};
+use brics_graph::{CsrGraph, Dist, GraphBuilder, NodeId, RunControl, INFINITE_DIST, INVALID_NODE};
 use brics_reduce::{apply_record, reduce_ctl, ReductionConfig, Removal};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
@@ -107,6 +109,26 @@ pub fn cumulative_estimate(
     cumulative_estimate_ctl(g, reductions, sample, seed, &RunControl::new())
 }
 
+/// Runs the block-local single-source distances for one task: Dial's
+/// bucket queue when the block carries contracted-chain weights, the
+/// direction-optimizing kernel otherwise (unless the config pins the
+/// classic top-down BFS, which Dial's unweighted fast path is).
+fn block_distances<'a>(
+    dial: &'a mut DialBfs,
+    hybrid: &'a mut HybridBfs,
+    ctx: &BlockCtx,
+    source: NodeId,
+    kernel: Kernel,
+) -> &'a [Dist] {
+    if ctx.weights.is_none() && kernel != Kernel::TopDown {
+        hybrid.run_with(&ctx.graph, source, |_, _| {});
+        &hybrid.distances()[..ctx.verts.len()]
+    } else {
+        dial.run_with(&ctx.graph, ctx.weights.as_deref(), source, |_, _| {});
+        &dial.distances()[..ctx.verts.len()]
+    }
+}
+
 /// [`cumulative_estimate`] under a [`RunControl`].
 ///
 /// Interruption granularity is one BFS task. Phase A (cut-vertex BFS,
@@ -125,6 +147,22 @@ pub fn cumulative_estimate_ctl(
     seed: u64,
     ctl: &RunControl,
 ) -> Result<FarnessEstimate, CentralityError> {
+    cumulative_estimate_ctl_with(g, reductions, sample, seed, ctl, &KernelConfig::default())
+}
+
+/// [`cumulative_estimate_ctl`] with an explicit BFS kernel choice. The
+/// kernel applies to unweighted blocks in both phases; blocks whose edges
+/// carry contracted-chain weights always use Dial's bucket queue (the
+/// direction-optimizing heuristic is meaningless under non-unit weights).
+pub fn cumulative_estimate_ctl_with(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+) -> Result<FarnessEstimate, CentralityError> {
+    let kcfg = *kcfg;
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
@@ -301,15 +339,14 @@ pub fn cumulative_estimate_ctl(
     let phase_a: Vec<Option<CutData>> = blocks
         .par_iter()
         .map_init(
-            || (DialBfs::new(64), vec![INFINITE_DIST; n]),
-            |(bfs, gdist), ctx| {
+            || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
+            |(bfs, hyb, gdist), ctx| {
                 guard_a.run_source(ctx.verts[0], || {
                 let nc = ctx.cut_locals.len();
                 let mut sdo = Vec::with_capacity(nc);
                 let mut cd = vec![vec![0u32; nc]; nc];
                 for (ci, &cl) in ctx.cut_locals.iter().enumerate() {
-                    bfs.run_with(&ctx.graph, ctx.weights.as_deref(), cl, |_, _| {});
-                    let dl = &bfs.distances()[..ctx.verts.len()];
+                    let dl = block_distances(bfs, hyb, ctx, cl, kcfg.kernel);
                     for (cj, &cl2) in ctx.cut_locals.iter().enumerate() {
                         cd[ci][cj] = dl[cl2 as usize];
                     }
@@ -411,15 +448,14 @@ pub fn cumulative_estimate_ctl(
     let completed: Vec<bool> = tasks
         .par_iter()
         .map_init(
-        || (DialBfs::new(64), vec![INFINITE_DIST; n]),
-        |(bfs, gdist), &(b, si)| {
+        || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
+        |(bfs, hyb, gdist), &(b, si)| {
             let ctx = &blocks[b as usize];
             let sl = ctx.sources_local[si as usize];
             let s_global = ctx.verts[sl as usize];
             let is_cut_source = ctx.is_cut_local[sl as usize];
             guard_b.run_source(s_global, || {
-            bfs.run_with(&ctx.graph, ctx.weights.as_deref(), sl, |_, _| {});
-            let dl = &bfs.distances()[..ctx.verts.len()];
+            let dl = block_distances(bfs, hyb, ctx, sl, kcfg.kernel);
             // Cut-source constants for the inter terms of this source.
             let (dc, wc) = if is_cut_source {
                 let j = ctx.cut_locals.iter().position(|&l| l == sl).unwrap();
@@ -798,6 +834,31 @@ mod tests {
         let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
         let r = cumulative_estimate(&g, &ReductionConfig::all(), SampleSize::Fraction(1.0), 0);
         assert!(matches!(r, Err(CentralityError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn kernel_choice_is_distance_invariant() {
+        // Every kernel computes identical distances, so the whole pipeline's
+        // output must be bit-identical across kernel configs.
+        let g = web_like(ClassParams::new(300, 8));
+        let run = |kcfg: &KernelConfig| {
+            cumulative_estimate_ctl_with(
+                &g,
+                &ReductionConfig::all(),
+                SampleSize::Fraction(0.5),
+                7,
+                &RunControl::new(),
+                kcfg,
+            )
+            .unwrap()
+        };
+        let base = run(&KernelConfig::new(Kernel::TopDown));
+        for kernel in [Kernel::Auto, Kernel::Hybrid] {
+            let est = run(&KernelConfig::new(kernel));
+            assert_eq!(est.raw(), base.raw(), "kernel {kernel:?}");
+            assert_eq!(est.sampled_mask(), base.sampled_mask());
+            assert_eq!(est.coverage(), base.coverage());
+        }
     }
 
     #[test]

@@ -38,4 +38,4 @@ mod aggregate;
 mod engine;
 mod homing;
 
-pub use engine::{cumulative_estimate, cumulative_estimate_ctl};
+pub use engine::{cumulative_estimate, cumulative_estimate_ctl, cumulative_estimate_ctl_with};

@@ -6,7 +6,7 @@
 
 use crate::budget::exact_run_bytes;
 use crate::CentralityError;
-use brics_graph::traversal::par_bfs_sums_ctl;
+use brics_graph::traversal::{par_bfs_sums_ctl_with, KernelConfig};
 use brics_graph::{CsrGraph, NodeId, RunControl};
 
 /// Computes the exact farness of every vertex.
@@ -24,13 +24,23 @@ pub fn exact_farness(g: &CsrGraph) -> Result<Vec<u64>, CentralityError> {
 /// [`CentralityError::Interrupted`] rather than a partial result. Use the
 /// sampling estimators when partial answers are acceptable.
 pub fn exact_farness_ctl(g: &CsrGraph, ctl: &RunControl) -> Result<Vec<u64>, CentralityError> {
+    exact_farness_ctl_with(g, ctl, &KernelConfig::default())
+}
+
+/// [`exact_farness_ctl`] with an explicit BFS kernel choice. The result is
+/// bit-identical across kernels; the choice only affects wall time.
+pub fn exact_farness_ctl_with(
+    g: &CsrGraph,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+) -> Result<Vec<u64>, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
     ctl.admit_memory(exact_run_bytes(n))?;
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
-    let (rows, outcome) = par_bfs_sums_ctl(g, &sources, ctl)?;
+    let (rows, outcome) = par_bfs_sums_ctl_with(g, &sources, ctl, kcfg)?;
     if !outcome.is_complete() {
         return Err(CentralityError::Interrupted { outcome });
     }

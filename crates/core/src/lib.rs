@@ -69,10 +69,10 @@ pub mod report;
 pub mod sampling;
 pub mod topk;
 
-pub use config::{BricsEstimator, Method, SampleSize};
+pub use config::{BricsEstimator, HybridParams, Kernel, KernelConfig, Method, SampleSize};
 pub use error::CentralityError;
 pub use estimate::FarnessEstimate;
-pub use exact::{exact_farness, exact_farness_ctl};
+pub use exact::{exact_farness, exact_farness_ctl, exact_farness_ctl_with};
 
 // Re-exported so downstream users need only one crate in scope for the
 // common flow (generate → estimate → compare).

@@ -9,7 +9,7 @@
 use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::traversal::par_bfs_accumulate_ctl;
+use brics_graph::traversal::{par_bfs_accumulate_ctl_with, KernelConfig};
 use brics_graph::{CsrGraph, NodeId, RunControl};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
@@ -47,6 +47,21 @@ pub fn random_sampling_ctl(
     seed: u64,
     ctl: &RunControl,
 ) -> Result<FarnessEstimate, CentralityError> {
+    random_sampling_ctl_with(g, sample, seed, ctl, &KernelConfig::default())
+}
+
+/// [`random_sampling_ctl`] with an explicit BFS kernel choice — see
+/// [`brics_graph::traversal::par_bfs_accumulate_ctl_with`] for how the
+/// kernel and the source-vs-frontier parallel split are selected. Every
+/// kernel produces identical distances, so the estimate is bit-identical
+/// across configs; only wall time differs.
+pub fn random_sampling_ctl_with(
+    g: &CsrGraph,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+) -> Result<FarnessEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
@@ -61,7 +76,7 @@ pub fn random_sampling_ctl(
     let sources = draw_sources(n, k, &mut rng);
 
     let mut acc = vec![0u64; n];
-    let run = par_bfs_accumulate_ctl(g, &sources, &mut acc, ctl)?;
+    let run = par_bfs_accumulate_ctl_with(g, &sources, &mut acc, ctl, kcfg)?;
     if run.per_source.iter().flatten().any(|&(reached, _)| reached != n) {
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });

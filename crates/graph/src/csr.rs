@@ -112,6 +112,32 @@ impl CsrGraph {
         &self.targets
     }
 
+    /// Number of arcs stored before `v`'s neighbour list — the CSR prefix
+    /// sum `offsets[v]`. The direction-optimizing switch heuristic uses
+    /// prefix differences to price frontier chunks in arcs rather than
+    /// vertices.
+    #[inline]
+    pub fn arc_prefix(&self, v: NodeId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Total arcs in the half-open vertex range `lo..hi` — `O(1)` via the
+    /// offset prefix sums.
+    #[inline]
+    pub fn arcs_in_range(&self, lo: NodeId, hi: NodeId) -> usize {
+        self.offsets[hi as usize] - self.offsets[lo as usize]
+    }
+
+    /// Relabels vertices by descending degree (ties by original id) —
+    /// opt-in cache-locality preprocessing for the BFS kernels: hubs land
+    /// at small ids, concentrating the hot distance-array and bitmap
+    /// entries on a few cache lines. Returns the relabeled graph together
+    /// with both id maps; translate per-vertex results back with
+    /// [`crate::reorder::Relabeling::to_original_order`].
+    pub fn reorder_by_degree(&self) -> crate::reorder::Relabeling {
+        crate::reorder::degree_relabel(self)
+    }
+
     /// Checks every CSR invariant; returns a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
         if self.offsets.is_empty() {
@@ -248,6 +274,37 @@ mod tests {
     #[should_panic(expected = "invalid CSR")]
     fn from_parts_panics_on_bad_input() {
         CsrGraph::from_parts(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn arc_prefix_matches_offsets() {
+        let g = path5();
+        assert_eq!(g.arc_prefix(0), 0);
+        for v in 0..5u32 {
+            assert_eq!(g.arc_prefix(v), g.offsets()[v as usize]);
+        }
+        assert_eq!(g.arcs_in_range(0, 5), g.num_arcs());
+        assert_eq!(g.arcs_in_range(1, 4), g.degree(1) + g.degree(2) + g.degree(3));
+        assert_eq!(g.arcs_in_range(2, 2), 0);
+    }
+
+    #[test]
+    fn reorder_by_degree_sorts_hubs_first() {
+        let mut b = GraphBuilder::new(5);
+        // Star centred on 4 plus one extra edge: degrees [2,1,1,1,5... ]
+        for leaf in 0..4 {
+            b.add_edge(4, leaf);
+        }
+        b.add_edge(0, 1);
+        let g = b.build();
+        let r = g.reorder_by_degree();
+        assert_eq!(r.graph.num_nodes(), 5);
+        assert!(r.graph.validate().is_ok());
+        // Highest-degree vertex (old 4) becomes new 0.
+        assert_eq!(r.old_of_new[0], 4);
+        assert_eq!(r.new_of_old[4], 0);
+        let degs: Vec<usize> = r.graph.nodes().map(|v| r.graph.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degrees descending: {degs:?}");
     }
 
     #[test]

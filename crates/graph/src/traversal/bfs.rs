@@ -26,9 +26,19 @@ impl Bfs {
     }
 
     /// Grows the scratch space if the graph is larger than at construction.
+    ///
+    /// Also reserves queue/touched capacity up front so the first traversal
+    /// of a larger graph doesn't reallocate mid-BFS (both can hold up to
+    /// `n` entries by the time a run finishes).
     pub fn resize(&mut self, n: usize) {
         if self.dist.len() < n {
             self.dist.resize(n, INFINITE_DIST);
+        }
+        if self.queue.capacity() < n {
+            self.queue.reserve(n - self.queue.len());
+        }
+        if self.touched.capacity() < n {
+            self.touched.reserve(n - self.touched.len());
         }
     }
 
@@ -181,6 +191,15 @@ mod tests {
     fn single_vertex() {
         let g = GraphBuilder::new(1).build();
         assert_eq!(bfs_distances(&g, 0), vec![0]);
+    }
+
+    #[test]
+    fn resize_reserves_traversal_capacity() {
+        let mut bfs = Bfs::new(0);
+        bfs.resize(64);
+        assert_eq!(bfs.dist.len(), 64);
+        assert!(bfs.queue.capacity() >= 64, "queue capacity reserved");
+        assert!(bfs.touched.capacity() >= 64, "touched capacity reserved");
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Dense vertex bitmaps for the direction-optimizing BFS kernels.
+//!
+//! The bottom-up step asks "does unvisited `u` have a neighbour in the
+//! current frontier?" — a membership test per scanned arc. A `Vec<u64>`
+//! bitmap answers it in one load + mask, and its word granularity is also
+//! what the frontier-parallel kernel needs: workers publish discoveries
+//! with a single `fetch_or` per vertex.
+
+use crate::NodeId;
+use std::sync::atomic::AtomicU64;
+
+const WORD_BITS: usize = 64;
+
+/// A bitmap over vertex ids `0..capacity`, packed into 64-bit words.
+#[derive(Clone, Debug, Default)]
+pub struct FrontierBitmap {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl FrontierBitmap {
+    /// An all-zero bitmap able to hold vertex ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(WORD_BITS)], capacity: n }
+    }
+
+    /// Number of vertex ids the bitmap can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grows the bitmap (zero-filled) if `n` exceeds the current capacity.
+    pub fn resize(&mut self, n: usize) {
+        if n > self.capacity {
+            self.words.resize(n.div_ceil(WORD_BITS), 0);
+            self.capacity = n;
+        }
+    }
+
+    /// Clears every bit. `O(capacity / 64)`.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets the bit for vertex `v`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId) {
+        let v = v as usize;
+        self.words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
+    }
+
+    /// Whether the bit for vertex `v` is set.
+    #[inline]
+    pub fn test(&self, v: NodeId) -> bool {
+        let v = v as usize;
+        self.words[v / WORD_BITS] & (1u64 << (v % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears the bitmap and sets exactly the given vertices.
+    pub fn fill_from(&mut self, vs: &[NodeId]) {
+        self.clear();
+        for &v in vs {
+            self.set(v);
+        }
+    }
+
+    /// Iterates the set vertex ids in ascending order.
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Reinterprets the word storage as atomics so parallel workers can
+    /// publish bits with `fetch_or`. Safe for the same reason as
+    /// [`crate::traversal::atomic_view`]: `AtomicU64` is `repr(transparent)`
+    /// over `u64` and the exclusive borrow rules out unsynchronised access.
+    pub fn atomic_words(&mut self) -> &[AtomicU64] {
+        unsafe {
+            std::slice::from_raw_parts(self.words.as_ptr() as *const AtomicU64, self.words.len())
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`FrontierBitmap`], ascending.
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.word_index * WORD_BITS) as NodeId + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn set_test_clear() {
+        let mut b = FrontierBitmap::new(130);
+        assert_eq!(b.capacity(), 130);
+        assert!(!b.test(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.test(0) && b.test(63) && b.test(64) && b.test(129));
+        assert!(!b.test(1) && !b.test(128));
+        assert_eq!(b.count_ones(), 4);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_set_ascending() {
+        let mut b = FrontierBitmap::new(200);
+        let vs = [3u32, 64, 65, 127, 128, 199];
+        for &v in &vs {
+            b.set(v);
+        }
+        let got: Vec<NodeId> = b.iter_set().collect();
+        assert_eq!(got, vs);
+    }
+
+    #[test]
+    fn fill_from_replaces_contents() {
+        let mut b = FrontierBitmap::new(70);
+        b.set(5);
+        b.fill_from(&[1, 69]);
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![1, 69]);
+    }
+
+    #[test]
+    fn resize_preserves_bits() {
+        let mut b = FrontierBitmap::new(10);
+        b.set(7);
+        b.resize(500);
+        assert!(b.test(7));
+        b.set(499);
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn empty_bitmap_iterates_nothing() {
+        let b = FrontierBitmap::new(0);
+        assert_eq!(b.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn atomic_words_publish_bits() {
+        let mut b = FrontierBitmap::new(128);
+        let words = b.atomic_words();
+        words[1].fetch_or(1u64 << 3, Ordering::Relaxed);
+        assert!(b.test(67));
+    }
+}

@@ -9,12 +9,19 @@
 
 mod bfs;
 mod dial;
+mod frontier;
+mod hybrid;
 mod parallel;
 
 pub use bfs::{bfs_distances, Bfs};
 pub use dial::DialBfs;
+pub use frontier::{FrontierBitmap, SetBits};
+pub use hybrid::{
+    HybridBfs, HybridParams, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel,
+};
 pub use parallel::{
-    atomic_view, par_bfs_accumulate, par_bfs_accumulate_ctl, par_bfs_from_sources,
-    par_bfs_from_sources_ctl, par_bfs_sums_ctl, AccumulatorStats, ControlledAccumulation,
+    atomic_view, atomic_view_u32, par_bfs_accumulate, par_bfs_accumulate_ctl,
+    par_bfs_accumulate_ctl_with, par_bfs_from_sources, par_bfs_from_sources_ctl,
+    par_bfs_sums_ctl, par_bfs_sums_ctl_with, AccumulatorStats, ControlledAccumulation,
     WorkerGuard, WorkerPanic,
 };

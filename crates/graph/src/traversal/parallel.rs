@@ -1,18 +1,27 @@
-//! Rayon-parallel multi-source BFS.
+//! Rayon-parallel multi-source BFS, plus the kernel-selection scheduler.
 //!
-//! Parallelism is over *sources*: each worker owns a private [`Bfs`] scratch
-//! (via `map_init`) and publishes per-vertex distance sums into a shared
-//! atomic accumulator. This mirrors the paper's OpenMP loop over sampled
-//! vertices (Algorithm 1 line 3, Algorithm 5 line 5) and keeps memory at
-//! `O(n)` total rather than `O(n·k)` — the same space optimisation §II-A
-//! describes.
+//! The default parallelism is over *sources*: each worker owns a private
+//! serial BFS scratch (via `map_init`) and publishes per-vertex distance
+//! sums into a shared atomic accumulator. This mirrors the paper's OpenMP
+//! loop over sampled vertices (Algorithm 1 line 3, Algorithm 5 line 5) and
+//! keeps memory at `O(n)` total rather than `O(n·k)` — the same space
+//! optimisation §II-A describes.
+//!
+//! Source-parallelism strands cores when a call carries fewer sources than
+//! threads (small `k`, or one giant block after reduction). The `_with`
+//! entry points therefore take a [`KernelConfig`] and switch to the
+//! frontier-parallel engine ([`ParFrontierBfs`]) in exactly that regime:
+//! sources run one after another, but each traversal spreads its levels
+//! across the pool. See [`KernelConfig::frontier_parallel_applies`] for the
+//! decision rule and DESIGN.md §"Kernel selection" for the rationale.
 
 use super::bfs::Bfs;
+use super::hybrid::{HybridBfs, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel};
 use crate::control::{panic_message, RunControl, RunOutcome};
-use crate::{CsrGraph, Dist, NodeId};
+use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 /// Reinterprets an exclusively-held `u64` slice as atomics so rayon workers
@@ -20,6 +29,14 @@ use std::sync::Mutex;
 /// over `u64` and the exclusive borrow guarantees no other access.
 pub fn atomic_view(acc: &mut [u64]) -> &[AtomicU64] {
     unsafe { std::slice::from_raw_parts(acc.as_ptr() as *const AtomicU64, acc.len()) }
+}
+
+/// `u32` analogue of [`atomic_view`], used by the frontier-parallel kernel
+/// to let workers claim vertices in the distance array with
+/// `compare_exchange`. Same safety argument: `AtomicU32` is
+/// `repr(transparent)` over `u32` and the `&mut` borrow is exclusive.
+pub fn atomic_view_u32(dist: &mut [u32]) -> &[AtomicU32] {
+    unsafe { std::slice::from_raw_parts(dist.as_ptr() as *const AtomicU32, dist.len()) }
 }
 
 /// Summary statistics of a multi-source accumulation run.
@@ -45,6 +62,10 @@ pub fn par_bfs_accumulate(
     sources: &[NodeId],
     acc: &mut [u64],
 ) -> (Vec<(usize, u64)>, AccumulatorStats) {
+    // Also asserted by the controlled path below; checked here so the
+    // uncontrolled entry point reports the caller's mistake directly
+    // rather than from inside the delegate.
+    assert!(acc.len() >= g.num_nodes(), "accumulator too small");
     let run = par_bfs_accumulate_ctl(g, sources, acc, &RunControl::new())
         .unwrap_or_else(|p| panic!("BFS worker panicked: {}", p.detail));
     debug_assert!(run.outcome.is_complete());
@@ -191,38 +212,142 @@ impl<'c> WorkerGuard<'c> {
 /// `acc` holds complete contributions of exactly the `Some` sources.
 /// On `Err` (worker panic) `acc` may hold a torn contribution and must be
 /// discarded.
+///
+/// Uses the default [`KernelConfig`] (direction-optimizing, frontier-parallel
+/// when applicable); [`par_bfs_accumulate_ctl_with`] takes an explicit one.
 pub fn par_bfs_accumulate_ctl(
     g: &CsrGraph,
     sources: &[NodeId],
     acc: &mut [u64],
     ctl: &RunControl,
 ) -> Result<ControlledAccumulation, WorkerPanic> {
+    par_bfs_accumulate_ctl_with(g, sources, acc, ctl, &KernelConfig::default())
+}
+
+/// [`par_bfs_accumulate_ctl`] with an explicit kernel choice. This is the
+/// scheduler: it picks frontier-parallel execution when the kernel allows
+/// it and `sources.len() < rayon::current_num_threads()` (each serial BFS
+/// would strand the remaining cores), otherwise runs the configured serial
+/// kernel parallel over sources.
+///
+/// The soundness contract is identical in every mode: on interruption,
+/// `acc` holds complete contributions of exactly the `Some` sources. The
+/// frontier-parallel engine checks the control at *level* granularity and
+/// discards the partial traversal of an interrupted source before anything
+/// is published.
+pub fn par_bfs_accumulate_ctl_with(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    acc: &mut [u64],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+) -> Result<ControlledAccumulation, WorkerPanic> {
     assert!(acc.len() >= g.num_nodes(), "accumulator too small");
-    let atomic_acc = atomic_view(acc);
-    let guard = WorkerGuard::new(ctl);
+    let per_source = if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads())
+    {
+        frontier_parallel_rows(g, sources, ctl, cfg, Some(acc))?
+    } else {
+        match cfg.kernel {
+            Kernel::TopDown => source_parallel_rows::<Bfs>(g, sources, ctl, cfg, Some(acc))?,
+            Kernel::Auto | Kernel::Hybrid => {
+                source_parallel_rows::<HybridBfs>(g, sources, ctl, cfg, Some(acc))?
+            }
+        }
+    };
+    Ok(finish_accumulation(per_source))
+}
 
-    let per_source: Vec<Option<(usize, u64)>> = sources
-        .par_iter()
-        .map_init(
-            || Bfs::new(g.num_nodes()),
-            |bfs, &s| {
-                guard.run_source(s, || {
-                    bfs.run_with(g, s, |v, d| {
-                        if d > 0 {
-                            atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
-                        }
-                    })
-                })
-            },
-        )
-        .collect();
-
-    let outcome = guard.finish()?;
+/// Folds per-source rows into the [`ControlledAccumulation`] summary.
+fn finish_accumulation(
+    (per_source, outcome): (Vec<Option<(usize, u64)>>, RunOutcome),
+) -> ControlledAccumulation {
     let stats = AccumulatorStats {
         num_sources: per_source.iter().flatten().count(),
         total_visited: per_source.iter().flatten().map(|&(r, _)| r as u64).sum(),
     };
-    Ok(ControlledAccumulation { per_source, stats, outcome })
+    ControlledAccumulation { per_source, stats, outcome }
+}
+
+/// Source-parallel driver, generic over the serial kernel. When `acc` is
+/// given, every visited vertex's distance is added into it atomically
+/// (excluding the source itself at distance 0).
+fn source_parallel_rows<K: SerialBfsKernel>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+    acc: Option<&mut [u64]>,
+) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    let atomic_acc = acc.map(atomic_view);
+    let guard = WorkerGuard::new(ctl);
+    let rows: Vec<Option<(usize, u64)>> = sources
+        .par_iter()
+        .map_init(
+            || K::for_config(g.num_nodes(), cfg),
+            |bfs, &s| {
+                guard.run_source(s, || match atomic_acc {
+                    Some(atomic_acc) => bfs.run_with_visit(g, s, |v, d| {
+                        if d > 0 {
+                            atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                        }
+                    }),
+                    None => bfs.run_with_visit(g, s, |_, _| {}),
+                })
+            },
+        )
+        .collect();
+    let outcome = guard.finish()?;
+    Ok((rows, outcome))
+}
+
+/// Frontier-parallel driver: sources run serially, each traversal using the
+/// whole pool. Contributions are published into `acc` only after a source's
+/// traversal completes, so an interruption (checked per level inside
+/// [`ParFrontierBfs::run_ctl`]) leaves `acc` holding exactly the completed
+/// sources — the same contract as the source-parallel path.
+fn frontier_parallel_rows(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+    mut acc: Option<&mut [u64]>,
+) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    let n = g.num_nodes();
+    let mut engine = ParFrontierBfs::with_params(n, cfg.params);
+    let mut rows: Vec<Option<(usize, u64)>> = Vec::with_capacity(sources.len());
+    let mut stopped: Option<RunOutcome> = None;
+    for &s in sources {
+        if stopped.is_some() {
+            rows.push(None);
+            continue;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if ctl.injected_panic_for(s) {
+                panic!("injected worker panic (test hook) on source {s}");
+            }
+            engine.run_ctl(g, s, ctl)
+        }));
+        match result {
+            Err(payload) => {
+                return Err(WorkerPanic { detail: panic_message(payload.as_ref()) });
+            }
+            Ok(Err(cause)) => {
+                stopped = Some(cause);
+                rows.push(None);
+            }
+            Ok(Ok((reached, sum))) => {
+                if let Some(acc) = acc.as_deref_mut() {
+                    for (v, &d) in engine.distances()[..n].iter().enumerate() {
+                        if d > 0 && d != INFINITE_DIST {
+                            acc[v] += d as u64;
+                        }
+                    }
+                }
+                rows.push(Some((reached, sum)));
+            }
+        }
+    }
+    Ok((rows, stopped.unwrap_or(RunOutcome::Complete)))
 }
 
 /// Runs one BFS per source in parallel, returning the full distance array of
@@ -249,16 +374,26 @@ pub fn par_bfs_sums_ctl(
     sources: &[NodeId],
     ctl: &RunControl,
 ) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
-    let guard = WorkerGuard::new(ctl);
-    let rows: Vec<Option<(usize, u64)>> = sources
-        .par_iter()
-        .map_init(
-            || Bfs::new(g.num_nodes()),
-            |bfs, &s| guard.run_source(s, || bfs.run_with(g, s, |_, _| {})),
-        )
-        .collect();
-    let outcome = guard.finish()?;
-    Ok((rows, outcome))
+    par_bfs_sums_ctl_with(g, sources, ctl, &KernelConfig::default())
+}
+
+/// [`par_bfs_sums_ctl`] with an explicit kernel choice; same scheduling
+/// rule as [`par_bfs_accumulate_ctl_with`].
+pub fn par_bfs_sums_ctl_with(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
+        return frontier_parallel_rows(g, sources, ctl, cfg, None);
+    }
+    match cfg.kernel {
+        Kernel::TopDown => source_parallel_rows::<Bfs>(g, sources, ctl, cfg, None),
+        Kernel::Auto | Kernel::Hybrid => {
+            source_parallel_rows::<HybridBfs>(g, sources, ctl, cfg, None)
+        }
+    }
 }
 
 /// Controlled variant of [`par_bfs_from_sources`]: rows of interrupted
@@ -458,5 +593,136 @@ mod tests {
         assert_eq!(outcome, RunOutcome::Complete);
         assert_eq!(rows[0].as_deref().unwrap(), &bfs_distances(&g, 2)[..]);
         assert_eq!(rows[1].as_deref().unwrap(), &bfs_distances(&g, 6)[..]);
+    }
+
+    /// Runs `f` inside a pool that reports `threads` workers, so the
+    /// scheduler's frontier-parallel branch is reachable on any machine.
+    fn in_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(f)
+    }
+
+    #[test]
+    fn atomic_view_u32_claims_vertices() {
+        let mut dist = vec![crate::INFINITE_DIST; 8];
+        let view = atomic_view_u32(&mut dist);
+        assert!(view[3]
+            .compare_exchange(crate::INFINITE_DIST, 2, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok());
+        assert!(view[3]
+            .compare_exchange(crate::INFINITE_DIST, 5, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err());
+        view[0].store(0, Ordering::Relaxed);
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[3], 2);
+        assert_eq!(dist[7], crate::INFINITE_DIST);
+    }
+
+    #[test]
+    fn frontier_parallel_atomic_publication_is_sound() {
+        // Exercises the CAS claim (top-down) and bitmap fetch_or (bottom-up)
+        // under a real multi-thread pool; named to match CI's Miri filter.
+        in_pool(2, || {
+            let g = grid3x3();
+            let mut engine = crate::traversal::ParFrontierBfs::with_params(
+                9,
+                crate::traversal::HybridParams::eager_bottom_up(),
+            );
+            let (reached, sum) = engine.run(&g, 4);
+            assert_eq!(reached, 9);
+            assert_eq!(sum, 12);
+            assert_eq!(&engine.distances()[..9], &bfs_distances(&g, 4)[..]);
+        });
+    }
+
+    #[test]
+    fn kernel_variants_match_topdown_accumulation() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![0, 4, 8];
+        let mut expect = vec![0u64; 9];
+        let td = KernelConfig::new(Kernel::TopDown);
+        par_bfs_accumulate_ctl_with(&g, &sources, &mut expect, &RunControl::new(), &td).unwrap();
+        for kernel in [Kernel::Auto, Kernel::Hybrid] {
+            let mut acc = vec![0u64; 9];
+            let cfg = KernelConfig::new(kernel);
+            let run =
+                par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
+                    .unwrap();
+            assert_eq!(acc, expect, "kernel {:?}", kernel);
+            assert_eq!(run.stats.num_sources, 3);
+        }
+    }
+
+    #[test]
+    fn frontier_parallel_path_matches_source_parallel() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![4, 7];
+        let mut expect = vec![0u64; 9];
+        let (per_expect, _) = par_bfs_accumulate(&g, &sources, &mut expect);
+        let cfg = KernelConfig::default();
+        in_pool(4, || {
+            assert!(cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()));
+            let mut acc = vec![0u64; 9];
+            let run =
+                par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
+                    .unwrap();
+            assert_eq!(acc, expect);
+            let want: Vec<_> = per_expect.iter().map(|&p| Some(p)).collect();
+            assert_eq!(run.per_source, want);
+            assert_eq!(run.outcome, RunOutcome::Complete);
+        });
+    }
+
+    #[test]
+    fn frontier_parallel_expired_deadline_leaves_acc_untouched() {
+        in_pool(4, || {
+            let g = grid3x3();
+            let mut acc = vec![0u64; 9];
+            let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+            let run =
+                par_bfs_accumulate_ctl_with(&g, &[0, 8], &mut acc, &ctl, &KernelConfig::default())
+                    .unwrap();
+            assert_eq!(run.outcome, RunOutcome::Deadline);
+            assert!(run.per_source.iter().all(Option::is_none));
+            assert_eq!(run.stats.num_sources, 0);
+            assert!(acc.iter().all(|&x| x == 0), "interrupted run must not touch acc");
+        });
+    }
+
+    #[test]
+    fn frontier_parallel_injected_panic_is_captured() {
+        in_pool(4, || {
+            let g = grid3x3();
+            let ctl = RunControl::new().with_injected_panic(8);
+            let mut acc = vec![0u64; 9];
+            let err =
+                par_bfs_accumulate_ctl_with(&g, &[0, 8], &mut acc, &ctl, &KernelConfig::default())
+                    .unwrap_err();
+            assert!(err.detail.contains("source 8"), "got: {}", err.detail);
+        });
+    }
+
+    #[test]
+    fn sums_agree_across_kernels() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let (expect, _) = par_bfs_sums_ctl(&g, &sources, &RunControl::new()).unwrap();
+        for cfg in [KernelConfig::new(Kernel::TopDown), KernelConfig::new(Kernel::Hybrid)] {
+            let (rows, outcome) =
+                par_bfs_sums_ctl_with(&g, &sources, &RunControl::new(), &cfg).unwrap();
+            assert_eq!(rows, expect);
+            assert!(outcome.is_complete());
+        }
+        // Frontier-parallel branch: one source, wide pool.
+        in_pool(4, || {
+            let (rows, outcome) =
+                par_bfs_sums_ctl_with(&g, &sources[..1], &RunControl::new(), &KernelConfig::default())
+                    .unwrap();
+            assert_eq!(rows[0], expect[0]);
+            assert!(outcome.is_complete());
+        });
     }
 }

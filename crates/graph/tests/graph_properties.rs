@@ -5,8 +5,11 @@ use brics_graph::generators::{
     barabasi_albert, gnm_random_connected, rmat, ClassParams, GraphClass,
 };
 use brics_graph::io::{read_edge_list_from, read_mtx_from, write_edge_list_to, write_mtx_to};
-use brics_graph::traversal::{bfs_distances, DialBfs};
-use brics_graph::{GraphBuilder, NodeId};
+use brics_graph::traversal::{
+    bfs_distances, par_bfs_accumulate_ctl_with, DialBfs, HybridBfs, HybridParams, Kernel,
+    KernelConfig, ParFrontierBfs,
+};
+use brics_graph::{GraphBuilder, NodeId, RunControl, RunOutcome, INFINITE_DIST};
 use proptest::prelude::*;
 
 /// Arbitrary edge soup over up to 30 vertices — may contain self-loops,
@@ -65,6 +68,84 @@ proptest! {
         for s in 0..n as NodeId {
             dial.run_with(&g, None, s, |_, _| {});
             prop_assert_eq!(&dial.distances()[..n], &bfs_distances(&g, s)[..]);
+        }
+    }
+
+    /// The direction-optimizing and frontier-parallel kernels agree with
+    /// plain BFS — identical distance arrays and `(reached, Σd)` — for
+    /// every heuristic preset, on arbitrary (possibly disconnected) soups.
+    #[test]
+    fn kernels_agree_on_any_soup((n, edges) in edge_soup(), s_raw in 0u32..30) {
+        let g = GraphBuilder::from_edges(n, &edges);
+        let s = s_raw % n as u32;
+        let reference = bfs_distances(&g, s);
+        let finite = reference.iter().filter(|&&d| d != INFINITE_DIST);
+        let expect = (finite.clone().count(), finite.map(|&d| d as u64).sum::<u64>());
+        for params in [
+            HybridParams::default(),
+            HybridParams::always_top_down(),
+            HybridParams::eager_bottom_up(),
+        ] {
+            let mut hy = HybridBfs::with_params(n, params);
+            let got = hy.run_with(&g, s, |_, _| {});
+            prop_assert_eq!(&hy.distances()[..n], &reference[..]);
+            prop_assert_eq!(got, expect);
+            let mut fp = ParFrontierBfs::with_params(n, params);
+            let got = fp.run(&g, s);
+            prop_assert_eq!(&fp.distances()[..n], &reference[..]);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Farness accumulation is bit-identical across every kernel config
+    /// and both scheduler paths (source-parallel and, inside a 4-thread
+    /// pool with fewer sources than threads, frontier-parallel).
+    #[test]
+    fn accumulation_invariant_across_kernels(n in 10usize..60, seed in any::<u64>()) {
+        let g = gnm_random_connected(n, 2 * n, seed);
+        let sources = [0 as NodeId, (n / 2) as NodeId];
+        let mut baseline = vec![0u64; n];
+        par_bfs_accumulate_ctl_with(
+            &g, &sources, &mut baseline, &RunControl::new(),
+            &KernelConfig::new(Kernel::TopDown),
+        ).unwrap();
+        for kernel in [Kernel::Auto, Kernel::Hybrid] {
+            let cfg = KernelConfig::new(kernel);
+            let mut acc = vec![0u64; n];
+            par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
+                .unwrap();
+            prop_assert_eq!(&acc, &baseline);
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            let mut acc = vec![0u64; n];
+            pool.install(|| {
+                par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
+            }).unwrap();
+            prop_assert_eq!(&acc, &baseline);
+        }
+    }
+
+    /// An already-expired deadline leaves the accumulator untouched and
+    /// reports every source as skipped — the same partial-soundness
+    /// contract for every kernel and both scheduler paths.
+    #[test]
+    fn expired_deadline_sound_across_kernels(n in 10usize..50, seed in any::<u64>()) {
+        let g = gnm_random_connected(n, 2 * n, seed);
+        let sources = [0 as NodeId, 1 as NodeId];
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        for kernel in [Kernel::TopDown, Kernel::Auto, Kernel::Hybrid] {
+            for threads in [1usize, 4] {
+                let pool =
+                    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+                let mut acc = vec![0u64; n];
+                let run = pool.install(|| {
+                    par_bfs_accumulate_ctl_with(
+                        &g, &sources, &mut acc, &ctl, &KernelConfig::new(kernel),
+                    )
+                }).unwrap();
+                prop_assert_eq!(run.outcome, RunOutcome::Deadline);
+                prop_assert!(run.per_source.iter().all(Option::is_none));
+                prop_assert!(acc.iter().all(|&x| x == 0));
+            }
         }
     }
 
