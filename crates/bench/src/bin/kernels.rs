@@ -14,9 +14,10 @@
 
 use brics_bench::kernels::{
     equivalent, kernel_inputs, measure_frontier_parallel, measure_hybrid, measure_topdown,
-    spread_sources, KernelMeasurement,
+    recorded_sweep, spread_sources, KernelMeasurement,
 };
 use brics_bench::{scale_from_env, TableWriter};
+use brics_graph::telemetry::RunRecorder;
 use brics_graph::traversal::HybridParams;
 
 struct Opts {
@@ -117,6 +118,11 @@ fn main() {
         let td = measure_topdown(g, &sources, opts.reps);
         let hy = measure_hybrid(g, &sources, opts.reps, params);
         let fp = pool.install(|| measure_frontier_parallel(g, &sources, opts.reps, params));
+        // One extra, untimed recorded pass per graph: per-phase spans plus
+        // direction-switch/frontier counters for the report, kept out of
+        // the timed loops so it cannot perturb the measurements.
+        let rec = RunRecorder::new();
+        pool.install(|| recorded_sweep(g, &sources, params, &rec));
         let runs = [td, hy, fp];
         let ok = equivalent(&runs);
         all_equal &= ok;
@@ -154,6 +160,7 @@ fn main() {
             })).collect::<Vec<_>>(),
             "speedup_hybrid_vs_topdown": hyb_speedup,
             "speedup_frontier_vs_serial_hybrid": fp_speedup,
+            "telemetry": rec.report(),
         }));
     }
     print!("{}", table.render());

@@ -5,6 +5,7 @@
 //! run doubles as a distance-equivalence test.
 
 use brics_graph::generators::{complete_graph, gnm_random_connected, ClassParams, GraphClass};
+use brics_graph::telemetry::{timed, Counter, Recorder};
 use brics_graph::traversal::{Bfs, HybridBfs, HybridParams, ParFrontierBfs};
 use brics_graph::{CsrGraph, NodeId};
 use std::time::Instant;
@@ -153,6 +154,64 @@ pub fn measure_frontier_parallel(
     finish("frontier-parallel", g, sources.len(), totals)
 }
 
+/// One untimed, fully-recorded sweep over the same sources the timed
+/// measurements use. Each kernel runs once under its own phase span
+/// (`bench.topdown` / `bench.hybrid` / `bench.frontier_parallel`), every
+/// pass charges the bench edge convention (`num_arcs` per source, the same
+/// denominator [`KernelMeasurement::mteps`] uses), and the
+/// direction-optimizing passes harvest per-source
+/// [`TraversalStats`](brics_graph::traversal::TraversalStats) into the
+/// kernel counters. Does nothing when the recorder is disabled. Call it
+/// inside the same `rayon` pool as [`measure_frontier_parallel`] and keep
+/// it *outside* the timed measurements — the recorded pass exists to
+/// explain the numbers, not to perturb them.
+pub fn recorded_sweep<R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    params: HybridParams,
+    rec: &R,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let charge = |reached: usize| {
+        rec.incr(Counter::BfsSources);
+        rec.add(Counter::VerticesVisited, reached as u64);
+        rec.add(Counter::EdgesScanned, g.num_arcs() as u64);
+    };
+    timed(rec, "bench.topdown", || {
+        let mut bfs = Bfs::new(g.num_nodes());
+        for &s in sources {
+            let (reached, _) = bfs.run_with(g, s, |_, _| {});
+            charge(reached);
+        }
+    });
+    timed(rec, "bench.hybrid", || {
+        let mut bfs = HybridBfs::with_params(g.num_nodes(), params);
+        for &s in sources {
+            let (reached, _) = bfs.run_with(g, s, |_, _| {});
+            charge(reached);
+            let st = bfs.last_stats();
+            rec.add(Counter::FrontierLevels, st.levels);
+            rec.add(Counter::BottomUpLevels, st.bottom_up_levels);
+            rec.add(Counter::DirectionSwitches, st.direction_switches);
+            rec.max(Counter::PeakFrontier, st.peak_frontier);
+        }
+    });
+    timed(rec, "bench.frontier_parallel", || {
+        let mut bfs = ParFrontierBfs::with_params(g.num_nodes(), params);
+        for &s in sources {
+            let (reached, _) = bfs.run(g, s);
+            charge(reached);
+            let st = bfs.last_stats();
+            rec.add(Counter::FrontierLevels, st.levels);
+            rec.add(Counter::BottomUpLevels, st.bottom_up_levels);
+            rec.add(Counter::DirectionSwitches, st.direction_switches);
+            rec.max(Counter::PeakFrontier, st.peak_frontier);
+        }
+    });
+}
+
 /// Whether every measurement reached the same vertices with the same
 /// total distance mass — the run-time distance-equivalence verdict.
 pub fn equivalent(measurements: &[KernelMeasurement]) -> bool {
@@ -190,6 +249,30 @@ mod tests {
         assert!(equivalent(&ms));
         assert_eq!(ms[0].total_reached, 8 * 300);
         assert!(ms.iter().all(|m| m.checksum > 0 && m.mteps > 0.0));
+    }
+
+    #[test]
+    fn recorded_sweep_charges_all_three_kernels() {
+        use brics_graph::telemetry::{NullRecorder, RunRecorder};
+        let g = gnm_random_connected(200, 1600, 9);
+        let sources = spread_sources(g.num_nodes(), 6);
+        let rec = RunRecorder::new();
+        recorded_sweep(&g, &sources, HybridParams::default(), &rec);
+        assert_eq!(rec.counter(Counter::BfsSources), 3 * 6);
+        assert_eq!(rec.counter(Counter::VerticesVisited), 3 * 6 * 200);
+        assert_eq!(rec.counter(Counter::EdgesScanned), (3 * 6 * g.num_arcs()) as u64);
+        assert!(rec.counter(Counter::FrontierLevels) > 0);
+        assert!(rec.counter(Counter::PeakFrontier) > 0);
+        let report = rec.report();
+        for phase in ["bench.topdown", "bench.hybrid", "bench.frontier_parallel"] {
+            assert!(
+                report.phases.iter().any(|p| p.name == phase && p.count == 1),
+                "missing span {phase}"
+            );
+        }
+        assert!(report.derived.mteps > 0.0);
+        // Disabled recorder: the sweep must be a no-op.
+        recorded_sweep(&g, &sources, HybridParams::default(), &NullRecorder);
     }
 
     #[test]

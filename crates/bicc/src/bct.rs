@@ -35,7 +35,23 @@ pub struct BlockCutTree {
 impl BlockCutTree {
     /// Decomposes `g` and assembles its Block-Cut Tree.
     pub fn build(g: &CsrGraph) -> Self {
-        Self::from_biconnectivity(g.num_nodes(), biconnected_components(g))
+        Self::build_rec(g, &brics_graph::telemetry::NullRecorder)
+    }
+
+    /// [`BlockCutTree::build`] with a telemetry [`Recorder`]: records a
+    /// `bct.build` span plus the block / cut-vertex counts. The recorder
+    /// only observes; the tree is identical with
+    /// [`NullRecorder`](brics_graph::telemetry::NullRecorder).
+    pub fn build_rec<R: brics_graph::telemetry::Recorder>(g: &CsrGraph, rec: &R) -> Self {
+        use brics_graph::telemetry::Counter;
+        let bct = brics_graph::telemetry::timed(rec, "bct.build", || {
+            Self::from_biconnectivity(g.num_nodes(), biconnected_components(g))
+        });
+        if rec.enabled() {
+            rec.add(Counter::BctBlocks, bct.num_blocks() as u64);
+            rec.add(Counter::BctCutVertices, bct.num_cut_vertices() as u64);
+        }
+        bct
     }
 
     /// Assembles the BCT from a precomputed decomposition.

@@ -3,16 +3,17 @@
 use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
-    exact_farness_ctl_with, BricsEstimator, Kernel, KernelConfig, Method, RunControl, RunOutcome,
-    SampleSize,
+    exact_farness_ctl_rec, BricsEstimator, Kernel, KernelConfig, Method, RunControl, RunOutcome,
+    RunRecorder, SampleSize,
 };
 use brics_bicc::biconnected_components;
+use brics_graph::telemetry::{record_outcome, timed, Counter, Recorder};
 use brics_graph::connectivity::{is_connected, make_connected};
 use brics_graph::degree::degree_stats;
 use brics_graph::generators::{ClassParams, GraphClass};
 use brics_graph::io::{read_edge_list, read_metis, read_mtx, write_edge_list, write_metis, write_mtx};
 use brics_graph::CsrGraph;
-use brics_reduce::{reduce, ReductionConfig};
+use brics_reduce::{reduce_ctl_rec, ReductionConfig};
 
 const HELP: &str = "\
 brics — farness/closeness centrality estimation (BRICS reproduction)
@@ -60,6 +61,16 @@ EXECUTION LIMITS (farness, topk, betweenness):
                      promise exact answers) and exit 4 with no output.
   --max-mem-mb N     Refuse up-front (exit 3) if the run's dominant
                      allocations would exceed N MiB.
+
+TELEMETRY (every command):
+  --metrics PATH     Write a machine-readable run report — JSON with the
+                     stable schema `brics.run_report/v1`: per-phase
+                     wall-time spans, kernel/reduction counters (BFS
+                     sources, edges scanned/MTEPS, per-rule removals,
+                     BCT shape) and execution events (deadline hits,
+                     cancellations, isolated panics). PATH `-` prints the
+                     report to stdout. Interrupted runs still report.
+  --metrics-summary  Print a human-readable phase/counter table to stderr.
 
 EXIT CODES:
   0  success
@@ -124,6 +135,47 @@ fn kernel_from(p: &Parsed) -> Result<KernelConfig, CliError> {
     }
 }
 
+/// Telemetry wiring from `--metrics <path|->` / `--metrics-summary`. The
+/// recorder is only built when one of the flags is present, so unrecorded
+/// runs keep the library's zero-overhead `NullRecorder` path (via the
+/// `Option<&RunRecorder>` recorder impl).
+struct Metrics {
+    rec: RunRecorder,
+    out: Option<String>,
+    summary: bool,
+}
+
+fn metrics_from(p: &Parsed) -> Option<Metrics> {
+    let out = p
+        .get("metrics")
+        .map(|v| if v.is_empty() { "-".to_string() } else { v.to_string() });
+    let summary = p.has("metrics-summary");
+    (out.is_some() || summary).then(|| Metrics { rec: RunRecorder::new(), out, summary })
+}
+
+/// Emits the collected run report: JSON to the `--metrics` target and/or a
+/// table to stderr. Call *before* converting a partial outcome into a
+/// non-zero exit so interrupted runs still report their telemetry.
+fn emit_metrics(m: &Option<Metrics>) -> Result<(), CliError> {
+    let Some(m) = m else { return Ok(()) };
+    let report = m.rec.report();
+    if let Some(target) = &m.out {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::Internal(format!("serializing run report: {e}")))?;
+        if target == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(target, json + "
+")
+                .map_err(|e| CliError::Input(format!("{target}: {e}")))?;
+        }
+    }
+    if m.summary {
+        eprint!("{}", report.summary_table());
+    }
+    Ok(())
+}
+
 fn outcome_name(o: RunOutcome) -> &'static str {
     match o {
         RunOutcome::Complete => "complete",
@@ -170,10 +222,17 @@ fn load_graph_with(path: &str, giant: bool) -> Result<CsrGraph, CliError> {
 
 fn stats(p: &Parsed) -> Result<(), CliError> {
     let path = p.positional.get(1).ok_or_else(|| usage("usage: brics stats <graph>"))?;
+    let m = metrics_from(p);
+    let rec = m.as_ref().map(|m| &m.rec);
     let g = load_graph(path)?;
     let d = degree_stats(&g);
-    let red = reduce(&g, &ReductionConfig::all());
-    let bi = biconnected_components(&g);
+    let red = reduce_ctl_rec(&g, &ReductionConfig::all(), &RunControl::new(), &rec)
+        .expect("unbounded control cannot be interrupted");
+    let bi = timed(&rec, "bct.build", || biconnected_components(&g));
+    if rec.enabled() {
+        rec.add(Counter::BctBlocks, bi.blocks.len() as u64);
+        rec.add(Counter::BctCutVertices, bi.is_cut.iter().filter(|&&c| c).count() as u64);
+    }
     println!("graph            {path}");
     println!("vertices         {}", d.num_nodes);
     println!("edges            {}", d.num_edges);
@@ -210,6 +269,7 @@ fn stats(p: &Parsed) -> Result<(), CliError> {
             db.lower, db.upper, db.bfs_runs
         );
     }
+    emit_metrics(&m)?;
     Ok(())
 }
 
@@ -231,6 +291,8 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     // load is followed by an immediate deadline check inside the estimator.
     let ctl = control_from(p)?;
     let kcfg = kernel_from(p)?;
+    let m = metrics_from(p);
+    let rec = m.as_ref().map(|mm| &mm.rec);
     let loaded = load_graph_with(path, p.has("giant"))?;
     // --reorder runs every traversal on the degree-sorted relabelling and
     // translates the per-vertex outputs back, so ids in the output are
@@ -259,7 +321,7 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     let mut rows = if method_name == "exact" {
         // Exact computation is all-or-nothing: an expired --timeout comes
         // back as `CentralityError::Interrupted` (exit 4, no output).
-        let f = exact_farness_ctl_with(g, &ctl, &kcfg)?;
+        let f = exact_farness_ctl_rec(g, &ctl, &kcfg, &rec)?;
         let n = f.len();
         Rows {
             values: f,
@@ -275,7 +337,7 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
             .sample(SampleSize::Fraction(rate))
             .seed(seed)
             .kernel(kcfg)
-            .run_with_control(g, &ctl)?;
+            .run_recorded(g, &ctl, &rec)?;
         let partial_note = if est.is_partial() {
             format!(" — PARTIAL ({})", outcome_name(est.outcome()))
         } else {
@@ -347,6 +409,7 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         }
     }
     w.flush().unwrap();
+    emit_metrics(&m)?;
     if !rows.outcome.is_complete() {
         // The partial (but sound) estimate went to stdout above; the exit
         // code still has to tell scripts the run was cut short.
@@ -369,6 +432,8 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Usage(format!("bad k: {e}")))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
+    let m = metrics_from(p);
+    let rec = m.as_ref().map(|mm| &mm.rec);
     let g = load_graph(path)?;
     let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
@@ -377,8 +442,15 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         .seed(seed)
         .kernel(kernel_from(p)?);
     // Top-k promises exact answers, so interruption is an error (exit 4),
-    // never a shorter/looser ranking.
-    let t = brics::topk::top_k_closeness_ctl(&g, k, &estimator, &ctl)?;
+    // never a shorter/looser ranking. Emit whatever telemetry the run
+    // collected before surfacing the error.
+    let t = match brics::topk::top_k_closeness_ctl_rec(&g, k, &estimator, &ctl, &rec) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = emit_metrics(&m);
+            return Err(e.into());
+        }
+    };
     eprintln!(
         "note: {} pruned, {} verified by BFS, {} for free (of {})",
         t.pruned,
@@ -404,6 +476,7 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
             println!("{} {v} {f} {c:.3e}", i + 1);
         }
     }
+    emit_metrics(&m)?;
     Ok(())
 }
 
@@ -411,15 +484,23 @@ fn betweenness(p: &Parsed) -> Result<(), CliError> {
     let path =
         p.positional.get(1).ok_or_else(|| usage("usage: brics betweenness <graph> [options]"))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
+    let m = metrics_from(p);
+    let rec = m.as_ref().map(|mm| &mm.rec);
     let g = load_graph_with(path, p.has("giant"))?;
     let top: usize = p.get_parse("top", 10).map_err(CliError::Usage)?;
     let (values, outcome) = if p.has("exact") {
-        (brics::betweenness::exact_betweenness(&g), RunOutcome::Complete)
+        (
+            timed(&rec, "betweenness.pivots", || brics::betweenness::exact_betweenness(&g)),
+            RunOutcome::Complete,
+        )
     } else {
         let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
         let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
-        brics::betweenness::sampled_betweenness_ctl(&g, SampleSize::Fraction(rate), seed, &ctl)?
+        timed(&rec, "betweenness.pivots", || {
+            brics::betweenness::sampled_betweenness_ctl(&g, SampleSize::Fraction(rate), seed, &ctl)
+        })?
     };
+    record_outcome(&rec, outcome, "betweenness pivot sweep");
     let mut idx: Vec<u32> = (0..values.len() as u32).collect();
     idx.sort_by(|&a, &b| {
         values[b as usize]
@@ -432,6 +513,7 @@ fn betweenness(p: &Parsed) -> Result<(), CliError> {
     for (i, &v) in idx.iter().enumerate() {
         println!("{} {v} {:.3}", i + 1, values[v as usize]);
     }
+    emit_metrics(&m)?;
     if !outcome.is_complete() {
         return Err(CliError::TimeoutPartial(format!(
             "{} interrupted the run; the printed betweenness is the unbiased \
@@ -456,7 +538,9 @@ fn generate(p: &Parsed) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Usage(format!("bad node count: {e}")))?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
-    let g = class.generate(ClassParams::new(nodes, seed));
+    let m = metrics_from(p);
+    let rec = m.as_ref().map(|mm| &mm.rec);
+    let g = timed(&rec, "generate.build", || class.generate(ClassParams::new(nodes, seed)));
     eprintln!(
         "generated {} graph: {} vertices, {} edges (seed {seed})",
         class.name(),
@@ -478,6 +562,7 @@ fn generate(p: &Parsed) -> Result<(), CliError> {
                 .map_err(|e| CliError::Input(e.to_string()))?;
         }
     }
+    emit_metrics(&m)?;
     Ok(())
 }
 
@@ -602,6 +687,98 @@ mod tests {
                 .exit_code(),
             2
         );
+    }
+
+    #[test]
+    fn metrics_report_written_with_stable_schema() {
+        let path = tmp("met.el");
+        run(&["generate", "web", "400", "--seed", "1", "--out", path.to_str().unwrap()]).unwrap();
+        let out = tmp("met.json");
+        run(&["farness", path.to_str().unwrap(), "--method", "cumulative", "--rate", "0.4",
+              "--metrics", out.to_str().unwrap(), "--metrics-summary"])
+            .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let report: brics::RunReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report.schema, brics::RunReport::SCHEMA);
+        // All counter keys are always present; the run recorded real work.
+        assert!(report.counters["bfs_sources"] > 0);
+        assert!(report.counters["bct_blocks"] > 0);
+        assert!(report.phases.iter().any(|p| p.name == "cumulative.phase_b"));
+        assert!(report.derived.elapsed_seconds > 0.0);
+    }
+
+    #[test]
+    fn metrics_cover_every_subcommand() {
+        let path = tmp("metall.el");
+        let out = tmp("metall.json");
+        let o = out.to_str().unwrap();
+        run(&["generate", "road", "300", "--seed", "2", "--out", path.to_str().unwrap(),
+              "--metrics", o])
+            .unwrap();
+        let g: &str = path.to_str().unwrap();
+        for args in [
+            vec!["stats", g, "--metrics", o],
+            vec!["farness", g, "--method", "random", "--rate", "0.3", "--metrics", o],
+            vec!["farness", g, "--method", "exact", "--top", "3", "--metrics", o],
+            vec!["topk", g, "3", "--metrics", o],
+            vec!["betweenness", g, "--top", "3", "--metrics", o],
+        ] {
+            run(&args).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+            let report: brics::RunReport =
+                serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+            assert_eq!(report.schema, brics::RunReport::SCHEMA, "{args:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_reconcile_with_run_shape() {
+        // Honesty checks the acceptance criteria call out: the per-source
+        // BFS count matches the estimate's sources, and reduction removal
+        // counters partition the removed vertices.
+        let path = tmp("methonest.el");
+        run(&["generate", "web", "500", "--seed", "3", "--out", path.to_str().unwrap()]).unwrap();
+        let out = tmp("methonest.json");
+        run(&["farness", path.to_str().unwrap(), "--method", "icr", "--rate", "0.5",
+              "--metrics", out.to_str().unwrap()])
+            .unwrap();
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let c = &report.counters;
+        let removed = c["reduce_identical_removed"]
+            + c["reduce_identical_chain_removed"]
+            + c["reduce_chain_removed"]
+            + c["reduce_contracted_removed"]
+            + c["reduce_redundant_removed"];
+        // The removal counters plus the survivors partition the vertex set.
+        let n = brics_graph::io::read_edge_list(path.to_str().unwrap()).unwrap().num_nodes();
+        assert_eq!(c["reduce_surviving_nodes"] + removed, n as u64);
+        assert!(c["bfs_sources"] > 0);
+        assert_eq!(c["bfs_sources_skipped"], 0);
+    }
+
+    #[test]
+    fn interrupted_run_still_reports_metrics() {
+        let path = tmp("mettmo.el");
+        run(&["generate", "web", "400", "--seed", "1", "--out", path.to_str().unwrap()]).unwrap();
+        let out = tmp("mettmo.json");
+        let err = run(&["farness", path.to_str().unwrap(), "--timeout", "0",
+                        "--metrics", out.to_str().unwrap()])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(report.counters["deadline_hits"] > 0, "deadline not recorded");
+        assert!(report.events.iter().any(|e| e.kind == "deadline"));
+    }
+
+    #[test]
+    fn metrics_dash_and_bare_flag_print_to_stdout() {
+        let path = tmp("metdash.el");
+        run(&["generate", "road", "200", "--out", path.to_str().unwrap()]).unwrap();
+        // `--metrics -` and a bare `--metrics` (empty value) both mean stdout;
+        // here we just check neither errors.
+        run(&["stats", path.to_str().unwrap(), "--metrics", "-"]).unwrap();
+        run(&["stats", path.to_str().unwrap(), "--metrics"]).unwrap();
     }
 
     #[test]

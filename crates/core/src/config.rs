@@ -1,9 +1,10 @@
 //! Estimator configuration and the top-level front door.
 
-use crate::cumulative::cumulative_estimate_ctl_with;
-use crate::reduced::reduced_estimate_ctl;
-use crate::sampling::random_sampling_ctl_with;
+use crate::cumulative::cumulative_estimate_ctl_rec;
+use crate::reduced::reduced_estimate_ctl_rec;
+use crate::sampling::random_sampling_ctl_rec;
 use crate::{CentralityError, FarnessEstimate};
+use brics_graph::telemetry::{NullRecorder, Recorder};
 use brics_graph::{CsrGraph, RunControl};
 use brics_reduce::ReductionConfig;
 use serde::{Deserialize, Serialize};
@@ -171,25 +172,41 @@ impl BricsEstimator {
         g: &CsrGraph,
         ctl: &RunControl,
     ) -> Result<FarnessEstimate, CentralityError> {
+        self.run_recorded(g, ctl, &NullRecorder)
+    }
+
+    /// [`Self::run_with_control`] with a telemetry [`Recorder`] attached.
+    ///
+    /// The recorder collects phase spans, kernel/reduction counters and
+    /// RunControl events for the whole run (see
+    /// [`brics_graph::telemetry`]); it only observes, so the estimate is
+    /// bit-identical to an unrecorded run with the same configuration.
+    pub fn run_recorded<R: Recorder>(
+        &self,
+        g: &CsrGraph,
+        ctl: &RunControl,
+        rec: &R,
+    ) -> Result<FarnessEstimate, CentralityError> {
         if g.num_nodes() == 0 {
             return Err(CentralityError::EmptyGraph);
         }
         match self.method {
             Method::RandomSampling => {
-                random_sampling_ctl_with(g, self.sample, self.seed, ctl, &self.kernel)
+                random_sampling_ctl_rec(g, self.sample, self.seed, ctl, &self.kernel, rec)
             }
-            m if m.uses_bcc() => cumulative_estimate_ctl_with(
+            m if m.uses_bcc() => cumulative_estimate_ctl_rec(
                 g,
                 &m.reductions(),
                 self.sample,
                 self.seed,
                 ctl,
                 &self.kernel,
+                rec,
             ),
             // The reduced-graph estimators traverse weighted graphs
             // (contracted chains), where Dial's bucket queue is the only
             // applicable kernel — the config is deliberately not threaded.
-            m => reduced_estimate_ctl(g, &m.reductions(), self.sample, self.seed, ctl),
+            m => reduced_estimate_ctl_rec(g, &m.reductions(), self.sample, self.seed, ctl, rec),
         }
     }
 }

@@ -6,12 +6,15 @@ use crate::budget::cumulative_run_bytes;
 use crate::config::SampleSize;
 use crate::{CentralityError, FarnessEstimate};
 use brics_bicc::{biconnected_components, BlockCutTree};
+use brics_graph::telemetry::{
+    admit_memory_rec, record_outcome, record_panic, timed, Counter, NullRecorder, Recorder,
+};
 use brics_graph::traversal::{
     atomic_view, Bfs, DialBfs, HybridBfs, Kernel, KernelConfig, WorkerGuard,
 };
 use brics_graph::weighted::{build_weighted, edge_weight};
 use brics_graph::{CsrGraph, Dist, GraphBuilder, NodeId, RunControl, INFINITE_DIST, INVALID_NODE};
-use brics_reduce::{apply_record, reduce_ctl, ReductionConfig, Removal};
+use brics_reduce::{apply_record, reduce_ctl_rec, ReductionConfig, Removal};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -162,12 +165,29 @@ pub fn cumulative_estimate_ctl_with(
     ctl: &RunControl,
     kcfg: &KernelConfig,
 ) -> Result<FarnessEstimate, CentralityError> {
+    cumulative_estimate_ctl_rec(g, reductions, sample, seed, ctl, kcfg, &NullRecorder)
+}
+
+/// [`cumulative_estimate_ctl_with`] with a telemetry [`Recorder`]: records
+/// spans for the reduction, decomposition/homing, Phase A, the BCT sweep
+/// and Phase B, plus per-phase task counts, homing rounds, BCT shape and
+/// RunControl events. The recorder only observes — the estimate is
+/// bit-identical with [`NullRecorder`].
+pub fn cumulative_estimate_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+    rec: &R,
+) -> Result<FarnessEstimate, CentralityError> {
     let kcfg = *kcfg;
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
-    ctl.admit_memory(cumulative_run_bytes(n))?;
+    admit_memory_rec(ctl, cumulative_run_bytes(n), rec)?;
     // Connectivity gate: the BCT combination assumes one component.
     {
         let mut bfs = Bfs::new(n);
@@ -183,9 +203,10 @@ pub fn cumulative_estimate_ctl_with(
     // The reduction can dominate wall time on large graphs with little
     // reducible structure, so it too runs under the control; interruption
     // there degrades to the same zero-coverage estimate as a Phase-A abort.
-    let mut red = match reduce_ctl(g, reductions, ctl) {
+    let mut red = match timed(rec, "reduce", || reduce_ctl_rec(g, reductions, ctl, rec)) {
         Ok(r) => r,
         Err(outcome) => {
+            record_outcome(rec, outcome, "cumulative reduction pipeline interrupted");
             return Ok(FarnessEstimate::new(
                 vec![0; n],
                 vec![0.0; n],
@@ -201,19 +222,28 @@ pub fn cumulative_estimate_ctl_with(
     // III.5) are *restored* into the reduced graph — sound because every
     // removal's validity argument is local, and convergent because
     // restoration only merges blocks. Typically 0 or 1 extra rounds.
-    let (bct, homing) = loop {
-        let mut bi = biconnected_components(&red.graph);
-        // Removed vertices are isolated in the reduced CSR; drop their
-        // synthetic singleton blocks (survivor singletons stay).
-        bi.blocks
-            .retain(|b| !b.edges.is_empty() || !red.removed[b.vertices[0] as usize]);
-        let bct = BlockCutTree::from_biconnectivity(n, bi);
-        let homing = home_records(&red, &bct);
-        if homing.cross_records.is_empty() {
-            break (bct, homing);
+    let (bct, homing, homing_rounds) = timed(rec, "cumulative.homing", || {
+        let mut rounds = 0u64;
+        loop {
+            rounds += 1;
+            let mut bi = biconnected_components(&red.graph);
+            // Removed vertices are isolated in the reduced CSR; drop their
+            // synthetic singleton blocks (survivor singletons stay).
+            bi.blocks
+                .retain(|b| !b.edges.is_empty() || !red.removed[b.vertices[0] as usize]);
+            let bct = BlockCutTree::from_biconnectivity(n, bi);
+            let homing = home_records(&red, &bct);
+            if homing.cross_records.is_empty() {
+                break (bct, homing, rounds);
+            }
+            restore_records(&mut red, &homing.cross_records);
         }
-        restore_records(&mut red, &homing.cross_records);
-    };
+    });
+    if rec.enabled() {
+        rec.add(Counter::CumulativeHomingRounds, homing_rounds);
+        rec.add(Counter::BctBlocks, bct.num_blocks() as u64);
+        rec.add(Counter::BctCutVertices, bct.num_cut_vertices() as u64);
+    }
     // Identical twins of *cut vertices* cannot be homed to a single block:
     // d(x, twin) = d(x, rep) everywhere, and the rep spans several blocks.
     // They are pulled out of block homing and modelled as extra multiplicity
@@ -336,12 +366,13 @@ pub fn cumulative_estimate_ctl_with(
     // cut-to-cut distance matrix.
     type CutData = (Vec<u64>, Vec<Vec<u32>>);
     let guard_a = WorkerGuard::new(ctl);
-    let phase_a: Vec<Option<CutData>> = blocks
-        .par_iter()
-        .map_init(
+    let phase_a: Vec<Option<CutData>> = timed(rec, "cumulative.phase_a", || {
+        blocks
+            .par_iter()
+            .map_init(
             || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
             |(bfs, hyb, gdist), ctx| {
-                guard_a.run_source(ctx.verts[0], || {
+                let out = guard_a.run_source(ctx.verts[0], || {
                 let nc = ctx.cut_locals.len();
                 let mut sdo = Vec::with_capacity(nc);
                 let mut cd = vec![vec![0u32; nc]; nc];
@@ -378,11 +409,26 @@ pub fn cumulative_estimate_ctl_with(
                     sdo.push(s);
                 }
                 (sdo, cd)
-                })
+                });
+                if out.is_some() && rec.enabled() {
+                    // One block-local BFS per cut vertex of this block.
+                    let nc = ctx.cut_locals.len() as u64;
+                    rec.add(Counter::VerticesVisited, nc * ctx.verts.len() as u64);
+                    rec.add(Counter::EdgesScanned, nc * ctx.graph.num_arcs() as u64);
+                }
+                out
             },
-        )
-        .collect();
-    let outcome_a = guard_a.finish()?;
+            )
+            .collect()
+    });
+    let outcome_a = guard_a.finish().map_err(|p| {
+        record_panic(rec, &p.detail);
+        p
+    })?;
+    if rec.enabled() {
+        rec.add(Counter::CumulativePhaseATasks, phase_a.iter().flatten().count() as u64);
+    }
+    record_outcome(rec, outcome_a, "cumulative phase A (cut-vertex BFS)");
     if !outcome_a.is_complete() {
         // No sweep data ⇒ no inter-block mass for anyone. Zero raw values
         // with zero coverage: every lower bound degrades to n − 1, which is
@@ -405,16 +451,18 @@ pub fn cumulative_estimate_ctl_with(
     let sdo: Vec<Vec<u64>> = phase_a.iter().map(|(s, _)| s.clone()).collect();
     let cutdist: Vec<Vec<Vec<u32>>> = phase_a.into_iter().map(|(_, c)| c).collect();
     let own: Vec<u64> = blocks.iter().map(|c| c.own).collect();
-    let agg: Aggregates = sweep(
-        &bct,
-        &BlockLocalSums {
-            cuts_of_block: &cuts_of_block,
-            sdo: &sdo,
-            cutdist: &cutdist,
-            own: &own,
-            cut_mult: &cut_mult,
-        },
-    );
+    let agg: Aggregates = timed(rec, "cumulative.sweep", || {
+        sweep(
+            &bct,
+            &BlockLocalSums {
+                cuts_of_block: &cuts_of_block,
+                sdo: &sdo,
+                cutdist: &cutdist,
+                own: &own,
+                cut_mult: &cut_mult,
+            },
+        )
+    });
     #[cfg(debug_assertions)]
     for (b, own_b) in own.iter().enumerate() {
         debug_assert_eq!(
@@ -445,16 +493,17 @@ pub fn cumulative_estimate_ctl_with(
     // atomically with respect to the control (checked before the task
     // starts, never mid-task).
     let guard_b = WorkerGuard::new(ctl);
-    let completed: Vec<bool> = tasks
-        .par_iter()
-        .map_init(
+    let completed: Vec<bool> = timed(rec, "cumulative.phase_b", || {
+        tasks
+            .par_iter()
+            .map_init(
         || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
         |(bfs, hyb, gdist), &(b, si)| {
             let ctx = &blocks[b as usize];
             let sl = ctx.sources_local[si as usize];
             let s_global = ctx.verts[sl as usize];
             let is_cut_source = ctx.is_cut_local[sl as usize];
-            guard_b.run_source(s_global, || {
+            let done = guard_b.run_source(s_global, || {
             let dl = block_distances(bfs, hyb, ctx, sl, kcfg.kernel);
             // Cut-source constants for the inter terms of this source.
             let (dc, wc) = if is_cut_source {
@@ -512,11 +561,28 @@ pub fn cumulative_estimate_ctl_with(
             }
             exact_a[s_global as usize].fetch_add(own_sum + inter_part, Ordering::Relaxed);
             })
-            .is_some()
+            .is_some();
+            if done && rec.enabled() {
+                rec.add(Counter::VerticesVisited, ctx.verts.len() as u64);
+                rec.add(Counter::EdgesScanned, ctx.graph.num_arcs() as u64);
+            }
+            done
         },
-        )
-        .collect();
-    let outcome = outcome_a.merge(guard_b.finish()?);
+            )
+            .collect()
+    });
+    let outcome_b = guard_b.finish().map_err(|p| {
+        record_panic(rec, &p.detail);
+        p
+    })?;
+    if rec.enabled() {
+        rec.add(
+            Counter::CumulativePhaseBTasks,
+            completed.iter().filter(|&&c| c).count() as u64,
+        );
+    }
+    record_outcome(rec, outcome_b, "cumulative phase B (sampled-source BFS)");
+    let outcome = outcome_a.merge(outcome_b);
 
     // ---- Step 4: assemble farness values. ----
     // A source counts as sampled (⇒ exact) only when *all* its tasks
@@ -549,6 +615,13 @@ pub fn cumulative_estimate_ctl_with(
         sampled[v] = task_total[v] > 0 && task_done[v] == task_total[v];
     }
     let num_sources = sampled.iter().filter(|&&s| s).count();
+    if rec.enabled() {
+        // A "source" is a sampled vertex whose every block task completed —
+        // the same notion `FarnessEstimate::num_sources` reports.
+        let scheduled = task_total.iter().filter(|&&t| t > 0).count();
+        rec.add(Counter::BfsSources, num_sources as u64);
+        rec.add(Counter::BfsSourcesSkipped, (scheduled - num_sources) as u64);
+    }
 
     // Scaled view: expand the intra partial sum per home block by
     // `own(B) / k_B`, then de-bias with the block's structural-offset mass —

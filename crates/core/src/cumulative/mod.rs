@@ -38,4 +38,7 @@ mod aggregate;
 mod engine;
 mod homing;
 
-pub use engine::{cumulative_estimate, cumulative_estimate_ctl, cumulative_estimate_ctl_with};
+pub use engine::{
+    cumulative_estimate, cumulative_estimate_ctl, cumulative_estimate_ctl_rec,
+    cumulative_estimate_ctl_with,
+};

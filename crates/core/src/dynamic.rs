@@ -28,7 +28,7 @@ use brics_graph::{CsrGraph, Dist, GraphBuilder, NodeId, INFINITE_DIST};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Farness estimates maintained under edge insertions.
 #[derive(Clone, Debug)]
@@ -47,6 +47,9 @@ pub struct DynamicFarness {
     source_sum: Vec<u64>,
     /// Sampled mask.
     sampled: Vec<bool>,
+    /// Cumulative wall-clock time spent building and repairing the
+    /// structure (initial BFS sweep + every incremental repair/rebuild).
+    elapsed: Duration,
 }
 
 impl DynamicFarness {
@@ -61,6 +64,7 @@ impl DynamicFarness {
         if k == 0 {
             return Err(CentralityError::NoSamples);
         }
+        let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let sources = draw_sources(n, k, &mut rng);
         let rows: Vec<Vec<Dist>> = sources
@@ -94,6 +98,7 @@ impl DynamicFarness {
             acc,
             source_sum,
             sampled,
+            elapsed: start.elapsed(),
         })
     }
 
@@ -120,6 +125,7 @@ impl DynamicFarness {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> usize {
+        let start = Instant::now();
         let n = self.adj.len();
         assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
         if u == v {
@@ -149,13 +155,25 @@ impl DynamicFarness {
                 improved_entries += 1;
             }
         }
+        self.elapsed += start.elapsed();
         improved_entries
+    }
+
+    /// Total wall-clock time spent computing distances: the initial BFS
+    /// sweep of [`Self::new`] plus every [`Self::insert_edge`] repair and
+    /// [`Self::rebuild`]. This is what [`FarnessEstimate::elapsed`] reports
+    /// on the estimates this structure produces.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
     }
 
     /// Current estimate in the baseline's semantics: sources exact,
     /// everyone else the partial sum over sources.
+    ///
+    /// The estimate's `elapsed` is [`Self::elapsed`] — the cumulative
+    /// build + repair time that actually produced these numbers — not the
+    /// (microscopic) cost of assembling the result vectors.
     pub fn estimate(&self) -> FarnessEstimate {
-        let start = Instant::now();
         let n = self.adj.len();
         let k = self.sources.len();
         let mut raw = self.acc.clone();
@@ -179,7 +197,7 @@ impl DynamicFarness {
             self.sampled.clone(),
             coverage,
             k,
-            start.elapsed(),
+            self.elapsed,
             brics_graph::RunOutcome::Complete,
         )
     }
@@ -199,6 +217,7 @@ impl DynamicFarness {
 
     /// Full re-estimation with the same sources (the deletion fallback).
     pub fn rebuild(&mut self) {
+        let start = Instant::now();
         let g = self.graph();
         let n = g.num_nodes();
         let rows: Vec<Vec<Dist>> = self
@@ -218,6 +237,7 @@ impl DynamicFarness {
             }
         }
         self.rows = rows;
+        self.elapsed += start.elapsed();
     }
 }
 
@@ -357,6 +377,27 @@ mod tests {
         }
         b.rebuild();
         assert_eq!(a.estimate().raw(), b.estimate().raw());
+    }
+
+    #[test]
+    fn elapsed_reports_cumulative_build_and_repair_time() {
+        // Regression: `estimate()` used to start its own clock around result
+        // assembly, so the reported elapsed covered neither the initial BFS
+        // sweep nor any repair work.
+        let g = gnm_random_connected(200, 260, 3);
+        let mut d = DynamicFarness::new(&g, SampleSize::Fraction(0.5), 1).unwrap();
+        let after_build = d.elapsed();
+        assert!(after_build > Duration::ZERO, "build time not accounted");
+        assert_eq!(d.estimate().elapsed(), after_build);
+        d.insert_edge(0, 100);
+        let after_repair = d.elapsed();
+        assert!(after_repair >= after_build, "repair time went backwards");
+        // The estimate reports the structure's cumulative time, and reading
+        // it does not advance the clock.
+        assert_eq!(d.estimate().elapsed(), after_repair);
+        assert_eq!(d.estimate().elapsed(), after_repair);
+        d.rebuild();
+        assert!(d.elapsed() >= after_repair);
     }
 
     #[test]

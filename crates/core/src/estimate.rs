@@ -127,20 +127,35 @@ impl FarnessEstimate {
         self.raw.is_empty()
     }
 
-    /// Closeness view of the raw estimates: `1 / farness`, with `0.0` for
-    /// vertices of farness 0 (single-vertex graphs).
+    /// Closeness view of the estimates: `1 / farness` over the **scaled**
+    /// values, with `0.0` for vertices of farness 0 (single-vertex graphs).
+    ///
+    /// Raw values are not comparable across the sampled/unsampled divide —
+    /// a non-source carries only a partial sum over the `k` sources, so
+    /// inverting it would overstate its closeness by roughly `(n − 1) / k`
+    /// relative to the sources' exact values. The scaled view applies that
+    /// expansion, making every entry magnitude-comparable.
     pub fn closeness(&self) -> Vec<f64> {
-        self.raw
+        self.scaled
             .iter()
-            .map(|&f| if f == 0 { 0.0 } else { 1.0 / f as f64 })
+            .map(|&f| if f <= 0.0 { 0.0 } else { 1.0 / f })
             .collect()
     }
 
-    /// The `k` vertices with smallest raw farness (highest closeness),
-    /// ties broken by vertex id.
+    /// The `k` most central vertices (smallest farness, highest closeness),
+    /// ranked by the sound per-vertex [`Self::lower_bounds`], ties broken
+    /// by vertex id.
+    ///
+    /// Ranking raw values directly would be wrong in exactly the way the
+    /// bounds fix: a BFS source holds its *exact* farness while everyone
+    /// else holds a small partial sum, so sources — including a graph's
+    /// true centre — would systematically sink to the bottom. The lower
+    /// bound adds one hop per uncovered vertex, putting both groups on a
+    /// common scale (and reducing to the exact ranking at full coverage).
     pub fn top_k_central(&self, k: usize) -> Vec<u32> {
+        let bounds = self.lower_bounds();
         let mut idx: Vec<u32> = (0..self.raw.len() as u32).collect();
-        idx.sort_by_key(|&v| (self.raw[v as usize], v));
+        idx.sort_by_key(|&v| (bounds[v as usize], v));
         idx.truncate(k);
         idx
     }
@@ -191,6 +206,51 @@ mod tests {
         assert_eq!(e.top_k_central(3), vec![1, 3, 2]);
         assert_eq!(e.top_k_central(0), Vec::<u32>::new());
         assert_eq!(e.top_k_central(10).len(), 4);
+    }
+
+    /// K_{1,4} star, hub 0, sampled sources {0, 1} of k = 2. Exact farness:
+    /// hub 4, leaves 7. Non-source leaves hold the partial sum
+    /// d(0,v) + d(1,v) = 3 with coverage 2.
+    fn star_with_hub_sampled() -> FarnessEstimate {
+        FarnessEstimate::new(
+            vec![4, 7, 3, 3, 3],
+            vec![4.0, 7.0, 6.0, 6.0, 6.0], // partials expanded by (n-1)/k = 2
+            vec![true, true, false, false, false],
+            vec![4, 4, 2, 2, 2],
+            2,
+            Duration::ZERO,
+            RunOutcome::Complete,
+        )
+    }
+
+    #[test]
+    fn top_k_ranks_sampled_hub_above_partial_leaves() {
+        // Regression: ranking by raw would order the unsampled leaves (raw 3)
+        // ahead of the hub (exact raw 4), burying the true centre. The lower
+        // bounds (hub 4, leaves 3 + 2 = 5, source leaf 7) restore it.
+        let e = star_with_hub_sampled();
+        assert_eq!(e.top_k_central(1), vec![0]);
+        assert_eq!(e.top_k_central(5), vec![0, 2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn closeness_is_comparable_across_the_sampled_divide() {
+        // Regression: inverting raw partial sums gave unsampled leaves
+        // closeness 1/3, above the hub's exact 1/4 — an overestimate by
+        // ~(n-1)/k. From the scaled view the hub is the closest vertex.
+        let e = star_with_hub_sampled();
+        let c = e.closeness();
+        assert_eq!(c[0], 0.25);
+        for leaf in 2..5 {
+            assert!(
+                c[leaf] < c[0],
+                "unsampled leaf {leaf} ({}) must not beat the exact hub ({})",
+                c[leaf],
+                c[0]
+            );
+            assert!((c[leaf] - 1.0 / 6.0).abs() < 1e-12);
+        }
+        assert!((c[1] - 1.0 / 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 
 use crate::budget::exact_run_bytes;
 use crate::CentralityError;
-use brics_graph::traversal::{par_bfs_sums_ctl_with, KernelConfig};
+use brics_graph::telemetry::{
+    admit_memory_rec, record_outcome, record_panic, timed, NullRecorder, Recorder,
+};
+use brics_graph::traversal::{par_bfs_sums_ctl_rec, KernelConfig};
 use brics_graph::{CsrGraph, NodeId, RunControl};
 
 /// Computes the exact farness of every vertex.
@@ -34,13 +37,29 @@ pub fn exact_farness_ctl_with(
     ctl: &RunControl,
     kcfg: &KernelConfig,
 ) -> Result<Vec<u64>, CentralityError> {
+    exact_farness_ctl_rec(g, ctl, kcfg, &NullRecorder)
+}
+
+/// [`exact_farness_ctl_with`] with a telemetry [`Recorder`]; observe-only,
+/// bit-identical results either way.
+pub fn exact_farness_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+    rec: &R,
+) -> Result<Vec<u64>, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
-    ctl.admit_memory(exact_run_bytes(n))?;
+    admit_memory_rec(ctl, exact_run_bytes(n), rec)?;
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
-    let (rows, outcome) = par_bfs_sums_ctl_with(g, &sources, ctl, kcfg)?;
+    let (rows, outcome) = timed(rec, "exact.bfs", || par_bfs_sums_ctl_rec(g, &sources, ctl, kcfg, rec))
+        .map_err(|p| {
+            record_panic(rec, &p.detail);
+            p
+        })?;
+    record_outcome(rec, outcome, "exact farness sweep");
     if !outcome.is_complete() {
         return Err(CentralityError::Interrupted { outcome });
     }

@@ -72,9 +72,10 @@ pub mod topk;
 pub use config::{BricsEstimator, HybridParams, Kernel, KernelConfig, Method, SampleSize};
 pub use error::CentralityError;
 pub use estimate::FarnessEstimate;
-pub use exact::{exact_farness, exact_farness_ctl, exact_farness_ctl_with};
+pub use exact::{exact_farness, exact_farness_ctl, exact_farness_ctl_rec, exact_farness_ctl_with};
 
 // Re-exported so downstream users need only one crate in scope for the
 // common flow (generate → estimate → compare).
+pub use brics_graph::telemetry::{NullRecorder, Recorder, RunRecorder, RunReport};
 pub use brics_graph::{CancelToken, RunControl, RunOutcome};
 pub use brics_reduce::ReductionConfig;

@@ -16,9 +16,12 @@ use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::sampling::draw_sources;
 use crate::{CentralityError, FarnessEstimate};
+use brics_graph::telemetry::{
+    admit_memory_rec, record_outcome, record_panic, timed, Counter, NullRecorder, Recorder,
+};
 use brics_graph::traversal::{atomic_view, Bfs, DialBfs, WorkerGuard};
 use brics_graph::{CsrGraph, NodeId, RunControl, INFINITE_DIST};
-use brics_reduce::{reconstruct_distances, reduce, reduce_ctl, ReductionConfig, Removal};
+use brics_reduce::{reconstruct_distances, reduce, reduce_ctl_rec, ReductionConfig, Removal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -47,18 +50,35 @@ pub fn reduced_estimate_ctl(
     seed: u64,
     ctl: &RunControl,
 ) -> Result<FarnessEstimate, CentralityError> {
+    reduced_estimate_ctl_rec(g, reductions, sample, seed, ctl, &NullRecorder)
+}
+
+/// [`reduced_estimate_ctl`] with a telemetry [`Recorder`]: per-rule
+/// reduction spans and counters (via
+/// [`brics_reduce::reduce_ctl_rec`]), the sweep span, per-source BFS
+/// counters and RunControl events. Observe-only — the estimate is
+/// bit-identical with [`NullRecorder`].
+pub fn reduced_estimate_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+    rec: &R,
+) -> Result<FarnessEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
-    ctl.admit_memory(accumulate_run_bytes(n))?;
+    admit_memory_rec(ctl, accumulate_run_bytes(n), rec)?;
     let start = Instant::now();
     // The reduction runs under the control too: on large graphs it can
     // dominate wall time, and a deadline hit mid-pipeline degrades to the
     // zero-coverage estimate (no source completed; trivially sound bounds).
-    let r = match reduce_ctl(g, reductions, ctl) {
+    let r = match timed(rec, "reduce", || reduce_ctl_rec(g, reductions, ctl, rec)) {
         Ok(r) => r,
         Err(outcome) => {
+            record_outcome(rec, outcome, "reduction pipeline interrupted");
             return Ok(FarnessEstimate::new(
                 vec![0; n],
                 vec![0.0; n],
@@ -91,34 +111,50 @@ pub fn reduced_estimate_ctl(
     // reconstructed from the same thread-local distance array the traversal
     // wrote, then reset so the array's sparse-reset invariant holds for the
     // next source.
-    let per_source: Vec<Option<(usize, u64)>> = sources
-        .par_iter()
-        .map_init(
-            || DialBfs::new(n),
-            |bfs, &s| {
-                guard.run_source(s, || {
-                    let (reached, mut sum) = bfs.run_with(reduced_graph, weights, s, |v, d| {
-                        if d > 0 {
-                            atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+    let per_source: Vec<Option<(usize, u64)>> = timed(rec, "reduced.bfs", || {
+        sources
+            .par_iter()
+            .map_init(
+                || DialBfs::new(n),
+                |bfs, &s| {
+                    guard.run_source(s, || {
+                        let (reached, mut sum) = bfs.run_with(reduced_graph, weights, s, |v, d| {
+                            if d > 0 {
+                                atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                            }
+                        });
+                        let dist = bfs.distances_mut();
+                        reconstruct_distances(records, dist);
+                        for rem in records {
+                            for x in rem.removed_nodes() {
+                                let d = dist[x as usize];
+                                debug_assert_ne!(d, INFINITE_DIST, "unreachable removed vertex {x}");
+                                atomic_acc[x as usize].fetch_add(d as u64, Ordering::Relaxed);
+                                sum += d as u64;
+                                dist[x as usize] = INFINITE_DIST;
+                            }
                         }
-                    });
-                    let dist = bfs.distances_mut();
-                    reconstruct_distances(records, dist);
-                    for rec in records {
-                        for x in rec.removed_nodes() {
-                            let d = dist[x as usize];
-                            debug_assert_ne!(d, INFINITE_DIST, "unreachable removed vertex {x}");
-                            atomic_acc[x as usize].fetch_add(d as u64, Ordering::Relaxed);
-                            sum += d as u64;
-                            dist[x as usize] = INFINITE_DIST;
-                        }
-                    }
-                    (reached, sum)
-                })
-            },
-        )
-        .collect();
-    let outcome = guard.finish()?;
+                        (reached, sum)
+                    })
+                },
+            )
+            .collect()
+    });
+    let outcome = guard.finish().map_err(|p| {
+        record_panic(rec, &p.detail);
+        p
+    })?;
+    record_outcome(rec, outcome, "reduced-estimate BFS sweep");
+    if rec.enabled() {
+        let done = per_source.iter().flatten().count() as u64;
+        rec.add(Counter::BfsSources, done);
+        rec.add(
+            Counter::VerticesVisited,
+            per_source.iter().flatten().map(|&(r, _)| r as u64).sum(),
+        );
+        rec.add(Counter::EdgesScanned, done * reduced_graph.num_arcs() as u64);
+        rec.add(Counter::BfsSourcesSkipped, per_source.len() as u64 - done);
+    }
 
     if per_source.iter().flatten().any(|&(reached, _)| reached != num_surviving) {
         let comps = brics_graph::connectivity::connected_components(g).count();

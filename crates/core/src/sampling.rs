@@ -9,7 +9,10 @@
 use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::traversal::{par_bfs_accumulate_ctl_with, KernelConfig};
+use brics_graph::telemetry::{
+    admit_memory_rec, record_outcome, record_panic, timed, NullRecorder, Recorder,
+};
+use brics_graph::traversal::{par_bfs_accumulate_ctl_rec, KernelConfig};
 use brics_graph::{CsrGraph, NodeId, RunControl};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
@@ -62,6 +65,21 @@ pub fn random_sampling_ctl_with(
     ctl: &RunControl,
     kcfg: &KernelConfig,
 ) -> Result<FarnessEstimate, CentralityError> {
+    random_sampling_ctl_rec(g, sample, seed, ctl, kcfg, &NullRecorder)
+}
+
+/// [`random_sampling_ctl_with`] with a telemetry [`Recorder`]: records the
+/// BFS sweep span, per-source kernel counters, and RunControl events
+/// (memory admission, deadline/cancel, isolated panics). The recorder only
+/// observes — the estimate is bit-identical with [`NullRecorder`].
+pub fn random_sampling_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    sample: SampleSize,
+    seed: u64,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+    rec: &R,
+) -> Result<FarnessEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
@@ -70,13 +88,20 @@ pub fn random_sampling_ctl_with(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
-    ctl.admit_memory(accumulate_run_bytes(n))?;
+    admit_memory_rec(ctl, accumulate_run_bytes(n), rec)?;
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
 
     let mut acc = vec![0u64; n];
-    let run = par_bfs_accumulate_ctl_with(g, &sources, &mut acc, ctl, kcfg)?;
+    let run = timed(rec, "sampling.bfs", || {
+        par_bfs_accumulate_ctl_rec(g, &sources, &mut acc, ctl, kcfg, rec)
+    })
+    .map_err(|p| {
+        record_panic(rec, &p.detail);
+        p
+    })?;
+    record_outcome(rec, run.outcome, "random-sampling BFS sweep");
     if run.per_source.iter().flatten().any(|&(reached, _)| reached != n) {
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });

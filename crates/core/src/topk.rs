@@ -60,8 +60,32 @@ pub fn top_k_closeness_ctl(
     estimator: &BricsEstimator,
     ctl: &RunControl,
 ) -> Result<TopK, CentralityError> {
-    let est = estimator.run_with_control(g, ctl)?;
-    top_k_from_estimate_ctl(g, k, &est, ctl)
+    top_k_closeness_ctl_rec(g, k, estimator, ctl, &brics_graph::telemetry::NullRecorder)
+}
+
+/// [`top_k_closeness_ctl`] with a telemetry [`Recorder`](brics_graph::telemetry::Recorder):
+/// the estimation pass records its usual phases and counters (see
+/// [`BricsEstimator::run_recorded`]), the verification scan adds a
+/// `topk.verify` span and charges each verification BFS to the kernel
+/// counters. Observe-only — the ranking is bit-identical either way.
+pub fn top_k_closeness_ctl_rec<R: brics_graph::telemetry::Recorder>(
+    g: &CsrGraph,
+    k: usize,
+    estimator: &BricsEstimator,
+    ctl: &RunControl,
+    rec: &R,
+) -> Result<TopK, CentralityError> {
+    use brics_graph::telemetry::{timed, Counter};
+    let est = estimator.run_recorded(g, ctl, rec)?;
+    let t = timed(rec, "topk.verify", || top_k_from_estimate_ctl(g, k, &est, ctl))?;
+    if rec.enabled() {
+        let b = t.verified_with_bfs as u64;
+        rec.add(Counter::BfsSources, b);
+        // Each verification BFS scans the whole (connected) graph.
+        rec.add(Counter::VerticesVisited, b * g.num_nodes() as u64);
+        rec.add(Counter::EdgesScanned, b * g.num_arcs() as u64);
+    }
+    Ok(t)
 }
 
 /// Same as [`top_k_closeness`], reusing an existing estimate.

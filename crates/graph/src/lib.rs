@@ -47,6 +47,7 @@ pub mod hash;
 pub mod io;
 pub mod reorder;
 pub mod subgraph;
+pub mod telemetry;
 pub mod traversal;
 pub mod weighted;
 
@@ -54,6 +55,7 @@ pub use builder::GraphBuilder;
 pub use control::{CancelToken, RunControl, RunOutcome};
 pub use csr::CsrGraph;
 pub use subgraph::InducedSubgraph;
+pub use telemetry::{Counter, NullRecorder, Recorder, RunRecorder, RunReport};
 
 /// Node identifier. Graphs in this workspace are bounded to `u32::MAX - 1`
 /// vertices; 32-bit ids halve the memory traffic of the BFS kernels relative

@@ -1,0 +1,656 @@
+//! Zero-dependency run telemetry: phase spans, atomic counters and a
+//! stable-schema JSON run report.
+//!
+//! Every layer that makes an invisible runtime decision — the reduction
+//! pipeline, the BCT builder, the kernel scheduler, the cumulative engine
+//! and the [`RunControl`](crate::control::RunControl) machinery — accepts a
+//! `&R: Recorder` and emits counters/spans into it. Two implementations
+//! exist:
+//!
+//! * [`NullRecorder`] — the default. Every method is an empty default
+//!   with `enabled() == false`; under static dispatch the calls
+//!   monomorphise away, so un-instrumented runs pay nothing.
+//! * [`RunRecorder`] — thread-safe collection into atomic counters and a
+//!   mutex-guarded span table, snapshotted into a [`RunReport`] whose JSON
+//!   schema (`brics.run_report/v1`) is stable across releases.
+//!
+//! The contract threaded through the estimator stack: attaching a recorder
+//! NEVER changes results. Recorders only observe; all instrumented code
+//! paths compute bit-identical outputs with either implementation (the
+//! `telemetry_invariance` integration test pins this).
+//!
+//! # Example
+//!
+//! ```
+//! use brics_graph::telemetry::{Counter, Recorder, RunRecorder};
+//! use std::time::Duration;
+//!
+//! let rec = RunRecorder::new();
+//! rec.incr(Counter::BfsSources);
+//! rec.add(Counter::EdgesScanned, 1_000);
+//! rec.span("bfs", Duration::from_millis(5));
+//! let report = rec.report();
+//! assert_eq!(report.counters["bfs_sources"], 1);
+//! assert_eq!(report.schema, "brics.run_report/v1");
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Identifier of one monotone counter in a run report.
+///
+/// The discriminant doubles as the index into [`RunRecorder`]'s atomic
+/// array; [`Counter::name`] is the stable snake_case key used in the JSON
+/// report. Append new counters at the end — the names, not the positions,
+/// are the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// BFS runs completed (one per finished source).
+    BfsSources,
+    /// BFS sources skipped because the run was interrupted first.
+    BfsSourcesSkipped,
+    /// Vertices reached, summed over all completed BFS runs.
+    VerticesVisited,
+    /// Arcs scanned, summed over all completed BFS runs. The instrumented
+    /// drivers charge `num_arcs()` per completed source — the same
+    /// convention the kernels benchmark uses — so `derived.mteps` in the
+    /// report is directly comparable with `BENCH_kernels.json`.
+    EdgesScanned,
+    /// BFS levels expanded, summed over completed sources.
+    FrontierLevels,
+    /// Levels executed bottom-up by the direction-optimizing kernels.
+    BottomUpLevels,
+    /// Top-down ↔ bottom-up direction switches across all BFS runs.
+    DirectionSwitches,
+    /// Largest frontier (vertices) seen by any instrumented BFS level
+    /// (max-type: updated with [`Recorder::max`]).
+    PeakFrontier,
+    /// Source batches dispatched to the serial top-down kernel.
+    BatchesTopdown,
+    /// Source batches dispatched to the serial direction-optimizing kernel.
+    BatchesHybrid,
+    /// Source batches dispatched to the frontier-parallel scheduler.
+    BatchesFrontierParallel,
+    /// Vertices removed by the identical-nodes rule (I).
+    ReduceIdenticalRemoved,
+    /// Chain-shaped vertices removed alongside identical nodes.
+    ReduceIdenticalChainRemoved,
+    /// Vertices removed by the redundant-chains rule (C).
+    ReduceChainRemoved,
+    /// Vertices removed by degree-2 chain contraction.
+    ReduceContractedRemoved,
+    /// Vertices removed by the redundant-nodes rule (R).
+    ReduceRedundantRemoved,
+    /// Fixpoint rounds the reduction pipeline executed.
+    ReduceRounds,
+    /// Vertices surviving reduction.
+    ReduceSurvivingNodes,
+    /// Edges surviving reduction.
+    ReduceSurvivingEdges,
+    /// Blocks in the block-cut tree.
+    BctBlocks,
+    /// Cut vertices in the block-cut tree.
+    BctCutVertices,
+    /// Phase-A tasks (cut-vertex BFS runs) in the cumulative engine.
+    CumulativePhaseATasks,
+    /// Phase-B tasks ((block, source) BFS runs) in the cumulative engine.
+    CumulativePhaseBTasks,
+    /// Record-homing restore rounds in the cumulative engine.
+    CumulativeHomingRounds,
+    /// Runs truncated by a [`RunControl`](crate::control::RunControl)
+    /// deadline.
+    DeadlineHits,
+    /// Runs truncated by cooperative cancellation.
+    Cancellations,
+    /// Worker panics isolated by the fault-tolerance layer.
+    PanicsIsolated,
+    /// Memory-budget admissions that succeeded.
+    MemoryAdmissions,
+    /// Memory-budget admissions that were rejected.
+    MemoryRejections,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 29] = [
+        Counter::BfsSources,
+        Counter::BfsSourcesSkipped,
+        Counter::VerticesVisited,
+        Counter::EdgesScanned,
+        Counter::FrontierLevels,
+        Counter::BottomUpLevels,
+        Counter::DirectionSwitches,
+        Counter::PeakFrontier,
+        Counter::BatchesTopdown,
+        Counter::BatchesHybrid,
+        Counter::BatchesFrontierParallel,
+        Counter::ReduceIdenticalRemoved,
+        Counter::ReduceIdenticalChainRemoved,
+        Counter::ReduceChainRemoved,
+        Counter::ReduceContractedRemoved,
+        Counter::ReduceRedundantRemoved,
+        Counter::ReduceRounds,
+        Counter::ReduceSurvivingNodes,
+        Counter::ReduceSurvivingEdges,
+        Counter::BctBlocks,
+        Counter::BctCutVertices,
+        Counter::CumulativePhaseATasks,
+        Counter::CumulativePhaseBTasks,
+        Counter::CumulativeHomingRounds,
+        Counter::DeadlineHits,
+        Counter::Cancellations,
+        Counter::PanicsIsolated,
+        Counter::MemoryAdmissions,
+        Counter::MemoryRejections,
+    ];
+
+    /// Stable snake_case key for this counter in the JSON report.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::BfsSources => "bfs_sources",
+            Counter::BfsSourcesSkipped => "bfs_sources_skipped",
+            Counter::VerticesVisited => "vertices_visited",
+            Counter::EdgesScanned => "edges_scanned",
+            Counter::FrontierLevels => "frontier_levels",
+            Counter::BottomUpLevels => "bottom_up_levels",
+            Counter::DirectionSwitches => "direction_switches",
+            Counter::PeakFrontier => "peak_frontier",
+            Counter::BatchesTopdown => "batches_topdown",
+            Counter::BatchesHybrid => "batches_hybrid",
+            Counter::BatchesFrontierParallel => "batches_frontier_parallel",
+            Counter::ReduceIdenticalRemoved => "reduce_identical_removed",
+            Counter::ReduceIdenticalChainRemoved => "reduce_identical_chain_removed",
+            Counter::ReduceChainRemoved => "reduce_chain_removed",
+            Counter::ReduceContractedRemoved => "reduce_contracted_removed",
+            Counter::ReduceRedundantRemoved => "reduce_redundant_removed",
+            Counter::ReduceRounds => "reduce_rounds",
+            Counter::ReduceSurvivingNodes => "reduce_surviving_nodes",
+            Counter::ReduceSurvivingEdges => "reduce_surviving_edges",
+            Counter::BctBlocks => "bct_blocks",
+            Counter::BctCutVertices => "bct_cut_vertices",
+            Counter::CumulativePhaseATasks => "cumulative_phase_a_tasks",
+            Counter::CumulativePhaseBTasks => "cumulative_phase_b_tasks",
+            Counter::CumulativeHomingRounds => "cumulative_homing_rounds",
+            Counter::DeadlineHits => "deadline_hits",
+            Counter::Cancellations => "cancellations",
+            Counter::PanicsIsolated => "panics_isolated",
+            Counter::MemoryAdmissions => "memory_admissions",
+            Counter::MemoryRejections => "memory_rejections",
+        }
+    }
+}
+
+/// Observer for run telemetry. All methods default to no-ops so
+/// [`NullRecorder`] costs nothing; implementors override what they store.
+///
+/// Call sites that would pay to *prepare* data for a recorder (formatting
+/// event details, harvesting per-BFS stats) must guard the preparation
+/// behind [`Recorder::enabled`] so disabled recorders skip it entirely.
+pub trait Recorder: Sync {
+    /// Whether this recorder stores anything. `false` lets call sites
+    /// skip preparing data that would be dropped.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `n` to a monotone counter.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Increment a monotone counter by one.
+    fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Raise a max-type counter to at least `value`.
+    fn max(&self, counter: Counter, value: u64) {
+        let _ = (counter, value);
+    }
+
+    /// Record one timed execution of the named phase. Repeated spans for
+    /// the same phase accumulate (total time + hit count).
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
+
+    /// Record a discrete event (deadline hit, isolated panic, …).
+    fn event(&self, kind: &'static str, detail: &str) {
+        let _ = (kind, detail);
+    }
+}
+
+/// Runs `f`, recording its wall time as a span named `phase` when the
+/// recorder is enabled. With a disabled recorder this is exactly `f()` —
+/// not even the clock is read.
+pub fn timed<R: Recorder, T>(rec: &R, phase: &'static str, f: impl FnOnce() -> T) -> T {
+    if !rec.enabled() {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    rec.span(phase, start.elapsed());
+    out
+}
+
+/// Records how a controlled run ended: a no-op for complete runs, a
+/// counter bump plus an event for deadline hits and cancellations.
+pub fn record_outcome<R: Recorder>(rec: &R, outcome: crate::control::RunOutcome, what: &str) {
+    if !rec.enabled() {
+        return;
+    }
+    match outcome {
+        crate::control::RunOutcome::Complete => {}
+        crate::control::RunOutcome::Deadline => {
+            rec.incr(Counter::DeadlineHits);
+            rec.event("deadline", what);
+        }
+        crate::control::RunOutcome::Cancelled => {
+            rec.incr(Counter::Cancellations);
+            rec.event("cancelled", what);
+        }
+    }
+}
+
+/// Records one isolated worker panic.
+pub fn record_panic<R: Recorder>(rec: &R, detail: &str) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.incr(Counter::PanicsIsolated);
+    rec.event("panic_isolated", detail);
+}
+
+/// [`RunControl::admit_memory`](crate::control::RunControl::admit_memory)
+/// with the verdict recorded (admission or rejection).
+pub fn admit_memory_rec<R: Recorder>(
+    ctl: &crate::control::RunControl,
+    required_bytes: u64,
+    rec: &R,
+) -> Result<(), crate::control::MemoryBudgetExceeded> {
+    match ctl.admit_memory(required_bytes) {
+        Ok(()) => {
+            if rec.enabled() {
+                rec.incr(Counter::MemoryAdmissions);
+            }
+            Ok(())
+        }
+        Err(e) => {
+            if rec.enabled() {
+                rec.incr(Counter::MemoryRejections);
+                rec.event("memory_rejected", &format!("required {required_bytes} bytes"));
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The no-overhead default recorder: every method is the no-op default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Blanket impl so `&R` works wherever `R: Recorder` is expected.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn add(&self, counter: Counter, n: u64) {
+        (**self).add(counter, n);
+    }
+    fn max(&self, counter: Counter, value: u64) {
+        (**self).max(counter, value);
+    }
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        (**self).span(phase, elapsed);
+    }
+    fn event(&self, kind: &'static str, detail: &str) {
+        (**self).event(kind, detail);
+    }
+}
+
+/// An optional recorder: `None` behaves exactly like [`NullRecorder`]
+/// (every method a no-op, `enabled()` false), `Some(r)` delegates to `r`.
+/// Lets call sites choose at runtime whether to record without giving up
+/// static dispatch — e.g. a CLI that only builds a [`RunRecorder`] when
+/// `--metrics` was passed.
+impl<R: Recorder> Recorder for Option<R> {
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(Recorder::enabled)
+    }
+    fn add(&self, counter: Counter, n: u64) {
+        if let Some(r) = self {
+            r.add(counter, n);
+        }
+    }
+    fn max(&self, counter: Counter, value: u64) {
+        if let Some(r) = self {
+            r.max(counter, value);
+        }
+    }
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        if let Some(r) = self {
+            r.span(phase, elapsed);
+        }
+    }
+    fn event(&self, kind: &'static str, detail: &str) {
+        if let Some(r) = self {
+            r.event(kind, detail);
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+
+/// Cap on stored events so a pathological run cannot balloon the report.
+const MAX_EVENTS: usize = 64;
+
+/// Thread-safe telemetry collector: atomic counters, accumulated phase
+/// spans and a bounded event log, snapshotted via [`RunRecorder::report`].
+pub struct RunRecorder {
+    counters: [AtomicU64; NUM_COUNTERS],
+    spans: Mutex<Vec<(&'static str, Duration, u64)>>,
+    events: Mutex<Vec<(String, String)>>,
+    dropped_events: AtomicU64,
+    started: Instant,
+}
+
+impl Default for RunRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for RunRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunRecorder").finish_non_exhaustive()
+    }
+}
+
+impl RunRecorder {
+    /// Creates an empty recorder; the report's `elapsed_seconds` is
+    /// measured from this call.
+    pub fn new() -> Self {
+        RunRecorder {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            spans: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+            dropped_events: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot everything recorded so far into a serializable report.
+    pub fn report(&self) -> RunReport {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), self.counter(c)))
+            .collect();
+        let phases = self
+            .spans
+            .lock()
+            .expect("telemetry span lock")
+            .iter()
+            .map(|&(name, total, count)| PhaseSpan {
+                name: name.to_string(),
+                total_seconds: total.as_secs_f64(),
+                count,
+            })
+            .collect();
+        let events = self
+            .events
+            .lock()
+            .expect("telemetry event lock")
+            .iter()
+            .map(|(kind, detail)| ReportEvent { kind: kind.clone(), detail: detail.clone() })
+            .collect();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let edges = self.counter(Counter::EdgesScanned) as f64;
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            counters,
+            phases,
+            events,
+            dropped_events: self.dropped_events.load(Ordering::Relaxed),
+            derived: DerivedMetrics {
+                elapsed_seconds: elapsed,
+                mteps: if elapsed > 0.0 { edges / elapsed / 1e6 } else { 0.0 },
+            },
+        }
+    }
+}
+
+impl Recorder for RunRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn max(&self, counter: Counter, value: u64) {
+        self.counters[counter as usize].fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        let mut spans = self.spans.lock().expect("telemetry span lock");
+        match spans.iter_mut().find(|(name, _, _)| *name == phase) {
+            Some(entry) => {
+                entry.1 += elapsed;
+                entry.2 += 1;
+            }
+            None => spans.push((phase, elapsed, 1)),
+        }
+    }
+
+    fn event(&self, kind: &'static str, detail: &str) {
+        let mut events = self.events.lock().expect("telemetry event lock");
+        if events.len() < MAX_EVENTS {
+            events.push((kind.to_string(), detail.to_string()));
+        } else {
+            self.dropped_events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Accumulated time for one named phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name (insertion order in the report follows first use).
+    pub name: String,
+    /// Total wall time across all executions of the phase.
+    pub total_seconds: f64,
+    /// How many times the phase executed.
+    pub count: u64,
+}
+
+/// One discrete event captured during the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportEvent {
+    /// Event kind (`deadline`, `cancelled`, `panic_isolated`, …).
+    pub kind: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// Metrics derived from the raw counters at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// Wall time from recorder construction to the snapshot.
+    pub elapsed_seconds: f64,
+    /// Millions of traversed arcs per second
+    /// (`edges_scanned / elapsed_seconds / 1e6`), comparable with the
+    /// kernels benchmark because both charge `num_arcs()` per source.
+    pub mteps: f64,
+}
+
+/// Snapshot of one run's telemetry, serialized with the stable schema tag
+/// `brics.run_report/v1`. All counter keys are always present (zeros
+/// included) so downstream tooling can rely on the key set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema identifier; always [`RunReport::SCHEMA`].
+    pub schema: String,
+    /// Every counter by stable name (all keys present, zeros included).
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Accumulated phase spans, in first-use order.
+    pub phases: Vec<PhaseSpan>,
+    /// Discrete events, capped at an internal limit.
+    pub events: Vec<ReportEvent>,
+    /// Number of events discarded after the cap was reached.
+    pub dropped_events: u64,
+    /// Metrics derived from the counters at snapshot time.
+    pub derived: DerivedMetrics,
+}
+
+impl RunReport {
+    /// The stable schema tag emitted in every report.
+    pub const SCHEMA: &'static str = "brics.run_report/v1";
+
+    /// Renders a compact human-readable table (for `--metrics-summary`):
+    /// phases with times, then all non-zero counters, then events.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("run report\n");
+        out.push_str(&format!(
+            "  elapsed {:.3}s  mteps {:.2}\n",
+            self.derived.elapsed_seconds, self.derived.mteps
+        ));
+        if !self.phases.is_empty() {
+            out.push_str("  phases:\n");
+            for p in &self.phases {
+                out.push_str(&format!(
+                    "    {:<28} {:>10.3} ms  x{}\n",
+                    p.name,
+                    p.total_seconds * 1e3,
+                    p.count
+                ));
+            }
+        }
+        let nonzero: Vec<_> = self.counters.iter().filter(|(_, &v)| v != 0).collect();
+        if !nonzero.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, value) in nonzero {
+                out.push_str(&format!("    {name:<28} {value:>12}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("  events:\n");
+            for e in &self.events {
+                out.push_str(&format!("    {}: {}\n", e.kind, e.detail));
+            }
+            if self.dropped_events > 0 {
+                out.push_str(&format!("    … {} more dropped\n", self.dropped_events));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_match_all() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, NUM_COUNTERS);
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.incr(Counter::BfsSources);
+        rec.span("x", Duration::from_secs(1));
+        rec.event("k", "d");
+    }
+
+    #[test]
+    fn run_recorder_accumulates() {
+        let rec = RunRecorder::new();
+        rec.incr(Counter::BfsSources);
+        rec.add(Counter::BfsSources, 2);
+        rec.add(Counter::EdgesScanned, 100);
+        rec.max(Counter::PeakFrontier, 7);
+        rec.max(Counter::PeakFrontier, 3);
+        rec.span("bfs", Duration::from_millis(2));
+        rec.span("bfs", Duration::from_millis(3));
+        rec.span("reduce", Duration::from_millis(1));
+        rec.event("deadline", "hit after 2 sources");
+        let report = rec.report();
+        assert_eq!(report.counters["bfs_sources"], 3);
+        assert_eq!(report.counters["edges_scanned"], 100);
+        assert_eq!(report.counters["peak_frontier"], 7);
+        // Untouched counters still present, zero-valued.
+        assert_eq!(report.counters["reduce_rounds"], 0);
+        assert_eq!(report.counters.len(), NUM_COUNTERS);
+        let bfs = report.phases.iter().find(|p| p.name == "bfs").unwrap();
+        assert_eq!(bfs.count, 2);
+        assert!((bfs.total_seconds - 0.005).abs() < 1e-9);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.dropped_events, 0);
+        assert!(report.derived.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn event_cap_drops_with_count() {
+        let rec = RunRecorder::new();
+        for i in 0..(MAX_EVENTS + 5) {
+            rec.event("e", &i.to_string());
+        }
+        let report = rec.report();
+        assert_eq!(report.events.len(), MAX_EVENTS);
+        assert_eq!(report.dropped_events, 5);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::EdgesScanned, 42);
+        rec.span("assemble", Duration::from_micros(10));
+        let report = rec.report();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("brics.run_report/v1"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters["edges_scanned"], 42);
+        assert_eq!(back.schema, RunReport::SCHEMA);
+    }
+
+    #[test]
+    fn summary_table_shows_nonzero_counters_and_phases() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::BfsSources, 4);
+        rec.span("estimate", Duration::from_millis(1));
+        rec.event("deadline", "expired");
+        let table = rec.report().summary_table();
+        assert!(table.contains("bfs_sources"));
+        assert!(table.contains("estimate"));
+        assert!(table.contains("deadline: expired"));
+        assert!(!table.contains("reduce_rounds"));
+    }
+
+    #[test]
+    fn recorder_by_reference_forwards() {
+        fn takes<R: Recorder>(rec: &R) {
+            rec.incr(Counter::BfsSources);
+        }
+        let rec = RunRecorder::new();
+        takes(&&rec);
+        assert_eq!(rec.counter(Counter::BfsSources), 1);
+    }
+}

@@ -138,6 +138,32 @@ impl KernelConfig {
     }
 }
 
+/// Per-traversal statistics exposed for telemetry: how the
+/// direction-switching heuristic behaved on the most recent run.
+///
+/// Maintaining these is a handful of integer ops per *level* (not per
+/// arc), so the kernels update them unconditionally; recorders harvest
+/// them only when enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Levels expanded (the eccentricity of the source when connected).
+    pub levels: u64,
+    /// Levels executed with the bottom-up step.
+    pub bottom_up_levels: u64,
+    /// Direction switches (either direction) taken by the heuristic.
+    pub direction_switches: u64,
+    /// Largest frontier, in vertices, fed to any level expansion.
+    pub peak_frontier: u64,
+}
+
+impl TraversalStats {
+    fn level(&mut self, bottom_up: bool, n_f: usize) {
+        self.levels += 1;
+        self.bottom_up_levels += u64::from(bottom_up);
+        self.peak_frontier = self.peak_frontier.max(n_f as u64);
+    }
+}
+
 /// Uniform constructor/run interface over the serial BFS kernels so the
 /// source-parallel drivers can be generic over [`Kernel`].
 pub trait SerialBfsKernel: Send {
@@ -154,6 +180,12 @@ pub trait SerialBfsKernel: Send {
         source: NodeId,
         visit: F,
     ) -> (usize, u64);
+
+    /// Heuristic statistics from the most recent run. Kernels without a
+    /// direction heuristic report the zero default.
+    fn last_stats(&self) -> TraversalStats {
+        TraversalStats::default()
+    }
 }
 
 impl SerialBfsKernel for super::bfs::Bfs {
@@ -184,6 +216,10 @@ impl SerialBfsKernel for HybridBfs {
     ) -> (usize, u64) {
         self.run_with(g, source, visit)
     }
+
+    fn last_stats(&self) -> TraversalStats {
+        self.stats
+    }
 }
 
 /// Serial direction-optimizing BFS with reusable scratch.
@@ -203,6 +239,7 @@ pub struct HybridBfs {
     bits: FrontierBitmap,
     next_bits: FrontierBitmap,
     params: HybridParams,
+    stats: TraversalStats,
 }
 
 impl HybridBfs {
@@ -221,12 +258,18 @@ impl HybridBfs {
             bits: FrontierBitmap::new(n),
             next_bits: FrontierBitmap::new(n),
             params,
+            stats: TraversalStats::default(),
         }
     }
 
     /// The switching parameters in effect.
     pub fn params(&self) -> HybridParams {
         self.params
+    }
+
+    /// Heuristic statistics from the most recent run.
+    pub fn last_stats(&self) -> TraversalStats {
+        self.stats
     }
 
     /// Grows the scratch space if the graph is larger than at construction.
@@ -285,6 +328,7 @@ impl HybridBfs {
         // tail of high-diameter graphs (road class) flips to bottom-up —
         // whose per-level cost is Θ(n) — and BFS degrades to Θ(n·levels).
         let mut growing = true;
+        self.stats = TraversalStats::default();
 
         while n_f > 0 {
             level += 1;
@@ -292,12 +336,15 @@ impl HybridBfs {
                 if growing && m_f as f64 > m_u as f64 / self.params.alpha {
                     self.bits.fill_from(&self.frontier);
                     bottom_up = true;
+                    self.stats.direction_switches += 1;
                 }
             } else if !growing && (n_f as f64) < n as f64 / self.params.beta {
                 self.frontier.clear();
                 self.frontier.extend(self.bits.iter_set());
                 bottom_up = false;
+                self.stats.direction_switches += 1;
             }
+            self.stats.level(bottom_up, n_f);
 
             let mut new_nf = 0usize;
             let mut new_mf = 0u64;
@@ -401,6 +448,7 @@ pub struct ParFrontierBfs {
     bits: FrontierBitmap,
     next_bits: FrontierBitmap,
     params: HybridParams,
+    stats: TraversalStats,
 }
 
 impl ParFrontierBfs {
@@ -418,6 +466,7 @@ impl ParFrontierBfs {
             bits: FrontierBitmap::new(n),
             next_bits: FrontierBitmap::new(n),
             params,
+            stats: TraversalStats::default(),
         }
     }
 
@@ -428,6 +477,12 @@ impl ParFrontierBfs {
         }
         self.bits.resize(n);
         self.next_bits.resize(n);
+    }
+
+    /// Heuristic statistics from the most recent run (partial after an
+    /// interrupted run: the completed levels only).
+    pub fn last_stats(&self) -> TraversalStats {
+        self.stats
     }
 
     /// Uncontrolled convenience wrapper around [`ParFrontierBfs::run_ctl`].
@@ -468,6 +523,7 @@ impl ParFrontierBfs {
         // (→ back to top-down).
         let mut growing = true;
         let threads = rayon::current_num_threads();
+        self.stats = TraversalStats::default();
 
         while n_f > 0 {
             if let Some(cause) = ctl.should_stop() {
@@ -478,12 +534,15 @@ impl ParFrontierBfs {
                 if growing && m_f as f64 > m_u as f64 / self.params.alpha {
                     self.bits.fill_from(&self.frontier);
                     bottom_up = true;
+                    self.stats.direction_switches += 1;
                 }
             } else if !growing && (n_f as f64) < n as f64 / self.params.beta {
                 self.frontier.clear();
                 self.frontier.extend(self.bits.iter_set());
                 bottom_up = false;
+                self.stats.direction_switches += 1;
             }
+            self.stats.level(bottom_up, n_f);
 
             let (new_nf, new_mf) = if bottom_up {
                 self.step_bottom_up(g, level, threads)
@@ -733,6 +792,41 @@ mod tests {
                 assert_eq!(w[0].1, w[1].0);
             }
         }
+    }
+
+    #[test]
+    fn traversal_stats_reflect_heuristic() {
+        // Path graph under always-top-down: n-1 levels, never bottom-up,
+        // every frontier has exactly one vertex.
+        let g = path_graph(40);
+        let mut hy = HybridBfs::with_params(40, HybridParams::always_top_down());
+        hy.run(&g, 0);
+        let s = hy.last_stats();
+        assert_eq!(s.levels, 40);
+        assert_eq!(s.bottom_up_levels, 0);
+        assert_eq!(s.direction_switches, 0);
+        assert_eq!(s.peak_frontier, 1);
+
+        // Complete graph under eager bottom-up: switches once, runs the
+        // explosive level bottom-up.
+        let g = complete_graph(16);
+        let mut hy = HybridBfs::with_params(16, HybridParams::eager_bottom_up());
+        hy.run(&g, 0);
+        let s = hy.last_stats();
+        assert!(s.bottom_up_levels >= 1);
+        assert_eq!(s.direction_switches, 1);
+
+        // The frontier-parallel engine reports the same shape.
+        let mut pf = ParFrontierBfs::with_params(16, HybridParams::eager_bottom_up());
+        pf.run(&g, 0);
+        assert_eq!(pf.last_stats(), s);
+
+        // Stats reset between runs.
+        let g = path_graph(10);
+        let mut hy = HybridBfs::with_params(10, HybridParams::always_top_down());
+        hy.run(&g, 0);
+        hy.run(&g, 9);
+        assert_eq!(hy.last_stats().levels, 10);
     }
 
     #[test]

@@ -18,10 +18,11 @@ pub use dial::DialBfs;
 pub use frontier::{FrontierBitmap, SetBits};
 pub use hybrid::{
     HybridBfs, HybridParams, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel,
+    TraversalStats,
 };
 pub use parallel::{
     atomic_view, atomic_view_u32, par_bfs_accumulate, par_bfs_accumulate_ctl,
-    par_bfs_accumulate_ctl_with, par_bfs_from_sources, par_bfs_from_sources_ctl,
-    par_bfs_sums_ctl, par_bfs_sums_ctl_with, AccumulatorStats, ControlledAccumulation,
-    WorkerGuard, WorkerPanic,
+    par_bfs_accumulate_ctl_rec, par_bfs_accumulate_ctl_with, par_bfs_from_sources,
+    par_bfs_from_sources_ctl, par_bfs_sums_ctl, par_bfs_sums_ctl_rec, par_bfs_sums_ctl_with,
+    AccumulatorStats, ControlledAccumulation, WorkerGuard, WorkerPanic,
 };

@@ -18,6 +18,7 @@
 use super::bfs::Bfs;
 use super::hybrid::{HybridBfs, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel};
 use crate::control::{panic_message, RunControl, RunOutcome};
+use crate::telemetry::{Counter, NullRecorder, Recorder};
 use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -242,19 +243,50 @@ pub fn par_bfs_accumulate_ctl_with(
     ctl: &RunControl,
     cfg: &KernelConfig,
 ) -> Result<ControlledAccumulation, WorkerPanic> {
+    par_bfs_accumulate_ctl_rec(g, sources, acc, ctl, cfg, &NullRecorder)
+}
+
+/// [`par_bfs_accumulate_ctl_with`] with a telemetry [`Recorder`]. The
+/// recorder only observes — kernel selection, scheduling and results are
+/// bit-identical with [`NullRecorder`] (which this whole stack defaults
+/// to, compiling the instrumentation away).
+pub fn par_bfs_accumulate_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    acc: &mut [u64],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+    rec: &R,
+) -> Result<ControlledAccumulation, WorkerPanic> {
     assert!(acc.len() >= g.num_nodes(), "accumulator too small");
     let per_source = if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads())
     {
-        frontier_parallel_rows(g, sources, ctl, cfg, Some(acc))?
+        frontier_parallel_rows(g, sources, ctl, cfg, Some(acc), rec)?
     } else {
         match cfg.kernel {
-            Kernel::TopDown => source_parallel_rows::<Bfs>(g, sources, ctl, cfg, Some(acc))?,
+            Kernel::TopDown => source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, Some(acc), rec)?,
             Kernel::Auto | Kernel::Hybrid => {
-                source_parallel_rows::<HybridBfs>(g, sources, ctl, cfg, Some(acc))?
+                source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, Some(acc), rec)?
             }
         }
     };
+    record_rows(rec, g, &per_source.0);
     Ok(finish_accumulation(per_source))
+}
+
+/// Charges the per-source counters for one driver call: completed sources
+/// (at the bench's `num_arcs()`-per-source edge convention, keeping the
+/// report's MTEPS comparable with `BENCH_kernels.json`) and skipped ones.
+fn record_rows<R: Recorder>(rec: &R, g: &CsrGraph, rows: &[Option<(usize, u64)>]) {
+    if !rec.enabled() {
+        return;
+    }
+    let done = rows.iter().flatten().count() as u64;
+    let visited: u64 = rows.iter().flatten().map(|&(r, _)| r as u64).sum();
+    rec.add(Counter::BfsSources, done);
+    rec.add(Counter::VerticesVisited, visited);
+    rec.add(Counter::EdgesScanned, done * g.num_arcs() as u64);
+    rec.add(Counter::BfsSourcesSkipped, rows.len() as u64 - done);
 }
 
 /// Folds per-source rows into the [`ControlledAccumulation`] summary.
@@ -271,13 +303,20 @@ fn finish_accumulation(
 /// Source-parallel driver, generic over the serial kernel. When `acc` is
 /// given, every visited vertex's distance is added into it atomically
 /// (excluding the source itself at distance 0).
-fn source_parallel_rows<K: SerialBfsKernel>(
+fn source_parallel_rows<K: SerialBfsKernel, R: Recorder>(
     g: &CsrGraph,
     sources: &[NodeId],
     ctl: &RunControl,
     cfg: &KernelConfig,
     acc: Option<&mut [u64]>,
+    rec: &R,
 ) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    if rec.enabled() {
+        rec.incr(match cfg.kernel {
+            Kernel::TopDown => Counter::BatchesTopdown,
+            Kernel::Auto | Kernel::Hybrid => Counter::BatchesHybrid,
+        });
+    }
     let atomic_acc = acc.map(atomic_view);
     let guard = WorkerGuard::new(ctl);
     let rows: Vec<Option<(usize, u64)>> = sources
@@ -285,13 +324,19 @@ fn source_parallel_rows<K: SerialBfsKernel>(
         .map_init(
             || K::for_config(g.num_nodes(), cfg),
             |bfs, &s| {
-                guard.run_source(s, || match atomic_acc {
-                    Some(atomic_acc) => bfs.run_with_visit(g, s, |v, d| {
-                        if d > 0 {
-                            atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
-                        }
-                    }),
-                    None => bfs.run_with_visit(g, s, |_, _| {}),
+                guard.run_source(s, || {
+                    let out = match atomic_acc {
+                        Some(atomic_acc) => bfs.run_with_visit(g, s, |v, d| {
+                            if d > 0 {
+                                atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
+                            }
+                        }),
+                        None => bfs.run_with_visit(g, s, |_, _| {}),
+                    };
+                    if rec.enabled() {
+                        record_traversal_stats(rec, bfs.last_stats());
+                    }
+                    out
                 })
             },
         )
@@ -300,18 +345,30 @@ fn source_parallel_rows<K: SerialBfsKernel>(
     Ok((rows, outcome))
 }
 
+/// Publishes one kernel traversal's heuristic stats into the recorder.
+fn record_traversal_stats<R: Recorder>(rec: &R, st: super::hybrid::TraversalStats) {
+    rec.add(Counter::FrontierLevels, st.levels);
+    rec.add(Counter::BottomUpLevels, st.bottom_up_levels);
+    rec.add(Counter::DirectionSwitches, st.direction_switches);
+    rec.max(Counter::PeakFrontier, st.peak_frontier);
+}
+
 /// Frontier-parallel driver: sources run serially, each traversal using the
 /// whole pool. Contributions are published into `acc` only after a source's
 /// traversal completes, so an interruption (checked per level inside
 /// [`ParFrontierBfs::run_ctl`]) leaves `acc` holding exactly the completed
 /// sources — the same contract as the source-parallel path.
-fn frontier_parallel_rows(
+fn frontier_parallel_rows<R: Recorder>(
     g: &CsrGraph,
     sources: &[NodeId],
     ctl: &RunControl,
     cfg: &KernelConfig,
     mut acc: Option<&mut [u64]>,
+    rec: &R,
 ) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    if rec.enabled() {
+        rec.incr(Counter::BatchesFrontierParallel);
+    }
     let n = g.num_nodes();
     let mut engine = ParFrontierBfs::with_params(n, cfg.params);
     let mut rows: Vec<Option<(usize, u64)>> = Vec::with_capacity(sources.len());
@@ -342,6 +399,9 @@ fn frontier_parallel_rows(
                             acc[v] += d as u64;
                         }
                     }
+                }
+                if rec.enabled() {
+                    record_traversal_stats(rec, engine.last_stats());
                 }
                 rows.push(Some((reached, sum)));
             }
@@ -385,15 +445,30 @@ pub fn par_bfs_sums_ctl_with(
     ctl: &RunControl,
     cfg: &KernelConfig,
 ) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
-    if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
-        return frontier_parallel_rows(g, sources, ctl, cfg, None);
-    }
-    match cfg.kernel {
-        Kernel::TopDown => source_parallel_rows::<Bfs>(g, sources, ctl, cfg, None),
-        Kernel::Auto | Kernel::Hybrid => {
-            source_parallel_rows::<HybridBfs>(g, sources, ctl, cfg, None)
+    par_bfs_sums_ctl_rec(g, sources, ctl, cfg, &NullRecorder)
+}
+
+/// [`par_bfs_sums_ctl_with`] with a telemetry [`Recorder`]; same
+/// observe-only contract as [`par_bfs_accumulate_ctl_rec`].
+pub fn par_bfs_sums_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+    rec: &R,
+) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    let rows = if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
+        frontier_parallel_rows(g, sources, ctl, cfg, None, rec)?
+    } else {
+        match cfg.kernel {
+            Kernel::TopDown => source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, None, rec)?,
+            Kernel::Auto | Kernel::Hybrid => {
+                source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, None, rec)?
+            }
         }
-    }
+    };
+    record_rows(rec, g, &rows.0);
+    Ok(rows)
 }
 
 /// Controlled variant of [`par_bfs_from_sources`]: rows of interrupted
@@ -703,6 +778,44 @@ mod tests {
                     .unwrap_err();
             assert!(err.detail.contains("source 8"), "got: {}", err.detail);
         });
+    }
+
+    #[test]
+    fn recorded_run_reconciles_counters_and_preserves_results() {
+        use crate::telemetry::RunRecorder;
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![0, 4, 8];
+
+        let mut plain = vec![0u64; 9];
+        let base = par_bfs_accumulate_ctl(&g, &sources, &mut plain, &RunControl::new()).unwrap();
+
+        let rec = RunRecorder::new();
+        let mut acc = vec![0u64; 9];
+        let cfg = KernelConfig::default();
+        let run =
+            par_bfs_accumulate_ctl_rec(&g, &sources, &mut acc, &RunControl::new(), &cfg, &rec)
+                .unwrap();
+        assert_eq!(acc, plain, "recorder must not change the accumulator");
+        assert_eq!(run.per_source, base.per_source);
+
+        assert_eq!(rec.counter(Counter::BfsSources), 3);
+        assert_eq!(rec.counter(Counter::BfsSourcesSkipped), 0);
+        assert_eq!(rec.counter(Counter::VerticesVisited), 27);
+        assert_eq!(rec.counter(Counter::EdgesScanned), 3 * g.num_arcs() as u64);
+        assert_eq!(
+            rec.counter(Counter::BatchesHybrid) + rec.counter(Counter::BatchesFrontierParallel),
+            1
+        );
+        assert!(rec.counter(Counter::FrontierLevels) > 0);
+
+        // Interrupted run: every source skipped, none completed.
+        let rec = RunRecorder::new();
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let mut acc = vec![0u64; 9];
+        par_bfs_accumulate_ctl_rec(&g, &sources, &mut acc, &ctl, &cfg, &rec).unwrap();
+        assert_eq!(rec.counter(Counter::BfsSources), 0);
+        assert_eq!(rec.counter(Counter::BfsSourcesSkipped), 3);
+        assert_eq!(rec.counter(Counter::EdgesScanned), 0);
     }
 
     #[test]

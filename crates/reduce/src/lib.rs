@@ -50,7 +50,7 @@ mod records;
 pub mod redundant;
 
 pub use mutgraph::MutGraph;
-pub use pipeline::{reduce, reduce_ctl, ReductionConfig, ReductionResult, ReductionStats};
+pub use pipeline::{reduce, reduce_ctl, reduce_ctl_rec, ReductionConfig, ReductionResult, ReductionStats};
 pub use records::{
     apply_record, reconstruct_distances, structural_offsets, ChainKind, Removal,
 };

@@ -11,6 +11,7 @@ use crate::identical::remove_identical_nodes_ctl;
 use crate::mutgraph::MutGraph;
 use crate::records::{ChainKind, Removal};
 use crate::redundant::remove_redundant_nodes;
+use brics_graph::telemetry::{timed, Counter, NullRecorder, Recorder};
 use brics_graph::{CsrGraph, RunControl, RunOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -179,6 +180,19 @@ pub fn reduce_ctl(
     config: &ReductionConfig,
     ctl: &RunControl,
 ) -> Result<ReductionResult, RunOutcome> {
+    reduce_ctl_rec(g, config, ctl, &NullRecorder)
+}
+
+/// [`reduce_ctl`] with a telemetry [`Recorder`]: per-rule spans
+/// (`reduce.identical` / `reduce.chains` / `reduce.redundant` /
+/// `reduce.contract`) plus the Table-I removal counters. The recorder only
+/// observes; the reduction computed is bit-identical with [`NullRecorder`].
+pub fn reduce_ctl_rec<R: Recorder>(
+    g: &CsrGraph,
+    config: &ReductionConfig,
+    ctl: &RunControl,
+    rec: &R,
+) -> Result<ReductionResult, RunOutcome> {
     let check = |stage: &mut RunOutcome| -> bool {
         match ctl.should_stop() {
             Some(o) => {
@@ -200,7 +214,8 @@ pub fn reduce_ctl(
         if check(&mut stop) {
             return Err(stop);
         }
-        let (plain, chain_shaped) = remove_identical_nodes_ctl(&mut mg, ctl, &mut records)?;
+        let (plain, chain_shaped) =
+            timed(rec, "reduce.identical", || remove_identical_nodes_ctl(&mut mg, ctl, &mut records))?;
         stats.identical_nodes += plain;
         stats.identical_chain_nodes += chain_shaped;
     }
@@ -213,7 +228,8 @@ pub fn reduce_ctl(
             if check(&mut stop) {
                 return Err(stop);
             }
-            let cs = remove_redundant_chains_ctl(&mut mg, ctl, &mut records)?;
+            let cs =
+                timed(rec, "reduce.chains", || remove_redundant_chains_ctl(&mut mg, ctl, &mut records))?;
             if rounds == 1 {
                 stats.chain_nodes = cs.total_chain_nodes;
             }
@@ -225,7 +241,7 @@ pub fn reduce_ctl(
             if check(&mut stop) {
                 return Err(stop);
             }
-            let rs = remove_redundant_nodes(&mut mg, &mut records);
+            let rs = timed(rec, "reduce.redundant", || remove_redundant_nodes(&mut mg, &mut records));
             stats.redundant_nodes += rs.removed();
             removed_this_round += rs.removed();
         }
@@ -244,27 +260,32 @@ pub fn reduce_ctl(
         if check(&mut stop) {
             return Err(stop);
         }
-        let between = crate::chains::find_chains_ctl(&mg, ctl)?;
-        for (i, c) in between.into_iter().enumerate() {
-            if i % 256 == 0 && check(&mut stop) {
-                return Err(stop);
+        timed(rec, "reduce.contract", || -> Result<(), RunOutcome> {
+            let between = crate::chains::find_chains_ctl(&mg, ctl)?;
+            for (i, c) in between.into_iter().enumerate() {
+                if i % 256 == 0 {
+                    if let Some(o) = ctl.should_stop() {
+                        return Err(o);
+                    }
+                }
+                if c.shape != crate::chains::ChainShape::Between {
+                    continue;
+                }
+                let w = c.nodes.len() as u32 + 1;
+                for &x in &c.nodes {
+                    mg.remove_vertex(x);
+                }
+                stats.contracted_chain_nodes += c.nodes.len();
+                contracted_edges.push((c.u, c.v, w));
+                records.push(Removal::Chain {
+                    u: c.u,
+                    v: c.v,
+                    nodes: c.nodes,
+                    kind: ChainKind::Contracted,
+                });
             }
-            if c.shape != crate::chains::ChainShape::Between {
-                continue;
-            }
-            let w = c.nodes.len() as u32 + 1;
-            for &x in &c.nodes {
-                mg.remove_vertex(x);
-            }
-            stats.contracted_chain_nodes += c.nodes.len();
-            contracted_edges.push((c.u, c.v, w));
-            records.push(Removal::Chain {
-                u: c.u,
-                v: c.v,
-                nodes: c.nodes,
-                kind: ChainKind::Contracted,
-            });
-        }
+            Ok(())
+        })?;
     }
 
     stats.total_removed = records.iter().map(Removal::removed_count).sum();
@@ -280,6 +301,16 @@ pub fn reduce_ctl(
         (g, Some(w))
     };
     stats.surviving_edges = graph.num_edges();
+    if rec.enabled() {
+        rec.add(Counter::ReduceIdenticalRemoved, stats.identical_nodes as u64);
+        rec.add(Counter::ReduceIdenticalChainRemoved, stats.identical_chain_nodes as u64);
+        rec.add(Counter::ReduceChainRemoved, stats.removed_chain_nodes as u64);
+        rec.add(Counter::ReduceContractedRemoved, stats.contracted_chain_nodes as u64);
+        rec.add(Counter::ReduceRedundantRemoved, stats.redundant_nodes as u64);
+        rec.add(Counter::ReduceRounds, stats.rounds as u64);
+        rec.add(Counter::ReduceSurvivingNodes, stats.surviving_nodes as u64);
+        rec.add(Counter::ReduceSurvivingEdges, stats.surviving_edges as u64);
+    }
     Ok(ReductionResult {
         graph,
         weights,
@@ -466,6 +497,40 @@ mod tests {
         let g = cycle_graph(12);
         let r = reduce(&g, &ReductionConfig::all().with_fixpoint());
         assert_eq!(r.num_surviving(), 12);
+    }
+
+    #[test]
+    fn recorded_reduction_is_identical_and_counters_reconcile() {
+        use brics_graph::telemetry::{Counter, RunRecorder};
+        let g = gnm_random_connected(80, 100, 9);
+        let config = ReductionConfig::all().with_fixpoint();
+        let plain = reduce(&g, &config);
+        let rec = RunRecorder::new();
+        let recorded = reduce_ctl_rec(&g, &config, &RunControl::new(), &rec).unwrap();
+        assert_eq!(recorded.removed, plain.removed);
+        assert_eq!(recorded.stats, plain.stats);
+        assert_eq!(recorded.records, plain.records);
+
+        // Removal counters must sum to the removed-vertex count.
+        let removed_sum = rec.counter(Counter::ReduceIdenticalRemoved)
+            + rec.counter(Counter::ReduceIdenticalChainRemoved)
+            + rec.counter(Counter::ReduceChainRemoved)
+            + rec.counter(Counter::ReduceContractedRemoved)
+            + rec.counter(Counter::ReduceRedundantRemoved);
+        assert_eq!(removed_sum, plain.stats.total_removed as u64);
+        assert_eq!(rec.counter(Counter::ReduceRounds), plain.stats.rounds as u64);
+        assert_eq!(
+            rec.counter(Counter::ReduceSurvivingNodes),
+            plain.stats.surviving_nodes as u64
+        );
+        // Per-rule spans were recorded for the enabled passes.
+        let report = rec.report();
+        for phase in ["reduce.identical", "reduce.chains", "reduce.redundant", "reduce.contract"] {
+            assert!(
+                report.phases.iter().any(|p| p.name == phase),
+                "missing span {phase}"
+            );
+        }
     }
 
     #[test]

@@ -333,6 +333,30 @@ impl_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+/// Matches real serde's map representation: a JSON object keyed by the
+/// map's string keys, in the map's (sorted) iteration order.
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    V::from_value(v)
+                        .map(|v| (k.clone(), v))
+                        .map_err(|e| DeError(format!("key `{k}`: {e}")))
+                })
+                .collect(),
+            other => Err(DeError(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
 /// Matches real serde's representation: `{"secs": u64, "nanos": u32}`.
 impl Serialize for Duration {
     fn to_value(&self) -> Value {

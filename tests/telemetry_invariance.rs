@@ -1,0 +1,121 @@
+//! Telemetry is observe-only: attaching a `RunRecorder` must never change
+//! a result. Every assertion here compares a recorded run against an
+//! unrecorded one **bit for bit** — raw sums, scaled views (`f64` bits),
+//! sampled masks, coverage and source counts — across all methods, kernel
+//! configs and interrupted runs. The recorded run additionally has its
+//! headline counters cross-checked against the estimate it produced, so a
+//! recorder that lies (or perturbs) fails here too.
+
+use brics::{BricsEstimator, FarnessEstimate, Method, SampleSize};
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::telemetry::Counter;
+use brics_graph::traversal::{Kernel, KernelConfig};
+use brics_graph::{RunControl, RunOutcome};
+use brics::RunRecorder;
+
+const METHODS: [Method; 4] =
+    [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative];
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical(a: &FarnessEstimate, b: &FarnessEstimate, what: &str) {
+    assert_eq!(a.raw(), b.raw(), "{what}: raw");
+    assert_eq!(bits(a.scaled()), bits(b.scaled()), "{what}: scaled bits");
+    assert_eq!(a.sampled_mask(), b.sampled_mask(), "{what}: sampled mask");
+    assert_eq!(a.coverage(), b.coverage(), "{what}: coverage");
+    assert_eq!(a.num_sources(), b.num_sources(), "{what}: num_sources");
+    assert_eq!(a.outcome(), b.outcome(), "{what}: outcome");
+}
+
+#[test]
+fn recorded_estimates_are_bit_identical_across_methods_and_kernels() {
+    for class in [GraphClass::Web, GraphClass::Road] {
+        let g = class.generate(ClassParams::new(600, 21));
+        for method in METHODS {
+            for kernel in [Kernel::TopDown, Kernel::Auto] {
+                let est = BricsEstimator::new(method)
+                    .sample(SampleSize::Fraction(0.3))
+                    .seed(11)
+                    .kernel(KernelConfig::new(kernel));
+                let plain = est.run_with_control(&g, &RunControl::new()).unwrap();
+                let rec = RunRecorder::new();
+                let recorded = est.run_recorded(&g, &RunControl::new(), &rec).unwrap();
+                let what = format!("{class:?}/{}/{kernel:?}", method.name());
+                assert_identical(&plain, &recorded, &what);
+                // Honesty: the recorder's per-source BFS count is the
+                // estimate's own source count, and the run left spans.
+                assert_eq!(
+                    rec.counter(Counter::BfsSources),
+                    recorded.num_sources() as u64,
+                    "{what}: bfs_sources counter"
+                );
+                let report = rec.report();
+                assert!(!report.phases.is_empty(), "{what}: no phase spans");
+                assert!(report.derived.elapsed_seconds > 0.0, "{what}: elapsed");
+            }
+        }
+    }
+}
+
+#[test]
+fn recorded_interrupted_runs_match_unrecorded_ones() {
+    let g = GraphClass::Social.generate(ClassParams::new(600, 4));
+    for method in METHODS {
+        // An already-expired deadline stops both runs at the same
+        // deterministic point (zero completed sources), so the partial
+        // results must still be bit-identical.
+        let est = BricsEstimator::new(method).sample(SampleSize::Fraction(0.4)).seed(3);
+        let deadline = || RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let plain = est.run_with_control(&g, &deadline()).unwrap();
+        let rec = RunRecorder::new();
+        let recorded = est.run_recorded(&g, &deadline(), &rec).unwrap();
+        assert!(plain.is_partial(), "{}: deadline must interrupt", method.name());
+        assert_identical(&plain, &recorded, method.name());
+        assert!(
+            rec.counter(Counter::DeadlineHits) > 0,
+            "{}: deadline hit not recorded",
+            method.name()
+        );
+
+        // Pre-cancelled control: same story, different interruption cause.
+        let cancelled = || {
+            let ctl = RunControl::new();
+            ctl.cancel_token().cancel();
+            ctl
+        };
+        let plain = est.run_with_control(&g, &cancelled()).unwrap();
+        let rec = RunRecorder::new();
+        let recorded = est.run_recorded(&g, &cancelled(), &rec).unwrap();
+        assert_eq!(plain.outcome(), RunOutcome::Cancelled);
+        assert_identical(&plain, &recorded, method.name());
+        assert!(
+            rec.counter(Counter::Cancellations) > 0,
+            "{}: cancellation not recorded",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn recorded_exact_farness_and_topk_are_bit_identical() {
+    let g = GraphClass::Community.generate(ClassParams::new(400, 8));
+    let ctl = RunControl::new();
+    let kcfg = KernelConfig::default();
+    let plain = brics::exact_farness_ctl_with(&g, &ctl, &kcfg).unwrap();
+    let rec = RunRecorder::new();
+    let recorded = brics::exact_farness_ctl_rec(&g, &ctl, &kcfg, &rec).unwrap();
+    assert_eq!(plain, recorded);
+    assert_eq!(rec.counter(Counter::BfsSources), g.num_nodes() as u64);
+
+    let est = BricsEstimator::new(Method::Cumulative).sample(SampleSize::Fraction(0.3)).seed(7);
+    let plain = brics::topk::top_k_closeness_ctl(&g, 10, &est, &ctl).unwrap();
+    let rec = RunRecorder::new();
+    let recorded = brics::topk::top_k_closeness_ctl_rec(&g, 10, &est, &ctl, &rec).unwrap();
+    assert_eq!(plain.ranked, recorded.ranked);
+    assert_eq!(plain.verified_with_bfs, recorded.verified_with_bfs);
+    assert_eq!(plain.pruned, recorded.pruned);
+    // Estimation sources plus one BFS per verification, nothing else.
+    assert!(rec.counter(Counter::BfsSources) >= recorded.verified_with_bfs as u64);
+}
