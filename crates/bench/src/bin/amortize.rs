@@ -1,0 +1,89 @@
+//! Amortization harness for the two-stage engine: how much of an
+//! estimation run is query-independent structure (reduction pipeline +
+//! Block-Cut Tree), and how fast repeated queries get once that structure
+//! is paid for.
+//!
+//! For each dataset the harness builds one [`brics::PreparedGraph`] and
+//! then sweeps methods × rates against it, comparing the per-query time
+//! with a cold one-shot run of the same configuration. The `speedup`
+//! column is the cold time divided by the warm (artifact-backed) time —
+//! the factor a parameter scan gains from the engine split.
+//!
+//! ```text
+//! cargo run --release -p brics-bench --bin amortize -- [dataset-name]
+//! ```
+
+use brics::{
+    BricsEstimator, ExecutionContext, Method, PreparedGraph, ReductionConfig, SampleSize,
+};
+use brics_bench::{all_datasets, scale_from_env, TableWriter};
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_env();
+    let want = std::env::args().nth(1);
+    let datasets = match &want {
+        Some(name) => {
+            all_datasets().into_iter().filter(|d| d.name == name).collect::<Vec<_>>()
+        }
+        None => all_datasets()
+            .into_iter()
+            .filter(|d| ["synth-web-notredame", "synth-soc-douban", "synth-usroads"]
+                .contains(&d.name))
+            .collect(),
+    };
+    if datasets.is_empty() {
+        eprintln!("unknown dataset");
+        std::process::exit(2);
+    }
+
+    let rates = [0.1, 0.2, 0.3, 0.5];
+    let methods = [Method::RandomSampling, Method::Cumulative];
+    println!("Prepare-once/query-many amortization (scale {scale})\n");
+    for d in datasets {
+        let g = d.load(scale);
+        let ctx = ExecutionContext::new();
+        let t0 = Instant::now();
+        let prepared = PreparedGraph::build(&g, &ReductionConfig::all(), &ctx)
+            .expect("registry graphs are connected");
+        let prepare_s = t0.elapsed().as_secs_f64();
+        println!(
+            "{} ({} nodes, {} edges): prepare {:.3}s, {} survivors",
+            d.name,
+            g.num_nodes(),
+            g.num_edges(),
+            prepare_s,
+            prepared.num_surviving()
+        );
+        let mut t = TableWriter::new(["method", "rate", "warm s", "cold s", "speedup"]);
+        for method in methods {
+            for rate in rates {
+                let sample = SampleSize::Fraction(rate);
+                let w0 = Instant::now();
+                let warm = match method {
+                    Method::RandomSampling => prepared.sample(sample, 1, &ctx),
+                    _ => prepared.cumulative(sample, 1, &ctx),
+                }
+                .expect("query");
+                let warm_s = w0.elapsed().as_secs_f64();
+                let c0 = Instant::now();
+                let cold = BricsEstimator::new(method)
+                    .sample(sample)
+                    .seed(1)
+                    .run(&g)
+                    .expect("one-shot");
+                let cold_s = c0.elapsed().as_secs_f64();
+                assert_eq!(warm.raw(), cold.raw(), "engine split must not change results");
+                t.row([
+                    method.name().to_string(),
+                    format!("{rate:.2}"),
+                    format!("{warm_s:.4}"),
+                    format!("{cold_s:.4}"),
+                    format!("{:.2}x", cold_s / warm_s.max(1e-9)),
+                ]);
+            }
+        }
+        print!("{}", t.render());
+        println!();
+    }
+}

@@ -38,7 +38,8 @@ impl BlockCutTree {
         Self::build_rec(g, &brics_graph::telemetry::NullRecorder)
     }
 
-    /// [`BlockCutTree::build`] with a telemetry [`Recorder`]: records a
+    /// [`BlockCutTree::build`] with a telemetry
+    /// [`Recorder`](brics_graph::telemetry::Recorder): records a
     /// `bct.build` span plus the block / cut-vertex counts. The recorder
     /// only observes; the tree is identical with
     /// [`NullRecorder`](brics_graph::telemetry::NullRecorder).

@@ -3,11 +3,11 @@
 use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
-    exact_farness_ctl_rec, BricsEstimator, Kernel, KernelConfig, Method, RunControl, RunOutcome,
-    RunRecorder, SampleSize,
+    BricsEstimator, CentralityError, ExecutionContext, Kernel, KernelConfig, Method,
+    PrepareConfig, PreparedGraph, RunControl, RunOutcome, RunRecorder, SampleSize,
 };
 use brics_bicc::biconnected_components;
-use brics_graph::telemetry::{record_outcome, timed, Counter, Recorder};
+use brics_graph::telemetry::{timed, Counter, Recorder};
 use brics_graph::connectivity::{is_connected, make_connected};
 use brics_graph::degree::degree_stats;
 use brics_graph::generators::{ClassParams, GraphClass};
@@ -29,6 +29,16 @@ USAGE:
       Prints `vertex farness closeness` per line, or the --top K most
       central vertices; --json emits a machine-readable document.
 
+  brics compare <graph> [--methods random,reduced,cumulative]
+                        [--rates 0.1,0.2,0.3] [--seed 0] [--exact] [--json]
+                        [--kernel auto|topdown|hybrid] [--reorder]
+      Method × rate comparison against ONE prepared artifact: the
+      reduction pipeline and Block-Cut Tree are built once, and every
+      method at every sampling rate queries the same structure — no
+      re-reduction, no re-decomposition. --exact additionally computes
+      the exact farness and reports each estimate's quality
+      (symmetric accuracy in [0, 1]; 1.0 = perfect).
+
   brics topk <graph> <k> [--rate 0.3] [--seed 0] [--json]
                          [--kernel auto|topdown|hybrid]
       EXACT top-k closeness ranking, pruned by BRICS lower bounds —
@@ -43,17 +53,18 @@ USAGE:
       .graph/.metis METIS, by extension; stdout edge list when --out is
       omitted). `rmat` is a Graph500-parameter stress generator.
 
-PERFORMANCE (farness, topk):
+PERFORMANCE (farness, compare, topk):
   --kernel K         BFS kernel: `auto` (default; direction-optimizing
                      with stock heuristics), `hybrid` (same, explicit) or
                      `topdown` (classic frontier expansion). Distances —
                      and hence every estimate — are identical across
                      kernels; only wall time differs.
   --reorder          Relabel vertices by descending degree before the
-                     run (farness only). Improves locality on scale-free
-                     graphs; output is translated back to original ids.
+                     run (farness and compare). Improves locality on
+                     scale-free graphs; output is translated back to
+                     original ids.
 
-EXECUTION LIMITS (farness, topk, betweenness):
+EXECUTION LIMITS (farness, compare, topk, betweenness):
   --timeout SECS     Wall-clock budget. When it expires mid-run, already
                      completed BFS sources are kept: `farness` and
                      `betweenness` print the sound partial estimate and
@@ -92,6 +103,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     match parsed.positional.first().map(String::as_str) {
         Some("stats") => stats(&parsed),
         Some("farness") => farness(&parsed),
+        Some("compare") => compare(&parsed),
         Some("topk") => topk(&parsed),
         Some("betweenness") => betweenness(&parsed),
         Some("generate") => generate(&parsed),
@@ -273,14 +285,18 @@ fn stats(p: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
-fn method_of(name: &str) -> Result<Method, CliError> {
-    match name {
-        "random" => Ok(Method::RandomSampling),
-        "cr" => Ok(Method::CR),
-        "icr" => Ok(Method::ICR),
-        "cumulative" => Ok(Method::Cumulative),
-        other => Err(CliError::Usage(format!("unknown method '{other}'"))),
-    }
+/// Maps a `farness --method` name onto the prepare stage it needs: no
+/// reduction for the baselines, the paper's ablation configs for C+R and
+/// I+C+R, and the full reduction + Block-Cut Tree for Cumulative.
+fn prepare_config_of(name: &str, reorder: bool) -> Result<PrepareConfig, CliError> {
+    let (reductions, use_bcc) = match name {
+        "exact" | "random" => (brics::ReductionConfig::none(), false),
+        "cr" => (brics::ReductionConfig::cr(), false),
+        "icr" => (brics::ReductionConfig::icr(), false),
+        "cumulative" => (brics::ReductionConfig::all(), true),
+        other => return Err(CliError::Usage(format!("unknown method '{other}'"))),
+    };
+    Ok(PrepareConfig { reductions, use_bcc, reorder })
 }
 
 fn farness(p: &Parsed) -> Result<(), CliError> {
@@ -288,27 +304,25 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         p.positional.get(1).ok_or_else(|| usage("usage: brics farness <graph> [options]"))?;
     // The control is built *before* loading so `--timeout` bounds the whole
     // command: a slow parse eats into the budget and the (uninterruptible)
-    // load is followed by an immediate deadline check inside the estimator.
+    // load is followed by an immediate deadline check inside the engine.
     let ctl = control_from(p)?;
     let kcfg = kernel_from(p)?;
     let m = metrics_from(p);
     let rec = m.as_ref().map(|mm| &mm.rec);
     let loaded = load_graph_with(path, p.has("giant"))?;
-    // --reorder runs every traversal on the degree-sorted relabelling and
-    // translates the per-vertex outputs back, so ids in the output are
-    // always the input's ids regardless of the flag.
-    let relabel = if p.has("reorder") {
-        let r = loaded.reorder_by_degree();
-        eprintln!("note: --reorder relabelled vertices by descending degree");
-        Some(r)
-    } else {
-        None
-    };
-    let g = relabel.as_ref().map_or(&loaded, |r| &r.graph);
     let rate: f64 = p.get_parse("rate", 0.2).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     let top: usize = p.get_parse("top", 0).map_err(CliError::Usage)?;
     let method_name = p.get("method").unwrap_or("cumulative");
+    // --reorder becomes part of the prepare stage: queries traverse the
+    // degree-sorted relabelling and the artifact translates every result
+    // back, so ids in the output are always the input's ids.
+    let pcfg = prepare_config_of(method_name, p.has("reorder"))?;
+    if pcfg.reorder {
+        eprintln!("note: --reorder relabelled vertices by descending degree");
+    }
+    let ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg).with_recorder(&rec);
+    let n = loaded.num_nodes();
 
     struct Rows {
         values: Vec<u64>,
@@ -318,50 +332,75 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         num_sources: usize,
         outcome: RunOutcome,
     }
-    let mut rows = if method_name == "exact" {
-        // Exact computation is all-or-nothing: an expired --timeout comes
-        // back as `CentralityError::Interrupted` (exit 4, no output).
-        let f = exact_farness_ctl_rec(g, &ctl, &kcfg, &rec)?;
-        let n = f.len();
-        Rows {
-            values: f,
-            sampled: vec![true; n],
-            coverage: vec![(n as u32).saturating_sub(1); n],
-            label: "exact".into(),
-            num_sources: n,
-            outcome: RunOutcome::Complete,
-        }
-    } else {
-        let method = method_of(method_name)?;
-        let est = BricsEstimator::new(method)
-            .sample(SampleSize::Fraction(rate))
-            .seed(seed)
-            .kernel(kcfg)
-            .run_recorded(g, &ctl, &rec)?;
-        let partial_note = if est.is_partial() {
-            format!(" — PARTIAL ({})", outcome_name(est.outcome()))
-        } else {
-            String::new()
-        };
-        eprintln!(
-            "note: {} sources, {:.3}s{partial_note}",
-            est.num_sources(),
-            est.elapsed().as_secs_f64()
-        );
-        Rows {
-            values: est.raw().to_vec(),
-            sampled: est.sampled_mask().to_vec(),
-            coverage: est.coverage().to_vec(),
+    let rows = match PreparedGraph::build_with(&loaded, pcfg, &ctx) {
+        // The prepare stage itself was cut short before any source could
+        // run: report the trivial (but sound) zero-coverage partial, exactly
+        // as an interrupted estimation does. Exact refuses below instead.
+        Err(CentralityError::Interrupted { outcome }) if method_name != "exact" => Rows {
+            values: vec![0; n],
+            sampled: vec![false; n],
+            coverage: vec![0; n],
             label: method_name.into(),
-            num_sources: est.num_sources(),
-            outcome: est.outcome(),
+            num_sources: 0,
+            outcome,
+        },
+        Err(e) => {
+            let _ = emit_metrics(&m);
+            return Err(e.into());
+        }
+        Ok(prepared) if method_name == "exact" => {
+            // Exact computation is all-or-nothing: an expired --timeout
+            // comes back as `CentralityError::Interrupted` (exit 4, no
+            // output — but the collected telemetry still reports).
+            match prepared.exact(&ctx) {
+                Ok(f) => Rows {
+                    values: f,
+                    sampled: vec![true; n],
+                    coverage: vec![(n as u32).saturating_sub(1); n],
+                    label: "exact".into(),
+                    num_sources: n,
+                    outcome: RunOutcome::Complete,
+                },
+                Err(e) => {
+                    let _ = emit_metrics(&m);
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(prepared) => {
+            let sample = SampleSize::Fraction(rate);
+            let est = match method_name {
+                "random" => prepared.sample(sample, seed, &ctx),
+                "cumulative" => prepared.cumulative(sample, seed, &ctx),
+                _ => prepared.reduced(sample, seed, &ctx),
+            };
+            let est = match est {
+                Ok(est) => est,
+                Err(e) => {
+                    let _ = emit_metrics(&m);
+                    return Err(e.into());
+                }
+            };
+            let partial_note = if est.is_partial() {
+                format!(" — PARTIAL ({})", outcome_name(est.outcome()))
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "note: {} sources, {:.3}s{partial_note}",
+                est.num_sources(),
+                est.elapsed().as_secs_f64()
+            );
+            Rows {
+                values: est.raw().to_vec(),
+                sampled: est.sampled_mask().to_vec(),
+                coverage: est.coverage().to_vec(),
+                label: method_name.into(),
+                num_sources: est.num_sources(),
+                outcome: est.outcome(),
+            }
         }
     };
-    if let Some(r) = &relabel {
-        rows.values = r.to_original_order(&rows.values);
-        rows.sampled = r.to_original_order(&rows.sampled);
-        rows.coverage = r.to_original_order(&rows.coverage);
-    }
 
     let order: Vec<u32> = {
         let mut idx: Vec<u32> = (0..rows.values.len() as u32).collect();
@@ -423,6 +462,171 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `brics compare` — the amortization flow the two-stage engine exists
+/// for: ONE `PreparedGraph` (full reductions + Block-Cut Tree) serves
+/// every requested method at every sampling rate. With `--metrics` the
+/// report shows a single `reduce` span with `count == 1` no matter how
+/// many estimates ran.
+fn compare(p: &Parsed) -> Result<(), CliError> {
+    let path =
+        p.positional.get(1).ok_or_else(|| usage("usage: brics compare <graph> [options]"))?;
+    let ctl = control_from(p)?; // before load: --timeout bounds the command
+    let kcfg = kernel_from(p)?;
+    let m = metrics_from(p);
+    let rec = m.as_ref().map(|mm| &mm.rec);
+    let g = load_graph_with(path, p.has("giant"))?;
+    let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
+
+    let rates: Vec<f64> = p
+        .get("rates")
+        .unwrap_or("0.1,0.2,0.3")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|e| CliError::Usage(format!("--rates '{s}': {e}")))
+                .and_then(|r| {
+                    if r.is_finite() && r > 0.0 && r <= 1.0 {
+                        Ok(r)
+                    } else {
+                        Err(CliError::Usage(format!("--rates {r}: must be in (0, 1]")))
+                    }
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let methods: Vec<String> = p
+        .get("methods")
+        .unwrap_or("random,reduced,cumulative")
+        .split(',')
+        .map(|s| {
+            let name = s.trim();
+            match name {
+                "random" | "reduced" | "cumulative" => Ok(name.to_string()),
+                other => Err(CliError::Usage(format!(
+                    "unknown compare method '{other}' (expected random, reduced or cumulative)"
+                ))),
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    if rates.is_empty() || methods.is_empty() {
+        return Err(usage("compare needs at least one method and one rate"));
+    }
+
+    let ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg).with_recorder(&rec);
+    let pcfg = PrepareConfig {
+        reductions: brics::ReductionConfig::all(),
+        use_bcc: true,
+        reorder: p.has("reorder"),
+    };
+    let prepared = match PreparedGraph::build_with(&g, pcfg, &ctx) {
+        Ok(prepared) => prepared,
+        Err(e) => {
+            let _ = emit_metrics(&m);
+            return Err(e.into());
+        }
+    };
+    eprintln!(
+        "note: prepared once in {:.3}s — {} of {} vertices survive the reduction; \
+         {} estimates share the artifact",
+        prepared.prepare_elapsed().as_secs_f64(),
+        prepared.num_surviving(),
+        g.num_nodes(),
+        methods.len() * rates.len(),
+    );
+    let exact = if p.has("exact") {
+        match prepared.exact(&ctx) {
+            Ok(x) => Some(x),
+            Err(e) => {
+                let _ = emit_metrics(&m);
+                return Err(e.into());
+            }
+        }
+    } else {
+        None
+    };
+
+    struct Row {
+        method: String,
+        rate: f64,
+        sources: usize,
+        seconds: f64,
+        quality: Option<f64>,
+        outcome: RunOutcome,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(methods.len() * rates.len());
+    let mut worst = RunOutcome::Complete;
+    for method in &methods {
+        for &rate in &rates {
+            let sample = SampleSize::Fraction(rate);
+            let est = match method.as_str() {
+                "random" => prepared.sample(sample, seed, &ctx),
+                "reduced" => prepared.reduced(sample, seed, &ctx),
+                _ => prepared.cumulative(sample, seed, &ctx),
+            };
+            let est = match est {
+                Ok(est) => est,
+                Err(e) => {
+                    let _ = emit_metrics(&m);
+                    return Err(e.into());
+                }
+            };
+            if !est.outcome().is_complete() {
+                worst = est.outcome();
+            }
+            rows.push(Row {
+                method: method.clone(),
+                rate,
+                sources: est.num_sources(),
+                seconds: est.elapsed().as_secs_f64(),
+                quality: exact
+                    .as_ref()
+                    .map(|x| brics::quality::symmetric_quality(est.scaled(), x)),
+                outcome: est.outcome(),
+            });
+        }
+    }
+
+    if p.has("json") {
+        let doc = serde_json::json!({
+            "graph": path,
+            "seed": seed,
+            "prepare_seconds": prepared.prepare_elapsed().as_secs_f64(),
+            "surviving_vertices": prepared.num_surviving(),
+            "runs": rows.iter().map(|r| serde_json::json!({
+                "method": r.method.clone(),
+                "rate": r.rate,
+                "sources": r.sources,
+                "seconds": r.seconds,
+                "quality": r.quality,
+                "outcome": outcome_name(r.outcome),
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        println!("# method rate sources seconds quality outcome");
+        for r in &rows {
+            let q = r.quality.map_or("-".to_string(), |q| format!("{q:.4}"));
+            println!(
+                "{} {:.2} {} {:.4} {} {}",
+                r.method,
+                r.rate,
+                r.sources,
+                r.seconds,
+                q,
+                outcome_name(r.outcome)
+            );
+        }
+    }
+    emit_metrics(&m)?;
+    if !worst.is_complete() {
+        return Err(CliError::TimeoutPartial(format!(
+            "{} interrupted at least one estimate; the printed rows are sound partials",
+            outcome_name(worst)
+        )));
+    }
+    Ok(())
+}
+
 fn topk(p: &Parsed) -> Result<(), CliError> {
     let path = p.positional.get(1).ok_or_else(|| usage("usage: brics topk <graph> <k>"))?;
     let k: usize = p
@@ -441,10 +645,11 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         .sample(SampleSize::Fraction(rate))
         .seed(seed)
         .kernel(kernel_from(p)?);
+    let ctx = ExecutionContext::new().with_control(ctl).with_recorder(&rec);
     // Top-k promises exact answers, so interruption is an error (exit 4),
     // never a shorter/looser ranking. Emit whatever telemetry the run
     // collected before surfacing the error.
-    let t = match brics::topk::top_k_closeness_ctl_rec(&g, k, &estimator, &ctl, &rec) {
+    let t = match brics::topk::top_k_closeness_in(&g, k, &estimator, &ctx) {
         Ok(t) => t,
         Err(e) => {
             let _ = emit_metrics(&m);
@@ -490,17 +695,22 @@ fn betweenness(p: &Parsed) -> Result<(), CliError> {
     let top: usize = p.get_parse("top", 10).map_err(CliError::Usage)?;
     let (values, outcome) = if p.has("exact") {
         (
-            timed(&rec, "betweenness.pivots", || brics::betweenness::exact_betweenness(&g)),
+            timed(&rec, "estimate", || brics::betweenness::exact_betweenness(&g)),
             RunOutcome::Complete,
         )
     } else {
         let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
         let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
-        timed(&rec, "betweenness.pivots", || {
-            brics::betweenness::sampled_betweenness_ctl(&g, SampleSize::Fraction(rate), seed, &ctl)
-        })?
+        let ctx = ExecutionContext::new().with_control(ctl).with_recorder(&rec);
+        match brics::betweenness::sampled_betweenness_in(&g, SampleSize::Fraction(rate), seed, &ctx)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = emit_metrics(&m);
+                return Err(e.into());
+            }
+        }
     };
-    record_outcome(&rec, outcome, "betweenness pivot sweep");
     let mut idx: Vec<u32> = (0..values.len() as u32).collect();
     idx.sort_by(|&a, &b| {
         values[b as usize]
@@ -779,6 +989,57 @@ mod tests {
         // here we just check neither errors.
         run(&["stats", path.to_str().unwrap(), "--metrics", "-"]).unwrap();
         run(&["stats", path.to_str().unwrap(), "--metrics"]).unwrap();
+    }
+
+    #[test]
+    fn compare_amortizes_one_reduction_across_methods_and_rates() {
+        let path = tmp("cmp.el");
+        run(&["generate", "social", "400", "--seed", "6", "--out", path.to_str().unwrap()])
+            .unwrap();
+        let out = tmp("cmp.json");
+        run(&["compare", path.to_str().unwrap(), "--methods", "random,reduced,cumulative",
+              "--rates", "0.2,0.5", "--exact", "--metrics", out.to_str().unwrap()])
+            .unwrap();
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        // The acceptance criterion of the engine split: one prepared
+        // artifact serves every method × rate, so the reduction ran once.
+        let reduce: Vec<_> = report.phases.iter().filter(|p| p.name == "reduce").collect();
+        assert_eq!(reduce.len(), 1, "one aggregated reduce phase");
+        assert_eq!(reduce[0].count, 1, "the reduction must run exactly once");
+        let prepare = report.phases.iter().find(|p| p.name == "prepare").unwrap();
+        assert_eq!(prepare.count, 1, "one prepare stage");
+        // 3 methods × 2 rates + the --exact baseline = 7 estimate spans.
+        let estimate = report.phases.iter().find(|p| p.name == "estimate").unwrap();
+        assert_eq!(estimate.count, 7, "every query is its own estimate span");
+    }
+
+    #[test]
+    fn compare_json_and_validation() {
+        let path = tmp("cmpjson.el");
+        run(&["generate", "web", "300", "--seed", "1", "--out", path.to_str().unwrap()]).unwrap();
+        run(&["compare", path.to_str().unwrap(), "--rates", "0.3", "--json"]).unwrap();
+        run(&["compare", path.to_str().unwrap(), "--reorder", "--rates", "0.4"]).unwrap();
+        assert_eq!(
+            run(&["compare", path.to_str().unwrap(), "--methods", "magic"])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert_eq!(
+            run(&["compare", path.to_str().unwrap(), "--rates", "1.5"])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert_eq!(run(&["compare"]).unwrap_err().exit_code(), 2);
+        // An expired deadline interrupts the prepare stage: exit 4.
+        assert_eq!(
+            run(&["compare", path.to_str().unwrap(), "--timeout", "0"])
+                .unwrap_err()
+                .exit_code(),
+            4
+        );
     }
 
     #[test]

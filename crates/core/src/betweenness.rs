@@ -1,6 +1,7 @@
 //! Betweenness centrality (Brandes) — the sibling metric the paper's
-//! related work builds decomposition techniques for (Pachorkar et al. [23],
-//! Nasre et al. [19]). Provided as an extension so the workspace covers the
+//! related work builds decomposition techniques for (Pachorkar et al.
+//! \[23\], Nasre et al. \[19\]). Provided as an extension so the workspace
+//! covers the
 //! standard centrality pair; the BRICS reductions themselves target
 //! farness and are not applied here.
 //!
@@ -18,8 +19,10 @@
 
 use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
+use crate::engine::ExecutionContext;
 use crate::sampling::draw_sources;
 use crate::CentralityError;
+use brics_graph::telemetry::{admit_memory_rec, record_outcome, timed, Recorder};
 use brics_graph::traversal::WorkerGuard;
 use brics_graph::{CsrGraph, NodeId, RunControl, RunOutcome};
 use rand::rngs::StdRng;
@@ -143,18 +146,34 @@ pub fn sampled_betweenness(
     sample: SampleSize,
     seed: u64,
 ) -> Result<Vec<f64>, CentralityError> {
-    sampled_betweenness_ctl(g, sample, seed, &RunControl::new()).map(|(b, _)| b)
+    sampled_betweenness_in(g, sample, seed, &ExecutionContext::new()).map(|(b, _)| b)
 }
 
-/// [`sampled_betweenness`] under a [`RunControl`]. On interruption the
-/// scale uses the number of pivots that actually completed, keeping the
+/// [`sampled_betweenness`] under an [`ExecutionContext`]. On interruption
+/// the scale uses the number of pivots that actually completed, keeping the
 /// estimator unbiased over the pivots it did run (fewer pivots ⇒ higher
 /// variance, not bias).
-pub fn sampled_betweenness_ctl(
+pub fn sampled_betweenness_in<R: Recorder>(
     g: &CsrGraph,
     sample: SampleSize,
     seed: u64,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<(Vec<f64>, RunOutcome), CentralityError> {
+    let admit = accumulate_run_bytes(g.num_nodes(), ctx.thread_count());
+    timed(ctx.recorder(), "estimate", || {
+        betweenness_query(g, admit, sample, seed, ctx.control(), ctx.recorder())
+    })
+}
+
+/// The query stage shared by [`sampled_betweenness_in`] and
+/// [`crate::engine::PreparedGraph::betweenness`].
+pub(crate) fn betweenness_query<R: Recorder>(
+    g: &CsrGraph,
+    admit_bytes: u64,
+    sample: SampleSize,
+    seed: u64,
     ctl: &RunControl,
+    rec: &R,
 ) -> Result<(Vec<f64>, RunOutcome), CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
@@ -164,10 +183,11 @@ pub fn sampled_betweenness_ctl(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
-    ctl.admit_memory(accumulate_run_bytes(n))?;
+    admit_memory_rec(ctl, admit_bytes, rec)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
     let (acc, done, outcome) = betweenness_from_sources_ctl(g, &sources, ctl)?;
+    record_outcome(rec, outcome, "sampled-betweenness pivot sweep");
     let scale_up = if done > 0 { n as f64 / done as f64 } else { 1.0 };
     Ok((scale_acc(&acc, scale_up), outcome))
 }
@@ -327,9 +347,10 @@ mod tests {
     #[test]
     fn ctl_deadline_yields_zero_partial() {
         let g = gnm_random_connected(30, 45, 1);
-        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_timeout(std::time::Duration::ZERO));
         let (b, outcome) =
-            sampled_betweenness_ctl(&g, SampleSize::Count(10), 0, &ctl).unwrap();
+            sampled_betweenness_in(&g, SampleSize::Count(10), 0, &ctx).unwrap();
         assert_eq!(outcome, RunOutcome::Deadline);
         assert!(b.iter().all(|&x| x == 0.0));
 

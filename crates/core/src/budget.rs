@@ -4,33 +4,38 @@
 //! with the figures computed here *before* performing their large
 //! allocations, so a run that would blow a configured budget fails fast with
 //! [`CentralityError::BudgetExceeded`](crate::CentralityError::BudgetExceeded)
-//! instead of getting OOM-killed halfway through.
+//! instead of getting OOM-killed halfway through. The
+//! [`PreparedGraph`](crate::engine::PreparedGraph) artifact precomputes all
+//! three figures once into a [`MemoryPlan`](crate::engine::MemoryPlan).
 //!
 //! The numbers are planning estimates of the dominant dense allocations, not
 //! exact accounting: CSR storage of the input graph (already resident when an
 //! estimator starts) and small O(k) bookkeeping vectors are excluded.
 
-/// Bytes of a whole-graph accumulation run ([`crate::random_sampling`],
-/// [`crate::harmonic_centrality`]): one shared `u64` accumulator plus one
-/// BFS scratch (`u32` distance + `u32` queue per vertex) per worker thread.
-pub(crate) fn accumulate_run_bytes(n: usize) -> u64 {
-    let threads = rayon::current_num_threads().max(1) as u64;
+/// Bytes of a whole-graph accumulation run
+/// ([`crate::sampling::random_sampling`],
+/// [`crate::harmonic::harmonic_sampling`]): one shared `u64` accumulator
+/// plus one BFS scratch (`u32` distance + `u32` queue per vertex) per
+/// worker thread.
+pub(crate) fn accumulate_run_bytes(n: usize, threads: usize) -> u64 {
+    let threads = threads.max(1) as u64;
     let n = n as u64;
     8 * n + threads * 8 * n
 }
 
 /// Bytes of one exact-BFS sweep ([`crate::exact_farness`]): per-thread BFS
 /// scratch only — there is no shared accumulator.
-pub(crate) fn exact_run_bytes(n: usize) -> u64 {
-    let threads = rayon::current_num_threads().max(1) as u64;
+pub(crate) fn exact_run_bytes(n: usize, threads: usize) -> u64 {
+    let threads = threads.max(1) as u64;
     threads * 8 * n as u64
 }
 
-/// Bytes of a cumulative-engine run ([`crate::cumulative::cumulative_estimate`]):
-/// three shared `u64` accumulators (intra / inter / exact) plus a per-thread
-/// global distance array (`u32`) and block-local BFS scratch.
-pub(crate) fn cumulative_run_bytes(n: usize) -> u64 {
-    let threads = rayon::current_num_threads().max(1) as u64;
+/// Bytes of a cumulative-engine run
+/// ([`crate::cumulative::cumulative_estimate`]): three shared `u64`
+/// accumulators (intra / inter / exact) plus a per-thread global distance
+/// array (`u32`) and block-local BFS scratch.
+pub(crate) fn cumulative_run_bytes(n: usize, threads: usize) -> u64 {
+    let threads = threads.max(1) as u64;
     let n = n as u64;
     3 * 8 * n + threads * 12 * n
 }
@@ -41,8 +46,15 @@ mod tests {
 
     #[test]
     fn estimates_scale_linearly() {
-        assert!(accumulate_run_bytes(2000) >= 2 * accumulate_run_bytes(1000) - 16);
-        assert!(exact_run_bytes(100) < accumulate_run_bytes(100));
-        assert_eq!(accumulate_run_bytes(0), 0);
+        let t = rayon::current_num_threads().max(1);
+        assert!(accumulate_run_bytes(2000, t) >= 2 * accumulate_run_bytes(1000, t) - 16);
+        assert!(exact_run_bytes(100, t) < accumulate_run_bytes(100, t));
+        assert_eq!(accumulate_run_bytes(0, t), 0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(accumulate_run_bytes(10, 0), accumulate_run_bytes(10, 1));
+        assert!(cumulative_run_bytes(10, 4) > cumulative_run_bytes(10, 1));
     }
 }

@@ -1,11 +1,12 @@
 //! Estimator configuration and the top-level front door.
 
-use crate::cumulative::cumulative_estimate_ctl_rec;
-use crate::reduced::reduced_estimate_ctl_rec;
-use crate::sampling::random_sampling_ctl_rec;
+use crate::cumulative::cumulative_estimate_in;
+use crate::engine::ExecutionContext;
+use crate::reduced::reduced_estimate_in;
+use crate::sampling::random_sampling_in;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::telemetry::{NullRecorder, Recorder};
-use brics_graph::{CsrGraph, RunControl};
+use brics_graph::telemetry::Recorder;
+use brics_graph::CsrGraph;
 use brics_reduce::ReductionConfig;
 use serde::{Deserialize, Serialize};
 
@@ -156,57 +157,40 @@ impl BricsEstimator {
     /// `g` must be connected (see
     /// `brics_graph::connectivity::make_connected`).
     pub fn run(&self, g: &CsrGraph) -> Result<FarnessEstimate, CentralityError> {
-        self.run_with_control(g, &RunControl::new())
+        self.run_in(g, &ExecutionContext::new())
     }
 
-    /// Runs the configured estimation under execution limits: wall-clock
-    /// deadline, cooperative cancellation and a memory budget.
+    /// Runs the configured estimation under an [`ExecutionContext`]:
+    /// execution limits (deadline, cancellation, memory budget), telemetry
+    /// recorder and thread planning.
     ///
-    /// The control is *not* part of the serializable configuration (it
-    /// carries live state: an `Instant` deadline and a shared cancel flag),
-    /// which is why it is a call-site argument rather than a builder field.
-    /// On deadline/cancellation the estimate comes back partial — see
-    /// [`FarnessEstimate::outcome`].
-    pub fn run_with_control(
-        &self,
-        g: &CsrGraph,
-        ctl: &RunControl,
-    ) -> Result<FarnessEstimate, CentralityError> {
-        self.run_recorded(g, ctl, &NullRecorder)
-    }
-
-    /// [`Self::run_with_control`] with a telemetry [`Recorder`] attached.
-    ///
-    /// The recorder collects phase spans, kernel/reduction counters and
-    /// RunControl events for the whole run (see
-    /// [`brics_graph::telemetry`]); it only observes, so the estimate is
+    /// The context is *not* part of the serializable configuration (it
+    /// carries live state: an `Instant` deadline, a shared cancel flag, a
+    /// recorder borrow), which is why it is a call-site argument rather
+    /// than a builder field. On deadline/cancellation the estimate comes
+    /// back partial — see [`FarnessEstimate::outcome`]. The estimator's own
+    /// [`kernel`](Self::kernel) field overrides the context's kernel choice
+    /// (the builder is the kernel's front door); everything else of the
+    /// context applies as given. Recorders only observe, so the estimate is
     /// bit-identical to an unrecorded run with the same configuration.
-    pub fn run_recorded<R: Recorder>(
+    pub fn run_in<R: Recorder>(
         &self,
         g: &CsrGraph,
-        ctl: &RunControl,
-        rec: &R,
+        ctx: &ExecutionContext<'_, R>,
     ) -> Result<FarnessEstimate, CentralityError> {
         if g.num_nodes() == 0 {
             return Err(CentralityError::EmptyGraph);
         }
+        let ctx = ctx.clone().with_kernel(self.kernel);
         match self.method {
-            Method::RandomSampling => {
-                random_sampling_ctl_rec(g, self.sample, self.seed, ctl, &self.kernel, rec)
+            Method::RandomSampling => random_sampling_in(g, self.sample, self.seed, &ctx),
+            m if m.uses_bcc() => {
+                cumulative_estimate_in(g, &m.reductions(), self.sample, self.seed, &ctx)
             }
-            m if m.uses_bcc() => cumulative_estimate_ctl_rec(
-                g,
-                &m.reductions(),
-                self.sample,
-                self.seed,
-                ctl,
-                &self.kernel,
-                rec,
-            ),
             // The reduced-graph estimators traverse weighted graphs
             // (contracted chains), where Dial's bucket queue is the only
-            // applicable kernel — the config is deliberately not threaded.
-            m => reduced_estimate_ctl_rec(g, &m.reductions(), self.sample, self.seed, ctl, rec),
+            // applicable kernel — the kernel config is deliberately unused.
+            m => reduced_estimate_in(g, &m.reductions(), self.sample, self.seed, &ctx),
         }
     }
 }

@@ -1,20 +1,35 @@
-//! Orchestration of the Cumulative estimate (paper Algorithm 5).
+//! Orchestration of the Cumulative estimate (paper Algorithm 5), split into
+//! the engine's two stages:
+//!
+//! * [`cumulative_prepare`] — everything query-independent: the homing
+//!   fixpoint over the Block-Cut-Tree, cut-twin extraction, block-context
+//!   materialization, Phase A (block-local BFS from every cut vertex), the
+//!   BCT sweep, and the *cut-mass pass* (the cut-source share of what used
+//!   to be Phase B — cut vertices are sources in every query, so their BFS
+//!   work is query-independent too). The result is a [`CumulativePrep`].
+//! * [`cumulative_query`] — per `(SampleSize, seed)`: draw the non-cut
+//!   sources, run their block-local BFS tasks, and assemble the estimate
+//!   from the query sums plus the prepared cut mass.
+//!
+//! Farness sums are integers accumulated order-independently, so splitting
+//! the cut tasks out of Phase B keeps complete runs bit-identical to the
+//! former interleaved implementation.
 
 use super::aggregate::{sweep, Aggregates, BlockLocalSums};
 use super::homing::home_records;
-use crate::budget::cumulative_run_bytes;
 use crate::config::SampleSize;
+use crate::engine::{zero_coverage_estimate, ExecutionContext, PrepareConfig, PreparedGraph};
 use crate::{CentralityError, FarnessEstimate};
 use brics_bicc::{biconnected_components, BlockCutTree};
 use brics_graph::telemetry::{
-    admit_memory_rec, record_outcome, record_panic, timed, Counter, NullRecorder, Recorder,
+    admit_memory_rec, record_outcome, record_panic, timed, Counter, Recorder,
 };
 use brics_graph::traversal::{
-    atomic_view, Bfs, DialBfs, HybridBfs, Kernel, KernelConfig, WorkerGuard,
+    atomic_view, DialBfs, HybridBfs, Kernel, KernelConfig, WorkerGuard,
 };
 use brics_graph::weighted::{build_weighted, edge_weight};
 use brics_graph::{CsrGraph, Dist, GraphBuilder, NodeId, RunControl, INFINITE_DIST, INVALID_NODE};
-use brics_reduce::{apply_record, reduce_ctl_rec, ReductionConfig, Removal};
+use brics_reduce::{apply_record, ReductionConfig, ReductionResult, Removal};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -42,9 +57,36 @@ struct BlockCtx {
     records: Vec<usize>,
     /// Owned vertex count: non-cut block vertices + homed removed vertices.
     own: u64,
-    /// Sampled sources (local ids): all cut vertices first, then the
-    /// randomly chosen non-cut vertices.
-    sources_local: Vec<NodeId>,
+    /// Local ids of the block's non-cut vertices — the population each
+    /// query's per-block sampling draws from.
+    noncut: Vec<NodeId>,
+}
+
+/// The prepared state of the Cumulative estimator: everything Algorithm 5
+/// computes that does not depend on the sample size or seed. Owned by
+/// [`PreparedGraph`] and consumed by [`cumulative_query`].
+pub(crate) struct CumulativePrep {
+    bct: BlockCutTree,
+    blocks: Vec<BlockCtx>,
+    /// The reduction result *after* the homing fixpoint restored any
+    /// cross-block records; `red.records` is what block `records` index.
+    red: ReductionResult,
+    vertex_home: Vec<u32>,
+    /// Survivor count of the restored reduction — the population both the
+    /// sample-size resolution and the per-block quotas refer to.
+    num_survivors: usize,
+    cut_mult: Vec<u64>,
+    twin_rep: Vec<Option<NodeId>>,
+    agg: Aggregates,
+    /// Exact inter-block mass every vertex receives from cut sources.
+    inter: Vec<u64>,
+    /// Per-vertex exact-farness contributions of cut-source tasks (a cut
+    /// vertex's farness summed over its incident blocks).
+    exact_cut: Vec<u64>,
+    /// Per-block subtree weight behind the (always completed) cut tasks.
+    done_cut_w: Vec<u64>,
+    /// Per-block structural-offset mass of its homed removed vertices.
+    offset_of_block: Vec<u64>,
 }
 
 /// Puts the vertices of the given records back into the reduced graph:
@@ -52,7 +94,7 @@ struct BlockCtx {
 /// records. Only multi-anchor records (parallel chains, redundant nodes)
 /// can straddle blocks, and both carry enough information to rebuild their
 /// edges exactly.
-fn restore_records(red: &mut brics_reduce::ReductionResult, indices: &[usize]) {
+fn restore_records(red: &mut ReductionResult, indices: &[usize]) {
     use std::collections::BTreeSet;
     let idx: BTreeSet<usize> = indices.iter().copied().collect();
     // Rebuild as weighted triples so contracted edges keep their weights;
@@ -109,7 +151,51 @@ pub fn cumulative_estimate(
     sample: SampleSize,
     seed: u64,
 ) -> Result<FarnessEstimate, CentralityError> {
-    cumulative_estimate_ctl(g, reductions, sample, seed, &RunControl::new())
+    cumulative_estimate_in(g, reductions, sample, seed, &ExecutionContext::new())
+}
+
+/// [`cumulative_estimate`] under an [`ExecutionContext`].
+///
+/// Builds a [`PreparedGraph`] (reduction, BCT, Phase A, sweep, cut mass)
+/// and runs one query against it; repeated queries should hold on to the
+/// artifact instead ([`PreparedGraph::cumulative`]).
+///
+/// Interruption granularity: the prepare stage is all-or-nothing — a
+/// deadline or cancellation hit anywhere in it degrades to the
+/// zero-coverage estimate (trivially sound: every lower bound becomes
+/// `n − 1`). In the query stage each `(block, source)` task either lands
+/// completely or not at all, and per-vertex coverage counts exactly the
+/// completed tasks of the vertex's home block.
+///
+/// The kernel choice in the context applies to unweighted blocks in both
+/// stages; blocks whose edges carry contracted-chain weights always use
+/// Dial's bucket queue (the direction-optimizing heuristic is meaningless
+/// under non-unit weights). Every kernel computes identical distances, so
+/// the estimate is bit-identical across kernels and recorders.
+pub fn cumulative_estimate_in<R: Recorder>(
+    g: &CsrGraph,
+    reductions: &ReductionConfig,
+    sample: SampleSize,
+    seed: u64,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<FarnessEstimate, CentralityError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    let start = Instant::now();
+    let cfg = PrepareConfig {
+        reductions: *reductions,
+        use_bcc: true,
+        reorder: false,
+    };
+    match PreparedGraph::build_with(g, cfg, ctx) {
+        Ok(p) => p.cumulative(sample, seed, ctx),
+        Err(CentralityError::Interrupted { outcome }) => {
+            Ok(zero_coverage_estimate(n, start, outcome))
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Runs the block-local single-source distances for one task: Dial's
@@ -132,92 +218,20 @@ fn block_distances<'a>(
     }
 }
 
-/// [`cumulative_estimate`] under a [`RunControl`].
+/// The prepare stage (Algorithm 4 + the query-independent parts of
+/// Algorithm 5). Takes its own copy of the reduction result because the
+/// homing fixpoint may restore cross-block records into it.
 ///
-/// Interruption granularity is one BFS task. Phase A (cut-vertex BFS,
-/// feeding the BCT sweep) is all-or-nothing: if the deadline expires there,
-/// no inter-block mass exists yet and a zero-coverage estimate is returned
-/// (trivially sound: every lower bound degrades to `n − 1`). In Phase B each
-/// `(block, source)` task either lands completely or not at all; a source —
-/// in particular a cut vertex, which is a source in *every* block containing
-/// it — is only marked sampled/exact once all of its tasks completed, and
-/// per-vertex coverage counts exactly the completed tasks of the vertex's
-/// home block.
-pub fn cumulative_estimate_ctl(
-    g: &CsrGraph,
-    reductions: &ReductionConfig,
-    sample: SampleSize,
-    seed: u64,
-    ctl: &RunControl,
-) -> Result<FarnessEstimate, CentralityError> {
-    cumulative_estimate_ctl_with(g, reductions, sample, seed, ctl, &KernelConfig::default())
-}
-
-/// [`cumulative_estimate_ctl`] with an explicit BFS kernel choice. The
-/// kernel applies to unweighted blocks in both phases; blocks whose edges
-/// carry contracted-chain weights always use Dial's bucket queue (the
-/// direction-optimizing heuristic is meaningless under non-unit weights).
-pub fn cumulative_estimate_ctl_with(
-    g: &CsrGraph,
-    reductions: &ReductionConfig,
-    sample: SampleSize,
-    seed: u64,
-    ctl: &RunControl,
-    kcfg: &KernelConfig,
-) -> Result<FarnessEstimate, CentralityError> {
-    cumulative_estimate_ctl_rec(g, reductions, sample, seed, ctl, kcfg, &NullRecorder)
-}
-
-/// [`cumulative_estimate_ctl_with`] with a telemetry [`Recorder`]: records
-/// spans for the reduction, decomposition/homing, Phase A, the BCT sweep
-/// and Phase B, plus per-phase task counts, homing rounds, BCT shape and
-/// RunControl events. The recorder only observes — the estimate is
-/// bit-identical with [`NullRecorder`].
-pub fn cumulative_estimate_ctl_rec<R: Recorder>(
-    g: &CsrGraph,
-    reductions: &ReductionConfig,
-    sample: SampleSize,
-    seed: u64,
+/// All-or-nothing under the control: interruption anywhere returns
+/// [`CentralityError::Interrupted`] — there is no sound partial artifact.
+pub(crate) fn cumulative_prepare<R: Recorder>(
+    n: usize,
+    mut red: ReductionResult,
     ctl: &RunControl,
     kcfg: &KernelConfig,
     rec: &R,
-) -> Result<FarnessEstimate, CentralityError> {
+) -> Result<CumulativePrep, CentralityError> {
     let kcfg = *kcfg;
-    let n = g.num_nodes();
-    if n == 0 {
-        return Err(CentralityError::EmptyGraph);
-    }
-    admit_memory_rec(ctl, cumulative_run_bytes(n), rec)?;
-    // Connectivity gate: the BCT combination assumes one component.
-    {
-        let mut bfs = Bfs::new(n);
-        let (reached, _) = bfs.run_with(g, 0, |_, _| {});
-        if reached != n {
-            let comps = brics_graph::connectivity::connected_components(g).count();
-            return Err(CentralityError::Disconnected { components: comps });
-        }
-    }
-    let start = Instant::now();
-
-    // ---- Reduce and decompose (Algorithm 4). ----
-    // The reduction can dominate wall time on large graphs with little
-    // reducible structure, so it too runs under the control; interruption
-    // there degrades to the same zero-coverage estimate as a Phase-A abort.
-    let mut red = match timed(rec, "reduce", || reduce_ctl_rec(g, reductions, ctl, rec)) {
-        Ok(r) => r,
-        Err(outcome) => {
-            record_outcome(rec, outcome, "cumulative reduction pipeline interrupted");
-            return Ok(FarnessEstimate::new(
-                vec![0; n],
-                vec![0.0; n],
-                vec![false; n],
-                vec![0; n],
-                0,
-                start.elapsed(),
-                outcome,
-            ))
-        }
-    };
     // Home every record; records whose anchors straddle blocks (paper Fact
     // III.5) are *restored* into the reduced graph — sound because every
     // removal's validity argument is local, and convergent because
@@ -269,14 +283,9 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
     for list in &mut homing.block_records {
         list.retain(|&ri| !is_twin_record[ri]);
     }
-    let survivors = red.surviving();
-    let k_total = sample.resolve(survivors.len());
-    if k_total == 0 {
-        return Err(CentralityError::NoSamples);
-    }
+    let num_survivors = red.num_surviving();
 
-    // ---- Materialize block contexts + per-block sampling (Step 2 prep). ----
-    let mut rng = StdRng::seed_from_u64(seed);
+    // ---- Materialize block contexts. ----
     let mut g2l = vec![INVALID_NODE; n];
     let nb = bct.num_blocks();
     let mut removed_per_block = vec![0u64; nb];
@@ -325,20 +334,6 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
         let noncut: Vec<NodeId> = (0..verts.len() as NodeId)
             .filter(|&l| !is_cut_local[l as usize])
             .collect();
-
-        // Paper Algorithm 5 line 9: k_i = ⌈k·|B_i|/|G_R|⌉ − |cuts|.
-        let quota =
-            ((k_total as f64) * (verts.len() as f64) / (survivors.len() as f64)).ceil() as usize;
-        let k_noncut = quota.saturating_sub(cut_locals.len()).min(noncut.len());
-        let mut sources_local = cut_locals.clone();
-        if k_noncut > 0 {
-            let mut picked: Vec<NodeId> = index_sample(&mut rng, noncut.len(), k_noncut)
-                .into_iter()
-                .map(|i| noncut[i])
-                .collect();
-            picked.sort_unstable();
-            sources_local.extend(picked);
-        }
         for &v in &verts {
             g2l[v as usize] = INVALID_NODE;
         }
@@ -354,14 +349,14 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
                 - bct.blocks()[b].vertices.iter().filter(|&&v| bct.is_cut_vertex(v)).count()
                     as u64)
                 + removed_per_block[b],
-            sources_local,
+            noncut,
         });
     }
     let records: &[Removal] = &red.records;
 
     // ---- Phase A: block-local BFS from every cut vertex. ----
     // Guarded per block: the sweep needs *every* block's cut data, so an
-    // interruption here aborts to a zero-coverage estimate below.
+    // interruption here aborts the whole prepare.
     // Per block: each cut vertex's subtree distance sum, plus the dense
     // cut-to-cut distance matrix.
     type CutData = (Vec<u64>, Vec<Vec<u32>>);
@@ -430,23 +425,12 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
     }
     record_outcome(rec, outcome_a, "cumulative phase A (cut-vertex BFS)");
     if !outcome_a.is_complete() {
-        // No sweep data ⇒ no inter-block mass for anyone. Zero raw values
-        // with zero coverage: every lower bound degrades to n − 1, which is
-        // sound on a connected graph.
-        return Ok(FarnessEstimate::new(
-            vec![0; n],
-            vec![0.0; n],
-            vec![false; n],
-            vec![0; n],
-            0,
-            start.elapsed(),
-            outcome_a,
-        ));
+        return Err(CentralityError::Interrupted { outcome: outcome_a });
     }
     let phase_a: Vec<(Vec<u64>, Vec<Vec<u32>>)> =
         phase_a.into_iter().map(Option::unwrap).collect();
 
-    // ---- Step 3: the BCT sweep. ----
+    // ---- The BCT sweep (Step 3). ----
     let cuts_of_block: Vec<Vec<u32>> = blocks.iter().map(|c| c.cut_globals.clone()).collect();
     let sdo: Vec<Vec<u64>> = phase_a.iter().map(|(s, _)| s.clone()).collect();
     let cutdist: Vec<Vec<Vec<u32>>> = phase_a.into_iter().map(|(_, c)| c).collect();
@@ -472,94 +456,35 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
         );
     }
 
-    // ---- Phase B: block-local BFS from every sampled source (Step 2). ----
-    let mut acc = vec![0u64; n]; // intra partial sums (non-cut sources)
-    let mut inter = vec![0u64; n]; // exact inter-block mass (cut sources)
-    let mut exact = vec![0u64; n]; // per-source exact farness
-    let acc_a: &[AtomicU64] = atomic_view(&mut acc);
+    // ---- Cut-mass pass: the cut-source share of Phase B. ----
+    // Cut vertices are sources in *every* query (Algorithm 5 forces them
+    // in), so their block-local BFS tasks — the exact inter-block mass every
+    // vertex receives, and the cuts' own exact farness — are prepared here
+    // once. Each (block, cut) task is one interruption unit.
+    let mut inter = vec![0u64; n];
+    let mut exact_cut = vec![0u64; n];
     let inter_a: &[AtomicU64] = atomic_view(&mut inter);
-    let exact_a: &[AtomicU64] = atomic_view(&mut exact);
-
-    let tasks: Vec<(u32, u32)> = blocks
+    let exact_a: &[AtomicU64] = atomic_view(&mut exact_cut);
+    let cut_tasks: Vec<(u32, u32)> = blocks
         .iter()
         .enumerate()
-        .flat_map(|(b, ctx)| {
-            (0..ctx.sources_local.len() as u32).map(move |si| (b as u32, si))
-        })
+        .flat_map(|(b, ctx)| (0..ctx.cut_locals.len() as u32).map(move |ci| (b as u32, ci)))
         .collect();
-
-    // Each (block, source) task is one interruption unit: its intra mass,
-    // reconstruction mass, inter mass and exact-farness contribution land
-    // atomically with respect to the control (checked before the task
-    // starts, never mid-task).
-    let guard_b = WorkerGuard::new(ctl);
-    let completed: Vec<bool> = timed(rec, "cumulative.phase_b", || {
-        tasks
+    let guard_c = WorkerGuard::new(ctl);
+    let completed: Vec<bool> = timed(rec, "cumulative.cut_mass", || {
+        cut_tasks
             .par_iter()
             .map_init(
         || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
-        |(bfs, hyb, gdist), &(b, si)| {
+        |(bfs, hyb, gdist), &(b, ci)| {
             let ctx = &blocks[b as usize];
-            let sl = ctx.sources_local[si as usize];
+            let sl = ctx.cut_locals[ci as usize];
             let s_global = ctx.verts[sl as usize];
-            let is_cut_source = ctx.is_cut_local[sl as usize];
-            let done = guard_b.run_source(s_global, || {
-            let dl = block_distances(bfs, hyb, ctx, sl, kcfg.kernel);
-            // Cut-source constants for the inter terms of this source.
-            let (dc, wc) = if is_cut_source {
-                let j = ctx.cut_locals.iter().position(|&l| l == sl).unwrap();
-                (agg.d[b as usize][j], agg.w[b as usize][j])
-            } else {
-                (0, 0)
-            };
-
-            let mut own_sum = 0u64;
-            for (l, &d) in dl.iter().enumerate() {
-                if ctx.is_cut_local[l] {
-                    continue;
-                }
-                let gid = ctx.verts[l] as usize;
-                let d = d as u64;
-                own_sum += d;
-                if is_cut_source {
-                    inter_a[gid].fetch_add(dc + wc * d, Ordering::Relaxed);
-                } else if d > 0 {
-                    acc_a[gid].fetch_add(d, Ordering::Relaxed);
-                }
-            }
-            if !ctx.records.is_empty() {
-                for (l, &gid) in ctx.verts.iter().enumerate() {
-                    gdist[gid as usize] = dl[l];
-                }
-                for &ri in ctx.records.iter().rev() {
-                    apply_record(&records[ri], gdist);
-                }
-                for &ri in &ctx.records {
-                    for x in records[ri].removed_nodes() {
-                        let d = gdist[x as usize] as u64;
-                        own_sum += d;
-                        if is_cut_source {
-                            inter_a[x as usize].fetch_add(dc + wc * d, Ordering::Relaxed);
-                        } else {
-                            acc_a[x as usize].fetch_add(d, Ordering::Relaxed);
-                        }
-                        gdist[x as usize] = INFINITE_DIST;
-                    }
-                }
-                for &gid in &ctx.verts {
-                    gdist[gid as usize] = INFINITE_DIST;
-                }
-            }
-            // Inter part of this source's own (exact) farness.
-            let mut inter_part = 0u64;
-            for (j, &cl) in ctx.cut_locals.iter().enumerate() {
-                if cl == sl {
-                    continue; // a cut vertex skips its own subtree term
-                }
-                inter_part +=
-                    agg.d[b as usize][j] + agg.w[b as usize][j] * dl[cl as usize] as u64;
-            }
-            exact_a[s_global as usize].fetch_add(own_sum + inter_part, Ordering::Relaxed);
+            let done = guard_c.run_source(s_global, || {
+                run_block_task(
+                    bfs, hyb, gdist, ctx, sl, s_global, Some(ci as usize),
+                    &agg, records, b as usize, inter_a, None, exact_a, kcfg.kernel,
+                )
             })
             .is_some();
             if done && rec.enabled() {
@@ -571,7 +496,213 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
             )
             .collect()
     });
-    let outcome_b = guard_b.finish().map_err(|p| {
+    let outcome_c = guard_c.finish().map_err(|p| {
+        record_panic(rec, &p.detail);
+        p
+    })?;
+    if rec.enabled() {
+        // Kept under the Phase-B task counter: together with each query's
+        // non-cut tasks this preserves the counter's historical meaning.
+        rec.add(
+            Counter::CumulativePhaseBTasks,
+            completed.iter().filter(|&&c| c).count() as u64,
+        );
+    }
+    record_outcome(rec, outcome_c, "cumulative cut-mass pass (cut-source BFS)");
+    if !outcome_c.is_complete() {
+        return Err(CentralityError::Interrupted { outcome: outcome_c });
+    }
+    let done_cut_w: Vec<u64> = (0..nb).map(|b| agg.w[b].iter().sum()).collect();
+
+    // Per-block structural-offset mass for the scaled view's de-bias term.
+    let offsets = brics_reduce::structural_offsets(records, n);
+    let mut offset_of_block = vec![0u64; nb];
+    for v in 0..n {
+        if red.removed[v] && twin_rep[v].is_none() {
+            offset_of_block[homing.vertex_home[v] as usize] += offsets[v] as u64;
+        }
+    }
+    let vertex_home = homing.vertex_home;
+    Ok(CumulativePrep {
+        bct,
+        blocks,
+        red,
+        vertex_home,
+        num_survivors,
+        cut_mult,
+        twin_rep,
+        agg,
+        inter,
+        exact_cut,
+        done_cut_w,
+        offset_of_block,
+    })
+}
+
+/// One block-local BFS task: source `sl` (local) in block `ctx`. Accumulates
+/// intra mass into `acc_a` (non-cut sources), inter mass into `inter_a`
+/// (cut sources, `cut_index = Some(j)`), and the source's exact-farness
+/// contribution into `exact_a`. Shared verbatim between the prepare stage's
+/// cut-mass pass and the query stage's non-cut sweep so both produce the
+/// sums the former interleaved Phase B did.
+#[allow(clippy::too_many_arguments)]
+fn run_block_task(
+    bfs: &mut DialBfs,
+    hyb: &mut HybridBfs,
+    gdist: &mut [Dist],
+    ctx: &BlockCtx,
+    sl: NodeId,
+    s_global: NodeId,
+    cut_index: Option<usize>,
+    agg: &Aggregates,
+    records: &[Removal],
+    b: usize,
+    inter_a: &[AtomicU64],
+    acc_a: Option<&[AtomicU64]>,
+    exact_a: &[AtomicU64],
+    kernel: Kernel,
+) {
+    let dl = block_distances(bfs, hyb, ctx, sl, kernel);
+    // Cut-source constants for the inter terms of this source.
+    let is_cut_source = cut_index.is_some();
+    let (dc, wc) = match cut_index {
+        Some(j) => (agg.d[b][j], agg.w[b][j]),
+        None => (0, 0),
+    };
+
+    let mut own_sum = 0u64;
+    for (l, &d) in dl.iter().enumerate() {
+        if ctx.is_cut_local[l] {
+            continue;
+        }
+        let gid = ctx.verts[l] as usize;
+        let d = d as u64;
+        own_sum += d;
+        if is_cut_source {
+            inter_a[gid].fetch_add(dc + wc * d, Ordering::Relaxed);
+        } else if d > 0 {
+            acc_a.unwrap()[gid].fetch_add(d, Ordering::Relaxed);
+        }
+    }
+    if !ctx.records.is_empty() {
+        for (l, &gid) in ctx.verts.iter().enumerate() {
+            gdist[gid as usize] = dl[l];
+        }
+        for &ri in ctx.records.iter().rev() {
+            apply_record(&records[ri], gdist);
+        }
+        for &ri in &ctx.records {
+            for x in records[ri].removed_nodes() {
+                let d = gdist[x as usize] as u64;
+                own_sum += d;
+                if is_cut_source {
+                    inter_a[x as usize].fetch_add(dc + wc * d, Ordering::Relaxed);
+                } else {
+                    acc_a.unwrap()[x as usize].fetch_add(d, Ordering::Relaxed);
+                }
+                gdist[x as usize] = INFINITE_DIST;
+            }
+        }
+        for &gid in &ctx.verts {
+            gdist[gid as usize] = INFINITE_DIST;
+        }
+    }
+    // Inter part of this source's own (exact) farness.
+    let mut inter_part = 0u64;
+    for (j, &cl) in ctx.cut_locals.iter().enumerate() {
+        if cl == sl {
+            continue; // a cut vertex skips its own subtree term
+        }
+        inter_part += agg.d[b][j] + agg.w[b][j] * dl[cl as usize] as u64;
+    }
+    exact_a[s_global as usize].fetch_add(own_sum + inter_part, Ordering::Relaxed);
+}
+
+/// The query stage: draw the non-cut sources for `(sample, seed)`, run
+/// their block-local tasks, assemble raw / scaled / coverage from the query
+/// sums plus the prepared cut mass.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cumulative_query<R: Recorder>(
+    n: usize,
+    prep: &CumulativePrep,
+    sample: SampleSize,
+    seed: u64,
+    admit_bytes: u64,
+    ctl: &RunControl,
+    kcfg: &KernelConfig,
+    rec: &R,
+) -> Result<FarnessEstimate, CentralityError> {
+    let kcfg = *kcfg;
+    admit_memory_rec(ctl, admit_bytes, rec)?;
+    let k_total = sample.resolve(prep.num_survivors);
+    if k_total == 0 {
+        return Err(CentralityError::NoSamples);
+    }
+    let start = Instant::now();
+    let bct = &prep.bct;
+    let blocks = &prep.blocks;
+    let agg = &prep.agg;
+    let records: &[Removal] = &prep.red.records;
+    let nb = blocks.len();
+
+    // Per-block sampling (Algorithm 5 line 9: k_i = ⌈k·|B_i|/|G_R|⌉ −
+    // |cuts|), drawn from one seeded stream over blocks in order — the same
+    // stream the interleaved implementation consumed, so identical seeds
+    // pick identical sources.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks: Vec<(u32, NodeId)> = Vec::new();
+    for (b, ctx) in blocks.iter().enumerate() {
+        let quota = ((k_total as f64) * (ctx.verts.len() as f64)
+            / (prep.num_survivors as f64))
+            .ceil() as usize;
+        let k_noncut = quota.saturating_sub(ctx.cut_locals.len()).min(ctx.noncut.len());
+        if k_noncut > 0 {
+            let mut picked: Vec<NodeId> = index_sample(&mut rng, ctx.noncut.len(), k_noncut)
+                .into_iter()
+                .map(|i| ctx.noncut[i])
+                .collect();
+            picked.sort_unstable();
+            tasks.extend(picked.into_iter().map(|sl| (b as u32, sl)));
+        }
+    }
+
+    // ---- Non-cut sweep (the per-query share of Phase B). ----
+    let mut acc = vec![0u64; n]; // intra partial sums (non-cut sources)
+    let mut exact_q = vec![0u64; n]; // per-source exact farness (non-cut)
+    let acc_a: &[AtomicU64] = atomic_view(&mut acc);
+    let exact_a: &[AtomicU64] = atomic_view(&mut exact_q);
+
+    // Each (block, source) task is one interruption unit: its intra mass,
+    // reconstruction mass and exact-farness contribution land atomically
+    // with respect to the control (checked before the task starts, never
+    // mid-task).
+    let guard = WorkerGuard::new(ctl);
+    let empty_inter: [AtomicU64; 0] = [];
+    let completed: Vec<bool> = timed(rec, "cumulative.phase_b", || {
+        tasks
+            .par_iter()
+            .map_init(
+        || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
+        |(bfs, hyb, gdist), &(b, sl)| {
+            let ctx = &blocks[b as usize];
+            let s_global = ctx.verts[sl as usize];
+            let done = guard.run_source(s_global, || {
+                run_block_task(
+                    bfs, hyb, gdist, ctx, sl, s_global, None,
+                    agg, records, b as usize, &empty_inter, Some(acc_a), exact_a, kcfg.kernel,
+                )
+            })
+            .is_some();
+            if done && rec.enabled() {
+                rec.add(Counter::VerticesVisited, ctx.verts.len() as u64);
+                rec.add(Counter::EdgesScanned, ctx.graph.num_arcs() as u64);
+            }
+            done
+        },
+            )
+            .collect()
+    });
+    let outcome = guard.finish().map_err(|p| {
         record_panic(rec, &p.detail);
         p
     })?;
@@ -581,44 +712,30 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
             completed.iter().filter(|&&c| c).count() as u64,
         );
     }
-    record_outcome(rec, outcome_b, "cumulative phase B (sampled-source BFS)");
-    let outcome = outcome_a.merge(outcome_b);
+    record_outcome(rec, outcome, "cumulative phase B (sampled-source BFS)");
 
-    // ---- Step 4: assemble farness values. ----
-    // A source counts as sampled (⇒ exact) only when *all* its tasks
-    // completed — a cut vertex has one task per incident block, and a
-    // partial `exact[]` sum is a lower bound, not an exact farness. Per
-    // block, tally the completed cut tasks' subtree weights and completed
-    // non-cut tasks for partial-coverage accounting.
-    let mut task_total = vec![0u32; n];
-    let mut task_done = vec![0u32; n];
-    let mut done_cut_w = vec![0u64; nb];
-    let mut done_noncut = vec![0u64; nb];
-    for (t, &(b, si)) in tasks.iter().enumerate() {
-        let ctx = &blocks[b as usize];
-        let sl = ctx.sources_local[si as usize];
-        let v = ctx.verts[sl as usize] as usize;
-        task_total[v] += 1;
-        if completed[t] {
-            task_done[v] += 1;
-            // sources_local lists cut vertices first, so si indexes the
-            // cut order of the aggregates while it stays below their count.
-            if (si as usize) < ctx.cut_locals.len() {
-                done_cut_w[b as usize] += agg.w[b as usize][si as usize];
-            } else {
-                done_noncut[b as usize] += 1;
-            }
-        }
-    }
+    // ---- Assemble farness values (Step 4). ----
+    // Cut vertices are sampled in every query: their tasks all completed
+    // during prepare. A non-cut pick has exactly one task, completed or
+    // not. Per block, tally the completed non-cut tasks for the scaling
+    // factor and partial-coverage accounting (the cut-task subtree weights
+    // were tallied at prepare time).
     let mut sampled = vec![false; n];
-    for v in 0..n {
-        sampled[v] = task_total[v] > 0 && task_done[v] == task_total[v];
+    for &c in bct.cut_vertices() {
+        sampled[c as usize] = true;
+    }
+    let mut done_noncut = vec![0u64; nb];
+    for (t, &(b, sl)) in tasks.iter().enumerate() {
+        if completed[t] {
+            sampled[blocks[b as usize].verts[sl as usize] as usize] = true;
+            done_noncut[b as usize] += 1;
+        }
     }
     let num_sources = sampled.iter().filter(|&&s| s).count();
     if rec.enabled() {
         // A "source" is a sampled vertex whose every block task completed —
         // the same notion `FarnessEstimate::num_sources` reports.
-        let scheduled = task_total.iter().filter(|&&t| t > 0).count();
+        let scheduled = bct.num_cut_vertices() + tasks.len();
         rec.add(Counter::BfsSources, num_sources as u64);
         rec.add(Counter::BfsSourcesSkipped, (scheduled - num_sources) as u64);
     }
@@ -638,77 +755,68 @@ pub fn cumulative_estimate_ctl_rec<R: Recorder>(
             }
         })
         .collect();
-    let offsets = brics_reduce::structural_offsets(records, n);
-    let mut offset_of_block = vec![0u64; nb];
-    for v in 0..n {
-        if red.removed[v] && twin_rep[v].is_none() {
-            offset_of_block[homing.vertex_home[v] as usize] += offsets[v] as u64;
-        }
-    }
     let mut raw = vec![0u64; n];
     let mut scaled = vec![0f64; n];
     for v in 0..n {
-        if twin_rep[v].is_some() {
+        if prep.twin_rep[v].is_some() {
             continue; // copied from the rep below
         }
         if sampled[v] {
-            raw[v] = exact[v];
+            raw[v] = prep.exact_cut[v] + exact_q[v];
             if let Some(ci) = bct.cut_index_of(v as NodeId) {
                 // The rep sees each of its own twins at distance exactly 2.
-                raw[v] += 2 * (cut_mult[ci as usize] - 1);
+                raw[v] += 2 * (prep.cut_mult[ci as usize] - 1);
             }
             scaled[v] = raw[v] as f64;
         } else {
-            raw[v] = acc[v] + inter[v];
-            // An interrupted run can leave a *cut vertex* unsampled; it has
-            // no single home block (and received no task mass), so it keeps
-            // raw 0 / coverage 0 via the None arm.
-            let home = if red.removed[v] {
-                Some(homing.vertex_home[v] as usize)
+            raw[v] = acc[v] + prep.inter[v];
+            let home = if prep.red.removed[v] {
+                Some(prep.vertex_home[v] as usize)
             } else {
                 bct.block_of(v as NodeId).map(|b| b as usize)
             };
             scaled[v] = match home {
                 Some(b) => {
-                    inter[v] as f64
+                    prep.inter[v] as f64
                         + acc[v] as f64 * factor_of_block[b]
-                        + offset_of_block[b] as f64
+                        + prep.offset_of_block[b] as f64
                 }
                 None => raw[v] as f64,
             };
         }
     }
     for v in 0..n {
-        if let Some(rep) = twin_rep[v] {
+        if let Some(rep) = prep.twin_rep[v] {
             raw[v] = raw[rep as usize];
             scaled[v] = scaled[rep as usize];
         }
     }
     // Coverage: sampled vertices saw all n-1 others; everyone else saw the
-    // subtree mass behind each *completed* cut task of their home block plus
-    // that block's completed non-cut sources. On a complete run this reduces
-    // to the exact inter-block mass (n - own(B)) plus k_noncut. Twins copy
-    // their rep's coverage (equal distance vectors ⇒ equally covered).
+    // subtree mass behind each cut task of their home block (all prepared)
+    // plus that block's completed non-cut sources. On a complete run this
+    // reduces to the exact inter-block mass (n - own(B)) plus k_noncut.
+    // Twins copy their rep's coverage (equal distance vectors ⇒ equally
+    // covered).
     let mut coverage = vec![0u32; n];
     for v in 0..n {
-        if twin_rep[v].is_some() {
+        if prep.twin_rep[v].is_some() {
             continue;
         }
         if sampled[v] {
             coverage[v] = (n - 1) as u32;
         } else {
-            let home = if red.removed[v] {
-                Some(homing.vertex_home[v] as usize)
+            let home = if prep.red.removed[v] {
+                Some(prep.vertex_home[v] as usize)
             } else {
                 bct.block_of(v as NodeId).map(|b| b as usize)
             };
             if let Some(b) = home {
-                coverage[v] = (done_cut_w[b] + done_noncut[b]) as u32;
+                coverage[v] = (prep.done_cut_w[b] + done_noncut[b]) as u32;
             }
         }
     }
     for v in 0..n {
-        if let Some(rep) = twin_rep[v] {
+        if let Some(rep) = prep.twin_rep[v] {
             coverage[v] = coverage[rep as usize];
         }
     }
@@ -914,20 +1022,14 @@ mod tests {
         // Every kernel computes identical distances, so the whole pipeline's
         // output must be bit-identical across kernel configs.
         let g = web_like(ClassParams::new(300, 8));
-        let run = |kcfg: &KernelConfig| {
-            cumulative_estimate_ctl_with(
-                &g,
-                &ReductionConfig::all(),
-                SampleSize::Fraction(0.5),
-                7,
-                &RunControl::new(),
-                kcfg,
-            )
-            .unwrap()
+        let run = |kernel: Kernel| {
+            let ctx = ExecutionContext::new().with_kernel(KernelConfig::new(kernel));
+            cumulative_estimate_in(&g, &ReductionConfig::all(), SampleSize::Fraction(0.5), 7, &ctx)
+                .unwrap()
         };
-        let base = run(&KernelConfig::new(Kernel::TopDown));
+        let base = run(Kernel::TopDown);
         for kernel in [Kernel::Auto, Kernel::Hybrid] {
-            let est = run(&KernelConfig::new(kernel));
+            let est = run(kernel);
             assert_eq!(est.raw(), base.raw(), "kernel {kernel:?}");
             assert_eq!(est.sampled_mask(), base.sampled_mask());
             assert_eq!(est.coverage(), base.coverage());

@@ -38,7 +38,5 @@ mod aggregate;
 mod engine;
 mod homing;
 
-pub use engine::{
-    cumulative_estimate, cumulative_estimate_ctl, cumulative_estimate_ctl_rec,
-    cumulative_estimate_ctl_with,
-};
+pub use engine::{cumulative_estimate, cumulative_estimate_in};
+pub(crate) use engine::{cumulative_prepare, cumulative_query, CumulativePrep};

@@ -1,0 +1,161 @@
+//! The per-call execution environment shared by every estimator.
+
+use brics_graph::telemetry::{NullRecorder, Recorder};
+use brics_graph::traversal::KernelConfig;
+use brics_graph::RunControl;
+
+static NULL_RECORDER: NullRecorder = NullRecorder;
+
+/// Everything an estimation call needs besides the graph and the query
+/// parameters: execution limits, the BFS kernel choice, thread planning and
+/// an optional telemetry recorder.
+///
+/// This replaces the former `_ctl` / `_ctl_with` / `_ctl_rec` variant ladder:
+/// each estimator now has exactly one generic `*_in` entry point taking an
+/// `&ExecutionContext`, plus a thin one-shot convenience wrapper that uses
+/// [`ExecutionContext::new`].
+///
+/// The recorder is held by reference with static dispatch (`&dyn`-free); the
+/// default is a [`NullRecorder`], which compiles the telemetry away.
+///
+/// ```
+/// use brics::{ExecutionContext, RunControl, RunRecorder};
+/// use std::time::Duration;
+///
+/// let rec = RunRecorder::new();
+/// let ctx = ExecutionContext::new()
+///     .with_control(RunControl::new().with_timeout(Duration::from_secs(30)))
+///     .with_recorder(&rec);
+/// assert!(ctx.thread_count() >= 1);
+/// ```
+pub struct ExecutionContext<'r, R: Recorder = NullRecorder> {
+    control: RunControl,
+    kernel: KernelConfig,
+    threads: Option<usize>,
+    recorder: &'r R,
+}
+
+impl Default for ExecutionContext<'static, NullRecorder> {
+    fn default() -> Self {
+        Self {
+            control: RunControl::new(),
+            kernel: KernelConfig::default(),
+            threads: None,
+            recorder: &NULL_RECORDER,
+        }
+    }
+}
+
+impl ExecutionContext<'static, NullRecorder> {
+    /// An unbounded, unrecorded context with the default kernel — the
+    /// environment the one-shot convenience wrappers run under.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<'r, R: Recorder> ExecutionContext<'r, R> {
+    /// Sets the execution limits (deadline, cancellation, memory budget).
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Sets the BFS kernel choice and its direction-switching tunables.
+    /// Purely a performance knob: every kernel computes identical distances.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Pins the worker-thread count used for *memory planning* (admission
+    /// figures scale with the number of per-thread BFS scratch buffers).
+    /// Actual parallelism always uses the ambient rayon pool; configure that
+    /// pool itself to change it. Defaults to the ambient pool's size.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attaches a telemetry recorder, swapping the recorder type parameter.
+    /// The recorder only observes: results are bit-identical with and
+    /// without one.
+    pub fn with_recorder<'r2, R2: Recorder>(self, recorder: &'r2 R2) -> ExecutionContext<'r2, R2> {
+        ExecutionContext {
+            control: self.control,
+            kernel: self.kernel,
+            threads: self.threads,
+            recorder,
+        }
+    }
+
+    /// The execution limits.
+    pub fn control(&self) -> &RunControl {
+        &self.control
+    }
+
+    /// The BFS kernel configuration.
+    pub fn kernel(&self) -> &KernelConfig {
+        &self.kernel
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &'r R {
+        self.recorder
+    }
+
+    /// The thread count used for memory planning: the pinned value if
+    /// [`Self::with_threads`] was called, the ambient rayon pool size
+    /// otherwise.
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads).max(1)
+    }
+}
+
+impl<R: Recorder> Clone for ExecutionContext<'_, R> {
+    fn clone(&self) -> Self {
+        Self {
+            control: self.control.clone(),
+            kernel: self.kernel,
+            threads: self.threads,
+            recorder: self.recorder,
+        }
+    }
+}
+
+impl<R: Recorder> std::fmt::Debug for ExecutionContext<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionContext")
+            .field("kernel", &self.kernel)
+            .field("threads", &self.threads)
+            .field("recorder_enabled", &self.recorder.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brics_graph::telemetry::RunRecorder;
+    use brics_graph::traversal::Kernel;
+
+    #[test]
+    fn builder_round_trip() {
+        let rec = RunRecorder::new();
+        let ctx = ExecutionContext::new()
+            .with_kernel(KernelConfig::new(Kernel::TopDown))
+            .with_threads(3)
+            .with_recorder(&rec);
+        assert_eq!(ctx.kernel().kernel, Kernel::TopDown);
+        assert_eq!(ctx.thread_count(), 3);
+        assert!(ctx.recorder().enabled());
+        assert!(ctx.control().should_stop().is_none());
+    }
+
+    #[test]
+    fn default_thread_count_is_ambient_pool() {
+        let ctx = ExecutionContext::new();
+        assert_eq!(ctx.thread_count(), rayon::current_num_threads().max(1));
+        assert!(!ctx.recorder().enabled());
+    }
+}

@@ -1,0 +1,102 @@
+//! The two-stage estimation engine: **prepare once, query many**.
+//!
+//! Cohen et al. and Chechik–Cohen–Kaplan both frame centrality estimation
+//! as a preprocessing problem: the expensive, query-independent structure
+//! work (reduction rounds, biconnectivity, Block-Cut-Tree construction,
+//! reordering) is done once, and each query only pays for its sampled
+//! sweep. This module is that split made explicit:
+//!
+//! * [`PreparedGraph::build`] runs the structure stage and returns an
+//!   artifact owning the reduction result, removal records, structural
+//!   offsets, the BCT with homed records and per-block contexts, an
+//!   optional degree-reorder permutation and precomputed memory-budget
+//!   figures ([`MemoryPlan`]);
+//! * the artifact's query methods ([`PreparedGraph::exact`],
+//!   [`PreparedGraph::sample`], [`PreparedGraph::reduced`],
+//!   [`PreparedGraph::cumulative`], [`PreparedGraph::topk`],
+//!   [`PreparedGraph::harmonic`], [`PreparedGraph::betweenness`]) run
+//!   against it with only `(SampleSize, seed)` varying — no re-reduction,
+//!   no re-decomposition.
+//!
+//! [`ExecutionContext`] bundles the per-call environment (limits, kernel,
+//! recorder, thread planning) into the one generic signature every
+//! estimator now exposes.
+//!
+//! Telemetry: the build stage runs under a `prepare` phase span (with the
+//! single `reduce` span nested inside it) and each query under an
+//! `estimate` span, so prepare-vs-execute time is separately visible in a
+//! [`RunReport`](brics_graph::telemetry::RunReport).
+
+mod context;
+mod prepared;
+
+pub use context::ExecutionContext;
+pub use prepared::{MemoryPlan, PrepareConfig, PreparedGraph};
+
+use crate::FarnessEstimate;
+use brics_graph::RunOutcome;
+use std::time::Instant;
+
+/// The trivial partial estimate an interrupted pipeline degrades to: zero
+/// raw mass, zero coverage, no sources. Sound on a connected graph — every
+/// lower bound becomes `n − 1`.
+pub(crate) fn zero_coverage_estimate(
+    n: usize,
+    start: Instant,
+    outcome: RunOutcome,
+) -> FarnessEstimate {
+    FarnessEstimate::new(
+        vec![0; n],
+        vec![0.0; n],
+        vec![false; n],
+        vec![0; n],
+        0,
+        start.elapsed(),
+        outcome,
+    )
+}
+
+/// Shared final assembly of the flat (non-BCT) estimators: marks completed
+/// sources sampled, overwrites their accumulator slot with the exact own
+/// sum, expands everyone else by `(n − 1) / k_done`, de-biases by the
+/// structural-offset mass (zero when nothing was reduced) and counts
+/// coverage. `sampling.rs` and `reduced.rs` previously each carried a copy
+/// of this block.
+pub(crate) fn assemble_flat(
+    n: usize,
+    mut acc: Vec<u64>,
+    sources: &[brics_graph::NodeId],
+    per_source: &[Option<(usize, u64)>],
+    offset_total: u64,
+    start: Instant,
+    outcome: RunOutcome,
+) -> FarnessEstimate {
+    let mut sampled = vec![false; n];
+    for (&s, per) in sources.iter().zip(per_source) {
+        if let Some((_, sum)) = *per {
+            sampled[s as usize] = true;
+            // Exact farness for sources (overwrites the partial accumulation).
+            acc[s as usize] = sum;
+        }
+    }
+    let k_done = per_source.iter().flatten().count();
+    let factor = if k_done > 0 { (n as f64 - 1.0) / k_done as f64 } else { 1.0 };
+    let scaled: Vec<f64> = acc
+        .iter()
+        .zip(&sampled)
+        .map(|(&v, &is_src)| {
+            if is_src {
+                v as f64
+            } else if k_done > 0 {
+                v as f64 * factor + offset_total as f64
+            } else {
+                v as f64
+            }
+        })
+        .collect();
+    let coverage: Vec<u32> = sampled
+        .iter()
+        .map(|&s| if s { (n - 1) as u32 } else { k_done as u32 })
+        .collect();
+    FarnessEstimate::new(acc, scaled, sampled, coverage, k_done, start.elapsed(), outcome)
+}

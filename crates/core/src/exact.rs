@@ -5,10 +5,9 @@
 //! enough that this is affordable; the estimators exist for everything else.
 
 use crate::budget::exact_run_bytes;
+use crate::engine::ExecutionContext;
 use crate::CentralityError;
-use brics_graph::telemetry::{
-    admit_memory_rec, record_outcome, record_panic, timed, NullRecorder, Recorder,
-};
+use brics_graph::telemetry::{admit_memory_rec, record_outcome, record_panic, timed, Recorder};
 use brics_graph::traversal::{par_bfs_sums_ctl_rec, KernelConfig};
 use brics_graph::{CsrGraph, NodeId, RunControl};
 
@@ -17,33 +16,34 @@ use brics_graph::{CsrGraph, NodeId, RunControl};
 /// Returns [`CentralityError::Disconnected`] if any BFS fails to reach the
 /// whole graph, and [`CentralityError::EmptyGraph`] for an empty input.
 pub fn exact_farness(g: &CsrGraph) -> Result<Vec<u64>, CentralityError> {
-    exact_farness_ctl(g, &RunControl::new())
+    exact_farness_in(g, &ExecutionContext::new())
 }
 
-/// [`exact_farness`] under a [`RunControl`].
+/// [`exact_farness`] under an [`ExecutionContext`] (limits, kernel choice,
+/// telemetry).
 ///
 /// Exact farness is all-or-nothing — a subset of sources is an *estimate*,
 /// not ground truth — so deadline/cancellation surfaces as
 /// [`CentralityError::Interrupted`] rather than a partial result. Use the
-/// sampling estimators when partial answers are acceptable.
-pub fn exact_farness_ctl(g: &CsrGraph, ctl: &RunControl) -> Result<Vec<u64>, CentralityError> {
-    exact_farness_ctl_with(g, ctl, &KernelConfig::default())
-}
-
-/// [`exact_farness_ctl`] with an explicit BFS kernel choice. The result is
-/// bit-identical across kernels; the choice only affects wall time.
-pub fn exact_farness_ctl_with(
+/// sampling estimators when partial answers are acceptable. The result is
+/// bit-identical across kernels and recorders; those only affect wall time
+/// and observability.
+pub fn exact_farness_in<R: Recorder>(
     g: &CsrGraph,
-    ctl: &RunControl,
-    kcfg: &KernelConfig,
+    ctx: &ExecutionContext<'_, R>,
 ) -> Result<Vec<u64>, CentralityError> {
-    exact_farness_ctl_rec(g, ctl, kcfg, &NullRecorder)
+    let admit = exact_run_bytes(g.num_nodes(), ctx.thread_count());
+    timed(ctx.recorder(), "estimate", || {
+        exact_query(g, admit, ctx.control(), ctx.kernel(), ctx.recorder())
+    })
 }
 
-/// [`exact_farness_ctl_with`] with a telemetry [`Recorder`]; observe-only,
-/// bit-identical results either way.
-pub fn exact_farness_ctl_rec<R: Recorder>(
+/// The query stage shared by [`exact_farness_in`] and
+/// [`crate::engine::PreparedGraph::exact`] (which supplies its precomputed
+/// admission figure).
+pub(crate) fn exact_query<R: Recorder>(
     g: &CsrGraph,
+    admit_bytes: u64,
     ctl: &RunControl,
     kcfg: &KernelConfig,
     rec: &R,
@@ -52,7 +52,7 @@ pub fn exact_farness_ctl_rec<R: Recorder>(
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
-    admit_memory_rec(ctl, exact_run_bytes(n), rec)?;
+    admit_memory_rec(ctl, admit_bytes, rec)?;
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
     let (rows, outcome) = timed(rec, "exact.bfs", || par_bfs_sums_ctl_rec(g, &sources, ctl, kcfg, rec))
         .map_err(|p| {
@@ -136,8 +136,9 @@ mod tests {
     #[test]
     fn ctl_deadline_is_an_error_not_a_partial_result() {
         let g = cycle_graph(20);
-        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
-        let err = exact_farness_ctl(&g, &ctl).unwrap_err();
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_timeout(std::time::Duration::ZERO));
+        let err = exact_farness_in(&g, &ctx).unwrap_err();
         assert!(matches!(
             err,
             CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Deadline }
@@ -147,19 +148,20 @@ mod tests {
     #[test]
     fn ctl_budget_and_panic_paths() {
         let g = cycle_graph(50);
-        let ctl = RunControl::new().with_memory_budget_bytes(1);
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_memory_budget_bytes(1));
         assert!(matches!(
-            exact_farness_ctl(&g, &ctl).unwrap_err(),
+            exact_farness_in(&g, &ctx).unwrap_err(),
             CentralityError::BudgetExceeded { .. }
         ));
-        let ctl = RunControl::new().with_injected_panic(7);
+        let ctx = ExecutionContext::new().with_control(RunControl::new().with_injected_panic(7));
         assert!(matches!(
-            exact_farness_ctl(&g, &ctl).unwrap_err(),
+            exact_farness_in(&g, &ctx).unwrap_err(),
             CentralityError::Internal { .. }
         ));
-        // Unbounded control matches the plain entry point.
+        // An unbounded context matches the plain entry point.
         assert_eq!(
-            exact_farness_ctl(&g, &RunControl::new()).unwrap(),
+            exact_farness_in(&g, &ExecutionContext::new()).unwrap(),
             exact_farness(&g).unwrap()
         );
     }

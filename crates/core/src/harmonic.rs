@@ -13,8 +13,10 @@
 
 use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
+use crate::engine::ExecutionContext;
 use crate::sampling::draw_sources;
 use crate::CentralityError;
+use brics_graph::telemetry::{admit_memory_rec, record_outcome, record_panic, timed, Recorder};
 use brics_graph::traversal::{Bfs, WorkerGuard};
 use brics_graph::{CsrGraph, NodeId, RunControl, RunOutcome};
 use rand::rngs::StdRng;
@@ -70,16 +72,32 @@ pub fn harmonic_sampling(
     sample: SampleSize,
     seed: u64,
 ) -> Result<HarmonicEstimate, CentralityError> {
-    harmonic_sampling_ctl(g, sample, seed, &RunControl::new())
+    harmonic_sampling_in(g, sample, seed, &ExecutionContext::new())
 }
 
-/// [`harmonic_sampling`] under a [`RunControl`]: the same per-source
+/// [`harmonic_sampling`] under an [`ExecutionContext`]: the same per-source
 /// interruption contract as the farness estimators.
-pub fn harmonic_sampling_ctl(
+pub fn harmonic_sampling_in<R: Recorder>(
     g: &CsrGraph,
     sample: SampleSize,
     seed: u64,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<HarmonicEstimate, CentralityError> {
+    let admit = accumulate_run_bytes(g.num_nodes(), ctx.thread_count());
+    timed(ctx.recorder(), "estimate", || {
+        harmonic_query(g, admit, sample, seed, ctx.control(), ctx.recorder())
+    })
+}
+
+/// The query stage shared by [`harmonic_sampling_in`] and
+/// [`crate::engine::PreparedGraph::harmonic`].
+pub(crate) fn harmonic_query<R: Recorder>(
+    g: &CsrGraph,
+    admit_bytes: u64,
+    sample: SampleSize,
+    seed: u64,
     ctl: &RunControl,
+    rec: &R,
 ) -> Result<HarmonicEstimate, CentralityError> {
     let n = g.num_nodes();
     if n == 0 {
@@ -89,7 +107,7 @@ pub fn harmonic_sampling_ctl(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
-    ctl.admit_memory(accumulate_run_bytes(n))?;
+    admit_memory_rec(ctl, admit_bytes, rec)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
 
@@ -115,7 +133,11 @@ pub fn harmonic_sampling_ctl(
             },
         )
         .collect();
-    let outcome = guard.finish()?;
+    let outcome = guard.finish().map_err(|p| {
+        record_panic(rec, &p.detail);
+        p
+    })?;
+    record_outcome(rec, outcome, "harmonic-sampling BFS sweep");
 
     let mut sampled = vec![false; n];
     for (&s, per) in sources.iter().zip(&per_source) {
@@ -205,15 +227,17 @@ mod tests {
     #[test]
     fn ctl_deadline_and_budget() {
         let g = gnm_random_connected(40, 60, 1);
-        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
-        let est = harmonic_sampling_ctl(&g, SampleSize::Count(10), 0, &ctl).unwrap();
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_timeout(std::time::Duration::ZERO));
+        let est = harmonic_sampling_in(&g, SampleSize::Count(10), 0, &ctx).unwrap();
         assert_eq!(est.outcome, RunOutcome::Deadline);
         assert!(est.sampled.iter().all(|&s| !s));
         assert!(est.values.iter().all(|&v| v == 0.0));
 
-        let ctl = RunControl::new().with_memory_budget_bytes(4);
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_memory_budget_bytes(4));
         assert!(matches!(
-            harmonic_sampling_ctl(&g, SampleSize::Count(10), 0, &ctl).unwrap_err(),
+            harmonic_sampling_in(&g, SampleSize::Count(10), 0, &ctx).unwrap_err(),
             CentralityError::BudgetExceeded { .. }
         ));
     }

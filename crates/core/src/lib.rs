@@ -18,33 +18,64 @@
 //!
 //! # Quick start
 //!
+//! The engine is two-stage: **prepare once, query many**. Build a
+//! [`PreparedGraph`] (reductions + biconnected decomposition), then run as
+//! many queries against it as you like — different methods, rates and
+//! seeds all reuse the same artifact.
+//!
 //! ```
-//! use brics::{BricsEstimator, Method, SampleSize};
+//! use brics::{ExecutionContext, PreparedGraph, ReductionConfig, SampleSize};
 //! use brics_graph::generators::{web_like, ClassParams};
 //!
 //! let g = web_like(ClassParams::new(2000, 42));
+//! let ctx = ExecutionContext::new();
 //!
-//! // The full BRICS pipeline at a 20 % sampling rate.
-//! let est = BricsEstimator::new(Method::Cumulative)
-//!     .sample(SampleSize::Fraction(0.2))
-//!     .seed(7)
-//!     .run(&g)
-//!     .unwrap();
+//! // Prepare: reduction pipeline + Block-Cut Tree, paid exactly once.
+//! let prepared = PreparedGraph::build(&g, &ReductionConfig::all(), &ctx).unwrap();
+//!
+//! // Query: the full BRICS pipeline at a 20 % sampling rate...
+//! let est = prepared.cumulative(SampleSize::Fraction(0.2), 7, &ctx).unwrap();
+//!
+//! // ...and again at 50 % — no re-reduction, no re-decomposition.
+//! let finer = prepared.cumulative(SampleSize::Fraction(0.5), 7, &ctx).unwrap();
 //!
 //! // Exact values for comparison: the scaled estimates land close.
-//! let exact = brics::exact_farness(&g).unwrap();
+//! let exact = prepared.exact(&ctx).unwrap();
 //! let accuracy = brics::quality::symmetric_quality(est.scaled(), &exact);
 //! assert!(accuracy > 0.7, "accuracy {accuracy}");
 //!
 //! // BFS sources carry their exact farness.
-//! let v = (0..g.num_nodes() as u32).find(|&v| est.is_sampled(v)).unwrap();
-//! assert_eq!(est.raw()[v as usize], exact[v as usize]);
+//! let v = (0..g.num_nodes() as u32).find(|&v| finer.is_sampled(v)).unwrap();
+//! assert_eq!(finer.raw()[v as usize], exact[v as usize]);
+//! ```
+//!
+//! For one-shot runs, [`BricsEstimator`] remains the single-call front
+//! door (it builds the artifact internally), and [`ExecutionContext`]
+//! attaches limits, kernel choice and telemetry to any call:
+//!
+//! ```
+//! use brics::{BricsEstimator, ExecutionContext, Method, RunRecorder, SampleSize};
+//! use brics_graph::generators::path_graph;
+//!
+//! let g = path_graph(50);
+//! let rec = RunRecorder::new();
+//! let ctx = ExecutionContext::new().with_recorder(&rec);
+//! let est = BricsEstimator::new(Method::Cumulative)
+//!     .sample(SampleSize::Fraction(0.3))
+//!     .run_in(&g, &ctx)
+//!     .unwrap();
+//! assert!(!est.is_partial());
+//! // The report separates prepare from estimate time.
+//! let report = rec.report();
+//! assert!(report.phases.iter().any(|p| p.name == "prepare"));
+//! assert!(report.phases.iter().any(|p| p.name == "estimate"));
 //! ```
 //!
 //! The crate is organised bottom-up: [`exact`] (ground truth),
 //! [`sampling`] (the paper's Algorithm 1 baseline), [`reduced`]
 //! (reductions without the biconnected decomposition — the paper's C+R and
-//! I+C+R ablations) and [`cumulative`] (the full Algorithm 4–6 pipeline).
+//! I+C+R ablations) and [`cumulative`] (the full Algorithm 4–6 pipeline),
+//! all running through the [`engine`] module's two-stage split.
 //! [`BricsEstimator`] is the front door that dispatches between them.
 //!
 //! Extensions beyond the paper: [`topk`] (exact top-k closeness via the
@@ -59,6 +90,7 @@ mod budget;
 pub mod config;
 pub mod cumulative;
 pub mod dynamic;
+pub mod engine;
 mod error;
 mod estimate;
 pub mod exact;
@@ -70,9 +102,10 @@ pub mod sampling;
 pub mod topk;
 
 pub use config::{BricsEstimator, HybridParams, Kernel, KernelConfig, Method, SampleSize};
+pub use engine::{ExecutionContext, MemoryPlan, PrepareConfig, PreparedGraph};
 pub use error::CentralityError;
 pub use estimate::FarnessEstimate;
-pub use exact::{exact_farness, exact_farness_ctl, exact_farness_ctl_rec, exact_farness_ctl_with};
+pub use exact::{exact_farness, exact_farness_in};
 
 // Re-exported so downstream users need only one crate in scope for the
 // common flow (generate → estimate → compare).

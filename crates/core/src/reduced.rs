@@ -11,17 +11,20 @@
 //! with the same sources (the paper's observation that only the BiCC
 //! technique affects quality); time drops because BFS touches fewer edges
 //! and the sample budget `k%` is taken of the smaller surviving population.
+//!
+//! The reduction itself is the *prepare* stage: the one-shot entry points
+//! here build a [`PreparedGraph`] and immediately query it, and repeated
+//! queries should hold on to the artifact instead
+//! ([`PreparedGraph::reduced`]).
 
-use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
+use crate::engine::{assemble_flat, zero_coverage_estimate, ExecutionContext, PrepareConfig, PreparedGraph};
 use crate::sampling::draw_sources;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::telemetry::{
-    admit_memory_rec, record_outcome, record_panic, timed, Counter, NullRecorder, Recorder,
-};
-use brics_graph::traversal::{atomic_view, Bfs, DialBfs, WorkerGuard};
+use brics_graph::telemetry::{admit_memory_rec, record_outcome, record_panic, timed, Counter, Recorder};
+use brics_graph::traversal::{atomic_view, DialBfs, WorkerGuard};
 use brics_graph::{CsrGraph, NodeId, RunControl, INFINITE_DIST};
-use brics_reduce::{reconstruct_distances, reduce, reduce_ctl_rec, ReductionConfig, Removal};
+use brics_reduce::{reconstruct_distances, reduce, ReductionConfig, ReductionResult, Removal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -36,31 +39,60 @@ pub fn reduced_estimate(
     sample: SampleSize,
     seed: u64,
 ) -> Result<FarnessEstimate, CentralityError> {
-    reduced_estimate_ctl(g, reductions, sample, seed, &RunControl::new())
+    reduced_estimate_in(g, reductions, sample, seed, &ExecutionContext::new())
 }
 
-/// [`reduced_estimate`] under a [`RunControl`]: same per-source interruption
-/// contract as [`crate::sampling::random_sampling_ctl`]. A source's BFS *and*
-/// its removed-vertex reconstruction are one unit of work — either both land
-/// in the accumulator or neither does.
-pub fn reduced_estimate_ctl(
+/// [`reduced_estimate`] under an [`ExecutionContext`] (limits, telemetry).
+///
+/// Builds a [`PreparedGraph`] (the reduction is the prepare stage) and runs
+/// one query against it. A deadline or cancellation hit *during the
+/// reduction* degrades to the zero-coverage partial estimate (no source
+/// completed; trivially sound bounds); during the sweep, each source's BFS
+/// *and* its removed-vertex reconstruction are one unit of work — either
+/// both land in the accumulator or neither does.
+pub fn reduced_estimate_in<R: Recorder>(
     g: &CsrGraph,
     reductions: &ReductionConfig,
     sample: SampleSize,
     seed: u64,
-    ctl: &RunControl,
+    ctx: &ExecutionContext<'_, R>,
 ) -> Result<FarnessEstimate, CentralityError> {
-    reduced_estimate_ctl_rec(g, reductions, sample, seed, ctl, &NullRecorder)
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CentralityError::EmptyGraph);
+    }
+    let start = Instant::now();
+    let cfg = PrepareConfig {
+        reductions: *reductions,
+        use_bcc: false,
+        reorder: false,
+    };
+    let prepared = match PreparedGraph::build_with(g, cfg, ctx) {
+        Ok(p) => p,
+        // On large graphs the reduction can dominate wall time; a deadline
+        // hit mid-pipeline degrades to the zero-coverage estimate.
+        Err(CentralityError::Interrupted { outcome }) => {
+            return Ok(zero_coverage_estimate(n, start, outcome))
+        }
+        Err(e) => return Err(e),
+    };
+    prepared.reduced(sample, seed, ctx)
 }
 
-/// [`reduced_estimate_ctl`] with a telemetry [`Recorder`]: per-rule
-/// reduction spans and counters (via
-/// [`brics_reduce::reduce_ctl_rec`]), the sweep span, per-source BFS
-/// counters and RunControl events. Observe-only — the estimate is
-/// bit-identical with [`NullRecorder`].
-pub fn reduced_estimate_ctl_rec<R: Recorder>(
+/// The query stage shared by [`reduced_estimate_in`] and
+/// [`PreparedGraph::reduced`]: sample `k` sources from `survivors`, sweep
+/// the reduced graph, replay the removal log per source, assemble.
+///
+/// `g` is the (working) graph the reduction was computed from — used only
+/// for the disconnectivity diagnostic. `offset_total` is the precomputed
+/// structural-offset mass used to de-bias the scaled view.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reduced_query<R: Recorder>(
     g: &CsrGraph,
-    reductions: &ReductionConfig,
+    red: &ReductionResult,
+    survivors: &[NodeId],
+    offset_total: u64,
+    admit_bytes: u64,
     sample: SampleSize,
     seed: u64,
     ctl: &RunControl,
@@ -70,31 +102,12 @@ pub fn reduced_estimate_ctl_rec<R: Recorder>(
     if n == 0 {
         return Err(CentralityError::EmptyGraph);
     }
-    admit_memory_rec(ctl, accumulate_run_bytes(n), rec)?;
-    let start = Instant::now();
-    // The reduction runs under the control too: on large graphs it can
-    // dominate wall time, and a deadline hit mid-pipeline degrades to the
-    // zero-coverage estimate (no source completed; trivially sound bounds).
-    let r = match timed(rec, "reduce", || reduce_ctl_rec(g, reductions, ctl, rec)) {
-        Ok(r) => r,
-        Err(outcome) => {
-            record_outcome(rec, outcome, "reduction pipeline interrupted");
-            return Ok(FarnessEstimate::new(
-                vec![0; n],
-                vec![0.0; n],
-                vec![false; n],
-                vec![0; n],
-                0,
-                start.elapsed(),
-                outcome,
-            ))
-        }
-    };
-    let survivors = r.surviving();
+    admit_memory_rec(ctl, admit_bytes, rec)?;
     let k = sample.resolve(survivors.len());
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
+    let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let source_idx = draw_sources(survivors.len(), k, &mut rng);
     let sources: Vec<NodeId> = source_idx.iter().map(|&i| survivors[i as usize]).collect();
@@ -102,16 +115,18 @@ pub fn reduced_estimate_ctl_rec<R: Recorder>(
     let mut acc = vec![0u64; n];
     let atomic_acc = atomic_view(&mut acc);
     let num_surviving = survivors.len();
-    let records = &r.records;
-    let reduced_graph = &r.graph;
-    let weights = r.weights.as_deref();
+    let records = &red.records;
+    let reduced_graph = &red.graph;
+    let weights = red.weights.as_deref();
     let guard = WorkerGuard::new(ctl);
 
     // One (possibly weighted) BFS per source; removed-vertex distances are
     // reconstructed from the same thread-local distance array the traversal
     // wrote, then reset so the array's sparse-reset invariant holds for the
-    // next source.
-    let per_source: Vec<Option<(usize, u64)>> = timed(rec, "reduced.bfs", || {
+    // next source. The third tuple slot is the arc count the traversal
+    // actually scanned (weighted Dial sweeps touch fewer arcs than
+    // `num_arcs` suggests, and interrupted sources touch none).
+    let per_source: Vec<Option<(usize, u64, u64)>> = timed(rec, "reduced.bfs", || {
         sources
             .par_iter()
             .map_init(
@@ -134,7 +149,7 @@ pub fn reduced_estimate_ctl_rec<R: Recorder>(
                                 dist[x as usize] = INFINITE_DIST;
                             }
                         }
-                        (reached, sum)
+                        (reached, sum, bfs.arcs_scanned())
                     })
                 },
             )
@@ -150,95 +165,43 @@ pub fn reduced_estimate_ctl_rec<R: Recorder>(
         rec.add(Counter::BfsSources, done);
         rec.add(
             Counter::VerticesVisited,
-            per_source.iter().flatten().map(|&(r, _)| r as u64).sum(),
+            per_source.iter().flatten().map(|&(r, _, _)| r as u64).sum(),
         );
-        rec.add(Counter::EdgesScanned, done * reduced_graph.num_arcs() as u64);
+        rec.add(
+            Counter::EdgesScanned,
+            per_source.iter().flatten().map(|&(_, _, scanned)| scanned).sum(),
+        );
         rec.add(Counter::BfsSourcesSkipped, per_source.len() as u64 - done);
     }
 
-    if per_source.iter().flatten().any(|&(reached, _)| reached != num_surviving) {
+    if per_source.iter().flatten().any(|&(reached, _, _)| reached != num_surviving) {
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });
     }
 
-    let mut sampled = vec![false; n];
-    for (&s, per) in sources.iter().zip(&per_source) {
-        if let Some((_, sum)) = *per {
-            sampled[s as usize] = true;
-            acc[s as usize] = sum;
-        }
-    }
-    let k_done = per_source.iter().flatten().count();
-    // Scaled view: expand partial sums by (n-1)/k_done, then de-bias with the
-    // total structural-offset mass (sources are survivors only; removed
-    // vertices sit `offset` hops beyond their anchors — DESIGN.md §5).
-    let factor = if k_done > 0 { (n as f64 - 1.0) / k_done as f64 } else { 1.0 };
-    let offset_total: u64 = brics_reduce::structural_offsets(records, n)
-        .iter()
-        .map(|&o| o as u64)
-        .sum();
-    let scaled: Vec<f64> = acc
-        .iter()
-        .zip(&sampled)
-        .map(|(&v, &is_src)| {
-            if is_src {
-                v as f64
-            } else if k_done > 0 {
-                v as f64 * factor + offset_total as f64
-            } else {
-                v as f64
-            }
-        })
-        .collect();
-    let coverage: Vec<u32> = sampled
-        .iter()
-        .map(|&s| if s { (n - 1) as u32 } else { k_done as u32 })
-        .collect();
-    Ok(FarnessEstimate::new(
-        acc,
-        scaled,
-        sampled,
-        coverage,
-        k_done,
-        start.elapsed(),
-        outcome,
-    ))
+    let per_source: Vec<Option<(usize, u64)>> =
+        per_source.into_iter().map(|o| o.map(|(r, s, _)| (r, s))).collect();
+    Ok(assemble_flat(n, acc, &sources, &per_source, offset_total, start, outcome))
 }
 
 /// Exact farness via the reduction pipeline: sample **every** survivor.
 /// Exists mainly as a stronger test oracle (it exercises the reconstruction
 /// on all sources) and as a faster exact algorithm on reducible graphs.
+///
+/// The reduction runs exactly once: the same [`PreparedGraph`] artifact
+/// serves both the survivor sweep and the removed-vertex completion pass
+/// ([`PreparedGraph::reduced_exact`]).
 pub fn reduced_exact_farness(
     g: &CsrGraph,
     reductions: &ReductionConfig,
 ) -> Result<Vec<u64>, CentralityError> {
-    let n = g.num_nodes();
-    if n == 0 {
-        return Err(CentralityError::EmptyGraph);
-    }
-    let est = reduced_estimate(g, reductions, SampleSize::Fraction(1.0), 0)?;
-    // Every survivor was a source, so survivors are exact. A removed vertex
-    // x holds Σ_{s surviving} d(s, x), which misses its distances to the
-    // *other removed* vertices. Complete those with one true BFS per removed
-    // vertex on the original graph — still cheaper than full exact when the
-    // removed set is small, and a strong oracle for the reconstruction path.
-    let r = reduce(g, reductions);
-    let removed: Vec<NodeId> = (0..n as NodeId).filter(|&v| r.removed[v as usize]).collect();
-    let mut values = est.raw().to_vec();
-    let sums: Vec<(NodeId, u64)> = removed
-        .par_iter()
-        .map_init(
-            || Bfs::new(n),
-            |bfs, &x| {
-                let (_, sum) = bfs.run_with(g, x, |_, _| {});
-                (x, sum)
-            },
-        )
-        .collect();
-    for (x, sum) in sums {
-        values[x as usize] = sum;
-    }
-    Ok(values)
+    let ctx = ExecutionContext::new();
+    let cfg = PrepareConfig {
+        reductions: *reductions,
+        use_bcc: false,
+        reorder: false,
+    };
+    PreparedGraph::build_with(g, cfg, &ctx)?.reduced_exact(&ctx)
 }
 
 /// Returns the reduction result the estimator would use — exposed so
@@ -341,9 +304,10 @@ mod tests {
     #[test]
     fn ctl_deadline_partial_and_panic_paths() {
         let g = gnm_random_connected(50, 70, 4);
-        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_timeout(std::time::Duration::ZERO));
         let est =
-            reduced_estimate_ctl(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctl)
+            reduced_estimate_in(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctx)
                 .unwrap();
         assert!(est.is_partial());
         assert_eq!(est.num_sources(), 0);
@@ -352,14 +316,16 @@ mod tests {
         // Panic inside the reduced BFS+reconstruction unit.
         let full = reduced_estimate(&g, &ReductionConfig::all(), SampleSize::Count(8), 1).unwrap();
         let victim = (0..50u32).find(|&v| full.is_sampled(v)).unwrap();
-        let ctl = RunControl::new().with_injected_panic(victim);
-        let err = reduced_estimate_ctl(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctl)
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_injected_panic(victim));
+        let err = reduced_estimate_in(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctx)
             .unwrap_err();
         assert!(matches!(err, CentralityError::Internal { .. }));
 
         // Budget rejection happens before any BFS.
-        let ctl = RunControl::new().with_memory_budget_bytes(1);
-        let err = reduced_estimate_ctl(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctl)
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_memory_budget_bytes(1));
+        let err = reduced_estimate_in(&g, &ReductionConfig::all(), SampleSize::Count(8), 1, &ctx)
             .unwrap_err();
         assert!(matches!(err, CentralityError::BudgetExceeded { .. }));
     }

@@ -8,10 +8,9 @@
 
 use crate::budget::accumulate_run_bytes;
 use crate::config::SampleSize;
+use crate::engine::{assemble_flat, ExecutionContext};
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::telemetry::{
-    admit_memory_rec, record_outcome, record_panic, timed, NullRecorder, Recorder,
-};
+use brics_graph::telemetry::{admit_memory_rec, record_outcome, record_panic, timed, Recorder};
 use brics_graph::traversal::{par_bfs_accumulate_ctl_rec, KernelConfig};
 use brics_graph::{CsrGraph, NodeId, RunControl};
 use rand::rngs::StdRng;
@@ -35,47 +34,38 @@ pub fn random_sampling(
     sample: SampleSize,
     seed: u64,
 ) -> Result<FarnessEstimate, CentralityError> {
-    random_sampling_ctl(g, sample, seed, &RunControl::new())
+    random_sampling_in(g, sample, seed, &ExecutionContext::new())
 }
 
-/// [`random_sampling`] under a [`RunControl`].
+/// [`random_sampling`] under an [`ExecutionContext`] (limits, kernel
+/// choice, telemetry).
 ///
 /// The control is consulted before each BFS source. On deadline or
 /// cancellation the returned estimate is *partial*: `num_sources`, the
 /// scaling factor, and per-vertex `coverage` all reflect only the sources
-/// that completed, so [`FarnessEstimate::lower_bounds`] stays sound.
-pub fn random_sampling_ctl(
+/// that completed, so [`FarnessEstimate::lower_bounds`] stays sound. Every
+/// kernel produces identical distances and the recorder only observes, so
+/// the estimate is bit-identical across contexts with the same control.
+pub fn random_sampling_in<R: Recorder>(
     g: &CsrGraph,
     sample: SampleSize,
     seed: u64,
-    ctl: &RunControl,
+    ctx: &ExecutionContext<'_, R>,
 ) -> Result<FarnessEstimate, CentralityError> {
-    random_sampling_ctl_with(g, sample, seed, ctl, &KernelConfig::default())
+    let admit = accumulate_run_bytes(g.num_nodes(), ctx.thread_count());
+    timed(ctx.recorder(), "estimate", || {
+        sampling_query(g, sample, seed, admit, ctx.control(), ctx.kernel(), ctx.recorder())
+    })
 }
 
-/// [`random_sampling_ctl`] with an explicit BFS kernel choice — see
-/// [`brics_graph::traversal::par_bfs_accumulate_ctl_with`] for how the
-/// kernel and the source-vs-frontier parallel split are selected. Every
-/// kernel produces identical distances, so the estimate is bit-identical
-/// across configs; only wall time differs.
-pub fn random_sampling_ctl_with(
+/// The query stage shared by [`random_sampling_in`] and
+/// [`crate::engine::PreparedGraph::sample`]. Random sampling needs no
+/// prepared structure — it runs directly on the (working) graph.
+pub(crate) fn sampling_query<R: Recorder>(
     g: &CsrGraph,
     sample: SampleSize,
     seed: u64,
-    ctl: &RunControl,
-    kcfg: &KernelConfig,
-) -> Result<FarnessEstimate, CentralityError> {
-    random_sampling_ctl_rec(g, sample, seed, ctl, kcfg, &NullRecorder)
-}
-
-/// [`random_sampling_ctl_with`] with a telemetry [`Recorder`]: records the
-/// BFS sweep span, per-source kernel counters, and RunControl events
-/// (memory admission, deadline/cancel, isolated panics). The recorder only
-/// observes — the estimate is bit-identical with [`NullRecorder`].
-pub fn random_sampling_ctl_rec<R: Recorder>(
-    g: &CsrGraph,
-    sample: SampleSize,
-    seed: u64,
+    admit_bytes: u64,
     ctl: &RunControl,
     kcfg: &KernelConfig,
     rec: &R,
@@ -88,7 +78,7 @@ pub fn random_sampling_ctl_rec<R: Recorder>(
     if k == 0 {
         return Err(CentralityError::NoSamples);
     }
-    admit_memory_rec(ctl, accumulate_run_bytes(n), rec)?;
+    admit_memory_rec(ctl, admit_bytes, rec)?;
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let sources = draw_sources(n, k, &mut rng);
@@ -106,38 +96,10 @@ pub fn random_sampling_ctl_rec<R: Recorder>(
         let comps = brics_graph::connectivity::connected_components(g).count();
         return Err(CentralityError::Disconnected { components: comps });
     }
-
     // Only completed sources are marked sampled / get their exact farness;
     // skipped sources contributed nothing to `acc` (per-source granularity).
-    let mut sampled = vec![false; n];
-    for (&s, per) in sources.iter().zip(&run.per_source) {
-        if let Some((_, sum)) = *per {
-            sampled[s as usize] = true;
-            // Exact farness for sources (overwrites the partial accumulation).
-            acc[s as usize] = sum;
-        }
-    }
-    let k_done = run.stats.num_sources;
-    // Scaled view: expand partial sums by (n - 1) / k_done.
-    let factor = if k_done > 0 { (n as f64 - 1.0) / k_done as f64 } else { 1.0 };
-    let scaled: Vec<f64> = acc
-        .iter()
-        .zip(&sampled)
-        .map(|(&v, &is_src)| if is_src { v as f64 } else { v as f64 * factor })
-        .collect();
-    let coverage: Vec<u32> = sampled
-        .iter()
-        .map(|&s| if s { (n - 1) as u32 } else { k_done as u32 })
-        .collect();
-    Ok(FarnessEstimate::new(
-        acc,
-        scaled,
-        sampled,
-        coverage,
-        k_done,
-        start.elapsed(),
-        run.outcome,
-    ))
+    // No reductions ran, so the structural-offset de-bias term is zero.
+    Ok(assemble_flat(n, acc, &sources, &run.per_source, 0, start, run.outcome))
 }
 
 #[cfg(test)]
@@ -145,6 +107,10 @@ mod tests {
     use super::*;
     use crate::exact_farness;
     use brics_graph::generators::{cycle_graph, gnm_random_connected, path_graph};
+
+    fn ctl_ctx(ctl: RunControl) -> ExecutionContext<'static> {
+        ExecutionContext::new().with_control(ctl)
+    }
 
     #[test]
     fn full_sampling_is_exact() {
@@ -204,8 +170,8 @@ mod tests {
     #[test]
     fn ctl_expired_deadline_yields_empty_partial() {
         let g = cycle_graph(30);
-        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
-        let est = random_sampling_ctl(&g, SampleSize::Count(10), 7, &ctl).unwrap();
+        let ctx = ctl_ctx(RunControl::new().with_timeout(std::time::Duration::ZERO));
+        let est = random_sampling_in(&g, SampleSize::Count(10), 7, &ctx).unwrap();
         assert!(est.is_partial());
         assert_eq!(est.outcome(), brics_graph::RunOutcome::Deadline);
         assert_eq!(est.num_sources(), 0);
@@ -218,8 +184,8 @@ mod tests {
     #[test]
     fn ctl_memory_budget_rejects_up_front() {
         let g = cycle_graph(1000);
-        let ctl = RunControl::new().with_memory_budget_bytes(16);
-        let err = random_sampling_ctl(&g, SampleSize::Count(4), 0, &ctl).unwrap_err();
+        let ctx = ctl_ctx(RunControl::new().with_memory_budget_bytes(16));
+        let err = random_sampling_in(&g, SampleSize::Count(4), 0, &ctx).unwrap_err();
         assert!(matches!(err, CentralityError::BudgetExceeded { budget_bytes: 16, .. }));
     }
 
@@ -230,8 +196,8 @@ mod tests {
         // injecting on every possible source in turn until one trips.
         let est = random_sampling(&g, SampleSize::Count(5), 3).unwrap();
         let victim = (0..30u32).find(|&v| est.is_sampled(v)).unwrap();
-        let ctl = RunControl::new().with_injected_panic(victim);
-        let err = random_sampling_ctl(&g, SampleSize::Count(5), 3, &ctl).unwrap_err();
+        let ctx = ctl_ctx(RunControl::new().with_injected_panic(victim));
+        let err = random_sampling_in(&g, SampleSize::Count(5), 3, &ctx).unwrap_err();
         match err {
             CentralityError::Internal { detail } => {
                 assert!(detail.contains("injected worker panic"), "got: {detail}")
@@ -244,7 +210,8 @@ mod tests {
     fn ctl_unbounded_matches_plain() {
         let g = gnm_random_connected(40, 70, 2);
         let plain = random_sampling(&g, SampleSize::Count(6), 11).unwrap();
-        let ctl = random_sampling_ctl(&g, SampleSize::Count(6), 11, &RunControl::new()).unwrap();
+        let ctl = random_sampling_in(&g, SampleSize::Count(6), 11, &ExecutionContext::new())
+            .unwrap();
         assert_eq!(plain.raw(), ctl.raw());
         assert_eq!(plain.num_sources(), ctl.num_sources());
         assert!(!ctl.is_partial());

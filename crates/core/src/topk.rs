@@ -12,7 +12,9 @@
 //! provably outside the top-k. Vertices that served as BFS sources during
 //! estimation are already exact and verify for free.
 
+use crate::engine::ExecutionContext;
 use crate::{BricsEstimator, CentralityError, FarnessEstimate};
+use brics_graph::telemetry::{timed, Counter, Recorder};
 use brics_graph::traversal::Bfs;
 use brics_graph::{CsrGraph, NodeId, RunControl};
 use serde::{Deserialize, Serialize};
@@ -42,10 +44,13 @@ pub fn top_k_closeness(
     k: usize,
     estimator: &BricsEstimator,
 ) -> Result<TopK, CentralityError> {
-    top_k_closeness_ctl(g, k, estimator, &RunControl::new())
+    top_k_closeness_in(g, k, estimator, &ExecutionContext::new())
 }
 
-/// [`top_k_closeness`] under a [`RunControl`].
+/// [`top_k_closeness`] under an [`ExecutionContext`] (limits, kernel,
+/// telemetry — the estimation pass records its usual phases, the
+/// verification scan adds a `topk.verify` span and charges each
+/// verification BFS to the kernel counters; observe-only either way).
 ///
 /// A top-k ranking is a *certificate* — either every returned vertex is
 /// provably in the top-k or the result is worthless — so unlike the
@@ -54,30 +59,15 @@ pub fn top_k_closeness(
 /// [`CentralityError::Interrupted`]. A partial estimate whose deadline has
 /// not yet expired is still usable (weaker bounds just mean more BFS
 /// verification).
-pub fn top_k_closeness_ctl(
+pub fn top_k_closeness_in<R: Recorder>(
     g: &CsrGraph,
     k: usize,
     estimator: &BricsEstimator,
-    ctl: &RunControl,
+    ctx: &ExecutionContext<'_, R>,
 ) -> Result<TopK, CentralityError> {
-    top_k_closeness_ctl_rec(g, k, estimator, ctl, &brics_graph::telemetry::NullRecorder)
-}
-
-/// [`top_k_closeness_ctl`] with a telemetry [`Recorder`](brics_graph::telemetry::Recorder):
-/// the estimation pass records its usual phases and counters (see
-/// [`BricsEstimator::run_recorded`]), the verification scan adds a
-/// `topk.verify` span and charges each verification BFS to the kernel
-/// counters. Observe-only — the ranking is bit-identical either way.
-pub fn top_k_closeness_ctl_rec<R: brics_graph::telemetry::Recorder>(
-    g: &CsrGraph,
-    k: usize,
-    estimator: &BricsEstimator,
-    ctl: &RunControl,
-    rec: &R,
-) -> Result<TopK, CentralityError> {
-    use brics_graph::telemetry::{timed, Counter};
-    let est = estimator.run_recorded(g, ctl, rec)?;
-    let t = timed(rec, "topk.verify", || top_k_from_estimate_ctl(g, k, &est, ctl))?;
+    let rec = ctx.recorder();
+    let est = estimator.run_in(g, ctx)?;
+    let t = timed(rec, "topk.verify", || top_k_from_estimate_ctl(g, k, &est, ctx.control()))?;
     if rec.enabled() {
         let b = t.verified_with_bfs as u64;
         rec.add(Counter::BfsSources, b);
@@ -94,9 +84,22 @@ pub fn top_k_from_estimate(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> Top
         .expect("unbounded control cannot be interrupted")
 }
 
-/// [`top_k_from_estimate`] under a [`RunControl`]: the control is consulted
-/// before each verification BFS.
-pub fn top_k_from_estimate_ctl(
+/// [`top_k_from_estimate`] under an [`ExecutionContext`]: the context's
+/// control is consulted before each verification BFS (kernel and recorder
+/// are unused — verification is plain sequential BFS).
+pub fn top_k_from_estimate_in<R: Recorder>(
+    g: &CsrGraph,
+    k: usize,
+    est: &FarnessEstimate,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<TopK, CentralityError> {
+    top_k_from_estimate_ctl(g, k, est, ctx.control())
+}
+
+/// Control-level core of the verification scan, shared by the public entry
+/// points and [`crate::engine::PreparedGraph::topk`] (which must verify in
+/// working-graph ids before translating).
+pub(crate) fn top_k_from_estimate_ctl(
     g: &CsrGraph,
     k: usize,
     est: &FarnessEstimate,
@@ -260,8 +263,9 @@ mod tests {
         let g = gnm_random_connected(80, 120, 4);
         // Expired deadline: the estimation pass yields a (sound but empty)
         // partial estimate, and the verification scan must refuse to certify.
-        let ctl = crate::RunControl::new().with_timeout(std::time::Duration::ZERO);
-        let err = top_k_closeness_ctl(&g, 5, &estimator(), &ctl).unwrap_err();
+        let ctx = ExecutionContext::new()
+            .with_control(crate::RunControl::new().with_timeout(std::time::Duration::ZERO));
+        let err = top_k_closeness_in(&g, 5, &estimator(), &ctx).unwrap_err();
         assert!(matches!(
             err,
             CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Deadline }
@@ -271,15 +275,17 @@ mod tests {
         let est = estimator().run(&g).unwrap();
         let ctl = crate::RunControl::new();
         ctl.cancel_token().cancel();
-        let err = top_k_from_estimate_ctl(&g, 5, &est, &ctl).unwrap_err();
+        let ctx = ExecutionContext::new().with_control(ctl);
+        let err = top_k_from_estimate_in(&g, 5, &est, &ctx).unwrap_err();
         assert!(matches!(
             err,
             CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Cancelled }
         ));
 
         // An unexpired control certifies normally.
-        let ctl = crate::RunControl::new().with_timeout(std::time::Duration::from_secs(600));
-        let t = top_k_closeness_ctl(&g, 5, &estimator(), &ctl).unwrap();
+        let ctx = ExecutionContext::new()
+            .with_control(crate::RunControl::new().with_timeout(std::time::Duration::from_secs(600)));
+        let t = top_k_closeness_in(&g, 5, &estimator(), &ctx).unwrap();
         assert_eq!(t.ranked, brute_top_k(&g, 5));
     }
 

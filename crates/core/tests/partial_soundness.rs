@@ -10,7 +10,9 @@
 //! hold for *any* completed prefix; thread timing varies which prefix each
 //! run produces, and the property must hold for all of them.
 
-use brics::{exact_farness, BricsEstimator, CancelToken, Method, RunControl, SampleSize};
+use brics::{
+    exact_farness, BricsEstimator, CancelToken, ExecutionContext, Method, RunControl, SampleSize,
+};
 use brics_graph::generators::gnm_random_connected;
 use proptest::prelude::*;
 use std::time::Duration;
@@ -52,9 +54,11 @@ proptest! {
         let est = BricsEstimator::new(method_of(msel))
             .sample(SampleSize::Fraction(rate))
             .seed(seed)
-            .run_with_control(
+            .run_in(
                 &g,
-                &RunControl::new().with_timeout(Duration::from_micros(deadline_us)),
+                &ExecutionContext::new().with_control(
+                    RunControl::new().with_timeout(Duration::from_micros(deadline_us)),
+                ),
             )
             .unwrap();
         let lb = est.lower_bounds();
@@ -95,7 +99,7 @@ proptest! {
         let est = BricsEstimator::new(method_of(msel))
             .sample(SampleSize::Fraction(rate))
             .seed(seed)
-            .run_with_control(&g, &ctl)
+            .run_in(&g, &ExecutionContext::new().with_control(ctl))
             .unwrap();
         prop_assert!(est.is_partial());
         prop_assert_eq!(est.num_sources(), 0);

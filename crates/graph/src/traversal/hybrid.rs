@@ -80,7 +80,8 @@ pub enum Kernel {
     /// a call has fewer sources than threads. The default.
     #[default]
     Auto,
-    /// Classic serial top-down BFS per source ([`Bfs`]); parallelism over
+    /// Classic serial top-down BFS per source ([`Bfs`](crate::traversal::Bfs));
+    /// parallelism over
     /// sources only. The pre-hybrid behaviour, kept for comparison.
     TopDown,
     /// Direction-optimizing kernel, like [`Kernel::Auto`] (the variants

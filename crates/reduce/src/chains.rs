@@ -80,7 +80,7 @@ pub fn find_chains(g: &MutGraph) -> Vec<DetectedChain> {
 }
 
 /// [`find_chains`] under a [`RunControl`], checked every
-/// [`CHECK_INTERVAL`] scan positions. Detection does not mutate the graph,
+/// `CHECK_INTERVAL` scan positions. Detection does not mutate the graph,
 /// so interruption simply discards the partial chain list.
 pub fn find_chains_ctl(
     g: &MutGraph,
@@ -210,7 +210,7 @@ pub fn remove_redundant_chains(g: &mut MutGraph, records: &mut Vec<Removal>) -> 
 }
 
 /// [`remove_redundant_chains`] under a [`RunControl`]. The removal loop is
-/// checked every [`CHECK_INTERVAL`] chains: each removal can cost up to
+/// checked every `CHECK_INTERVAL` chains: each removal can cost up to
 /// O(max degree) (deleting a hub's back-edge), so on hub-heavy graphs the
 /// loop, not detection, can dominate. Interruption returns `Err(outcome)`
 /// leaving `g` and `records` partially mutated — callers (the pipeline)

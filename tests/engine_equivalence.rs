@@ -1,0 +1,170 @@
+//! The two-stage engine contract: a one-shot convenience wrapper and an
+//! explicit prepare/execute split must be **observationally identical** —
+//! bit-for-bit equal estimates across methods, kernels, seeds and rates —
+//! because the wrappers are nothing but `build` + one query. The suite
+//! also pins the amortization guarantee the split exists for: one
+//! [`PreparedGraph`] serves many methods and sample sizes with the
+//! reduction pipeline running exactly once.
+
+use brics::{
+    exact_farness, BricsEstimator, ExecutionContext, FarnessEstimate, Method, PrepareConfig,
+    PreparedGraph, ReductionConfig, RunControl, RunOutcome, RunRecorder, SampleSize,
+};
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::traversal::{Kernel, KernelConfig};
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical(a: &FarnessEstimate, b: &FarnessEstimate, what: &str) {
+    assert_eq!(a.raw(), b.raw(), "{what}: raw");
+    assert_eq!(bits(a.scaled()), bits(b.scaled()), "{what}: scaled bits");
+    assert_eq!(a.sampled_mask(), b.sampled_mask(), "{what}: sampled mask");
+    assert_eq!(a.coverage(), b.coverage(), "{what}: coverage");
+    assert_eq!(a.num_sources(), b.num_sources(), "{what}: num_sources");
+    assert_eq!(a.outcome(), b.outcome(), "{what}: outcome");
+}
+
+/// The prepare stage a method implies, mirroring `BricsEstimator::run_in`.
+fn prepare_config_of(method: Method) -> PrepareConfig {
+    PrepareConfig { reductions: method.reductions(), use_bcc: method.uses_bcc(), reorder: false }
+}
+
+fn query(
+    p: &PreparedGraph<'_>,
+    method: Method,
+    sample: SampleSize,
+    seed: u64,
+    ctx: &ExecutionContext<'_>,
+) -> FarnessEstimate {
+    match method {
+        Method::RandomSampling => p.sample(sample, seed, ctx).unwrap(),
+        m if m.uses_bcc() => p.cumulative(sample, seed, ctx).unwrap(),
+        _ => p.reduced(sample, seed, ctx).unwrap(),
+    }
+}
+
+#[test]
+fn wrappers_match_prepare_execute_across_methods_kernels_and_seeds() {
+    let methods = [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative];
+    for class in [GraphClass::Web, GraphClass::Social] {
+        let g = class.generate(ClassParams::new(400, 13));
+        for method in methods {
+            for kernel in [Kernel::TopDown, Kernel::Auto] {
+                for seed in [3u64, 17] {
+                    let sample = SampleSize::Fraction(0.3);
+                    let ctx = ExecutionContext::new().with_kernel(KernelConfig::new(kernel));
+                    let one_shot = BricsEstimator::new(method)
+                        .sample(sample)
+                        .seed(seed)
+                        .kernel(KernelConfig::new(kernel))
+                        .run(&g)
+                        .unwrap();
+                    let p = PreparedGraph::build_with(&g, prepare_config_of(method), &ctx)
+                        .unwrap();
+                    let split = query(&p, method, sample, seed, &ctx);
+                    let what = format!("{class:?}/{}/{kernel:?}/seed {seed}", method.name());
+                    assert_identical(&one_shot, &split, &what);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_artifact_serves_many_methods_and_rates_with_one_reduction() {
+    let g = GraphClass::Social.generate(ClassParams::new(500, 29));
+    let rec = RunRecorder::new();
+    let ctx = ExecutionContext::new().with_recorder(&rec);
+    let p = PreparedGraph::build(&g, &ReductionConfig::all(), &ctx).unwrap();
+
+    // Two methods × two sample sizes, all against the same artifact...
+    let runs = [
+        (Method::Cumulative, SampleSize::Fraction(0.2)),
+        (Method::Cumulative, SampleSize::Fraction(0.5)),
+        (Method::RandomSampling, SampleSize::Fraction(0.2)),
+        (Method::RandomSampling, SampleSize::Count(40)),
+    ];
+    let plain_ctx = ExecutionContext::new();
+    for (method, sample) in runs {
+        let recorded = match method {
+            Method::RandomSampling => p.sample(sample, 9, &ctx).unwrap(),
+            _ => p.cumulative(sample, 9, &ctx).unwrap(),
+        };
+        // ...each bit-identical to a fresh one-shot run of that method.
+        let fresh =
+            BricsEstimator::new(method).sample(sample).seed(9).run_in(&g, &plain_ctx).unwrap();
+        assert_identical(&recorded, &fresh, &format!("{}/{sample:?}", method.name()));
+    }
+
+    // The telemetry proves the amortization: one reduce, one prepare,
+    // four estimate spans.
+    let report = rec.report();
+    let reduce: Vec<_> = report.phases.iter().filter(|ph| ph.name == "reduce").collect();
+    assert_eq!(reduce.len(), 1, "reduce spans aggregate to one entry");
+    assert_eq!(reduce[0].count, 1, "the reduction ran exactly once");
+    assert_eq!(report.phases.iter().find(|ph| ph.name == "prepare").unwrap().count, 1);
+    assert_eq!(report.phases.iter().find(|ph| ph.name == "estimate").unwrap().count, 4);
+}
+
+#[test]
+fn interruption_is_equivalent_in_both_stages() {
+    let g = GraphClass::Web.generate(ClassParams::new(400, 5));
+    let est = BricsEstimator::new(Method::Cumulative).sample(SampleSize::Fraction(0.4)).seed(2);
+
+    // A control that is already cancelled interrupts the *prepare* stage:
+    // the explicit split surfaces the error, while the one-shot wrapper
+    // degrades to the documented zero-coverage partial.
+    let cancelled = || {
+        let ctl = RunControl::new();
+        ctl.cancel_token().cancel();
+        ExecutionContext::new().with_control(ctl)
+    };
+    let err = PreparedGraph::build(&g, &ReductionConfig::all(), &cancelled()).unwrap_err();
+    assert!(matches!(err, brics::CentralityError::Interrupted { .. }));
+    let wrapper = est.run_in(&g, &cancelled()).unwrap();
+    assert_eq!(wrapper.outcome(), RunOutcome::Cancelled);
+    assert_eq!(wrapper.num_sources(), 0);
+    assert!(wrapper.raw().iter().all(|&v| v == 0));
+
+    // Interrupting only the *query* stage (the artifact was built
+    // unbounded) is deterministic for a pre-cancelled control, so two
+    // such queries must agree bit for bit.
+    let p = PreparedGraph::build(&g, &ReductionConfig::all(), &ExecutionContext::new()).unwrap();
+    let a = p.cumulative(SampleSize::Fraction(0.4), 2, &cancelled()).unwrap();
+    let b = p.cumulative(SampleSize::Fraction(0.4), 2, &cancelled()).unwrap();
+    assert_eq!(a.outcome(), RunOutcome::Cancelled);
+    assert_eq!(a.num_sources(), 0);
+    assert_identical(&a, &b, "pre-cancelled query determinism");
+}
+
+#[test]
+fn auxiliary_queries_match_their_wrappers() {
+    let g = GraphClass::Community.generate(ClassParams::new(400, 21));
+    let ctx = ExecutionContext::new();
+    let p = PreparedGraph::build(&g, &ReductionConfig::all(), &ctx).unwrap();
+
+    // Exact farness from the artifact is the ground truth.
+    let exact = exact_farness(&g).unwrap();
+    assert_eq!(p.exact(&ctx).unwrap(), exact);
+    assert_eq!(p.reduced_exact(&ctx).unwrap(), exact);
+
+    // Top-k: the artifact-backed ranking equals the wrapper's.
+    let est = BricsEstimator::new(Method::Cumulative).sample(SampleSize::Fraction(0.3)).seed(7);
+    let wrapper = brics::topk::top_k_closeness(&g, 8, &est).unwrap();
+    let split = p.topk(8, SampleSize::Fraction(0.3), 7, &ctx).unwrap();
+    assert_eq!(wrapper.ranked, split.ranked);
+
+    // Harmonic and betweenness ride on the same artifact.
+    let hw = brics::harmonic::harmonic_sampling(&g, SampleSize::Fraction(0.3), 5).unwrap();
+    let hs = p.harmonic(SampleSize::Fraction(0.3), 5, &ctx).unwrap();
+    assert_eq!(hw.values, hs.values);
+    assert_eq!(bits(&hw.scaled), bits(&hs.scaled));
+    assert_eq!(hw.sampled, hs.sampled);
+
+    let bw = brics::betweenness::sampled_betweenness(&g, SampleSize::Fraction(0.3), 5).unwrap();
+    let (bs, outcome) = p.betweenness(SampleSize::Fraction(0.3), 5, &ctx).unwrap();
+    assert_eq!(bits(&bw), bits(&bs));
+    assert_eq!(outcome, RunOutcome::Complete);
+}

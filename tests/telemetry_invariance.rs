@@ -6,12 +6,12 @@
 //! headline counters cross-checked against the estimate it produced, so a
 //! recorder that lies (or perturbs) fails here too.
 
-use brics::{BricsEstimator, FarnessEstimate, Method, SampleSize};
+use brics::RunRecorder;
+use brics::{BricsEstimator, ExecutionContext, FarnessEstimate, Method, SampleSize};
 use brics_graph::generators::{ClassParams, GraphClass};
 use brics_graph::telemetry::Counter;
 use brics_graph::traversal::{Kernel, KernelConfig};
 use brics_graph::{RunControl, RunOutcome};
-use brics::RunRecorder;
 
 const METHODS: [Method; 4] =
     [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative];
@@ -39,9 +39,10 @@ fn recorded_estimates_are_bit_identical_across_methods_and_kernels() {
                     .sample(SampleSize::Fraction(0.3))
                     .seed(11)
                     .kernel(KernelConfig::new(kernel));
-                let plain = est.run_with_control(&g, &RunControl::new()).unwrap();
+                let plain = est.run_in(&g, &ExecutionContext::new()).unwrap();
                 let rec = RunRecorder::new();
-                let recorded = est.run_recorded(&g, &RunControl::new(), &rec).unwrap();
+                let ctx = ExecutionContext::new().with_recorder(&rec);
+                let recorded = est.run_in(&g, &ctx).unwrap();
                 let what = format!("{class:?}/{}/{kernel:?}", method.name());
                 assert_identical(&plain, &recorded, &what);
                 // Honesty: the recorder's per-source BFS count is the
@@ -54,6 +55,20 @@ fn recorded_estimates_are_bit_identical_across_methods_and_kernels() {
                 let report = rec.report();
                 assert!(!report.phases.is_empty(), "{what}: no phase spans");
                 assert!(report.derived.elapsed_seconds > 0.0, "{what}: elapsed");
+                // The engine split is visible: every recorded estimation
+                // carries an `estimate` span, and the prepare-stage methods
+                // a `prepare` span wrapping their single reduction.
+                assert!(
+                    report.phases.iter().any(|p| p.name == "estimate"),
+                    "{what}: no estimate span"
+                );
+                if method != Method::RandomSampling {
+                    let prepare =
+                        report.phases.iter().find(|p| p.name == "prepare");
+                    assert!(prepare.is_some(), "{what}: no prepare span");
+                    let reduce = report.phases.iter().find(|p| p.name == "reduce").unwrap();
+                    assert_eq!(reduce.count, 1, "{what}: reduce must run once");
+                }
             }
         }
     }
@@ -67,10 +82,13 @@ fn recorded_interrupted_runs_match_unrecorded_ones() {
         // deterministic point (zero completed sources), so the partial
         // results must still be bit-identical.
         let est = BricsEstimator::new(method).sample(SampleSize::Fraction(0.4)).seed(3);
-        let deadline = || RunControl::new().with_timeout(std::time::Duration::ZERO);
-        let plain = est.run_with_control(&g, &deadline()).unwrap();
+        let deadline = || {
+            ExecutionContext::new()
+                .with_control(RunControl::new().with_timeout(std::time::Duration::ZERO))
+        };
+        let plain = est.run_in(&g, &deadline()).unwrap();
         let rec = RunRecorder::new();
-        let recorded = est.run_recorded(&g, &deadline(), &rec).unwrap();
+        let recorded = est.run_in(&g, &deadline().with_recorder(&rec)).unwrap();
         assert!(plain.is_partial(), "{}: deadline must interrupt", method.name());
         assert_identical(&plain, &recorded, method.name());
         assert!(
@@ -83,11 +101,11 @@ fn recorded_interrupted_runs_match_unrecorded_ones() {
         let cancelled = || {
             let ctl = RunControl::new();
             ctl.cancel_token().cancel();
-            ctl
+            ExecutionContext::new().with_control(ctl)
         };
-        let plain = est.run_with_control(&g, &cancelled()).unwrap();
+        let plain = est.run_in(&g, &cancelled()).unwrap();
         let rec = RunRecorder::new();
-        let recorded = est.run_recorded(&g, &cancelled(), &rec).unwrap();
+        let recorded = est.run_in(&g, &cancelled().with_recorder(&rec)).unwrap();
         assert_eq!(plain.outcome(), RunOutcome::Cancelled);
         assert_identical(&plain, &recorded, method.name());
         assert!(
@@ -101,18 +119,18 @@ fn recorded_interrupted_runs_match_unrecorded_ones() {
 #[test]
 fn recorded_exact_farness_and_topk_are_bit_identical() {
     let g = GraphClass::Community.generate(ClassParams::new(400, 8));
-    let ctl = RunControl::new();
-    let kcfg = KernelConfig::default();
-    let plain = brics::exact_farness_ctl_with(&g, &ctl, &kcfg).unwrap();
+    let plain = brics::exact_farness_in(&g, &ExecutionContext::new()).unwrap();
     let rec = RunRecorder::new();
-    let recorded = brics::exact_farness_ctl_rec(&g, &ctl, &kcfg, &rec).unwrap();
+    let ctx = ExecutionContext::new().with_recorder(&rec);
+    let recorded = brics::exact_farness_in(&g, &ctx).unwrap();
     assert_eq!(plain, recorded);
     assert_eq!(rec.counter(Counter::BfsSources), g.num_nodes() as u64);
 
     let est = BricsEstimator::new(Method::Cumulative).sample(SampleSize::Fraction(0.3)).seed(7);
-    let plain = brics::topk::top_k_closeness_ctl(&g, 10, &est, &ctl).unwrap();
+    let plain = brics::topk::top_k_closeness(&g, 10, &est).unwrap();
     let rec = RunRecorder::new();
-    let recorded = brics::topk::top_k_closeness_ctl_rec(&g, 10, &est, &ctl, &rec).unwrap();
+    let ctx = ExecutionContext::new().with_recorder(&rec);
+    let recorded = brics::topk::top_k_closeness_in(&g, 10, &est, &ctx).unwrap();
     assert_eq!(plain.ranked, recorded.ranked);
     assert_eq!(plain.verified_with_bfs, recorded.verified_with_bfs);
     assert_eq!(plain.pruned, recorded.pruned);
