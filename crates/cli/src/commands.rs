@@ -4,7 +4,8 @@ use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
     BricsEstimator, CentralityError, ExecutionContext, Kernel, KernelConfig, Method,
-    PrepareConfig, PreparedGraph, RunControl, RunOutcome, RunRecorder, SampleSize,
+    PrepareConfig, PreparedGraph, ProgressConfig, ProgressMeter, RunControl, RunOutcome,
+    RunRecorder, SampleSize,
 };
 use brics_bicc::biconnected_components;
 use brics_graph::telemetry::{timed, Counter, Recorder};
@@ -75,13 +76,27 @@ EXECUTION LIMITS (farness, compare, topk, betweenness):
 
 TELEMETRY (every command):
   --metrics PATH     Write a machine-readable run report — JSON with the
-                     stable schema `brics.run_report/v1`: per-phase
+                     stable schema `brics.run_report/v2`: per-phase
                      wall-time spans, kernel/reduction counters (BFS
                      sources, edges scanned/MTEPS, per-rule removals,
-                     BCT shape) and execution events (deadline hits,
+                     BCT shape), p50/p90/p99/max latency histograms
+                     (per-source BFS time, frontier sizes, per-level and
+                     per-query time) and execution events (deadline hits,
                      cancellations, isolated panics). PATH `-` prints the
                      report to stdout. Interrupted runs still report.
+                     (v1 reports had no `histograms` or per-kind drop
+                     counts and rated `mteps` against whole-run time —
+                     now reported as `whole_run_mteps`.)
   --metrics-summary  Print a human-readable phase/counter table to stderr.
+  --trace PATH       Write a Chrome trace-event JSON timeline — open it in
+                     Perfetto (ui.perfetto.dev) or chrome://tracing. Spans
+                     nest prepare → reduce and estimate → per-batch →
+                     per-source → per-level, with thread ids.
+  --progress [SECS]  Live heartbeat to stderr every SECS (default 1):
+                     sources done/planned, current MTEPS, ETA, reduction
+                     rounds. If no counter advances for --stall-after
+                     SECS (default 10) a stall warning reports whether
+                     execution limits already tripped.
 
 EXIT CODES:
   0  success
@@ -147,29 +162,80 @@ fn kernel_from(p: &Parsed) -> Result<KernelConfig, CliError> {
     }
 }
 
-/// Telemetry wiring from `--metrics <path|->` / `--metrics-summary`. The
-/// recorder is only built when one of the flags is present, so unrecorded
-/// runs keep the library's zero-overhead `NullRecorder` path (via the
-/// `Option<&RunRecorder>` recorder impl).
+/// Telemetry wiring from `--metrics <path|->`, `--metrics-summary`,
+/// `--trace <path>` and `--progress [secs]`. The recorder is only built
+/// when one of the flags is present, so unrecorded runs keep the library's
+/// zero-overhead `NullRecorder` path (via the `Option<&RunRecorder>`
+/// recorder impl) — and the trace buffer is only allocated under `--trace`
+/// (`RunRecorder::with_trace`).
 struct Metrics {
-    rec: RunRecorder,
+    rec: std::sync::Arc<RunRecorder>,
     out: Option<String>,
     summary: bool,
+    trace: Option<String>,
+    progress: Option<ProgressMeter>,
 }
 
-fn metrics_from(p: &Parsed) -> Option<Metrics> {
+fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliError> {
     let out = p
         .get("metrics")
         .map(|v| if v.is_empty() { "-".to_string() } else { v.to_string() });
     let summary = p.has("metrics-summary");
-    (out.is_some() || summary).then(|| Metrics { rec: RunRecorder::new(), out, summary })
+    let trace = match p.get("trace") {
+        Some("") => return Err(usage("--trace needs a file path")),
+        Some(path) => Some(path.to_string()),
+        None => None,
+    };
+    let progress = p.has("progress");
+    if out.is_none() && !summary && trace.is_none() && !progress {
+        return Ok(None);
+    }
+    let rec = std::sync::Arc::new(if trace.is_some() {
+        RunRecorder::with_trace()
+    } else {
+        RunRecorder::new()
+    });
+    let progress = progress
+        .then(|| -> Result<ProgressMeter, CliError> {
+            let mut cfg = ProgressConfig::default();
+            if let Some(v) = p.get("progress").filter(|v| !v.is_empty()) {
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--progress {v}: {e}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::Usage(format!(
+                        "--progress {secs}: must be a positive number of seconds"
+                    )));
+                }
+                cfg.interval = std::time::Duration::from_secs_f64(secs);
+            }
+            if let Some(v) = p.get("stall-after").filter(|v| !v.is_empty()) {
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--stall-after {v}: {e}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::Usage(format!(
+                        "--stall-after {secs}: must be a positive number of seconds"
+                    )));
+                }
+                cfg.stall_after = std::time::Duration::from_secs_f64(secs);
+            }
+            Ok(ProgressMeter::start(rec.clone(), ctl.clone(), cfg))
+        })
+        .transpose()?;
+    Ok(Some(Metrics { rec, out, summary, trace, progress }))
 }
 
-/// Emits the collected run report: JSON to the `--metrics` target and/or a
+/// Emits the collected telemetry: stops the progress heartbeat (printing
+/// its final line), writes the JSON run report to the `--metrics` target
+/// and the Chrome trace to the `--trace` target, and/or prints the summary
 /// table to stderr. Call *before* converting a partial outcome into a
 /// non-zero exit so interrupted runs still report their telemetry.
 fn emit_metrics(m: &Option<Metrics>) -> Result<(), CliError> {
     let Some(m) = m else { return Ok(()) };
+    if let Some(meter) = &m.progress {
+        meter.stop();
+    }
     let report = m.rec.report();
     if let Some(target) = &m.out {
         let json = serde_json::to_string_pretty(&report)
@@ -181,6 +247,14 @@ fn emit_metrics(m: &Option<Metrics>) -> Result<(), CliError> {
 ")
                 .map_err(|e| CliError::Input(format!("{target}: {e}")))?;
         }
+    }
+    if let Some(target) = &m.trace {
+        let dropped = m.rec.trace_dropped();
+        if dropped > 0 {
+            eprintln!("note: trace buffer filled — {dropped} spans were dropped");
+        }
+        std::fs::write(target, m.rec.chrome_trace_json() + "\n")
+            .map_err(|e| CliError::Input(format!("{target}: {e}")))?;
     }
     if m.summary {
         eprint!("{}", report.summary_table());
@@ -234,8 +308,8 @@ fn load_graph_with(path: &str, giant: bool) -> Result<CsrGraph, CliError> {
 
 fn stats(p: &Parsed) -> Result<(), CliError> {
     let path = p.positional.get(1).ok_or_else(|| usage("usage: brics stats <graph>"))?;
-    let m = metrics_from(p);
-    let rec = m.as_ref().map(|m| &m.rec);
+    let m = metrics_from(p, &RunControl::new())?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
     let g = load_graph(path)?;
     let d = degree_stats(&g);
     let red = reduce_ctl_rec(&g, &ReductionConfig::all(), &RunControl::new(), &rec)
@@ -307,8 +381,8 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     // load is followed by an immediate deadline check inside the engine.
     let ctl = control_from(p)?;
     let kcfg = kernel_from(p)?;
-    let m = metrics_from(p);
-    let rec = m.as_ref().map(|mm| &mm.rec);
+    let m = metrics_from(p, &ctl)?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
     let loaded = load_graph_with(path, p.has("giant"))?;
     let rate: f64 = p.get_parse("rate", 0.2).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
@@ -472,8 +546,8 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
         p.positional.get(1).ok_or_else(|| usage("usage: brics compare <graph> [options]"))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
     let kcfg = kernel_from(p)?;
-    let m = metrics_from(p);
-    let rec = m.as_ref().map(|mm| &mm.rec);
+    let m = metrics_from(p, &ctl)?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
     let g = load_graph_with(path, p.has("giant"))?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
 
@@ -636,8 +710,8 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Usage(format!("bad k: {e}")))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
-    let m = metrics_from(p);
-    let rec = m.as_ref().map(|mm| &mm.rec);
+    let m = metrics_from(p, &ctl)?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
     let g = load_graph(path)?;
     let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
@@ -689,8 +763,8 @@ fn betweenness(p: &Parsed) -> Result<(), CliError> {
     let path =
         p.positional.get(1).ok_or_else(|| usage("usage: brics betweenness <graph> [options]"))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
-    let m = metrics_from(p);
-    let rec = m.as_ref().map(|mm| &mm.rec);
+    let m = metrics_from(p, &ctl)?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
     let g = load_graph_with(path, p.has("giant"))?;
     let top: usize = p.get_parse("top", 10).map_err(CliError::Usage)?;
     let (values, outcome) = if p.has("exact") {
@@ -748,8 +822,8 @@ fn generate(p: &Parsed) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Usage(format!("bad node count: {e}")))?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
-    let m = metrics_from(p);
-    let rec = m.as_ref().map(|mm| &mm.rec);
+    let m = metrics_from(p, &RunControl::new())?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
     let g = timed(&rec, "generate.build", || class.generate(ClassParams::new(nodes, seed)));
     eprintln!(
         "generated {} graph: {} vertices, {} edges (seed {seed})",
@@ -915,6 +989,102 @@ mod tests {
         assert!(report.counters["bct_blocks"] > 0);
         assert!(report.phases.iter().any(|p| p.name == "cumulative.phase_b"));
         assert!(report.derived.elapsed_seconds > 0.0);
+        // v2: latency histograms ride along — one per-source BFS
+        // observation per completed source, one query observation, and
+        // quantiles in order.
+        let bfs = report.histograms.iter().find(|h| h.metric == "source_bfs_ns").unwrap();
+        assert_eq!(bfs.unit, "ns");
+        assert!(bfs.count > 0, "no per-source BFS observations");
+        assert!(bfs.p50 > 0 && bfs.p50 <= bfs.p90 && bfs.p90 <= bfs.p99 && bfs.p99 <= bfs.max);
+        let query = report.histograms.iter().find(|h| h.metric == "query_ns").unwrap();
+        assert_eq!(query.count, 1, "one estimate ran");
+        // v2: MTEPS is rated against estimate time; the whole-run rate
+        // (v1's definition) is reported separately and can only be lower.
+        assert!(report.derived.mteps > 0.0);
+        assert!(report.derived.whole_run_mteps > 0.0);
+        assert!(report.derived.whole_run_mteps <= report.derived.mteps * 1.0001);
+    }
+
+    /// Shape of one Chrome trace-event object as written by `--trace`.
+    #[derive(serde::Deserialize)]
+    struct TraceRow {
+        name: String,
+        cat: String,
+        ph: String,
+        pid: u64,
+        tid: u64,
+        ts: f64,
+        dur: f64,
+    }
+
+    #[test]
+    fn trace_writes_nested_chrome_trace_events() {
+        let path = tmp("trace.el");
+        run(&["generate", "web", "400", "--seed", "1", "--out", path.to_str().unwrap()]).unwrap();
+        let out = tmp("trace.json");
+        run(&["farness", path.to_str().unwrap(), "--rate", "0.4",
+              "--trace", out.to_str().unwrap()])
+            .unwrap();
+        let rows: Vec<TraceRow> =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(!rows.is_empty(), "trace must contain events");
+        for r in &rows {
+            assert_eq!(r.ph, "X", "{}: complete events only", r.name);
+            assert_eq!(r.cat, "brics");
+            assert_eq!(r.pid, 1);
+            assert!(r.ts >= 0.0 && r.dur >= 0.0, "{}: ts {} dur {}", r.name, r.ts, r.dur);
+            let _ = r.tid;
+        }
+        let find = |name: &str| {
+            rows.iter().find(|r| r.name == name).unwrap_or_else(|| panic!("no '{name}' span"))
+        };
+        let (prepare, reduce, estimate) = (find("prepare"), find("reduce"), find("estimate"));
+        // The hierarchy the viewer renders: reduce inside prepare, the
+        // estimate strictly after the prepare stage, and this query's
+        // per-source BFS spans inside the estimate.
+        assert!(reduce.ts >= prepare.ts, "reduce starts inside prepare");
+        assert!(reduce.ts + reduce.dur <= prepare.ts + prepare.dur + 1e-3, "reduce ends inside prepare");
+        assert!(estimate.ts + 1e-3 >= prepare.ts + prepare.dur, "estimate follows prepare");
+        let inside_estimate = rows
+            .iter()
+            .filter(|r| r.name == "bfs.source")
+            .filter(|r| {
+                r.ts + 1e-3 >= estimate.ts && r.ts + r.dur <= estimate.ts + estimate.dur + 1e-3
+            })
+            .count();
+        assert!(inside_estimate > 0, "per-source BFS spans nest inside the estimate");
+    }
+
+    #[test]
+    fn trace_flag_requires_a_path() {
+        let path = tmp("tracebare.el");
+        run(&["generate", "road", "100", "--out", path.to_str().unwrap()]).unwrap();
+        let err = run(&["farness", path.to_str().unwrap(), "--trace"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn progress_heartbeat_smokes_and_validates() {
+        let path = tmp("prog.el");
+        run(&["generate", "road", "300", "--seed", "2", "--out", path.to_str().unwrap()])
+            .unwrap();
+        // A fast sampling interval plus a custom stall window exercises the
+        // whole meter lifecycle inside a normal run; at least the final
+        // heartbeat lands on stderr (asserted textually in CI).
+        run(&["farness", path.to_str().unwrap(), "--rate", "0.3",
+              "--progress", "0.01", "--stall-after", "30"])
+            .unwrap();
+        // A timed-out run keeps the heartbeat (exit 4 after the final line).
+        let err = run(&["farness", path.to_str().unwrap(), "--timeout", "0", "--progress"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Bad intervals are usage errors.
+        for bad in [["--progress", "zero"], ["--progress", "0"], ["--stall-after", "-1"]] {
+            let mut args = vec!["farness", path.to_str().unwrap(), "--progress", "0.5"];
+            args.extend(bad);
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::engine::{zero_coverage_estimate, ExecutionContext, PrepareConfig, Pre
 use crate::{CentralityError, FarnessEstimate};
 use brics_bicc::{biconnected_components, BlockCutTree};
 use brics_graph::telemetry::{
-    admit_memory_rec, record_outcome, record_panic, timed, Counter, Recorder,
+    admit_memory_rec, record_outcome, record_panic, timed, Counter, Metric, Recorder,
 };
 use brics_graph::traversal::{
     atomic_view, DialBfs, HybridBfs, Kernel, KernelConfig, WorkerGuard,
@@ -480,6 +480,7 @@ pub(crate) fn cumulative_prepare<R: Recorder>(
             let ctx = &blocks[b as usize];
             let sl = ctx.cut_locals[ci as usize];
             let s_global = ctx.verts[sl as usize];
+            let started = if rec.enabled() { Some(Instant::now()) } else { None };
             let done = guard_c.run_source(s_global, || {
                 run_block_task(
                     bfs, hyb, gdist, ctx, sl, s_global, Some(ci as usize),
@@ -488,6 +489,16 @@ pub(crate) fn cumulative_prepare<R: Recorder>(
             })
             .is_some();
             if done && rec.enabled() {
+                if let Some(started) = started {
+                    let end = Instant::now();
+                    rec.observe(
+                        Metric::SourceBfsNanos,
+                        end.duration_since(started).as_nanos() as u64,
+                    );
+                    if rec.trace_enabled() {
+                        rec.trace_span("bfs.source", started, end);
+                    }
+                }
                 rec.add(Counter::VerticesVisited, ctx.verts.len() as u64);
                 rec.add(Counter::EdgesScanned, ctx.graph.num_arcs() as u64);
             }
@@ -678,6 +689,15 @@ pub(crate) fn cumulative_query<R: Recorder>(
     // mid-task).
     let guard = WorkerGuard::new(ctl);
     let empty_inter: [AtomicU64; 0] = [];
+    if rec.enabled() {
+        // Cut vertices are implicit sources of every query (their tasks ran
+        // at prepare time); counting them alongside this query's non-cut
+        // tasks keeps done/planned consistent with `BfsSources` accounting.
+        rec.add(
+            Counter::BfsSourcesPlanned,
+            (bct.num_cut_vertices() + tasks.len()) as u64,
+        );
+    }
     let completed: Vec<bool> = timed(rec, "cumulative.phase_b", || {
         tasks
             .par_iter()
@@ -686,6 +706,7 @@ pub(crate) fn cumulative_query<R: Recorder>(
         |(bfs, hyb, gdist), &(b, sl)| {
             let ctx = &blocks[b as usize];
             let s_global = ctx.verts[sl as usize];
+            let started = if rec.enabled() { Some(Instant::now()) } else { None };
             let done = guard.run_source(s_global, || {
                 run_block_task(
                     bfs, hyb, gdist, ctx, sl, s_global, None,
@@ -694,6 +715,16 @@ pub(crate) fn cumulative_query<R: Recorder>(
             })
             .is_some();
             if done && rec.enabled() {
+                if let Some(started) = started {
+                    let end = Instant::now();
+                    rec.observe(
+                        Metric::SourceBfsNanos,
+                        end.duration_since(started).as_nanos() as u64,
+                    );
+                    if rec.trace_enabled() {
+                        rec.trace_span("bfs.source", started, end);
+                    }
+                }
                 rec.add(Counter::VerticesVisited, ctx.verts.len() as u64);
                 rec.add(Counter::EdgesScanned, ctx.graph.num_arcs() as u64);
             }

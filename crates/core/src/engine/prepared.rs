@@ -21,7 +21,7 @@ use crate::sampling::sampling_query;
 use crate::topk::{top_k_from_estimate_ctl, TopK};
 use crate::{CentralityError, FarnessEstimate};
 use brics_graph::reorder::Relabeling;
-use brics_graph::telemetry::{record_outcome, timed, Counter, Recorder};
+use brics_graph::telemetry::{record_outcome, timed, timed_metric, Counter, Metric, Recorder};
 use brics_graph::traversal::Bfs;
 use brics_graph::{CsrGraph, NodeId, RunOutcome};
 use brics_reduce::{reduce_ctl_rec, structural_offsets, ReductionConfig, ReductionResult};
@@ -303,7 +303,7 @@ impl<'g> PreparedGraph<'g> {
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<Vec<u64>, CentralityError> {
         let rec = ctx.recorder();
-        let values = timed(rec, "estimate", || {
+        let values = timed_metric(rec, "estimate", Metric::QueryNanos, || {
             exact_query(self.working(), self.plan.exact_bytes, ctx.control(), ctx.kernel(), rec)
         })?;
         Ok(self.untranslate(values))
@@ -319,7 +319,7 @@ impl<'g> PreparedGraph<'g> {
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<FarnessEstimate, CentralityError> {
         let rec = ctx.recorder();
-        let est = timed(rec, "estimate", || {
+        let est = timed_metric(rec, "estimate", Metric::QueryNanos, || {
             sampling_query(
                 self.working(),
                 sample,
@@ -343,7 +343,7 @@ impl<'g> PreparedGraph<'g> {
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<FarnessEstimate, CentralityError> {
         let rec = ctx.recorder();
-        let est = timed(rec, "estimate", || {
+        let est = timed_metric(rec, "estimate", Metric::QueryNanos, || {
             reduced_query(
                 self.working(),
                 &self.red,
@@ -368,7 +368,7 @@ impl<'g> PreparedGraph<'g> {
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<Vec<u64>, CentralityError> {
         let rec = ctx.recorder();
-        timed(rec, "estimate", || {
+        timed_metric(rec, "estimate", Metric::QueryNanos, || {
             let n = self.original.num_nodes();
             let est = reduced_query(
                 self.working(),
@@ -430,7 +430,7 @@ impl<'g> PreparedGraph<'g> {
             });
         };
         let rec = ctx.recorder();
-        let est = timed(rec, "estimate", || {
+        let est = timed_metric(rec, "estimate", Metric::QueryNanos, || {
             cumulative_query(
                 self.original.num_nodes(),
                 prep,
@@ -460,7 +460,7 @@ impl<'g> PreparedGraph<'g> {
         // Verification must run in working ids (the estimate's sampled mask
         // and raw values index the working graph), so translate only the
         // final ranking.
-        let est = timed(rec, "estimate", || match &self.bcc {
+        let est = timed_metric(rec, "estimate", Metric::QueryNanos, || match &self.bcc {
             Some(prep) => cumulative_query(
                 self.original.num_nodes(),
                 prep,
@@ -510,7 +510,7 @@ impl<'g> PreparedGraph<'g> {
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<HarmonicEstimate, CentralityError> {
         let rec = ctx.recorder();
-        let est = timed(rec, "estimate", || {
+        let est = timed_metric(rec, "estimate", Metric::QueryNanos, || {
             harmonic_query(
                 self.working(),
                 self.plan.accumulate_bytes,
@@ -537,7 +537,7 @@ impl<'g> PreparedGraph<'g> {
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<(Vec<f64>, RunOutcome), CentralityError> {
         let rec = ctx.recorder();
-        let (values, outcome) = timed(rec, "estimate", || {
+        let (values, outcome) = timed_metric(rec, "estimate", Metric::QueryNanos, || {
             crate::betweenness::betweenness_query(
                 self.working(),
                 self.plan.accumulate_bytes,

@@ -109,6 +109,9 @@ pub use exact::{exact_farness, exact_farness_in};
 
 // Re-exported so downstream users need only one crate in scope for the
 // common flow (generate → estimate → compare).
-pub use brics_graph::telemetry::{NullRecorder, Recorder, RunRecorder, RunReport};
+pub use brics_graph::telemetry::{
+    HistogramSummary, Metric, NullRecorder, ProgressConfig, ProgressMeter, Recorder, RunRecorder,
+    RunReport,
+};
 pub use brics_graph::{CancelToken, RunControl, RunOutcome};
 pub use brics_reduce::ReductionConfig;

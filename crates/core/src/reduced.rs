@@ -21,7 +21,9 @@ use crate::config::SampleSize;
 use crate::engine::{assemble_flat, zero_coverage_estimate, ExecutionContext, PrepareConfig, PreparedGraph};
 use crate::sampling::draw_sources;
 use crate::{CentralityError, FarnessEstimate};
-use brics_graph::telemetry::{admit_memory_rec, record_outcome, record_panic, timed, Counter, Recorder};
+use brics_graph::telemetry::{
+    admit_memory_rec, record_outcome, record_panic, timed, Counter, Metric, Recorder,
+};
 use brics_graph::traversal::{atomic_view, DialBfs, WorkerGuard};
 use brics_graph::{CsrGraph, NodeId, RunControl, INFINITE_DIST};
 use brics_reduce::{reconstruct_distances, reduce, ReductionConfig, ReductionResult, Removal};
@@ -119,6 +121,9 @@ pub(crate) fn reduced_query<R: Recorder>(
     let reduced_graph = &red.graph;
     let weights = red.weights.as_deref();
     let guard = WorkerGuard::new(ctl);
+    if rec.enabled() {
+        rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
+    }
 
     // One (possibly weighted) BFS per source; removed-vertex distances are
     // reconstructed from the same thread-local distance array the traversal
@@ -132,7 +137,8 @@ pub(crate) fn reduced_query<R: Recorder>(
             .map_init(
                 || DialBfs::new(n),
                 |bfs, &s| {
-                    guard.run_source(s, || {
+                    let started = if rec.enabled() { Some(Instant::now()) } else { None };
+                    let out = guard.run_source(s, || {
                         let (reached, mut sum) = bfs.run_with(reduced_graph, weights, s, |v, d| {
                             if d > 0 {
                                 atomic_acc[v as usize].fetch_add(d as u64, Ordering::Relaxed);
@@ -150,7 +156,18 @@ pub(crate) fn reduced_query<R: Recorder>(
                             }
                         }
                         (reached, sum, bfs.arcs_scanned())
-                    })
+                    });
+                    if let (Some(started), Some(_)) = (started, out.as_ref()) {
+                        let end = Instant::now();
+                        rec.observe(
+                            Metric::SourceBfsNanos,
+                            end.duration_since(started).as_nanos() as u64,
+                        );
+                        if rec.trace_enabled() {
+                            rec.trace_span("bfs.source", started, end);
+                        }
+                    }
+                    out
                 },
             )
             .collect()

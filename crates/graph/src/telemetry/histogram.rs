@@ -1,0 +1,331 @@
+//! Lock-free sharded log-bucketed histograms.
+//!
+//! A [`Histogram`] accepts concurrent [`Histogram::observe`] calls from any
+//! number of threads without a lock: each thread hashes into one of a small
+//! fixed set of shards (by a cached per-thread index) and bumps plain
+//! relaxed atomics there. Shards are merged only at snapshot time.
+//!
+//! Values are bucketed by position of their highest set bit, so the 65
+//! buckets cover the full `u64` range with ≤ 2× relative error per bucket:
+//! bucket 0 holds the value `0`, bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`.
+//! Quantiles are reported as the upper bound of the covering bucket,
+//! clamped to the exact maximum observed value — which both tightens the
+//! tail estimate and guarantees `p50 ≤ p90 ≤ p99 ≤ max`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of logarithmic buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Number of independent shards per histogram. A small power of two:
+/// enough to keep same-cache-line contention rare at typical pool sizes
+/// without bloating the merge.
+pub const NUM_SHARDS: usize = 8;
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(low, high)` range of values mapping to bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// Process-wide dense thread index used to pick a shard. Cached in a
+/// thread-local after the first call so the steady-state cost of an
+/// observation is one TLS read plus two relaxed RMWs.
+pub(crate) fn thread_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    INDEX.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed);
+            slot.set(idx);
+        }
+        idx
+    })
+}
+
+struct Shard {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// A lock-free log-bucketed histogram sharded across [`NUM_SHARDS`]
+/// independent atomic bucket arrays.
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("merged", &self.merged()).finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { shards: (0..NUM_SHARDS).map(|_| Shard::new()).collect() }
+    }
+
+    /// Records one observation in the calling thread's shard.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.observe_in_shard(thread_index(), value);
+    }
+
+    /// Records one observation in an explicit shard (any `usize`; reduced
+    /// modulo [`NUM_SHARDS`]). Exists so tests can exercise arbitrary
+    /// shard interleavings deterministically.
+    #[inline]
+    pub fn observe_in_shard(&self, shard: usize, value: u64) {
+        self.shards[shard % NUM_SHARDS].observe(value);
+    }
+
+    /// Merges all shards into one consistent snapshot. Safe to call while
+    /// observations continue; the snapshot then reflects some interleaving
+    /// of the concurrent updates.
+    pub fn merged(&self) -> MergedHistogram {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for shard in self.shards.iter() {
+            for (acc, bucket) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *acc += bucket.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+            max = max.max(shard.max.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        MergedHistogram { buckets, count, sum, max }
+    }
+}
+
+/// A merged, immutable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedHistogram {
+    /// Observation count per bucket (see [`bucket_bounds`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping only beyond u64::MAX total).
+    pub sum: u64,
+    /// Exact maximum observed value (0 when empty).
+    pub max: u64,
+}
+
+impl MergedHistogram {
+    /// Value at quantile `q ∈ [0, 1]`: the upper bound of the first bucket
+    /// whose cumulative count reaches `ceil(q · count)` (at least 1),
+    /// clamped to the exact observed maximum. Returns 0 when empty.
+    /// Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the snapshot into the summary shape embedded in run
+    /// reports, labelled with the metric's stable name and unit.
+    pub fn summarize(&self, metric: &str, unit: &str) -> HistogramSummary {
+        HistogramSummary {
+            metric: metric.to_string(),
+            unit: unit.to_string(),
+            count: self.count,
+            sum: self.sum,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// Quantile summary of one metric's histogram, as serialized in
+/// `brics.run_report/v2` under `histograms`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Stable metric name (see `Metric::name`).
+    pub metric: String,
+    /// Unit of the recorded values (`"ns"`, `"vertices"`, …).
+    pub unit: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Median (bucket upper bound, clamped to the exact max).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for index in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(bucket_index(low), index);
+            assert_eq!(bucket_index(high), index);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_domain() {
+        let mut expected_low = 0u64;
+        for index in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(low, expected_low);
+            assert!(high >= low);
+            expected_low = high.wrapping_add(1);
+        }
+        assert_eq!(expected_low, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new().merged();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_value_reports_itself_everywhere() {
+        let h = Histogram::new();
+        h.observe(1000);
+        let m = h.merged();
+        assert_eq!(m.count, 1);
+        assert_eq!(m.sum, 1000);
+        assert_eq!(m.max, 1000);
+        // The covering bucket's upper bound is 1023, but clamping to the
+        // exact max yields the value itself.
+        assert_eq!(m.quantile(0.5), 1000);
+        assert_eq!(m.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn quantiles_order_on_spread_values() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..9 {
+            h.observe(1_000);
+        }
+        h.observe(1_000_000);
+        let m = h.merged();
+        assert_eq!(m.count, 100);
+        let (p50, p90, p99) = (m.quantile(0.5), m.quantile(0.9), m.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= m.max);
+        assert_eq!(bucket_index(p50), bucket_index(10));
+        assert_eq!(bucket_index(p99), bucket_index(1_000));
+        assert_eq!(m.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn shards_merge_identically_to_single_shard() {
+        let sharded = Histogram::new();
+        let flat = Histogram::new();
+        for (i, v) in [0u64, 1, 5, 17, 300, 300, 65_536, u64::MAX].iter().enumerate() {
+            sharded.observe_in_shard(i, *v);
+            flat.observe_in_shard(0, *v);
+        }
+        assert_eq!(sharded.merged(), flat.merged());
+    }
+
+    #[test]
+    fn concurrent_observation_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let m = h.merged();
+        assert_eq!(m.count, 8000);
+        assert_eq!(m.max, 7999);
+        assert_eq!(m.sum, (0..8000u64).sum());
+    }
+
+    #[test]
+    fn summary_carries_labels() {
+        let h = Histogram::new();
+        h.observe(3);
+        let s = h.merged().summarize("level_ns", "ns");
+        assert_eq!(s.metric, "level_ns");
+        assert_eq!(s.unit, "ns");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 3);
+    }
+}

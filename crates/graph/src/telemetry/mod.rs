@@ -1,0 +1,1114 @@
+//! Zero-dependency run telemetry: phase spans, atomic counters, value
+//! histograms, timestamped traces and a stable-schema JSON run report.
+//!
+//! Every layer that makes an invisible runtime decision — the reduction
+//! pipeline, the BCT builder, the kernel scheduler, the cumulative engine
+//! and the [`RunControl`](crate::control::RunControl) machinery — accepts a
+//! `&R: Recorder` and emits counters/spans/observations into it. Two
+//! implementations exist:
+//!
+//! * [`NullRecorder`] — the default. Every method is an empty default
+//!   with `enabled() == false`; under static dispatch the calls
+//!   monomorphise away, so un-instrumented runs pay nothing: no clock
+//!   reads, no histogram or trace allocation.
+//! * [`RunRecorder`] — thread-safe collection into atomic counters,
+//!   sharded span tables, lock-free log-bucketed [`histogram`]s and an
+//!   optional [`trace`] timeline, snapshotted into a [`RunReport`] whose
+//!   JSON schema (`brics.run_report/v2`) is stable across releases.
+//!
+//! Distribution metrics ([`Metric`]) complement the monotone [`Counter`]s:
+//! a counter tells you *how much* work happened, a histogram tells you how
+//! it was *spread* (p50/p90/p99/max per-source BFS time, frontier sizes,
+//! per-level wall time, per-query latency). Timestamped traces
+//! ([`trace`]) additionally preserve *when* each span ran, exportable as
+//! Chrome trace-event JSON for Perfetto. A [`progress::ProgressMeter`]
+//! can watch a shared recorder and print live heartbeats.
+//!
+//! The contract threaded through the estimator stack: attaching a recorder
+//! NEVER changes results. Recorders only observe; all instrumented code
+//! paths compute bit-identical outputs with either implementation (the
+//! `telemetry_invariance` integration test pins this).
+//!
+//! # Example
+//!
+//! ```
+//! use brics_graph::telemetry::{Counter, Metric, Recorder, RunRecorder};
+//! use std::time::Duration;
+//!
+//! let rec = RunRecorder::new();
+//! rec.incr(Counter::BfsSources);
+//! rec.add(Counter::EdgesScanned, 1_000);
+//! rec.span("bfs", Duration::from_millis(5));
+//! rec.observe(Metric::FrontierSize, 17);
+//! let report = rec.report();
+//! assert_eq!(report.counters["bfs_sources"], 1);
+//! assert_eq!(report.schema, "brics.run_report/v2");
+//! let frontier = report.histograms.iter().find(|h| h.metric == "frontier_size").unwrap();
+//! assert_eq!(frontier.count, 1);
+//! assert_eq!(frontier.max, 17);
+//! ```
+
+pub mod histogram;
+pub mod progress;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSummary, MergedHistogram};
+pub use progress::{ProgressConfig, ProgressMeter};
+pub use trace::{chrome_trace_json, TraceEvent};
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Identifier of one monotone counter in a run report.
+///
+/// The discriminant doubles as the index into [`RunRecorder`]'s atomic
+/// array; [`Counter::name`] is the stable snake_case key used in the JSON
+/// report. Append new counters at the end — the names, not the positions,
+/// are the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// BFS runs completed (one per finished source).
+    BfsSources,
+    /// BFS sources skipped because the run was interrupted first.
+    BfsSourcesSkipped,
+    /// Vertices reached, summed over all completed BFS runs.
+    VerticesVisited,
+    /// Arcs scanned, summed over all completed BFS runs. The instrumented
+    /// drivers charge `num_arcs()` per completed source — the same
+    /// convention the kernels benchmark uses — so `derived.mteps` in the
+    /// report is directly comparable with `BENCH_kernels.json`.
+    EdgesScanned,
+    /// BFS levels expanded, summed over completed sources.
+    FrontierLevels,
+    /// Levels executed bottom-up by the direction-optimizing kernels.
+    BottomUpLevels,
+    /// Top-down ↔ bottom-up direction switches across all BFS runs.
+    DirectionSwitches,
+    /// Largest frontier (vertices) seen by any instrumented BFS level
+    /// (max-type: updated with [`Recorder::max`]).
+    PeakFrontier,
+    /// Source batches dispatched to the serial top-down kernel.
+    BatchesTopdown,
+    /// Source batches dispatched to the serial direction-optimizing kernel.
+    BatchesHybrid,
+    /// Source batches dispatched to the frontier-parallel scheduler.
+    BatchesFrontierParallel,
+    /// Vertices removed by the identical-nodes rule (I).
+    ReduceIdenticalRemoved,
+    /// Chain-shaped vertices removed alongside identical nodes.
+    ReduceIdenticalChainRemoved,
+    /// Vertices removed by the redundant-chains rule (C).
+    ReduceChainRemoved,
+    /// Vertices removed by degree-2 chain contraction.
+    ReduceContractedRemoved,
+    /// Vertices removed by the redundant-nodes rule (R).
+    ReduceRedundantRemoved,
+    /// Fixpoint rounds the reduction pipeline executed.
+    ReduceRounds,
+    /// Vertices surviving reduction.
+    ReduceSurvivingNodes,
+    /// Edges surviving reduction.
+    ReduceSurvivingEdges,
+    /// Blocks in the block-cut tree.
+    BctBlocks,
+    /// Cut vertices in the block-cut tree.
+    BctCutVertices,
+    /// Phase-A tasks (cut-vertex BFS runs) in the cumulative engine.
+    CumulativePhaseATasks,
+    /// Phase-B tasks ((block, source) BFS runs) in the cumulative engine.
+    CumulativePhaseBTasks,
+    /// Record-homing restore rounds in the cumulative engine.
+    CumulativeHomingRounds,
+    /// Runs truncated by a [`RunControl`](crate::control::RunControl)
+    /// deadline.
+    DeadlineHits,
+    /// Runs truncated by cooperative cancellation.
+    Cancellations,
+    /// Worker panics isolated by the fault-tolerance layer.
+    PanicsIsolated,
+    /// Memory-budget admissions that succeeded.
+    MemoryAdmissions,
+    /// Memory-budget admissions that were rejected.
+    MemoryRejections,
+    /// BFS sources a driver batch set out to run (charged up front, before
+    /// any source finishes). `bfs_sources + bfs_sources_skipped` converges
+    /// to this; the gap is the work still in flight — what the progress
+    /// heartbeat's ETA is computed from.
+    BfsSourcesPlanned,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 30] = [
+        Counter::BfsSources,
+        Counter::BfsSourcesSkipped,
+        Counter::VerticesVisited,
+        Counter::EdgesScanned,
+        Counter::FrontierLevels,
+        Counter::BottomUpLevels,
+        Counter::DirectionSwitches,
+        Counter::PeakFrontier,
+        Counter::BatchesTopdown,
+        Counter::BatchesHybrid,
+        Counter::BatchesFrontierParallel,
+        Counter::ReduceIdenticalRemoved,
+        Counter::ReduceIdenticalChainRemoved,
+        Counter::ReduceChainRemoved,
+        Counter::ReduceContractedRemoved,
+        Counter::ReduceRedundantRemoved,
+        Counter::ReduceRounds,
+        Counter::ReduceSurvivingNodes,
+        Counter::ReduceSurvivingEdges,
+        Counter::BctBlocks,
+        Counter::BctCutVertices,
+        Counter::CumulativePhaseATasks,
+        Counter::CumulativePhaseBTasks,
+        Counter::CumulativeHomingRounds,
+        Counter::DeadlineHits,
+        Counter::Cancellations,
+        Counter::PanicsIsolated,
+        Counter::MemoryAdmissions,
+        Counter::MemoryRejections,
+        Counter::BfsSourcesPlanned,
+    ];
+
+    /// Stable snake_case key for this counter in the JSON report.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::BfsSources => "bfs_sources",
+            Counter::BfsSourcesSkipped => "bfs_sources_skipped",
+            Counter::VerticesVisited => "vertices_visited",
+            Counter::EdgesScanned => "edges_scanned",
+            Counter::FrontierLevels => "frontier_levels",
+            Counter::BottomUpLevels => "bottom_up_levels",
+            Counter::DirectionSwitches => "direction_switches",
+            Counter::PeakFrontier => "peak_frontier",
+            Counter::BatchesTopdown => "batches_topdown",
+            Counter::BatchesHybrid => "batches_hybrid",
+            Counter::BatchesFrontierParallel => "batches_frontier_parallel",
+            Counter::ReduceIdenticalRemoved => "reduce_identical_removed",
+            Counter::ReduceIdenticalChainRemoved => "reduce_identical_chain_removed",
+            Counter::ReduceChainRemoved => "reduce_chain_removed",
+            Counter::ReduceContractedRemoved => "reduce_contracted_removed",
+            Counter::ReduceRedundantRemoved => "reduce_redundant_removed",
+            Counter::ReduceRounds => "reduce_rounds",
+            Counter::ReduceSurvivingNodes => "reduce_surviving_nodes",
+            Counter::ReduceSurvivingEdges => "reduce_surviving_edges",
+            Counter::BctBlocks => "bct_blocks",
+            Counter::BctCutVertices => "bct_cut_vertices",
+            Counter::CumulativePhaseATasks => "cumulative_phase_a_tasks",
+            Counter::CumulativePhaseBTasks => "cumulative_phase_b_tasks",
+            Counter::CumulativeHomingRounds => "cumulative_homing_rounds",
+            Counter::DeadlineHits => "deadline_hits",
+            Counter::Cancellations => "cancellations",
+            Counter::PanicsIsolated => "panics_isolated",
+            Counter::MemoryAdmissions => "memory_admissions",
+            Counter::MemoryRejections => "memory_rejections",
+            Counter::BfsSourcesPlanned => "bfs_sources_planned",
+        }
+    }
+}
+
+/// Identifier of one distribution metric: a stream of values summarized
+/// as a histogram in the run report, where a [`Counter`] would only keep
+/// the total. Same schema rule as counters: the [`Metric::name`] strings,
+/// not the positions, are stable; append new metrics at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Wall time of one complete single-source BFS, in nanoseconds.
+    SourceBfsNanos,
+    /// Vertices in the frontier fed into one BFS level.
+    FrontierSize,
+    /// Wall time of one frontier-parallel BFS level, in nanoseconds.
+    LevelNanos,
+    /// Wall time of one estimator query (an `estimate` span), nanoseconds.
+    QueryNanos,
+}
+
+impl Metric {
+    /// Every metric, in report order.
+    pub const ALL: [Metric; 4] =
+        [Metric::SourceBfsNanos, Metric::FrontierSize, Metric::LevelNanos, Metric::QueryNanos];
+
+    /// Stable snake_case key for this metric in the JSON report.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::SourceBfsNanos => "source_bfs_ns",
+            Metric::FrontierSize => "frontier_size",
+            Metric::LevelNanos => "level_ns",
+            Metric::QueryNanos => "query_ns",
+        }
+    }
+
+    /// Unit of the observed values, for report consumers.
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Metric::SourceBfsNanos | Metric::LevelNanos | Metric::QueryNanos => "ns",
+            Metric::FrontierSize => "vertices",
+        }
+    }
+}
+
+const NUM_METRICS: usize = Metric::ALL.len();
+
+/// Observer for run telemetry. All methods default to no-ops so
+/// [`NullRecorder`] costs nothing; implementors override what they store.
+///
+/// Call sites that would pay to *prepare* data for a recorder (formatting
+/// event details, harvesting per-BFS stats, reading the clock around a
+/// per-level region) must guard the preparation behind
+/// [`Recorder::enabled`] — and timestamp capture for traces behind
+/// [`Recorder::trace_enabled`] — so disabled recorders skip it entirely.
+pub trait Recorder: Sync {
+    /// Whether this recorder stores anything. `false` lets call sites
+    /// skip preparing data that would be dropped.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `n` to a monotone counter.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Increment a monotone counter by one.
+    fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Raise a max-type counter to at least `value`.
+    fn max(&self, counter: Counter, value: u64) {
+        let _ = (counter, value);
+    }
+
+    /// Record one observation of a distribution metric.
+    fn observe(&self, metric: Metric, value: u64) {
+        let _ = (metric, value);
+    }
+
+    /// Record one timed execution of the named phase. Repeated spans for
+    /// the same phase accumulate (total time + hit count).
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
+
+    /// Whether [`Recorder::trace_span`] stores anything. Lets call sites
+    /// skip the extra end-timestamp bookkeeping when only aggregated
+    /// spans are collected.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Record one *timestamped* span for the trace timeline. Unlike
+    /// [`Recorder::span`], occurrences are kept individually with their
+    /// start time and recording thread.
+    fn trace_span(&self, phase: &'static str, start: Instant, end: Instant) {
+        let _ = (phase, start, end);
+    }
+
+    /// Record a discrete event (deadline hit, isolated panic, …).
+    fn event(&self, kind: &'static str, detail: &str) {
+        let _ = (kind, detail);
+    }
+}
+
+/// Runs `f`, recording its wall time as a span named `phase` when the
+/// recorder is enabled (and as a timestamped trace event when tracing is
+/// on). With a disabled recorder this is exactly `f()` — not even the
+/// clock is read.
+pub fn timed<R: Recorder, T>(rec: &R, phase: &'static str, f: impl FnOnce() -> T) -> T {
+    if !rec.enabled() {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    let end = Instant::now();
+    rec.span(phase, end - start);
+    if rec.trace_enabled() {
+        rec.trace_span(phase, start, end);
+    }
+    out
+}
+
+/// [`timed`] that additionally feeds the elapsed nanoseconds into a
+/// distribution metric — for phases whose *per-occurrence* spread matters
+/// (e.g. each `estimate` query contributes one `query_ns` observation).
+pub fn timed_metric<R: Recorder, T>(
+    rec: &R,
+    phase: &'static str,
+    metric: Metric,
+    f: impl FnOnce() -> T,
+) -> T {
+    if !rec.enabled() {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    let end = Instant::now();
+    rec.span(phase, end - start);
+    rec.observe(metric, (end - start).as_nanos() as u64);
+    if rec.trace_enabled() {
+        rec.trace_span(phase, start, end);
+    }
+    out
+}
+
+/// Records how a controlled run ended: a no-op for complete runs, a
+/// counter bump plus an event for deadline hits and cancellations.
+pub fn record_outcome<R: Recorder>(rec: &R, outcome: crate::control::RunOutcome, what: &str) {
+    if !rec.enabled() {
+        return;
+    }
+    match outcome {
+        crate::control::RunOutcome::Complete => {}
+        crate::control::RunOutcome::Deadline => {
+            rec.incr(Counter::DeadlineHits);
+            rec.event("deadline", what);
+        }
+        crate::control::RunOutcome::Cancelled => {
+            rec.incr(Counter::Cancellations);
+            rec.event("cancelled", what);
+        }
+    }
+}
+
+/// Records one isolated worker panic.
+pub fn record_panic<R: Recorder>(rec: &R, detail: &str) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.incr(Counter::PanicsIsolated);
+    rec.event("panic_isolated", detail);
+}
+
+/// [`RunControl::admit_memory`](crate::control::RunControl::admit_memory)
+/// with the verdict recorded (admission or rejection).
+pub fn admit_memory_rec<R: Recorder>(
+    ctl: &crate::control::RunControl,
+    required_bytes: u64,
+    rec: &R,
+) -> Result<(), crate::control::MemoryBudgetExceeded> {
+    match ctl.admit_memory(required_bytes) {
+        Ok(()) => {
+            if rec.enabled() {
+                rec.incr(Counter::MemoryAdmissions);
+            }
+            Ok(())
+        }
+        Err(e) => {
+            if rec.enabled() {
+                rec.incr(Counter::MemoryRejections);
+                rec.event("memory_rejected", &format!("required {required_bytes} bytes"));
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The no-overhead default recorder: every method is the no-op default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Blanket impl so `&R` works wherever `R: Recorder` is expected.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn add(&self, counter: Counter, n: u64) {
+        (**self).add(counter, n);
+    }
+    fn max(&self, counter: Counter, value: u64) {
+        (**self).max(counter, value);
+    }
+    fn observe(&self, metric: Metric, value: u64) {
+        (**self).observe(metric, value);
+    }
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        (**self).span(phase, elapsed);
+    }
+    fn trace_enabled(&self) -> bool {
+        (**self).trace_enabled()
+    }
+    fn trace_span(&self, phase: &'static str, start: Instant, end: Instant) {
+        (**self).trace_span(phase, start, end);
+    }
+    fn event(&self, kind: &'static str, detail: &str) {
+        (**self).event(kind, detail);
+    }
+}
+
+/// An optional recorder: `None` behaves exactly like [`NullRecorder`]
+/// (every method a no-op, `enabled()` false), `Some(r)` delegates to `r`.
+/// Lets call sites choose at runtime whether to record without giving up
+/// static dispatch — e.g. a CLI that only builds a [`RunRecorder`] when
+/// `--metrics` was passed.
+impl<R: Recorder> Recorder for Option<R> {
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(Recorder::enabled)
+    }
+    fn add(&self, counter: Counter, n: u64) {
+        if let Some(r) = self {
+            r.add(counter, n);
+        }
+    }
+    fn max(&self, counter: Counter, value: u64) {
+        if let Some(r) = self {
+            r.max(counter, value);
+        }
+    }
+    fn observe(&self, metric: Metric, value: u64) {
+        if let Some(r) = self {
+            r.observe(metric, value);
+        }
+    }
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        if let Some(r) = self {
+            r.span(phase, elapsed);
+        }
+    }
+    fn trace_enabled(&self) -> bool {
+        self.as_ref().is_some_and(Recorder::trace_enabled)
+    }
+    fn trace_span(&self, phase: &'static str, start: Instant, end: Instant) {
+        if let Some(r) = self {
+            r.trace_span(phase, start, end);
+        }
+    }
+    fn event(&self, kind: &'static str, detail: &str) {
+        if let Some(r) = self {
+            r.event(kind, detail);
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+
+/// Cap on stored events so a pathological run cannot balloon the report.
+/// Split into a keep-head half (the run's opening) and a keep-tail ring
+/// (its most recent events), so late events — deadline expiry, isolated
+/// panics — survive even when millions of events fire in between.
+const MAX_EVENTS: usize = 64;
+const EVENT_HEAD: usize = MAX_EVENTS / 2;
+const EVENT_TAIL: usize = MAX_EVENTS - EVENT_HEAD;
+
+/// Number of independent span tables. Spans are recorded once per *phase
+/// execution* (potentially once per BFS level under frontier parallelism),
+/// so the table is sharded by thread like the histograms; a recording is
+/// a push/scan under an uncontended per-shard mutex.
+const SPAN_SHARDS: usize = 8;
+
+/// One completed phase observation: name, elapsed time, occurrence count.
+type SpanEntry = (&'static str, Duration, u64);
+
+#[derive(Default)]
+struct EventLog {
+    head: Vec<(String, String)>,
+    tail: VecDeque<(String, String)>,
+    dropped_total: u64,
+    dropped_by_kind: BTreeMap<String, u64>,
+}
+
+impl EventLog {
+    fn push(&mut self, kind: &'static str, detail: &str) {
+        if self.head.len() < EVENT_HEAD {
+            self.head.push((kind.to_string(), detail.to_string()));
+            return;
+        }
+        self.tail.push_back((kind.to_string(), detail.to_string()));
+        if self.tail.len() > EVENT_TAIL {
+            let (evicted_kind, _) = self.tail.pop_front().expect("tail non-empty");
+            self.dropped_total += 1;
+            *self.dropped_by_kind.entry(evicted_kind).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Thread-safe telemetry collector: atomic counters, sharded accumulated
+/// phase spans, per-metric [`Histogram`]s, a head+tail bounded event log
+/// and (when created via [`RunRecorder::with_trace`]) a timestamped trace
+/// buffer — snapshotted via [`RunRecorder::report`].
+pub struct RunRecorder {
+    counters: [AtomicU64; NUM_COUNTERS],
+    span_shards: Box<[Mutex<Vec<SpanEntry>>]>,
+    histograms: Box<[Histogram]>,
+    events: Mutex<EventLog>,
+    trace: Option<trace::TraceBuffer>,
+    started: Instant,
+}
+
+impl Default for RunRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for RunRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunRecorder").field("tracing", &self.trace.is_some()).finish_non_exhaustive()
+    }
+}
+
+impl RunRecorder {
+    /// Creates an empty recorder without a trace buffer; the report's
+    /// `elapsed_seconds` is measured from this call.
+    pub fn new() -> Self {
+        Self::build(false)
+    }
+
+    /// Creates a recorder that additionally retains individual timestamped
+    /// spans for [`RunRecorder::chrome_trace_json`]. Tracing is decided at
+    /// construction so untraced recorders allocate no buffers and skip
+    /// timestamp capture entirely.
+    pub fn with_trace() -> Self {
+        Self::build(true)
+    }
+
+    fn build(tracing: bool) -> Self {
+        let started = Instant::now();
+        RunRecorder {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_shards: (0..SPAN_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            histograms: (0..NUM_METRICS).map(|_| Histogram::new()).collect(),
+            events: Mutex::new(EventLog::default()),
+            trace: tracing.then(|| trace::TraceBuffer::new(started)),
+            started,
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Merged snapshot of one metric's histogram.
+    pub fn histogram(&self, metric: Metric) -> MergedHistogram {
+        self.histograms[metric as usize].merged()
+    }
+
+    /// All timestamped trace events collected so far, sorted by start
+    /// time. Empty unless the recorder was built with
+    /// [`RunRecorder::with_trace`].
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.as_ref().map(|t| t.events()).unwrap_or_default()
+    }
+
+    /// Number of trace events discarded after the internal cap.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map(|t| t.dropped()).unwrap_or(0)
+    }
+
+    /// The collected trace as Chrome trace-event JSON (loads in Perfetto /
+    /// `chrome://tracing`). An empty array unless built with
+    /// [`RunRecorder::with_trace`].
+    pub fn chrome_trace_json(&self) -> String {
+        chrome_trace_json(&self.trace_events())
+    }
+
+    fn merged_phases(&self) -> Vec<(&'static str, Duration, u64)> {
+        let mut merged: Vec<(&'static str, Duration, u64)> = Vec::new();
+        for shard in self.span_shards.iter() {
+            for &(name, total, count) in shard.lock().expect("telemetry span lock").iter() {
+                match merged.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some(entry) => {
+                        entry.1 += total;
+                        entry.2 += count;
+                    }
+                    None => merged.push((name, total, count)),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Snapshot everything recorded so far into a serializable report.
+    pub fn report(&self) -> RunReport {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), self.counter(c)))
+            .collect();
+        let phases: Vec<PhaseSpan> = self
+            .merged_phases()
+            .into_iter()
+            .map(|(name, total, count)| PhaseSpan {
+                name: name.to_string(),
+                total_seconds: total.as_secs_f64(),
+                count,
+            })
+            .collect();
+        let histograms = Metric::ALL
+            .iter()
+            .map(|&m| self.histogram(m).summarize(m.name(), m.unit()))
+            .collect();
+        let (events, dropped_events, dropped_events_by_kind) = {
+            let log = self.events.lock().expect("telemetry event lock");
+            let events = log
+                .head
+                .iter()
+                .chain(log.tail.iter())
+                .map(|(kind, detail)| ReportEvent { kind: kind.clone(), detail: detail.clone() })
+                .collect();
+            (events, log.dropped_total, log.dropped_by_kind.clone())
+        };
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let edges = self.counter(Counter::EdgesScanned) as f64;
+        let estimate_seconds = phases
+            .iter()
+            .find(|p| p.name == "estimate")
+            .map(|p| p.total_seconds)
+            .unwrap_or(0.0);
+        // Query throughput should not be diluted by prepare/IO time: rate
+        // edge work against the estimate-phase total when one was
+        // recorded, against whole-run wall time otherwise (benches time
+        // their own phases and record no `estimate` span).
+        let mteps_basis = if estimate_seconds > 0.0 { estimate_seconds } else { elapsed };
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            counters,
+            phases,
+            histograms,
+            events,
+            dropped_events,
+            dropped_events_by_kind,
+            derived: DerivedMetrics {
+                elapsed_seconds: elapsed,
+                estimate_seconds,
+                mteps: if mteps_basis > 0.0 { edges / mteps_basis / 1e6 } else { 0.0 },
+                whole_run_mteps: if elapsed > 0.0 { edges / elapsed / 1e6 } else { 0.0 },
+            },
+        }
+    }
+}
+
+impl Recorder for RunRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn max(&self, counter: Counter, value: u64) {
+        self.counters[counter as usize].fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn observe(&self, metric: Metric, value: u64) {
+        self.histograms[metric as usize].observe(value);
+    }
+
+    fn span(&self, phase: &'static str, elapsed: Duration) {
+        let shard = histogram::thread_index() % SPAN_SHARDS;
+        let mut spans = self.span_shards[shard].lock().expect("telemetry span lock");
+        match spans.iter_mut().find(|(name, _, _)| *name == phase) {
+            Some(entry) => {
+                entry.1 += elapsed;
+                entry.2 += 1;
+            }
+            None => spans.push((phase, elapsed, 1)),
+        }
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn trace_span(&self, phase: &'static str, start: Instant, end: Instant) {
+        if let Some(trace) = &self.trace {
+            trace.record(phase, start, end);
+        }
+    }
+
+    fn event(&self, kind: &'static str, detail: &str) {
+        self.events.lock().expect("telemetry event lock").push(kind, detail);
+    }
+}
+
+/// Accumulated time for one named phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name. Report order follows first use per recording thread,
+    /// merged shard-by-shard at snapshot; look phases up by name.
+    pub name: String,
+    /// Total wall time across all executions of the phase.
+    pub total_seconds: f64,
+    /// How many times the phase executed.
+    pub count: u64,
+}
+
+/// One discrete event captured during the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportEvent {
+    /// Event kind (`deadline`, `cancelled`, `panic_isolated`, …).
+    pub kind: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// Metrics derived from the raw counters at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// Wall time from recorder construction to the snapshot.
+    pub elapsed_seconds: f64,
+    /// Total time recorded under the `estimate` phase (0 when none ran).
+    pub estimate_seconds: f64,
+    /// Millions of traversed arcs per second, rated against the
+    /// estimate-phase span total when one exists (so prepare/IO time does
+    /// not deflate query throughput), against `elapsed_seconds` otherwise.
+    /// Comparable with the kernels benchmark because both charge
+    /// `num_arcs()` per source.
+    pub mteps: f64,
+    /// Millions of traversed arcs per second of *whole-run* wall time
+    /// (`edges_scanned / elapsed_seconds / 1e6`) — the v1 `mteps`.
+    pub whole_run_mteps: f64,
+}
+
+/// Snapshot of one run's telemetry, serialized with the stable schema tag
+/// `brics.run_report/v2`. All counter keys and all histogram metrics are
+/// always present (zeros included) so downstream tooling can rely on the
+/// key set.
+///
+/// v1 → v2 migration: `histograms`, `dropped_events_by_kind`,
+/// `derived.estimate_seconds` and `derived.whole_run_mteps` are new;
+/// `derived.mteps` now rates against the estimate phase (v1's
+/// whole-run-rated value moved to `derived.whole_run_mteps`); the event
+/// log keeps the first and last `MAX_EVENTS`/2 events instead of the
+/// first `MAX_EVENTS`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema identifier; always [`RunReport::SCHEMA`].
+    pub schema: String,
+    /// Every counter by stable name (all keys present, zeros included).
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Accumulated phase spans; look up by name (see [`PhaseSpan::name`]).
+    pub phases: Vec<PhaseSpan>,
+    /// Quantile summaries of every distribution metric, in [`Metric::ALL`]
+    /// order (all metrics present, zero-count included).
+    pub histograms: Vec<HistogramSummary>,
+    /// Discrete events: the run's first events followed by its most recent
+    /// ones once the cap is exceeded.
+    pub events: Vec<ReportEvent>,
+    /// Number of events discarded after the cap was reached.
+    pub dropped_events: u64,
+    /// Discarded events broken down by event kind.
+    pub dropped_events_by_kind: std::collections::BTreeMap<String, u64>,
+    /// Metrics derived from the counters at snapshot time.
+    pub derived: DerivedMetrics,
+}
+
+impl RunReport {
+    /// The stable schema tag emitted in every report.
+    pub const SCHEMA: &'static str = "brics.run_report/v2";
+
+    /// Renders a compact human-readable table (for `--metrics-summary`):
+    /// phases with times, histogram quantiles, then all non-zero counters,
+    /// then events.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("run report\n");
+        out.push_str(&format!(
+            "  elapsed {:.3}s  mteps {:.2} (whole-run {:.2})\n",
+            self.derived.elapsed_seconds, self.derived.mteps, self.derived.whole_run_mteps
+        ));
+        if !self.phases.is_empty() {
+            out.push_str("  phases:\n");
+            for p in &self.phases {
+                out.push_str(&format!(
+                    "    {:<28} {:>10.3} ms  x{}\n",
+                    p.name,
+                    p.total_seconds * 1e3,
+                    p.count
+                ));
+            }
+        }
+        let observed: Vec<_> = self.histograms.iter().filter(|h| h.count > 0).collect();
+        if !observed.is_empty() {
+            out.push_str("  histograms:\n");
+            for h in observed {
+                out.push_str(&format!(
+                    "    {:<28} n={} p50={} p90={} p99={} max={} {}\n",
+                    h.metric, h.count, h.p50, h.p90, h.p99, h.max, h.unit
+                ));
+            }
+        }
+        let nonzero: Vec<_> = self.counters.iter().filter(|(_, &v)| v != 0).collect();
+        if !nonzero.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, value) in nonzero {
+                out.push_str(&format!("    {name:<28} {value:>12}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("  events:\n");
+            for e in &self.events {
+                out.push_str(&format!("    {}: {}\n", e.kind, e.detail));
+            }
+            if self.dropped_events > 0 {
+                out.push_str(&format!("    … {} more dropped\n", self.dropped_events));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_match_all() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, NUM_COUNTERS);
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_match_all() {
+        let mut names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, NUM_METRICS);
+        for m in Metric::ALL {
+            assert!(!m.unit().is_empty());
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let rec = NullRecorder;
+        assert!(!rec.enabled());
+        assert!(!rec.trace_enabled());
+        rec.incr(Counter::BfsSources);
+        rec.observe(Metric::FrontierSize, 3);
+        rec.span("x", Duration::from_secs(1));
+        rec.event("k", "d");
+    }
+
+    #[test]
+    fn run_recorder_accumulates() {
+        let rec = RunRecorder::new();
+        rec.incr(Counter::BfsSources);
+        rec.add(Counter::BfsSources, 2);
+        rec.add(Counter::EdgesScanned, 100);
+        rec.max(Counter::PeakFrontier, 7);
+        rec.max(Counter::PeakFrontier, 3);
+        rec.span("bfs", Duration::from_millis(2));
+        rec.span("bfs", Duration::from_millis(3));
+        rec.span("reduce", Duration::from_millis(1));
+        rec.event("deadline", "hit after 2 sources");
+        let report = rec.report();
+        assert_eq!(report.counters["bfs_sources"], 3);
+        assert_eq!(report.counters["edges_scanned"], 100);
+        assert_eq!(report.counters["peak_frontier"], 7);
+        // Untouched counters still present, zero-valued.
+        assert_eq!(report.counters["reduce_rounds"], 0);
+        assert_eq!(report.counters.len(), NUM_COUNTERS);
+        let bfs = report.phases.iter().find(|p| p.name == "bfs").unwrap();
+        assert_eq!(bfs.count, 2);
+        assert!((bfs.total_seconds - 0.005).abs() < 1e-9);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.dropped_events, 0);
+        assert!(report.derived.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn observations_land_in_the_right_histogram() {
+        let rec = RunRecorder::new();
+        rec.observe(Metric::FrontierSize, 10);
+        rec.observe(Metric::FrontierSize, 1000);
+        rec.observe(Metric::SourceBfsNanos, 5_000);
+        let report = rec.report();
+        assert_eq!(report.histograms.len(), NUM_METRICS);
+        let frontier = report.histograms.iter().find(|h| h.metric == "frontier_size").unwrap();
+        assert_eq!(frontier.count, 2);
+        assert_eq!(frontier.max, 1000);
+        assert_eq!(frontier.unit, "vertices");
+        assert!(frontier.p50 <= frontier.p90 && frontier.p90 <= frontier.p99);
+        let source = report.histograms.iter().find(|h| h.metric == "source_bfs_ns").unwrap();
+        assert_eq!(source.count, 1);
+        assert_eq!(source.sum, 5_000);
+        // Unobserved metrics are still present with zero counts.
+        let level = report.histograms.iter().find(|h| h.metric == "level_ns").unwrap();
+        assert_eq!(level.count, 0);
+    }
+
+    #[test]
+    fn spans_merge_across_threads() {
+        let rec = std::sync::Arc::new(RunRecorder::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        rec.span("worker", Duration::from_millis(1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        rec.span("main", Duration::from_millis(2));
+        let report = rec.report();
+        let worker = report.phases.iter().find(|p| p.name == "worker").unwrap();
+        assert_eq!(worker.count, 40);
+        assert!((worker.total_seconds - 0.040).abs() < 1e-9);
+        assert_eq!(report.phases.iter().find(|p| p.name == "main").unwrap().count, 1);
+    }
+
+    #[test]
+    fn event_cap_keeps_head_and_tail() {
+        let rec = RunRecorder::new();
+        for i in 0..(MAX_EVENTS + 5) {
+            rec.event("e", &i.to_string());
+        }
+        rec.event("deadline", "late but important");
+        let report = rec.report();
+        assert_eq!(report.events.len(), MAX_EVENTS);
+        assert_eq!(report.dropped_events, 6);
+        assert_eq!(report.dropped_events_by_kind["e"], 6);
+        // The opening of the run survives…
+        assert_eq!(report.events[0].detail, "0");
+        assert_eq!(report.events[EVENT_HEAD - 1].detail, (EVENT_HEAD - 1).to_string());
+        // …and so does the most recent event, unlike first-N-wins.
+        let last = report.events.last().unwrap();
+        assert_eq!(last.kind, "deadline");
+        assert_eq!(last.detail, "late but important");
+    }
+
+    #[test]
+    fn timed_records_span_and_trace() {
+        let rec = RunRecorder::with_trace();
+        assert!(rec.trace_enabled());
+        let out = timed(&rec, "prepare", || {
+            timed(&rec, "reduce", || 7)
+        });
+        assert_eq!(out, 7);
+        let report = rec.report();
+        assert!(report.phases.iter().any(|p| p.name == "prepare"));
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 2);
+        // Inner span closes first but starts later: containment holds.
+        let prepare = events.iter().find(|e| e.name == "prepare").unwrap();
+        let reduce = events.iter().find(|e| e.name == "reduce").unwrap();
+        assert!(reduce.start_ns >= prepare.start_ns);
+        assert!(reduce.start_ns + reduce.dur_ns <= prepare.start_ns + prepare.dur_ns);
+        let json = rec.chrome_trace_json();
+        assert!(json.contains("\"name\":\"reduce\""));
+        assert_eq!(rec.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn untraced_recorder_collects_no_trace() {
+        let rec = RunRecorder::new();
+        assert!(!rec.trace_enabled());
+        timed(&rec, "prepare", || ());
+        assert!(rec.trace_events().is_empty());
+        assert_eq!(rec.chrome_trace_json().trim(), "[\n]");
+    }
+
+    #[test]
+    fn timed_metric_feeds_histogram_and_span() {
+        let rec = RunRecorder::new();
+        let out = timed_metric(&rec, "estimate", Metric::QueryNanos, || 42);
+        assert_eq!(out, 42);
+        let report = rec.report();
+        let span = report.phases.iter().find(|p| p.name == "estimate").unwrap();
+        assert_eq!(span.count, 1);
+        let hist = report.histograms.iter().find(|h| h.metric == "query_ns").unwrap();
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn mteps_rated_against_estimate_phase_when_present() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::EdgesScanned, 10_000_000);
+        rec.span("prepare", Duration::from_secs(100));
+        rec.span("estimate", Duration::from_secs(2));
+        let report = rec.report();
+        assert!((report.derived.estimate_seconds - 2.0).abs() < 1e-12);
+        assert!((report.derived.mteps - 5.0).abs() < 1e-9);
+        // Whole-run rate uses actual wall time since new(), which is tiny
+        // here — so it vastly exceeds the estimate-phase rate.
+        assert!(report.derived.whole_run_mteps > report.derived.mteps);
+    }
+
+    #[test]
+    fn mteps_falls_back_to_elapsed_without_estimate_span() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::EdgesScanned, 1_000_000);
+        std::thread::sleep(Duration::from_millis(2));
+        let report = rec.report();
+        assert_eq!(report.derived.estimate_seconds, 0.0);
+        assert!(report.derived.mteps > 0.0);
+        assert!((report.derived.mteps - report.derived.whole_run_mteps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::EdgesScanned, 42);
+        rec.span("assemble", Duration::from_micros(10));
+        rec.observe(Metric::QueryNanos, 1234);
+        let report = rec.report();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("brics.run_report/v2"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters["edges_scanned"], 42);
+        assert_eq!(back.schema, RunReport::SCHEMA);
+        assert_eq!(back.histograms.len(), NUM_METRICS);
+        assert_eq!(
+            back.histograms.iter().find(|h| h.metric == "query_ns").unwrap().max,
+            1234
+        );
+    }
+
+    #[test]
+    fn summary_table_shows_nonzero_counters_phases_and_histograms() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::BfsSources, 4);
+        rec.span("estimate", Duration::from_millis(1));
+        rec.observe(Metric::SourceBfsNanos, 900);
+        rec.event("deadline", "expired");
+        let table = rec.report().summary_table();
+        assert!(table.contains("bfs_sources"));
+        assert!(table.contains("estimate"));
+        assert!(table.contains("source_bfs_ns"));
+        assert!(table.contains("deadline: expired"));
+        assert!(!table.contains("reduce_rounds"));
+        assert!(!table.contains("level_ns"), "zero-count histograms are omitted from the table");
+    }
+
+    #[test]
+    fn recorder_by_reference_forwards() {
+        fn takes<R: Recorder>(rec: &R) {
+            rec.incr(Counter::BfsSources);
+            rec.observe(Metric::FrontierSize, 2);
+        }
+        let rec = RunRecorder::new();
+        takes(&&rec);
+        assert_eq!(rec.counter(Counter::BfsSources), 1);
+        assert_eq!(rec.histogram(Metric::FrontierSize).count, 1);
+    }
+
+    #[test]
+    fn optional_recorder_forwards_tracing() {
+        let rec = Some(RunRecorder::with_trace());
+        assert!(rec.trace_enabled());
+        timed(&rec, "prepare", || ());
+        assert_eq!(rec.as_ref().unwrap().trace_events().len(), 1);
+        let none: Option<RunRecorder> = None;
+        assert!(!none.trace_enabled());
+    }
+}

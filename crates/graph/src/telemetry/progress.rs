@@ -1,0 +1,281 @@
+//! Live progress heartbeat for long runs.
+//!
+//! A [`ProgressMeter`] spawns one sampling thread that periodically reads a
+//! shared [`RunRecorder`]'s atomic counters and prints a single-line
+//! heartbeat to stderr: sources done / planned, current MTEPS over the last
+//! window, an ETA extrapolated from the average completion rate, and the
+//! reduction round count. The estimators themselves are untouched — the
+//! heartbeat is entirely derivative of counters they already charge.
+//!
+//! The meter also watches for stalls: when *no* counter advances for a
+//! configurable window it prints a warning, consults the attached
+//! [`RunControl`] to say whether execution limits have already tripped
+//! (a stalled run whose deadline expired is a worker failing to observe
+//! cancellation — a bug, not slowness), and records a `stall` event in the
+//! run report.
+//!
+//! [`ProgressMeter::stop`] always prints one final heartbeat, so even a run
+//! that finishes (or times out) faster than the sampling interval leaves
+//! evidence of its shape on stderr.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::{Counter, Recorder, RunRecorder};
+use crate::control::{RunControl, RunOutcome};
+
+/// Tuning for a [`ProgressMeter`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressConfig {
+    /// Time between heartbeat lines.
+    pub interval: Duration,
+    /// How long all counters must stay frozen before a stall is reported.
+    pub stall_after: Duration,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig { interval: Duration::from_secs(1), stall_after: Duration::from_secs(10) }
+    }
+}
+
+/// Counter snapshot the heartbeat derives its line from.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    done: u64,
+    skipped: u64,
+    planned: u64,
+    edges: u64,
+    reduce_rounds: u64,
+    /// Wrapping sum of every counter — advances iff anything advanced.
+    fingerprint: u64,
+}
+
+impl Sample {
+    fn take(rec: &RunRecorder) -> Self {
+        let mut fingerprint = 0u64;
+        for &c in Counter::ALL.iter() {
+            fingerprint = fingerprint.wrapping_add(rec.counter(c));
+        }
+        Sample {
+            done: rec.counter(Counter::BfsSources),
+            skipped: rec.counter(Counter::BfsSourcesSkipped),
+            planned: rec.counter(Counter::BfsSourcesPlanned),
+            edges: rec.counter(Counter::EdgesScanned),
+            reduce_rounds: rec.counter(Counter::ReduceRounds),
+            fingerprint,
+        }
+    }
+}
+
+/// Formats one heartbeat line. `prev`/`window` give the rate over the last
+/// sampling window; without them the line falls back to the whole-run
+/// average rate.
+fn format_heartbeat(now: &Sample, prev: Option<(&Sample, Duration)>, elapsed: Duration) -> String {
+    let secs = elapsed.as_secs_f64();
+    let mut line = String::from("progress:");
+    let finished = now.done + now.skipped;
+    if now.planned > 0 {
+        line.push_str(&format!(
+            " sources {}/{} ({:.1}%)",
+            finished,
+            now.planned,
+            100.0 * finished as f64 / now.planned as f64
+        ));
+    } else {
+        line.push_str(&format!(" sources {finished}/?"));
+    }
+    let mteps = match prev {
+        Some((p, window)) if window.as_secs_f64() > 0.0 => {
+            (now.edges.saturating_sub(p.edges)) as f64 / window.as_secs_f64() / 1e6
+        }
+        _ if secs > 0.0 => now.edges as f64 / secs / 1e6,
+        _ => 0.0,
+    };
+    line.push_str(&format!(" | {mteps:.2} MTEPS"));
+    if now.planned > finished && now.done > 0 && secs > 0.0 {
+        let eta = (now.planned - finished) as f64 * secs / finished as f64;
+        line.push_str(&format!(" | eta {eta:.1}s"));
+    }
+    if now.reduce_rounds > 0 {
+        line.push_str(&format!(" | reduce rounds {}", now.reduce_rounds));
+    }
+    line.push_str(&format!(" | elapsed {secs:.1}s"));
+    line
+}
+
+fn control_state(ctl: &RunControl) -> &'static str {
+    match ctl.should_stop() {
+        None => "limits ok",
+        Some(RunOutcome::Deadline) => "deadline already expired",
+        Some(RunOutcome::Cancelled) => "run already cancelled",
+        Some(RunOutcome::Complete) => "limits ok",
+    }
+}
+
+fn worker(rec: Arc<RunRecorder>, ctl: RunControl, cfg: ProgressConfig, stop: Arc<AtomicBool>) {
+    let started = Instant::now();
+    let mut prev = Sample::take(&rec);
+    let mut prev_at = started;
+    let mut last_change = started;
+    let mut stall_reported = false;
+    loop {
+        let wake = Instant::now() + cfg.interval;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                let now = Sample::take(&rec);
+                eprintln!("{}", format_heartbeat(&now, None, started.elapsed()));
+                return;
+            }
+            let now = Instant::now();
+            if now >= wake {
+                break;
+            }
+            std::thread::sleep((wake - now).min(Duration::from_millis(25)));
+        }
+        let sample = Sample::take(&rec);
+        let at = Instant::now();
+        if sample.fingerprint != prev.fingerprint {
+            last_change = at;
+            stall_reported = false;
+        } else if !stall_reported && at.duration_since(last_change) >= cfg.stall_after {
+            stall_reported = true;
+            let detail = format!(
+                "no counter advanced in {:.1}s ({})",
+                at.duration_since(last_change).as_secs_f64(),
+                control_state(&ctl)
+            );
+            eprintln!("progress: STALL — {detail}");
+            rec.event("stall", &detail);
+        }
+        eprintln!("{}", format_heartbeat(&sample, Some((&prev, at - prev_at)), started.elapsed()));
+        prev = sample;
+        prev_at = at;
+    }
+}
+
+/// Handle to the background heartbeat thread. Stopping (or dropping) the
+/// meter joins the thread after it prints a final heartbeat line.
+pub struct ProgressMeter {
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ProgressMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressMeter").finish_non_exhaustive()
+    }
+}
+
+impl ProgressMeter {
+    /// Starts the heartbeat thread sampling `rec`. The `ctl` clone shares
+    /// the run's limit state and is only consulted for stall diagnostics.
+    pub fn start(rec: Arc<RunRecorder>, ctl: RunControl, cfg: ProgressConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("brics-progress".to_string())
+            .spawn(move || worker(rec, ctl, cfg, thread_stop))
+            .expect("spawn progress thread");
+        ProgressMeter { stop, handle: Mutex::new(Some(handle)) }
+    }
+
+    /// Signals the thread to emit its final heartbeat and joins it.
+    /// Idempotent; also invoked on drop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let handle = self.handle.lock().expect("progress handle lock").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressMeter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(done: u64, planned: u64, edges: u64) -> Sample {
+        Sample { done, skipped: 0, planned, edges, reduce_rounds: 0, fingerprint: 0 }
+    }
+
+    #[test]
+    fn heartbeat_reports_fraction_rate_and_eta() {
+        let prev = sample(10, 100, 1_000_000);
+        let now = sample(20, 100, 3_000_000);
+        let line =
+            format_heartbeat(&now, Some((&prev, Duration::from_secs(1))), Duration::from_secs(2));
+        assert!(line.contains("sources 20/100 (20.0%)"), "{line}");
+        assert!(line.contains("2.00 MTEPS"), "{line}");
+        assert!(line.contains("eta 8.0s"), "{line}");
+        assert!(line.contains("elapsed 2.0s"), "{line}");
+    }
+
+    #[test]
+    fn heartbeat_without_plan_skips_eta() {
+        let now = sample(5, 0, 500_000);
+        let line = format_heartbeat(&now, None, Duration::from_secs(1));
+        assert!(line.contains("sources 5/?"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+        assert!(line.contains("0.50 MTEPS"), "{line}");
+    }
+
+    #[test]
+    fn heartbeat_counts_skipped_sources_as_finished() {
+        let now = Sample {
+            done: 3,
+            skipped: 7,
+            planned: 10,
+            edges: 0,
+            reduce_rounds: 2,
+            fingerprint: 0,
+        };
+        let line = format_heartbeat(&now, None, Duration::from_secs(1));
+        assert!(line.contains("sources 10/10 (100.0%)"), "{line}");
+        assert!(line.contains("reduce rounds 2"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn meter_stops_quickly_and_is_idempotent() {
+        let rec = Arc::new(RunRecorder::new());
+        let meter = ProgressMeter::start(
+            rec,
+            RunControl::new(),
+            ProgressConfig { interval: Duration::from_millis(5), ..Default::default() },
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        meter.stop();
+        meter.stop();
+    }
+
+    #[test]
+    fn frozen_counters_record_a_stall_event() {
+        let rec = Arc::new(RunRecorder::new());
+        let meter = ProgressMeter::start(
+            rec.clone(),
+            RunControl::new(),
+            ProgressConfig {
+                interval: Duration::from_millis(2),
+                stall_after: Duration::from_millis(1),
+            },
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        meter.stop();
+        let report = rec.report();
+        assert!(
+            report.events.iter().any(|e| e.kind == "stall"),
+            "expected a stall event, got {:?}",
+            report.events
+        );
+        assert!(report.events.iter().any(|e| e.detail.contains("limits ok")));
+    }
+}

@@ -1,0 +1,187 @@
+//! Timestamped span traces exportable as Chrome trace-event JSON.
+//!
+//! While [`Recorder::span`](super::Recorder::span) aggregates phase totals,
+//! a `TraceBuffer` keeps *individual* timestamped spans — phase name,
+//! start offset from the recorder's epoch, duration, recording thread — so
+//! a run can be replayed on a timeline. [`chrome_trace_json`] renders the
+//! collected events in the Chrome trace-event format (an array of `"ph":
+//! "X"` complete events with microsecond timestamps), which loads directly
+//! in Perfetto or `chrome://tracing`; nesting is inferred per thread from
+//! interval containment, so `prepare` visually encloses `reduce`, which
+//! encloses the per-rule spans.
+//!
+//! Buffers are sharded by thread like the histograms: recording a span is
+//! one TLS read plus a push under an uncontended per-shard mutex.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use super::histogram::thread_index;
+
+/// Cap on retained trace events; one event is 32 bytes, so the cap bounds
+/// a pathological run at a few megabytes. Later events are dropped (and
+/// counted) — the head of the timeline is the interesting part once a run
+/// is this large.
+pub const MAX_TRACE_EVENTS: usize = 1 << 18;
+
+const NUM_SHARDS: usize = 8;
+
+/// One timestamped span, offsets relative to the owning recorder's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Phase name (same names as the aggregated spans).
+    pub name: &'static str,
+    /// Start of the span, nanoseconds after the recorder was created.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense index of the recording thread (the report's `tid`).
+    pub tid: u32,
+}
+
+/// Sharded collector of timestamped spans.
+pub(crate) struct TraceBuffer {
+    epoch: Instant,
+    shards: Box<[Mutex<Vec<TraceEvent>>]>,
+    admitted: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new(epoch: Instant) -> Self {
+        TraceBuffer {
+            epoch,
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            admitted: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, name: &'static str, start: Instant, end: Instant) {
+        if self.admitted.fetch_add(1, Ordering::Relaxed) >= MAX_TRACE_EVENTS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let tid = thread_index();
+        let event = TraceEvent {
+            name,
+            start_ns: start.saturating_duration_since(self.epoch).as_nanos() as u64,
+            dur_ns: end.saturating_duration_since(start).as_nanos() as u64,
+            tid: (tid % u32::MAX as usize) as u32,
+        };
+        self.shards[tid % NUM_SHARDS].lock().expect("trace shard lock").push(event);
+    }
+
+    /// Merges all shards, sorted by start time (ties by thread then name,
+    /// for deterministic output order).
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in self.shards.iter() {
+            all.extend_from_slice(&shard.lock().expect("trace shard lock"));
+        }
+        all.sort_by_key(|e| (e.start_ns, e.tid, e.name));
+        all
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders trace events as a Chrome trace-event JSON array (`"ph": "X"`
+/// complete events, `ts`/`dur` in microseconds). The string loads as-is in
+/// Perfetto / `chrome://tracing`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Phase names are static identifiers (no quotes/backslashes), so
+        // plain interpolation produces valid JSON strings.
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"brics\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03}}}",
+            e.name,
+            e.tid,
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn buffer_with(events: &[(&'static str, u64, u64)]) -> (TraceBuffer, Instant) {
+        let epoch = Instant::now();
+        let buf = TraceBuffer::new(epoch);
+        for &(name, start_ns, dur_ns) in events {
+            let start = epoch + Duration::from_nanos(start_ns);
+            buf.record(name, start, start + Duration::from_nanos(dur_ns));
+        }
+        (buf, epoch)
+    }
+
+    #[test]
+    fn records_offsets_and_durations() {
+        let (buf, _) = buffer_with(&[("prepare", 1_000, 5_000), ("reduce", 2_000, 1_000)]);
+        let events = buf.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "prepare");
+        assert_eq!(events[0].start_ns, 1_000);
+        assert_eq!(events[0].dur_ns, 5_000);
+        assert_eq!(events[1].name, "reduce");
+        // Same thread recorded both.
+        assert_eq!(events[0].tid, events[1].tid);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn events_sorted_by_start_time() {
+        let (buf, _) = buffer_with(&[("late", 9_000, 10), ("early", 100, 10), ("mid", 5_000, 10)]);
+        let names: Vec<_> = buf.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let epoch = Instant::now();
+        let buf = TraceBuffer::new(epoch);
+        // Pretend the buffer already admitted the maximum.
+        buf.admitted.store(MAX_TRACE_EVENTS, Ordering::Relaxed);
+        buf.record("x", epoch, epoch);
+        assert_eq!(buf.dropped(), 1);
+        assert!(buf.events().is_empty());
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let (buf, _) = buffer_with(&[("prepare", 1_500, 2_000_500)]);
+        let json = chrome_trace_json(&buf.events());
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let array = value.as_array().unwrap();
+        assert_eq!(array.len(), 1);
+        let e = &array[0];
+        assert_eq!(e.get("name").unwrap().as_str().unwrap(), "prepare");
+        assert_eq!(e.get("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(e.get("cat").unwrap().as_str().unwrap(), "brics");
+        assert!((e.get("ts").unwrap().as_f64().unwrap() - 1.5).abs() < 1e-9);
+        assert!((e.get("dur").unwrap().as_f64().unwrap() - 2000.5).abs() < 1e-9);
+        assert_eq!(e.get("pid").unwrap().as_f64().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_array() {
+        let json = chrome_trace_json(&[]);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.as_array().unwrap().is_empty());
+    }
+}

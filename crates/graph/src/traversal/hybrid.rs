@@ -27,10 +27,12 @@
 use super::frontier::FrontierBitmap;
 use super::parallel::atomic_view_u32;
 use crate::control::{RunControl, RunOutcome};
+use crate::telemetry::{Metric, NullRecorder, Recorder};
 use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Tunables of the direction-switching heuristic.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -187,6 +189,22 @@ pub trait SerialBfsKernel: Send {
     fn last_stats(&self) -> TraversalStats {
         TraversalStats::default()
     }
+
+    /// Asks the kernel to log per-level frontier sizes for harvesting via
+    /// [`SerialBfsKernel::level_sizes`]. Off by default; kernels without a
+    /// level structure (the queue-based top-down BFS) may ignore it.
+    /// Drivers enable this only when a recorder is attached, keeping the
+    /// unrecorded path free of the bookkeeping.
+    fn set_level_recording(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Frontier size fed into each level of the most recent run, when
+    /// level recording is on. Kernels that do not track levels report an
+    /// empty slice.
+    fn level_sizes(&self) -> &[u64] {
+        &[]
+    }
 }
 
 impl SerialBfsKernel for super::bfs::Bfs {
@@ -221,6 +239,17 @@ impl SerialBfsKernel for HybridBfs {
     fn last_stats(&self) -> TraversalStats {
         self.stats
     }
+
+    fn set_level_recording(&mut self, on: bool) {
+        self.record_levels = on;
+        if !on {
+            self.level_log.clear();
+        }
+    }
+
+    fn level_sizes(&self) -> &[u64] {
+        &self.level_log
+    }
 }
 
 /// Serial direction-optimizing BFS with reusable scratch.
@@ -241,6 +270,8 @@ pub struct HybridBfs {
     next_bits: FrontierBitmap,
     params: HybridParams,
     stats: TraversalStats,
+    record_levels: bool,
+    level_log: Vec<u64>,
 }
 
 impl HybridBfs {
@@ -260,6 +291,8 @@ impl HybridBfs {
             next_bits: FrontierBitmap::new(n),
             params,
             stats: TraversalStats::default(),
+            record_levels: false,
+            level_log: Vec::new(),
         }
     }
 
@@ -330,6 +363,7 @@ impl HybridBfs {
         // whose per-level cost is Θ(n) — and BFS degrades to Θ(n·levels).
         let mut growing = true;
         self.stats = TraversalStats::default();
+        self.level_log.clear();
 
         while n_f > 0 {
             level += 1;
@@ -346,6 +380,9 @@ impl HybridBfs {
                 self.stats.direction_switches += 1;
             }
             self.stats.level(bottom_up, n_f);
+            if self.record_levels {
+                self.level_log.push(n_f as u64);
+            }
 
             let mut new_nf = 0usize;
             let mut new_mf = 0u64;
@@ -502,6 +539,21 @@ impl ParFrontierBfs {
         source: NodeId,
         ctl: &RunControl,
     ) -> Result<(usize, u64), RunOutcome> {
+        self.run_ctl_rec(g, source, ctl, &NullRecorder)
+    }
+
+    /// [`ParFrontierBfs::run_ctl`] with per-level telemetry: each level
+    /// contributes a [`Metric::FrontierSize`] and [`Metric::LevelNanos`]
+    /// observation (and a `bfs.level` trace span when tracing) to `rec`.
+    /// With a disabled recorder the level loop reads no clock — this is
+    /// exactly `run_ctl`.
+    pub fn run_ctl_rec<R: Recorder>(
+        &mut self,
+        g: &CsrGraph,
+        source: NodeId,
+        ctl: &RunControl,
+        rec: &R,
+    ) -> Result<(usize, u64), RunOutcome> {
         let n = g.num_nodes();
         debug_assert!((source as usize) < n);
         self.resize(n);
@@ -530,6 +582,7 @@ impl ParFrontierBfs {
             if let Some(cause) = ctl.should_stop() {
                 return Err(cause);
             }
+            let level_start = if rec.enabled() { Some(Instant::now()) } else { None };
             level += 1;
             if !bottom_up {
                 if growing && m_f as f64 > m_u as f64 / self.params.alpha {
@@ -550,6 +603,14 @@ impl ParFrontierBfs {
             } else {
                 self.step_top_down(g, level, threads)
             };
+            if let Some(start) = level_start {
+                let end = Instant::now();
+                rec.observe(Metric::FrontierSize, n_f as u64);
+                rec.observe(Metric::LevelNanos, end.duration_since(start).as_nanos() as u64);
+                if rec.trace_enabled() {
+                    rec.trace_span("bfs.level", start, end);
+                }
+            }
             m_u -= new_mf;
             m_f = new_mf;
             growing = new_nf >= n_f;
@@ -828,6 +889,47 @@ mod tests {
         hy.run(&g, 0);
         hy.run(&g, 9);
         assert_eq!(hy.last_stats().levels, 10);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_and_observes_levels() {
+        use crate::telemetry::RunRecorder;
+        let g = gnm_random_connected(60, 150, 42);
+        let mut plain = ParFrontierBfs::new(60);
+        let expect = plain.run(&g, 0);
+
+        let rec = RunRecorder::with_trace();
+        let mut pf = ParFrontierBfs::new(60);
+        let got = pf.run_ctl_rec(&g, 0, &RunControl::new(), &rec).unwrap();
+        assert_eq!(got, expect, "recorder must not change results");
+        assert_eq!(&pf.distances()[..60], &plain.distances()[..60]);
+        let levels = pf.last_stats().levels;
+        assert_eq!(rec.histogram(Metric::FrontierSize).count, levels);
+        assert_eq!(rec.histogram(Metric::LevelNanos).count, levels);
+        assert_eq!(rec.histogram(Metric::FrontierSize).max, pf.last_stats().peak_frontier);
+        let traced = rec.trace_events().iter().filter(|e| e.name == "bfs.level").count();
+        assert_eq!(traced as u64, levels);
+    }
+
+    #[test]
+    fn hybrid_level_log_follows_recording_flag() {
+        let g = gnm_random_connected(60, 150, 42);
+        let mut hy = HybridBfs::new(60);
+        hy.run(&g, 0);
+        assert!(hy.level_sizes().is_empty(), "logging is off by default");
+        hy.set_level_recording(true);
+        hy.run(&g, 0);
+        let sizes = hy.level_sizes().to_vec();
+        assert_eq!(sizes.len() as u64, hy.last_stats().levels);
+        assert_eq!(sizes.iter().copied().max().unwrap(), hy.last_stats().peak_frontier);
+        hy.set_level_recording(false);
+        assert!(hy.level_sizes().is_empty());
+
+        // The queue-based kernel has no level structure and reports none.
+        let mut td = super::super::bfs::Bfs::new(60);
+        td.set_level_recording(true);
+        SerialBfsKernel::run_with_visit(&mut td, &g, 0, |_, _| {});
+        assert!(td.level_sizes().is_empty());
     }
 
     #[test]

@@ -18,12 +18,13 @@
 use super::bfs::Bfs;
 use super::hybrid::{HybridBfs, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel};
 use crate::control::{panic_message, RunControl, RunOutcome};
-use crate::telemetry::{Counter, NullRecorder, Recorder};
+use crate::telemetry::{timed, Counter, Metric, NullRecorder, Recorder};
 use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Reinterprets an exclusively-held `u64` slice as atomics so rayon workers
 /// can publish into it lock-free. Safe: `AtomicU64` is `repr(transparent)`
@@ -259,17 +260,23 @@ pub fn par_bfs_accumulate_ctl_rec<R: Recorder>(
     rec: &R,
 ) -> Result<ControlledAccumulation, WorkerPanic> {
     assert!(acc.len() >= g.num_nodes(), "accumulator too small");
-    let per_source = if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads())
-    {
-        frontier_parallel_rows(g, sources, ctl, cfg, Some(acc), rec)?
-    } else {
-        match cfg.kernel {
-            Kernel::TopDown => source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, Some(acc), rec)?,
-            Kernel::Auto | Kernel::Hybrid => {
-                source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, Some(acc), rec)?
+    if rec.enabled() {
+        rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
+    }
+    let per_source = timed(rec, "bfs.batch", || {
+        if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
+            frontier_parallel_rows(g, sources, ctl, cfg, Some(acc), rec)
+        } else {
+            match cfg.kernel {
+                Kernel::TopDown => {
+                    source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, Some(acc), rec)
+                }
+                Kernel::Auto | Kernel::Hybrid => {
+                    source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, Some(acc), rec)
+                }
             }
         }
-    };
+    })?;
     record_rows(rec, g, &per_source.0);
     Ok(finish_accumulation(per_source))
 }
@@ -322,9 +329,16 @@ fn source_parallel_rows<K: SerialBfsKernel, R: Recorder>(
     let rows: Vec<Option<(usize, u64)>> = sources
         .par_iter()
         .map_init(
-            || K::for_config(g.num_nodes(), cfg),
+            || {
+                let mut bfs = K::for_config(g.num_nodes(), cfg);
+                // Per-level frontier sizes feed the report's histogram;
+                // the log is only maintained when someone will read it.
+                bfs.set_level_recording(rec.enabled());
+                bfs
+            },
             |bfs, &s| {
                 guard.run_source(s, || {
+                    let start = if rec.enabled() { Some(Instant::now()) } else { None };
                     let out = match atomic_acc {
                         Some(atomic_acc) => bfs.run_with_visit(g, s, |v, d| {
                             if d > 0 {
@@ -333,8 +347,19 @@ fn source_parallel_rows<K: SerialBfsKernel, R: Recorder>(
                         }),
                         None => bfs.run_with_visit(g, s, |_, _| {}),
                     };
-                    if rec.enabled() {
+                    if let Some(start) = start {
+                        let end = Instant::now();
+                        rec.observe(
+                            Metric::SourceBfsNanos,
+                            end.duration_since(start).as_nanos() as u64,
+                        );
+                        if rec.trace_enabled() {
+                            rec.trace_span("bfs.source", start, end);
+                        }
                         record_traversal_stats(rec, bfs.last_stats());
+                        for &n_f in bfs.level_sizes() {
+                            rec.observe(Metric::FrontierSize, n_f);
+                        }
                     }
                     out
                 })
@@ -378,11 +403,12 @@ fn frontier_parallel_rows<R: Recorder>(
             rows.push(None);
             continue;
         }
+        let start = if rec.enabled() { Some(Instant::now()) } else { None };
         let result = catch_unwind(AssertUnwindSafe(|| {
             if ctl.injected_panic_for(s) {
                 panic!("injected worker panic (test hook) on source {s}");
             }
-            engine.run_ctl(g, s, ctl)
+            engine.run_ctl_rec(g, s, ctl, rec)
         }));
         match result {
             Err(payload) => {
@@ -400,7 +426,15 @@ fn frontier_parallel_rows<R: Recorder>(
                         }
                     }
                 }
-                if rec.enabled() {
+                if let Some(start) = start {
+                    let end = Instant::now();
+                    rec.observe(
+                        Metric::SourceBfsNanos,
+                        end.duration_since(start).as_nanos() as u64,
+                    );
+                    if rec.trace_enabled() {
+                        rec.trace_span("bfs.source", start, end);
+                    }
                     record_traversal_stats(rec, engine.last_stats());
                 }
                 rows.push(Some((reached, sum)));
@@ -457,16 +491,21 @@ pub fn par_bfs_sums_ctl_rec<R: Recorder>(
     cfg: &KernelConfig,
     rec: &R,
 ) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
-    let rows = if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
-        frontier_parallel_rows(g, sources, ctl, cfg, None, rec)?
-    } else {
-        match cfg.kernel {
-            Kernel::TopDown => source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, None, rec)?,
-            Kernel::Auto | Kernel::Hybrid => {
-                source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, None, rec)?
+    if rec.enabled() {
+        rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
+    }
+    let rows = timed(rec, "bfs.batch", || {
+        if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
+            frontier_parallel_rows(g, sources, ctl, cfg, None, rec)
+        } else {
+            match cfg.kernel {
+                Kernel::TopDown => source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, None, rec),
+                Kernel::Auto | Kernel::Hybrid => {
+                    source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, None, rec)
+                }
             }
         }
-    };
+    })?;
     record_rows(rec, g, &rows.0);
     Ok(rows)
 }
@@ -800,6 +839,7 @@ mod tests {
 
         assert_eq!(rec.counter(Counter::BfsSources), 3);
         assert_eq!(rec.counter(Counter::BfsSourcesSkipped), 0);
+        assert_eq!(rec.counter(Counter::BfsSourcesPlanned), 3);
         assert_eq!(rec.counter(Counter::VerticesVisited), 27);
         assert_eq!(rec.counter(Counter::EdgesScanned), 3 * g.num_arcs() as u64);
         assert_eq!(
@@ -807,6 +847,20 @@ mod tests {
             1
         );
         assert!(rec.counter(Counter::FrontierLevels) > 0);
+        // One per-source time observation per completed source; frontier
+        // sizes cover every expanded level.
+        assert_eq!(rec.histogram(Metric::SourceBfsNanos).count, 3);
+        assert_eq!(
+            rec.histogram(Metric::FrontierSize).count,
+            rec.counter(Counter::FrontierLevels)
+        );
+        assert_eq!(
+            rec.histogram(Metric::FrontierSize).max,
+            rec.counter(Counter::PeakFrontier)
+        );
+        let report = rec.report();
+        let batch = report.phases.iter().find(|p| p.name == "bfs.batch").unwrap();
+        assert_eq!(batch.count, 1);
 
         // Interrupted run: every source skipped, none completed.
         let rec = RunRecorder::new();
@@ -815,7 +869,38 @@ mod tests {
         par_bfs_accumulate_ctl_rec(&g, &sources, &mut acc, &ctl, &cfg, &rec).unwrap();
         assert_eq!(rec.counter(Counter::BfsSources), 0);
         assert_eq!(rec.counter(Counter::BfsSourcesSkipped), 3);
+        assert_eq!(rec.counter(Counter::BfsSourcesPlanned), 3);
         assert_eq!(rec.counter(Counter::EdgesScanned), 0);
+        assert_eq!(rec.histogram(Metric::SourceBfsNanos).count, 0);
+    }
+
+    #[test]
+    fn traced_batch_nests_sources_within_batch() {
+        use crate::telemetry::RunRecorder;
+        let g = grid3x3();
+        let sources: Vec<NodeId> = vec![0, 4, 8];
+        let rec = RunRecorder::with_trace();
+        let mut acc = vec![0u64; 9];
+        par_bfs_accumulate_ctl_rec(
+            &g,
+            &sources,
+            &mut acc,
+            &RunControl::new(),
+            &KernelConfig::default(),
+            &rec,
+        )
+        .unwrap();
+        let events = rec.trace_events();
+        let batch = *events.iter().find(|e| e.name == "bfs.batch").unwrap();
+        let per_source: Vec<_> = events.iter().filter(|e| e.name == "bfs.source").collect();
+        assert_eq!(per_source.len(), 3);
+        for e in per_source {
+            assert!(e.start_ns >= batch.start_ns, "source starts inside the batch");
+            assert!(
+                e.start_ns + e.dur_ns <= batch.start_ns + batch.dur_ns,
+                "source ends inside the batch"
+            );
+        }
     }
 
     #[test]

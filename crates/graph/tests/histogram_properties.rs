@@ -1,0 +1,101 @@
+//! Property-based tests (proptest) for the telemetry histograms: bucket
+//! boundaries tile the `u64` domain correctly, shard placement never
+//! changes the merged snapshot, and reported quantiles are monotone and
+//! bounded by the data on arbitrary observation streams.
+
+use brics_graph::telemetry::histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+/// Strategy: an observation stream mixing the interesting regions of the
+/// domain — zero, small values, power-of-two boundaries and huge values —
+/// so bucket edges actually get hit.
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    let value = prop_oneof![
+        Just(0u64),
+        1u64..=16,
+        (0u32..64).prop_map(|b| 1u64 << b),
+        (1u32..64).prop_map(|b| (1u64 << b) - 1),
+        any::<u64>(),
+    ];
+    proptest::collection::vec(value, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value falls in exactly the bucket whose bounds contain it.
+    #[test]
+    fn bucket_boundaries_are_correct(v in any::<u64>()) {
+        let index = bucket_index(v);
+        prop_assert!(index < NUM_BUCKETS);
+        let (low, high) = bucket_bounds(index);
+        prop_assert!(low <= v && v <= high, "{v} outside [{low}, {high}] of bucket {index}");
+        // The neighbouring buckets do NOT contain it.
+        if index > 0 {
+            prop_assert!(bucket_bounds(index - 1).1 < v);
+        }
+        if index + 1 < NUM_BUCKETS {
+            prop_assert!(bucket_bounds(index + 1).0 > v);
+        }
+    }
+
+    /// Spraying a stream across arbitrary shards merges to exactly the
+    /// single-shard reference: placement is an implementation detail.
+    #[test]
+    fn shard_merge_equals_single_shard(
+        values in observations(),
+        shards in proptest::collection::vec(any::<usize>(), 200),
+    ) {
+        let sharded = Histogram::new();
+        let flat = Histogram::new();
+        for (v, s) in values.iter().zip(shards.iter()) {
+            sharded.observe_in_shard(*s, *v);
+            flat.observe_in_shard(0, *v);
+        }
+        prop_assert_eq!(sharded.merged(), flat.merged());
+    }
+
+    /// Quantiles are monotone in q, bounded by the exact maximum, and the
+    /// snapshot's aggregates match the stream.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in observations()) {
+        let h = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            h.observe_in_shard(i, v);
+        }
+        let m = h.merged();
+        prop_assert_eq!(m.count, values.len() as u64);
+        prop_assert_eq!(m.max, values.iter().copied().max().unwrap_or(0));
+        let mut sum = 0u64;
+        for &v in &values {
+            sum = sum.wrapping_add(v);
+        }
+        prop_assert_eq!(m.sum, sum);
+
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for (i, &q) in qs.iter().enumerate() {
+            let x = m.quantile(q);
+            prop_assert!(x <= m.max, "q{q}: {x} > max {}", m.max);
+            if i > 0 {
+                prop_assert!(x >= prev, "quantile not monotone at q{q}: {x} < {prev}");
+            }
+            prev = x;
+        }
+        if !values.is_empty() {
+            // A quantile never under-reports below the true value at that
+            // rank (bucket upper bounds only round up).
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &q in &qs[1..] {
+                let rank = ((q * m.count as f64).ceil() as usize).clamp(1, sorted.len());
+                prop_assert!(
+                    m.quantile(q) >= sorted[rank - 1],
+                    "q{q} reported {} below true {}",
+                    m.quantile(q),
+                    sorted[rank - 1]
+                );
+            }
+        }
+    }
+}

@@ -185,6 +185,40 @@ impl_tuple_strategy! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
+/// Uniform choice among boxed strategies producing the same value type —
+/// the runtime behind [`prop_oneof!`]. (Real proptest supports per-arm
+/// weights; this stand-in picks arms uniformly.)
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "empty union strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// `prop_oneof!` — one of several strategies with a common value type,
+/// chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
 /// Strategy for "any value of `T`", mirroring `proptest::arbitrary::any`.
 pub struct Any<T> {
     _marker: std::marker::PhantomData<T>,
@@ -303,8 +337,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
-        ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng, Union,
     };
 }
 

@@ -137,3 +137,79 @@ fn recorded_exact_farness_and_topk_are_bit_identical() {
     // Estimation sources plus one BFS per verification, nothing else.
     assert!(rec.counter(Counter::BfsSources) >= recorded.verified_with_bfs as u64);
 }
+
+#[test]
+fn traced_estimates_stay_bit_identical_and_summarize_latencies() {
+    use brics_graph::telemetry::Metric;
+    let g = GraphClass::Web.generate(ClassParams::new(500, 9));
+    for method in METHODS {
+        for kernel in [Kernel::TopDown, Kernel::Auto] {
+            let est = BricsEstimator::new(method)
+                .sample(SampleSize::Fraction(0.3))
+                .seed(5)
+                .kernel(KernelConfig::new(kernel));
+            let plain = est.run_in(&g, &ExecutionContext::new()).unwrap();
+            // The heaviest recorder there is: histograms, spans AND the
+            // timestamped trace buffer. Still observe-only.
+            let rec = RunRecorder::with_trace();
+            let ctx = ExecutionContext::new().with_recorder(&rec);
+            let recorded = est.run_in(&g, &ctx).unwrap();
+            let what = format!("{}/{kernel:?} traced", method.name());
+            assert_identical(&plain, &recorded, &what);
+
+            // Every method leaves per-source BFS latency observations with
+            // ordered quantiles, surfaced in the v2 report.
+            let h = rec.histogram(Metric::SourceBfsNanos);
+            assert!(h.count > 0, "{what}: no per-source observations");
+            let report = rec.report();
+            let s = report
+                .histograms
+                .iter()
+                .find(|h| h.metric == "source_bfs_ns")
+                .unwrap_or_else(|| panic!("{what}: no source_bfs_ns summary"));
+            assert!(s.p50 > 0, "{what}: p50");
+            assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max, "{what}: quantile order");
+
+            // The trace nests: per-source spans sit inside the estimate span.
+            let events = rec.trace_events();
+            let estimate = events
+                .iter()
+                .find(|e| e.name == "estimate")
+                .unwrap_or_else(|| panic!("{what}: no estimate trace event"));
+            let est_end = estimate.start_ns + estimate.dur_ns;
+            let nested = events
+                .iter()
+                .filter(|e| e.name == "bfs.source")
+                .filter(|e| {
+                    e.start_ns >= estimate.start_ns && e.start_ns + e.dur_ns <= est_end
+                })
+                .count();
+            assert!(nested > 0, "{what}: no bfs.source nested in estimate");
+        }
+    }
+}
+
+#[test]
+fn traced_interrupted_runs_match_unrecorded_ones() {
+    let g = GraphClass::Social.generate(ClassParams::new(600, 4));
+    for method in METHODS {
+        let est = BricsEstimator::new(method).sample(SampleSize::Fraction(0.4)).seed(3);
+        let deadline = || {
+            ExecutionContext::new()
+                .with_control(RunControl::new().with_timeout(std::time::Duration::ZERO))
+        };
+        let plain = est.run_in(&g, &deadline()).unwrap();
+        let rec = RunRecorder::with_trace();
+        let recorded = est.run_in(&g, &deadline().with_recorder(&rec)).unwrap();
+        assert!(plain.is_partial(), "{}: deadline must interrupt", method.name());
+        assert_identical(&plain, &recorded, &format!("{} traced", method.name()));
+        // The interrupted run still produces a serializable v2 report and a
+        // well-formed (possibly empty) trace.
+        let report = rec.report();
+        assert_eq!(report.schema, brics::RunReport::SCHEMA);
+        assert!(report.counters["deadline_hits"] > 0);
+        let json = rec.chrome_trace_json();
+        assert!(json.trim_start().starts_with('['), "{}: trace json", method.name());
+        assert!(json.trim_end().ends_with(']'), "{}: trace json", method.name());
+    }
+}
