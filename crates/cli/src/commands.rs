@@ -3,12 +3,13 @@
 use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
-    BricsEstimator, CentralityError, ExecutionContext, Kernel, KernelConfig, Method,
-    PrepareConfig, PreparedGraph, ProgressConfig, ProgressMeter, RunControl, RunOutcome,
-    RunRecorder, SampleSize,
+    run_degraded, BricsEstimator, CentralityError, DegradationPolicy, DegradedRequest,
+    ExecutionContext, Kernel, KernelConfig, Method, PrepareConfig, PreparedGraph,
+    ProgressConfig, ProgressMeter, RunControl, RunOutcome, RunRecorder, SampleSize,
 };
 use brics_bicc::biconnected_components;
-use brics_graph::telemetry::{timed, Counter, Recorder};
+use brics_graph::telemetry::{timed, Counter, FaultSiteRecord, Recorder};
+use brics_graph::{FaultKind, FaultPlan, FaultSite};
 use brics_graph::connectivity::{is_connected, make_connected};
 use brics_graph::degree::degree_stats;
 use brics_graph::generators::{ClassParams, GraphClass};
@@ -74,6 +75,27 @@ EXECUTION LIMITS (farness, compare, topk, betweenness):
   --max-mem-mb N     Refuse up-front (exit 3) if the run's dominant
                      allocations would exceed N MiB.
 
+ROBUSTNESS (farness, compare):
+  --degrade [RATE]   Arm the graceful-degradation ladder. When the run
+                     trips mid-query (worker panic, memory denial,
+                     deadline on an all-or-nothing computation) the
+                     command answers anyway, walking: the requested
+                     estimate (with panicked BFS sources quarantined and
+                     retried) → sampling at RATE (default 0.1) on the
+                     same prepared artifact → the already-accumulated
+                     partial lower bounds. A degraded answer exits 6 and
+                     the run report names the answering rung; a fully
+                     recovered run is bit-identical to a fault-free one
+                     and exits 0.
+  --fault SPECS      Deterministic fault injection for testing:
+                     comma-separated `site=kind[@trigger]` arms. Sites:
+                     reduce.rule, bct.build, bfs.source, bfs.level,
+                     estimate.phase_b, io.read, alloc.admit. Kinds:
+                     panic, slow, deadline-expire, mem-deny, io-error.
+                     Triggers: nth:N (default nth:1), every:K,
+                     prob:PERMILLE[:SEED], on:ARG. Hit/fired counts per
+                     site land in the run report's `faults_injected`.
+
 TELEMETRY (every command):
   --metrics PATH     Write a machine-readable run report — JSON with the
                      stable schema `brics.run_report/v2`: per-phase
@@ -105,6 +127,8 @@ EXIT CODES:
   4  interrupted by --timeout or cancellation (partial result printed
      where the method supports it)
   5  internal error (worker panic)
+  6  degraded (--degrade): a fault tripped the run and a lower ladder
+     rung answered; the printed estimate is a sound lower bound
 
 Graph files: SNAP edge lists (default), MatrixMarket (.mtx), or METIS
 (.graph/.metis). Disconnected inputs are connected by linking components
@@ -148,7 +172,44 @@ fn control_from(p: &Parsed) -> Result<RunControl, CliError> {
         let mb: u64 = p.get_parse("max-mem-mb", 0).map_err(CliError::Usage)?;
         ctl = ctl.with_memory_budget_mb(mb);
     }
+    if let Some(specs) = p.get("fault") {
+        let plan = FaultPlan::parse(specs)
+            .map_err(|e| CliError::Usage(format!("--fault {specs}: {e}")))?;
+        ctl = ctl.with_fault_plan(plan);
+    }
     Ok(ctl)
+}
+
+/// Builds the [`DegradationPolicy`] from `--degrade [RATE]`, or `None`
+/// when the flag is absent.
+fn degradation_from(p: &Parsed) -> Result<Option<DegradationPolicy>, CliError> {
+    if !p.has("degrade") {
+        return Ok(None);
+    }
+    let mut policy = DegradationPolicy::default();
+    if let Some(v) = p.get("degrade").filter(|v| !v.is_empty()) {
+        let rate: f64 =
+            v.parse().map_err(|e| CliError::Usage(format!("--degrade {v}: {e}")))?;
+        if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+            return Err(CliError::Usage(format!(
+                "--degrade {rate}: fallback rate must be in (0, 1]"
+            )));
+        }
+        policy = policy.with_fallback_rate(rate);
+    }
+    Ok(Some(policy))
+}
+
+/// The `io.read` failpoint: checked once per graph load, before the file
+/// is touched. `io-error` and `panic` arms surface as an input error; a
+/// `slow` arm just stalls inside [`RunControl::fault_apply`].
+fn check_io_fault(ctl: &RunControl, path: &str) -> Result<(), CliError> {
+    match ctl.fault_apply(FaultSite::IoRead, 0) {
+        Some(FaultKind::IoError) | Some(FaultKind::Panic) => {
+            Err(CliError::Input(format!("{path}: injected i/o error (io.read)")))
+        }
+        _ => Ok(()),
+    }
 }
 
 /// Builds the [`KernelConfig`] from `--kernel`.
@@ -174,6 +235,14 @@ struct Metrics {
     summary: bool,
     trace: Option<String>,
     progress: Option<ProgressMeter>,
+    /// The armed fault plan, if any — its per-site hit/fired counters are
+    /// stamped into the report at emit time (the plan is shared with the
+    /// control's copy, so the counts reflect the whole run).
+    faults: Option<FaultPlan>,
+    /// Degradation-ladder rungs walked by the command, stamped into the
+    /// report's `degradation_path`. Interior-mutable because the commands
+    /// hold the `Metrics` immutably next to the recorder `Arc`.
+    degradation_path: std::cell::RefCell<Vec<String>>,
 }
 
 fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliError> {
@@ -223,7 +292,22 @@ fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliErro
             Ok(ProgressMeter::start(rec.clone(), ctl.clone(), cfg))
         })
         .transpose()?;
-    Ok(Some(Metrics { rec, out, summary, trace, progress }))
+    Ok(Some(Metrics {
+        rec,
+        out,
+        summary,
+        trace,
+        progress,
+        faults: ctl.fault_plan().cloned(),
+        degradation_path: std::cell::RefCell::new(Vec::new()),
+    }))
+}
+
+/// Records the ladder walk for the run report (no-op without telemetry).
+fn note_degradation_path(m: &Option<Metrics>, path: &[String]) {
+    if let Some(m) = m {
+        m.degradation_path.borrow_mut().extend_from_slice(path);
+    }
 }
 
 /// Emits the collected telemetry: stops the progress heartbeat (printing
@@ -236,7 +320,18 @@ fn emit_metrics(m: &Option<Metrics>) -> Result<(), CliError> {
     if let Some(meter) = &m.progress {
         meter.stop();
     }
-    let report = m.rec.report();
+    if let Some(plan) = &m.faults {
+        m.rec.add(Counter::FaultsInjected, plan.total_fired());
+    }
+    let mut report = m.rec.report();
+    if let Some(plan) = &m.faults {
+        report.faults_injected = plan
+            .site_records()
+            .iter()
+            .map(|s| FaultSiteRecord { site: s.site.to_string(), hits: s.hits, fired: s.fired })
+            .collect();
+    }
+    report.degradation_path = m.degradation_path.borrow().clone();
     if let Some(target) = &m.out {
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| CliError::Internal(format!("serializing run report: {e}")))?;
@@ -267,6 +362,7 @@ fn outcome_name(o: RunOutcome) -> &'static str {
         RunOutcome::Complete => "complete",
         RunOutcome::Deadline => "deadline",
         RunOutcome::Cancelled => "cancelled",
+        RunOutcome::Degraded => "degraded",
     }
 }
 
@@ -373,6 +469,122 @@ fn prepare_config_of(name: &str, reorder: bool) -> Result<PrepareConfig, CliErro
     Ok(PrepareConfig { reductions, use_bcc, reorder })
 }
 
+/// One farness result set, ready for printing: per-vertex values plus the
+/// run bookkeeping the output and the exit code are derived from.
+struct Rows {
+    values: Vec<u64>,
+    sampled: Vec<bool>,
+    coverage: Vec<u32>,
+    label: String,
+    num_sources: usize,
+    outcome: RunOutcome,
+    degraded: bool,
+}
+
+/// Streams the farness table (or JSON document) to stdout. Streamed +
+/// buffered: the document can cover half a million vertices, and on a
+/// timed-out run the printing happens *after* the deadline — building one
+/// giant `Value` tree (or a syscall per line) would add seconds past the
+/// budget for no benefit.
+fn print_farness_rows(p: &Parsed, path: &str, rows: &Rows, top: usize) {
+    let order: Vec<u32> = {
+        let mut idx: Vec<u32> = (0..rows.values.len() as u32).collect();
+        if top > 0 {
+            idx.sort_by_key(|&v| (rows.values[v as usize], v));
+            idx.truncate(top);
+        }
+        idx
+    };
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::io::stdout().lock());
+    if p.has("json") {
+        writeln!(w, "{{").unwrap();
+        writeln!(w, "  \"graph\": {},", serde_json::to_string(&path).unwrap()).unwrap();
+        writeln!(w, "  \"method\": {},", serde_json::to_string(&rows.label).unwrap()).unwrap();
+        writeln!(w, "  \"outcome\": \"{}\",", outcome_name(rows.outcome)).unwrap();
+        writeln!(w, "  \"num_sources\": {},", rows.num_sources).unwrap();
+        writeln!(w, "  \"vertices\": [").unwrap();
+        for (i, &v) in order.iter().enumerate() {
+            let f = rows.values[v as usize];
+            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
+            writeln!(
+                w,
+                "    {{\"id\": {v}, \"farness\": {f}, \"closeness\": {}, \
+                 \"coverage\": {}, \"exact\": {}}}{}",
+                serde_json::to_string(&c).unwrap(),
+                rows.coverage[v as usize],
+                rows.sampled[v as usize],
+                if i + 1 == order.len() { "" } else { "," },
+            )
+            .unwrap();
+        }
+        writeln!(w, "  ]").unwrap();
+        writeln!(w, "}}").unwrap();
+    } else {
+        writeln!(w, "# vertex  farness  closeness  exact").unwrap();
+        for &v in &order {
+            let f = rows.values[v as usize];
+            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
+            writeln!(w, "{v} {f} {c:.3e} {}", rows.sampled[v as usize]).unwrap();
+        }
+    }
+    w.flush().unwrap();
+}
+
+/// The `--degrade` artifact-plus-ladder flow: build the configured
+/// artifact (its prepare stage is already panic-isolated under an armed
+/// policy), and if even that fails softly, fall back to a minimal build —
+/// no reductions, no BCT, hence no memory admission — so the ladder still
+/// has something to run against. Hard data errors propagate.
+fn degraded_query<R: Recorder>(
+    g: &CsrGraph,
+    pcfg: PrepareConfig,
+    request: &DegradedRequest,
+    sample: SampleSize,
+    seed: u64,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<brics::DegradedEstimate, CentralityError> {
+    let (prepared, minimal_fallback) = degraded_prepare(g, pcfg, ctx)?;
+    let mut d = run_degraded(&prepared, request, sample, seed, ctx)?;
+    if minimal_fallback {
+        d.path.insert(0, "prepare:minimal".to_string());
+        d.degraded = true;
+    }
+    Ok(d)
+}
+
+/// The build half of [`degraded_query`], reusable when many queries share
+/// one artifact (`compare`). Returns the artifact plus whether the
+/// configured build failed softly and the minimal build stood in.
+fn degraded_prepare<'g, R: Recorder>(
+    g: &'g CsrGraph,
+    pcfg: PrepareConfig,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<(PreparedGraph<'g>, bool), CentralityError> {
+    match PreparedGraph::build_with(g, pcfg, ctx) {
+        Ok(prepared) => Ok((prepared, false)),
+        Err(
+            e @ (CentralityError::EmptyGraph
+            | CentralityError::Disconnected { .. }
+            | CentralityError::NoSamples),
+        ) => Err(e),
+        Err(first) => {
+            let minimal = PrepareConfig {
+                reductions: brics::ReductionConfig::none(),
+                use_bcc: false,
+                reorder: false,
+            };
+            match PreparedGraph::build_with(g, minimal, ctx) {
+                Ok(prepared) => Ok((prepared, true)),
+                Err(CentralityError::Interrupted { outcome }) => {
+                    Err(CentralityError::Interrupted { outcome })
+                }
+                Err(_) => Err(first),
+            }
+        }
+    }
+}
+
 fn farness(p: &Parsed) -> Result<(), CliError> {
     let path =
         p.positional.get(1).ok_or_else(|| usage("usage: brics farness <graph> [options]"))?;
@@ -381,8 +593,13 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     // load is followed by an immediate deadline check inside the engine.
     let ctl = control_from(p)?;
     let kcfg = kernel_from(p)?;
+    let policy = degradation_from(p)?;
     let m = metrics_from(p, &ctl)?;
     let rec = m.as_ref().map(|mm| mm.rec.as_ref());
+    if let Err(e) = check_io_fault(&ctl, path) {
+        let _ = emit_metrics(&m);
+        return Err(e);
+    }
     let loaded = load_graph_with(path, p.has("giant"))?;
     let rate: f64 = p.get_parse("rate", 0.2).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
@@ -395,17 +612,90 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     if pcfg.reorder {
         eprintln!("note: --reorder relabelled vertices by descending degree");
     }
-    let ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg).with_recorder(&rec);
+    let mut ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg);
+    if let Some(policy) = policy {
+        ctx = ctx.with_degradation(policy);
+    }
+    let ctx = ctx.with_recorder(&rec);
     let n = loaded.num_nodes();
 
-    struct Rows {
-        values: Vec<u64>,
-        sampled: Vec<bool>,
-        coverage: Vec<u32>,
-        label: String,
-        num_sources: usize,
-        outcome: RunOutcome,
+    if policy.is_some() {
+        // --degrade: route through the quality ladder instead of the plain
+        // query path. The ladder owns retries/fallbacks; the command's job
+        // is artifact construction, output and the exit code.
+        let request = match method_name {
+            "exact" => DegradedRequest::Exact,
+            "random" => DegradedRequest::Estimate(Method::RandomSampling),
+            "cr" => DegradedRequest::Estimate(Method::CR),
+            "icr" => DegradedRequest::Estimate(Method::ICR),
+            _ => DegradedRequest::Estimate(Method::Cumulative),
+        };
+        let (rows, answered_by) =
+            match degraded_query(&loaded, pcfg, &request, SampleSize::Fraction(rate), seed, &ctx) {
+                Ok(d) => {
+                    note_degradation_path(&m, &d.path);
+                    eprintln!(
+                        "note: {} sources, {:.3}s — answered by {} (path: {}; \
+                         {} retries, {} quarantined)",
+                        d.estimate.num_sources(),
+                        d.estimate.elapsed().as_secs_f64(),
+                        d.answered_by,
+                        d.path.join(" -> "),
+                        d.retries,
+                        d.quarantined,
+                    );
+                    let rows = Rows {
+                        values: d.estimate.raw().to_vec(),
+                        sampled: d.estimate.sampled_mask().to_vec(),
+                        coverage: d.estimate.coverage().to_vec(),
+                        label: method_name.into(),
+                        num_sources: d.estimate.num_sources(),
+                        outcome: d.estimate.outcome(),
+                        degraded: d.degraded,
+                    };
+                    (rows, d.answered_by)
+                }
+                // Not even the minimal prepare could start (expired
+                // deadline): the trivial zero-coverage partial is still a
+                // sound answer — print it, exactly like the plain path.
+                Err(CentralityError::Interrupted { outcome }) => {
+                    let answered = "partial-lower-bounds".to_string();
+                    note_degradation_path(&m, std::slice::from_ref(&answered));
+                    let rows = Rows {
+                        values: vec![0; n],
+                        sampled: vec![false; n],
+                        coverage: vec![0; n],
+                        label: method_name.into(),
+                        num_sources: 0,
+                        outcome,
+                        degraded: true,
+                    };
+                    (rows, answered)
+                }
+                Err(e) => {
+                    let _ = emit_metrics(&m);
+                    return Err(e.into());
+                }
+            };
+        print_farness_rows(p, path, &rows, top);
+        emit_metrics(&m)?;
+        if rows.outcome.is_interrupted() {
+            return Err(CliError::TimeoutPartial(format!(
+                "{} interrupted the run after {} completed sources; the printed \
+                 estimate is a sound partial lower bound",
+                outcome_name(rows.outcome),
+                rows.num_sources
+            )));
+        }
+        if rows.degraded {
+            return Err(CliError::Degraded(format!(
+                "answered by the '{answered_by}' rung instead of the requested \
+                 '{method_name}' estimate; the printed values are sound lower bounds"
+            )));
+        }
+        return Ok(());
     }
+
     let rows = match PreparedGraph::build_with(&loaded, pcfg, &ctx) {
         // The prepare stage itself was cut short before any source could
         // run: report the trivial (but sound) zero-coverage partial, exactly
@@ -417,6 +707,7 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
             label: method_name.into(),
             num_sources: 0,
             outcome,
+            degraded: false,
         },
         Err(e) => {
             let _ = emit_metrics(&m);
@@ -434,6 +725,7 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
                     label: "exact".into(),
                     num_sources: n,
                     outcome: RunOutcome::Complete,
+                    degraded: false,
                 },
                 Err(e) => {
                     let _ = emit_metrics(&m);
@@ -472,56 +764,12 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
                 label: method_name.into(),
                 num_sources: est.num_sources(),
                 outcome: est.outcome(),
+                degraded: false,
             }
         }
     };
 
-    let order: Vec<u32> = {
-        let mut idx: Vec<u32> = (0..rows.values.len() as u32).collect();
-        if top > 0 {
-            idx.sort_by_key(|&v| (rows.values[v as usize], v));
-            idx.truncate(top);
-        }
-        idx
-    };
-    // Streamed + buffered output: the document can cover half a million
-    // vertices, and on a timed-out run the printing happens *after* the
-    // deadline — building one giant `Value` tree (or a syscall per line)
-    // would add seconds past the budget for no benefit.
-    use std::io::Write;
-    let mut w = std::io::BufWriter::new(std::io::stdout().lock());
-    if p.has("json") {
-        writeln!(w, "{{").unwrap();
-        writeln!(w, "  \"graph\": {},", serde_json::to_string(path).unwrap()).unwrap();
-        writeln!(w, "  \"method\": {},", serde_json::to_string(&rows.label).unwrap()).unwrap();
-        writeln!(w, "  \"outcome\": \"{}\",", outcome_name(rows.outcome)).unwrap();
-        writeln!(w, "  \"num_sources\": {},", rows.num_sources).unwrap();
-        writeln!(w, "  \"vertices\": [").unwrap();
-        for (i, &v) in order.iter().enumerate() {
-            let f = rows.values[v as usize];
-            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
-            writeln!(
-                w,
-                "    {{\"id\": {v}, \"farness\": {f}, \"closeness\": {}, \
-                 \"coverage\": {}, \"exact\": {}}}{}",
-                serde_json::to_string(&c).unwrap(),
-                rows.coverage[v as usize],
-                rows.sampled[v as usize],
-                if i + 1 == order.len() { "" } else { "," },
-            )
-            .unwrap();
-        }
-        writeln!(w, "  ]").unwrap();
-        writeln!(w, "}}").unwrap();
-    } else {
-        writeln!(w, "# vertex  farness  closeness  exact").unwrap();
-        for &v in &order {
-            let f = rows.values[v as usize];
-            let c = if f == 0 { 0.0 } else { 1.0 / f as f64 };
-            writeln!(w, "{v} {f} {c:.3e} {}", rows.sampled[v as usize]).unwrap();
-        }
-    }
-    w.flush().unwrap();
+    print_farness_rows(p, path, &rows, top);
     emit_metrics(&m)?;
     if !rows.outcome.is_complete() {
         // The partial (but sound) estimate went to stdout above; the exit
@@ -546,8 +794,13 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
         p.positional.get(1).ok_or_else(|| usage("usage: brics compare <graph> [options]"))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
     let kcfg = kernel_from(p)?;
+    let policy = degradation_from(p)?;
     let m = metrics_from(p, &ctl)?;
     let rec = m.as_ref().map(|mm| mm.rec.as_ref());
+    if let Err(e) = check_io_fault(&ctl, path) {
+        let _ = emit_metrics(&m);
+        return Err(e);
+    }
     let g = load_graph_with(path, p.has("giant"))?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
 
@@ -586,19 +839,34 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
         return Err(usage("compare needs at least one method and one rate"));
     }
 
-    let ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg).with_recorder(&rec);
+    let mut ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg);
+    if let Some(policy) = policy {
+        ctx = ctx.with_degradation(policy);
+    }
+    let ctx = ctx.with_recorder(&rec);
     let pcfg = PrepareConfig {
         reductions: brics::ReductionConfig::all(),
         use_bcc: true,
         reorder: p.has("reorder"),
     };
-    let prepared = match PreparedGraph::build_with(&g, pcfg, &ctx) {
-        Ok(prepared) => prepared,
+    let build = if policy.is_some() {
+        degraded_prepare(&g, pcfg, &ctx)
+    } else {
+        PreparedGraph::build_with(&g, pcfg, &ctx).map(|prepared| (prepared, false))
+    };
+    let (prepared, minimal_fallback) = match build {
+        Ok(t) => t,
         Err(e) => {
             let _ = emit_metrics(&m);
             return Err(e.into());
         }
     };
+    let mut any_degraded = minimal_fallback || !prepared.prepare_degradation().is_empty();
+    if minimal_fallback {
+        note_degradation_path(&m, &["prepare:minimal".to_string()]);
+        eprintln!("note: configured prepare failed; queries run on a minimal artifact");
+    }
+    note_degradation_path(&m, prepared.prepare_degradation());
     eprintln!(
         "note: prepared once in {:.3}s — {} of {} vertices survive the reduction; \
          {} estimates share the artifact",
@@ -632,10 +900,28 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
     for method in &methods {
         for &rate in &rates {
             let sample = SampleSize::Fraction(rate);
-            let est = match method.as_str() {
-                "random" => prepared.sample(sample, seed, &ctx),
-                "reduced" => prepared.reduced(sample, seed, &ctx),
-                _ => prepared.cumulative(sample, seed, &ctx),
+            let est = if policy.is_some() {
+                // --degrade: every cell answers through the ladder against
+                // the shared artifact; a faulted cell degrades alone
+                // instead of failing the whole comparison.
+                let request = match method.as_str() {
+                    "random" => DegradedRequest::Estimate(Method::RandomSampling),
+                    "reduced" => DegradedRequest::Estimate(Method::ICR),
+                    _ => DegradedRequest::Estimate(Method::Cumulative),
+                };
+                run_degraded(&prepared, &request, sample, seed, &ctx).map(|d| {
+                    if d.degraded {
+                        any_degraded = true;
+                        note_degradation_path(&m, &d.path);
+                    }
+                    d.estimate
+                })
+            } else {
+                match method.as_str() {
+                    "random" => prepared.sample(sample, seed, &ctx),
+                    "reduced" => prepared.reduced(sample, seed, &ctx),
+                    _ => prepared.cumulative(sample, seed, &ctx),
+                }
             };
             let est = match est {
                 Ok(est) => est,
@@ -644,9 +930,7 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
                     return Err(e.into());
                 }
             };
-            if !est.outcome().is_complete() {
-                worst = est.outcome();
-            }
+            worst = worst.merge(est.outcome());
             rows.push(Row {
                 method: method.clone(),
                 rate,
@@ -692,11 +976,18 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
         }
     }
     emit_metrics(&m)?;
-    if !worst.is_complete() {
+    if worst.is_interrupted() {
         return Err(CliError::TimeoutPartial(format!(
             "{} interrupted at least one estimate; the printed rows are sound partials",
             outcome_name(worst)
         )));
+    }
+    if any_degraded || worst == RunOutcome::Degraded {
+        return Err(CliError::Degraded(
+            "at least one estimate answered through a lower ladder rung; the printed \
+             rows are sound lower bounds"
+                .to_string(),
+        ));
     }
     Ok(())
 }
@@ -1229,5 +1520,113 @@ mod tests {
         assert_eq!(err.exit_code(), 2, "{err}");
         let err = run(&["farness", path.to_str().unwrap(), "--timeout", "zebra"]).unwrap_err();
         assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn bad_fault_and_degrade_specs_are_usage_errors() {
+        let path = tmp("badfault.el");
+        run(&["generate", "road", "100", "--out", path.to_str().unwrap()]).unwrap();
+        for spec in ["nowhere=panic", "bfs.source=vanish", "bfs.source=panic@daily", ""] {
+            let err = run(&["farness", path.to_str().unwrap(), "--fault", spec]).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--fault {spec:?}: {err}");
+        }
+        for rate in ["0", "1.5", "-0.1", "zebra"] {
+            let err = run(&["farness", path.to_str().unwrap(), "--degrade", rate]).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--degrade {rate:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn injected_io_error_is_an_input_error() {
+        let path = tmp("iofault.el");
+        run(&["generate", "road", "150", "--out", path.to_str().unwrap()]).unwrap();
+        let err = run(&["farness", path.to_str().unwrap(), "--fault", "io.read=io-error"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn quarantined_panic_recovers_to_exit_0_under_degrade() {
+        // A single injected source panic is retried and fully recovered: the
+        // run answers at the requested rung and exits 0.
+        let path = tmp("degrec.el");
+        run(&["generate", "web", "300", "--seed", "7", "--out", path.to_str().unwrap()]).unwrap();
+        run(&["farness", path.to_str().unwrap(), "--method", "random", "--rate", "0.3",
+              "--fault", "bfs.source=panic@nth:1", "--degrade"])
+            .unwrap();
+    }
+
+    #[test]
+    fn fault_without_degrade_surfaces_as_internal_error() {
+        let path = tmp("nodeg.el");
+        run(&["generate", "web", "300", "--seed", "7", "--out", path.to_str().unwrap()]).unwrap();
+        let err = run(&["farness", path.to_str().unwrap(), "--method", "random", "--rate", "0.3",
+                        "--fault", "bfs.source=panic@every:1"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+    }
+
+    #[test]
+    fn memory_denial_degrades_to_exit_6_and_reports_the_ladder() {
+        // An injected admission denial trips rung 1; the reduced-rate rung
+        // answers, the run exits 6, and the report names the whole path.
+        let path = tmp("degmem.el");
+        run(&["generate", "social", "300", "--seed", "9", "--out", path.to_str().unwrap()])
+            .unwrap();
+        let out = tmp("degmem.json");
+        let err = run(&["farness", path.to_str().unwrap(), "--method", "random", "--rate", "0.5",
+                        "--fault", "alloc.admit=mem-deny", "--degrade",
+                        "--metrics", out.to_str().unwrap()])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(report.schema, brics::RunReport::SCHEMA);
+        let site = report.faults_injected.iter().find(|s| s.site == "alloc.admit").unwrap();
+        assert!(site.hits >= 1 && site.fired >= 1, "{site:?}");
+        assert_eq!(report.degradation_path, vec!["random", "sampling@0.1"]);
+    }
+
+    #[test]
+    fn expired_deadline_under_degrade_keeps_exit_4() {
+        // Interruption outranks degradation: the ladder bottoms out on the
+        // accumulated partials but the exit code stays 4 (timeout/partial).
+        let path = tmp("degtmo.el");
+        run(&["generate", "web", "300", "--seed", "2", "--out", path.to_str().unwrap()]).unwrap();
+        let err = run(&["farness", path.to_str().unwrap(), "--method", "exact",
+                        "--timeout", "0", "--degrade"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+    }
+
+    #[test]
+    fn compare_under_faults_degrades_whole_table_to_exit_6() {
+        let path = tmp("degcmp.el");
+        run(&["generate", "web", "300", "--seed", "4", "--out", path.to_str().unwrap()]).unwrap();
+        let out = tmp("degcmp.json");
+        let err = run(&["compare", path.to_str().unwrap(), "--methods", "random,cumulative",
+                        "--rates", "0.3", "--fault", "bct.build=panic@every:1", "--degrade",
+                        "--metrics", out.to_str().unwrap()])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(report.degradation_path.iter().any(|r| r == "bct:skipped"), "{report:?}");
+        assert!(report.retries >= 1, "the bct build retried once before skipping");
+    }
+
+    #[test]
+    fn fault_free_report_keeps_fault_fields_empty() {
+        let path = tmp("degclean.el");
+        run(&["generate", "road", "200", "--seed", "1", "--out", path.to_str().unwrap()]).unwrap();
+        let out = tmp("degclean.json");
+        run(&["farness", path.to_str().unwrap(), "--method", "random", "--rate", "0.4",
+              "--metrics", out.to_str().unwrap()])
+            .unwrap();
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(report.faults_injected.is_empty());
+        assert_eq!(report.retries, 0);
+        assert!(report.degradation_path.is_empty());
     }
 }

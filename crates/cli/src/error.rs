@@ -9,6 +9,9 @@
 //! | 3    | input/data error (unreadable file, parse failure, budget)  |
 //! | 4    | deadline/cancellation — a sound partial result was printed |
 //! | 5    | internal error (worker panic, broken invariant)            |
+//! | 6    | degraded — a fault tripped the run and a lower rung of the |
+//! |      | quality ladder answered; the printed estimate is a sound   |
+//! |      | (but weaker-than-requested) lower bound                    |
 
 use std::fmt;
 
@@ -27,6 +30,10 @@ pub enum CliError {
     /// A worker panicked or an internal invariant broke — the result (if
     /// any) is not trustworthy. Exit code 5.
     Internal(String),
+    /// A fault tripped the run and the degradation ladder answered below
+    /// the requested rung (`--degrade`). A sound lower-bound estimate was
+    /// printed; the run report names the answering rung. Exit code 6.
+    Degraded(String),
 }
 
 impl CliError {
@@ -37,6 +44,7 @@ impl CliError {
             CliError::Input(_) => 3,
             CliError::TimeoutPartial(_) => 4,
             CliError::Internal(_) => 5,
+            CliError::Degraded(_) => 6,
         }
     }
 }
@@ -48,6 +56,7 @@ impl fmt::Display for CliError {
             CliError::Input(m) => write!(f, "{m}"),
             CliError::TimeoutPartial(m) => write!(f, "{m}"),
             CliError::Internal(m) => write!(f, "internal error: {m}"),
+            CliError::Degraded(m) => write!(f, "degraded: {m}"),
         }
     }
 }
@@ -78,6 +87,7 @@ mod tests {
         assert_eq!(CliError::Input("x".into()).exit_code(), 3);
         assert_eq!(CliError::TimeoutPartial("x".into()).exit_code(), 4);
         assert_eq!(CliError::Internal("x".into()).exit_code(), 5);
+        assert_eq!(CliError::Degraded("x".into()).exit_code(), 6);
     }
 
     #[test]
@@ -97,5 +107,11 @@ mod tests {
     fn display_prefixes_internal() {
         let c = CliError::Internal("worker panic".into());
         assert!(c.to_string().contains("internal error"));
+    }
+
+    #[test]
+    fn display_prefixes_degraded() {
+        let c = CliError::Degraded("sampling fallback answered".into());
+        assert!(c.to_string().starts_with("degraded:"));
     }
 }

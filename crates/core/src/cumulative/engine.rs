@@ -686,8 +686,9 @@ pub(crate) fn cumulative_query<R: Recorder>(
     // Each (block, source) task is one interruption unit: its intra mass,
     // reconstruction mass and exact-farness contribution land atomically
     // with respect to the control (checked before the task starts, never
-    // mid-task).
-    let guard = WorkerGuard::new(ctl);
+    // mid-task). This is the `estimate.phase_b` failpoint, not
+    // `bfs.source` — block tasks are not plain BFS sweeps.
+    let guard = WorkerGuard::with_site(ctl, brics_graph::FaultSite::EstimatePhaseB);
     let empty_inter: [AtomicU64; 0] = [];
     if rec.enabled() {
         // Cut vertices are implicit sources of every query (their tasks ran

@@ -32,6 +32,7 @@ pub struct ExecutionContext<'r, R: Recorder = NullRecorder> {
     control: RunControl,
     kernel: KernelConfig,
     threads: Option<usize>,
+    degradation: Option<crate::degrade::DegradationPolicy>,
     recorder: &'r R,
 }
 
@@ -41,6 +42,7 @@ impl Default for ExecutionContext<'static, NullRecorder> {
             control: RunControl::new(),
             kernel: KernelConfig::default(),
             threads: None,
+            degradation: None,
             recorder: &NULL_RECORDER,
         }
     }
@@ -77,6 +79,15 @@ impl<'r, R: Recorder> ExecutionContext<'r, R> {
         self
     }
 
+    /// Arms graceful degradation: when the run trips mid-query (deadline,
+    /// memory denial, worker panics), estimators running through
+    /// [`crate::degrade::run_degraded`] walk the quality ladder under this
+    /// policy instead of failing.
+    pub fn with_degradation(mut self, policy: crate::degrade::DegradationPolicy) -> Self {
+        self.degradation = Some(policy);
+        self
+    }
+
     /// Attaches a telemetry recorder, swapping the recorder type parameter.
     /// The recorder only observes: results are bit-identical with and
     /// without one.
@@ -85,6 +96,7 @@ impl<'r, R: Recorder> ExecutionContext<'r, R> {
             control: self.control,
             kernel: self.kernel,
             threads: self.threads,
+            degradation: self.degradation,
             recorder,
         }
     }
@@ -104,6 +116,11 @@ impl<'r, R: Recorder> ExecutionContext<'r, R> {
         self.recorder
     }
 
+    /// The degradation policy, if armed via [`Self::with_degradation`].
+    pub fn degradation(&self) -> Option<&crate::degrade::DegradationPolicy> {
+        self.degradation.as_ref()
+    }
+
     /// The thread count used for memory planning: the pinned value if
     /// [`Self::with_threads`] was called, the ambient rayon pool size
     /// otherwise.
@@ -118,6 +135,7 @@ impl<R: Recorder> Clone for ExecutionContext<'_, R> {
             control: self.control.clone(),
             kernel: self.kernel,
             threads: self.threads,
+            degradation: self.degradation,
             recorder: self.recorder,
         }
     }
@@ -128,6 +146,7 @@ impl<R: Recorder> std::fmt::Debug for ExecutionContext<'_, R> {
         f.debug_struct("ExecutionContext")
             .field("kernel", &self.kernel)
             .field("threads", &self.threads)
+            .field("degradation", &self.degradation)
             .field("recorder_enabled", &self.recorder.enabled())
             .finish_non_exhaustive()
     }

@@ -20,12 +20,16 @@ use crate::reduced::reduced_query;
 use crate::sampling::sampling_query;
 use crate::topk::{top_k_from_estimate_ctl, TopK};
 use crate::{CentralityError, FarnessEstimate};
+use brics_graph::control::panic_message;
 use brics_graph::reorder::Relabeling;
-use brics_graph::telemetry::{record_outcome, timed, timed_metric, Counter, Metric, Recorder};
+use brics_graph::telemetry::{
+    record_outcome, record_panic, timed, timed_metric, Counter, Metric, Recorder,
+};
 use brics_graph::traversal::Bfs;
-use brics_graph::{CsrGraph, NodeId, RunOutcome};
+use brics_graph::{CsrGraph, FaultKind, FaultSite, NodeId, RunOutcome};
 use brics_reduce::{reduce_ctl_rec, structural_offsets, ReductionConfig, ReductionResult};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// What the prepare stage should build.
@@ -117,6 +121,10 @@ pub struct PreparedGraph<'g> {
     plan: MemoryPlan,
     bcc: Option<CumulativePrep>,
     prepare_elapsed: Duration,
+    /// Prepare-stage fallbacks taken under an armed degradation policy:
+    /// `"reduce:skipped"` and/or `"bct:skipped"`. Empty on a clean build
+    /// (a panicked stage that *recovered on retry* leaves no entry).
+    prepare_degradation: Vec<String>,
 }
 
 impl std::fmt::Debug for PreparedGraph<'_> {
@@ -187,9 +195,43 @@ impl<'g> PreparedGraph<'g> {
                 }
             }
 
-            let red = match timed(rec, "reduce", || {
-                reduce_ctl_rec(working, &cfg.reductions, ctl, rec)
-            }) {
+            let degrade = ctx.degradation().is_some();
+            let mut prepare_degradation: Vec<String> = Vec::new();
+
+            // The reduction pipeline runs panic-isolated: a panic (e.g. an
+            // injected `reduce.rule` fault) is retried once when a
+            // degradation policy is armed, then the build falls back to an
+            // unreduced artifact rather than failing. Without a policy the
+            // panic becomes a plain `Internal` error instead of unwinding
+            // through the caller.
+            let reduce_attempt = |reductions: &ReductionConfig| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    timed(rec, "reduce", || reduce_ctl_rec(working, reductions, ctl, rec))
+                }))
+                .map_err(|p| panic_message(p.as_ref()))
+            };
+            let reduced = match reduce_attempt(&cfg.reductions) {
+                Ok(r) => r,
+                Err(detail) => {
+                    record_panic(rec, &detail);
+                    if !degrade {
+                        return Err(CentralityError::Internal { detail });
+                    }
+                    rec.add(Counter::FaultRetries, 1);
+                    match reduce_attempt(&cfg.reductions) {
+                        Ok(r) => r,
+                        Err(detail2) => {
+                            record_panic(rec, &detail2);
+                            prepare_degradation.push("reduce:skipped".to_string());
+                            reduce_attempt(&ReductionConfig::none()).map_err(|detail3| {
+                                record_panic(rec, &detail3);
+                                CentralityError::Internal { detail: detail3 }
+                            })?
+                        }
+                    }
+                }
+            };
+            let red = match reduced {
                 Ok(r) => r,
                 Err(outcome) => {
                     record_outcome(rec, outcome, "reduction pipeline interrupted");
@@ -200,8 +242,56 @@ impl<'g> PreparedGraph<'g> {
                 structural_offsets(&red.records, n).iter().map(|&o| o as u64).sum();
             let survivors = red.surviving();
 
+            // The BCT build gets the same isolation, plus its own failpoint
+            // (`bct.build`). Under a degradation policy a twice-failed build
+            // degrades to an artifact without BCT state — `cumulative`
+            // queries then fall through the ladder instead of the whole
+            // prepare failing.
+            let bct_attempt = || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    match ctl.fault_apply(FaultSite::BctBuild, 0) {
+                        Some(FaultKind::Panic) => {
+                            panic!("injected worker panic (bct.build)")
+                        }
+                        Some(FaultKind::IoError) => {
+                            panic!("injected i/o error (bct.build)")
+                        }
+                        _ => {}
+                    }
+                    cumulative_prepare(n, red.clone(), ctl, ctx.kernel(), rec)
+                }))
+                .map_err(|p| panic_message(p.as_ref()))
+            };
             let bcc = if cfg.use_bcc {
-                Some(cumulative_prepare(n, red.clone(), ctl, ctx.kernel(), rec)?)
+                match bct_attempt() {
+                    Ok(Ok(prep)) => Some(prep),
+                    Ok(Err(e)) => {
+                        if !degrade {
+                            return Err(e);
+                        }
+                        prepare_degradation.push("bct:skipped".to_string());
+                        None
+                    }
+                    Err(detail) => {
+                        record_panic(rec, &detail);
+                        if !degrade {
+                            return Err(CentralityError::Internal { detail });
+                        }
+                        rec.add(Counter::FaultRetries, 1);
+                        match bct_attempt() {
+                            Ok(Ok(prep)) => Some(prep),
+                            Ok(Err(_)) => {
+                                prepare_degradation.push("bct:skipped".to_string());
+                                None
+                            }
+                            Err(detail2) => {
+                                record_panic(rec, &detail2);
+                                prepare_degradation.push("bct:skipped".to_string());
+                                None
+                            }
+                        }
+                    }
+                }
             } else {
                 None
             };
@@ -216,6 +306,7 @@ impl<'g> PreparedGraph<'g> {
                 plan,
                 bcc,
                 prepare_elapsed: start.elapsed(),
+                prepare_degradation,
             })
         })
     }
@@ -268,6 +359,12 @@ impl<'g> PreparedGraph<'g> {
     /// The degree-reorder permutation, when `reorder` was requested.
     pub fn relabeling(&self) -> Option<&Relabeling> {
         self.relabel.as_ref()
+    }
+
+    /// Prepare-stage fallbacks taken under an armed degradation policy
+    /// (`"reduce:skipped"`, `"bct:skipped"`); empty on a clean build.
+    pub fn prepare_degradation(&self) -> &[String] {
+        &self.prepare_degradation
     }
 
     // ---- Translation helpers ------------------------------------------
@@ -331,6 +428,33 @@ impl<'g> PreparedGraph<'g> {
             )
         })?;
         Ok(self.untranslate_estimate(est))
+    }
+
+    /// Quarantine-and-retry sampling sweep over an explicit working-graph
+    /// source set — the degradation ladder's rungs run through this.
+    pub(crate) fn resilient_on<R: Recorder>(
+        &self,
+        sources: &[NodeId],
+        policy: &crate::degrade::DegradationPolicy,
+        ctx: &ExecutionContext<'_, R>,
+    ) -> Result<crate::degrade::ResilientRun, CentralityError> {
+        let rec = ctx.recorder();
+        let run = timed_metric(rec, "estimate", Metric::QueryNanos, || {
+            crate::degrade::resilient_sources_query(
+                self.working(),
+                sources,
+                self.plan.accumulate_bytes,
+                policy,
+                ctx.control(),
+                ctx.kernel(),
+                rec,
+            )
+        })?;
+        Ok(crate::degrade::ResilientRun {
+            estimate: self.untranslate_estimate(run.estimate),
+            retries: run.retries,
+            quarantined: run.quarantined,
+        })
     }
 
     /// Reduction-based estimate (paper Algorithms 2–3): sources drawn from

@@ -75,6 +75,7 @@ impl fmt::Display for CentralityError {
                 let cause = match outcome {
                     RunOutcome::Deadline => "wall-clock deadline expired",
                     RunOutcome::Cancelled => "run was cancelled",
+                    RunOutcome::Degraded => "run degraded below the requested estimate",
                     RunOutcome::Complete => "run completed", // unreachable in practice
                 };
                 write!(f, "computation interrupted before completion: {cause}")

@@ -106,6 +106,13 @@ impl FarnessEstimate {
         self.outcome
     }
 
+    /// Merges a later outcome into the recorded one (degradation-ladder
+    /// bookkeeping: a clean sweep answering below the requested rung is
+    /// still a degraded answer).
+    pub(crate) fn merge_outcome(&mut self, later: RunOutcome) {
+        self.outcome = self.outcome.merge(later);
+    }
+
     /// `true` when the run stopped early and the estimate covers only the
     /// sources that completed before the interruption.
     pub fn is_partial(&self) -> bool {

@@ -89,6 +89,7 @@ pub mod betweenness;
 mod budget;
 pub mod config;
 pub mod cumulative;
+pub mod degrade;
 pub mod dynamic;
 pub mod engine;
 mod error;
@@ -102,6 +103,7 @@ pub mod sampling;
 pub mod topk;
 
 pub use config::{BricsEstimator, HybridParams, Kernel, KernelConfig, Method, SampleSize};
+pub use degrade::{run_degraded, DegradationPolicy, DegradedEstimate, DegradedRequest};
 pub use engine::{ExecutionContext, MemoryPlan, PrepareConfig, PreparedGraph};
 pub use error::CentralityError;
 pub use estimate::FarnessEstimate;

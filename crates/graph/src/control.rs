@@ -1,5 +1,6 @@
 //! Run control: wall-clock deadlines, cooperative cancellation, memory
-//! budgets and panic capture for long-running traversal loops.
+//! budgets, panic capture and deterministic fault injection for
+//! long-running traversal loops.
 //!
 //! A [`RunControl`] is threaded through the parallel BFS kernels (see
 //! [`crate::traversal`]) and the estimator loops in the `brics` crate. The
@@ -13,9 +14,21 @@
 //! Cancellation is shared: clones of a `RunControl` (and [`CancelToken`]s
 //! handed out by [`RunControl::cancel_token`]) observe the same flag, so a
 //! supervisor thread can stop an estimation it started elsewhere.
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] arms named failpoints ([`FaultSite`]) with deterministic
+//! triggers. The engine consults the plan at each site via
+//! [`RunControl::fault_apply`]; when a trigger matches, the requested
+//! [`FaultKind`] is returned for the call site to enact (panic, sleep, deny
+//! an allocation, force the deadline, fake an I/O error). Hit and fired
+//! counters are shared across clones, so a chaos run is fully auditable
+//! after the fact through [`FaultPlan::site_records`].
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,21 +42,36 @@ pub enum RunOutcome {
     /// The run was cancelled through a [`CancelToken`]; remaining sources
     /// were skipped.
     Cancelled,
+    /// The run answered, but through a degradation fallback: a cheaper rung
+    /// of the quality ladder, or with some sources permanently quarantined
+    /// after worker failures. The values returned are still sound lower
+    /// bounds, but they are not the requested estimate.
+    Degraded,
 }
 
 impl RunOutcome {
-    /// Whether the run processed all scheduled work.
+    /// Whether the run processed all scheduled work as requested.
     pub fn is_complete(&self) -> bool {
         matches!(self, RunOutcome::Complete)
     }
 
+    /// Whether the run was stopped early by a deadline or cancellation
+    /// (degradation is an answer, not an interruption).
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, RunOutcome::Deadline | RunOutcome::Cancelled)
+    }
+
     /// Merges two outcomes from consecutive phases of one run: the first
-    /// interruption wins.
+    /// interruption wins. Degradation is weaker than an interruption — a
+    /// degraded phase followed by a deadline/cancel reports the
+    /// interruption, because work was both degraded *and* cut short — but
+    /// stronger than completeness.
     pub fn merge(self, later: RunOutcome) -> RunOutcome {
-        if self.is_complete() {
-            later
-        } else {
-            self
+        match (self, later) {
+            (RunOutcome::Complete, l) => l,
+            (RunOutcome::Degraded, l) if l.is_interrupted() => l,
+            (RunOutcome::Degraded, _) => RunOutcome::Degraded,
+            (s, _) => s,
         }
     }
 }
@@ -82,6 +110,434 @@ pub struct MemoryBudgetExceeded {
     pub budget_bytes: u64,
 }
 
+/// Number of named failpoints (length of [`FaultSite::ALL`]).
+const NUM_SITES: usize = 7;
+
+/// A named failpoint in the engine. Sites are stable identifiers — the
+/// `--fault` CLI grammar and the run report both refer to them by
+/// [`FaultSite::name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Between reduction-rule passes in the reduce pipeline
+    /// (argument: rule ordinal).
+    ReduceRule,
+    /// Before building the block-cut-tree state for the cumulative method.
+    BctBuild,
+    /// When a worker picks up a BFS source (argument: source vertex id).
+    BfsSource,
+    /// At each level of a frontier-parallel BFS (argument: level).
+    BfsLevel,
+    /// When a phase-B block task starts in the cumulative engine
+    /// (argument: global source id).
+    EstimatePhaseB,
+    /// When the CLI reads a graph from disk.
+    IoRead,
+    /// In [`RunControl::admit_memory`] (argument: requested bytes).
+    AllocAdmit,
+}
+
+impl FaultSite {
+    /// Every site, in internal index order.
+    pub const ALL: [FaultSite; NUM_SITES] = [
+        FaultSite::ReduceRule,
+        FaultSite::BctBuild,
+        FaultSite::BfsSource,
+        FaultSite::BfsLevel,
+        FaultSite::EstimatePhaseB,
+        FaultSite::IoRead,
+        FaultSite::AllocAdmit,
+    ];
+
+    /// The stable dotted name used by the `--fault` grammar and the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::ReduceRule => "reduce.rule",
+            FaultSite::BctBuild => "bct.build",
+            FaultSite::BfsSource => "bfs.source",
+            FaultSite::BfsLevel => "bfs.level",
+            FaultSite::EstimatePhaseB => "estimate.phase_b",
+            FaultSite::IoRead => "io.read",
+            FaultSite::AllocAdmit => "alloc.admit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::ReduceRule => 0,
+            FaultSite::BctBuild => 1,
+            FaultSite::BfsSource => 2,
+            FaultSite::BfsLevel => 3,
+            FaultSite::EstimatePhaseB => 4,
+            FaultSite::IoRead => 5,
+            FaultSite::AllocAdmit => 6,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultSite {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        FaultSite::ALL
+            .into_iter()
+            .find(|site| site.name() == s)
+            .ok_or_else(|| format!("unknown fault site `{s}` (sites: reduce.rule, bct.build, bfs.source, bfs.level, estimate.phase_b, io.read, alloc.admit)"))
+    }
+}
+
+/// What an armed failpoint does when its trigger matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker at the site panics (exercises `catch_unwind` isolation).
+    Panic,
+    /// The site sleeps ~1ms before continuing (latency injection).
+    Slow,
+    /// The control's deadline is forced to expire: every later
+    /// [`RunControl::should_stop`] reports [`RunOutcome::Deadline`].
+    DeadlineExpire,
+    /// The next [`RunControl::admit_memory`] call is denied (immediately,
+    /// when armed at [`FaultSite::AllocAdmit`]).
+    MemDeny,
+    /// The site behaves as if an I/O error occurred (workers treat it like
+    /// a panic; the CLI maps it to an input error).
+    IoError,
+}
+
+impl FaultKind {
+    /// The stable dashed name used by the `--fault` grammar and the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Slow => "slow",
+            FaultKind::DeadlineExpire => "deadline-expire",
+            FaultKind::MemDeny => "mem-deny",
+            FaultKind::IoError => "io-error",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "panic" => Ok(FaultKind::Panic),
+            "slow" => Ok(FaultKind::Slow),
+            "deadline-expire" => Ok(FaultKind::DeadlineExpire),
+            "mem-deny" => Ok(FaultKind::MemDeny),
+            "io-error" => Ok(FaultKind::IoError),
+            other => Err(format!(
+                "unknown fault kind `{other}` (kinds: panic, slow, deadline-expire, mem-deny, io-error)"
+            )),
+        }
+    }
+}
+
+/// When an armed failpoint fires. Hit counts are per-site and 1-based.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fires on exactly the `n`-th hit of the site (`nth:N`, 1-based).
+    Nth(u64),
+    /// Fires on every `k`-th hit of the site (`every:K`).
+    Every(u64),
+    /// Fires on each hit independently with probability `permille`/1000,
+    /// decided by a seeded hash of the hit ordinal (`prob:P[:SEED]`) —
+    /// deterministic for a given seed and hit sequence.
+    Prob {
+        /// Firing probability in thousandths (0..=1000).
+        permille: u32,
+        /// Seed for the per-hit decision hash.
+        seed: u64,
+    },
+    /// Fires whenever the site's argument equals `arg` (`on:ARG`); for
+    /// [`FaultSite::BfsSource`] the argument is the source vertex id.
+    OnArg(u64),
+}
+
+/// SplitMix64: cheap, well-mixed hash for the seeded-probability trigger.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultTrigger {
+    fn matches(&self, hit: u64, arg: u64) -> bool {
+        match *self {
+            FaultTrigger::Nth(n) => hit == n,
+            FaultTrigger::Every(k) => k > 0 && hit % k == 0,
+            FaultTrigger::Prob { permille, seed } => {
+                splitmix64(seed ^ hit.wrapping_mul(0x2545_f491_4f6c_dd1d)) % 1000
+                    < u64::from(permille)
+            }
+            FaultTrigger::OnArg(a) => arg == a,
+        }
+    }
+}
+
+/// One armed failpoint: fire `kind` at `site` when `trigger` matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultArm {
+    /// Where the fault is armed.
+    pub site: FaultSite,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+    /// When it fires.
+    pub trigger: FaultTrigger,
+}
+
+impl fmt::Display for FaultArm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.site, self.kind)?;
+        match self.trigger {
+            FaultTrigger::Nth(n) => write!(f, "@nth:{n}"),
+            FaultTrigger::Every(k) => write!(f, "@every:{k}"),
+            FaultTrigger::Prob { permille, seed } => {
+                write!(f, "@prob:{}:{seed}", permille as f64 / 1000.0)
+            }
+            FaultTrigger::OnArg(a) => write!(f, "@on:{a}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultShared {
+    hits: [AtomicU64; NUM_SITES],
+    fired: [AtomicU64; NUM_SITES],
+    force_deadline: AtomicBool,
+    deny_admission: AtomicBool,
+}
+
+impl Default for FaultShared {
+    fn default() -> Self {
+        Self {
+            hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+            force_deadline: AtomicBool::new(false),
+            deny_admission: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Accounting snapshot for one failpoint: how often it was reached and how
+/// often an arm fired there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSiteStats {
+    /// The site's stable dotted name.
+    pub site: &'static str,
+    /// Times the site was evaluated.
+    pub hits: u64,
+    /// Times an arm fired at the site.
+    pub fired: u64,
+}
+
+/// A deterministic fault-injection plan: a set of [`FaultArm`]s plus shared
+/// hit/fired counters. Clones share the counters (and the sticky
+/// deadline/denial effects), so the plan attached to a [`RunControl`] can
+/// be audited from the original handle after a run.
+///
+/// The `--fault` grammar accepted by [`FaultPlan::parse`] is a
+/// comma-separated list of `site=kind[@trigger]` specs:
+///
+/// ```
+/// use brics_graph::control::{FaultKind, FaultPlan, FaultSite};
+///
+/// let plan = FaultPlan::parse("bfs.source=panic@nth:2,alloc.admit=mem-deny").unwrap();
+/// assert_eq!(plan.arms().len(), 2);
+/// assert_eq!(plan.trip(FaultSite::BfsSource, 7), None); // hit 1: no fire
+/// assert_eq!(plan.trip(FaultSite::BfsSource, 9), Some(FaultKind::Panic)); // hit 2
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    arms: Arc<Vec<FaultArm>>,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit arms, with fresh counters.
+    pub fn new(arms: Vec<FaultArm>) -> Self {
+        Self { arms: Arc::new(arms), shared: Arc::new(FaultShared::default()) }
+    }
+
+    /// Parses a comma-separated `site=kind[@trigger]` list. Triggers:
+    /// `nth:N` (default `nth:1`), `every:K`, `prob:P[:SEED]` with `P` a
+    /// fraction in `[0,1]`, and `on:ARG`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut arms = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            arms.push(Self::parse_arm(part)?);
+        }
+        if arms.is_empty() {
+            return Err("empty fault spec (expected site=kind[@trigger])".to_string());
+        }
+        Ok(FaultPlan::new(arms))
+    }
+
+    fn parse_arm(s: &str) -> Result<FaultArm, String> {
+        let (site_s, rest) = s
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec `{s}`: expected site=kind[@trigger]"))?;
+        let site: FaultSite = site_s.trim().parse()?;
+        let (kind_s, trig_s) = match rest.split_once('@') {
+            Some((k, t)) => (k, Some(t)),
+            None => (rest, None),
+        };
+        let kind: FaultKind = kind_s.trim().parse()?;
+        let trigger = match trig_s {
+            None => FaultTrigger::Nth(1),
+            Some(t) => Self::parse_trigger(t.trim())?,
+        };
+        Ok(FaultArm { site, kind, trigger })
+    }
+
+    fn parse_trigger(s: &str) -> Result<FaultTrigger, String> {
+        let (head, rest) = s.split_once(':').ok_or_else(|| {
+            format!("trigger `{s}`: expected nth:N, every:K, prob:P[:SEED] or on:ARG")
+        })?;
+        let bad_num = |what: &str| format!("trigger `{s}`: `{what}` is not a number");
+        match head {
+            "nth" => {
+                let n: u64 = rest.parse().map_err(|_| bad_num(rest))?;
+                if n == 0 {
+                    return Err(format!("trigger `{s}`: nth is 1-based"));
+                }
+                Ok(FaultTrigger::Nth(n))
+            }
+            "every" => {
+                let k: u64 = rest.parse().map_err(|_| bad_num(rest))?;
+                if k == 0 {
+                    return Err(format!("trigger `{s}`: every:K needs K >= 1"));
+                }
+                Ok(FaultTrigger::Every(k))
+            }
+            "on" => {
+                let a: u64 = rest.parse().map_err(|_| bad_num(rest))?;
+                Ok(FaultTrigger::OnArg(a))
+            }
+            "prob" => {
+                let (p_s, seed) = match rest.split_once(':') {
+                    Some((p, seed_s)) => {
+                        (p, seed_s.parse::<u64>().map_err(|_| bad_num(seed_s))?)
+                    }
+                    None => (rest, 0x5eed_5eed_5eed_5eedu64),
+                };
+                let p: f64 = p_s.parse().map_err(|_| bad_num(p_s))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("trigger `{s}`: probability must be in [0,1]"));
+                }
+                Ok(FaultTrigger::Prob { permille: (p * 1000.0).round() as u32, seed })
+            }
+            other => Err(format!(
+                "unknown trigger `{other}` (triggers: nth:N, every:K, prob:P[:SEED], on:ARG)"
+            )),
+        }
+    }
+
+    /// Returns `self` with one more arm appended (fresh shared counters
+    /// are kept — arms are armed before the run starts).
+    pub fn with_arm(self, arm: FaultArm) -> Self {
+        let mut arms = (*self.arms).clone();
+        arms.push(arm);
+        Self { arms: Arc::new(arms), shared: self.shared }
+    }
+
+    /// The armed failpoints, in arming order.
+    pub fn arms(&self) -> &[FaultArm] {
+        &self.arms
+    }
+
+    /// Whether no failpoints are armed.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Evaluates the site: counts the hit, then fires the first matching
+    /// arm (if any), applying sticky plan-level effects
+    /// (deadline-expire / mem-deny) and returning the fired kind for the
+    /// call site to enact.
+    pub fn trip(&self, site: FaultSite, arg: u64) -> Option<FaultKind> {
+        let i = site.index();
+        let hit = self.shared.hits[i].fetch_add(1, Ordering::Relaxed) + 1;
+        for arm in self.arms.iter().filter(|a| a.site == site) {
+            if arm.trigger.matches(hit, arg) {
+                self.shared.fired[i].fetch_add(1, Ordering::Relaxed);
+                match arm.kind {
+                    FaultKind::DeadlineExpire => {
+                        self.shared.force_deadline.store(true, Ordering::Relaxed);
+                    }
+                    FaultKind::MemDeny => {
+                        self.shared.deny_admission.store(true, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                return Some(arm.kind);
+            }
+        }
+        None
+    }
+
+    /// Checks whether an `on:ARG` arm targets (`site`, `arg`) without
+    /// counting a hit. Back-compat support for the old targeted-panic hook.
+    pub fn peek_on_arg(&self, site: FaultSite, arg: u64) -> Option<FaultKind> {
+        self.arms
+            .iter()
+            .find(|a| a.site == site && a.trigger == FaultTrigger::OnArg(arg))
+            .map(|a| a.kind)
+    }
+
+    /// Times `site` was evaluated.
+    pub fn hits(&self, site: FaultSite) -> u64 {
+        self.shared.hits[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Times an arm fired at `site`.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.shared.fired[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total fires across all sites.
+    pub fn total_fired(&self) -> u64 {
+        FaultSite::ALL.iter().map(|&s| self.fired(s)).sum()
+    }
+
+    /// Per-site accounting for every site that is armed or was reached —
+    /// the audit trail stamped into the run report.
+    pub fn site_records(&self) -> Vec<FaultSiteStats> {
+        FaultSite::ALL
+            .into_iter()
+            .filter(|&s| self.hits(s) > 0 || self.arms.iter().any(|a| a.site == s))
+            .map(|s| FaultSiteStats { site: s.name(), hits: self.hits(s), fired: self.fired(s) })
+            .collect()
+    }
+
+    /// Whether a deadline-expire arm has fired (sticky).
+    pub fn deadline_forced(&self) -> bool {
+        self.shared.force_deadline.load(Ordering::Relaxed)
+    }
+
+    /// Consumes a pending mem-deny effect set by a fire at another site.
+    pub fn take_denial(&self) -> bool {
+        self.shared.deny_admission.swap(false, Ordering::Relaxed)
+    }
+}
+
 /// Execution limits for an estimation run. The default is unbounded.
 ///
 /// ```
@@ -96,11 +552,7 @@ pub struct RunControl {
     deadline: Option<Instant>,
     cancel: CancelToken,
     max_mem_bytes: Option<u64>,
-    /// Test-only hook: the worker processing this source panics, exercising
-    /// the panic-isolation path without a purpose-built failure injection
-    /// framework.
-    #[doc(hidden)]
-    panic_on_source: Option<crate::NodeId>,
+    faults: Option<FaultPlan>,
 }
 
 impl RunControl {
@@ -133,11 +585,31 @@ impl RunControl {
         self.with_memory_budget_bytes(mb.saturating_mul(1024 * 1024))
     }
 
+    /// Attaches a fault-injection plan; sites consult it via
+    /// [`RunControl::fault_apply`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any (clones share its counters).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Injects a panic when a worker starts the given BFS source.
-    /// Test-only: exercises the `catch_unwind` isolation path.
+    ///
+    /// Superseded by [`RunControl::with_fault_plan`] — this is a
+    /// back-compat shim for `bfs.source=panic@on:SOURCE` and will be
+    /// removed once callers migrate.
     #[doc(hidden)]
     pub fn with_injected_panic(mut self, source: crate::NodeId) -> Self {
-        self.panic_on_source = Some(source);
+        let arm = FaultArm {
+            site: FaultSite::BfsSource,
+            kind: FaultKind::Panic,
+            trigger: FaultTrigger::OnArg(u64::from(source)),
+        };
+        self.faults = Some(self.faults.take().unwrap_or_default().with_arm(arm));
         self
     }
 
@@ -146,12 +618,18 @@ impl RunControl {
         self.cancel.clone()
     }
 
-    /// Checks the cancel flag, then the deadline. `None` means keep going;
-    /// otherwise the cause of the stop. Called once per BFS source — an
-    /// `Instant::now()` per source is noise next to a BFS.
+    /// Checks the cancel flag, then the (possibly fault-forced) deadline.
+    /// `None` means keep going; otherwise the cause of the stop. Called
+    /// once per BFS source — an `Instant::now()` per source is noise next
+    /// to a BFS.
     pub fn should_stop(&self) -> Option<RunOutcome> {
         if self.cancel.is_cancelled() {
             return Some(RunOutcome::Cancelled);
+        }
+        if let Some(plan) = &self.faults {
+            if plan.deadline_forced() {
+                return Some(RunOutcome::Deadline);
+            }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -161,9 +639,35 @@ impl RunControl {
         None
     }
 
+    /// Evaluates the fault plan at `site` with a site-specific argument
+    /// (source id, level, bytes…). Returns the fired kind, if any, for the
+    /// caller to enact; `Slow` is already enacted here (≈1ms sleep).
+    pub fn fault_apply(&self, site: FaultSite, arg: u64) -> Option<FaultKind> {
+        let kind = self.faults.as_ref()?.trip(site, arg)?;
+        if kind == FaultKind::Slow {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Some(kind)
+    }
+
     /// Admits or rejects a run that plans to allocate `required_bytes`.
-    /// Call before the large `O(n·k)` / per-block allocations.
+    /// Call before the large `O(n·k)` / per-block allocations. A fired
+    /// `mem-deny` fault (here or sticky from another site) denies the
+    /// admission regardless of the configured budget.
     pub fn admit_memory(&self, required_bytes: u64) -> Result<(), MemoryBudgetExceeded> {
+        if let Some(plan) = &self.faults {
+            let fired_here =
+                plan.trip(FaultSite::AllocAdmit, required_bytes) == Some(FaultKind::MemDeny);
+            // One denial per fire: consuming the sticky flag here also
+            // clears the copy set by a fire at this very site.
+            let sticky = plan.take_denial();
+            if fired_here || sticky {
+                return Err(MemoryBudgetExceeded {
+                    required_bytes,
+                    budget_bytes: self.max_mem_bytes.unwrap_or(0),
+                });
+            }
+        }
         match self.max_mem_bytes {
             Some(budget) if required_bytes > budget => {
                 Err(MemoryBudgetExceeded { required_bytes, budget_bytes: budget })
@@ -177,10 +681,13 @@ impl RunControl {
         self.max_mem_bytes
     }
 
-    /// Whether a worker processing `source` should panic (test hook).
+    /// Whether a worker processing `source` should panic (back-compat view
+    /// of a `bfs.source=panic@on:SOURCE` arm).
     #[doc(hidden)]
     pub fn injected_panic_for(&self, source: crate::NodeId) -> bool {
-        self.panic_on_source == Some(source)
+        self.faults.as_ref().is_some_and(|p| {
+            p.peek_on_arg(FaultSite::BfsSource, u64::from(source)) == Some(FaultKind::Panic)
+        })
     }
 }
 
@@ -258,6 +765,38 @@ mod tests {
     }
 
     #[test]
+    fn outcome_merge_full_pair_matrix() {
+        use RunOutcome::*;
+        // (earlier, later) -> merged, for all 16 pairs. Interruptions are
+        // sticky; Degraded absorbs Complete/Degraded but yields to a later
+        // interruption; Complete adopts whatever comes later.
+        let cases = [
+            (Complete, Complete, Complete),
+            (Complete, Deadline, Deadline),
+            (Complete, Cancelled, Cancelled),
+            (Complete, Degraded, Degraded),
+            (Deadline, Complete, Deadline),
+            (Deadline, Deadline, Deadline),
+            (Deadline, Cancelled, Deadline),
+            (Deadline, Degraded, Deadline),
+            (Cancelled, Complete, Cancelled),
+            (Cancelled, Deadline, Cancelled),
+            (Cancelled, Cancelled, Cancelled),
+            (Cancelled, Degraded, Cancelled),
+            (Degraded, Complete, Degraded),
+            (Degraded, Deadline, Deadline),
+            (Degraded, Cancelled, Cancelled),
+            (Degraded, Degraded, Degraded),
+        ];
+        for (a, b, want) in cases {
+            assert_eq!(a.merge(b), want, "{a:?}.merge({b:?})");
+        }
+        assert!(!Degraded.is_complete());
+        assert!(!Degraded.is_interrupted());
+        assert!(Deadline.is_interrupted() && Cancelled.is_interrupted());
+    }
+
+    #[test]
     fn panic_message_extracts_strings() {
         let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
         assert_eq!(panic_message(payload.as_ref()), "static str");
@@ -273,5 +812,128 @@ mod tests {
         assert!(ctl.injected_panic_for(5));
         assert!(!ctl.injected_panic_for(4));
         assert!(!RunControl::new().injected_panic_for(5));
+    }
+
+    #[test]
+    fn injected_panic_shim_is_a_fault_arm() {
+        let ctl = RunControl::new().with_injected_panic(5);
+        let plan = ctl.fault_plan().expect("shim arms a plan");
+        assert_eq!(
+            plan.arms(),
+            &[FaultArm {
+                site: FaultSite::BfsSource,
+                kind: FaultKind::Panic,
+                trigger: FaultTrigger::OnArg(5),
+            }]
+        );
+        // And the plan fires exactly on that source.
+        assert_eq!(plan.trip(FaultSite::BfsSource, 4), None);
+        assert_eq!(plan.trip(FaultSite::BfsSource, 5), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn parse_grammar_round_trips() {
+        let plan = FaultPlan::parse(
+            "bfs.source=panic@nth:3, reduce.rule=slow@every:2,alloc.admit=mem-deny,\
+             bfs.level=deadline-expire@prob:0.5:42,io.read=io-error@on:7",
+        )
+        .unwrap();
+        let arms = plan.arms();
+        assert_eq!(arms.len(), 5);
+        assert_eq!(arms[0].site, FaultSite::BfsSource);
+        assert_eq!(arms[0].kind, FaultKind::Panic);
+        assert_eq!(arms[0].trigger, FaultTrigger::Nth(3));
+        assert_eq!(arms[1].trigger, FaultTrigger::Every(2));
+        assert_eq!(arms[2].trigger, FaultTrigger::Nth(1), "default trigger is nth:1");
+        assert_eq!(arms[3].trigger, FaultTrigger::Prob { permille: 500, seed: 42 });
+        assert_eq!(arms[4].trigger, FaultTrigger::OnArg(7));
+        // Display of an arm re-parses to itself.
+        for arm in arms {
+            let rendered = arm.to_string();
+            let reparsed = FaultPlan::parse(&rendered).unwrap();
+            assert_eq!(reparsed.arms()[0], *arm, "round-trip of `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "bfs.source",
+            "nowhere=panic",
+            "bfs.source=explode",
+            "bfs.source=panic@sometimes",
+            "bfs.source=panic@nth:0",
+            "bfs.source=panic@every:0",
+            "bfs.source=panic@nth:x",
+            "bfs.source=panic@prob:1.5",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn triggers_fire_deterministically() {
+        let plan = FaultPlan::parse("bfs.source=panic@every:3").unwrap();
+        let fires: Vec<bool> =
+            (0..9).map(|_| plan.trip(FaultSite::BfsSource, 0).is_some()).collect();
+        assert_eq!(fires, [false, false, true, false, false, true, false, false, true]);
+        assert_eq!(plan.hits(FaultSite::BfsSource), 9);
+        assert_eq!(plan.fired(FaultSite::BfsSource), 3);
+        assert_eq!(plan.total_fired(), 3);
+
+        // Seeded probability: two plans with the same seed make identical
+        // per-hit decisions.
+        let a = FaultPlan::parse("bfs.source=panic@prob:0.4:9").unwrap();
+        let b = FaultPlan::parse("bfs.source=panic@prob:0.4:9").unwrap();
+        let da: Vec<bool> = (0..64).map(|_| a.trip(FaultSite::BfsSource, 0).is_some()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.trip(FaultSite::BfsSource, 0).is_some()).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|&f| f) && da.iter().any(|&f| !f), "p=0.4 should mix over 64 hits");
+    }
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let plan = FaultPlan::parse("bfs.source=panic@nth:1").unwrap();
+        let ctl = RunControl::new().with_fault_plan(plan.clone());
+        let clone = ctl.clone();
+        clone.fault_apply(FaultSite::BfsSource, 11);
+        assert_eq!(plan.hits(FaultSite::BfsSource), 1);
+        assert_eq!(plan.fired(FaultSite::BfsSource), 1);
+        let records = plan.site_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0], FaultSiteStats { site: "bfs.source", hits: 1, fired: 1 });
+    }
+
+    #[test]
+    fn deadline_expire_forces_should_stop() {
+        let ctl = RunControl::new()
+            .with_fault_plan(FaultPlan::parse("reduce.rule=deadline-expire@nth:2").unwrap());
+        assert_eq!(ctl.should_stop(), None);
+        assert_eq!(ctl.fault_apply(FaultSite::ReduceRule, 0), None);
+        assert_eq!(ctl.should_stop(), None);
+        assert_eq!(ctl.fault_apply(FaultSite::ReduceRule, 1), Some(FaultKind::DeadlineExpire));
+        assert_eq!(ctl.should_stop(), Some(RunOutcome::Deadline), "forced deadline is sticky");
+        assert_eq!(ctl.should_stop(), Some(RunOutcome::Deadline));
+    }
+
+    #[test]
+    fn mem_deny_rejects_admission() {
+        // Armed directly at the admission site: the nth admission is denied.
+        let ctl = RunControl::new()
+            .with_fault_plan(FaultPlan::parse("alloc.admit=mem-deny@nth:2").unwrap());
+        assert!(ctl.admit_memory(10).is_ok());
+        let err = ctl.admit_memory(10).unwrap_err();
+        assert_eq!(err.required_bytes, 10);
+        assert!(ctl.admit_memory(10).is_ok(), "nth:2 denies exactly once");
+
+        // Fired at another site: the *next* admission is denied (sticky
+        // until consumed).
+        let ctl = RunControl::new()
+            .with_fault_plan(FaultPlan::parse("bfs.source=mem-deny@nth:1").unwrap());
+        assert!(ctl.admit_memory(10).is_ok());
+        ctl.fault_apply(FaultSite::BfsSource, 0);
+        assert!(ctl.admit_memory(10).is_err());
+        assert!(ctl.admit_memory(10).is_ok());
     }
 }

@@ -52,7 +52,10 @@ pub mod traversal;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
-pub use control::{CancelToken, RunControl, RunOutcome};
+pub use control::{
+    CancelToken, FaultArm, FaultKind, FaultPlan, FaultSite, FaultSiteStats, FaultTrigger,
+    RunControl, RunOutcome,
+};
 pub use csr::CsrGraph;
 pub use subgraph::InducedSubgraph;
 pub use telemetry::{Counter, NullRecorder, Recorder, RunRecorder, RunReport};

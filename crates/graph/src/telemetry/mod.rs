@@ -139,11 +139,18 @@ pub enum Counter {
     /// to this; the gap is the work still in flight — what the progress
     /// heartbeat's ETA is computed from.
     BfsSourcesPlanned,
+    /// Faults fired by an armed
+    /// [`FaultPlan`](crate::control::FaultPlan) across all sites.
+    FaultsInjected,
+    /// Quarantined sources re-attempted by the degradation ladder.
+    FaultRetries,
+    /// Sources permanently quarantined after exhausting their retries.
+    SourcesQuarantined,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 33] = [
         Counter::BfsSources,
         Counter::BfsSourcesSkipped,
         Counter::VerticesVisited,
@@ -174,6 +181,9 @@ impl Counter {
         Counter::MemoryAdmissions,
         Counter::MemoryRejections,
         Counter::BfsSourcesPlanned,
+        Counter::FaultsInjected,
+        Counter::FaultRetries,
+        Counter::SourcesQuarantined,
     ];
 
     /// Stable snake_case key for this counter in the JSON report.
@@ -209,6 +219,9 @@ impl Counter {
             Counter::MemoryAdmissions => "memory_admissions",
             Counter::MemoryRejections => "memory_rejections",
             Counter::BfsSourcesPlanned => "bfs_sources_planned",
+            Counter::FaultsInjected => "faults_injected_total",
+            Counter::FaultRetries => "fault_retries",
+            Counter::SourcesQuarantined => "sources_quarantined",
         }
     }
 }
@@ -373,6 +386,9 @@ pub fn record_outcome<R: Recorder>(rec: &R, outcome: crate::control::RunOutcome,
         crate::control::RunOutcome::Cancelled => {
             rec.incr(Counter::Cancellations);
             rec.event("cancelled", what);
+        }
+        crate::control::RunOutcome::Degraded => {
+            rec.event("degraded", what);
         }
     }
 }
@@ -676,6 +692,9 @@ impl RunRecorder {
             events,
             dropped_events,
             dropped_events_by_kind,
+            faults_injected: Vec::new(),
+            retries: self.counter(Counter::FaultRetries),
+            degradation_path: Vec::new(),
             derived: DerivedMetrics {
                 elapsed_seconds: elapsed,
                 estimate_seconds,
@@ -751,6 +770,19 @@ pub struct ReportEvent {
     pub detail: String,
 }
 
+/// Per-failpoint audit entry in the run report: how often the site was
+/// reached and how often an armed fault fired there. Serialized form of
+/// [`FaultSiteStats`](crate::control::FaultSiteStats).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSiteRecord {
+    /// The failpoint's stable dotted name (e.g. `bfs.source`).
+    pub site: String,
+    /// Times the site was evaluated.
+    pub hits: u64,
+    /// Times an armed fault fired at the site.
+    pub fired: u64,
+}
+
 /// Metrics derived from the raw counters at snapshot time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DerivedMetrics {
@@ -780,6 +812,10 @@ pub struct DerivedMetrics {
 /// whole-run-rated value moved to `derived.whole_run_mteps`); the event
 /// log keeps the first and last `MAX_EVENTS`/2 events instead of the
 /// first `MAX_EVENTS`.
+///
+/// The fault-injection fields (`faults_injected`, `retries`,
+/// `degradation_path`) were added *within* v2: they are always present,
+/// empty/zero on fault-free runs, so existing v2 consumers keep working.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Schema identifier; always [`RunReport::SCHEMA`].
@@ -798,6 +834,19 @@ pub struct RunReport {
     pub dropped_events: u64,
     /// Discarded events broken down by event kind.
     pub dropped_events_by_kind: std::collections::BTreeMap<String, u64>,
+    /// Per-site fault-injection audit trail (empty on fault-free runs).
+    /// Stamped by the CLI from the run's
+    /// [`FaultPlan`](crate::control::FaultPlan) — the recorder itself only
+    /// sees fire totals through the `faults_injected_total` counter.
+    pub faults_injected: Vec<FaultSiteRecord>,
+    /// Quarantined-source retry attempts made by the degradation ladder
+    /// (mirror of the `fault_retries` counter, hoisted for `jq`).
+    pub retries: u64,
+    /// Degradation rungs walked while answering, in order (prepare-stage
+    /// fallbacks such as `reduce:skipped` first); the last entry is the
+    /// rung that produced the result. Empty when the degradation ladder
+    /// was not armed.
+    pub degradation_path: Vec<String>,
     /// Metrics derived from the counters at snapshot time.
     pub derived: DerivedMetrics,
 }
@@ -843,6 +892,21 @@ impl RunReport {
             for (name, value) in nonzero {
                 out.push_str(&format!("    {name:<28} {value:>12}\n"));
             }
+        }
+        if !self.faults_injected.is_empty() {
+            out.push_str("  faults:\n");
+            for f in &self.faults_injected {
+                out.push_str(&format!(
+                    "    {:<28} hits={} fired={}\n",
+                    f.site, f.hits, f.fired
+                ));
+            }
+            if self.retries > 0 {
+                out.push_str(&format!("    retries {}\n", self.retries));
+            }
+        }
+        if !self.degradation_path.is_empty() {
+            out.push_str(&format!("  degradation: {}\n", self.degradation_path.join(" -> ")));
         }
         if !self.events.is_empty() {
             out.push_str("  events:\n");

@@ -111,7 +111,7 @@ fn control_state(ctl: &RunControl) -> &'static str {
         None => "limits ok",
         Some(RunOutcome::Deadline) => "deadline already expired",
         Some(RunOutcome::Cancelled) => "run already cancelled",
-        Some(RunOutcome::Complete) => "limits ok",
+        Some(RunOutcome::Complete) | Some(RunOutcome::Degraded) => "limits ok",
     }
 }
 

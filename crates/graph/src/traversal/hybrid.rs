@@ -26,7 +26,7 @@
 
 use super::frontier::FrontierBitmap;
 use super::parallel::atomic_view_u32;
-use crate::control::{RunControl, RunOutcome};
+use crate::control::{FaultKind, FaultSite, RunControl, RunOutcome};
 use crate::telemetry::{Metric, NullRecorder, Recorder};
 use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
 use rayon::prelude::*;
@@ -581,6 +581,18 @@ impl ParFrontierBfs {
         while n_f > 0 {
             if let Some(cause) = ctl.should_stop() {
                 return Err(cause);
+            }
+            // `bfs.level` failpoint: panic-like kinds unwind to the driver's
+            // per-source `catch_unwind`; deadline-expire surfaces through the
+            // `should_stop` above on the next level.
+            match ctl.fault_apply(FaultSite::BfsLevel, u64::from(level)) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected worker panic (bfs.level) at level {level}")
+                }
+                Some(FaultKind::IoError) => {
+                    panic!("injected i/o error (bfs.level) at level {level}")
+                }
+                _ => {}
             }
             let level_start = if rec.enabled() { Some(Instant::now()) } else { None };
             level += 1;

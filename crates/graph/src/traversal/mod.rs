@@ -22,7 +22,8 @@ pub use hybrid::{
 };
 pub use parallel::{
     atomic_view, atomic_view_u32, par_bfs_accumulate, par_bfs_accumulate_ctl,
-    par_bfs_accumulate_ctl_rec, par_bfs_accumulate_ctl_with, par_bfs_from_sources,
-    par_bfs_from_sources_ctl, par_bfs_sums_ctl, par_bfs_sums_ctl_rec, par_bfs_sums_ctl_with,
-    AccumulatorStats, ControlledAccumulation, WorkerGuard, WorkerPanic,
+    par_bfs_accumulate_ctl_rec, par_bfs_accumulate_ctl_with, par_bfs_accumulate_isolated,
+    par_bfs_accumulate_isolated_rec, par_bfs_from_sources, par_bfs_from_sources_ctl,
+    par_bfs_sums_ctl, par_bfs_sums_ctl_rec, par_bfs_sums_ctl_with, AccumulatorStats,
+    ControlledAccumulation, IsolatedAccumulation, WorkerGuard, WorkerPanic,
 };

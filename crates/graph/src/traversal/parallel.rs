@@ -17,8 +17,8 @@
 
 use super::bfs::Bfs;
 use super::hybrid::{HybridBfs, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel};
-use crate::control::{panic_message, RunControl, RunOutcome};
-use crate::telemetry::{timed, Counter, Metric, NullRecorder, Recorder};
+use crate::control::{panic_message, FaultKind, FaultSite, RunControl, RunOutcome};
+use crate::telemetry::{record_panic, timed, Counter, Metric, NullRecorder, Recorder};
 use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,7 +118,7 @@ impl StopCell {
 
     fn record(&self, outcome: RunOutcome) {
         let code = match outcome {
-            RunOutcome::Complete => return,
+            RunOutcome::Complete | RunOutcome::Degraded => return,
             RunOutcome::Deadline => 1,
             RunOutcome::Cancelled => 2,
         };
@@ -146,16 +146,40 @@ impl StopCell {
 /// parallel loop drains.
 pub struct WorkerGuard<'c> {
     ctl: &'c RunControl,
+    site: FaultSite,
     stop: StopCell,
     poisoned: AtomicBool,
     panic_detail: Mutex<Option<String>>,
 }
 
+/// Enacts a fired worker fault: panic-like kinds unwind here (the caller's
+/// `catch_unwind` isolates them); slow/sticky kinds were already applied by
+/// [`RunControl::fault_apply`] itself.
+fn apply_worker_fault(ctl: &RunControl, site: FaultSite, s: NodeId) {
+    match ctl.fault_apply(site, u64::from(s)) {
+        Some(FaultKind::Panic) => {
+            panic!("injected worker panic ({}) on source {s}", site.name())
+        }
+        Some(FaultKind::IoError) => {
+            panic!("injected i/o error ({}) on source {s}", site.name())
+        }
+        _ => {}
+    }
+}
+
 impl<'c> WorkerGuard<'c> {
-    /// Fresh guard state for one parallel loop over sources.
+    /// Fresh guard state for one parallel loop over BFS sources; fault
+    /// arms at [`FaultSite::BfsSource`] apply to its workers.
     pub fn new(ctl: &'c RunControl) -> Self {
+        Self::with_site(ctl, FaultSite::BfsSource)
+    }
+
+    /// [`WorkerGuard::new`] with an explicit failpoint, for per-source
+    /// loops that are not plain BFS sweeps (e.g. cumulative phase B).
+    pub fn with_site(ctl: &'c RunControl, site: FaultSite) -> Self {
         WorkerGuard {
             ctl,
+            site,
             stop: StopCell::new(),
             poisoned: AtomicBool::new(false),
             panic_detail: Mutex::new(None),
@@ -173,9 +197,7 @@ impl<'c> WorkerGuard<'c> {
             return None;
         }
         let result = catch_unwind(AssertUnwindSafe(|| {
-            if self.ctl.injected_panic_for(s) {
-                panic!("injected worker panic (test hook) on source {s}");
-            }
+            apply_worker_fault(self.ctl, self.site, s);
             work()
         }));
         match result {
@@ -307,6 +329,172 @@ fn finish_accumulation(
     ControlledAccumulation { per_source, stats, outcome }
 }
 
+/// Result of a panic-isolating accumulation ([`par_bfs_accumulate_isolated`]):
+/// per-source rows plus the set of sources whose workers panicked. Unlike
+/// [`ControlledAccumulation`], a worker panic is not fatal — the panicked
+/// source is *quarantined* (its row stays `None`, it contributed nothing to
+/// the accumulator) and every other source keeps running.
+#[derive(Clone, Debug)]
+pub struct IsolatedAccumulation {
+    /// Per source, in input order: `Some((reached, Σ d))` if the source's
+    /// BFS ran to completion, `None` if it was skipped (interruption) or
+    /// quarantined (panic). Either way the source contributed **nothing**
+    /// to the accumulator — contributions are buffered per worker and
+    /// published only after a source completes.
+    pub per_source: Vec<Option<(usize, u64)>>,
+    /// Indices into the input `sources` slice whose workers panicked, in
+    /// input order. Retry candidates for the degradation ladder.
+    pub quarantined: Vec<usize>,
+    /// Panic payloads of the quarantined sources, index-aligned with
+    /// [`IsolatedAccumulation::quarantined`].
+    pub panic_details: Vec<String>,
+    /// Statistics over the *completed* sources only.
+    pub stats: AccumulatorStats,
+    /// Whether the run completed or was interrupted (and why). Quarantined
+    /// sources do **not** mark the run interrupted — the caller decides
+    /// whether to retry them or degrade.
+    pub outcome: RunOutcome,
+}
+
+/// Panic-isolating variant of [`par_bfs_accumulate_ctl`]: a worker panic
+/// quarantines just that source instead of poisoning the whole run, and
+/// per-vertex contributions are buffered privately and published into `acc`
+/// only after the source's BFS completes. `acc` therefore never holds a
+/// torn contribution and a quarantined source can be retried safely; since
+/// `u64` additions commute, a fault-free run publishes bit-identical sums
+/// to the eager path.
+///
+/// Always runs source-parallel with the configured serial kernel — the
+/// quarantine protocol needs per-source isolation, which the
+/// frontier-parallel engine (whole pool per source) cannot give.
+pub fn par_bfs_accumulate_isolated(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    acc: &mut [u64],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+) -> IsolatedAccumulation {
+    par_bfs_accumulate_isolated_rec(g, sources, acc, ctl, cfg, &NullRecorder)
+}
+
+/// [`par_bfs_accumulate_isolated`] with a telemetry [`Recorder`]: each
+/// quarantined source is recorded as an isolated panic, completed sources
+/// charge the usual per-source counters.
+pub fn par_bfs_accumulate_isolated_rec<R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    acc: &mut [u64],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+    rec: &R,
+) -> IsolatedAccumulation {
+    assert!(acc.len() >= g.num_nodes(), "accumulator too small");
+    if rec.enabled() {
+        rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
+    }
+    let (rows, mut panics, outcome) = timed(rec, "bfs.batch", || match cfg.kernel {
+        Kernel::TopDown => isolated_rows::<Bfs, R>(g, sources, ctl, cfg, acc, rec),
+        Kernel::Auto | Kernel::Hybrid => {
+            isolated_rows::<HybridBfs, R>(g, sources, ctl, cfg, acc, rec)
+        }
+    });
+    record_rows(rec, g, &rows);
+    // Parallel workers push panics in completion order; sort back to input
+    // order so retries are deterministic.
+    panics.sort_by_key(|a| a.0);
+    let stats = AccumulatorStats {
+        num_sources: rows.iter().flatten().count(),
+        total_visited: rows.iter().flatten().map(|&(r, _)| r as u64).sum(),
+    };
+    IsolatedAccumulation {
+        per_source: rows,
+        quarantined: panics.iter().map(|&(i, _)| i).collect(),
+        panic_details: panics.into_iter().map(|(_, d)| d).collect(),
+        stats,
+        outcome,
+    }
+}
+
+/// The buffered-publish worker loop behind [`par_bfs_accumulate_isolated`].
+#[allow(clippy::type_complexity)]
+fn isolated_rows<K: SerialBfsKernel, R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    cfg: &KernelConfig,
+    acc: &mut [u64],
+    rec: &R,
+) -> (Vec<Option<(usize, u64)>>, Vec<(usize, String)>, RunOutcome) {
+    if rec.enabled() {
+        rec.incr(match cfg.kernel {
+            Kernel::TopDown => Counter::BatchesTopdown,
+            Kernel::Auto | Kernel::Hybrid => Counter::BatchesHybrid,
+        });
+    }
+    let atomic_acc = atomic_view(acc);
+    let stop = StopCell::new();
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let indexed: Vec<(usize, NodeId)> = sources.iter().copied().enumerate().collect();
+    let rows: Vec<Option<(usize, u64)>> = indexed
+        .par_iter()
+        .map_init(
+            || {
+                let mut bfs = K::for_config(g.num_nodes(), cfg);
+                bfs.set_level_recording(rec.enabled());
+                (bfs, Vec::<(NodeId, Dist)>::new())
+            },
+            |(bfs, buf), &(i, s)| {
+                if let Some(cause) = ctl.should_stop() {
+                    stop.record(cause);
+                    return None;
+                }
+                buf.clear();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    apply_worker_fault(ctl, FaultSite::BfsSource, s);
+                    let start = if rec.enabled() { Some(Instant::now()) } else { None };
+                    let out = bfs.run_with_visit(g, s, |v, d| {
+                        if d > 0 {
+                            buf.push((v, d));
+                        }
+                    });
+                    if let Some(start) = start {
+                        let end = Instant::now();
+                        rec.observe(
+                            Metric::SourceBfsNanos,
+                            end.duration_since(start).as_nanos() as u64,
+                        );
+                        if rec.trace_enabled() {
+                            rec.trace_span("bfs.source", start, end);
+                        }
+                        record_traversal_stats(rec, bfs.last_stats());
+                        for &n_f in bfs.level_sizes() {
+                            rec.observe(Metric::FrontierSize, n_f);
+                        }
+                    }
+                    out
+                }));
+                match result {
+                    Ok(out) => {
+                        // Publish only after the whole BFS succeeded: a
+                        // panicked source leaves no trace in `acc`.
+                        for &(v, d) in buf.iter() {
+                            atomic_acc[v as usize].fetch_add(u64::from(d), Ordering::Relaxed);
+                        }
+                        Some(out)
+                    }
+                    Err(payload) => {
+                        let detail = panic_message(payload.as_ref());
+                        record_panic(rec, &detail);
+                        panics.lock().unwrap().push((i, detail));
+                        None
+                    }
+                }
+            },
+        )
+        .collect();
+    (rows, panics.into_inner().unwrap(), stop.outcome())
+}
+
 /// Source-parallel driver, generic over the serial kernel. When `acc` is
 /// given, every visited vertex's distance is added into it atomically
 /// (excluding the source itself at distance 0).
@@ -405,9 +593,7 @@ fn frontier_parallel_rows<R: Recorder>(
         }
         let start = if rec.enabled() { Some(Instant::now()) } else { None };
         let result = catch_unwind(AssertUnwindSafe(|| {
-            if ctl.injected_panic_for(s) {
-                panic!("injected worker panic (test hook) on source {s}");
-            }
+            apply_worker_fault(ctl, FaultSite::BfsSource, s);
             engine.run_ctl_rec(g, s, ctl, rec)
         }));
         match result {

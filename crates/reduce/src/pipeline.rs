@@ -12,7 +12,7 @@ use crate::mutgraph::MutGraph;
 use crate::records::{ChainKind, Removal};
 use crate::redundant::remove_redundant_nodes;
 use brics_graph::telemetry::{timed, Counter, NullRecorder, Recorder};
-use brics_graph::{CsrGraph, RunControl, RunOutcome};
+use brics_graph::{CsrGraph, FaultKind, FaultSite, RunControl, RunOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Which reduction techniques to apply.
@@ -202,6 +202,19 @@ pub fn reduce_ctl_rec<R: Recorder>(
             None => false,
         }
     };
+    // `reduce.rule` failpoint, tripped at each rule-pass boundary with the
+    // rule's ordinal (0 = identical, 1 = chains, 2 = redundant,
+    // 3 = contract). Panic-like kinds unwind to the caller's isolation
+    // wrapper; deadline-expire surfaces through the next `check`.
+    let fault = |ordinal: u64| match ctl.fault_apply(FaultSite::ReduceRule, ordinal) {
+        Some(FaultKind::Panic) => {
+            panic!("injected worker panic (reduce.rule) at pass {ordinal}")
+        }
+        Some(FaultKind::IoError) => {
+            panic!("injected i/o error (reduce.rule) at pass {ordinal}")
+        }
+        _ => {}
+    };
     let mut stop = RunOutcome::Complete;
     if check(&mut stop) {
         return Err(stop);
@@ -214,6 +227,7 @@ pub fn reduce_ctl_rec<R: Recorder>(
         if check(&mut stop) {
             return Err(stop);
         }
+        fault(0);
         let (plain, chain_shaped) =
             timed(rec, "reduce.identical", || remove_identical_nodes_ctl(&mut mg, ctl, &mut records))?;
         stats.identical_nodes += plain;
@@ -228,6 +242,7 @@ pub fn reduce_ctl_rec<R: Recorder>(
             if check(&mut stop) {
                 return Err(stop);
             }
+            fault(1);
             let cs =
                 timed(rec, "reduce.chains", || remove_redundant_chains_ctl(&mut mg, ctl, &mut records))?;
             if rounds == 1 {
@@ -241,6 +256,7 @@ pub fn reduce_ctl_rec<R: Recorder>(
             if check(&mut stop) {
                 return Err(stop);
             }
+            fault(2);
             let rs = timed(rec, "reduce.redundant", || remove_redundant_nodes(&mut mg, &mut records));
             stats.redundant_nodes += rs.removed();
             removed_this_round += rs.removed();
@@ -260,6 +276,7 @@ pub fn reduce_ctl_rec<R: Recorder>(
         if check(&mut stop) {
             return Err(stop);
         }
+        fault(3);
         timed(rec, "reduce.contract", || -> Result<(), RunOutcome> {
             let between = crate::chains::find_chains_ctl(&mg, ctl)?;
             for (i, c) in between.into_iter().enumerate() {

@@ -1,0 +1,288 @@
+//! Chaos suite: drives the seeded fault-injection framework through the
+//! degradation ladder and checks the robustness contract cell by cell.
+//!
+//! Every matrix cell arms one `site=kind@trigger` fault, runs a query
+//! through [`brics::run_degraded`], and asserts the same three things the
+//! CLI documents:
+//!
+//! 1. **Soundness** — the per-vertex [`FarnessEstimate::lower_bounds`] of
+//!    whatever rung answered never exceed the true farness, and every
+//!    completed source carries its exact value.
+//! 2. **Honest reporting** — the run report (round-tripped through JSON,
+//!    exactly as `--metrics` emits it) names the answering rung as the
+//!    last entry of `degradation_path`, and audits the armed failpoint
+//!    under `faults_injected`.
+//! 3. **The documented exit code** — the CLI maps a ladder answer to
+//!    exit 4 when the run was interrupted (deadline/cancel), exit 6 when
+//!    a lower rung answered (or sources stayed quarantined), and exit 0
+//!    when retries fully recovered the requested estimate. The mapping is
+//!    recomputed here from the library-visible outcome.
+//!
+//! `io.read` is a CLI-stage failpoint (exit 3, covered by the CLI's own
+//! tests); `bfs.level` only arms the frontier-parallel engine, which the
+//! panic-isolating driver never schedules — its cell documents that
+//! inertness instead of a fire.
+
+use brics::{
+    exact_farness, run_degraded, DegradationPolicy, DegradedEstimate, DegradedRequest,
+    ExecutionContext, FarnessEstimate, Method, PrepareConfig, PreparedGraph, RunRecorder,
+    RunReport, SampleSize,
+};
+use brics_graph::generators::gnm_random_connected;
+use brics_graph::telemetry::FaultSiteRecord;
+use brics_graph::{CsrGraph, FaultPlan, RunControl};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SEED: u64 = 7;
+const K: usize = 12;
+
+fn no_bcc() -> PrepareConfig {
+    PrepareConfig { use_bcc: false, ..Default::default() }
+}
+
+fn policy() -> DegradationPolicy {
+    DegradationPolicy::default().with_backoff(Duration::ZERO)
+}
+
+/// The CLI's documented exit-code mapping, recomputed from library state:
+/// interruption outranks degradation outranks success.
+fn documented_exit(d: &DegradedEstimate) -> i32 {
+    if d.estimate.outcome().is_interrupted() {
+        4
+    } else if d.degraded {
+        6
+    } else {
+        0
+    }
+}
+
+/// Lower bounds must never exceed the true farness, and completed sources
+/// carry their exact value.
+fn assert_sound(est: &FarnessEstimate, exact: &[u64], cell: &str) {
+    let lb = est.lower_bounds();
+    for (v, (&b, &ex)) in lb.iter().zip(exact).enumerate() {
+        assert!(b <= ex, "{cell}: lower bound {b} > exact {ex} at vertex {v}");
+        if est.is_sampled(v as u32) {
+            assert_eq!(est.raw()[v], ex, "{cell}: sampled vertex {v} is not exact");
+        }
+    }
+}
+
+/// One matrix cell: a fault spec, the prepared-artifact shape, the rung-1
+/// request, and the contract the cell must satisfy.
+struct Cell {
+    spec: &'static str,
+    use_bcc: bool,
+    request: DegradedRequest,
+    exit: i32,
+    answered: &'static str,
+    /// Expected fires at the armed site (`None` ⇒ at least one).
+    fired: Option<u64>,
+}
+
+fn cell(
+    spec: &'static str,
+    use_bcc: bool,
+    request: DegradedRequest,
+    exit: i32,
+    answered: &'static str,
+) -> Cell {
+    Cell { spec, use_bcc, request, exit, answered, fired: None }
+}
+
+/// Runs one cell end to end and returns the ladder answer plus the
+/// JSON-round-tripped run report (stamped the way the CLI stamps it).
+fn run_cell(g: &CsrGraph, c: &Cell) -> (DegradedEstimate, RunReport) {
+    let plan = FaultPlan::parse(c.spec).unwrap();
+    let rec = RunRecorder::new();
+    let ctx = ExecutionContext::new()
+        .with_control(RunControl::new().with_fault_plan(plan))
+        .with_degradation(policy())
+        .with_recorder(&rec);
+    let pcfg = if c.use_bcc { PrepareConfig::default() } else { no_bcc() };
+    let p = PreparedGraph::build_with(g, pcfg, &ctx)
+        .unwrap_or_else(|e| panic!("{}: prepare failed: {e}", c.spec));
+    let d = run_degraded(&p, &c.request, SampleSize::Count(K), SEED, &ctx)
+        .unwrap_or_else(|e| panic!("{}: ladder failed: {e}", c.spec));
+    let mut report = rec.report();
+    let plan = ctx.control().fault_plan().unwrap();
+    report.faults_injected = plan
+        .site_records()
+        .iter()
+        .map(|s| FaultSiteRecord { site: s.site.to_string(), hits: s.hits, fired: s.fired })
+        .collect();
+    report.degradation_path = d.path.clone();
+    // Round-trip through JSON exactly as `--metrics` serializes it: the
+    // parsed report is what a consumer of the run report would see.
+    let text = serde_json::to_string(&report).unwrap();
+    let parsed: RunReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{}: report does not round-trip: {e}", c.spec));
+    (d, parsed)
+}
+
+#[test]
+fn fault_matrix_answers_soundly_with_honest_reports() {
+    let g = gnm_random_connected(90, 160, 31);
+    let exact = exact_farness(&g).unwrap();
+    let random = || DegradedRequest::Estimate(Method::RandomSampling);
+    let icr = || DegradedRequest::Estimate(Method::ICR);
+    let cml = || DegradedRequest::Estimate(Method::Cumulative);
+    let cells = [
+        // ---- bfs.source: every kind at the per-source failpoint --------
+        cell("bfs.source=panic@nth:1", false, random(), 0, "random"),
+        cell("bfs.source=panic@every:1", false, random(), 6, "random"),
+        cell("bfs.source=slow@every:2", false, random(), 0, "random"),
+        cell("bfs.source=deadline-expire@nth:3", false, random(), 4, "partial-lower-bounds"),
+        cell("bfs.source=io-error@nth:2", false, random(), 0, "random"),
+        // mem-deny at a site that performs no admission is sticky but
+        // inert until the next admission — this run has none left.
+        cell("bfs.source=mem-deny@nth:1", false, random(), 0, "random"),
+        // ---- reduce.rule: prepare-stage faults --------------------------
+        cell("reduce.rule=panic@every:1", false, icr(), 6, "I+C+R"),
+        cell("reduce.rule=slow@nth:1", false, icr(), 0, "I+C+R"),
+        // ---- bct.build: decomposition faults ----------------------------
+        cell("bct.build=panic@every:1", true, cml(), 6, "sampling@0.1"),
+        cell("bct.build=io-error@nth:1", true, cml(), 0, "cumulative"),
+        cell("bct.build=deadline-expire@nth:1", true, cml(), 4, "partial-lower-bounds"),
+        // ---- estimate.phase_b: block-task faults ------------------------
+        cell("estimate.phase_b=panic@every:1", true, cml(), 6, "sampling@0.1"),
+        cell("estimate.phase_b=slow@every:2", true, cml(), 0, "cumulative"),
+        // ---- alloc.admit: memory-admission faults -----------------------
+        // Hit 1 is the prepare-stage admission; hit 2 denies the rung-1
+        // query, hit 3 admits the fallback rung.
+        cell("alloc.admit=mem-deny@nth:2", false, random(), 6, "sampling@0.1"),
+        // ---- bfs.level: armed but never scheduled -----------------------
+        // The failpoint lives in the frontier-parallel engine; the
+        // panic-isolating driver runs source-parallel serial kernels, so
+        // the site records zero hits and the run is untouched.
+        Cell {
+            spec: "bfs.level=panic@every:1",
+            use_bcc: false,
+            request: random(),
+            exit: 0,
+            answered: "random",
+            fired: Some(0),
+        },
+    ];
+    assert!(cells.len() >= 12, "matrix shrank below the contract");
+    for c in &cells {
+        let (d, report) = run_cell(&g, c);
+        let cellname = c.spec;
+        assert_sound(&d.estimate, &exact, cellname);
+        assert_eq!(documented_exit(&d), c.exit, "{cellname}: exit code (answer: {d:?})");
+        assert_eq!(d.answered_by, c.answered, "{cellname}: answering rung");
+        // The report is parseable and names the answering rung last.
+        assert_eq!(report.schema, RunReport::SCHEMA, "{cellname}");
+        assert_eq!(
+            report.degradation_path.last().unwrap(),
+            &d.answered_by,
+            "{cellname}: path tail"
+        );
+        let site_name = c.spec.split('=').next().unwrap();
+        let site = report
+            .faults_injected
+            .iter()
+            .find(|s| s.site == site_name)
+            .unwrap_or_else(|| panic!("{cellname}: site missing from faults_injected"));
+        match c.fired {
+            Some(want) => assert_eq!(site.fired, want, "{cellname}: fire count"),
+            None => assert!(site.fired >= 1, "{cellname}: the armed fault never fired"),
+        }
+        assert!(report.retries >= d.retries, "{cellname}: report hides sweep retries");
+    }
+}
+
+/// The headline recovery guarantee: a panic quarantines the source, the
+/// retry succeeds, and the final estimate is **bit-identical** to the
+/// fault-free run — contributions publish only after a source completes.
+#[test]
+fn recovered_panic_is_bit_identical_to_fault_free() {
+    let g = gnm_random_connected(90, 160, 31);
+    let clean_ctx = ExecutionContext::new().with_degradation(policy());
+    let p = PreparedGraph::build_with(&g, no_bcc(), &clean_ctx).unwrap();
+    let request = DegradedRequest::Estimate(Method::RandomSampling);
+    let clean = run_degraded(&p, &request, SampleSize::Count(K), SEED, &clean_ctx).unwrap();
+    let ctx = ExecutionContext::new()
+        .with_control(
+            RunControl::new()
+                .with_fault_plan(FaultPlan::parse("bfs.source=panic@nth:1").unwrap()),
+        )
+        .with_degradation(policy());
+    let d = run_degraded(&p, &request, SampleSize::Count(K), SEED, &ctx).unwrap();
+    assert!(d.retries >= 1, "the fault never tripped a retry");
+    assert_eq!(d.quarantined, 0);
+    assert_eq!(documented_exit(&d), 0);
+    assert_eq!(d.estimate.raw(), clean.estimate.raw());
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(d.estimate.scaled()), bits(clean.estimate.scaled()));
+    assert_eq!(d.estimate.sampled_mask(), clean.estimate.sampled_mask());
+    assert_eq!(d.estimate.coverage(), clean.estimate.coverage());
+    assert_eq!(d.estimate.num_sources(), clean.estimate.num_sources());
+    assert_eq!(d.estimate.outcome(), clean.estimate.outcome());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any seeded fault, the ladder's answer is dominated by the
+    /// fault-free run per vertex (the degraded accumulation is a subset —
+    /// quarantine drops sources, interruption truncates the sweep, the
+    /// fallback rung samples a prefix of the same draw), and the coverage
+    /// accounting matches the sources that actually finished.
+    #[test]
+    fn degraded_answers_are_dominated_and_account_coverage(
+        gseed in 0u64..500,
+        n in 25usize..60,
+        extra in 5usize..40,
+        fault in 0usize..4,
+        nth in 1u64..6,
+    ) {
+        let g = gnm_random_connected(n, n + extra, gseed);
+        let exact = exact_farness(&g).unwrap();
+        let clean_ctx = ExecutionContext::new().with_degradation(policy());
+        let p = PreparedGraph::build_with(&g, no_bcc(), &clean_ctx).unwrap();
+        let request = DegradedRequest::Estimate(Method::RandomSampling);
+        let k = (n / 3).max(2);
+        let clean =
+            run_degraded(&p, &request, SampleSize::Count(k), gseed ^ 0xabc, &clean_ctx).unwrap();
+        prop_assert!(!clean.degraded);
+
+        let spec = match fault {
+            0 => format!("bfs.source=panic@nth:{nth}"),
+            1 => format!("bfs.source=deadline-expire@nth:{nth}"),
+            2 => "bfs.source=panic@every:1".to_string(),
+            _ => "alloc.admit=mem-deny".to_string(),
+        };
+        let ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_fault_plan(FaultPlan::parse(&spec).unwrap()))
+            .with_degradation(policy());
+        let d = run_degraded(&p, &request, SampleSize::Count(k), gseed ^ 0xabc, &ctx).unwrap();
+
+        prop_assert_eq!(&d.answered_by, d.path.last().unwrap());
+        let est = &d.estimate;
+        let n1 = (n - 1) as u32;
+        for (v, &ex) in exact.iter().enumerate() {
+            // Domination: a degraded raw value is a partial sum over a
+            // subset of the fault-free run's completed sources.
+            prop_assert!(
+                est.raw()[v] <= clean.estimate.raw()[v],
+                "{}: raw[{}] {} > fault-free {}", spec, v, est.raw()[v],
+                clean.estimate.raw()[v]
+            );
+            prop_assert!(est.coverage()[v] <= clean.estimate.coverage()[v]);
+            // Soundness against ground truth.
+            prop_assert!(est.lower_bounds()[v] <= ex);
+            // Coverage accounting: a finished source saw everyone; any
+            // other vertex saw exactly the finished sources.
+            if est.is_sampled(v as u32) {
+                prop_assert_eq!(est.coverage()[v], n1);
+                prop_assert_eq!(est.raw()[v], ex);
+            } else {
+                prop_assert_eq!(est.coverage()[v], est.num_sources() as u32);
+            }
+        }
+        let finished = est.sampled_mask().iter().filter(|&&s| s).count();
+        prop_assert_eq!(finished, est.num_sources());
+    }
+}

@@ -55,6 +55,18 @@ fn recorded_estimates_are_bit_identical_across_methods_and_kernels() {
                 let report = rec.report();
                 assert!(!report.phases.is_empty(), "{what}: no phase spans");
                 assert!(report.derived.elapsed_seconds > 0.0, "{what}: elapsed");
+                // A fault-free run must not leave any trace in the
+                // robustness fields: no failpoint audits, no retries, no
+                // ladder path — the additive v2 fields stay at their
+                // empty defaults.
+                assert!(report.faults_injected.is_empty(), "{what}: phantom faults");
+                assert_eq!(report.retries, 0, "{what}: phantom retries");
+                assert!(report.degradation_path.is_empty(), "{what}: phantom ladder");
+                assert_eq!(
+                    report.counters["faults_injected_total"], 0,
+                    "{what}: phantom fault counter"
+                );
+                assert_eq!(report.counters["sources_quarantined"], 0, "{what}: quarantine");
                 // The engine split is visible: every recorded estimation
                 // carries an `estimate` span, and the prepare-stage methods
                 // a `prepare` span wrapping their single reduction.
