@@ -1,6 +1,7 @@
 //! Kernel benchmark driver: times the top-down, direction-optimizing
-//! hybrid and frontier-parallel BFS kernels on the suite from
-//! `brics_bench::kernels` and writes `BENCH_kernels.json`.
+//! hybrid, frontier-parallel and bit-parallel multi-source (MS-BFS)
+//! kernels on the suite from `brics_bench::kernels` and writes
+//! `BENCH_kernels.json`.
 //!
 //! ```text
 //! cargo run --release -p brics-bench --bin kernels -- \
@@ -13,8 +14,8 @@
 //! benchmark doubles as an equivalence test.
 
 use brics_bench::kernels::{
-    equivalent, kernel_inputs, measure_frontier_parallel, measure_hybrid, measure_topdown,
-    recorded_sweep, spread_sources, KernelMeasurement,
+    equivalent, kernel_inputs, measure_frontier_parallel, measure_hybrid, measure_msbfs,
+    measure_topdown, recorded_sweep, spread_sources, KernelMeasurement,
 };
 use brics_bench::{scale_from_env, TableWriter};
 use brics_graph::telemetry::RunRecorder;
@@ -35,7 +36,9 @@ fn parse_opts() -> Opts {
         out: "BENCH_kernels.json".into(),
         reps: 3,
         threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).max(4),
-        sources: 16,
+        // One full MS-BFS batch per graph by default, so the batched
+        // kernel's headline regime is what the report shows.
+        sources: 64,
         params: HybridParams::default(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,33 +109,39 @@ fn main() {
         opts.reps, opts.sources
     );
     let mut table = TableWriter::new([
-        "graph", "nodes", "arcs", "topdown-ms", "hybrid-ms", "frontier-ms", "hyb-x", "fp-x",
-        "equal",
+        "graph", "nodes", "arcs", "topdown-ms", "hybrid-ms", "frontier-ms", "msbfs-ms", "hyb-x",
+        "fp-x", "ms-x", "equal",
     ]);
     let mut graph_docs = Vec::new();
     let mut all_equal = true;
     let mut best_hybrid = 0.0f64;
+    let mut best_msbfs = 0.0f64;
     for input in kernel_inputs(scale) {
         let g = &input.graph;
         let sources = spread_sources(g.num_nodes(), opts.sources);
         let td = measure_topdown(g, &sources, opts.reps);
         let hy = measure_hybrid(g, &sources, opts.reps, params);
         let fp = pool.install(|| measure_frontier_parallel(g, &sources, opts.reps, params));
+        let mb = measure_msbfs(g, &sources, opts.reps);
         // One extra, untimed recorded pass per graph: per-phase spans plus
         // direction-switch/frontier counters for the report, kept out of
         // the timed loops so it cannot perturb the measurements.
         let rec = RunRecorder::new();
         pool.install(|| recorded_sweep(g, &sources, params, &rec));
-        let runs = [td, hy, fp];
+        let runs = [td, hy, fp, mb];
         let ok = equivalent(&runs);
         all_equal &= ok;
-        let (td, hy, fp) = (&runs[0], &runs[1], &runs[2]);
+        let (td, hy, fp, mb) = (&runs[0], &runs[1], &runs[2], &runs[3]);
         // Hybrid-vs-topdown isolates the direction switch (both serial);
         // frontier-vs-hybrid isolates intra-BFS parallelism (same
-        // algorithm, `threads` workers per level).
+        // algorithm, `threads` workers per level); msbfs-vs-hybrid
+        // isolates bit-parallel batching (both serial sweeps, one
+        // traversal per 64 sources).
         let hyb_speedup = td.seconds / hy.seconds;
         let fp_speedup = hy.seconds / fp.seconds;
+        let ms_speedup = hy.seconds / mb.seconds;
         best_hybrid = best_hybrid.max(hyb_speedup);
+        best_msbfs = best_msbfs.max(ms_speedup);
         table.row([
             input.name.clone(),
             g.num_nodes().to_string(),
@@ -140,8 +149,10 @@ fn main() {
             format!("{:.2}", ms(td)),
             format!("{:.2}", ms(hy)),
             format!("{:.2}", ms(fp)),
+            format!("{:.2}", ms(mb)),
             format!("{hyb_speedup:.2}"),
             format!("{fp_speedup:.2}"),
+            format!("{ms_speedup:.2}"),
             ok.to_string(),
         ]);
         graph_docs.push(serde_json::json!({
@@ -160,6 +171,7 @@ fn main() {
             })).collect::<Vec<_>>(),
             "speedup_hybrid_vs_topdown": hyb_speedup,
             "speedup_frontier_vs_serial_hybrid": fp_speedup,
+            "speedup_msbfs_vs_serial_hybrid": ms_speedup,
             "telemetry": rec.report(),
         }));
     }
@@ -176,6 +188,7 @@ fn main() {
         "summary": serde_json::json!({
             "all_kernels_equivalent": all_equal,
             "best_hybrid_speedup_vs_topdown": best_hybrid,
+            "best_msbfs_speedup_vs_serial_hybrid": best_msbfs,
         }),
     });
     std::fs::write(&opts.out, serde_json::to_string_pretty(&doc).unwrap() + "\n")
@@ -183,7 +196,10 @@ fn main() {
             eprintln!("cannot write {}: {e}", opts.out);
             std::process::exit(3);
         });
-    println!("\nwrote {} (best hybrid speedup {best_hybrid:.2}x)", opts.out);
+    println!(
+        "\nwrote {} (best hybrid speedup {best_hybrid:.2}x, best msbfs {best_msbfs:.2}x)",
+        opts.out
+    );
     if !all_equal {
         eprintln!("FAIL: kernels disagreed on reach counts or distance checksums");
         std::process::exit(1);

@@ -6,7 +6,7 @@
 
 use brics_graph::generators::{complete_graph, gnm_random_connected, ClassParams, GraphClass};
 use brics_graph::telemetry::{timed, Counter, Recorder};
-use brics_graph::traversal::{Bfs, HybridBfs, HybridParams, ParFrontierBfs};
+use brics_graph::traversal::{Bfs, HybridBfs, HybridParams, MsBfs, ParFrontierBfs, MSBFS_BATCH};
 use brics_graph::{CsrGraph, NodeId};
 use std::time::Instant;
 
@@ -154,6 +154,21 @@ pub fn measure_frontier_parallel(
     finish("frontier-parallel", g, sources.len(), totals)
 }
 
+/// Times the bit-parallel multi-source kernel: sources run in batches of
+/// up to [`MSBFS_BATCH`], one traversal per batch. Serial sweeps — call
+/// inside a 1-thread pool for the apples-to-apples serial comparison, or
+/// measure the scheduler end to end via the library entry points.
+pub fn measure_msbfs(g: &CsrGraph, sources: &[NodeId], reps: usize) -> KernelMeasurement {
+    let mut ms = MsBfs::new(g.num_nodes());
+    let totals = best_of(reps, || {
+        sources.chunks(MSBFS_BATCH).fold((0, 0), |(r, c), batch| {
+            let rows = ms.run_batch(g, batch);
+            rows.iter().fold((r, c), |(r, c), &(reached, sum)| (r + reached as u64, c + sum))
+        })
+    });
+    finish("msbfs", g, sources.len(), totals)
+}
+
 /// One untimed, fully-recorded sweep over the same sources the timed
 /// measurements use. Each kernel runs once under its own phase span
 /// (`bench.topdown` / `bench.hybrid` / `bench.frontier_parallel`), every
@@ -245,10 +260,23 @@ mod tests {
             measure_hybrid(&g, &sources, 1, HybridParams::default()),
             measure_hybrid(&g, &sources, 1, HybridParams::eager_bottom_up()),
             measure_frontier_parallel(&g, &sources, 1, HybridParams::default()),
+            measure_msbfs(&g, &sources, 1),
         ];
         assert!(equivalent(&ms));
         assert_eq!(ms[0].total_reached, 8 * 300);
         assert!(ms.iter().all(|m| m.checksum > 0 && m.mteps > 0.0));
+    }
+
+    #[test]
+    fn msbfs_measurement_handles_full_and_ragged_plans() {
+        let g = gnm_random_connected(200, 800, 3);
+        // 100 sources on a 200-vertex graph: one full batch + one ragged.
+        let sources = spread_sources(g.num_nodes(), 100);
+        let base = measure_topdown(&g, &sources, 1);
+        let ms = measure_msbfs(&g, &sources, 1);
+        assert_eq!(ms.kernel, "msbfs");
+        assert_eq!(ms.total_reached, base.total_reached);
+        assert_eq!(ms.checksum, base.checksum);
     }
 
     #[test]

@@ -26,14 +26,14 @@ USAGE:
 
   brics farness <graph> [--method random|cr|icr|cumulative|exact]
                         [--rate 0.2] [--seed 0] [--top K] [--json]
-                        [--kernel auto|topdown|hybrid] [--reorder]
+                        [--kernel auto|topdown|hybrid|msbfs] [--reorder]
       Estimate (default: cumulative @ 20%) or compute exact farness.
       Prints `vertex farness closeness` per line, or the --top K most
       central vertices; --json emits a machine-readable document.
 
   brics compare <graph> [--methods random,reduced,cumulative]
                         [--rates 0.1,0.2,0.3] [--seed 0] [--exact] [--json]
-                        [--kernel auto|topdown|hybrid] [--reorder]
+                        [--kernel auto|topdown|hybrid|msbfs] [--reorder]
       Method × rate comparison against ONE prepared artifact: the
       reduction pipeline and Block-Cut Tree are built once, and every
       method at every sampling rate queries the same structure — no
@@ -42,7 +42,7 @@ USAGE:
       (symmetric accuracy in [0, 1]; 1.0 = perfect).
 
   brics topk <graph> <k> [--rate 0.3] [--seed 0] [--json]
-                         [--kernel auto|topdown|hybrid]
+                         [--kernel auto|topdown|hybrid|msbfs]
       EXACT top-k closeness ranking, pruned by BRICS lower bounds —
       far cheaper than computing all-pairs farness.
 
@@ -57,10 +57,13 @@ USAGE:
 
 PERFORMANCE (farness, compare, topk):
   --kernel K         BFS kernel: `auto` (default; direction-optimizing
-                     with stock heuristics), `hybrid` (same, explicit) or
-                     `topdown` (classic frontier expansion). Distances —
-                     and hence every estimate — are identical across
-                     kernels; only wall time differs.
+                     with stock heuristics, batching 64+ sources through
+                     the bit-parallel engine), `hybrid` (direction-
+                     optimizing, never batched), `topdown` (classic
+                     frontier expansion) or `msbfs` (force bit-parallel
+                     multi-source batches). Distances — and hence every
+                     estimate — are identical across kernels; only wall
+                     time differs.
   --reorder          Relabel vertices by descending degree before the
                      run (farness and compare). Improves locality on
                      scale-free graphs; output is translated back to
@@ -1246,7 +1249,7 @@ mod tests {
         let path = tmp("kern.el");
         run(&["generate", "social", "300", "--seed", "5", "--out", path.to_str().unwrap()])
             .unwrap();
-        for kernel in ["auto", "topdown", "hybrid"] {
+        for kernel in ["auto", "topdown", "hybrid", "msbfs"] {
             run(&["farness", path.to_str().unwrap(), "--method", "random", "--rate", "0.3",
                   "--kernel", kernel, "--top", "5"])
                 .unwrap();

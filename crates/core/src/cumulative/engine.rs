@@ -25,10 +25,13 @@ use brics_graph::telemetry::{
     admit_memory_rec, record_outcome, record_panic, timed, Counter, Metric, Recorder,
 };
 use brics_graph::traversal::{
-    atomic_view, DialBfs, HybridBfs, Kernel, KernelConfig, WorkerGuard,
+    atomic_view, DialBfs, HybridBfs, Kernel, KernelConfig, MsBfs, WorkerGuard, MSBFS_BATCH,
 };
 use brics_graph::weighted::{build_weighted, edge_weight};
-use brics_graph::{CsrGraph, Dist, GraphBuilder, NodeId, RunControl, INFINITE_DIST, INVALID_NODE};
+use brics_graph::{
+    CsrGraph, Dist, FaultKind, FaultSite, GraphBuilder, NodeId, RunControl, INFINITE_DIST,
+    INVALID_NODE,
+};
 use brics_reduce::{apply_record, ReductionConfig, ReductionResult, Removal};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
@@ -550,6 +553,24 @@ pub(crate) fn cumulative_prepare<R: Recorder>(
     })
 }
 
+/// Applies the `estimate.phase_b` failpoint for one source of a batched
+/// unit. [`WorkerGuard::run_source`] does this for the unit's first source;
+/// the batch path calls this for the remaining members so per-source fault
+/// plans keep firing under batching (the caller's `catch_unwind` turns the
+/// panic into the whole batch failing, which is the batch isolation
+/// contract).
+fn apply_phase_b_fault(ctl: &RunControl, s: NodeId) {
+    match ctl.fault_apply(FaultSite::EstimatePhaseB, u64::from(s)) {
+        Some(FaultKind::Panic) => {
+            panic!("injected worker panic (estimate.phase_b) on source {s}")
+        }
+        Some(FaultKind::IoError) => {
+            panic!("injected i/o error (estimate.phase_b) on source {s}")
+        }
+        _ => {}
+    }
+}
+
 /// One block-local BFS task: source `sl` (local) in block `ctx`. Accumulates
 /// intra mass into `acc_a` (non-cut sources), inter mass into `inter_a`
 /// (cut sources, `cut_index = Some(j)`), and the source's exact-farness
@@ -574,6 +595,29 @@ fn run_block_task(
     kernel: Kernel,
 ) {
     let dl = block_distances(bfs, hyb, ctx, sl, kernel);
+    aggregate_block_task(
+        dl, gdist, ctx, sl, s_global, cut_index, agg, records, b, inter_a, acc_a, exact_a,
+    );
+}
+
+/// The aggregation half of [`run_block_task`], over an already-computed
+/// block-local distance row `dl`. Split out so the batched MS-BFS path can
+/// feed 64 rows from one traversal through the identical accumulation.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_block_task(
+    dl: &[Dist],
+    gdist: &mut [Dist],
+    ctx: &BlockCtx,
+    sl: NodeId,
+    s_global: NodeId,
+    cut_index: Option<usize>,
+    agg: &Aggregates,
+    records: &[Removal],
+    b: usize,
+    inter_a: &[AtomicU64],
+    acc_a: Option<&[AtomicU64]>,
+    exact_a: &[AtomicU64],
+) {
     // Cut-source constants for the inter terms of this source.
     let is_cut_source = cut_index.is_some();
     let (dc, wc) = match cut_index {
@@ -683,12 +727,51 @@ pub(crate) fn cumulative_query<R: Recorder>(
     let acc_a: &[AtomicU64] = atomic_view(&mut acc);
     let exact_a: &[AtomicU64] = atomic_view(&mut exact_q);
 
-    // Each (block, source) task is one interruption unit: its intra mass,
-    // reconstruction mass and exact-farness contribution land atomically
-    // with respect to the control (checked before the task starts, never
-    // mid-task). This is the `estimate.phase_b` failpoint, not
+    // Each scheduling *unit* is one interruption granule: its intra mass,
+    // reconstruction mass and exact-farness contributions land atomically
+    // with respect to the control (checked before the unit starts, never
+    // mid-unit). This is the `estimate.phase_b` failpoint, not
     // `bfs.source` — block tasks are not plain BFS sweeps.
-    let guard = WorkerGuard::with_site(ctl, brics_graph::FaultSite::EstimatePhaseB);
+    //
+    // A unit is normally one (block, source) task. When a block's group of
+    // sampled sources is large enough for the bit-parallel engine (see
+    // [`KernelConfig::msbfs_applies`]) and the block is unweighted, the
+    // group is cut into MS-BFS batches of up to [`MSBFS_BATCH`] sources:
+    // one traversal computes all their distance rows, and each row feeds
+    // the identical per-task aggregation. Coverage is accounted per batch —
+    // all of a batch's tasks complete, or none do. Worker memory grows by
+    // `64 × block_n` distances for the row store.
+    enum PhaseBUnit {
+        /// Index into `tasks`.
+        Task(usize),
+        /// Contiguous index range into `tasks`, all in one block.
+        Batch(std::ops::Range<usize>),
+    }
+    let threads = rayon::current_num_threads();
+    let mut units: Vec<PhaseBUnit> = Vec::new();
+    {
+        let mut i = 0;
+        while i < tasks.len() {
+            let b = tasks[i].0;
+            let mut j = i + 1;
+            while j < tasks.len() && tasks[j].0 == b {
+                j += 1;
+            }
+            let ctx = &blocks[b as usize];
+            if ctx.weights.is_none() && kcfg.msbfs_applies(j - i, threads) {
+                let mut s = i;
+                while s < j {
+                    let e = (s + MSBFS_BATCH).min(j);
+                    units.push(PhaseBUnit::Batch(s..e));
+                    s = e;
+                }
+            } else {
+                units.extend((i..j).map(PhaseBUnit::Task));
+            }
+            i = j;
+        }
+    }
+    let guard = WorkerGuard::with_site(ctl, FaultSite::EstimatePhaseB);
     let empty_inter: [AtomicU64; 0] = [];
     if rec.enabled() {
         // Cut vertices are implicit sources of every query (their tasks ran
@@ -699,41 +782,112 @@ pub(crate) fn cumulative_query<R: Recorder>(
             (bct.num_cut_vertices() + tasks.len()) as u64,
         );
     }
-    let completed: Vec<bool> = timed(rec, "cumulative.phase_b", || {
-        tasks
+    let unit_done: Vec<bool> = timed(rec, "cumulative.phase_b", || {
+        units
             .par_iter()
             .map_init(
-        || (DialBfs::new(64), HybridBfs::with_params(64, kcfg.params), vec![INFINITE_DIST; n]),
-        |(bfs, hyb, gdist), &(b, sl)| {
-            let ctx = &blocks[b as usize];
-            let s_global = ctx.verts[sl as usize];
-            let started = if rec.enabled() { Some(Instant::now()) } else { None };
-            let done = guard.run_source(s_global, || {
-                run_block_task(
-                    bfs, hyb, gdist, ctx, sl, s_global, None,
-                    agg, records, b as usize, &empty_inter, Some(acc_a), exact_a, kcfg.kernel,
-                )
-            })
-            .is_some();
-            if done && rec.enabled() {
-                if let Some(started) = started {
-                    let end = Instant::now();
-                    rec.observe(
-                        Metric::SourceBfsNanos,
-                        end.duration_since(started).as_nanos() as u64,
-                    );
-                    if rec.trace_enabled() {
-                        rec.trace_span("bfs.source", started, end);
+        || {
+            (
+                DialBfs::new(64),
+                HybridBfs::with_params(64, kcfg.params),
+                vec![INFINITE_DIST; n],
+                MsBfs::new(0),
+            )
+        },
+        |(bfs, hyb, gdist, ms), unit| match *unit {
+            PhaseBUnit::Task(t) => {
+                let (b, sl) = tasks[t];
+                let ctx = &blocks[b as usize];
+                let s_global = ctx.verts[sl as usize];
+                let started = if rec.enabled() { Some(Instant::now()) } else { None };
+                let done = guard.run_source(s_global, || {
+                    run_block_task(
+                        bfs, hyb, gdist, ctx, sl, s_global, None,
+                        agg, records, b as usize, &empty_inter, Some(acc_a), exact_a, kcfg.kernel,
+                    )
+                })
+                .is_some();
+                if done && rec.enabled() {
+                    if let Some(started) = started {
+                        let end = Instant::now();
+                        rec.observe(
+                            Metric::SourceBfsNanos,
+                            end.duration_since(started).as_nanos() as u64,
+                        );
+                        if rec.trace_enabled() {
+                            rec.trace_span("bfs.source", started, end);
+                        }
                     }
+                    rec.add(Counter::VerticesVisited, ctx.verts.len() as u64);
+                    rec.add(Counter::EdgesScanned, ctx.graph.num_arcs() as u64);
                 }
-                rec.add(Counter::VerticesVisited, ctx.verts.len() as u64);
-                rec.add(Counter::EdgesScanned, ctx.graph.num_arcs() as u64);
+                done
             }
-            done
+            PhaseBUnit::Batch(ref r) => {
+                let b = tasks[r.start].0 as usize;
+                let ctx = &blocks[b];
+                let locals: Vec<NodeId> = tasks[r.clone()].iter().map(|&(_, sl)| sl).collect();
+                let first_global = ctx.verts[locals[0] as usize];
+                let done = guard.run_source(first_global, || {
+                    // The guard applied the failpoint for the first source;
+                    // plans aimed at any other member of the batch fire
+                    // here, widening the blast radius to the whole batch.
+                    for &sl in &locals[1..] {
+                        apply_phase_b_fault(ctl, ctx.verts[sl as usize]);
+                    }
+                    if rec.enabled() {
+                        rec.incr(Counter::BatchesMsbfs);
+                    }
+                    ms.set_row_recording(true);
+                    // The batch runs uncontrolled: like every other phase-B
+                    // unit, interruption is checked at pickup and the unit
+                    // itself is atomic.
+                    let rows = ms
+                        .run_batch_ctl_rec(
+                            &ctx.graph,
+                            &locals,
+                            &RunControl::new(),
+                            false,
+                            rec,
+                            |_, _, _| {},
+                        )
+                        .expect("uncontrolled MS-BFS batch cannot be interrupted");
+                    debug_assert_eq!(rows.len(), locals.len());
+                    for (i, &sl) in locals.iter().enumerate() {
+                        let s_global = ctx.verts[sl as usize];
+                        let dl = &ms.dist_row(i)[..ctx.verts.len()];
+                        aggregate_block_task(
+                            dl, gdist, ctx, sl, s_global, None,
+                            agg, records, b, &empty_inter, Some(acc_a), exact_a,
+                        );
+                    }
+                })
+                .is_some();
+                if done && rec.enabled() {
+                    rec.add(
+                        Counter::VerticesVisited,
+                        (ctx.verts.len() * locals.len()) as u64,
+                    );
+                    rec.add(
+                        Counter::EdgesScanned,
+                        (ctx.graph.num_arcs() * locals.len()) as u64,
+                    );
+                }
+                done
+            }
         },
             )
             .collect()
     });
+    let mut completed = vec![false; tasks.len()];
+    for (u, unit) in units.iter().enumerate() {
+        if unit_done[u] {
+            match unit {
+                PhaseBUnit::Task(t) => completed[*t] = true,
+                PhaseBUnit::Batch(r) => completed[r.clone()].fill(true),
+            }
+        }
+    }
     let outcome = guard.finish().map_err(|p| {
         record_panic(rec, &p.detail);
         p
@@ -1060,7 +1214,7 @@ mod tests {
                 .unwrap()
         };
         let base = run(Kernel::TopDown);
-        for kernel in [Kernel::Auto, Kernel::Hybrid] {
+        for kernel in [Kernel::Auto, Kernel::Hybrid, Kernel::MsBfs] {
             let est = run(kernel);
             assert_eq!(est.raw(), base.raw(), "kernel {kernel:?}");
             assert_eq!(est.sampled_mask(), base.sampled_mask());

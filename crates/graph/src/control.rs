@@ -111,7 +111,7 @@ pub struct MemoryBudgetExceeded {
 }
 
 /// Number of named failpoints (length of [`FaultSite::ALL`]).
-const NUM_SITES: usize = 7;
+const NUM_SITES: usize = 8;
 
 /// A named failpoint in the engine. Sites are stable identifiers — the
 /// `--fault` CLI grammar and the run report both refer to them by
@@ -127,6 +127,9 @@ pub enum FaultSite {
     BfsSource,
     /// At each level of a frontier-parallel BFS (argument: level).
     BfsLevel,
+    /// When a worker picks up a batch of sources for the bit-parallel
+    /// multi-source BFS kernel (argument: batch ordinal within the call).
+    BfsBatch,
     /// When a phase-B block task starts in the cumulative engine
     /// (argument: global source id).
     EstimatePhaseB,
@@ -143,6 +146,7 @@ impl FaultSite {
         FaultSite::BctBuild,
         FaultSite::BfsSource,
         FaultSite::BfsLevel,
+        FaultSite::BfsBatch,
         FaultSite::EstimatePhaseB,
         FaultSite::IoRead,
         FaultSite::AllocAdmit,
@@ -155,6 +159,7 @@ impl FaultSite {
             FaultSite::BctBuild => "bct.build",
             FaultSite::BfsSource => "bfs.source",
             FaultSite::BfsLevel => "bfs.level",
+            FaultSite::BfsBatch => "bfs.batch",
             FaultSite::EstimatePhaseB => "estimate.phase_b",
             FaultSite::IoRead => "io.read",
             FaultSite::AllocAdmit => "alloc.admit",
@@ -167,9 +172,10 @@ impl FaultSite {
             FaultSite::BctBuild => 1,
             FaultSite::BfsSource => 2,
             FaultSite::BfsLevel => 3,
-            FaultSite::EstimatePhaseB => 4,
-            FaultSite::IoRead => 5,
-            FaultSite::AllocAdmit => 6,
+            FaultSite::BfsBatch => 4,
+            FaultSite::EstimatePhaseB => 5,
+            FaultSite::IoRead => 6,
+            FaultSite::AllocAdmit => 7,
         }
     }
 }
@@ -187,7 +193,7 @@ impl FromStr for FaultSite {
         FaultSite::ALL
             .into_iter()
             .find(|site| site.name() == s)
-            .ok_or_else(|| format!("unknown fault site `{s}` (sites: reduce.rule, bct.build, bfs.source, bfs.level, estimate.phase_b, io.read, alloc.admit)"))
+            .ok_or_else(|| format!("unknown fault site `{s}` (sites: reduce.rule, bct.build, bfs.source, bfs.level, bfs.batch, estimate.phase_b, io.read, alloc.admit)"))
     }
 }
 

@@ -146,11 +146,14 @@ pub enum Counter {
     FaultRetries,
     /// Sources permanently quarantined after exhausting their retries.
     SourcesQuarantined,
+    /// Source batches (≤64 sources each) dispatched to the bit-parallel
+    /// multi-source BFS kernel.
+    BatchesMsbfs,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 34] = [
         Counter::BfsSources,
         Counter::BfsSourcesSkipped,
         Counter::VerticesVisited,
@@ -184,6 +187,7 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::FaultRetries,
         Counter::SourcesQuarantined,
+        Counter::BatchesMsbfs,
     ];
 
     /// Stable snake_case key for this counter in the JSON report.
@@ -222,6 +226,7 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected_total",
             Counter::FaultRetries => "fault_retries",
             Counter::SourcesQuarantined => "sources_quarantined",
+            Counter::BatchesMsbfs => "batches_msbfs",
         }
     }
 }
@@ -241,12 +246,24 @@ pub enum Metric {
     LevelNanos,
     /// Wall time of one estimator query (an `estimate` span), nanoseconds.
     QueryNanos,
+    /// Live sources (bits still spreading) fed into one MS-BFS sweep —
+    /// the batching-efficiency signal: occupancy near 64 means the word
+    /// ops amortize well, a long tail of near-1 sweeps means they do not.
+    BatchOccupancy,
+    /// Wall time of one MS-BFS level-synchronous sweep, in nanoseconds.
+    SweepNanos,
 }
 
 impl Metric {
     /// Every metric, in report order.
-    pub const ALL: [Metric; 4] =
-        [Metric::SourceBfsNanos, Metric::FrontierSize, Metric::LevelNanos, Metric::QueryNanos];
+    pub const ALL: [Metric; 6] = [
+        Metric::SourceBfsNanos,
+        Metric::FrontierSize,
+        Metric::LevelNanos,
+        Metric::QueryNanos,
+        Metric::BatchOccupancy,
+        Metric::SweepNanos,
+    ];
 
     /// Stable snake_case key for this metric in the JSON report.
     pub const fn name(self) -> &'static str {
@@ -255,6 +272,8 @@ impl Metric {
             Metric::FrontierSize => "frontier_size",
             Metric::LevelNanos => "level_ns",
             Metric::QueryNanos => "query_ns",
+            Metric::BatchOccupancy => "batch_occupancy",
+            Metric::SweepNanos => "sweep_ns",
         }
     }
 
@@ -263,6 +282,8 @@ impl Metric {
         match self {
             Metric::SourceBfsNanos | Metric::LevelNanos | Metric::QueryNanos => "ns",
             Metric::FrontierSize => "vertices",
+            Metric::BatchOccupancy => "sources",
+            Metric::SweepNanos => "ns",
         }
     }
 }

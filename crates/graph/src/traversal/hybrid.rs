@@ -89,6 +89,11 @@ pub enum Kernel {
     /// Direction-optimizing kernel, like [`Kernel::Auto`] (the variants
     /// exist so harnesses can name the choice explicitly).
     Hybrid,
+    /// Bit-parallel multi-source BFS (Then et al.): batches of up to 64
+    /// sources traverse together, one `u64` frontier/seen word per vertex.
+    /// Forces batching regardless of source count; [`Kernel::Auto`] picks
+    /// it only on multi-source calls (≥ [`MSBFS_BATCH`] sources).
+    MsBfs,
 }
 
 impl std::str::FromStr for Kernel {
@@ -99,7 +104,10 @@ impl std::str::FromStr for Kernel {
             "auto" => Ok(Kernel::Auto),
             "topdown" | "top-down" => Ok(Kernel::TopDown),
             "hybrid" => Ok(Kernel::Hybrid),
-            other => Err(format!("unknown kernel '{other}' (expected auto|topdown|hybrid)")),
+            "msbfs" | "ms-bfs" => Ok(Kernel::MsBfs),
+            other => {
+                Err(format!("unknown kernel '{other}' (expected auto|topdown|hybrid|msbfs)"))
+            }
         }
     }
 }
@@ -111,6 +119,7 @@ impl Kernel {
             Kernel::Auto => "auto",
             Kernel::TopDown => "topdown",
             Kernel::Hybrid => "hybrid",
+            Kernel::MsBfs => "msbfs",
         }
     }
 }
@@ -125,19 +134,56 @@ pub struct KernelConfig {
     pub params: HybridParams,
 }
 
+/// Width of one MS-BFS batch: the sources sharing a machine word.
+pub const MSBFS_BATCH: usize = 64;
+
+/// Arc-count floor below which the frontier-parallel engine is never
+/// auto-selected. Each of its levels pays a rayon fork-join (tens of
+/// microseconds), so a traversal needs enough arcs per level to amortize
+/// it; `BENCH_kernels.json` shows it losing 5–6× to the serial hybrid on
+/// every bench graph up to ~260 k arcs. 1 M arcs is the first scale where
+/// per-level work plausibly dominates the sync cost.
+pub const FRONTIER_PARALLEL_MIN_ARCS: usize = 1_000_000;
+
 impl KernelConfig {
     /// A config for `kernel` with default switching parameters.
     pub fn new(kernel: Kernel) -> Self {
         Self { kernel, params: HybridParams::default() }
     }
 
+    /// Whether a call with `num_sources` sources on a graph of `num_arcs`
+    /// arcs should run the frontier-parallel engine instead of
+    /// parallelising over sources: only when the kernel allows it, there
+    /// are too few sources to occupy `threads` workers (each
+    /// source-parallel BFS is serial, so `k < threads` strands
+    /// `threads - k` cores), *and* the graph is large enough that
+    /// per-level parallelism beats its fork-join overhead
+    /// ([`FRONTIER_PARALLEL_MIN_ARCS`]).
+    pub fn frontier_parallel_applies(
+        &self,
+        num_sources: usize,
+        num_arcs: usize,
+        threads: usize,
+    ) -> bool {
+        matches!(self.kernel, Kernel::Auto | Kernel::Hybrid)
+            && threads > 1
+            && num_sources < threads
+            && num_arcs >= FRONTIER_PARALLEL_MIN_ARCS
+    }
+
     /// Whether a call with `num_sources` sources should run the
-    /// frontier-parallel engine instead of parallelising over sources:
-    /// only when the kernel allows it and there are too few sources to
-    /// occupy `threads` workers (each source-parallel BFS is serial, so
-    /// `k < threads` strands `threads - k` cores).
-    pub fn frontier_parallel_applies(&self, num_sources: usize, threads: usize) -> bool {
-        self.kernel != Kernel::TopDown && threads > 1 && num_sources < threads
+    /// bit-parallel multi-source kernel. [`Kernel::MsBfs`] always batches
+    /// (that is the point of naming it); [`Kernel::Auto`] batches only
+    /// when the call carries at least one full batch of sources *and* more
+    /// than one thread — the regime where amortizing memory traffic across
+    /// the batch wins. Checked before
+    /// [`KernelConfig::frontier_parallel_applies`] by the scheduler.
+    pub fn msbfs_applies(&self, num_sources: usize, threads: usize) -> bool {
+        match self.kernel {
+            Kernel::MsBfs => num_sources > 0,
+            Kernel::Auto => threads > 1 && num_sources >= MSBFS_BATCH,
+            Kernel::TopDown | Kernel::Hybrid => false,
+        }
     }
 }
 
@@ -454,8 +500,9 @@ impl HybridBfs {
 }
 
 /// Splits `0..len` into roughly `parts` contiguous ranges of at least
-/// `min_chunk` items (the last may be shorter).
-fn chunk_ranges(len: usize, parts: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+/// `min_chunk` items (the last may be shorter). Shared with the MS-BFS
+/// kernel's chunk-parallel sweep.
+pub(super) fn chunk_ranges(len: usize, parts: usize, min_chunk: usize) -> Vec<(usize, usize)> {
     if len == 0 {
         return Vec::new();
     }
@@ -839,20 +886,54 @@ mod tests {
         assert_eq!("topdown".parse::<Kernel>().unwrap(), Kernel::TopDown);
         assert_eq!("top-down".parse::<Kernel>().unwrap(), Kernel::TopDown);
         assert_eq!("HYBRID".parse::<Kernel>().unwrap(), Kernel::Hybrid);
+        assert_eq!("msbfs".parse::<Kernel>().unwrap(), Kernel::MsBfs);
+        assert_eq!("ms-bfs".parse::<Kernel>().unwrap(), Kernel::MsBfs);
         assert!("dfs".parse::<Kernel>().is_err());
         assert_eq!(Kernel::default(), Kernel::Auto);
         assert_eq!(Kernel::Hybrid.name(), "hybrid");
+        assert_eq!(Kernel::MsBfs.name(), "msbfs");
+    }
+
+    /// Pins the scheduler's selection table. The arc floor is the
+    /// regression fix for BENCH_kernels.json showing frontier-parallel
+    /// 5–6× *slower* than the serial hybrid on every bench graph (all
+    /// under ~260 k arcs): per-level fork-join overhead swamps the work.
+    #[test]
+    fn frontier_parallel_selection_rule() {
+        const BIG: usize = FRONTIER_PARALLEL_MIN_ARCS;
+        let auto = KernelConfig::default();
+        assert!(auto.frontier_parallel_applies(1, BIG, 4));
+        assert!(auto.frontier_parallel_applies(3, BIG, 4));
+        assert!(!auto.frontier_parallel_applies(4, BIG, 4));
+        assert!(!auto.frontier_parallel_applies(1, BIG, 1));
+        // The regression: small graphs must never pick frontier-parallel,
+        // whatever the source/thread ratio. 96 k arcs ≈ dense-gnm-3000,
+        // 262 k ≈ complete-512 — the largest bench graphs where it loses.
+        assert!(!auto.frontier_parallel_applies(3, 96_000, 4));
+        assert!(!auto.frontier_parallel_applies(1, 262_144, 8));
+        assert!(!auto.frontier_parallel_applies(1, BIG - 1, 4));
+        let td = KernelConfig::new(Kernel::TopDown);
+        assert!(!td.frontier_parallel_applies(1, BIG, 8));
+        // MsBfs batches instead of going frontier-parallel.
+        let ms = KernelConfig::new(Kernel::MsBfs);
+        assert!(!ms.frontier_parallel_applies(1, BIG, 8));
     }
 
     #[test]
-    fn frontier_parallel_selection_rule() {
+    fn msbfs_selection_rule() {
         let auto = KernelConfig::default();
-        assert!(auto.frontier_parallel_applies(1, 4));
-        assert!(auto.frontier_parallel_applies(3, 4));
-        assert!(!auto.frontier_parallel_applies(4, 4));
-        assert!(!auto.frontier_parallel_applies(1, 1));
-        let td = KernelConfig::new(Kernel::TopDown);
-        assert!(!td.frontier_parallel_applies(1, 8));
+        assert!(auto.msbfs_applies(64, 4));
+        assert!(auto.msbfs_applies(1000, 2));
+        assert!(!auto.msbfs_applies(63, 4), "auto needs a full batch");
+        assert!(!auto.msbfs_applies(64, 1), "auto needs threads");
+        // Explicit msbfs always batches, even single-source/single-thread.
+        let ms = KernelConfig::new(Kernel::MsBfs);
+        assert!(ms.msbfs_applies(1, 1));
+        assert!(ms.msbfs_applies(65, 8));
+        assert!(!ms.msbfs_applies(0, 8));
+        for k in [Kernel::TopDown, Kernel::Hybrid] {
+            assert!(!KernelConfig::new(k).msbfs_applies(1000, 8), "{k:?}");
+        }
     }
 
     #[test]

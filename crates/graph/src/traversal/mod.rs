@@ -11,6 +11,7 @@ mod bfs;
 mod dial;
 mod frontier;
 mod hybrid;
+mod msbfs;
 mod parallel;
 
 pub use bfs::{bfs_distances, Bfs};
@@ -18,8 +19,9 @@ pub use dial::DialBfs;
 pub use frontier::{FrontierBitmap, SetBits};
 pub use hybrid::{
     HybridBfs, HybridParams, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel,
-    TraversalStats,
+    TraversalStats, FRONTIER_PARALLEL_MIN_ARCS, MSBFS_BATCH,
 };
+pub use msbfs::MsBfs;
 pub use parallel::{
     atomic_view, atomic_view_u32, par_bfs_accumulate, par_bfs_accumulate_ctl,
     par_bfs_accumulate_ctl_rec, par_bfs_accumulate_ctl_with, par_bfs_accumulate_isolated,

@@ -9,14 +9,26 @@
 //!
 //! Source-parallelism strands cores when a call carries fewer sources than
 //! threads (small `k`, or one giant block after reduction). The `_with`
-//! entry points therefore take a [`KernelConfig`] and switch to the
-//! frontier-parallel engine ([`ParFrontierBfs`]) in exactly that regime:
-//! sources run one after another, but each traversal spreads its levels
-//! across the pool. See [`KernelConfig::frontier_parallel_applies`] for the
-//! decision rule and DESIGN.md §"Kernel selection" for the rationale.
+//! entry points therefore take a [`KernelConfig`] and pick between three
+//! engines:
+//!
+//! * **Batched MS-BFS** ([`MsBfs`]) when there are enough sources to fill
+//!   64-wide bit-parallel batches (see [`KernelConfig::msbfs_applies`]) —
+//!   one traversal serves up to 64 sources at once.
+//! * **Frontier-parallel** ([`ParFrontierBfs`]) when sources are scarcer
+//!   than threads *and* the graph is large enough to amortise per-level
+//!   fork-join (see [`KernelConfig::frontier_parallel_applies`]): sources
+//!   run one after another, each traversal spreading its levels across the
+//!   pool.
+//! * **Source-parallel** with the configured serial kernel otherwise.
+//!
+//! See DESIGN.md §"BFS kernel selection" for the rationale.
 
 use super::bfs::Bfs;
-use super::hybrid::{HybridBfs, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel};
+use super::hybrid::{
+    HybridBfs, Kernel, KernelConfig, ParFrontierBfs, SerialBfsKernel, MSBFS_BATCH,
+};
+use super::msbfs::MsBfs;
 use crate::control::{panic_message, FaultKind, FaultSite, RunControl, RunOutcome};
 use crate::telemetry::{record_panic, timed, Counter, Metric, NullRecorder, Recorder};
 use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
@@ -286,14 +298,19 @@ pub fn par_bfs_accumulate_ctl_rec<R: Recorder>(
         rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
     }
     let per_source = timed(rec, "bfs.batch", || {
-        if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
+        let threads = rayon::current_num_threads();
+        if cfg.msbfs_applies(sources.len(), threads) {
+            msbfs_rows(g, sources, ctl, Some(acc), rec)
+        } else if cfg.frontier_parallel_applies(sources.len(), g.num_arcs(), threads) {
             frontier_parallel_rows(g, sources, ctl, cfg, Some(acc), rec)
         } else {
             match cfg.kernel {
                 Kernel::TopDown => {
                     source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, Some(acc), rec)
                 }
-                Kernel::Auto | Kernel::Hybrid => {
+                // `MsBfs` only lands here with zero sources (the batched
+                // engine otherwise always applies); the kernel is moot.
+                Kernel::Auto | Kernel::Hybrid | Kernel::MsBfs => {
                     source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, Some(acc), rec)
                 }
             }
@@ -364,9 +381,12 @@ pub struct IsolatedAccumulation {
 /// `u64` additions commute, a fault-free run publishes bit-identical sums
 /// to the eager path.
 ///
-/// Always runs source-parallel with the configured serial kernel — the
-/// quarantine protocol needs per-source isolation, which the
-/// frontier-parallel engine (whole pool per source) cannot give.
+/// Runs source-parallel with the configured serial kernel — the quarantine
+/// protocol needs per-source isolation, which the frontier-parallel engine
+/// (whole pool per source) cannot give. When the batched MS-BFS engine
+/// applies (see [`KernelConfig::msbfs_applies`]) the *batch* becomes the
+/// isolation unit instead: a panic quarantines every source of its batch,
+/// and the whole batch is the retry candidate.
 pub fn par_bfs_accumulate_isolated(
     g: &CsrGraph,
     sources: &[NodeId],
@@ -392,10 +412,16 @@ pub fn par_bfs_accumulate_isolated_rec<R: Recorder>(
     if rec.enabled() {
         rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
     }
-    let (rows, mut panics, outcome) = timed(rec, "bfs.batch", || match cfg.kernel {
-        Kernel::TopDown => isolated_rows::<Bfs, R>(g, sources, ctl, cfg, acc, rec),
-        Kernel::Auto | Kernel::Hybrid => {
-            isolated_rows::<HybridBfs, R>(g, sources, ctl, cfg, acc, rec)
+    let (rows, mut panics, outcome) = timed(rec, "bfs.batch", || {
+        if cfg.msbfs_applies(sources.len(), rayon::current_num_threads()) {
+            msbfs_isolated_rows(g, sources, ctl, acc, rec)
+        } else {
+            match cfg.kernel {
+                Kernel::TopDown => isolated_rows::<Bfs, R>(g, sources, ctl, cfg, acc, rec),
+                Kernel::Auto | Kernel::Hybrid | Kernel::MsBfs => {
+                    isolated_rows::<HybridBfs, R>(g, sources, ctl, cfg, acc, rec)
+                }
+            }
         }
     });
     record_rows(rec, g, &rows);
@@ -428,7 +454,7 @@ fn isolated_rows<K: SerialBfsKernel, R: Recorder>(
     if rec.enabled() {
         rec.incr(match cfg.kernel {
             Kernel::TopDown => Counter::BatchesTopdown,
-            Kernel::Auto | Kernel::Hybrid => Counter::BatchesHybrid,
+            Kernel::Auto | Kernel::Hybrid | Kernel::MsBfs => Counter::BatchesHybrid,
         });
     }
     let atomic_acc = atomic_view(acc);
@@ -509,7 +535,7 @@ fn source_parallel_rows<K: SerialBfsKernel, R: Recorder>(
     if rec.enabled() {
         rec.incr(match cfg.kernel {
             Kernel::TopDown => Counter::BatchesTopdown,
-            Kernel::Auto | Kernel::Hybrid => Counter::BatchesHybrid,
+            Kernel::Auto | Kernel::Hybrid | Kernel::MsBfs => Counter::BatchesHybrid,
         });
     }
     let atomic_acc = acc.map(atomic_view);
@@ -630,6 +656,211 @@ fn frontier_parallel_rows<R: Recorder>(
     Ok((rows, stopped.unwrap_or(RunOutcome::Complete)))
 }
 
+/// Outcome of one MS-BFS batch inside the batched drivers.
+enum MsBatchOut {
+    /// The batch ran to completion; per-source `(reached, Σ d)` rows.
+    Rows(Vec<(usize, u64)>),
+    /// The batch was skipped (stop observed) or interrupted mid-sweep. The
+    /// cause, if any, was already recorded in the shared [`StopCell`].
+    Skipped,
+    /// A worker fault unwound inside the batch.
+    Panicked(String),
+}
+
+/// Runs one MS-BFS batch under `catch_unwind`, publishing its buffered
+/// accumulator contributions only on success. Shared by the poisoning
+/// ([`msbfs_rows`]) and quarantining ([`msbfs_isolated_rows`]) drivers.
+///
+/// Fault protocol: the batch-granular [`FaultSite::BfsBatch`] arm fires on
+/// the batch ordinal, then the per-source [`FaultSite::BfsSource`] arm is
+/// applied for every member at batch pickup — so plans targeting individual
+/// sources keep firing under batching (the blast radius just widens to the
+/// batch, which the retry machinery re-feeds as a whole).
+#[allow(clippy::too_many_arguments)]
+fn run_msbfs_batch<R: Recorder>(
+    g: &CsrGraph,
+    ctl: &RunControl,
+    stop: &StopCell,
+    atomic_acc: Option<&[AtomicU64]>,
+    par_sweep: bool,
+    rec: &R,
+    ms: &mut MsBfs,
+    buf: &mut Vec<(NodeId, u64)>,
+    bi: usize,
+    batch: &[NodeId],
+) -> MsBatchOut {
+    if let Some(cause) = ctl.should_stop() {
+        stop.record(cause);
+        return MsBatchOut::Skipped;
+    }
+    buf.clear();
+    if rec.enabled() {
+        rec.incr(Counter::BatchesMsbfs);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        apply_worker_fault(ctl, FaultSite::BfsBatch, bi as NodeId);
+        for &s in batch {
+            apply_worker_fault(ctl, FaultSite::BfsSource, s);
+        }
+        ms.run_batch_ctl_rec(g, batch, ctl, par_sweep, rec, |v, bits, d| {
+            if d > 0 {
+                // One vertex may be discovered by several sources at the
+                // same level; fold their contributions into one add.
+                buf.push((v, u64::from(d) * u64::from(bits.count_ones())));
+            }
+        })
+    }));
+    match result {
+        Ok(Ok(rows)) => {
+            // Publish only after the whole batch succeeded: an interrupted
+            // or panicked batch leaves no trace in `acc`.
+            if let Some(acc) = atomic_acc {
+                for &(v, add) in buf.iter() {
+                    acc[v as usize].fetch_add(add, Ordering::Relaxed);
+                }
+            }
+            if rec.enabled() {
+                record_traversal_stats(rec, ms.last_stats());
+            }
+            MsBatchOut::Rows(rows)
+        }
+        Ok(Err(cause)) => {
+            stop.record(cause);
+            MsBatchOut::Skipped
+        }
+        Err(payload) => MsBatchOut::Panicked(panic_message(payload.as_ref())),
+    }
+}
+
+/// Batched MS-BFS driver (poisoning flavour): sources run in batches of up
+/// to [`MSBFS_BATCH`], each batch traversed bit-parallel by [`MsBfs`].
+///
+/// Parallelism splits on batch count, mirroring the source- vs
+/// frontier-parallel tradeoff: enough batches to occupy the pool → batches
+/// run in parallel with serial sweeps (`map_init` scratch, like
+/// [`source_parallel_rows`]); few batches → they run sequentially and each
+/// sweep spreads across the pool. OR-accumulation commutes, so both
+/// placements produce bit-identical rows and accumulator sums.
+fn msbfs_rows<R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    acc: Option<&mut [u64]>,
+    rec: &R,
+) -> Result<ControlledRows<(usize, u64)>, WorkerPanic> {
+    let n = g.num_nodes();
+    let atomic_acc = acc.map(atomic_view);
+    let threads = rayon::current_num_threads();
+    let batches: Vec<(usize, &[NodeId])> = sources.chunks(MSBFS_BATCH).enumerate().collect();
+    let par_sweep = threads > 1 && batches.len() < threads;
+    let stop = StopCell::new();
+    let poisoned = AtomicBool::new(false);
+    let panic_detail: Mutex<Option<String>> = Mutex::new(None);
+
+    let run_one = |ms: &mut MsBfs, buf: &mut Vec<(NodeId, u64)>, bi: usize, batch: &[NodeId]| {
+        if poisoned.load(Ordering::Relaxed) {
+            return MsBatchOut::Skipped;
+        }
+        match run_msbfs_batch(g, ctl, &stop, atomic_acc, par_sweep, rec, ms, buf, bi, batch) {
+            MsBatchOut::Panicked(detail) => {
+                poisoned.store(true, Ordering::Relaxed);
+                panic_detail.lock().unwrap().get_or_insert(detail);
+                MsBatchOut::Skipped
+            }
+            out => out,
+        }
+    };
+    let results: Vec<MsBatchOut> = if par_sweep {
+        let mut ms = MsBfs::new(n);
+        let mut buf = Vec::new();
+        batches.iter().map(|&(bi, batch)| run_one(&mut ms, &mut buf, bi, batch)).collect()
+    } else {
+        batches
+            .par_iter()
+            .map_init(
+                || (MsBfs::new(n), Vec::new()),
+                |(ms, buf), &(bi, batch)| run_one(ms, buf, bi, batch),
+            )
+            .collect()
+    };
+    if poisoned.load(Ordering::Relaxed) {
+        let detail = panic_detail
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| "unknown panic".to_string());
+        return Err(WorkerPanic { detail });
+    }
+    let mut rows: Vec<Option<(usize, u64)>> = Vec::with_capacity(sources.len());
+    for (out, &(_, batch)) in results.into_iter().zip(&batches) {
+        match out {
+            MsBatchOut::Rows(rs) => rows.extend(rs.into_iter().map(Some)),
+            _ => rows.extend(std::iter::repeat(None).take(batch.len())),
+        }
+    }
+    Ok((rows, stop.outcome()))
+}
+
+/// Batched MS-BFS driver (quarantining flavour): like [`msbfs_rows`], but a
+/// panicked batch quarantines all of its sources instead of poisoning the
+/// run — publish-after-complete means they contributed nothing, so the
+/// degradation ladder can retry them as a fresh subset.
+#[allow(clippy::type_complexity)]
+fn msbfs_isolated_rows<R: Recorder>(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    ctl: &RunControl,
+    acc: &mut [u64],
+    rec: &R,
+) -> (Vec<Option<(usize, u64)>>, Vec<(usize, String)>, RunOutcome) {
+    let n = g.num_nodes();
+    let atomic_acc = Some(atomic_view(acc));
+    let threads = rayon::current_num_threads();
+    let batches: Vec<(usize, &[NodeId])> = sources.chunks(MSBFS_BATCH).enumerate().collect();
+    let par_sweep = threads > 1 && batches.len() < threads;
+    let stop = StopCell::new();
+
+    let run_one = |ms: &mut MsBfs, buf: &mut Vec<(NodeId, u64)>, bi: usize, batch: &[NodeId]| {
+        let out = run_msbfs_batch(g, ctl, &stop, atomic_acc, par_sweep, rec, ms, buf, bi, batch);
+        if let MsBatchOut::Panicked(detail) = &out {
+            record_panic(rec, detail);
+        }
+        out
+    };
+    let results: Vec<MsBatchOut> = if par_sweep {
+        let mut ms = MsBfs::new(n);
+        let mut buf = Vec::new();
+        batches.iter().map(|&(bi, batch)| run_one(&mut ms, &mut buf, bi, batch)).collect()
+    } else {
+        batches
+            .par_iter()
+            .map_init(
+                || (MsBfs::new(n), Vec::new()),
+                |(ms, buf), &(bi, batch)| run_one(ms, buf, bi, batch),
+            )
+            .collect()
+    };
+    let mut rows: Vec<Option<(usize, u64)>> = Vec::with_capacity(sources.len());
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    let mut first = 0usize;
+    for (out, &(_, batch)) in results.into_iter().zip(&batches) {
+        match out {
+            MsBatchOut::Rows(rs) => rows.extend(rs.into_iter().map(Some)),
+            MsBatchOut::Skipped => rows.extend(std::iter::repeat(None).take(batch.len())),
+            MsBatchOut::Panicked(detail) => {
+                // Quarantine the whole batch: none of its sources
+                // published, and the retry machinery re-feeds them together.
+                for i in first..first + batch.len() {
+                    panics.push((i, detail.clone()));
+                }
+                rows.extend(std::iter::repeat(None).take(batch.len()));
+            }
+        }
+        first += batch.len();
+    }
+    (rows, panics, stop.outcome())
+}
+
 /// Runs one BFS per source in parallel, returning the full distance array of
 /// each (row order matches `sources`).
 ///
@@ -681,12 +912,15 @@ pub fn par_bfs_sums_ctl_rec<R: Recorder>(
         rec.add(Counter::BfsSourcesPlanned, sources.len() as u64);
     }
     let rows = timed(rec, "bfs.batch", || {
-        if cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()) {
+        let threads = rayon::current_num_threads();
+        if cfg.msbfs_applies(sources.len(), threads) {
+            msbfs_rows(g, sources, ctl, None, rec)
+        } else if cfg.frontier_parallel_applies(sources.len(), g.num_arcs(), threads) {
             frontier_parallel_rows(g, sources, ctl, cfg, None, rec)
         } else {
             match cfg.kernel {
                 Kernel::TopDown => source_parallel_rows::<Bfs, R>(g, sources, ctl, cfg, None, rec),
-                Kernel::Auto | Kernel::Hybrid => {
+                Kernel::Auto | Kernel::Hybrid | Kernel::MsBfs => {
                     source_parallel_rows::<HybridBfs, R>(g, sources, ctl, cfg, None, rec)
                 }
             }
@@ -945,7 +1179,7 @@ mod tests {
         let mut expect = vec![0u64; 9];
         let td = KernelConfig::new(Kernel::TopDown);
         par_bfs_accumulate_ctl_with(&g, &sources, &mut expect, &RunControl::new(), &td).unwrap();
-        for kernel in [Kernel::Auto, Kernel::Hybrid] {
+        for kernel in [Kernel::Auto, Kernel::Hybrid, Kernel::MsBfs] {
             let mut acc = vec![0u64; 9];
             let cfg = KernelConfig::new(kernel);
             let run =
@@ -956,6 +1190,10 @@ mod tests {
         }
     }
 
+    // The frontier-parallel tests below call the driver directly: the test
+    // graph sits far under FRONTIER_PARALLEL_MIN_ARCS, so the scheduler
+    // (correctly) no longer routes it there — the selection rule itself is
+    // pinned in hybrid.rs.
     #[test]
     fn frontier_parallel_path_matches_source_parallel() {
         let g = grid3x3();
@@ -964,15 +1202,20 @@ mod tests {
         let (per_expect, _) = par_bfs_accumulate(&g, &sources, &mut expect);
         let cfg = KernelConfig::default();
         in_pool(4, || {
-            assert!(cfg.frontier_parallel_applies(sources.len(), rayon::current_num_threads()));
             let mut acc = vec![0u64; 9];
-            let run =
-                par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
-                    .unwrap();
+            let (rows, outcome) = frontier_parallel_rows(
+                &g,
+                &sources,
+                &RunControl::new(),
+                &cfg,
+                Some(&mut acc),
+                &NullRecorder,
+            )
+            .unwrap();
             assert_eq!(acc, expect);
             let want: Vec<_> = per_expect.iter().map(|&p| Some(p)).collect();
-            assert_eq!(run.per_source, want);
-            assert_eq!(run.outcome, RunOutcome::Complete);
+            assert_eq!(rows, want);
+            assert_eq!(outcome, RunOutcome::Complete);
         });
     }
 
@@ -982,12 +1225,17 @@ mod tests {
             let g = grid3x3();
             let mut acc = vec![0u64; 9];
             let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
-            let run =
-                par_bfs_accumulate_ctl_with(&g, &[0, 8], &mut acc, &ctl, &KernelConfig::default())
-                    .unwrap();
-            assert_eq!(run.outcome, RunOutcome::Deadline);
-            assert!(run.per_source.iter().all(Option::is_none));
-            assert_eq!(run.stats.num_sources, 0);
+            let (rows, outcome) = frontier_parallel_rows(
+                &g,
+                &[0, 8],
+                &ctl,
+                &KernelConfig::default(),
+                Some(&mut acc),
+                &NullRecorder,
+            )
+            .unwrap();
+            assert_eq!(outcome, RunOutcome::Deadline);
+            assert!(rows.iter().all(Option::is_none));
             assert!(acc.iter().all(|&x| x == 0), "interrupted run must not touch acc");
         });
     }
@@ -998,11 +1246,119 @@ mod tests {
             let g = grid3x3();
             let ctl = RunControl::new().with_injected_panic(8);
             let mut acc = vec![0u64; 9];
-            let err =
-                par_bfs_accumulate_ctl_with(&g, &[0, 8], &mut acc, &ctl, &KernelConfig::default())
-                    .unwrap_err();
+            let err = frontier_parallel_rows(
+                &g,
+                &[0, 8],
+                &ctl,
+                &KernelConfig::default(),
+                Some(&mut acc),
+                &NullRecorder,
+            )
+            .unwrap_err();
             assert!(err.detail.contains("source 8"), "got: {}", err.detail);
         });
+    }
+
+    #[test]
+    fn msbfs_kernel_matches_source_parallel_in_both_sweep_modes() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let mut expect = vec![0u64; 9];
+        let (per_expect, _) = par_bfs_accumulate(&g, &sources, &mut expect);
+        let want: Vec<_> = per_expect.iter().map(|&p| Some(p)).collect();
+        let cfg = KernelConfig::new(Kernel::MsBfs);
+        // 1 thread → parallel batches (degenerate) with serial sweeps;
+        // 4 threads, one batch → sequential batches with parallel sweeps.
+        for threads in [1, 4] {
+            in_pool(threads, || {
+                let mut acc = vec![0u64; 9];
+                let run =
+                    par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
+                        .unwrap();
+                assert_eq!(acc, expect, "{threads} threads");
+                assert_eq!(run.per_source, want, "{threads} threads");
+                assert_eq!(run.outcome, RunOutcome::Complete);
+            });
+        }
+    }
+
+    #[test]
+    fn msbfs_auto_selection_batches_many_sources() {
+        use crate::telemetry::RunRecorder;
+        let g = grid3x3();
+        // 130 sources (with repeats) → 3 batches: 64 + 64 + 2 (ragged).
+        let sources: Vec<NodeId> = (0..130u32).map(|i| i % 9).collect();
+        let mut expect = vec![0u64; 9];
+        let (per_expect, _) = par_bfs_accumulate(&g, &sources, &mut expect);
+        in_pool(4, || {
+            let cfg = KernelConfig::default();
+            assert!(cfg.msbfs_applies(sources.len(), rayon::current_num_threads()));
+            let rec = RunRecorder::new();
+            let mut acc = vec![0u64; 9];
+            let run =
+                par_bfs_accumulate_ctl_rec(&g, &sources, &mut acc, &RunControl::new(), &cfg, &rec)
+                    .unwrap();
+            assert_eq!(acc, expect);
+            let want: Vec<_> = per_expect.iter().map(|&p| Some(p)).collect();
+            assert_eq!(run.per_source, want);
+            assert_eq!(rec.counter(Counter::BatchesMsbfs), 3);
+            assert_eq!(rec.counter(Counter::BfsSources), 130);
+            // Batched execution times sweeps, not individual sources.
+            assert_eq!(rec.histogram(Metric::SourceBfsNanos).count, 0);
+            assert!(rec.histogram(Metric::SweepNanos).count > 0);
+            assert!(rec.histogram(Metric::BatchOccupancy).count > 0);
+            assert_eq!(rec.histogram(Metric::BatchOccupancy).max, 64);
+        });
+    }
+
+    #[test]
+    fn msbfs_expired_deadline_leaves_acc_untouched() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let mut acc = vec![0u64; 9];
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        let cfg = KernelConfig::new(Kernel::MsBfs);
+        let run = par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &ctl, &cfg).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Deadline);
+        assert!(run.per_source.iter().all(Option::is_none));
+        assert_eq!(run.stats.num_sources, 0);
+        assert!(acc.iter().all(|&x| x == 0), "interrupted batch must not touch acc");
+    }
+
+    #[test]
+    fn msbfs_injected_panic_poisons_the_run() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let ctl = RunControl::new().with_injected_panic(4);
+        let cfg = KernelConfig::new(Kernel::MsBfs);
+        let mut acc = vec![0u64; 9];
+        let err = par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &ctl, &cfg).unwrap_err();
+        assert!(err.detail.contains("source 4"), "got: {}", err.detail);
+    }
+
+    #[test]
+    fn msbfs_isolated_quarantines_the_whole_batch() {
+        let g = grid3x3();
+        let sources: Vec<NodeId> = (0..9).collect();
+        let ctl = RunControl::new().with_injected_panic(4);
+        let cfg = KernelConfig::new(Kernel::MsBfs);
+        let mut acc = vec![0u64; 9];
+        let run = par_bfs_accumulate_isolated(&g, &sources, &mut acc, &ctl, &cfg);
+        // One batch holds every source, so the panic quarantines all of them
+        // and none published into the accumulator.
+        assert_eq!(run.quarantined, (0..9).collect::<Vec<_>>());
+        assert!(run.per_source.iter().all(Option::is_none));
+        assert!(run.outcome.is_complete());
+        assert!(acc.iter().all(|&x| x == 0), "quarantined batch must not touch acc");
+        assert!(run.panic_details[0].contains("source 4"));
+
+        // Retrying the quarantined batch without the fault lands exactly
+        // the sums the eager path would have published.
+        let retry = par_bfs_accumulate_isolated(&g, &sources, &mut acc, &RunControl::new(), &cfg);
+        assert!(retry.quarantined.is_empty());
+        let mut expect = vec![0u64; 9];
+        par_bfs_accumulate(&g, &sources, &mut expect);
+        assert_eq!(acc, expect);
     }
 
     #[test]
@@ -1094,17 +1450,28 @@ mod tests {
         let g = grid3x3();
         let sources: Vec<NodeId> = (0..9).collect();
         let (expect, _) = par_bfs_sums_ctl(&g, &sources, &RunControl::new()).unwrap();
-        for cfg in [KernelConfig::new(Kernel::TopDown), KernelConfig::new(Kernel::Hybrid)] {
+        for cfg in [
+            KernelConfig::new(Kernel::TopDown),
+            KernelConfig::new(Kernel::Hybrid),
+            KernelConfig::new(Kernel::MsBfs),
+        ] {
             let (rows, outcome) =
                 par_bfs_sums_ctl_with(&g, &sources, &RunControl::new(), &cfg).unwrap();
             assert_eq!(rows, expect);
             assert!(outcome.is_complete());
         }
-        // Frontier-parallel branch: one source, wide pool.
+        // Frontier-parallel engine (driver called directly: the grid is far
+        // below the scheduler's arcs floor).
         in_pool(4, || {
-            let (rows, outcome) =
-                par_bfs_sums_ctl_with(&g, &sources[..1], &RunControl::new(), &KernelConfig::default())
-                    .unwrap();
+            let (rows, outcome) = frontier_parallel_rows(
+                &g,
+                &sources[..1],
+                &RunControl::new(),
+                &KernelConfig::default(),
+                None,
+                &NullRecorder,
+            )
+            .unwrap();
             assert_eq!(rows[0], expect[0]);
             assert!(outcome.is_complete());
         });

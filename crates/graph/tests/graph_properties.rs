@@ -109,7 +109,7 @@ proptest! {
             &g, &sources, &mut baseline, &RunControl::new(),
             &KernelConfig::new(Kernel::TopDown),
         ).unwrap();
-        for kernel in [Kernel::Auto, Kernel::Hybrid] {
+        for kernel in [Kernel::Auto, Kernel::Hybrid, Kernel::MsBfs] {
             let cfg = KernelConfig::new(kernel);
             let mut acc = vec![0u64; n];
             par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
@@ -124,6 +124,38 @@ proptest! {
         }
     }
 
+    /// MS-BFS batching is bit-identical to per-source BFS for any source
+    /// multiset — including duplicated sources, ragged final batches
+    /// (`sources % 64 != 0`) and multi-batch plans — on both scheduler
+    /// placements (serial sweeps in a parallel batch loop, and parallel
+    /// sweeps over sequential batches).
+    #[test]
+    fn msbfs_batches_invariant_for_ragged_multisets(
+        n in 10usize..60,
+        k in 1usize..150,
+        seed in any::<u64>(),
+    ) {
+        let g = gnm_random_connected(n, 2 * n, seed);
+        let sources: Vec<NodeId> =
+            (0..k).map(|i| ((seed as usize + i * 7) % n) as NodeId).collect();
+        let mut baseline = vec![0u64; n];
+        let base = par_bfs_accumulate_ctl_with(
+            &g, &sources, &mut baseline, &RunControl::new(),
+            &KernelConfig::new(Kernel::TopDown),
+        ).unwrap();
+        let cfg = KernelConfig::new(Kernel::MsBfs);
+        for threads in [1usize, 4] {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut acc = vec![0u64; n];
+            let run = pool.install(|| {
+                par_bfs_accumulate_ctl_with(&g, &sources, &mut acc, &RunControl::new(), &cfg)
+            }).unwrap();
+            prop_assert_eq!(&acc, &baseline);
+            prop_assert_eq!(&run.per_source, &base.per_source);
+        }
+    }
+
     /// An already-expired deadline leaves the accumulator untouched and
     /// reports every source as skipped — the same partial-soundness
     /// contract for every kernel and both scheduler paths.
@@ -132,7 +164,7 @@ proptest! {
         let g = gnm_random_connected(n, 2 * n, seed);
         let sources = [0 as NodeId, 1 as NodeId];
         let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
-        for kernel in [Kernel::TopDown, Kernel::Auto, Kernel::Hybrid] {
+        for kernel in [Kernel::TopDown, Kernel::Auto, Kernel::Hybrid, Kernel::MsBfs] {
             for threads in [1usize, 4] {
                 let pool =
                     rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();

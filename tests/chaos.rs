@@ -30,6 +30,7 @@ use brics::{
 };
 use brics_graph::generators::gnm_random_connected;
 use brics_graph::telemetry::FaultSiteRecord;
+use brics_graph::traversal::{Kernel, KernelConfig};
 use brics_graph::{CsrGraph, FaultPlan, RunControl};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -79,6 +80,10 @@ struct Cell {
     answered: &'static str,
     /// Expected fires at the armed site (`None` ⇒ at least one).
     fired: Option<u64>,
+    /// Kernel override for the cell (`None` ⇒ the default `auto`). The
+    /// `bfs.batch` cells pin `msbfs` so the batched engine schedules even
+    /// at this matrix's small `K`.
+    kernel: Option<Kernel>,
 }
 
 fn cell(
@@ -88,7 +93,7 @@ fn cell(
     exit: i32,
     answered: &'static str,
 ) -> Cell {
-    Cell { spec, use_bcc, request, exit, answered, fired: None }
+    Cell { spec, use_bcc, request, exit, answered, fired: None, kernel: None }
 }
 
 /// Runs one cell end to end and returns the ladder answer plus the
@@ -96,10 +101,13 @@ fn cell(
 fn run_cell(g: &CsrGraph, c: &Cell) -> (DegradedEstimate, RunReport) {
     let plan = FaultPlan::parse(c.spec).unwrap();
     let rec = RunRecorder::new();
-    let ctx = ExecutionContext::new()
+    let mut ctx = ExecutionContext::new()
         .with_control(RunControl::new().with_fault_plan(plan))
         .with_degradation(policy())
         .with_recorder(&rec);
+    if let Some(k) = c.kernel {
+        ctx = ctx.with_kernel(KernelConfig::new(k));
+    }
     let pcfg = if c.use_bcc { PrepareConfig::default() } else { no_bcc() };
     let p = PreparedGraph::build_with(g, pcfg, &ctx)
         .unwrap_or_else(|e| panic!("{}: prepare failed: {e}", c.spec));
@@ -148,6 +156,37 @@ fn fault_matrix_answers_soundly_with_honest_reports() {
         // ---- estimate.phase_b: block-task faults ------------------------
         cell("estimate.phase_b=panic@every:1", true, cml(), 6, "sampling@0.1"),
         cell("estimate.phase_b=slow@every:2", true, cml(), 0, "cumulative"),
+        // ---- bfs.batch: batched MS-BFS faults ---------------------------
+        // The batch is the isolation unit: a panic quarantines all of the
+        // batch's sources, the retry re-feeds them as one fresh batch (the
+        // nth:1 arm is spent, so it recovers to exit 0).
+        Cell {
+            spec: "bfs.batch=panic@nth:1",
+            use_bcc: false,
+            request: random(),
+            exit: 0,
+            answered: "random",
+            fired: Some(1),
+            kernel: Some(Kernel::MsBfs),
+        },
+        Cell {
+            spec: "bfs.batch=panic@every:1",
+            use_bcc: false,
+            request: random(),
+            exit: 6,
+            answered: "random",
+            fired: None,
+            kernel: Some(Kernel::MsBfs),
+        },
+        Cell {
+            spec: "bfs.batch=slow@every:1",
+            use_bcc: false,
+            request: random(),
+            exit: 0,
+            answered: "random",
+            fired: None,
+            kernel: Some(Kernel::MsBfs),
+        },
         // ---- alloc.admit: memory-admission faults -----------------------
         // Hit 1 is the prepare-stage admission; hit 2 denies the rung-1
         // query, hit 3 admits the fallback rung.
@@ -163,6 +202,7 @@ fn fault_matrix_answers_soundly_with_honest_reports() {
             exit: 0,
             answered: "random",
             fired: Some(0),
+            kernel: None,
         },
     ];
     assert!(cells.len() >= 12, "matrix shrank below the contract");
@@ -220,6 +260,58 @@ fn recovered_panic_is_bit_identical_to_fault_free() {
     assert_eq!(d.estimate.coverage(), clean.estimate.coverage());
     assert_eq!(d.estimate.num_sources(), clean.estimate.num_sources());
     assert_eq!(d.estimate.outcome(), clean.estimate.outcome());
+}
+
+/// Batch-granular quarantine composes with the retry machinery: a panicked
+/// MS-BFS batch quarantines *all* of its sources, contributes nothing, and
+/// one retry of the whole batch recovers a result bit-identical to the
+/// fault-free batched run — which is itself bit-identical to the per-source
+/// kernels. Per-source coverage accounting survives batching: every
+/// completed source covers all `n−1` others, every vertex is covered by
+/// exactly the completed sources.
+#[test]
+fn batched_panic_quarantines_batch_and_recovers_bit_identical() {
+    let g = gnm_random_connected(90, 160, 31);
+    let exact = exact_farness(&g).unwrap();
+    let request = DegradedRequest::Estimate(Method::RandomSampling);
+    let msbfs = KernelConfig::new(Kernel::MsBfs);
+
+    let clean_ctx = ExecutionContext::new().with_degradation(policy());
+    let p = PreparedGraph::build_with(&g, no_bcc(), &clean_ctx).unwrap();
+    let clean = run_degraded(&p, &request, SampleSize::Count(K), SEED, &clean_ctx).unwrap();
+
+    let ctx = ExecutionContext::new()
+        .with_control(
+            RunControl::new().with_fault_plan(FaultPlan::parse("bfs.batch=panic@nth:1").unwrap()),
+        )
+        .with_degradation(policy())
+        .with_kernel(msbfs);
+    let d = run_degraded(&p, &request, SampleSize::Count(K), SEED, &ctx).unwrap();
+    // All K sources ride one batch, so the single panic quarantined — and
+    // the ladder retried — every one of them.
+    assert!(d.retries >= K as u64, "batch quarantine must retry all {K} sources: {d:?}");
+    assert_eq!(d.quarantined, 0, "retry must clear the quarantine");
+    assert_eq!(documented_exit(&d), 0);
+    assert_eq!(d.estimate.raw(), clean.estimate.raw());
+    assert_eq!(d.estimate.sampled_mask(), clean.estimate.sampled_mask());
+    assert_eq!(d.estimate.coverage(), clean.estimate.coverage());
+    assert_eq!(d.estimate.num_sources(), clean.estimate.num_sources());
+    assert_eq!(d.estimate.outcome(), clean.estimate.outcome());
+
+    // Per-source coverage accounting under batching: completed sources are
+    // exact and fully covered, everyone else counts exactly the completed
+    // sources.
+    let est = &d.estimate;
+    let n1 = (g.num_nodes() - 1) as u32;
+    for (v, &ex) in exact.iter().enumerate() {
+        assert!(est.lower_bounds()[v] <= ex);
+        if est.is_sampled(v as u32) {
+            assert_eq!(est.coverage()[v], n1);
+            assert_eq!(est.raw()[v], ex);
+        } else {
+            assert_eq!(est.coverage()[v], est.num_sources() as u32);
+        }
+    }
 }
 
 proptest! {
