@@ -13,9 +13,11 @@
 //! distance checksums; a mismatch is a hard failure (exit 1), so the
 //! benchmark doubles as an equivalence test.
 
+use brics::{BricsEstimator, Method, SampleSize};
 use brics_bench::kernels::{
     equivalent, kernel_inputs, measure_frontier_parallel, measure_hybrid, measure_msbfs,
-    measure_topdown, recorded_sweep, spread_sources, KernelMeasurement,
+    measure_topdown, measure_topk, recorded_sweep, spread_sources, KernelMeasurement,
+    TopkMeasurement,
 };
 use brics_bench::{scale_from_env, TableWriter};
 use brics_graph::telemetry::RunRecorder;
@@ -112,8 +114,11 @@ fn main() {
         "graph", "nodes", "arcs", "topdown-ms", "hybrid-ms", "frontier-ms", "msbfs-ms", "hyb-x",
         "fp-x", "ms-x", "equal",
     ]);
+    let mut topk_table =
+        TableWriter::new(["graph", "k", "pruned-ms", "full-ms", "pruned-edges", "full-edges", "cut-bfs", "equal"]);
     let mut graph_docs = Vec::new();
     let mut all_equal = true;
+    let mut all_topk_equal = true;
     let mut best_hybrid = 0.0f64;
     let mut best_msbfs = 0.0f64;
     for input in kernel_inputs(scale) {
@@ -155,6 +160,41 @@ fn main() {
             format!("{ms_speedup:.2}"),
             ok.to_string(),
         ]);
+        // The topk family: pruned vs full verification of the exact top-k
+        // scan against ONE shared, deliberately weak estimate (random
+        // sampling @ 15%), so both modes walk the identical candidate
+        // order and the edge-scan delta is purely the BFS cut's doing.
+        let topk_k = 8.min(g.num_nodes());
+        let est = BricsEstimator::new(Method::RandomSampling)
+            .sample(SampleSize::Fraction(0.15))
+            .seed(17)
+            .run(g)
+            .expect("bench graphs are connected");
+        let tk_pruned = measure_topk(g, &est, topk_k, true, opts.reps);
+        let tk_full = measure_topk(g, &est, topk_k, false, opts.reps);
+        let topk_equal = tk_pruned.ranked_checksum == tk_full.ranked_checksum;
+        all_topk_equal &= topk_equal;
+        topk_table.row([
+            input.name.clone(),
+            topk_k.to_string(),
+            format!("{:.2}", tk_pruned.seconds * 1e3),
+            format!("{:.2}", tk_full.seconds * 1e3),
+            tk_pruned.edges_scanned.to_string(),
+            tk_full.edges_scanned.to_string(),
+            tk_pruned.pruned_bfs.to_string(),
+            topk_equal.to_string(),
+        ]);
+        let topk_row = |m: &TopkMeasurement| {
+            serde_json::json!({
+                "mode": m.mode,
+                "ms": m.seconds * 1e3,
+                "edges_scanned": m.edges_scanned,
+                "vertices_visited": m.vertices_visited,
+                "pruned_bfs": m.pruned_bfs,
+                "cut_levels": m.cut_levels,
+                "ranked_checksum": m.ranked_checksum,
+            })
+        };
         graph_docs.push(serde_json::json!({
             "graph": input.name,
             "nodes": g.num_nodes(),
@@ -172,10 +212,17 @@ fn main() {
             "speedup_hybrid_vs_topdown": hyb_speedup,
             "speedup_frontier_vs_serial_hybrid": fp_speedup,
             "speedup_msbfs_vs_serial_hybrid": ms_speedup,
+            "topk": serde_json::json!({
+                "k": topk_k,
+                "ranked_equal": topk_equal,
+                "rows": [topk_row(&tk_pruned), topk_row(&tk_full)],
+            }),
             "telemetry": rec.report(),
         }));
     }
     print!("{}", table.render());
+    println!("\ntop-k verification (pruned BFS-cut vs full sweeps, k per graph):");
+    print!("{}", topk_table.render());
 
     let doc = serde_json::json!({
         "bench": "kernels",
@@ -187,6 +234,7 @@ fn main() {
         "graphs": graph_docs,
         "summary": serde_json::json!({
             "all_kernels_equivalent": all_equal,
+            "topk_ranked_equal": all_topk_equal,
             "best_hybrid_speedup_vs_topdown": best_hybrid,
             "best_msbfs_speedup_vs_serial_hybrid": best_msbfs,
         }),
@@ -202,6 +250,10 @@ fn main() {
     );
     if !all_equal {
         eprintln!("FAIL: kernels disagreed on reach counts or distance checksums");
+        std::process::exit(1);
+    }
+    if !all_topk_equal {
+        eprintln!("FAIL: pruned top-k verification diverged from the full sweeps");
         std::process::exit(1);
     }
 }

@@ -4,8 +4,9 @@
 //! emits `BENCH_kernels.json`; every measurement carries a checksum so a
 //! run doubles as a distance-equivalence test.
 
+use brics::{ExecutionContext, FarnessEstimate};
 use brics_graph::generators::{complete_graph, gnm_random_connected, ClassParams, GraphClass};
-use brics_graph::telemetry::{timed, Counter, Recorder};
+use brics_graph::telemetry::{timed, Counter, Recorder, RunRecorder};
 use brics_graph::traversal::{Bfs, HybridBfs, HybridParams, MsBfs, ParFrontierBfs, MSBFS_BATCH};
 use brics_graph::{CsrGraph, NodeId};
 use std::time::Instant;
@@ -227,6 +228,68 @@ pub fn recorded_sweep<R: Recorder>(
     });
 }
 
+/// One timed top-k verification scan (pruned or full) over a shared
+/// estimate, with the scan's actual work harvested from a fresh recorder.
+pub struct TopkMeasurement {
+    /// `"pruned"` (BFS-cut against the running k-th best) or `"full"`.
+    pub mode: &'static str,
+    /// Best-of-reps wall time of the whole scan.
+    pub seconds: f64,
+    /// Arcs actually probed by the verification sweeps.
+    pub edges_scanned: u64,
+    /// Vertices actually visited by the verification sweeps.
+    pub vertices_visited: u64,
+    /// Sweeps aborted early by the BFS cut (always 0 in full mode).
+    pub pruned_bfs: u64,
+    /// Σ levels fully expanded by cut sweeps before aborting.
+    pub cut_levels: u64,
+    /// Order-sensitive FNV-1a checksum over the ranked (vertex, farness)
+    /// pairs — equal checksums across modes is the bit-identity verdict.
+    pub ranked_checksum: u64,
+}
+
+/// Measures one verification mode of the exact top-k scan against a
+/// pre-computed estimate. Share the estimate between the pruned and full
+/// calls so both scans see the identical candidate order and threshold
+/// evolution — only then is the checksum comparison a statement about the
+/// cut, not about sampling noise.
+pub fn measure_topk(
+    g: &CsrGraph,
+    est: &FarnessEstimate,
+    k: usize,
+    prune: bool,
+    reps: usize,
+) -> TopkMeasurement {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let rec = RunRecorder::new();
+        let (seconds, res) = {
+            let ctx = ExecutionContext::new().with_recorder(&rec);
+            let t = Instant::now();
+            let res = brics::topk::top_k_from_estimate_with(g, k, est, prune, &ctx)
+                .expect("connected bench graphs cannot fail top-k");
+            (t.elapsed().as_secs_f64(), res)
+        };
+        best = best.min(seconds);
+        out = Some((res, rec));
+    }
+    let (res, rec) = out.expect("reps >= 1");
+    let ranked_checksum = res.ranked.iter().fold(0xcbf29ce484222325u64, |h, &(v, f)| {
+        let h = (h ^ v as u64).wrapping_mul(0x100000001b3);
+        (h ^ f).wrapping_mul(0x100000001b3)
+    });
+    TopkMeasurement {
+        mode: if prune { "pruned" } else { "full" },
+        seconds: best,
+        edges_scanned: rec.counter(Counter::EdgesScanned),
+        vertices_visited: rec.counter(Counter::VerticesVisited),
+        pruned_bfs: rec.counter(Counter::TopkPrunedBfs),
+        cut_levels: rec.counter(Counter::TopkCutLevels),
+        ranked_checksum,
+    }
+}
+
 /// Whether every measurement reached the same vertices with the same
 /// total distance mass — the run-time distance-equivalence verdict.
 pub fn equivalent(measurements: &[KernelMeasurement]) -> bool {
@@ -301,6 +364,31 @@ mod tests {
         assert!(report.derived.mteps > 0.0);
         // Disabled recorder: the sweep must be a no-op.
         recorded_sweep(&g, &sources, HybridParams::default(), &NullRecorder);
+    }
+
+    #[test]
+    fn topk_measurement_modes_agree_and_pruned_scans_less() {
+        use brics::{BricsEstimator, Method, SampleSize};
+        let g = brics_graph::generators::social_like(ClassParams::new(400, 4));
+        // A deliberately weak estimate, so verification does real work.
+        let est = BricsEstimator::new(Method::RandomSampling)
+            .sample(SampleSize::Fraction(0.15))
+            .seed(17)
+            .run(&g)
+            .unwrap();
+        let pruned = measure_topk(&g, &est, 8, true, 1);
+        let full = measure_topk(&g, &est, 8, false, 1);
+        assert_eq!(pruned.ranked_checksum, full.ranked_checksum, "modes diverged");
+        assert_eq!(full.pruned_bfs, 0);
+        assert_eq!(full.cut_levels, 0);
+        assert!(pruned.pruned_bfs > 0, "the cut never fired on a social graph");
+        assert!(
+            pruned.edges_scanned < full.edges_scanned,
+            "cut sweeps must probe strictly fewer arcs ({} vs {})",
+            pruned.edges_scanned,
+            full.edges_scanned
+        );
+        assert!(pruned.vertices_visited < full.vertices_visited);
     }
 
     #[test]

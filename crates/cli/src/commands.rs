@@ -3,7 +3,7 @@
 use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
-    run_degraded, BricsEstimator, CentralityError, DegradationPolicy, DegradedRequest,
+    run_degraded, CentralityError, DegradationPolicy, DegradedRequest,
     ExecutionContext, Kernel, KernelConfig, Method, PrepareConfig, PreparedGraph,
     ProgressConfig, ProgressMeter, RunControl, RunOutcome, RunRecorder, SampleSize,
 };
@@ -42,9 +42,13 @@ USAGE:
       (symmetric accuracy in [0, 1]; 1.0 = perfect).
 
   brics topk <graph> <k> [--rate 0.3] [--seed 0] [--json]
-                         [--kernel auto|topdown|hybrid|msbfs]
+                         [--kernel auto|topdown|hybrid|msbfs] [--reorder]
+                         [--topk-prune on|off]
       EXACT top-k closeness ranking, pruned by BRICS lower bounds —
-      far cheaper than computing all-pairs farness.
+      far cheaper than computing all-pairs farness. Verification BFS
+      are cut against the running k-th best (--topk-prune on, the
+      default); `off` runs every sweep to completion — same ranking,
+      more edge scans.
 
   brics betweenness <graph> [--rate 0.3] [--seed 0] [--top K] [--exact]
       Betweenness centrality via Brandes pivots (--exact for all sources).
@@ -65,9 +69,15 @@ PERFORMANCE (farness, compare, topk):
                      estimate — are identical across kernels; only wall
                      time differs.
   --reorder          Relabel vertices by descending degree before the
-                     run (farness and compare). Improves locality on
-                     scale-free graphs; output is translated back to
+                     run (farness, compare and topk). Improves locality
+                     on scale-free graphs; output is translated back to
                      original ids.
+  --topk-prune MODE  `on` (default) cuts each topk verification BFS as
+                     soon as a per-level lower bound on its farness
+                     exceeds the current k-th best; `off` is the full-
+                     sweep fallback. The ranking is identical either
+                     way (cut sweeps land in `topk_pruned_bfs` /
+                     `topk_cut_levels` and the `cut_depth` histogram).
 
 EXECUTION LIMITS (farness, compare, topk, betweenness):
   --timeout SECS     Wall-clock budget. When it expires mid-run, already
@@ -1004,20 +1014,39 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Usage(format!("bad k: {e}")))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
+    let kcfg = kernel_from(p)?;
+    let prune = match p.get("topk-prune").unwrap_or("on") {
+        "on" | "" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!("--topk-prune {other}: expected on|off")))
+        }
+    };
     let m = metrics_from(p, &ctl)?;
     let rec = m.as_ref().map(|mm| mm.rec.as_ref());
+    if let Err(e) = check_io_fault(&ctl, path) {
+        let _ = emit_metrics(&m);
+        return Err(e);
+    }
     let g = load_graph(path)?;
     let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
-    let estimator = BricsEstimator::new(Method::Cumulative)
-        .sample(SampleSize::Fraction(rate))
-        .seed(seed)
-        .kernel(kernel_from(p)?);
-    let ctx = ExecutionContext::new().with_control(ctl).with_recorder(&rec);
+    // One prepared artifact (reduction + Block-Cut Tree built once, a
+    // single `reduce` span) serves the estimate and the verification scan,
+    // exactly like `farness`/`compare`; --reorder relabels inside it and
+    // the ranking is translated back to input ids.
+    let pcfg = prepare_config_of("cumulative", p.has("reorder"))?;
+    if pcfg.reorder {
+        eprintln!("note: --reorder relabelled vertices by descending degree");
+    }
+    let ctx =
+        ExecutionContext::new().with_control(ctl).with_kernel(kcfg).with_recorder(&rec);
     // Top-k promises exact answers, so interruption is an error (exit 4),
     // never a shorter/looser ranking. Emit whatever telemetry the run
     // collected before surfacing the error.
-    let t = match brics::topk::top_k_closeness_in(&g, k, &estimator, &ctx) {
+    let t = match PreparedGraph::build_with(&g, pcfg, &ctx).and_then(|prepared| {
+        prepared.topk_with(k, SampleSize::Fraction(rate), seed, prune, &ctx)
+    }) {
         Ok(t) => t,
         Err(e) => {
             let _ = emit_metrics(&m);
@@ -1025,8 +1054,9 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         }
     };
     eprintln!(
-        "note: {} pruned, {} verified by BFS, {} for free (of {})",
+        "note: {} pruned, {} cut mid-sweep, {} verified by BFS, {} for free (of {})",
         t.pruned,
+        t.pruned_bfs,
         t.verified_with_bfs,
         t.verified_for_free,
         g.num_nodes()
@@ -1036,6 +1066,7 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
             "graph": path,
             "k": k,
             "pruned": t.pruned,
+            "pruned_bfs": t.pruned_bfs,
             "ranked": t.ranked.iter().map(|&(v, f)| serde_json::json!({
                 "id": v, "farness": f,
                 "closeness": if f == 0 { 0.0 } else { 1.0 / f as f64 },
@@ -1197,6 +1228,49 @@ mod tests {
         run(&["topk", path.to_str().unwrap(), "3", "--rate", "0.5", "--json"]).unwrap();
         assert!(run(&["topk", path.to_str().unwrap()]).is_err()); // missing k
         assert!(run(&["topk", path.to_str().unwrap(), "x"]).is_err());
+    }
+
+    #[test]
+    fn topk_prune_flag_validates_and_both_modes_run() {
+        let path = tmp("topkprune.el");
+        run(&["generate", "community", "400", "--seed", "2", "--out", path.to_str().unwrap()])
+            .unwrap();
+        run(&["topk", path.to_str().unwrap(), "4", "--topk-prune", "on"]).unwrap();
+        run(&["topk", path.to_str().unwrap(), "4", "--topk-prune", "off", "--reorder"])
+            .unwrap();
+        assert_eq!(
+            run(&["topk", path.to_str().unwrap(), "4", "--topk-prune", "maybe"])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn topk_goes_through_one_prepared_artifact() {
+        // Regression for the amortization bypass: `topk` used to call
+        // `top_k_closeness_in` directly, rebuilding the reduction and BCT
+        // outside the engine's prepare span. Routed through
+        // `PreparedGraph`, one invocation shows exactly one reduce and one
+        // prepare phase, a separate estimate span, and the verify scan's
+        // own span with its planned-sources figure.
+        let path = tmp("topkamort.el");
+        run(&["generate", "social", "400", "--seed", "6", "--out", path.to_str().unwrap()])
+            .unwrap();
+        let out = tmp("topkamort.json");
+        run(&["topk", path.to_str().unwrap(), "5", "--metrics", out.to_str().unwrap()])
+            .unwrap();
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let reduce: Vec<_> = report.phases.iter().filter(|p| p.name == "reduce").collect();
+        assert_eq!(reduce.len(), 1, "one aggregated reduce phase");
+        assert_eq!(reduce[0].count, 1, "the reduction ran exactly once");
+        let prepare = report.phases.iter().find(|p| p.name == "prepare").unwrap();
+        assert_eq!(prepare.count, 1, "one prepare stage");
+        let estimate = report.phases.iter().find(|p| p.name == "estimate").unwrap();
+        assert_eq!(estimate.count, 1, "one estimate span, separate from prepare");
+        assert!(report.phases.iter().any(|p| p.name == "topk.verify"), "verify span");
+        assert!(report.counters["bfs_sources_planned"] > 0, "planned figure published");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::exact::exact_query;
 use crate::harmonic::{harmonic_query, HarmonicEstimate};
 use crate::reduced::reduced_query;
 use crate::sampling::sampling_query;
-use crate::topk::{top_k_from_estimate_ctl, TopK};
+use crate::topk::{top_k_scan, TopK};
 use crate::{CentralityError, FarnessEstimate};
 use brics_graph::control::panic_message;
 use brics_graph::reorder::Relabeling;
@@ -572,12 +572,38 @@ impl<'g> PreparedGraph<'g> {
     /// Exact top-k closeness using an estimate from this artifact for
     /// pruning: Cumulative when the BCT state is present, reduced
     /// otherwise. Interruption surfaces as an error — a partial top-k
-    /// certificate is worthless.
+    /// certificate is worthless. Verification BFS are cut against the
+    /// running k-th best ([`brics_graph::traversal::BfsCut`]).
     pub fn topk<R: Recorder>(
         &self,
         k: usize,
         sample: SampleSize,
         seed: u64,
+        ctx: &ExecutionContext<'_, R>,
+    ) -> Result<TopK, CentralityError> {
+        self.topk_with(k, sample, seed, true, ctx)
+    }
+
+    /// [`PreparedGraph::topk`] with an explicit pruning switch
+    /// (`prune = false` runs every verification sweep to completion — the
+    /// equivalence-testing fallback; `ranked` is identical either way).
+    ///
+    /// Verification runs on the **reduced** graph when the reduction kept
+    /// it unweighted: survivor candidates sweep `red.graph` and replay the
+    /// removal log for the removed vertices' exact mass, with the cut
+    /// bound corrected by a per-removed-vertex farness floor
+    /// (Σ max(structural offset, 1) — every removed vertex is at least
+    /// one hop from any survivor, and at least its replayed offset over a
+    /// zero distance field). Chain contractions introduce arc weights the
+    /// level-synchronous cut sweep cannot honor, so weighted reductions
+    /// (and removed-vertex candidates, which are isolated on the reduced
+    /// graph) verify on the working graph instead.
+    pub fn topk_with<R: Recorder>(
+        &self,
+        k: usize,
+        sample: SampleSize,
+        seed: u64,
+        prune: bool,
         ctx: &ExecutionContext<'_, R>,
     ) -> Result<TopK, CentralityError> {
         let rec = ctx.recorder();
@@ -608,15 +634,31 @@ impl<'g> PreparedGraph<'g> {
             ),
         })?;
         let working = self.working();
+        // The scan charges its own per-BFS counters (actual vertices and
+        // arcs scanned), so no bulk accounting happens here.
+        let reduced_ctx = if self.red.weights.is_none() {
+            let offsets = structural_offsets(&self.red.records, working.num_nodes());
+            let removed_floor: u64 = self
+                .red
+                .removed
+                .iter()
+                .zip(&offsets)
+                .filter(|&(&r, _)| r)
+                .map(|(_, &o)| (o as u64).max(1))
+                .sum();
+            Some(crate::topk::ReducedVerify {
+                graph: &self.red.graph,
+                removed: &self.red.removed,
+                records: &self.red.records,
+                num_surviving: self.survivors.len(),
+                removed_floor,
+            })
+        } else {
+            None
+        };
         let mut t = timed(rec, "topk.verify", || {
-            top_k_from_estimate_ctl(working, k, &est, ctx.control())
+            top_k_scan(working, k, &est, prune, reduced_ctx.as_ref(), ctx.control(), rec)
         })?;
-        if rec.enabled() {
-            let b = t.verified_with_bfs as u64;
-            rec.add(Counter::BfsSources, b);
-            rec.add(Counter::VerticesVisited, b * working.num_nodes() as u64);
-            rec.add(Counter::EdgesScanned, b * working.num_arcs() as u64);
-        }
         if let Some(r) = &self.relabel {
             for (v, _) in &mut t.ranked {
                 *v = r.old_of_new[*v as usize];
@@ -799,6 +841,62 @@ mod tests {
             p.sample(SampleSize::Fraction(1.0), 0, &ctx),
             Err(CentralityError::Disconnected { .. })
         ));
+    }
+
+    #[test]
+    fn topk_pruned_matches_full_through_both_verify_gates() {
+        let ctx = ExecutionContext::new();
+        let brute = |g: &brics_graph::CsrGraph, k: usize| {
+            let exact = exact_farness(g).unwrap();
+            let mut idx: Vec<u32> = (0..g.num_nodes() as u32).collect();
+            idx.sort_by_key(|&v| (exact[v as usize], v));
+            idx[..k].iter().map(|&v| (v, exact[v as usize])).collect::<Vec<_>>()
+        };
+
+        // Gate 1: contraction disabled keeps the reduced graph unweighted,
+        // so survivor sweeps verify on it with the removed-vertex floor.
+        let g = social_like(ClassParams::new(400, 4));
+        let cfg = PrepareConfig {
+            reductions: ReductionConfig::all().without_contraction(),
+            ..Default::default()
+        };
+        let p = PreparedGraph::build_with(&g, cfg, &ctx).unwrap();
+        assert!(p.red.weights.is_none(), "no contraction, no weights");
+        assert!(p.red.removed.iter().any(|&r| r), "reductions fired");
+        let k = 6;
+        let pruned = p.topk_with(k, SampleSize::Fraction(0.15), 11, true, &ctx).unwrap();
+        let full = p.topk_with(k, SampleSize::Fraction(0.15), 11, false, &ctx).unwrap();
+        assert_eq!(pruned.ranked, brute(&g, k));
+        assert_eq!(pruned.ranked, full.ranked);
+        assert_eq!(full.pruned_bfs, 0, "full mode never cuts");
+
+        // Gate 2: chain contraction introduces arc weights the cut sweep
+        // cannot honor, so verification falls back to the working graph.
+        // Barbell: two K6 cliques joined by a 20-vertex non-redundant
+        // chain, which contracts into one weighted edge.
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        for a in 26..32u32 {
+            for b in (a + 1)..32 {
+                edges.push((a, b));
+            }
+        }
+        for v in 5..26u32 {
+            edges.push((v, v + 1));
+        }
+        let g2 = brics_graph::GraphBuilder::from_edges(32, &edges);
+        let p2 = PreparedGraph::build(&g2, &ReductionConfig::all(), &ctx).unwrap();
+        assert!(p2.red.weights.is_some(), "the barbell chain contracts");
+        let k2 = 5;
+        let pruned2 = p2.topk_with(k2, SampleSize::Fraction(0.5), 3, true, &ctx).unwrap();
+        let full2 = p2.topk_with(k2, SampleSize::Fraction(0.5), 3, false, &ctx).unwrap();
+        assert_eq!(pruned2.ranked, brute(&g2, k2));
+        assert_eq!(pruned2.ranked, full2.ranked);
+        assert_eq!(full2.pruned_bfs, 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Exact top-k closeness via BRICS lower bounds.
+//! Exact top-k closeness via BRICS lower bounds and BFS-cut verification.
 //!
 //! Ranking the k most central vertices is the application the paper cites
 //! through Okamoto et al. (§I, §I-A). BRICS makes an *exact* top-k
@@ -11,13 +11,24 @@
 //! better than the current k-th verified farness — everything unscanned is
 //! provably outside the top-k. Vertices that served as BFS sources during
 //! estimation are already exact and verify for free.
+//!
+//! Verification BFS are additionally *cut* (Borassi et al. / Bergamini
+//! et al.): [`BfsCut`] aborts a sweep the moment its per-level farness
+//! lower bound exceeds the running k-th best, so losing candidates pay a
+//! few levels instead of a whole traversal. Because the bound never
+//! overstates the true farness and ties are always verified to completion,
+//! the pruned scan is **bit-identical** to full verification — the
+//! `prune = false` fallback exists purely for equivalence testing and A/B
+//! measurement.
 
 use crate::engine::ExecutionContext;
 use crate::{BricsEstimator, CentralityError, FarnessEstimate};
-use brics_graph::telemetry::{timed, Counter, Recorder};
-use brics_graph::traversal::Bfs;
-use brics_graph::{CsrGraph, NodeId, RunControl};
+use brics_graph::telemetry::{record_panic, timed, Counter, Metric, NullRecorder, Recorder};
+use brics_graph::traversal::{BfsCut, CutOutcome, WorkerGuard};
+use brics_graph::{CsrGraph, NodeId, RunControl, INFINITE_DIST};
+use brics_reduce::{reconstruct_distances, Removal};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Result of an exact top-k closeness query.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -25,12 +36,36 @@ pub struct TopK {
     /// The k most central vertices with their *exact* farness, ascending
     /// (ties broken by vertex id).
     pub ranked: Vec<(NodeId, u64)>,
-    /// Vertices whose exact farness had to be verified with a fresh BFS.
+    /// Vertices whose exact farness was verified by a *completed* BFS.
     pub verified_with_bfs: usize,
     /// Vertices accepted for free (they were estimation BFS sources).
     pub verified_for_free: usize,
     /// Vertices pruned by the lower bound without any BFS.
     pub pruned: usize,
+    /// Vertices whose verification BFS was cut early by the BFS-cut bound
+    /// (they started a sweep but were certified out before it finished).
+    pub pruned_bfs: usize,
+}
+
+/// Verification context for scans running on a *reduced* graph: survivor
+/// candidates traverse the (smaller) reduced graph and replay the removal
+/// log to recover the removed vertices' exact distance mass, instead of
+/// sweeping the full working graph.
+pub(crate) struct ReducedVerify<'a> {
+    /// The reduced graph, in the same id space as the working graph
+    /// (removed vertices are isolated).
+    pub graph: &'a CsrGraph,
+    /// Per-vertex removal flags.
+    pub removed: &'a [bool],
+    /// The removal log, replayed to reconstruct removed distances after a
+    /// completed sweep.
+    pub records: &'a [Removal],
+    /// Survivor count — the population a connected reduced sweep reaches.
+    pub num_surviving: usize,
+    /// Sound lower bound on the total farness mass the removed vertices
+    /// contribute from *any* survivor source (Σ max(structural offset, 1)).
+    /// Added to the cut bound so pruning on the reduced graph stays sound.
+    pub removed_floor: u64,
 }
 
 /// Computes the exact top-k closeness ranking (smallest farness) using a
@@ -67,15 +102,7 @@ pub fn top_k_closeness_in<R: Recorder>(
 ) -> Result<TopK, CentralityError> {
     let rec = ctx.recorder();
     let est = estimator.run_in(g, ctx)?;
-    let t = timed(rec, "topk.verify", || top_k_from_estimate_ctl(g, k, &est, ctx.control()))?;
-    if rec.enabled() {
-        let b = t.verified_with_bfs as u64;
-        rec.add(Counter::BfsSources, b);
-        // Each verification BFS scans the whole (connected) graph.
-        rec.add(Counter::VerticesVisited, b * g.num_nodes() as u64);
-        rec.add(Counter::EdgesScanned, b * g.num_arcs() as u64);
-    }
-    Ok(t)
+    timed(rec, "topk.verify", || top_k_scan(g, k, &est, true, None, ctx.control(), rec))
 }
 
 /// Same as [`top_k_closeness`], reusing an existing estimate.
@@ -85,35 +112,90 @@ pub fn top_k_from_estimate(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> Top
 }
 
 /// [`top_k_from_estimate`] under an [`ExecutionContext`]: the context's
-/// control is consulted before each verification BFS (kernel and recorder
-/// are unused — verification is plain sequential BFS).
+/// control is consulted before each verification BFS and between the cut
+/// levels inside one, and the recorder receives per-BFS telemetry
+/// (`topk.cutbfs` spans, kernel counters, cut-depth observations).
 pub fn top_k_from_estimate_in<R: Recorder>(
     g: &CsrGraph,
     k: usize,
     est: &FarnessEstimate,
     ctx: &ExecutionContext<'_, R>,
 ) -> Result<TopK, CentralityError> {
-    top_k_from_estimate_ctl(g, k, est, ctx.control())
+    top_k_from_estimate_with(g, k, est, true, ctx)
 }
 
-/// Control-level core of the verification scan, shared by the public entry
-/// points and [`crate::engine::PreparedGraph::topk`] (which must verify in
-/// working-graph ids before translating).
+/// [`top_k_from_estimate_in`] with an explicit pruning switch.
+///
+/// `prune = true` cuts each verification BFS against the running k-th best
+/// farness ([`BfsCut`]); `prune = false` runs every verification sweep to
+/// completion (the exact-BFS fallback). Both settings produce the same
+/// `ranked` vector bit for bit — the flag exists for equivalence testing
+/// and for measuring what the cut saves. Pruning assumes a connected
+/// graph (the estimators already require one); if a completed sweep
+/// reveals a disconnected input, the scan falls back to full verification
+/// for the remaining candidates.
+pub fn top_k_from_estimate_with<R: Recorder>(
+    g: &CsrGraph,
+    k: usize,
+    est: &FarnessEstimate,
+    prune: bool,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<TopK, CentralityError> {
+    top_k_scan(g, k, est, prune, None, ctx.control(), ctx.recorder())
+}
+
+/// Control-level core of the verification scan, kept for callers that have
+/// a bare [`RunControl`] rather than a full context. Pruning on, no
+/// telemetry.
 pub(crate) fn top_k_from_estimate_ctl(
     g: &CsrGraph,
     k: usize,
     est: &FarnessEstimate,
     ctl: &RunControl,
 ) -> Result<TopK, CentralityError> {
+    top_k_scan(g, k, est, true, None, ctl, &NullRecorder)
+}
+
+/// The verification scan shared by every entry point, including
+/// [`crate::engine::PreparedGraph::topk`] (which must verify in
+/// working-graph ids before translating, and passes a [`ReducedVerify`]
+/// so survivor candidates sweep the reduced graph).
+///
+/// Accounting (the three fixed bugs live here):
+/// * each verification BFS charges its *actual* visited vertices and
+///   scanned arcs to the kernel counters — not `num_nodes`/`num_arcs`;
+/// * [`Counter::BfsSources`] moves once per BFS *inside* the loop, after
+///   an up-front [`Counter::BfsSourcesPlanned`] estimate, so a progress
+///   heartbeat sees the verify phase advance instead of one terminal jump;
+/// * cut sweeps record [`Counter::TopkPrunedBfs`],
+///   [`Counter::TopkCutLevels`] and a [`Metric::CutDepth`] observation.
+pub(crate) fn top_k_scan<R: Recorder>(
+    g: &CsrGraph,
+    k: usize,
+    est: &FarnessEstimate,
+    prune: bool,
+    reduced: Option<&ReducedVerify<'_>>,
+    ctl: &RunControl,
+    rec: &R,
+) -> Result<TopK, CentralityError> {
     let n = g.num_nodes();
     let k = k.min(n);
     if k == 0 {
-        return Ok(TopK { ranked: Vec::new(), verified_with_bfs: 0, verified_for_free: 0, pruned: n });
+        return Ok(TopK {
+            ranked: Vec::new(),
+            verified_with_bfs: 0,
+            verified_for_free: 0,
+            pruned: n,
+            pruned_bfs: 0,
+        });
     }
     // Ascending lower-bound order. On top of the estimate's built-in
     // bound (uncovered vertices are ≥ 1 hop away), at most deg(v) of the
     // uncovered vertices can be neighbours — every other one is ≥ 2 hops
     // away, which tightens the bound by another (uncovered − deg(v))⁺.
+    // Degrees are the *working* graph's: on a reduced graph a candidate's
+    // uncovered set includes removed vertices its full neighbourhood can
+    // still reach in one hop.
     let bounds: Vec<u64> = est
         .lower_bounds()
         .into_iter()
@@ -127,13 +209,41 @@ pub(crate) fn top_k_from_estimate_ctl(
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     order.sort_by_key(|&v| (bounds[v as usize], v));
 
-    let mut bfs = Bfs::new(n);
+    if rec.enabled() {
+        // A-priori estimate of how many verification BFS the scan will
+        // run, published before the first one so a progress heartbeat can
+        // show an ETA. The k-th smallest farness among the (already
+        // exact) sampled vertices over-approximates the final threshold
+        // most of the time; with fewer than k samples every non-sampled
+        // vertex might need a sweep.
+        let mut sampled: Vec<u64> = order
+            .iter()
+            .filter(|&&v| est.is_sampled(v))
+            .map(|&v| est.raw()[v as usize])
+            .collect();
+        let planned = if sampled.len() >= k {
+            sampled.sort_unstable();
+            let tau0 = sampled[k - 1];
+            order
+                .iter()
+                .filter(|&&v| !est.is_sampled(v) && bounds[v as usize] <= tau0)
+                .count()
+        } else {
+            order.iter().filter(|&&v| !est.is_sampled(v)).count()
+        };
+        rec.add(Counter::BfsSourcesPlanned, planned as u64);
+    }
+
+    let mut cut = BfsCut::new(n);
+    let guard = WorkerGuard::new(ctl);
     // (farness, vertex) of verified candidates; k is small, a sorted Vec
     // beats a heap here.
     let mut best: Vec<(u64, NodeId)> = Vec::with_capacity(k + 1);
     let mut verified_with_bfs = 0usize;
     let mut verified_for_free = 0usize;
+    let mut pruned_bfs = 0usize;
     let mut scanned = 0usize;
+    let mut allow_prune = prune;
 
     for &v in &order {
         let bound = bounds[v as usize];
@@ -146,16 +256,103 @@ pub(crate) fn top_k_from_estimate_ctl(
             }
         }
         scanned += 1;
-        let exact = if est.is_sampled(v) {
+        if est.is_sampled(v) {
             verified_for_free += 1;
-            est.raw()[v as usize]
-        } else {
-            if let Some(outcome) = ctl.should_stop() {
-                return Err(CentralityError::Interrupted { outcome });
+            best.push((est.raw()[v as usize], v));
+            best.sort_unstable();
+            best.truncate(k);
+            continue;
+        }
+
+        // The cut threshold: only once k candidates are verified is there
+        // a k-th best to beat, and ties at tau must verify to completion
+        // (strict `>` inside the sweep) so the id tie-break is exact.
+        let tau_cut = match (allow_prune, best.len() == k) {
+            (true, true) => best.last().unwrap().0,
+            _ => u64::MAX,
+        };
+        // Survivors sweep the reduced graph with the removed-vertex floor
+        // folded into the bound; removed candidates (isolated there) and
+        // the plain entry points sweep the working graph.
+        let (target, population, extra_mass) = match reduced {
+            Some(rv) if !rv.removed[v as usize] => {
+                (rv.graph, rv.num_surviving, rv.removed_floor)
             }
-            verified_with_bfs += 1;
-            let (_, sum) = bfs.run_with(g, v, |_, _| {});
-            sum
+            _ => (g, n, 0u64),
+        };
+
+        let started = if rec.enabled() { Some(Instant::now()) } else { None };
+        // The `bfs.source` failpoint + panic isolation wrap each sweep,
+        // like the estimation drivers: a worker panic (or injected
+        // io-error) surfaces as an internal error, never a wrong ranking.
+        let out = guard.run_source(v, || {
+            let res = cut.run_ctl(target, v, tau_cut, population, extra_mass, ctl)?;
+            if let (CutOutcome::Exact { reached, sum }, Some(rv)) = (res, reduced) {
+                if !rv.removed[v as usize] && !rv.records.is_empty() {
+                    // Replay the removal log over the completed distance
+                    // array to add the removed vertices' exact mass, then
+                    // restore the sparse-reset invariant.
+                    let mut sum = sum;
+                    let dist = cut.distances_mut();
+                    reconstruct_distances(rv.records, dist);
+                    for rem in rv.records {
+                        for x in rem.removed_nodes() {
+                            let d = dist[x as usize];
+                            debug_assert_ne!(d, INFINITE_DIST, "unreachable removed vertex {x}");
+                            sum += d as u64;
+                            dist[x as usize] = INFINITE_DIST;
+                        }
+                    }
+                    return Ok(CutOutcome::Exact { reached, sum });
+                }
+            }
+            Ok(res)
+        });
+        let res = match out {
+            Some(r) => r,
+            None => {
+                // Either the control tripped before the sweep or the
+                // worker panicked inside it; `finish` disambiguates.
+                return match guard.finish() {
+                    Err(p) => {
+                        record_panic(rec, &p.detail);
+                        Err(CentralityError::Internal { detail: p.detail })
+                    }
+                    Ok(outcome) => Err(CentralityError::Interrupted { outcome }),
+                };
+            }
+        };
+        if let Some(start) = started {
+            let end = Instant::now();
+            rec.incr(Counter::BfsSources);
+            rec.add(Counter::VerticesVisited, cut.vertices_visited());
+            rec.add(Counter::EdgesScanned, cut.arcs_scanned());
+            rec.span("topk.cutbfs", end.duration_since(start));
+            rec.observe(Metric::SourceBfsNanos, end.duration_since(start).as_nanos() as u64);
+            if rec.trace_enabled() {
+                rec.trace_span("bfs.source", start, end);
+            }
+        }
+        let exact = match res {
+            Ok(CutOutcome::Exact { reached, sum }) => {
+                if reached < population {
+                    // Disconnected input: the cut bound's unvisited count
+                    // is unsound here, so verify the rest in full.
+                    allow_prune = false;
+                }
+                verified_with_bfs += 1;
+                sum
+            }
+            Ok(CutOutcome::Pruned { levels, .. }) => {
+                pruned_bfs += 1;
+                if rec.enabled() {
+                    rec.incr(Counter::TopkPrunedBfs);
+                    rec.add(Counter::TopkCutLevels, levels as u64);
+                    rec.observe(Metric::CutDepth, levels as u64);
+                }
+                continue;
+            }
+            Err(outcome) => return Err(CentralityError::Interrupted { outcome }),
         };
         best.push((exact, v));
         best.sort_unstable();
@@ -167,6 +364,7 @@ pub(crate) fn top_k_from_estimate_ctl(
         verified_with_bfs,
         verified_for_free,
         pruned: n - scanned,
+        pruned_bfs,
     })
 }
 
@@ -175,8 +373,10 @@ mod tests {
     use super::*;
     use crate::{exact_farness, Method, SampleSize};
     use brics_graph::generators::{
-        community_like, gnm_random_connected, lollipop, social_like, ClassParams,
+        community_like, complete_graph, cycle_graph, gnm_random_connected, lollipop, social_like,
+        star_graph, ClassParams,
     };
+    use brics_graph::telemetry::RunRecorder;
 
     fn brute_top_k(g: &CsrGraph, k: usize) -> Vec<(NodeId, u64)> {
         let exact = exact_farness(g).unwrap();
@@ -188,6 +388,24 @@ mod tests {
 
     fn estimator() -> BricsEstimator {
         BricsEstimator::new(Method::Cumulative).sample(SampleSize::Fraction(0.3)).seed(7)
+    }
+
+    /// Runs the scan pruned and full against the same estimate and pins
+    /// them bit-identical before returning the pruned result.
+    fn both_modes(g: &CsrGraph, k: usize, est: &FarnessEstimate) -> TopK {
+        let ctx = ExecutionContext::new();
+        let pruned = top_k_from_estimate_with(g, k, est, true, &ctx).unwrap();
+        let full = top_k_from_estimate_with(g, k, est, false, &ctx).unwrap();
+        assert_eq!(pruned.ranked, full.ranked, "pruned vs full verification diverged");
+        assert_eq!(pruned.pruned, full.pruned, "bound-pruned counts must agree");
+        assert_eq!(pruned.verified_for_free, full.verified_for_free);
+        assert_eq!(full.pruned_bfs, 0, "full mode never cuts");
+        assert_eq!(
+            pruned.verified_with_bfs + pruned.pruned_bfs,
+            full.verified_with_bfs,
+            "every full-mode sweep is either completed or cut in pruned mode"
+        );
+        pruned
     }
 
     #[test]
@@ -205,7 +423,10 @@ mod tests {
         {
             let t = top_k_closeness(&g, 10, &estimator()).unwrap();
             assert_eq!(t.ranked, brute_top_k(&g, 10));
-            assert_eq!(t.pruned + t.verified_for_free + t.verified_with_bfs, g.num_nodes());
+            assert_eq!(
+                t.pruned + t.pruned_bfs + t.verified_for_free + t.verified_with_bfs,
+                g.num_nodes()
+            );
         }
     }
 
@@ -300,5 +521,221 @@ mod tests {
         let t = top_k_from_estimate(&g, 5, &est);
         assert_eq!(t.verified_with_bfs, 0);
         assert_eq!(t.ranked, brute_top_k(&g, 5));
+    }
+
+    // ---- BFS-cut adversarial cases (pruned ≡ full ≡ brute force) ----
+
+    fn weak_estimate(g: &CsrGraph, seed: u64) -> FarnessEstimate {
+        // A low-rate random sample keeps the bounds loose so verification
+        // genuinely runs (and cuts) BFS instead of accepting everything
+        // for free.
+        BricsEstimator::new(Method::RandomSampling)
+            .sample(SampleSize::Fraction(0.1))
+            .seed(seed)
+            .run(g)
+            .unwrap()
+    }
+
+    #[test]
+    fn adversarial_star_and_lollipop_change_kth_mid_scan() {
+        // Star: one vertex with tiny farness, the rest all tied — tau
+        // collapses the moment the centre verifies. Lollipop: the clique
+        // side fills the top-k, then the tail candidates must all cut.
+        for (g, k) in [
+            (star_graph(120), 3),
+            (star_graph(120), 119),
+            (lollipop(30, 40), 5),
+            (lollipop(10, 60), 8),
+        ] {
+            for seed in [0u64, 1, 2] {
+                let est = weak_estimate(&g, seed);
+                let t = both_modes(&g, k, &est);
+                assert_eq!(t.ranked, brute_top_k(&g, k), "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_k_equals_n() {
+        // k = n: nothing can be bound-pruned or cut — the full ranking
+        // must come back exact in both modes.
+        let g = lollipop(12, 12);
+        let n = g.num_nodes();
+        let est = weak_estimate(&g, 3);
+        let t = both_modes(&g, n, &est);
+        assert_eq!(t.ranked, brute_top_k(&g, n));
+        assert_eq!(t.pruned, 0);
+        assert_eq!(t.pruned_bfs, 0, "k = n leaves no threshold to cut against");
+    }
+
+    #[test]
+    fn adversarial_ties_exactly_at_tau() {
+        // Cycle and complete graphs: every vertex has the same farness, so
+        // every scanned candidate ties at tau exactly. Ties must verify to
+        // completion (never cut) and the ranking is the first k ids.
+        for g in [cycle_graph(64), complete_graph(40)] {
+            for k in [1usize, 5, 16] {
+                let est = weak_estimate(&g, 7);
+                let t = both_modes(&g, k, &est);
+                assert_eq!(t.ranked, brute_top_k(&g, k));
+                assert_eq!(t.pruned_bfs, 0, "a tie at tau must never be cut");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_interruption_between_cut_levels() {
+        // A cancellation fired mid-scan (between cut levels) must surface
+        // as Interrupted, never as a wrong certificate.
+        let g = lollipop(30, 40);
+        let est = weak_estimate(&g, 1);
+        let ctl = crate::RunControl::new();
+        ctl.cancel_token().cancel();
+        let ctx = ExecutionContext::new().with_control(ctl);
+        let err = top_k_from_estimate_with(&g, 5, &est, true, &ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            CentralityError::Interrupted { outcome: brics_graph::RunOutcome::Cancelled }
+        ));
+    }
+
+    #[test]
+    fn pruned_and_full_agree_across_methods_and_seeds() {
+        for seed in 0..4 {
+            let g = gnm_random_connected(120, 240, seed);
+            for method in [Method::RandomSampling, Method::ICR, Method::Cumulative] {
+                let est = BricsEstimator::new(method)
+                    .sample(SampleSize::Fraction(0.15))
+                    .seed(seed)
+                    .run(&g)
+                    .unwrap();
+                let t = both_modes(&g, 6, &est);
+                assert_eq!(t.ranked, brute_top_k(&g, 6), "{method:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_actually_fires_on_class_graphs() {
+        let g = social_like(ClassParams::new(400, 4));
+        let est = weak_estimate(&g, 5);
+        let t = both_modes(&g, 8, &est);
+        assert_eq!(t.ranked, brute_top_k(&g, 8));
+        assert!(t.pruned_bfs > 0, "the BFS cut should fire on a social-like graph");
+    }
+
+    // ---- accounting regression tests (the three fixed bugs) ----
+
+    #[test]
+    fn full_verification_charges_actual_scan_counts() {
+        // Regression for the `b * num_nodes` / `b * num_arcs` over-charge:
+        // the counters must equal what the verification traversals really
+        // did. Recompute the scan's candidate order and replay each
+        // BFS-verified sweep standalone to get the ground truth (bottom-up
+        // levels probe fewer arcs than `num_arcs`, so the old formula
+        // disagrees with this the moment the direction heuristic fires).
+        let g = gnm_random_connected(90, 200, 11);
+        let n = g.num_nodes();
+        let est = weak_estimate(&g, 11);
+        let rec = RunRecorder::new();
+        let ctx = ExecutionContext::new().with_recorder(&rec);
+        let full = top_k_from_estimate_with(&g, 6, &est, false, &ctx).unwrap();
+        let b = full.verified_with_bfs as u64;
+        assert!(b > 0, "test needs real verification BFS");
+
+        let bounds: Vec<u64> = est
+            .lower_bounds()
+            .into_iter()
+            .zip(est.coverage())
+            .enumerate()
+            .map(|(v, (lb, &cov))| {
+                let uncovered = (n as u64 - 1).saturating_sub(cov as u64);
+                lb + uncovered.saturating_sub(g.degree(v as NodeId) as u64)
+            })
+            .collect();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&v| (bounds[v as usize], v));
+        let scanned = n - full.pruned;
+        let mut cut = BfsCut::new(n);
+        let (mut expect_edges, mut expect_verts, mut replayed) = (0u64, 0u64, 0u64);
+        for &v in order.iter().take(scanned) {
+            if est.is_sampled(v) {
+                continue;
+            }
+            cut.run(&g, v, u64::MAX, n, 0);
+            expect_edges += cut.arcs_scanned();
+            expect_verts += cut.vertices_visited();
+            replayed += 1;
+        }
+        assert_eq!(replayed, b);
+        assert_eq!(rec.counter(Counter::BfsSources), b);
+        assert_eq!(rec.counter(Counter::VerticesVisited), expect_verts);
+        assert_eq!(rec.counter(Counter::EdgesScanned), expect_edges);
+        // On a connected graph every completed sweep still visits all n
+        // vertices; the edge work is what the old formula over-charged.
+        assert_eq!(expect_verts, b * n as u64);
+        assert!(expect_edges <= b * g.num_arcs() as u64);
+        assert_eq!(rec.counter(Counter::TopkPrunedBfs), 0);
+
+        // Pruned mode must charge strictly less edge work when any sweep
+        // is cut, and exactly what the traversals did either way.
+        let rec2 = RunRecorder::new();
+        let ctx2 = ExecutionContext::new().with_recorder(&rec2);
+        let pruned = top_k_from_estimate_with(&g, 6, &est, true, &ctx2).unwrap();
+        assert_eq!(pruned.ranked, full.ranked);
+        assert!(rec2.counter(Counter::EdgesScanned) <= rec.counter(Counter::EdgesScanned));
+        if pruned.pruned_bfs > 0 {
+            assert!(rec2.counter(Counter::EdgesScanned) < rec.counter(Counter::EdgesScanned));
+            assert_eq!(rec2.counter(Counter::TopkPrunedBfs), pruned.pruned_bfs as u64);
+            assert!(rec2.counter(Counter::TopkCutLevels) >= pruned.pruned_bfs as u64);
+        }
+    }
+
+    /// Recorder that logs every counter mutation in order, so tests can
+    /// assert *when* counts move, not just their totals.
+    #[derive(Default)]
+    struct CaptureRecorder {
+        log: std::sync::Mutex<Vec<(Counter, u64)>>,
+    }
+
+    impl Recorder for CaptureRecorder {
+        fn enabled(&self) -> bool {
+            true
+        }
+        fn add(&self, counter: Counter, n: u64) {
+            self.log.lock().unwrap().push((counter, n));
+        }
+    }
+
+    #[test]
+    fn heartbeat_sees_planned_then_per_bfs_increments() {
+        // Regression for the bulk post-scan `BfsSources` add: the planned
+        // figure must land before any BFS, and each BFS must contribute
+        // its own +1 (unit increments, not one aggregate).
+        let g = gnm_random_connected(100, 220, 13);
+        let est = weak_estimate(&g, 13);
+        let rec = CaptureRecorder::default();
+        let ctx = ExecutionContext::new().with_control(RunControl::new()).with_recorder(&rec);
+        let t = top_k_from_estimate_with(&g, 5, &est, false, &ctx).unwrap();
+        assert!(t.verified_with_bfs > 1, "test needs several verification BFS");
+
+        let log = rec.log.lock().unwrap();
+        let planned_at = log
+            .iter()
+            .position(|&(c, _)| c == Counter::BfsSourcesPlanned)
+            .expect("BfsSourcesPlanned published");
+        let first_bfs = log
+            .iter()
+            .position(|&(c, _)| c == Counter::BfsSources)
+            .expect("BfsSources recorded");
+        assert!(planned_at < first_bfs, "planned figure must precede the first BFS");
+        let sources: Vec<u64> = log
+            .iter()
+            .filter(|&&(c, _)| c == Counter::BfsSources)
+            .map(|&(_, n)| n)
+            .collect();
+        assert_eq!(sources.len(), t.verified_with_bfs, "one increment per BFS");
+        assert!(sources.iter().all(|&n| n == 1), "per-BFS unit increments, not a bulk add");
+        assert!(log.iter().find(|&&(c, _)| c == Counter::BfsSourcesPlanned).unwrap().1 > 0);
     }
 }

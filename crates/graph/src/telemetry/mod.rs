@@ -149,11 +149,16 @@ pub enum Counter {
     /// Source batches (≤64 sources each) dispatched to the bit-parallel
     /// multi-source BFS kernel.
     BatchesMsbfs,
+    /// BFS levels fully expanded by top-k verification sweeps that ended
+    /// in a cut — the total depth the pruned BFS-cut traversals paid.
+    TopkCutLevels,
+    /// Top-k verification sweeps aborted early by the BFS-cut bound.
+    TopkPrunedBfs,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 36] = [
         Counter::BfsSources,
         Counter::BfsSourcesSkipped,
         Counter::VerticesVisited,
@@ -188,6 +193,8 @@ impl Counter {
         Counter::FaultRetries,
         Counter::SourcesQuarantined,
         Counter::BatchesMsbfs,
+        Counter::TopkCutLevels,
+        Counter::TopkPrunedBfs,
     ];
 
     /// Stable snake_case key for this counter in the JSON report.
@@ -227,6 +234,8 @@ impl Counter {
             Counter::FaultRetries => "fault_retries",
             Counter::SourcesQuarantined => "sources_quarantined",
             Counter::BatchesMsbfs => "batches_msbfs",
+            Counter::TopkCutLevels => "topk_cut_levels",
+            Counter::TopkPrunedBfs => "topk_pruned_bfs",
         }
     }
 }
@@ -252,17 +261,21 @@ pub enum Metric {
     BatchOccupancy,
     /// Wall time of one MS-BFS level-synchronous sweep, in nanoseconds.
     SweepNanos,
+    /// Depth (levels fully expanded) at which a top-k verification sweep
+    /// was cut by the BFS-cut bound — shallow cuts mean cheap pruning.
+    CutDepth,
 }
 
 impl Metric {
     /// Every metric, in report order.
-    pub const ALL: [Metric; 6] = [
+    pub const ALL: [Metric; 7] = [
         Metric::SourceBfsNanos,
         Metric::FrontierSize,
         Metric::LevelNanos,
         Metric::QueryNanos,
         Metric::BatchOccupancy,
         Metric::SweepNanos,
+        Metric::CutDepth,
     ];
 
     /// Stable snake_case key for this metric in the JSON report.
@@ -274,6 +287,7 @@ impl Metric {
             Metric::QueryNanos => "query_ns",
             Metric::BatchOccupancy => "batch_occupancy",
             Metric::SweepNanos => "sweep_ns",
+            Metric::CutDepth => "cut_depth",
         }
     }
 
@@ -284,6 +298,7 @@ impl Metric {
             Metric::FrontierSize => "vertices",
             Metric::BatchOccupancy => "sources",
             Metric::SweepNanos => "ns",
+            Metric::CutDepth => "levels",
         }
     }
 }

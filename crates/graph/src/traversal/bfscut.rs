@@ -1,0 +1,488 @@
+//! BFS-cut traversal for top-k verification (Borassi et al. / Bergamini
+//! et al. style pruning).
+//!
+//! Verifying a top-k candidate means computing its exact farness with a
+//! full BFS — but most candidates lose long before their sweep finishes.
+//! After expanding level `d` we already know a *lower bound* on the final
+//! farness: the visited mass is exact, every unvisited vertex sits at
+//! distance ≥ `d + 1`, and only vertices adjacent to the level-`d`
+//! frontier can actually be at `d + 1`. An undirected frontier vertex at
+//! depth `d ≥ 1` spends at least one arc on a parent, so the frontier can
+//! reach at most `Σ deg(f) − |frontier|` distinct vertices at `d + 1`;
+//! the rest are at ≥ `d + 2`. The moment that bound exceeds the running
+//! k-th best farness `tau`, the candidate is certified out of the top k
+//! and the sweep aborts with [`CutOutcome::Pruned`] — no wrong answer is
+//! possible because the bound never overstates the true farness.
+//!
+//! The level expansion reuses the direction-optimizing machinery of
+//! [`HybridBfs`](super::HybridBfs): the per-level `(new_nf, new_mf)`
+//! aggregates the switch heuristic already maintains are exactly the
+//! inputs of the cut bound, so bottom-up levels tighten the bound at no
+//! extra cost.
+//!
+//! The bound assumes every counted vertex is reachable: callers pass the
+//! connected `population` the sweep is expected to reach (and the sweep
+//! falls back to [`CutOutcome::Exact`] if the frontier empties early, so
+//! a disconnected input degrades to a plain BFS rather than a wrong
+//! certificate). `extra_mass` lets callers running on a *reduced* graph
+//! add a sound lower bound on the farness mass of removed vertices.
+
+use super::frontier::FrontierBitmap;
+use crate::control::{RunControl, RunOutcome};
+use crate::{CsrGraph, Dist, NodeId, INFINITE_DIST};
+
+use super::hybrid::HybridParams;
+
+/// How a [`BfsCut`] sweep ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutOutcome {
+    /// The sweep ran to completion: the candidate's farness over the
+    /// traversed graph is exactly `sum` (over `reached` vertices).
+    Exact {
+        /// Vertices reached, including the source.
+        reached: usize,
+        /// Exact sum of distances from the source to every reached vertex.
+        sum: u64,
+    },
+    /// The sweep was cut after `levels` completed levels: the candidate's
+    /// true farness is at least `lower_bound > tau`, so it cannot enter
+    /// the current top k.
+    Pruned {
+        /// Levels fully expanded before the cut fired.
+        levels: Dist,
+        /// The certified lower bound on the candidate's farness (includes
+        /// the caller's `extra_mass`).
+        lower_bound: u64,
+    },
+}
+
+/// Reusable BFS-cut scratch: a direction-optimizing level-synchronous BFS
+/// that aborts as soon as the candidate's farness lower bound exceeds a
+/// caller-supplied threshold.
+///
+/// With `tau == u64::MAX` the cut can never fire (the bound saturates),
+/// so the sweep is an exact BFS producing the same `(reached, Σ d)` pair
+/// and distance array as [`Bfs`](super::Bfs) — that is the "full
+/// verification" fallback used for equivalence testing.
+#[derive(Clone, Debug)]
+pub struct BfsCut {
+    dist: Vec<Dist>,
+    touched: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    bits: FrontierBitmap,
+    next_bits: FrontierBitmap,
+    params: HybridParams,
+    vertices_visited: u64,
+    arcs_scanned: u64,
+    levels: Dist,
+}
+
+impl BfsCut {
+    /// Scratch for graphs with up to `n` vertices, default switching
+    /// parameters.
+    pub fn new(n: usize) -> Self {
+        Self::with_params(n, HybridParams::default())
+    }
+
+    /// Scratch with explicit direction-switching parameters.
+    pub fn with_params(n: usize, params: HybridParams) -> Self {
+        Self {
+            dist: vec![INFINITE_DIST; n],
+            touched: Vec::with_capacity(n),
+            frontier: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+            bits: FrontierBitmap::new(n),
+            next_bits: FrontierBitmap::new(n),
+            params,
+            vertices_visited: 0,
+            arcs_scanned: 0,
+            levels: 0,
+        }
+    }
+
+    /// Grows the scratch space if the graph is larger than at construction.
+    pub fn resize(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITE_DIST);
+        }
+        self.bits.resize(n);
+        self.next_bits.resize(n);
+    }
+
+    /// Vertices discovered by the most recent sweep (including the source;
+    /// partial after a cut or an interruption).
+    pub fn vertices_visited(&self) -> u64 {
+        self.vertices_visited
+    }
+
+    /// Arcs scanned by the most recent sweep: top-down levels charge every
+    /// arc out of the frontier, bottom-up levels charge the probes actually
+    /// made. This is the real traversal work, which is what the
+    /// `EdgesScanned` accounting wants — *not* `num_arcs` per sweep.
+    pub fn arcs_scanned(&self) -> u64 {
+        self.arcs_scanned
+    }
+
+    /// Levels fully expanded by the most recent sweep.
+    pub fn levels(&self) -> Dist {
+        self.levels
+    }
+
+    /// Uncontrolled convenience wrapper around [`BfsCut::run_ctl`].
+    pub fn run(
+        &mut self,
+        g: &CsrGraph,
+        source: NodeId,
+        tau: u64,
+        population: usize,
+        extra_mass: u64,
+    ) -> CutOutcome {
+        self.run_ctl(g, source, tau, population, extra_mass, &RunControl::new())
+            .expect("unbounded control cannot interrupt")
+    }
+
+    /// Runs a pruned BFS from `source`, consulting `ctl` before every
+    /// level.
+    ///
+    /// * `tau` — the running k-th best farness; the sweep aborts with
+    ///   [`CutOutcome::Pruned`] as soon as the lower bound *strictly*
+    ///   exceeds it (ties must keep verifying so id tie-breaking stays
+    ///   deterministic). `u64::MAX` disables pruning.
+    /// * `population` — the number of vertices the sweep is expected to
+    ///   reach (`n` on a connected graph; the survivor count on a reduced
+    ///   graph). The bound counts `population − reached` unvisited
+    ///   vertices.
+    /// * `extra_mass` — a sound lower bound on farness mass *outside* the
+    ///   traversed graph (removed-vertex correction on reduced graphs;
+    ///   `0` otherwise). Added to both the cut bound and nothing else: an
+    ///   [`CutOutcome::Exact`] sum does **not** include it.
+    ///
+    /// On interruption the distance array is partial and must not be
+    /// published.
+    pub fn run_ctl(
+        &mut self,
+        g: &CsrGraph,
+        source: NodeId,
+        tau: u64,
+        population: usize,
+        extra_mass: u64,
+        ctl: &RunControl,
+    ) -> Result<CutOutcome, RunOutcome> {
+        let n = g.num_nodes();
+        debug_assert!((source as usize) < n);
+        self.resize(n);
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITE_DIST;
+        }
+        self.touched.clear();
+
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.frontier.clear();
+        self.frontier.push(source);
+        self.vertices_visited = 1;
+        self.arcs_scanned = 0;
+        self.levels = 0;
+
+        let mut reached = 1usize;
+        let mut sum = 0u64;
+        let mut level: Dist = 0;
+        let mut bottom_up = false;
+        let mut m_f = g.degree(source) as u64;
+        let mut m_u = g.num_arcs() as u64 - m_f;
+        let mut n_f = 1usize;
+        // Same trend gate as `HybridBfs::run_with`: only go bottom-up
+        // while the frontier grows, only come back once it shrinks.
+        let mut growing = true;
+
+        while n_f > 0 {
+            if let Some(cause) = ctl.should_stop() {
+                return Err(cause);
+            }
+            level += 1;
+            if !bottom_up {
+                if growing && m_f as f64 > m_u as f64 / self.params.alpha {
+                    self.bits.fill_from(&self.frontier);
+                    bottom_up = true;
+                }
+            } else if !growing && (n_f as f64) < n as f64 / self.params.beta {
+                self.frontier.clear();
+                self.frontier.extend(self.bits.iter_set());
+                bottom_up = false;
+            }
+
+            let mut new_nf = 0usize;
+            let mut new_mf = 0u64;
+            if bottom_up {
+                self.next_bits.clear();
+                for u in 0..n as NodeId {
+                    if self.dist[u as usize] != INFINITE_DIST {
+                        continue;
+                    }
+                    for &w in g.neighbors(u) {
+                        self.arcs_scanned += 1;
+                        if self.bits.test(w) {
+                            self.dist[u as usize] = level;
+                            self.touched.push(u);
+                            self.next_bits.set(u);
+                            let deg = g.degree(u) as u64;
+                            new_mf += deg;
+                            m_u -= deg;
+                            new_nf += 1;
+                            break;
+                        }
+                    }
+                }
+                std::mem::swap(&mut self.bits, &mut self.next_bits);
+            } else {
+                // A top-down level scans exactly the arcs out of the
+                // frontier.
+                self.arcs_scanned += m_f;
+                let frontier = std::mem::take(&mut self.frontier);
+                self.next.clear();
+                for &u in &frontier {
+                    for &v in g.neighbors(u) {
+                        if self.dist[v as usize] == INFINITE_DIST {
+                            self.dist[v as usize] = level;
+                            self.touched.push(v);
+                            self.next.push(v);
+                            let deg = g.degree(v) as u64;
+                            new_mf += deg;
+                            m_u -= deg;
+                            new_nf += 1;
+                        }
+                    }
+                }
+                self.frontier = std::mem::replace(&mut self.next, frontier);
+            }
+
+            reached += new_nf;
+            sum += new_nf as u64 * level as u64;
+            self.vertices_visited = reached as u64;
+            self.levels = level;
+            if new_nf == 0 {
+                break;
+            }
+
+            // Cut bound after completing level `level`. The `new_nf`
+            // frontier vertices each consumed ≥ 1 arc discovering a
+            // parent, so at most `new_mf − new_nf` unvisited vertices can
+            // sit at `level + 1`; the remaining `U − f_cap` are at
+            // ≥ `level + 2`. All arithmetic saturates so `tau == u64::MAX`
+            // can never be exceeded.
+            let unvisited = population.saturating_sub(reached) as u64;
+            if unvisited > 0 && tau != u64::MAX {
+                let f_cap = new_mf - new_nf as u64;
+                let near = unvisited.min(f_cap);
+                let far = unvisited - near;
+                let lb = sum
+                    .saturating_add((level as u64 + 1).saturating_mul(near))
+                    .saturating_add((level as u64 + 2).saturating_mul(far))
+                    .saturating_add(extra_mass);
+                if lb > tau {
+                    return Ok(CutOutcome::Pruned { levels: level, lower_bound: lb });
+                }
+            }
+
+            growing = new_nf >= n_f;
+            n_f = new_nf;
+            m_f = new_mf;
+        }
+        Ok(CutOutcome::Exact { reached, sum })
+    }
+
+    /// Distance array from the most recent sweep. Exact for the visited
+    /// set only; after a [`CutOutcome::Pruned`] return it is partial.
+    pub fn distances(&self) -> &[Dist] {
+        &self.dist
+    }
+
+    /// Mutable distance array — same caveat as
+    /// [`Bfs::distances_mut`](super::Bfs::distances_mut): entries outside
+    /// the visited set must be restored to `INFINITE_DIST` before the next
+    /// run, because reset is tracked through the touched list only.
+    pub fn distances_mut(&mut self) -> &mut [Dist] {
+        &mut self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{
+        complete_graph, gnm_random_connected, lollipop, path_graph, star_graph,
+    };
+    use crate::traversal::Bfs;
+    use crate::GraphBuilder;
+
+    fn exact_pair(g: &CsrGraph, s: NodeId) -> (usize, u64) {
+        Bfs::new(g.num_nodes()).run_with(g, s, |_, _| {})
+    }
+
+    #[test]
+    fn tau_max_is_an_exact_bfs() {
+        for (g, s) in [
+            (gnm_random_connected(60, 150, 42), 7u32),
+            (path_graph(40), 0),
+            (star_graph(30), 3),
+            (complete_graph(16), 5),
+            (lollipop(8, 6), 10),
+        ] {
+            let n = g.num_nodes();
+            let (reached, sum) = exact_pair(&g, s);
+            let mut cut = BfsCut::new(n);
+            let got = cut.run(&g, s, u64::MAX, n, 0);
+            assert_eq!(got, CutOutcome::Exact { reached, sum });
+            let mut bfs = Bfs::new(n);
+            bfs.run(&g, s);
+            assert_eq!(&cut.distances()[..n], &bfs.distances()[..n]);
+            assert!(cut.arcs_scanned() > 0 && cut.arcs_scanned() <= g.num_arcs() as u64);
+            assert_eq!(cut.vertices_visited(), reached as u64);
+        }
+    }
+
+    #[test]
+    fn prunes_when_tau_is_below_farness() {
+        let g = path_graph(64);
+        let (_, farness) = exact_pair(&g, 0);
+        let mut cut = BfsCut::new(64);
+        // A path endpoint has huge farness; tau = farness of the centre is
+        // far below it, so the sweep must cut early.
+        let (_, tau) = exact_pair(&g, 32);
+        match cut.run(&g, 0, tau, 64, 0) {
+            CutOutcome::Pruned { levels, lower_bound } => {
+                assert!(lower_bound > tau);
+                assert!(lower_bound <= farness, "bound must never overstate farness");
+                assert!((levels as usize) < 63, "cut should fire before the sweep ends");
+                assert!(cut.arcs_scanned() < g.num_arcs() as u64);
+            }
+            other => panic!("expected a cut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_prunes_at_or_above_true_farness() {
+        // tau == farness is a tie: the sweep must complete (strict >).
+        let g = gnm_random_connected(50, 120, 3);
+        for s in 0..50u32 {
+            let (reached, sum) = exact_pair(&g, s);
+            let mut cut = BfsCut::new(50);
+            assert_eq!(cut.run(&g, s, sum, 50, 0), CutOutcome::Exact { reached, sum });
+        }
+    }
+
+    #[test]
+    fn pruned_bound_is_sound_on_random_graphs() {
+        // Any cut's lower_bound must be ≤ the true farness, for every
+        // threshold below it.
+        let g = gnm_random_connected(70, 140, 9);
+        for s in (0..70u32).step_by(7) {
+            let (_, farness) = exact_pair(&g, s);
+            for tau in [farness / 2, farness.saturating_sub(1), farness / 4] {
+                let mut cut = BfsCut::new(70);
+                match cut.run(&g, s, tau, 70, 0) {
+                    CutOutcome::Exact { sum, .. } => assert!(sum <= tau || sum == farness),
+                    CutOutcome::Pruned { lower_bound, .. } => {
+                        assert!(lower_bound > tau);
+                        assert!(lower_bound <= farness);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extra_mass_shifts_the_bound() {
+        let g = path_graph(32);
+        let (_, farness) = exact_pair(&g, 0);
+        let mut cut = BfsCut::new(32);
+        // With tau just under farness + extra the sweep may complete; with
+        // a large extra mass the very first bound check exceeds tau.
+        match cut.run(&g, 0, farness, 32, 1_000_000) {
+            CutOutcome::Pruned { levels, lower_bound } => {
+                assert_eq!(levels, 1);
+                assert!(lower_bound > farness);
+            }
+            other => panic!("expected an immediate cut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_component_degrades_to_exact() {
+        // Frontier empties with population unreached: no cut certificate,
+        // just the component-local exact sums.
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let mut cut = BfsCut::new(6);
+        assert_eq!(cut.run(&g, 0, u64::MAX, 6, 0), CutOutcome::Exact { reached: 3, sum: 3 });
+    }
+
+    #[test]
+    fn interruption_surfaces_between_levels() {
+        let g = gnm_random_connected(50, 100, 7);
+        let mut cut = BfsCut::new(50);
+        let ctl = RunControl::new().with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            cut.run_ctl(&g, 0, u64::MAX, 50, 0, &ctl),
+            Err(RunOutcome::Deadline)
+        );
+        let ctl = RunControl::new();
+        ctl.cancel_token().cancel();
+        assert_eq!(
+            cut.run_ctl(&g, 0, u64::MAX, 50, 0, &ctl),
+            Err(RunOutcome::Cancelled)
+        );
+        // Scratch stays reusable after an interrupted sweep.
+        let n = g.num_nodes();
+        let (reached, sum) = exact_pair(&g, 3);
+        assert_eq!(cut.run(&g, 3, u64::MAX, n, 0), CutOutcome::Exact { reached, sum });
+    }
+
+    #[test]
+    fn bottom_up_levels_agree_with_top_down() {
+        let g = complete_graph(24);
+        let (reached, sum) = exact_pair(&g, 4);
+        for params in [
+            HybridParams::default(),
+            HybridParams::always_top_down(),
+            HybridParams::eager_bottom_up(),
+        ] {
+            let mut cut = BfsCut::with_params(24, params);
+            assert_eq!(cut.run(&g, 4, u64::MAX, 24, 0), CutOutcome::Exact { reached, sum });
+        }
+    }
+
+    #[test]
+    fn star_centre_has_no_cut_capacity_left() {
+        // From the centre every leaf is at level 1: after that level U = 0
+        // and the sweep completes exactly. From a leaf, f_cap at level 1 is
+        // n − 2 (the centre's remaining arcs), making the bound exact.
+        let g = star_graph(20);
+        let mut cut = BfsCut::new(20);
+        assert_eq!(cut.run(&g, 0, u64::MAX, 20, 0), CutOutcome::Exact { reached: 20, sum: 19 });
+        let (_, leaf_farness) = exact_pair(&g, 1);
+        match cut.run(&g, 1, leaf_farness - 1, 20, 0) {
+            CutOutcome::Pruned { levels, lower_bound } => {
+                assert_eq!(levels, 1);
+                assert_eq!(lower_bound, leaf_farness, "leaf bound is tight on a star");
+            }
+            other => panic!("expected a cut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_resets_state() {
+        let g1 = complete_graph(20);
+        let g2 = path_graph(50);
+        let mut cut = BfsCut::new(20);
+        cut.run(&g1, 0, u64::MAX, 20, 0);
+        let (r2, s2) = exact_pair(&g2, 0);
+        assert_eq!(cut.run(&g2, 0, u64::MAX, 50, 0), CutOutcome::Exact { reached: r2, sum: s2 });
+        // A pruned sweep leaves partial state; the next run must still be
+        // clean.
+        let (_, tau) = exact_pair(&g2, 25);
+        assert!(matches!(cut.run(&g2, 0, tau, 50, 0), CutOutcome::Pruned { .. }));
+        let (r1, s1) = exact_pair(&g1, 3);
+        assert_eq!(cut.run(&g1, 3, u64::MAX, 20, 0), CutOutcome::Exact { reached: r1, sum: s1 });
+    }
+}

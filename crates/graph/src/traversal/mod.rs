@@ -8,6 +8,7 @@
 //! scratch buffers.
 
 mod bfs;
+mod bfscut;
 mod dial;
 mod frontier;
 mod hybrid;
@@ -15,6 +16,7 @@ mod msbfs;
 mod parallel;
 
 pub use bfs::{bfs_distances, Bfs};
+pub use bfscut::{BfsCut, CutOutcome};
 pub use dial::DialBfs;
 pub use frontier::{FrontierBitmap, SetBits};
 pub use hybrid::{

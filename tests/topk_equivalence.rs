@@ -1,0 +1,111 @@
+//! Property-based equivalence of the pruned top-k verification scan
+//! (BFS-cut against the running k-th best) with the full-sweep fallback:
+//! `ranked` must be bit-identical across methods × kernels × seeds, and
+//! both must equal the brute-force ranking — on the flat scan and through
+//! a prepared artifact's reduced-graph verification.
+
+use brics::{
+    exact_farness, BricsEstimator, ExecutionContext, Kernel, KernelConfig, Method,
+    PrepareConfig, PreparedGraph, ReductionConfig, SampleSize,
+};
+use brics_graph::{CsrGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: connected graph with `n ∈ [2, 40]` vertices — a random
+/// spanning tree plus a random set of extra edges (possibly none, so trees,
+/// and possibly many, so dense blocks).
+fn connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0usize..usize::MAX, n - 1);
+        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..2 * n);
+        (Just(n), tree, extra).prop_map(|(n, parents, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = (i + 1) as NodeId;
+                b.add_edge(child, (p % (i + 1)) as NodeId);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn brute_top_k(g: &CsrGraph, k: usize) -> Vec<(NodeId, u64)> {
+    let exact = exact_farness(g).unwrap();
+    let mut idx: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+    idx.sort_by_key(|&v| (exact[v as usize], v));
+    idx.truncate(k);
+    idx.into_iter().map(|v| (v, exact[v as usize])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flat scan: pruned and full verification produce bit-identical
+    /// rankings (and identical bound-pruned counts) for every estimation
+    /// method, BFS kernel, rate, k and seed — and both equal brute force.
+    #[test]
+    fn pruned_ranked_bit_identical_across_methods_kernels_seeds(
+        g in connected_graph(),
+        rate in 0.1f64..1.0,
+        k_raw in 1usize..8,
+        seed in 0u64..1000,
+        method_ix in 0usize..3,
+        kernel_ix in 0usize..4,
+    ) {
+        let method = [Method::RandomSampling, Method::ICR, Method::Cumulative][method_ix];
+        let kernel =
+            [Kernel::Auto, Kernel::TopDown, Kernel::Hybrid, Kernel::MsBfs][kernel_ix];
+        let est = BricsEstimator::new(method)
+            .sample(SampleSize::Fraction(rate))
+            .seed(seed)
+            .kernel(KernelConfig::new(kernel))
+            .run(&g)
+            .unwrap();
+        let k = k_raw.min(g.num_nodes());
+        let ctx = ExecutionContext::new();
+        let pruned = brics::topk::top_k_from_estimate_with(&g, k, &est, true, &ctx).unwrap();
+        let full = brics::topk::top_k_from_estimate_with(&g, k, &est, false, &ctx).unwrap();
+        prop_assert_eq!(&pruned.ranked, &full.ranked, "pruned vs full diverged");
+        prop_assert_eq!(pruned.pruned, full.pruned, "bound-pruned counts diverged");
+        prop_assert_eq!(pruned.verified_for_free, full.verified_for_free);
+        prop_assert_eq!(full.pruned_bfs, 0, "full mode must never cut");
+        prop_assert_eq!(
+            pruned.verified_with_bfs + pruned.pruned_bfs,
+            full.verified_with_bfs,
+            "every cut sweep must correspond to a full-mode completed sweep"
+        );
+        prop_assert_eq!(pruned.ranked, brute_top_k(&g, k));
+    }
+
+    /// Through the engine: a prepared artifact (with and without chain
+    /// contraction, so both the reduced-graph sweep and the working-graph
+    /// fallback are exercised) yields the same bit-identical guarantee.
+    #[test]
+    fn prepared_topk_pruned_matches_full_and_brute_force(
+        g in connected_graph(),
+        rate in 0.2f64..1.0,
+        k_raw in 1usize..6,
+        seed in 0u64..100,
+        contract in any::<bool>(),
+    ) {
+        let reductions = if contract {
+            ReductionConfig::all()
+        } else {
+            ReductionConfig::all().without_contraction()
+        };
+        let pcfg = PrepareConfig { reductions, ..Default::default() };
+        let ctx = ExecutionContext::new();
+        let p = PreparedGraph::build_with(&g, pcfg, &ctx).unwrap();
+        let k = k_raw.min(g.num_nodes());
+        let pruned = p.topk_with(k, SampleSize::Fraction(rate), seed, true, &ctx).unwrap();
+        let full = p.topk_with(k, SampleSize::Fraction(rate), seed, false, &ctx).unwrap();
+        prop_assert_eq!(&pruned.ranked, &full.ranked, "pruned vs full diverged");
+        prop_assert_eq!(full.pruned_bfs, 0);
+        prop_assert_eq!(pruned.ranked, brute_top_k(&g, k));
+    }
+}
