@@ -9,8 +9,15 @@
 //! column is the cold time divided by the warm (artifact-backed) time —
 //! the factor a parameter scan gains from the engine split.
 //!
+//! The prepared state is also persisted (`PreparedGraph::save`) and
+//! re-opened through both storage backends, so the report covers the
+//! *cold-start* question too: time to the first answer when a process
+//! starts from nothing (prepare + query) versus from an artifact on disk
+//! (load + query). Every path is cross-checked bit-for-bit against the
+//! in-memory build and the whole sweep lands in `BENCH_amortize.json`.
+//!
 //! ```text
-//! cargo run --release -p brics-bench --bin amortize -- [dataset-name]
+//! cargo run --release -p brics-bench --bin amortize -- [dataset-name] [--out FILE]
 //! ```
 
 use brics::{
@@ -21,10 +28,26 @@ use std::time::Instant;
 
 fn main() {
     let scale = scale_from_env();
-    let want = std::env::args().nth(1);
+    let mut out = "BENCH_amortize.json".to_string();
+    let mut want = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            other => want = Some(other.to_string()),
+        }
+        i += 1;
+    }
     let datasets = match &want {
         Some(name) => {
-            all_datasets().into_iter().filter(|d| d.name == name).collect::<Vec<_>>()
+            all_datasets().into_iter().filter(|d| d.name == *name).collect::<Vec<_>>()
         }
         None => all_datasets()
             .into_iter()
@@ -39,6 +62,10 @@ fn main() {
 
     let rates = [0.1, 0.2, 0.3, 0.5];
     let methods = [Method::RandomSampling, Method::Cumulative];
+    let probe = SampleSize::Fraction(0.2);
+    let scratch = std::env::temp_dir().join("brics-bench-amortize");
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let mut dataset_docs = Vec::new();
     println!("Prepare-once/query-many amortization (scale {scale})\n");
     for d in datasets {
         let g = d.load(scale);
@@ -56,6 +83,7 @@ fn main() {
             prepared.num_surviving()
         );
         let mut t = TableWriter::new(["method", "rate", "warm s", "cold s", "speedup"]);
+        let mut query_rows = Vec::new();
         for method in methods {
             for rate in rates {
                 let sample = SampleSize::Fraction(rate);
@@ -81,9 +109,101 @@ fn main() {
                     format!("{cold_s:.4}"),
                     format!("{:.2}x", cold_s / warm_s.max(1e-9)),
                 ]);
+                query_rows.push(serde_json::json!({
+                    "method": method.name(),
+                    "rate": rate,
+                    "warm_s": warm_s,
+                    "cold_s": cold_s,
+                    "speedup": cold_s / warm_s.max(1e-9),
+                }));
             }
         }
         print!("{}", t.render());
+
+        // Cold-start rows: a fresh process answering its first query either
+        // pays prepare (reduce + BCT) or an artifact load. The reference
+        // estimate pins all three paths to the same bits.
+        let path = scratch.join(format!("{}-{}.brics", d.name, std::process::id()));
+        let s0 = Instant::now();
+        let info = prepared.save(&path, d.name, &ctx).expect("save artifact");
+        let save_s = s0.elapsed().as_secs_f64();
+        let q0 = Instant::now();
+        let reference = prepared.cumulative(probe, 1, &ctx).expect("reference query");
+        let prepare_query_s = q0.elapsed().as_secs_f64();
+        let prepare_total = prepare_s + prepare_query_s;
+        let timed_load = |use_mmap: bool| {
+            let l0 = Instant::now();
+            let (loaded, _) =
+                PreparedGraph::load_with(&path, use_mmap, &ctx).expect("load artifact");
+            let load_s = l0.elapsed().as_secs_f64();
+            let q0 = Instant::now();
+            let est = loaded.cumulative(probe, 1, &ctx).expect("loaded query");
+            let query_s = q0.elapsed().as_secs_f64();
+            assert_eq!(est.raw(), reference.raw(), "artifact load changed results");
+            (load_s, query_s)
+        };
+        let (mmap_load_s, mmap_query_s) = timed_load(true);
+        let (heap_load_s, heap_query_s) = timed_load(false);
+        let mut cold_table = TableWriter::new([
+            "cold start", "structure s", "first query s", "total s", "vs prepare",
+        ]);
+        let mut cold_rows = Vec::new();
+        for (label, structure_s, query_s) in [
+            ("prepare", prepare_s, prepare_query_s),
+            ("load-mmap", mmap_load_s, mmap_query_s),
+            ("load-heap", heap_load_s, heap_query_s),
+        ] {
+            let total = structure_s + query_s;
+            cold_table.row([
+                label.to_string(),
+                format!("{structure_s:.4}"),
+                format!("{query_s:.4}"),
+                format!("{total:.4}"),
+                format!("{:.2}x", prepare_total / total.max(1e-9)),
+            ]);
+            cold_rows.push(serde_json::json!({
+                "path": label,
+                "structure_s": structure_s,
+                "first_query_s": query_s,
+                "total_s": total,
+                "speedup_vs_prepare": prepare_total / total.max(1e-9),
+            }));
+        }
+        println!(
+            "cold start to first answer (cumulative @ 20%, artifact {} bytes, save {:.3}s):",
+            info.bytes, save_s
+        );
+        print!("{}", cold_table.render());
         println!();
+        std::fs::remove_file(&path).ok();
+
+        dataset_docs.push(serde_json::json!({
+            "dataset": d.name,
+            "nodes": g.num_nodes(),
+            "edges": g.num_edges(),
+            "prepare_s": prepare_s,
+            "survivors": prepared.num_surviving(),
+            "queries": query_rows,
+            "artifact": serde_json::json!({
+                "bytes": info.bytes,
+                "checksum": format!("{:016x}", info.checksum),
+                "save_s": save_s,
+            }),
+            "cold_start": cold_rows,
+        }));
     }
+
+    let doc = serde_json::json!({
+        "bench": "amortize",
+        "scale": scale,
+        "cold_start_probe": serde_json::json!({"method": "cumulative", "rate": 0.2, "seed": 1}),
+        "datasets": dataset_docs,
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap_or_else(
+        |e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(3);
+        },
+    );
+    println!("wrote {out}");
 }

@@ -7,9 +7,10 @@
 
 use crate::tarjan::{biconnected_components, Biconnectivity, Block};
 use brics_graph::{CsrGraph, NodeId, INVALID_NODE};
+use serde::{Deserialize, Serialize};
 
 /// A node of the Block-Cut Tree.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BctNode {
     /// A biconnected component, by block index.
     Block(u32),
@@ -18,7 +19,7 @@ pub enum BctNode {
 }
 
 /// Block-Cut Tree of a graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BlockCutTree {
     blocks: Vec<Block>,
     is_cut: Vec<bool>,

@@ -3,12 +3,12 @@
 use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
-    run_degraded, CentralityError, DegradationPolicy, DegradedRequest,
+    run_degraded, ArtifactInfo, CentralityError, DegradationPolicy, DegradedRequest,
     ExecutionContext, Kernel, KernelConfig, Method, PrepareConfig, PreparedGraph,
     ProgressConfig, ProgressMeter, RunControl, RunOutcome, RunRecorder, SampleSize,
 };
 use brics_bicc::biconnected_components;
-use brics_graph::telemetry::{timed, Counter, FaultSiteRecord, Recorder};
+use brics_graph::telemetry::{timed, ArtifactProvenance, Counter, FaultSiteRecord, Recorder};
 use brics_graph::{FaultKind, FaultPlan, FaultSite};
 use brics_graph::connectivity::{is_connected, make_connected};
 use brics_graph::degree::degree_stats;
@@ -16,6 +16,7 @@ use brics_graph::generators::{ClassParams, GraphClass};
 use brics_graph::io::{read_edge_list, read_metis, read_mtx, write_edge_list, write_metis, write_mtx};
 use brics_graph::CsrGraph;
 use brics_reduce::{reduce_ctl_rec, ReductionConfig};
+use std::path::Path;
 
 const HELP: &str = "\
 brics — farness/closeness centrality estimation (BRICS reproduction)
@@ -24,9 +25,18 @@ USAGE:
   brics stats <graph>
       Structural statistics: degrees, reductions, biconnected components.
 
+  brics prepare <graph> <artifact> [--method random|cr|icr|cumulative|exact]
+                                   [--reorder] [--giant]
+      Run the prepare stage once (reductions + Block-Cut Tree per
+      --method; default `cumulative` = the full pipeline) and persist it
+      as a checksummed binary artifact (`brics.artifact/v1`). Later runs
+      pass --artifact FILE to farness/compare/topk and start from the
+      file — no re-read, no re-reduction, bit-identical answers.
+
   brics farness <graph> [--method random|cr|icr|cumulative|exact]
                         [--rate 0.2] [--seed 0] [--top K] [--json]
                         [--kernel auto|topdown|hybrid|msbfs] [--reorder]
+                        [--artifact FILE]
       Estimate (default: cumulative @ 20%) or compute exact farness.
       Prints `vertex farness closeness` per line, or the --top K most
       central vertices; --json emits a machine-readable document.
@@ -34,6 +44,7 @@ USAGE:
   brics compare <graph> [--methods random,reduced,cumulative]
                         [--rates 0.1,0.2,0.3] [--seed 0] [--exact] [--json]
                         [--kernel auto|topdown|hybrid|msbfs] [--reorder]
+                        [--artifact FILE]
       Method × rate comparison against ONE prepared artifact: the
       reduction pipeline and Block-Cut Tree are built once, and every
       method at every sampling rate queries the same structure — no
@@ -43,7 +54,7 @@ USAGE:
 
   brics topk <graph> <k> [--rate 0.3] [--seed 0] [--json]
                          [--kernel auto|topdown|hybrid|msbfs] [--reorder]
-                         [--topk-prune on|off]
+                         [--topk-prune on|off] [--artifact FILE]
       EXACT top-k closeness ranking, pruned by BRICS lower bounds —
       far cheaper than computing all-pairs farness. Verification BFS
       are cut against the running k-th best (--topk-prune on, the
@@ -58,6 +69,20 @@ USAGE:
       Write a synthetic class graph (.el edge list, .mtx MatrixMarket or
       .graph/.metis METIS, by extension; stdout edge list when --out is
       omitted). `rmat` is a Graph500-parameter stress generator.
+
+ARTIFACTS (prepare → farness, compare, topk):
+  --artifact FILE    Start from a prepared-graph artifact written by
+                     `brics prepare` instead of a graph file. FILE
+                     replaces the <graph> argument (`brics farness
+                     --artifact g.brics`, `brics topk --artifact
+                     g.brics 10`); answers are bit-identical to a fresh
+                     prepare of the recorded source. CSR sections are
+                     memory-mapped and served in place (no
+                     deserialization); header, section table and
+                     per-section checksums are verified up front, so a
+                     corrupt or truncated file is an input error
+                     (exit 3). The run report names the loaded file's
+                     version/checksum/source under `artifact`.
 
 PERFORMANCE (farness, compare, topk):
   --kernel K         BFS kernel: `auto` (default; direction-optimizing
@@ -103,7 +128,8 @@ ROBUSTNESS (farness, compare):
   --fault SPECS      Deterministic fault injection for testing:
                      comma-separated `site=kind[@trigger]` arms. Sites:
                      reduce.rule, bct.build, bfs.source, bfs.level,
-                     estimate.phase_b, io.read, alloc.admit. Kinds:
+                     estimate.phase_b, io.read, io.artifact,
+                     alloc.admit. Kinds:
                      panic, slow, deadline-expire, mem-deny, io-error.
                      Triggers: nth:N (default nth:1), every:K,
                      prob:PERMILLE[:SEED], on:ARG. Hit/fired counts per
@@ -154,6 +180,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let parsed = parse(argv).map_err(CliError::Usage)?;
     match parsed.positional.first().map(String::as_str) {
         Some("stats") => stats(&parsed),
+        Some("prepare") => prepare(&parsed),
         Some("farness") => farness(&parsed),
         Some("compare") => compare(&parsed),
         Some("topk") => topk(&parsed),
@@ -256,6 +283,10 @@ struct Metrics {
     /// report's `degradation_path`. Interior-mutable because the commands
     /// hold the `Metrics` immutably next to the recorder `Arc`.
     degradation_path: std::cell::RefCell<Vec<String>>,
+    /// Identity of the prepared-graph artifact the command wrote
+    /// (`prepare`) or loaded (`--artifact`), stamped into the report's
+    /// `artifact` block at emit time.
+    artifact: std::cell::RefCell<Option<ArtifactProvenance>>,
 }
 
 fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliError> {
@@ -313,6 +344,7 @@ fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliErro
         progress,
         faults: ctl.fault_plan().cloned(),
         degradation_path: std::cell::RefCell::new(Vec::new()),
+        artifact: std::cell::RefCell::new(None),
     }))
 }
 
@@ -321,6 +353,48 @@ fn note_degradation_path(m: &Option<Metrics>, path: &[String]) {
     if let Some(m) = m {
         m.degradation_path.borrow_mut().extend_from_slice(path);
     }
+}
+
+/// The `--artifact FILE` flag shared by `farness`/`compare`/`topk`:
+/// queries start from a prepared-graph artifact written by `brics
+/// prepare` instead of reading and re-preparing a graph file, and FILE
+/// takes the place of the `<graph>` argument.
+fn artifact_from(p: &Parsed) -> Result<Option<String>, CliError> {
+    match p.get("artifact") {
+        Some("") => Err(usage("--artifact needs a file path")),
+        Some(f) => Ok(Some(f.to_string())),
+        None => Ok(None),
+    }
+}
+
+/// Stamps the artifact's identity into the run report (no-op without
+/// telemetry).
+fn note_artifact(m: &Option<Metrics>, info: &ArtifactInfo) {
+    if let Some(m) = m {
+        *m.artifact.borrow_mut() = Some(ArtifactProvenance {
+            version: info.version,
+            checksum: format!("{:016x}", info.checksum),
+            source: info.source.clone(),
+        });
+    }
+}
+
+/// Loads a prepared-graph artifact for a query command: integrity is
+/// verified up front (a corrupt or truncated file surfaces as
+/// [`CentralityError::Artifact`] → exit 3), provenance is stamped into
+/// the run report, and a note says where the prepared state came from.
+fn load_artifact<R: Recorder>(
+    file: &str,
+    m: &Option<Metrics>,
+    ctx: &ExecutionContext<'_, R>,
+) -> Result<PreparedGraph<'static>, CentralityError> {
+    let (prepared, info) = PreparedGraph::load(Path::new(file), ctx)?;
+    note_artifact(m, &info);
+    eprintln!(
+        "note: loaded prepared artifact {file} ({} bytes, checksum {:016x}, prepared from {})",
+        info.bytes, info.checksum, info.source
+    );
+    Ok(prepared)
 }
 
 /// Emits the collected telemetry: stops the progress heartbeat (printing
@@ -345,6 +419,7 @@ fn emit_metrics(m: &Option<Metrics>) -> Result<(), CliError> {
             .collect();
     }
     report.degradation_path = m.degradation_path.borrow().clone();
+    report.artifact = m.artifact.borrow().clone();
     if let Some(target) = &m.out {
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| CliError::Internal(format!("serializing run report: {e}")))?;
@@ -464,6 +539,56 @@ fn stats(p: &Parsed) -> Result<(), CliError> {
             db.lower, db.upper, db.bfs_runs
         );
     }
+    emit_metrics(&m)?;
+    Ok(())
+}
+
+/// `brics prepare` — run the prepare stage once and persist it as a
+/// binary artifact. Queries replay through `--artifact` with
+/// bit-identical answers and no `reduce` span in their run reports.
+fn prepare(p: &Parsed) -> Result<(), CliError> {
+    let path =
+        p.positional.get(1).ok_or_else(|| usage("usage: brics prepare <graph> <artifact>"))?;
+    let out =
+        p.positional.get(2).ok_or_else(|| usage("usage: brics prepare <graph> <artifact>"))?;
+    let ctl = control_from(p)?; // before load: --timeout bounds the command
+    let kcfg = kernel_from(p)?;
+    let method_name = p.get("method").unwrap_or("cumulative");
+    let pcfg = prepare_config_of(method_name, p.has("reorder"))?;
+    let m = metrics_from(p, &ctl)?;
+    let rec = m.as_ref().map(|mm| mm.rec.as_ref());
+    if let Err(e) = check_io_fault(&ctl, path) {
+        let _ = emit_metrics(&m);
+        return Err(e);
+    }
+    let g = load_graph_with(path, p.has("giant"))?;
+    let ctx =
+        ExecutionContext::new().with_control(ctl).with_kernel(kcfg).with_recorder(&rec);
+    let prepared = match PreparedGraph::build_with(&g, pcfg, &ctx) {
+        Ok(prepared) => prepared,
+        Err(e) => {
+            let _ = emit_metrics(&m);
+            return Err(e.into());
+        }
+    };
+    eprintln!(
+        "note: prepared '{method_name}' in {:.3}s — {} of {} vertices survive the reduction",
+        prepared.prepare_elapsed().as_secs_f64(),
+        prepared.num_surviving(),
+        g.num_nodes(),
+    );
+    let info = match prepared.save(Path::new(out), path, &ctx) {
+        Ok(info) => info,
+        Err(e) => {
+            let _ = emit_metrics(&m);
+            return Err(e.into());
+        }
+    };
+    note_artifact(&m, &info);
+    eprintln!(
+        "note: wrote {out} ({} bytes, container v{}, checksum {:016x})",
+        info.bytes, info.version, info.checksum
+    );
     emit_metrics(&m)?;
     Ok(())
 }
@@ -599,8 +724,18 @@ fn degraded_prepare<'g, R: Recorder>(
 }
 
 fn farness(p: &Parsed) -> Result<(), CliError> {
-    let path =
-        p.positional.get(1).ok_or_else(|| usage("usage: brics farness <graph> [options]"))?;
+    let artifact = artifact_from(p)?;
+    if artifact.is_some() && p.positional.get(1).is_some() {
+        return Err(usage("farness takes either <graph> or --artifact, not both"));
+    }
+    let path = match &artifact {
+        Some(a) => a.as_str(),
+        None => p
+            .positional
+            .get(1)
+            .map(String::as_str)
+            .ok_or_else(|| usage("usage: brics farness <graph> [options]"))?,
+    };
     // The control is built *before* loading so `--timeout` bounds the whole
     // command: a slow parse eats into the budget and the (uninterruptible)
     // load is followed by an immediate deadline check inside the engine.
@@ -609,11 +744,16 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     let policy = degradation_from(p)?;
     let m = metrics_from(p, &ctl)?;
     let rec = m.as_ref().map(|mm| mm.rec.as_ref());
-    if let Err(e) = check_io_fault(&ctl, path) {
-        let _ = emit_metrics(&m);
-        return Err(e);
+    if artifact.is_none() {
+        if let Err(e) = check_io_fault(&ctl, path) {
+            let _ = emit_metrics(&m);
+            return Err(e);
+        }
     }
-    let loaded = load_graph_with(path, p.has("giant"))?;
+    let loaded = match &artifact {
+        Some(_) => None, // the prepared state comes from the artifact file
+        None => Some(load_graph_with(path, p.has("giant"))?),
+    };
     let rate: f64 = p.get_parse("rate", 0.2).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     let top: usize = p.get_parse("top", 0).map_err(CliError::Usage)?;
@@ -622,7 +762,7 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
     // degree-sorted relabelling and the artifact translates every result
     // back, so ids in the output are always the input's ids.
     let pcfg = prepare_config_of(method_name, p.has("reorder"))?;
-    if pcfg.reorder {
+    if pcfg.reorder && artifact.is_none() {
         eprintln!("note: --reorder relabelled vertices by descending degree");
     }
     let mut ctx = ExecutionContext::new().with_control(ctl).with_kernel(kcfg);
@@ -630,7 +770,22 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         ctx = ctx.with_degradation(policy);
     }
     let ctx = ctx.with_recorder(&rec);
-    let n = loaded.num_nodes();
+    // Artifact mode: ONE load (integrity-checked, mmap-backed) serves both
+    // the degrade ladder and the plain query paths below.
+    let from_artifact: Option<PreparedGraph<'static>> = match &artifact {
+        Some(file) => match load_artifact(file, &m, &ctx) {
+            Ok(prepared) => Some(prepared),
+            Err(e) => {
+                let _ = emit_metrics(&m);
+                return Err(e.into());
+            }
+        },
+        None => None,
+    };
+    let n = from_artifact.as_ref().map_or_else(
+        || loaded.as_ref().expect("graph or artifact").num_nodes(),
+        |prepared| prepared.original().num_nodes(),
+    );
 
     if policy.is_some() {
         // --degrade: route through the quality ladder instead of the plain
@@ -643,8 +798,21 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
             "icr" => DegradedRequest::Estimate(Method::ICR),
             _ => DegradedRequest::Estimate(Method::Cumulative),
         };
+        let queried = match &from_artifact {
+            Some(prepared) => {
+                run_degraded(prepared, &request, SampleSize::Fraction(rate), seed, &ctx)
+            }
+            None => degraded_query(
+                loaded.as_ref().expect("graph loaded"),
+                pcfg,
+                &request,
+                SampleSize::Fraction(rate),
+                seed,
+                &ctx,
+            ),
+        };
         let (rows, answered_by) =
-            match degraded_query(&loaded, pcfg, &request, SampleSize::Fraction(rate), seed, &ctx) {
+            match queried {
                 Ok(d) => {
                     note_degradation_path(&m, &d.path);
                     eprintln!(
@@ -709,7 +877,11 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let rows = match PreparedGraph::build_with(&loaded, pcfg, &ctx) {
+    let built = match from_artifact {
+        Some(prepared) => Ok(prepared),
+        None => PreparedGraph::build_with(loaded.as_ref().expect("graph loaded"), pcfg, &ctx),
+    };
+    let rows = match built {
         // The prepare stage itself was cut short before any source could
         // run: report the trivial (but sound) zero-coverage partial, exactly
         // as an interrupted estimation does. Exact refuses below instead.
@@ -803,18 +975,33 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
 /// report shows a single `reduce` span with `count == 1` no matter how
 /// many estimates ran.
 fn compare(p: &Parsed) -> Result<(), CliError> {
-    let path =
-        p.positional.get(1).ok_or_else(|| usage("usage: brics compare <graph> [options]"))?;
+    let artifact = artifact_from(p)?;
+    if artifact.is_some() && p.positional.get(1).is_some() {
+        return Err(usage("compare takes either <graph> or --artifact, not both"));
+    }
+    let path = match &artifact {
+        Some(a) => a.as_str(),
+        None => p
+            .positional
+            .get(1)
+            .map(String::as_str)
+            .ok_or_else(|| usage("usage: brics compare <graph> [options]"))?,
+    };
     let ctl = control_from(p)?; // before load: --timeout bounds the command
     let kcfg = kernel_from(p)?;
     let policy = degradation_from(p)?;
     let m = metrics_from(p, &ctl)?;
     let rec = m.as_ref().map(|mm| mm.rec.as_ref());
-    if let Err(e) = check_io_fault(&ctl, path) {
-        let _ = emit_metrics(&m);
-        return Err(e);
+    if artifact.is_none() {
+        if let Err(e) = check_io_fault(&ctl, path) {
+            let _ = emit_metrics(&m);
+            return Err(e);
+        }
     }
-    let g = load_graph_with(path, p.has("giant"))?;
+    let g = match &artifact {
+        Some(_) => None, // the prepared state comes from the artifact file
+        None => Some(load_graph_with(path, p.has("giant"))?),
+    };
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
 
     let rates: Vec<f64> = p
@@ -862,10 +1049,11 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
         use_bcc: true,
         reorder: p.has("reorder"),
     };
-    let build = if policy.is_some() {
-        degraded_prepare(&g, pcfg, &ctx)
-    } else {
-        PreparedGraph::build_with(&g, pcfg, &ctx).map(|prepared| (prepared, false))
+    let build = match &artifact {
+        Some(file) => load_artifact(file, &m, &ctx).map(|prepared| (prepared, false)),
+        None if policy.is_some() => degraded_prepare(g.as_ref().expect("graph loaded"), pcfg, &ctx),
+        None => PreparedGraph::build_with(g.as_ref().expect("graph loaded"), pcfg, &ctx)
+            .map(|prepared| (prepared, false)),
     };
     let (prepared, minimal_fallback) = match build {
         Ok(t) => t,
@@ -874,6 +1062,7 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
             return Err(e.into());
         }
     };
+    let n = g.as_ref().map_or_else(|| prepared.original().num_nodes(), CsrGraph::num_nodes);
     let mut any_degraded = minimal_fallback || !prepared.prepare_degradation().is_empty();
     if minimal_fallback {
         note_degradation_path(&m, &["prepare:minimal".to_string()]);
@@ -885,7 +1074,7 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
          {} estimates share the artifact",
         prepared.prepare_elapsed().as_secs_f64(),
         prepared.num_surviving(),
-        g.num_nodes(),
+        n,
         methods.len() * rates.len(),
     );
     let exact = if p.has("exact") {
@@ -1006,13 +1195,32 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
 }
 
 fn topk(p: &Parsed) -> Result<(), CliError> {
-    let path = p.positional.get(1).ok_or_else(|| usage("usage: brics topk <graph> <k>"))?;
-    let k: usize = p
-        .positional
-        .get(2)
-        .ok_or_else(|| usage("usage: brics topk <graph> <k>"))?
-        .parse()
-        .map_err(|e| CliError::Usage(format!("bad k: {e}")))?;
+    let artifact = artifact_from(p)?;
+    // --artifact replaces <graph>, so <k> shifts to the first positional.
+    let (path, k_arg) = match &artifact {
+        Some(a) => {
+            if p.positional.get(2).is_some() {
+                return Err(usage("topk takes either <graph> or --artifact, not both"));
+            }
+            let k = p
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .ok_or_else(|| usage("usage: brics topk --artifact <file> <k>"))?;
+            (a.as_str(), k)
+        }
+        None => (
+            p.positional
+                .get(1)
+                .map(String::as_str)
+                .ok_or_else(|| usage("usage: brics topk <graph> <k>"))?,
+            p.positional
+                .get(2)
+                .map(String::as_str)
+                .ok_or_else(|| usage("usage: brics topk <graph> <k>"))?,
+        ),
+    };
+    let k: usize = k_arg.parse().map_err(|e| CliError::Usage(format!("bad k: {e}")))?;
     let ctl = control_from(p)?; // before load: --timeout bounds the command
     let kcfg = kernel_from(p)?;
     let prune = match p.get("topk-prune").unwrap_or("on") {
@@ -1024,11 +1232,16 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
     };
     let m = metrics_from(p, &ctl)?;
     let rec = m.as_ref().map(|mm| mm.rec.as_ref());
-    if let Err(e) = check_io_fault(&ctl, path) {
-        let _ = emit_metrics(&m);
-        return Err(e);
+    if artifact.is_none() {
+        if let Err(e) = check_io_fault(&ctl, path) {
+            let _ = emit_metrics(&m);
+            return Err(e);
+        }
     }
-    let g = load_graph(path)?;
+    let g = match &artifact {
+        Some(_) => None, // the prepared state comes from the artifact file
+        None => Some(load_graph(path)?),
+    };
     let rate: f64 = p.get_parse("rate", 0.3).map_err(CliError::Usage)?;
     let seed: u64 = p.get_parse("seed", 0).map_err(CliError::Usage)?;
     // One prepared artifact (reduction + Block-Cut Tree built once, a
@@ -1036,7 +1249,7 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
     // exactly like `farness`/`compare`; --reorder relabels inside it and
     // the ranking is translated back to input ids.
     let pcfg = prepare_config_of("cumulative", p.has("reorder"))?;
-    if pcfg.reorder {
+    if pcfg.reorder && artifact.is_none() {
         eprintln!("note: --reorder relabelled vertices by descending degree");
     }
     let ctx =
@@ -1044,8 +1257,13 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
     // Top-k promises exact answers, so interruption is an error (exit 4),
     // never a shorter/looser ranking. Emit whatever telemetry the run
     // collected before surfacing the error.
-    let t = match PreparedGraph::build_with(&g, pcfg, &ctx).and_then(|prepared| {
-        prepared.topk_with(k, SampleSize::Fraction(rate), seed, prune, &ctx)
+    let built = match &artifact {
+        Some(file) => load_artifact(file, &m, &ctx),
+        None => PreparedGraph::build_with(g.as_ref().expect("graph loaded"), pcfg, &ctx),
+    };
+    let (n, t) = match built.and_then(|prepared| {
+        let n = prepared.original().num_nodes();
+        prepared.topk_with(k, SampleSize::Fraction(rate), seed, prune, &ctx).map(|t| (n, t))
     }) {
         Ok(t) => t,
         Err(e) => {
@@ -1059,7 +1277,7 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
         t.pruned_bfs,
         t.verified_with_bfs,
         t.verified_for_free,
-        g.num_nodes()
+        n
     );
     if p.has("json") {
         let doc = serde_json::json!({
@@ -1271,6 +1489,129 @@ mod tests {
         assert_eq!(estimate.count, 1, "one estimate span, separate from prepare");
         assert!(report.phases.iter().any(|p| p.name == "topk.verify"), "verify span");
         assert!(report.counters["bfs_sources_planned"] > 0, "planned figure published");
+    }
+
+    #[test]
+    fn prepare_then_artifact_queries_roundtrip() {
+        let path = tmp("prep.el");
+        run(&["generate", "social", "300", "--seed", "11", "--out", path.to_str().unwrap()])
+            .unwrap();
+        let art = tmp("prep.brics");
+        run(&["prepare", path.to_str().unwrap(), art.to_str().unwrap(), "--reorder"]).unwrap();
+        let out = tmp("prepload.json");
+        run(&["farness", "--artifact", art.to_str().unwrap(), "--rate", "0.4", "--seed", "3",
+              "--metrics", out.to_str().unwrap()])
+            .unwrap();
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        // The warm path loads instead of re-preparing: an `artifact.load`
+        // span, no `prepare` and no `reduce`, and the provenance block
+        // names the graph the artifact was prepared from.
+        assert!(report.phases.iter().any(|p| p.name == "artifact.load"));
+        assert!(
+            !report.phases.iter().any(|p| p.name == "reduce" || p.name == "prepare"),
+            "the artifact path must not re-run the prepare stage"
+        );
+        let prov = report.artifact.as_ref().expect("provenance stamped");
+        assert_eq!(prov.version, 1);
+        assert_eq!(prov.source, path.to_str().unwrap());
+        assert_eq!(prov.checksum.len(), 16, "{}", prov.checksum);
+        assert!(
+            report.counters["artifact_bytes_mapped"] + report.counters["artifact_bytes_copied"]
+                > 0,
+            "CSR sections served from the artifact"
+        );
+        // The same artifact serves compare and topk (k shifts left).
+        run(&["compare", "--artifact", art.to_str().unwrap(), "--rates", "0.3",
+              "--methods", "random,cumulative"])
+            .unwrap();
+        run(&["topk", "--artifact", art.to_str().unwrap(), "5"]).unwrap();
+        // And the degrade ladder runs against the loaded artifact too.
+        run(&["farness", "--artifact", art.to_str().unwrap(), "--rate", "0.3", "--degrade"])
+            .unwrap();
+    }
+
+    #[test]
+    fn prepare_stamps_written_artifact_into_the_report() {
+        let path = tmp("prepmet.el");
+        run(&["generate", "road", "200", "--seed", "2", "--out", path.to_str().unwrap()])
+            .unwrap();
+        let art = tmp("prepmet.brics");
+        let out = tmp("prepmet.json");
+        run(&["prepare", path.to_str().unwrap(), art.to_str().unwrap(),
+              "--metrics", out.to_str().unwrap()])
+            .unwrap();
+        let report: brics::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(report.phases.iter().any(|p| p.name == "prepare"));
+        assert!(report.phases.iter().any(|p| p.name == "prepare.save"));
+        assert!(report.counters["artifact_bytes_written"] > 0);
+        assert_eq!(report.artifact.as_ref().unwrap().source, path.to_str().unwrap());
+    }
+
+    #[test]
+    fn artifact_flag_validation_and_typed_errors() {
+        let path = tmp("artval.el");
+        run(&["generate", "road", "200", "--seed", "2", "--out", path.to_str().unwrap()])
+            .unwrap();
+        let art = tmp("artval.brics");
+        run(&["prepare", path.to_str().unwrap(), art.to_str().unwrap()]).unwrap();
+        // Naming both a graph and an artifact is ambiguous — usage error.
+        assert_eq!(
+            run(&["farness", path.to_str().unwrap(), "--artifact", art.to_str().unwrap()])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert_eq!(
+            run(&["topk", path.to_str().unwrap(), "3", "--artifact", art.to_str().unwrap()])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        // A bare --artifact has no path.
+        assert_eq!(run(&["farness", "--artifact"]).unwrap_err().exit_code(), 2);
+        // A missing file is an input error, not a panic.
+        assert_eq!(
+            run(&["farness", "--artifact", tmp("absent.brics").to_str().unwrap()])
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+        // A flipped payload byte fails the checksum verification: exit 3.
+        let mut bytes = std::fs::read(&art).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let bad = tmp("artval-corrupt.brics");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert_eq!(
+            run(&["farness", "--artifact", bad.to_str().unwrap()]).unwrap_err().exit_code(),
+            3
+        );
+        // A truncated container is typed the same way, from any command.
+        let trunc = tmp("artval-trunc.brics");
+        std::fs::write(&trunc, &bytes[..bytes.len() / 3]).unwrap();
+        assert_eq!(
+            run(&["topk", "--artifact", trunc.to_str().unwrap(), "3"])
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+        assert_eq!(
+            run(&["compare", "--artifact", trunc.to_str().unwrap(), "--rates", "0.3"])
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+        // Prepare's own usage errors.
+        assert_eq!(run(&["prepare", path.to_str().unwrap()]).unwrap_err().exit_code(), 2);
+        assert_eq!(
+            run(&["prepare", path.to_str().unwrap(), art.to_str().unwrap(),
+                  "--method", "magic"])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]

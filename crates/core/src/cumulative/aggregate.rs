@@ -12,6 +12,7 @@
 //! block use the exact block-local cut-to-cut distances from phase A.
 
 use brics_bicc::{BctNode, BlockCutTree};
+use serde::{Deserialize, Serialize};
 
 /// Per-block inputs collected by phase A.
 pub(crate) struct BlockLocalSums<'a> {
@@ -31,6 +32,7 @@ pub(crate) struct BlockLocalSums<'a> {
 }
 
 /// Output: `w[b][j]` / `d[b][j]` per (block, cut-index) incidence.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub(crate) struct Aggregates {
     pub w: Vec<Vec<u64>>,
     pub d: Vec<Vec<u64>>,

@@ -37,10 +37,12 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Per-block working context (paper: one BCT block node).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct BlockCtx {
     /// Block subgraph over local ids.
     graph: CsrGraph,
@@ -68,6 +70,11 @@ struct BlockCtx {
 /// The prepared state of the Cumulative estimator: everything Algorithm 5
 /// computes that does not depend on the sample size or seed. Owned by
 /// [`PreparedGraph`] and consumed by [`cumulative_query`].
+///
+/// Serializable wholesale: it embeds its *own* post-homing copy of the
+/// reduction result (distinct from the top-level one), so persisting it in
+/// a prepared-graph artifact restores BCT state with zero recomputation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub(crate) struct CumulativePrep {
     bct: BlockCutTree,
     blocks: Vec<BlockCtx>,

@@ -1,0 +1,492 @@
+//! Persistence for [`PreparedGraph`]s: the *cold-start* half of the
+//! two-stage engine.
+//!
+//! [`PreparedGraph::save`] lays the complete prepare-stage state out as
+//! sections of a `brics.artifact/v1` container
+//! ([`brics_graph::artifact`]): both CSR graphs as raw little-endian
+//! arrays, the removal log, the reorder permutation, the Block-Cut-Tree
+//! state and a provenance document. [`PreparedGraph::load`] reverses it
+//! with **zero recomputation** — no reduction, no decomposition, no
+//! `reduce` telemetry span — and, on a 64-bit little-endian unix host,
+//! serves the CSR sections *in place* from the file mapping
+//! ([`brics_graph::storage::Buffer`]): queries then traverse the mapped
+//! bytes directly, and the `artifact_bytes_mapped` / `artifact_bytes_copied`
+//! counters record which path every section took.
+//!
+//! Everything the queries consume is integer state, so a loaded artifact
+//! answers every query bit-identically to the fresh build that produced
+//! it (pinned by the `artifact_roundtrip` integration tests). The one
+//! piece recomputed at load is the [`MemoryPlan`]: admission figures
+//! depend on the *loading* context's thread plan, exactly as a fresh
+//! prepare would compute them.
+
+use crate::cumulative::CumulativePrep;
+use crate::engine::{ExecutionContext, MemoryPlan, PrepareConfig, PreparedGraph};
+use crate::CentralityError;
+use brics_graph::artifact::{ArtifactReader, ArtifactWriter, FORMAT_VERSION};
+use brics_graph::reorder::Relabeling;
+use brics_graph::storage::{Buffer, SectionLoad};
+use brics_graph::telemetry::{timed, Counter, Recorder};
+use brics_graph::{CsrGraph, NodeId};
+use brics_reduce::{ReductionResult, ReductionStats, Removal};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::path::Path;
+use std::time::Duration;
+
+/// Schema tag of the payload layout this module writes. Distinct from the
+/// container version: the container guarantees integrity, this string says
+/// what the sections *mean*.
+pub const SCHEMA: &str = "brics.prepared-graph/v1";
+
+// Section ids. The container requires uniqueness, nothing else; ids are
+// stable across releases (new state gets new ids, absent optional state
+// simply omits its section).
+const SEC_ORIG_OFFSETS: u32 = 1;
+const SEC_ORIG_TARGETS: u32 = 2;
+const SEC_RED_OFFSETS: u32 = 3;
+const SEC_RED_TARGETS: u32 = 4;
+const SEC_RED_WEIGHTS: u32 = 5;
+const SEC_RED_REMOVED: u32 = 6;
+const SEC_RED_RECORDS: u32 = 7;
+const SEC_RED_STATS: u32 = 8;
+const SEC_SURVIVORS: u32 = 9;
+const SEC_CONFIG: u32 = 10;
+const SEC_PLAN: u32 = 11;
+const SEC_BCC: u32 = 12;
+const SEC_META: u32 = 13;
+const SEC_PROVENANCE: u32 = 14;
+const SEC_RELABEL_OFFSETS: u32 = 15;
+const SEC_RELABEL_TARGETS: u32 = 16;
+const SEC_RELABEL_NEW_OF_OLD: u32 = 17;
+const SEC_RELABEL_OLD_OF_NEW: u32 = 18;
+
+/// What a save or load reports about the artifact it touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// Container format version.
+    pub version: u32,
+    /// Whole-container digest (checksum of the section checksums) —
+    /// identical whether computed at save or load time.
+    pub checksum: u64,
+    /// The file path, as given.
+    pub path: String,
+    /// Free-form provenance: what graph this artifact was prepared from.
+    pub source: String,
+    /// Total container size in bytes.
+    pub bytes: u64,
+}
+
+/// Scalar prepare-stage state that rides along as one JSON section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArtifactMeta {
+    offset_total: u64,
+    prepare_elapsed: Duration,
+    prepare_degradation: Vec<String>,
+    num_nodes: u64,
+}
+
+/// The provenance document: schema tag plus the source description the
+/// saver passed in (typically the input graph path).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProvenanceDoc {
+    schema: String,
+    source: String,
+}
+
+fn artifact_err(detail: String) -> CentralityError {
+    CentralityError::Artifact { detail }
+}
+
+fn u32s_bytes(values: &[u32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn usizes_bytes(values: &[usize]) -> Vec<u8> {
+    values.iter().flat_map(|&v| (v as u64).to_le_bytes()).collect()
+}
+
+fn json_bytes<T: Serialize>(value: &T, what: &str) -> Result<Vec<u8>, CentralityError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| artifact_err(format!("encoding {what} section: {e}")))
+}
+
+fn parse_u32s(bytes: &[u8], what: &str) -> Result<Vec<u32>, CentralityError> {
+    if bytes.len() % 4 != 0 {
+        return Err(artifact_err(format!(
+            "{what} section length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+fn parse_json<T: Deserialize>(bytes: &[u8], what: &str) -> Result<T, CentralityError> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| artifact_err(format!("{what} section is not UTF-8: {e}")))?;
+    serde_json::from_str(s).map_err(|e| artifact_err(format!("decoding {what} section: {e}")))
+}
+
+fn required<'r>(
+    reader: &'r ArtifactReader,
+    id: u32,
+    what: &str,
+) -> Result<&'r [u8], CentralityError> {
+    reader
+        .section_bytes(id)
+        .ok_or_else(|| artifact_err(format!("missing required section {id} ({what})")))
+}
+
+/// Reconstructs one CSR graph from an (offsets, targets) section pair,
+/// serving both sections in place when the backend allows it and tallying
+/// the outcome into the mapped/copied byte counts.
+fn load_csr(
+    reader: &ArtifactReader,
+    offsets_id: u32,
+    targets_id: u32,
+    what: &str,
+    mapped: &mut u64,
+    copied: &mut u64,
+) -> Result<CsrGraph, CentralityError> {
+    let (off_at, off_len) = reader
+        .section_range(offsets_id)
+        .ok_or_else(|| artifact_err(format!("missing required section {offsets_id} ({what} offsets)")))?;
+    let (tgt_at, tgt_len) = reader
+        .section_range(targets_id)
+        .ok_or_else(|| artifact_err(format!("missing required section {targets_id} ({what} targets)")))?;
+    if off_len % 8 != 0 || tgt_len % 4 != 0 {
+        return Err(artifact_err(format!("{what}: CSR section lengths misaligned")));
+    }
+    let (offsets, off_load) = Buffer::usize_section(reader.file(), off_at, off_len / 8)
+        .map_err(|e| artifact_err(format!("{what} offsets: {e}")))?;
+    let (targets, tgt_load) = Buffer::u32_section(reader.file(), tgt_at, tgt_len / 4)
+        .map_err(|e| artifact_err(format!("{what} targets: {e}")))?;
+    for load in [off_load, tgt_load] {
+        match load {
+            SectionLoad::InPlace { bytes } => *mapped += bytes,
+            SectionLoad::Copied { bytes } => *copied += bytes,
+        }
+    }
+    CsrGraph::from_storage(offsets, targets)
+        .map_err(|e| artifact_err(format!("{what}: {e}")))
+}
+
+impl PreparedGraph<'_> {
+    /// Persists this artifact to `path` as a `brics.artifact/v1` container.
+    ///
+    /// `source` is free-form provenance (typically the input graph path);
+    /// it is stored verbatim and reported back by [`PreparedGraph::load`].
+    /// Runs under a `prepare.save` telemetry span and charges the container
+    /// size to the `artifact_bytes_written` counter.
+    pub fn save<R: Recorder>(
+        &self,
+        path: &Path,
+        source: &str,
+        ctx: &ExecutionContext<'_, R>,
+    ) -> Result<ArtifactInfo, CentralityError> {
+        let rec = ctx.recorder();
+        timed(rec, "prepare.save", || {
+            let mut w = ArtifactWriter::new();
+            w.section(SEC_ORIG_OFFSETS, usizes_bytes(self.original.offsets()));
+            w.section(SEC_ORIG_TARGETS, u32s_bytes(self.original.targets()));
+            w.section(SEC_RED_OFFSETS, usizes_bytes(self.red.graph.offsets()));
+            w.section(SEC_RED_TARGETS, u32s_bytes(self.red.graph.targets()));
+            if let Some(weights) = &self.red.weights {
+                w.section(SEC_RED_WEIGHTS, u32s_bytes(weights));
+            }
+            w.section(SEC_RED_REMOVED, self.red.removed.iter().map(|&r| u8::from(r)).collect());
+            w.section(SEC_RED_RECORDS, json_bytes(&self.red.records, "records")?);
+            w.section(SEC_RED_STATS, json_bytes(&self.red.stats, "stats")?);
+            w.section(SEC_SURVIVORS, u32s_bytes(&self.survivors));
+            w.section(SEC_CONFIG, json_bytes(&self.config, "config")?);
+            w.section(SEC_PLAN, json_bytes(&self.plan, "plan")?);
+            if let Some(bcc) = &self.bcc {
+                w.section(SEC_BCC, json_bytes(bcc, "bct state")?);
+            }
+            w.section(
+                SEC_META,
+                json_bytes(
+                    &ArtifactMeta {
+                        offset_total: self.offset_total,
+                        prepare_elapsed: self.prepare_elapsed,
+                        prepare_degradation: self.prepare_degradation.clone(),
+                        num_nodes: self.original.num_nodes() as u64,
+                    },
+                    "meta",
+                )?,
+            );
+            w.section(
+                SEC_PROVENANCE,
+                json_bytes(
+                    &ProvenanceDoc { schema: SCHEMA.to_string(), source: source.to_string() },
+                    "provenance",
+                )?,
+            );
+            if let Some(r) = &self.relabel {
+                w.section(SEC_RELABEL_OFFSETS, usizes_bytes(r.graph.offsets()));
+                w.section(SEC_RELABEL_TARGETS, u32s_bytes(r.graph.targets()));
+                w.section(SEC_RELABEL_NEW_OF_OLD, u32s_bytes(&r.new_of_old));
+                w.section(SEC_RELABEL_OLD_OF_NEW, u32s_bytes(&r.old_of_new));
+            }
+            let bytes = w.write_to(path)?;
+            if rec.enabled() {
+                rec.add(Counter::ArtifactBytesWritten, bytes);
+            }
+            Ok(ArtifactInfo {
+                version: FORMAT_VERSION,
+                checksum: w.digest(),
+                path: path.display().to_string(),
+                source: source.to_string(),
+                bytes,
+            })
+        })
+    }
+}
+
+impl PreparedGraph<'static> {
+    /// Loads an artifact written by [`PreparedGraph::save`], memory-mapping
+    /// the file so CSR sections are served in place where possible.
+    ///
+    /// Runs under an `artifact.load` telemetry span — deliberately *not*
+    /// under `prepare`, and with no nested `reduce` span: nothing is
+    /// recomputed. Integrity violations (truncation, corruption, foreign
+    /// format) surface as [`CentralityError::Artifact`].
+    pub fn load<R: Recorder>(
+        path: &Path,
+        ctx: &ExecutionContext<'_, R>,
+    ) -> Result<(Self, ArtifactInfo), CentralityError> {
+        Self::load_with(path, true, ctx)
+    }
+
+    /// [`PreparedGraph::load`] with an explicit backend switch:
+    /// `use_mmap = false` forces the read-into-heap fallback (every CSR
+    /// section is copy-converted; useful for benchmarking the mapping).
+    pub fn load_with<R: Recorder>(
+        path: &Path,
+        use_mmap: bool,
+        ctx: &ExecutionContext<'_, R>,
+    ) -> Result<(Self, ArtifactInfo), CentralityError> {
+        let rec = ctx.recorder();
+        timed(rec, "artifact.load", || {
+            let reader = ArtifactReader::open(path, use_mmap, ctx.control())?;
+            let prov: ProvenanceDoc =
+                parse_json(required(&reader, SEC_PROVENANCE, "provenance")?, "provenance")?;
+            if prov.schema != SCHEMA {
+                return Err(artifact_err(format!(
+                    "unknown payload schema {:?} (this build reads {SCHEMA:?})",
+                    prov.schema
+                )));
+            }
+            let meta: ArtifactMeta = parse_json(required(&reader, SEC_META, "meta")?, "meta")?;
+            let config: PrepareConfig =
+                parse_json(required(&reader, SEC_CONFIG, "config")?, "config")?;
+            // The stored plan documents the saving host; admission must use
+            // *this* context's thread plan, like a fresh prepare would.
+            let _saved_plan: MemoryPlan = parse_json(required(&reader, SEC_PLAN, "plan")?, "plan")?;
+
+            let mut mapped = 0u64;
+            let mut copied = 0u64;
+            let original = load_csr(
+                &reader,
+                SEC_ORIG_OFFSETS,
+                SEC_ORIG_TARGETS,
+                "original graph",
+                &mut mapped,
+                &mut copied,
+            )?;
+            let n = original.num_nodes();
+            if meta.num_nodes != n as u64 {
+                return Err(artifact_err(format!(
+                    "meta says {} nodes but the original CSR holds {n}",
+                    meta.num_nodes
+                )));
+            }
+            let red_graph = load_csr(
+                &reader,
+                SEC_RED_OFFSETS,
+                SEC_RED_TARGETS,
+                "reduced graph",
+                &mut mapped,
+                &mut copied,
+            )?;
+            let weights = match reader.section_bytes(SEC_RED_WEIGHTS) {
+                Some(b) => Some(parse_u32s(b, "weights")?),
+                None => None,
+            };
+            let removed: Vec<bool> =
+                required(&reader, SEC_RED_REMOVED, "removed mask")?.iter().map(|&b| b != 0).collect();
+            if removed.len() != n {
+                return Err(artifact_err(format!(
+                    "removed mask covers {} vertices, graph has {n}",
+                    removed.len()
+                )));
+            }
+            let records: Vec<Removal> =
+                parse_json(required(&reader, SEC_RED_RECORDS, "records")?, "records")?;
+            let stats: ReductionStats =
+                parse_json(required(&reader, SEC_RED_STATS, "stats")?, "stats")?;
+            let survivors: Vec<NodeId> =
+                parse_u32s(required(&reader, SEC_SURVIVORS, "survivors")?, "survivors")?;
+            let bcc: Option<CumulativePrep> = match reader.section_bytes(SEC_BCC) {
+                Some(b) => Some(parse_json(b, "bct state")?),
+                None => None,
+            };
+            let relabel = if reader.has_section(SEC_RELABEL_OFFSETS) {
+                let graph = load_csr(
+                    &reader,
+                    SEC_RELABEL_OFFSETS,
+                    SEC_RELABEL_TARGETS,
+                    "relabelled graph",
+                    &mut mapped,
+                    &mut copied,
+                )?;
+                let new_of_old = parse_u32s(
+                    required(&reader, SEC_RELABEL_NEW_OF_OLD, "relabel permutation")?,
+                    "relabel permutation",
+                )?;
+                let old_of_new = parse_u32s(
+                    required(&reader, SEC_RELABEL_OLD_OF_NEW, "relabel permutation")?,
+                    "relabel permutation",
+                )?;
+                Some(Relabeling { graph, new_of_old, old_of_new })
+            } else {
+                None
+            };
+
+            if rec.enabled() {
+                rec.add(Counter::ArtifactBytesMapped, mapped);
+                rec.add(Counter::ArtifactBytesCopied, copied);
+            }
+            let info = ArtifactInfo {
+                version: FORMAT_VERSION,
+                checksum: reader.digest(),
+                path: path.display().to_string(),
+                source: prov.source,
+                bytes: reader.file().len() as u64,
+            };
+            let plan = MemoryPlan::compute(n, ctx.thread_count());
+            Ok((
+                PreparedGraph {
+                    original: Cow::Owned(original),
+                    relabel,
+                    config,
+                    red: ReductionResult { graph: red_graph, weights, removed, records, stats },
+                    offset_total: meta.offset_total,
+                    survivors,
+                    plan,
+                    bcc,
+                    prepare_elapsed: meta.prepare_elapsed,
+                    prepare_degradation: meta.prepare_degradation,
+                },
+                info,
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SampleSize;
+    use brics_graph::generators::{social_like, ClassParams};
+    use brics_graph::telemetry::RunRecorder;
+    use brics_reduce::ReductionConfig;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("brics_prepared_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrips_state_and_answers() {
+        let g = social_like(ClassParams::new(300, 7));
+        let ctx = ExecutionContext::new();
+        let p = PreparedGraph::build(&g, &ReductionConfig::all(), &ctx).unwrap();
+        let path = tmp("roundtrip");
+        let saved = p.save(&path, "social_like(300,7)", &ctx).unwrap();
+        assert_eq!(saved.version, FORMAT_VERSION);
+        assert!(saved.bytes > 0);
+
+        let (q, loaded) = PreparedGraph::load(&path, &ctx).unwrap();
+        assert_eq!(loaded.checksum, saved.checksum, "digest stable across save/load");
+        assert_eq!(loaded.source, "social_like(300,7)");
+        assert_eq!(q.original(), &g);
+        assert_eq!(q.num_surviving(), p.num_surviving());
+        assert_eq!(q.offset_total(), p.offset_total());
+        assert_eq!(q.has_bcc(), p.has_bcc());
+        assert_eq!(q.config(), p.config());
+
+        let a = p.cumulative(SampleSize::Fraction(0.4), 9, &ctx).unwrap();
+        let b = q.cumulative(SampleSize::Fraction(0.4), 9, &ctx).unwrap();
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(a.scaled(), b.scaled());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_charges_mapped_bytes_and_skips_reduce() {
+        let g = social_like(ClassParams::new(200, 3));
+        let build_ctx = ExecutionContext::new();
+        let p = PreparedGraph::build(&g, &ReductionConfig::all(), &build_ctx).unwrap();
+        let path = tmp("counters");
+        p.save(&path, "test", &build_ctx).unwrap();
+
+        let rec = RunRecorder::new();
+        let ctx = ExecutionContext::new().with_recorder(&rec);
+        let (q, _) = PreparedGraph::load(&path, &ctx).unwrap();
+        q.reduced(SampleSize::Fraction(0.5), 1, &ctx).unwrap();
+        let report = rec.report();
+        assert!(report.phases.iter().any(|ph| ph.name == "artifact.load"));
+        assert!(
+            !report.phases.iter().any(|ph| ph.name == "reduce" || ph.name == "prepare"),
+            "loading must not re-run the prepare pipeline"
+        );
+        let get = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+        if cfg!(all(unix, target_endian = "little", target_pointer_width = "64")) {
+            assert!(get("artifact_bytes_mapped") > 0, "CSR sections served in place");
+            assert_eq!(get("artifact_bytes_copied"), 0, "no CSR bytes deserialized");
+        } else {
+            assert!(get("artifact_bytes_copied") > 0);
+        }
+
+        // The forced-heap backend takes the copy path for every section.
+        let rec2 = RunRecorder::new();
+        let ctx2 = ExecutionContext::new().with_recorder(&rec2);
+        let (q2, _) = PreparedGraph::load_with(&path, false, &ctx2).unwrap();
+        let report2 = rec2.report();
+        let get2 = |name: &str| report2.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(get2("artifact_bytes_mapped"), 0);
+        assert!(get2("artifact_bytes_copied") > 0);
+        let a = q.reduced(SampleSize::Fraction(0.5), 2, &ctx).unwrap();
+        let b = q2.reduced(SampleSize::Fraction(0.5), 2, &ctx2).unwrap();
+        assert_eq!(a.raw(), b.raw(), "both backends answer identically");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_schema_and_missing_sections_are_typed_errors() {
+        let path = tmp("foreign");
+        // A structurally valid container whose payload is not ours.
+        let mut w = ArtifactWriter::new();
+        w.section(SEC_PROVENANCE, b"{\"schema\":\"someone.else/v9\",\"source\":\"x\"}".to_vec());
+        w.write_to(&path).unwrap();
+        let ctx = ExecutionContext::new();
+        let err = PreparedGraph::load(&path, &ctx).unwrap_err();
+        assert!(matches!(err, CentralityError::Artifact { .. }), "{err}");
+        assert!(err.to_string().contains("schema"), "{err}");
+
+        let mut w = ArtifactWriter::new();
+        w.section(
+            SEC_PROVENANCE,
+            format!("{{\"schema\":\"{SCHEMA}\",\"source\":\"x\"}}").into_bytes(),
+        );
+        w.write_to(&path).unwrap();
+        let err = PreparedGraph::load(&path, &ctx).unwrap_err();
+        assert!(err.to_string().contains("missing required section"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

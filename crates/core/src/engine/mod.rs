@@ -27,9 +27,11 @@
 //! `estimate` span, so prepare-vs-execute time is separately visible in a
 //! [`RunReport`](brics_graph::telemetry::RunReport).
 
+pub mod artifact;
 mod context;
 mod prepared;
 
+pub use artifact::ArtifactInfo;
 pub use context::ExecutionContext;
 pub use prepared::{MemoryPlan, PrepareConfig, PreparedGraph};
 

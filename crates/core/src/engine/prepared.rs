@@ -29,11 +29,13 @@ use brics_graph::traversal::Bfs;
 use brics_graph::{CsrGraph, FaultKind, FaultSite, NodeId, RunOutcome};
 use brics_reduce::{reduce_ctl_rec, structural_offsets, ReductionConfig, ReductionResult};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// What the prepare stage should build.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrepareConfig {
     /// Which structural reductions to run (identical / chains / redundant).
     pub reductions: ReductionConfig,
@@ -56,7 +58,7 @@ impl Default for PrepareConfig {
 /// Precomputed memory-admission figures for one prepared graph, derived
 /// from the vertex count and the planned worker-thread count. Queries
 /// admit against these instead of recomputing them per call.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemoryPlan {
     /// Bytes a flat accumulate run (sampling / reduced / harmonic /
     /// betweenness) needs: shared accumulator plus per-thread scratch.
@@ -105,26 +107,29 @@ impl MemoryPlan {
 ///
 /// [`build_with`]: PreparedGraph::build_with
 pub struct PreparedGraph<'g> {
-    original: &'g CsrGraph,
+    /// Borrowed on a fresh [`build`](Self::build); owned when the artifact
+    /// was deserialized from disk ([`crate::engine::artifact::load`]
+    /// returns `PreparedGraph<'static>`).
+    pub(crate) original: Cow<'g, CsrGraph>,
     /// Present iff `config.reorder`: queries run on `relabel.graph` and
     /// translate back through the permutation.
-    relabel: Option<Relabeling>,
-    config: PrepareConfig,
+    pub(crate) relabel: Option<Relabeling>,
+    pub(crate) config: PrepareConfig,
     /// The reduction of the working graph (records *not* homed/restored —
     /// the BCT state keeps its own restored copy).
-    red: ReductionResult,
+    pub(crate) red: ReductionResult,
     /// Total structural-offset mass of the removal records — the de-bias
     /// term of the scaled view (DESIGN.md §5).
-    offset_total: u64,
+    pub(crate) offset_total: u64,
     /// Surviving vertices in working-graph ids, ascending.
-    survivors: Vec<NodeId>,
-    plan: MemoryPlan,
-    bcc: Option<CumulativePrep>,
-    prepare_elapsed: Duration,
+    pub(crate) survivors: Vec<NodeId>,
+    pub(crate) plan: MemoryPlan,
+    pub(crate) bcc: Option<CumulativePrep>,
+    pub(crate) prepare_elapsed: Duration,
     /// Prepare-stage fallbacks taken under an armed degradation policy:
     /// `"reduce:skipped"` and/or `"bct:skipped"`. Empty on a clean build
     /// (a panicked stage that *recovered on retry* leaves no entry).
-    prepare_degradation: Vec<String>,
+    pub(crate) prepare_degradation: Vec<String>,
 }
 
 impl std::fmt::Debug for PreparedGraph<'_> {
@@ -297,7 +302,7 @@ impl<'g> PreparedGraph<'g> {
             };
 
             Ok(Self {
-                original: g,
+                original: Cow::Borrowed(g),
                 relabel,
                 config: cfg,
                 red,
@@ -317,12 +322,12 @@ impl<'g> PreparedGraph<'g> {
     /// `reorder` is on, the original otherwise. Vertex ids of this graph
     /// are *working ids*; every query translates back before returning.
     pub fn working(&self) -> &CsrGraph {
-        self.relabel.as_ref().map_or(self.original, |r| &r.graph)
+        self.relabel.as_ref().map_or(&*self.original, |r| &r.graph)
     }
 
     /// The original graph the artifact was built from.
-    pub fn original(&self) -> &'g CsrGraph {
-        self.original
+    pub fn original(&self) -> &CsrGraph {
+        &self.original
     }
 
     /// The configuration the artifact was built with.

@@ -38,6 +38,15 @@ pub enum CentralityError {
         /// The configured cap.
         budget_bytes: u64,
     },
+    /// A prepared-graph artifact could not be written, or the file opened
+    /// for loading is not a valid artifact (corrupt, truncated, foreign
+    /// format/endianness, or an unsupported version). The artifact is
+    /// *input* from the engine's point of view — the CLI maps this to the
+    /// input-error exit code.
+    Artifact {
+        /// What failed, rendered as text.
+        detail: String,
+    },
     /// An all-or-nothing computation (e.g. [`crate::exact_farness`]) was
     /// interrupted by deadline or cancellation. Such computations cannot
     /// return sound partial results, so interruption is an error; sampling
@@ -71,6 +80,11 @@ impl fmt::Display for CentralityError {
                  budget is {budget_bytes} bytes — raise the budget or reduce the \
                  sample/block size"
             ),
+            CentralityError::Artifact { detail } => write!(
+                f,
+                "prepared-graph artifact error: {detail} — regenerate the file with \
+                 `brics prepare`"
+            ),
             CentralityError::Interrupted { outcome } => {
                 let cause = match outcome {
                     RunOutcome::Deadline => "wall-clock deadline expired",
@@ -89,6 +103,12 @@ impl std::error::Error for CentralityError {}
 impl From<WorkerPanic> for CentralityError {
     fn from(p: WorkerPanic) -> Self {
         CentralityError::Internal { detail: p.detail }
+    }
+}
+
+impl From<brics_graph::artifact::ArtifactError> for CentralityError {
+    fn from(e: brics_graph::artifact::ArtifactError) -> Self {
+        CentralityError::Artifact { detail: e.to_string() }
     }
 }
 
@@ -119,6 +139,9 @@ mod tests {
         assert!(e.to_string().contains("5 bytes"));
         let e = CentralityError::Interrupted { outcome: RunOutcome::Deadline };
         assert!(e.to_string().contains("deadline"));
+        let e = CentralityError::Artifact { detail: "bad magic".into() };
+        assert!(e.to_string().contains("bad magic"));
+        assert!(e.to_string().contains("brics prepare"));
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub mod topk;
 
 pub use config::{BricsEstimator, HybridParams, Kernel, KernelConfig, Method, SampleSize};
 pub use degrade::{run_degraded, DegradationPolicy, DegradedEstimate, DegradedRequest};
-pub use engine::{ExecutionContext, MemoryPlan, PrepareConfig, PreparedGraph};
+pub use engine::{ArtifactInfo, ExecutionContext, MemoryPlan, PrepareConfig, PreparedGraph};
 pub use error::CentralityError;
 pub use estimate::FarnessEstimate;
 pub use exact::{exact_farness, exact_farness_in};

@@ -1,0 +1,453 @@
+//! The `brics.artifact/v1` binary container: a versioned, checksummed
+//! section file for persisted prepared-graph state.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic                b"BRICSART"
+//! 8       4     format version       1
+//! 12      4     endianness marker    0x01020304
+//! 16      4     section count
+//! 20      4     reserved (zero)
+//! 24      32×N  section table        one entry per section
+//! 24+32N  …     payloads             each padded to 8-byte alignment
+//! ```
+//!
+//! Each section-table entry is `{ id: u32, reserved: u32, offset: u64,
+//! len: u64, checksum: u64 }`; `checksum` is the [`crate::hash::FxHasher`]
+//! digest of the payload bytes. The container is format-agnostic: section
+//! ids and payload encodings are assigned by the layer that persists its
+//! state (the engine crate), the container only guarantees integrity.
+//!
+//! Every open validates the header, the table, and every section checksum
+//! before any byte is interpreted, so corruption and truncation surface as
+//! typed [`ArtifactError`]s — never as a panic or a silently wrong
+//! answer. The [`FaultSite::IoArtifact`](crate::control::FaultSite)
+//! failpoint can inject failures at each validation stage (argument 0 =
+//! header, 1 = section table, 2 = checksum) for chaos testing.
+
+use crate::control::{FaultKind, FaultSite, RunControl};
+use crate::hash::FxHasher;
+use crate::storage::MappedFile;
+use std::fmt;
+use std::hash::Hasher;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes opening every artifact file.
+pub const MAGIC: [u8; 8] = *b"BRICSART";
+/// The container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Endianness marker; reads back byte-swapped when the file was written
+/// on a foreign-endian host.
+pub const ENDIAN_MARKER: u32 = 0x0102_0304;
+
+const HEADER_LEN: usize = 24;
+const TABLE_ENTRY_LEN: usize = 32;
+
+/// Why an artifact could not be written or opened.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The bytes are not a valid `brics.artifact/v1` file (bad magic,
+    /// unsupported version, foreign endianness, truncation, out-of-bounds
+    /// sections, or a checksum mismatch).
+    Format(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact i/o: {e}"),
+            ArtifactError::Format(msg) => write!(f, "artifact format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// The checksum used for every section: the workspace's FxHash digest of
+/// the payload bytes.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Accumulates sections in memory, then writes the container in one pass.
+#[derive(Debug, Default)]
+pub struct ArtifactWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ArtifactWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section. Ids must be unique; table order is append order.
+    pub fn section(&mut self, id: u32, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(existing, _)| *existing != id),
+            "duplicate artifact section id {id}"
+        );
+        self.sections.push((id, payload));
+    }
+
+    /// The container digest the written file will report: the checksum of
+    /// all section checksums in append (= table) order. Matches
+    /// [`ArtifactReader::digest`] of the file [`write_to`](Self::write_to)
+    /// produces.
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        for (_, payload) in &self.sections {
+            h.write_u64(checksum(payload));
+        }
+        h.finish()
+    }
+
+    /// Writes the container to `path`, replacing any existing file.
+    /// Returns the total bytes written.
+    pub fn write_to(&self, path: &Path) -> Result<u64, ArtifactError> {
+        let table_len = self.sections.len() * TABLE_ENTRY_LEN;
+        let mut out = Vec::with_capacity(
+            HEADER_LEN + table_len + self.sections.iter().map(|(_, p)| p.len() + 8).sum::<usize>(),
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+
+        // Lay out payloads after the table, each 8-byte aligned.
+        let mut offset = HEADER_LEN + table_len;
+        let mut placed = Vec::with_capacity(self.sections.len());
+        for (id, payload) in &self.sections {
+            offset = (offset + 7) & !7;
+            placed.push((*id, offset as u64, payload.len() as u64, checksum(payload)));
+            offset += payload.len();
+        }
+        for (id, off, len, sum) in &placed {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(&sum.to_le_bytes());
+        }
+        for ((_, payload), (_, off, _, _)) in self.sections.iter().zip(&placed) {
+            out.resize(*off as usize, 0);
+            out.extend_from_slice(payload);
+        }
+
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&out)?;
+        file.flush()?;
+        Ok(out.len() as u64)
+    }
+}
+
+/// One validated section-table entry.
+#[derive(Clone, Copy, Debug)]
+struct SectionEntry {
+    id: u32,
+    offset: usize,
+    len: usize,
+}
+
+/// An opened, fully validated artifact: header checked, table bounds
+/// checked, every section checksum verified — all without materializing
+/// any payload into owned memory.
+#[derive(Debug)]
+pub struct ArtifactReader {
+    file: Arc<MappedFile>,
+    sections: Vec<SectionEntry>,
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Evaluates the `io.artifact` failpoint at a validation stage; a fired
+/// `io-error` or `panic` arm surfaces as a typed format error (artifact
+/// loading must never propagate a panic).
+fn artifact_fault(ctl: &RunControl, stage: u64, what: &str) -> Result<(), ArtifactError> {
+    match ctl.fault_apply(FaultSite::IoArtifact, stage) {
+        Some(FaultKind::IoError) | Some(FaultKind::Panic) => Err(ArtifactError::Format(format!(
+            "injected artifact fault at {what} stage (io.artifact)"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+impl ArtifactReader {
+    /// Opens and validates `path`. `use_mmap` selects the backend:
+    /// memory-mapped (with heap fallback) or forced read-into-heap.
+    pub fn open(path: &Path, use_mmap: bool, ctl: &RunControl) -> Result<Self, ArtifactError> {
+        let file = if use_mmap { MappedFile::map(path)? } else { MappedFile::read(path)? };
+        Self::validate(file, ctl)
+    }
+
+    fn validate(file: Arc<MappedFile>, ctl: &RunControl) -> Result<Self, ArtifactError> {
+        let bytes = file.bytes();
+        artifact_fault(ctl, 0, "header")?;
+        if bytes.len() < HEADER_LEN {
+            return Err(ArtifactError::Format(format!(
+                "file too short for header ({} bytes)",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(ArtifactError::Format("bad magic (not a brics artifact)".into()));
+        }
+        let version = le_u32(bytes, 8);
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::Format(format!(
+                "unsupported artifact version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let endian = le_u32(bytes, 12);
+        if endian != ENDIAN_MARKER {
+            return Err(ArtifactError::Format(format!(
+                "endianness marker {endian:#010x} does not match {ENDIAN_MARKER:#010x} \
+                 (artifact written on a foreign-endian host?)"
+            )));
+        }
+        let count = le_u32(bytes, 16) as usize;
+
+        artifact_fault(ctl, 1, "section table")?;
+        let table_end = HEADER_LEN
+            .checked_add(count.checked_mul(TABLE_ENTRY_LEN).ok_or_else(|| {
+                ArtifactError::Format(format!("section count {count} overflows"))
+            })?)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                ArtifactError::Format(format!(
+                    "section table for {count} sections exceeds {}-byte file",
+                    bytes.len()
+                ))
+            })?;
+        let mut sections = Vec::with_capacity(count);
+        let mut checksums = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let id = le_u32(bytes, at);
+            let offset = le_u64(bytes, at + 8);
+            let len = le_u64(bytes, at + 16);
+            let sum = le_u64(bytes, at + 24);
+            let (offset, len) = match (usize::try_from(offset), usize::try_from(len)) {
+                (Ok(o), Ok(l)) => (o, l),
+                _ => {
+                    return Err(ArtifactError::Format(format!(
+                        "section {id}: offset/len exceed this host's address space"
+                    )))
+                }
+            };
+            let in_bounds = offset >= table_end
+                && offset.checked_add(len).is_some_and(|end| end <= bytes.len());
+            if !in_bounds {
+                return Err(ArtifactError::Format(format!(
+                    "section {id}: range [{offset}, +{len}) out of bounds \
+                     of {}-byte file",
+                    bytes.len()
+                )));
+            }
+            if sections.iter().any(|s: &SectionEntry| s.id == id) {
+                return Err(ArtifactError::Format(format!("duplicate section id {id}")));
+            }
+            sections.push(SectionEntry { id, offset, len });
+            checksums.push(sum);
+        }
+
+        artifact_fault(ctl, 2, "checksum")?;
+        for (entry, expected) in sections.iter().zip(&checksums) {
+            let actual = checksum(&bytes[entry.offset..entry.offset + entry.len]);
+            if actual != *expected {
+                return Err(ArtifactError::Format(format!(
+                    "section {}: checksum mismatch (file corrupt?)",
+                    entry.id
+                )));
+            }
+        }
+        Ok(Self { file, sections })
+    }
+
+    /// The backing file, for constructing in-place
+    /// [`Buffer`](crate::storage::Buffer)s over sections.
+    pub fn file(&self) -> &Arc<MappedFile> {
+        &self.file
+    }
+
+    /// Whether the backing file is served by a live memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
+    }
+
+    /// A digest of the whole container: the checksum of all section
+    /// checksums in table order — cheap, stable, and sensitive to any
+    /// payload or layout change.
+    pub fn digest(&self) -> u64 {
+        let bytes = self.file.bytes();
+        let mut h = FxHasher::default();
+        for entry in &self.sections {
+            h.write_u64(checksum(&bytes[entry.offset..entry.offset + entry.len]));
+        }
+        h.finish()
+    }
+
+    /// Byte range `(offset, len)` of a section, if present.
+    pub fn section_range(&self, id: u32) -> Option<(usize, usize)> {
+        self.sections.iter().find(|s| s.id == id).map(|s| (s.offset, s.len))
+    }
+
+    /// A section's raw payload bytes, if present.
+    pub fn section_bytes(&self, id: u32) -> Option<&[u8]> {
+        self.section_range(id).map(|(offset, len)| &self.file.bytes()[offset..offset + len])
+    }
+
+    /// Whether a section with this id exists.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.sections.iter().any(|s| s.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::FaultPlan;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("brics_artifact_{name}_{}", std::process::id()))
+    }
+
+    fn sample(path: &Path) -> u64 {
+        let mut w = ArtifactWriter::new();
+        w.section(1, b"first payload".to_vec());
+        w.section(2, (0u32..16).flat_map(|v| v.to_le_bytes()).collect());
+        w.section(9, Vec::new());
+        w.write_to(path).unwrap()
+    }
+
+    #[test]
+    fn write_then_open_roundtrips_sections() {
+        let path = tmp("roundtrip");
+        let written = sample(&path);
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        for use_mmap in [true, false] {
+            let r = ArtifactReader::open(&path, use_mmap, &RunControl::new()).unwrap();
+            assert_eq!(r.section_bytes(1).unwrap(), b"first payload");
+            assert_eq!(r.section_bytes(2).unwrap().len(), 64);
+            assert_eq!(r.section_bytes(9).unwrap(), b"");
+            assert!(r.section_bytes(3).is_none());
+            assert!(r.has_section(9) && !r.has_section(3));
+            // Payload offsets are 8-byte aligned for in-place service.
+            let (off, _) = r.section_range(2).unwrap();
+            assert_eq!(off % 8, 0);
+        }
+        let a = ArtifactReader::open(&path, true, &RunControl::new()).unwrap().digest();
+        let b = ArtifactReader::open(&path, false, &RunControl::new()).unwrap().digest();
+        assert_eq!(a, b, "digest is backend-independent");
+        let mut w = ArtifactWriter::new();
+        w.section(1, b"first payload".to_vec());
+        w.section(2, (0u32..16).flat_map(|v| v.to_le_bytes()).collect());
+        w.section(9, Vec::new());
+        assert_eq!(w.digest(), a, "writer digest matches the written file's");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_a_format_error() {
+        let path = tmp("truncated");
+        let written = sample(&path) as usize;
+        let bytes = std::fs::read(&path).unwrap();
+        for keep in [0, 7, HEADER_LEN - 1, HEADER_LEN + 5, written - 1] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            let err = ArtifactReader::open(&path, true, &RunControl::new()).unwrap_err();
+            assert!(matches!(err, ArtifactError::Format(_)), "keep={keep}: {err}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let path = tmp("flipped");
+        sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // corrupt payload, not header
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ArtifactReader::open(&path, true, &RunControl::new()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_version_and_endianness_are_rejected() {
+        let path = tmp("header");
+        sample(&path);
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        let err = ArtifactReader::open(&path, true, &RunControl::new()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let err = ArtifactReader::open(&path, true, &RunControl::new()).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+
+        let mut bad = good;
+        bad[12..16].copy_from_slice(&ENDIAN_MARKER.to_be_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let err = ArtifactReader::open(&path, true, &RunControl::new()).unwrap_err();
+        assert!(err.to_string().contains("endianness"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_section_is_rejected() {
+        let path = tmp("oob");
+        sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // First table entry's len at header+16: point past EOF.
+        let at = HEADER_LEN + 16;
+        bytes[at..at + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ArtifactReader::open(&path, true, &RunControl::new()).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_artifact_fault_fires_per_stage() {
+        let path = tmp("fault");
+        sample(&path);
+        for (trigger, what) in [("on:0", "header"), ("on:1", "section table"), ("on:2", "checksum")]
+        {
+            let plan = FaultPlan::parse(&format!("io.artifact=io-error@{trigger}")).unwrap();
+            let ctl = RunControl::new().with_fault_plan(plan.clone());
+            let err = ArtifactReader::open(&path, true, &ctl).unwrap_err();
+            assert!(err.to_string().contains(what), "{trigger}: {err}");
+            assert_eq!(plan.fired(FaultSite::IoArtifact), 1);
+        }
+        // An unarmed control passes all three stages.
+        assert!(ArtifactReader::open(&path, true, &RunControl::new()).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -111,7 +111,7 @@ pub struct MemoryBudgetExceeded {
 }
 
 /// Number of named failpoints (length of [`FaultSite::ALL`]).
-const NUM_SITES: usize = 8;
+const NUM_SITES: usize = 9;
 
 /// A named failpoint in the engine. Sites are stable identifiers — the
 /// `--fault` CLI grammar and the run report both refer to them by
@@ -137,6 +137,9 @@ pub enum FaultSite {
     IoRead,
     /// In [`RunControl::admit_memory`] (argument: requested bytes).
     AllocAdmit,
+    /// During prepared-graph artifact validation (argument: stage —
+    /// 0 = header, 1 = section table, 2 = checksum).
+    IoArtifact,
 }
 
 impl FaultSite {
@@ -150,6 +153,7 @@ impl FaultSite {
         FaultSite::EstimatePhaseB,
         FaultSite::IoRead,
         FaultSite::AllocAdmit,
+        FaultSite::IoArtifact,
     ];
 
     /// The stable dotted name used by the `--fault` grammar and the report.
@@ -163,6 +167,7 @@ impl FaultSite {
             FaultSite::EstimatePhaseB => "estimate.phase_b",
             FaultSite::IoRead => "io.read",
             FaultSite::AllocAdmit => "alloc.admit",
+            FaultSite::IoArtifact => "io.artifact",
         }
     }
 
@@ -176,6 +181,7 @@ impl FaultSite {
             FaultSite::EstimatePhaseB => 5,
             FaultSite::IoRead => 6,
             FaultSite::AllocAdmit => 7,
+            FaultSite::IoArtifact => 8,
         }
     }
 }
@@ -193,7 +199,7 @@ impl FromStr for FaultSite {
         FaultSite::ALL
             .into_iter()
             .find(|site| site.name() == s)
-            .ok_or_else(|| format!("unknown fault site `{s}` (sites: reduce.rule, bct.build, bfs.source, bfs.level, bfs.batch, estimate.phase_b, io.read, alloc.admit)"))
+            .ok_or_else(|| format!("unknown fault site `{s}` (sites: reduce.rule, bct.build, bfs.source, bfs.level, bfs.batch, estimate.phase_b, io.read, alloc.admit, io.artifact)"))
     }
 }
 

@@ -4,8 +4,9 @@
 //! CSR keeps each vertex's neighbour list contiguous, which is the layout
 //! the BFS kernels want: one cache-friendly slice scan per frontier vertex.
 
+use crate::storage::Buffer;
 use crate::{Dist, NodeId};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// An immutable, simple, undirected graph in CSR form.
 ///
@@ -15,12 +16,17 @@ use serde::{Deserialize, Serialize};
 /// * every undirected edge `{u, v}` is stored twice, once per direction;
 /// * no self-loops, no parallel edges;
 /// * each neighbour list is sorted ascending.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The two CSR arrays live in [`Buffer`]s, so a graph is backed either by
+/// owned vectors (everything built in memory) or by sections of a
+/// memory-mapped artifact file served in place — the algorithms above see
+/// plain slices either way.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` delimits `v`'s neighbour list in `targets`.
-    offsets: Vec<usize>,
+    offsets: Buffer<usize>,
     /// Concatenated neighbour lists (length = 2 · number of undirected edges).
-    targets: Vec<NodeId>,
+    targets: Buffer<NodeId>,
 }
 
 impl CsrGraph {
@@ -30,23 +36,48 @@ impl CsrGraph {
     /// Panics if the arrays violate the CSR invariants listed on the type.
     /// Use [`crate::GraphBuilder`] to construct graphs from edge lists.
     pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
-        let g = Self { offsets, targets };
-        g.validate().expect("invalid CSR arrays");
-        g
+        validate_parts(&offsets, &targets).expect("invalid CSR arrays");
+        Self { offsets: offsets.into(), targets: targets.into() }
     }
 
     /// Builds without validation. Caller must uphold the CSR invariants.
     /// Used by trusted internal constructors (builder, subgraph extraction).
     pub(crate) fn from_parts_unchecked(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
-        debug_assert!(Self { offsets: offsets.clone(), targets: targets.clone() }
-            .validate()
-            .is_ok());
-        Self { offsets, targets }
+        debug_assert!(validate_parts(&offsets, &targets).is_ok());
+        Self { offsets: offsets.into(), targets: targets.into() }
+    }
+
+    /// Builds over pre-loaded storage buffers — the artifact load path.
+    ///
+    /// Runs only the `O(n)` structural checks (offset shape and
+    /// monotonicity); the expensive per-edge invariants (sortedness,
+    /// symmetry, no self-loops) are trusted, because artifact sections are
+    /// integrity-checked end to end and were validated when first built.
+    pub fn from_storage(
+        offsets: Buffer<usize>,
+        targets: Buffer<NodeId>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have at least one entry".into());
+        }
+        if offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err("offsets must end at targets.len()".into());
+        }
+        if offsets.len() - 1 > (NodeId::MAX as usize) {
+            return Err("too many nodes for u32 node ids".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        Ok(Self { offsets, targets })
     }
 
     /// The empty graph.
     pub fn empty() -> Self {
-        Self { offsets: vec![0], targets: Vec::new() }
+        Self { offsets: vec![0].into(), targets: Vec::new().into() }
     }
 
     /// Number of vertices.
@@ -140,47 +171,7 @@ impl CsrGraph {
 
     /// Checks every CSR invariant; returns a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
-        if self.offsets.is_empty() {
-            return Err("offsets must have at least one entry".into());
-        }
-        if self.offsets[0] != 0 {
-            return Err("offsets[0] must be 0".into());
-        }
-        if *self.offsets.last().unwrap() != self.targets.len() {
-            return Err("offsets must end at targets.len()".into());
-        }
-        let n = self.num_nodes();
-        if n > (NodeId::MAX as usize) {
-            return Err("too many nodes for u32 node ids".into());
-        }
-        for v in 0..n {
-            if self.offsets[v] > self.offsets[v + 1] {
-                return Err(format!("offsets not monotone at {v}"));
-            }
-            let nbrs = &self.targets[self.offsets[v]..self.offsets[v + 1]];
-            for w in nbrs.windows(2) {
-                if w[0] >= w[1] {
-                    return Err(format!("neighbour list of {v} not strictly sorted"));
-                }
-            }
-            for &t in nbrs {
-                if t as usize >= n {
-                    return Err(format!("edge target {t} out of range at {v}"));
-                }
-                if t as usize == v {
-                    return Err(format!("self-loop at {v}"));
-                }
-            }
-        }
-        // Symmetry: every arc has its reverse.
-        for v in 0..n as NodeId {
-            for &t in self.neighbors(v) {
-                if !self.has_edge(t, v) {
-                    return Err(format!("missing reverse arc {t}->{v}"));
-                }
-            }
-        }
-        Ok(())
+        validate_parts(&self.offsets, &self.targets)
     }
 
     /// Sum of distances `Σ_w d(v, w)` given a distance array, skipping
@@ -190,6 +181,75 @@ impl CsrGraph {
             .filter(|&&d| d != crate::INFINITE_DIST)
             .map(|&d| d as u64)
             .sum()
+    }
+}
+
+/// Checks every CSR invariant against raw arrays, by reference — shared by
+/// [`CsrGraph::validate`] and the debug assertion in the unchecked
+/// constructor (which must not clone multi-GB arrays just to check them).
+fn validate_parts(offsets: &[usize], targets: &[NodeId]) -> Result<(), String> {
+    if offsets.is_empty() {
+        return Err("offsets must have at least one entry".into());
+    }
+    if offsets[0] != 0 {
+        return Err("offsets[0] must be 0".into());
+    }
+    if *offsets.last().unwrap() != targets.len() {
+        return Err("offsets must end at targets.len()".into());
+    }
+    let n = offsets.len() - 1;
+    if n > (NodeId::MAX as usize) {
+        return Err("too many nodes for u32 node ids".into());
+    }
+    let has_arc = |u: usize, v: NodeId| targets[offsets[u]..offsets[u + 1]].binary_search(&v).is_ok();
+    for v in 0..n {
+        if offsets[v] > offsets[v + 1] {
+            return Err(format!("offsets not monotone at {v}"));
+        }
+        let nbrs = &targets[offsets[v]..offsets[v + 1]];
+        for w in nbrs.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("neighbour list of {v} not strictly sorted"));
+            }
+        }
+        for &t in nbrs {
+            if t as usize >= n {
+                return Err(format!("edge target {t} out of range at {v}"));
+            }
+            if t as usize == v {
+                return Err(format!("self-loop at {v}"));
+            }
+        }
+    }
+    // Symmetry: every arc has its reverse.
+    for v in 0..n {
+        for &t in &targets[offsets[v]..offsets[v + 1]] {
+            if !has_arc(t as usize, v as NodeId) {
+                return Err(format!("missing reverse arc {t}->{v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// Manual serde impls: the JSON shape stays `{"offsets": [...], "targets":
+// [...]}` exactly as the former derive emitted, so reports and round-trip
+// fixtures are byte-compatible; deserialization always produces owned
+// buffers.
+impl Serialize for CsrGraph {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("offsets".to_string(), self.offsets().to_value()),
+            ("targets".to_string(), self.targets().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CsrGraph {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let offsets: Vec<usize> = serde::__field(v, "offsets")?;
+        let targets: Vec<NodeId> = serde::__field(v, "targets")?;
+        Ok(Self { offsets: offsets.into(), targets: targets.into() })
     }
 }
 
@@ -251,21 +311,21 @@ mod tests {
 
     #[test]
     fn validate_rejects_self_loop() {
-        let g = CsrGraph { offsets: vec![0, 1], targets: vec![0] };
+        let g = CsrGraph { offsets: vec![0, 1].into(), targets: vec![0].into() };
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_asymmetry() {
-        let g = CsrGraph { offsets: vec![0, 1, 1], targets: vec![1] };
+        let g = CsrGraph { offsets: vec![0, 1, 1].into(), targets: vec![1].into() };
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_unsorted() {
         let g = CsrGraph {
-            offsets: vec![0, 2, 3, 4],
-            targets: vec![2, 1, 0, 0],
+            offsets: vec![0, 2, 3, 4].into(),
+            targets: vec![2, 1, 0, 0].into(),
         };
         assert!(g.validate().is_err());
     }
@@ -313,5 +373,24 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let g2: CsrGraph = serde_json::from_str(&json).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_storage_checks_structure_only() {
+        let g = path5();
+        let rebuilt = CsrGraph::from_storage(
+            g.offsets().to_vec().into(),
+            g.targets().to_vec().into(),
+        )
+        .unwrap();
+        assert_eq!(g, rebuilt);
+        // Structural violations are caught…
+        assert!(CsrGraph::from_storage(vec![].into(), vec![].into()).is_err());
+        assert!(CsrGraph::from_storage(vec![1, 1].into(), vec![].into()).is_err());
+        assert!(CsrGraph::from_storage(vec![0, 2].into(), vec![1].into()).is_err());
+        assert!(CsrGraph::from_storage(vec![0, 1, 0].into(), vec![0].into()).is_err());
+        // …but per-edge invariants are trusted (checksummed sections).
+        let asym = CsrGraph::from_storage(vec![0, 1, 1].into(), vec![1].into()).unwrap();
+        assert!(asym.validate().is_err());
     }
 }

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod builder;
 pub mod connectivity;
 pub mod control;
@@ -46,6 +47,7 @@ pub mod generators;
 pub mod hash;
 pub mod io;
 pub mod reorder;
+pub mod storage;
 pub mod subgraph;
 pub mod telemetry;
 pub mod traversal;

@@ -1,0 +1,471 @@
+//! Pluggable backing storage for CSR buffers: owned heap vectors or a
+//! read-only memory-mapped file view.
+//!
+//! The artifact reader (see [`crate::artifact`]) hands out CSR sections as
+//! [`Buffer`]s. On 64-bit little-endian unix hosts a section whose file
+//! offset respects the element alignment is served *in place* from the
+//! mapping — no deserialization, no owned copy; on other platforms (or for
+//! misaligned/foreign-endian data) the section is copy-converted into an
+//! owned vector. Either way the result derefs to a plain slice, so the
+//! traversal kernels never know which backend they run on.
+//!
+//! The mapping itself is a minimal unix `mmap(2)` via direct libc FFI —
+//! deliberately no new dependency, consistent with the workspace's
+//! vendored-shims policy — with a read-into-`Vec` fallback used on
+//! non-unix targets, for empty files, and whenever `mmap` itself fails.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod ffi {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+enum FileData {
+    /// A live read-only `mmap` of the whole file.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// The whole file read into an owned heap buffer.
+    Heap(Vec<u8>),
+}
+
+/// A file's bytes, either memory-mapped read-only or read into the heap.
+///
+/// Shared behind an [`Arc`] so any number of [`Buffer`]s can alias
+/// disjoint sections of one mapping; the mapping is released when the last
+/// reference drops.
+pub struct MappedFile {
+    data: FileData,
+}
+
+// SAFETY: the mapping is created PROT_READ/MAP_PRIVATE and never written
+// or remapped after construction, so shared references are safe to send
+// and use across threads exactly like an immutable byte slice.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps `path` read-only, falling back to [`MappedFile::read`] when
+    /// mapping is unavailable (non-unix target, empty file, or a failed
+    /// `mmap` call). Only opening the file can fail.
+    pub fn map(path: &Path) -> io::Result<Arc<MappedFile>> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            // Zero-length mappings are an error per POSIX; usize::try_from
+            // guards 32-bit hosts against >4 GiB files.
+            if let (true, Ok(len)) = (len > 0, usize::try_from(len)) {
+                let ptr = unsafe {
+                    ffi::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        ffi::PROT_READ,
+                        ffi::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != ffi::MAP_FAILED {
+                    return Ok(Arc::new(MappedFile {
+                        data: FileData::Mapped { ptr: ptr as *const u8, len },
+                    }));
+                }
+            }
+            Self::read_open(file)
+        }
+        #[cfg(not(unix))]
+        {
+            Self::read(path)
+        }
+    }
+
+    /// Reads `path` entirely into an owned heap buffer (never maps).
+    pub fn read(path: &Path) -> io::Result<Arc<MappedFile>> {
+        Self::read_open(File::open(path)?)
+    }
+
+    fn read_open(mut file: File) -> io::Result<Arc<MappedFile>> {
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Ok(Arc::new(MappedFile { data: FileData::Heap(bytes) }))
+    }
+
+    /// The file's bytes, regardless of backend.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap that lives as
+            // long as `self` (munmap happens only in Drop).
+            FileData::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            FileData::Heap(v) => v,
+        }
+    }
+
+    /// Whether the bytes are served by a live memory mapping (as opposed
+    /// to the read-into-heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.data {
+            #[cfg(unix)]
+            FileData::Mapped { .. } => true,
+            FileData::Heap(_) => false,
+        }
+    }
+
+    /// Total number of bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let FileData::Mapped { ptr, len } = self.data {
+            // SAFETY: exactly the region returned by mmap, unmapped once.
+            unsafe {
+                ffi::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// A contiguous run of `T`s backed either by an owned vector or by a
+/// section of a [`MappedFile`] served in place.
+///
+/// Derefs to `&[T]`, so consumers are backend-agnostic. Mapped buffers
+/// are only constructed through the checked section constructors
+/// ([`Buffer::u32_section`], [`Buffer::usize_section`]), which fall back
+/// to an owned copy whenever in-place reinterpretation would be unsound
+/// (misalignment, wrong endianness, or an element-width mismatch).
+pub enum Buffer<T: Copy> {
+    /// Plain owned storage — what every in-memory constructor produces.
+    Owned(Vec<T>),
+    /// A window into a shared file: `len` elements starting at
+    /// `byte_offset`. Invariant (upheld at construction): the window is in
+    /// bounds, aligned for `T`, and the bytes are a valid native-endian
+    /// `[T]` representation.
+    Mapped {
+        /// The file whose bytes back this buffer.
+        file: Arc<MappedFile>,
+        /// Byte offset of the first element within the file.
+        byte_offset: usize,
+        /// Number of elements.
+        len: usize,
+    },
+}
+
+/// How a section constructor materialized its [`Buffer`]: served in place
+/// from the mapping, or copied into owned memory (with the byte count, for
+/// the `artifact_bytes_{mapped,copied}` telemetry counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectionLoad {
+    /// The buffer aliases the file mapping; no bytes were copied.
+    InPlace {
+        /// Section length in bytes.
+        bytes: u64,
+    },
+    /// The buffer owns a converted copy of the section.
+    Copied {
+        /// Section length in bytes.
+        bytes: u64,
+    },
+}
+
+impl<T: Copy> Buffer<T> {
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Buffer::Owned(v) => v,
+            Buffer::Mapped { file, byte_offset, len } => {
+                let bytes = &file.bytes()[*byte_offset..*byte_offset + *len * size_of::<T>()];
+                // SAFETY: construction checked bounds, alignment and
+                // representation validity; the file is immutable and kept
+                // alive by the Arc.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, *len) }
+            }
+        }
+    }
+}
+
+impl Buffer<u32> {
+    /// Wraps `len` little-endian `u32`s at `byte_offset` of `file`.
+    /// Serves them in place when the host is little-endian and the offset
+    /// is 4-byte aligned within the mapping; copy-converts otherwise.
+    /// Errors when the window is out of bounds.
+    pub fn u32_section(
+        file: &Arc<MappedFile>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<(Self, SectionLoad), String> {
+        let bytes = section_window(file, byte_offset, len, 4)?;
+        let in_place = cfg!(target_endian = "little")
+            && file.is_mapped()
+            && bytes.as_ptr().align_offset(align_of::<u32>()) == 0;
+        if in_place {
+            let buf = Buffer::Mapped { file: Arc::clone(file), byte_offset, len };
+            Ok((buf, SectionLoad::InPlace { bytes: bytes.len() as u64 }))
+        } else {
+            let v = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect();
+            Ok((Buffer::Owned(v), SectionLoad::Copied { bytes: bytes.len() as u64 }))
+        }
+    }
+}
+
+impl Buffer<usize> {
+    /// Wraps `len` little-endian `u64`s at `byte_offset` of `file` as
+    /// `usize`s. In-place service additionally requires a 64-bit host (so
+    /// `usize` and the stored `u64` have the same layout); otherwise each
+    /// value is range-checked and copied.
+    pub fn usize_section(
+        file: &Arc<MappedFile>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<(Self, SectionLoad), String> {
+        let bytes = section_window(file, byte_offset, len, 8)?;
+        let in_place = cfg!(target_endian = "little")
+            && size_of::<usize>() == 8
+            && file.is_mapped()
+            && bytes.as_ptr().align_offset(align_of::<usize>()) == 0;
+        if in_place {
+            let buf = Buffer::Mapped { file: Arc::clone(file), byte_offset, len };
+            Ok((buf, SectionLoad::InPlace { bytes: bytes.len() as u64 }))
+        } else {
+            let v = bytes
+                .chunks_exact(8)
+                .map(|c| {
+                    let raw = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                    usize::try_from(raw).map_err(|_| format!("offset {raw} exceeds usize"))
+                })
+                .collect::<Result<Vec<usize>, String>>()?;
+            Ok((Buffer::Owned(v), SectionLoad::Copied { bytes: bytes.len() as u64 }))
+        }
+    }
+}
+
+/// Bounds-checks the byte window of a `len × elem_size` section.
+fn section_window(
+    file: &Arc<MappedFile>,
+    byte_offset: usize,
+    len: usize,
+    elem_size: usize,
+) -> Result<&[u8], String> {
+    let byte_len = len
+        .checked_mul(elem_size)
+        .ok_or_else(|| "section length overflows".to_string())?;
+    let end = byte_offset
+        .checked_add(byte_len)
+        .filter(|&e| e <= file.len())
+        .ok_or_else(|| {
+            format!(
+                "section [{byte_offset}, +{byte_len}) out of bounds of {}-byte file",
+                file.len()
+            )
+        })?;
+    Ok(&file.bytes()[byte_offset..end])
+}
+
+impl<T: Copy> Deref for Buffer<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for Buffer<T> {
+    fn from(v: Vec<T>) -> Self {
+        Buffer::Owned(v)
+    }
+}
+
+impl<T: Copy> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Buffer::Owned(v) => Buffer::Owned(v.clone()),
+            Buffer::Mapped { file, byte_offset, len } => Buffer::Mapped {
+                file: Arc::clone(file),
+                byte_offset: *byte_offset,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for Buffer<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq> Eq for Buffer<T> {}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("brics_storage_{name}_{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn map_serves_file_bytes() {
+        let path = tmp("map", b"hello mapped world");
+        let file = MappedFile::map(&path).unwrap();
+        assert_eq!(file.bytes(), b"hello mapped world");
+        assert_eq!(file.len(), 18);
+        #[cfg(unix)]
+        assert!(file.is_mapped(), "unix host should mmap a non-empty file");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_fallback_serves_same_bytes() {
+        let path = tmp("read", b"heap copy");
+        let file = MappedFile::read(&path).unwrap();
+        assert_eq!(file.bytes(), b"heap copy");
+        assert!(!file.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_uses_heap() {
+        let path = tmp("empty", b"");
+        let file = MappedFile::map(&path).unwrap();
+        assert!(file.is_empty());
+        assert!(!file.is_mapped(), "zero-length mappings are invalid; heap expected");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(MappedFile::map(Path::new("/nonexistent/brics.artifact")).is_err());
+    }
+
+    #[test]
+    fn u32_section_roundtrip_both_backends() {
+        let values: Vec<u32> = vec![0, 1, 7, u32::MAX];
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = tmp("u32", &bytes);
+        for file in [MappedFile::map(&path).unwrap(), MappedFile::read(&path).unwrap()] {
+            let (buf, load) = Buffer::u32_section(&file, 0, values.len()).unwrap();
+            assert_eq!(&*buf, values.as_slice());
+            match load {
+                SectionLoad::InPlace { bytes } | SectionLoad::Copied { bytes } => {
+                    assert_eq!(bytes, 16);
+                }
+            }
+            if file.is_mapped() && cfg!(target_endian = "little") {
+                assert_eq!(load, SectionLoad::InPlace { bytes: 16 });
+                assert!(matches!(buf, Buffer::Mapped { .. }));
+            } else {
+                assert_eq!(load, SectionLoad::Copied { bytes: 16 });
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misaligned_u32_section_copies() {
+        let mut bytes = vec![0u8]; // 1-byte prefix breaks 4-byte alignment
+        bytes.extend_from_slice(&42u32.to_le_bytes());
+        let path = tmp("misaligned", &bytes);
+        let file = MappedFile::map(&path).unwrap();
+        let (buf, load) = Buffer::u32_section(&file, 1, 1).unwrap();
+        assert_eq!(&*buf, &[42u32]);
+        if file.is_mapped() {
+            assert_eq!(load, SectionLoad::Copied { bytes: 4 });
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn usize_section_roundtrip_and_bounds() {
+        let values: Vec<u64> = vec![0, 3, 8, 1 << 40];
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = tmp("usize", &bytes);
+        let file = MappedFile::map(&path).unwrap();
+        let (buf, _) = Buffer::usize_section(&file, 0, values.len()).unwrap();
+        assert_eq!(&*buf, &[0usize, 3, 8, 1 << 40]);
+        assert!(Buffer::<usize>::usize_section(&file, 0, values.len() + 1).is_err());
+        assert!(Buffer::<u32>::u32_section(&file, 31, 1).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn owned_buffer_semantics() {
+        let a: Buffer<u32> = vec![1, 2, 3].into();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&*a, &[1, 2, 3]);
+        assert_eq!(format!("{a:?}"), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn mapped_and_owned_compare_by_contents() {
+        let mut bytes = Vec::new();
+        for v in [9u32, 8, 7] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = tmp("eq", &bytes);
+        let file = MappedFile::map(&path).unwrap();
+        let (mapped, _) = Buffer::u32_section(&file, 0, 3).unwrap();
+        let owned: Buffer<u32> = vec![9, 8, 7].into();
+        assert_eq!(mapped, owned);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

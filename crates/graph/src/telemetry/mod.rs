@@ -154,11 +154,21 @@ pub enum Counter {
     TopkCutLevels,
     /// Top-k verification sweeps aborted early by the BFS-cut bound.
     TopkPrunedBfs,
+    /// Bytes written to a prepared-graph artifact file by
+    /// `PreparedGraph::save` (header, section table and payloads).
+    ArtifactBytesWritten,
+    /// CSR-section bytes served *in place* from a memory-mapped artifact
+    /// (no owned copy was made).
+    ArtifactBytesMapped,
+    /// CSR-section bytes copied into owned memory while loading an
+    /// artifact — the read-into-heap fallback, misaligned sections, or a
+    /// foreign element layout. Zero on the pure mmap path.
+    ArtifactBytesCopied,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 39] = [
         Counter::BfsSources,
         Counter::BfsSourcesSkipped,
         Counter::VerticesVisited,
@@ -195,6 +205,9 @@ impl Counter {
         Counter::BatchesMsbfs,
         Counter::TopkCutLevels,
         Counter::TopkPrunedBfs,
+        Counter::ArtifactBytesWritten,
+        Counter::ArtifactBytesMapped,
+        Counter::ArtifactBytesCopied,
     ];
 
     /// Stable snake_case key for this counter in the JSON report.
@@ -236,6 +249,9 @@ impl Counter {
             Counter::BatchesMsbfs => "batches_msbfs",
             Counter::TopkCutLevels => "topk_cut_levels",
             Counter::TopkPrunedBfs => "topk_pruned_bfs",
+            Counter::ArtifactBytesWritten => "artifact_bytes_written",
+            Counter::ArtifactBytesMapped => "artifact_bytes_mapped",
+            Counter::ArtifactBytesCopied => "artifact_bytes_copied",
         }
     }
 }
@@ -731,6 +747,7 @@ impl RunRecorder {
             faults_injected: Vec::new(),
             retries: self.counter(Counter::FaultRetries),
             degradation_path: Vec::new(),
+            artifact: None,
             derived: DerivedMetrics {
                 elapsed_seconds: elapsed,
                 estimate_seconds,
@@ -819,6 +836,20 @@ pub struct FaultSiteRecord {
     pub fired: u64,
 }
 
+/// Provenance of a prepared-graph artifact that served this run — stamped
+/// into the report when a query started from `--artifact` instead of a
+/// fresh prepare.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactProvenance {
+    /// The container format version (`brics.artifact/v1` → 1).
+    pub version: u32,
+    /// Hex digest of all section checksums, identifying the exact bytes
+    /// the run loaded.
+    pub checksum: String,
+    /// Path of the artifact file.
+    pub source: String,
+}
+
 /// Metrics derived from the raw counters at snapshot time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DerivedMetrics {
@@ -883,6 +914,10 @@ pub struct RunReport {
     /// rung that produced the result. Empty when the degradation ladder
     /// was not armed.
     pub degradation_path: Vec<String>,
+    /// Provenance of the prepared-graph artifact the run loaded — added
+    /// within v2 like the fault fields: always present, `null` on runs
+    /// that prepared from scratch. Stamped by the CLI.
+    pub artifact: Option<ArtifactProvenance>,
     /// Metrics derived from the counters at snapshot time.
     pub derived: DerivedMetrics,
 }
@@ -943,6 +978,9 @@ impl RunReport {
         }
         if !self.degradation_path.is_empty() {
             out.push_str(&format!("  degradation: {}\n", self.degradation_path.join(" -> ")));
+        }
+        if let Some(a) = &self.artifact {
+            out.push_str(&format!("  artifact: v{} {} ({})\n", a.version, a.checksum, a.source));
         }
         if !self.events.is_empty() {
             out.push_str("  events:\n");

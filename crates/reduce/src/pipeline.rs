@@ -124,7 +124,7 @@ pub struct ReductionStats {
 }
 
 /// Output of [`reduce`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReductionResult {
     /// The reduced graph over the *original* id space; removed vertices are
     /// isolated (degree 0). Keeping ids stable lets distance arrays be

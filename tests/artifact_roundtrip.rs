@@ -1,0 +1,224 @@
+//! Persistence properties of prepared-graph artifacts: `save` → `load` →
+//! query must be **bit-identical** to querying the freshly built
+//! [`PreparedGraph`], across methods, kernels, seeds, the reorder
+//! permutation and the Block-Cut-Tree state, on both storage backends
+//! (mmap and the read-into-heap fallback) — and a corrupt or truncated
+//! file must surface as the typed [`CentralityError::Artifact`], never a
+//! panic or a silently wrong answer.
+
+use brics::{
+    CentralityError, ExecutionContext, FarnessEstimate, Kernel, KernelConfig, PrepareConfig,
+    PreparedGraph, ReductionConfig, RunRecorder, SampleSize,
+};
+use brics_graph::{CsrGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch path per case — proptest shrinks re-enter the test
+/// body, so names must never collide across (or within) processes.
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("brics-artifact-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}-{}.brics",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Strategy: connected graph with `n ∈ [2, 36]` vertices — a random
+/// spanning tree plus random extra edges (trees through dense blocks).
+fn connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..36).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0usize..usize::MAX, n - 1);
+        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..2 * n);
+        (Just(n), tree, extra).prop_map(|(n, parents, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = (i + 1) as NodeId;
+                b.add_edge(child, (p % (i + 1)) as NodeId);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical(
+    a: &FarnessEstimate,
+    b: &FarnessEstimate,
+    what: &str,
+) -> Result<(), String> {
+    prop_assert_eq!(a.raw(), b.raw(), "{}: raw", what);
+    prop_assert_eq!(bits(a.scaled()), bits(b.scaled()), "{}: scaled bits", what);
+    prop_assert_eq!(a.sampled_mask(), b.sampled_mask(), "{}: sampled mask", what);
+    prop_assert_eq!(a.coverage(), b.coverage(), "{}: coverage", what);
+    prop_assert_eq!(a.num_sources(), b.num_sources(), "{}: num_sources", what);
+    prop_assert_eq!(a.outcome(), b.outcome(), "{}: outcome", what);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole guarantee: a query against the loaded artifact equals
+    /// the same query against the freshly prepared graph, bit for bit —
+    /// whatever the method, kernel, seed, reorder/BCT switches or storage
+    /// backend.
+    #[test]
+    fn save_load_query_is_bit_identical(
+        g in connected_graph(),
+        seed in any::<u64>(),
+        reorder in any::<bool>(),
+        use_bcc in any::<bool>(),
+        kernel_idx in 0usize..3,
+        use_mmap in any::<bool>(),
+    ) {
+        let kernel = [Kernel::Auto, Kernel::TopDown, Kernel::Hybrid][kernel_idx];
+        let ctx = ExecutionContext::new().with_kernel(KernelConfig::new(kernel));
+        let pcfg = PrepareConfig {
+            reductions: if use_bcc { ReductionConfig::all() } else { ReductionConfig::icr() },
+            use_bcc,
+            reorder,
+        };
+        let fresh = PreparedGraph::build_with(&g, pcfg, &ctx).unwrap();
+        let path = tmp("prop");
+        let saved = fresh.save(&path, "prop-source", &ctx).unwrap();
+        let (loaded, info) = PreparedGraph::load_with(&path, use_mmap, &ctx).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Identity and prepared-state equality before any query.
+        prop_assert_eq!(saved.checksum, info.checksum, "save/load digests diverge");
+        prop_assert_eq!(info.source.as_str(), "prop-source");
+        prop_assert_eq!(loaded.original(), &g, "original CSR must round-trip");
+        prop_assert_eq!(loaded.num_surviving(), fresh.num_surviving());
+        prop_assert_eq!(loaded.config(), fresh.config());
+
+        let sample = SampleSize::Fraction(0.5);
+        let what = format!("{kernel:?}/seed {seed}/reorder {reorder}/bcc {use_bcc}/mmap {use_mmap}");
+        assert_identical(
+            &fresh.sample(sample, seed, &ctx).unwrap(),
+            &loaded.sample(sample, seed, &ctx).unwrap(),
+            &format!("sample/{what}"),
+        )?;
+        assert_identical(
+            &fresh.reduced(sample, seed, &ctx).unwrap(),
+            &loaded.reduced(sample, seed, &ctx).unwrap(),
+            &format!("reduced/{what}"),
+        )?;
+        if use_bcc {
+            assert_identical(
+                &fresh.cumulative(sample, seed, &ctx).unwrap(),
+                &loaded.cumulative(sample, seed, &ctx).unwrap(),
+                &format!("cumulative/{what}"),
+            )?;
+        }
+        prop_assert_eq!(fresh.exact(&ctx).unwrap(), loaded.exact(&ctx).unwrap());
+        if g.num_nodes() >= 4 {
+            let a = fresh.topk(3, sample, seed, &ctx).unwrap();
+            let b = loaded.topk(3, sample, seed, &ctx).unwrap();
+            prop_assert_eq!(a.ranked, b.ranked, "top-k ranking diverged ({})", what);
+        }
+    }
+
+    /// Robustness: a byte flip anywhere in the container either trips the
+    /// integrity checks as the typed artifact error, or (only when it
+    /// lands in inter-section alignment padding, which no checksum covers)
+    /// loads a byte-identical prepared state. Never a panic, never a
+    /// different error class.
+    #[test]
+    fn corrupt_artifacts_yield_typed_errors(
+        g in connected_graph(),
+        flip_at in any::<u64>(),
+        cut_at in any::<u64>(),
+    ) {
+        let ctx = ExecutionContext::new();
+        let pcfg = PrepareConfig {
+            reductions: ReductionConfig::all(),
+            use_bcc: true,
+            reorder: false,
+        };
+        let fresh = PreparedGraph::build_with(&g, pcfg, &ctx).unwrap();
+        let path = tmp("corrupt");
+        fresh.save(&path, "corrupt-source", &ctx).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // One flipped byte.
+        let mut flipped = bytes.clone();
+        let i = (flip_at % bytes.len() as u64) as usize;
+        flipped[i] ^= 0x5a;
+        std::fs::write(&path, &flipped).unwrap();
+        match PreparedGraph::load(&path, &ctx) {
+            Err(CentralityError::Artifact { .. }) => {}
+            Ok(_) => {} // the flip landed in alignment padding
+            Err(other) => prop_assert!(false, "flip at {i}: wrong error class: {other}"),
+        }
+
+        // Truncation at any strictly shorter length.
+        let keep = (cut_at % bytes.len() as u64) as usize;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        match PreparedGraph::load(&path, &ctx) {
+            Err(CentralityError::Artifact { .. }) => {}
+            Ok(_) => prop_assert!(false, "truncated to {keep} of {} bytes but loaded", bytes.len()),
+            Err(other) => prop_assert!(false, "truncated to {keep}: wrong error class: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The storage-backend acceptance criterion, end to end: the mmap path
+/// serves CSR sections in place (mapped bytes charged, zero copied) while
+/// the forced-heap path copies every one — and both answer identically.
+#[test]
+fn mmap_and_heap_backends_agree_and_charge_the_right_counters() {
+    let g = brics_graph::generators::social_like(brics_graph::generators::ClassParams::new(
+        400, 23,
+    ));
+    let build_ctx = ExecutionContext::new();
+    let pcfg =
+        PrepareConfig { reductions: ReductionConfig::all(), use_bcc: true, reorder: true };
+    let fresh = PreparedGraph::build_with(&g, pcfg, &build_ctx).unwrap();
+    let path = tmp("backends");
+    fresh.save(&path, "backends", &build_ctx).unwrap();
+
+    let load = |use_mmap: bool| {
+        let rec = RunRecorder::new();
+        let ctx = ExecutionContext::new().with_recorder(&rec);
+        let (p, _) = PreparedGraph::load_with(&path, use_mmap, &ctx).unwrap();
+        let est = p.cumulative(SampleSize::Fraction(0.4), 7, &ctx).unwrap();
+        let report = rec.report();
+        (est, report)
+    };
+    let (mapped_est, mapped_report) = load(true);
+    let (heap_est, heap_report) = load(false);
+
+    assert_eq!(mapped_est.raw(), heap_est.raw());
+    assert_eq!(bits(mapped_est.scaled()), bits(heap_est.scaled()));
+
+    // The heap fallback copy-converts every CSR section, everywhere.
+    assert_eq!(heap_report.counters["artifact_bytes_mapped"], 0);
+    assert!(heap_report.counters["artifact_bytes_copied"] > 0);
+    // The mmap path serves them in place on platforms where the layout
+    // allows it (little-endian, 64-bit, unix); elsewhere it falls back.
+    if cfg!(all(unix, target_endian = "little", target_pointer_width = "64")) {
+        assert!(mapped_report.counters["artifact_bytes_mapped"] > 0);
+        assert_eq!(mapped_report.counters["artifact_bytes_copied"], 0);
+    }
+    // Neither load path re-runs the prepare stage.
+    for report in [&mapped_report, &heap_report] {
+        assert!(report.phases.iter().any(|p| p.name == "artifact.load"));
+        assert!(!report.phases.iter().any(|p| p.name == "reduce" || p.name == "prepare"));
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -21,7 +21,10 @@
 //! `io.read` is a CLI-stage failpoint (exit 3, covered by the CLI's own
 //! tests); `bfs.level` only arms the frontier-parallel engine, which the
 //! panic-isolating driver never schedules — its cell documents that
-//! inertness instead of a fire.
+//! inertness instead of a fire. The `io.artifact` failpoint (and real
+//! on-disk corruption/truncation of a prepared-graph artifact) is covered
+//! by [`artifact_cells_exit_3_and_never_panic`]: the load stage fails
+//! with the typed input error before any query, never a panic.
 
 use brics::{
     exact_farness, run_degraded, DegradationPolicy, DegradedEstimate, DegradedRequest,
@@ -231,6 +234,77 @@ fn fault_matrix_answers_soundly_with_honest_reports() {
         }
         assert!(report.retries >= d.retries, "{cellname}: report hides sweep retries");
     }
+}
+
+/// The artifact cells of the chaos matrix: a corrupt or truncated
+/// prepared-graph artifact — whether the damage is real bytes on disk or
+/// an injected `io.artifact` fire at any validation stage — fails the
+/// load with the typed [`brics::CentralityError::Artifact`] the CLI maps
+/// to the input-error exit code 3. Loading never panics and never
+/// returns a prepared graph built from damaged bytes.
+#[test]
+fn artifact_cells_exit_3_and_never_panic() {
+    /// The CLI's `From<CentralityError>` mapping, recomputed here: the
+    /// artifact variant is an input/data error.
+    fn documented_exit(e: &brics::CentralityError) -> i32 {
+        match e {
+            brics::CentralityError::Internal { .. } => 5,
+            brics::CentralityError::Interrupted { .. } => 4,
+            _ => 3,
+        }
+    }
+
+    let g = gnm_random_connected(90, 160, 31);
+    let ctx = ExecutionContext::new();
+    let p = PreparedGraph::build_with(&g, PrepareConfig::default(), &ctx).unwrap();
+    let dir = std::env::temp_dir().join("brics-chaos-artifact");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("cells-{}.brics", std::process::id()));
+    p.save(&path, "chaos-matrix", &ctx).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Cell 1 — corruption: a byte flip inside the payload region fails
+    // the per-section checksum verification at open.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xff;
+    std::fs::write(&path, &corrupt).unwrap();
+    let err = PreparedGraph::load(&path, &ctx).unwrap_err();
+    assert!(
+        matches!(err, brics::CentralityError::Artifact { .. }),
+        "corrupt cell: wrong error class: {err}"
+    );
+    assert_eq!(documented_exit(&err), 3, "corrupt cell: {err}");
+
+    // Cell 2 — truncation: the section table points past end-of-file.
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    let err = PreparedGraph::load(&path, &ctx).unwrap_err();
+    assert!(
+        matches!(err, brics::CentralityError::Artifact { .. }),
+        "truncated cell: wrong error class: {err}"
+    );
+    assert_eq!(documented_exit(&err), 3, "truncated cell: {err}");
+
+    // The injected flavors: an `io.artifact` arm fired at each validation
+    // stage (0 = header, 1 = table, 2 = checksum) of a *healthy* file is
+    // typed identically, and the audit trail records exactly one fire.
+    std::fs::write(&path, &bytes).unwrap();
+    for stage in 0..3u64 {
+        let plan = FaultPlan::parse(&format!("io.artifact=io-error@on:{stage}")).unwrap();
+        let fault_ctx = ExecutionContext::new()
+            .with_control(RunControl::new().with_fault_plan(plan.clone()));
+        let err = PreparedGraph::load(&path, &fault_ctx).unwrap_err();
+        assert!(
+            matches!(err, brics::CentralityError::Artifact { .. }),
+            "io.artifact stage {stage}: wrong error class: {err}"
+        );
+        assert_eq!(documented_exit(&err), 3, "io.artifact stage {stage}");
+        assert_eq!(plan.fired(brics_graph::FaultSite::IoArtifact), 1, "stage {stage}");
+    }
+    // And the undamaged file still loads and answers.
+    let (reloaded, _) = PreparedGraph::load(&path, &ctx).unwrap();
+    assert_eq!(reloaded.exact(&ctx).unwrap(), exact_farness(&g).unwrap());
+    std::fs::remove_file(&path).ok();
 }
 
 /// The headline recovery guarantee: a panic quarantines the source, the
