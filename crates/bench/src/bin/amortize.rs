@@ -26,6 +26,13 @@ use brics::{
 use brics_bench::{all_datasets, scale_from_env, TableWriter};
 use std::time::Instant;
 
+/// Same tracking allocator as the CLI and the kernels bench: the output
+/// document's `memory` block makes footprint regressions diffable, not
+/// just timing ones.
+#[global_allocator]
+static ALLOC: brics_graph::telemetry::TrackingAllocator =
+    brics_graph::telemetry::TrackingAllocator;
+
 fn main() {
     let scale = scale_from_env();
     let mut out = "BENCH_amortize.json".to_string();
@@ -196,6 +203,7 @@ fn main() {
     let doc = serde_json::json!({
         "bench": "amortize",
         "scale": scale,
+        "memory": brics_bench::memory_doc(),
         "cold_start_probe": serde_json::json!({"method": "cumulative", "rate": 0.2, "seed": 1}),
         "datasets": dataset_docs,
     });

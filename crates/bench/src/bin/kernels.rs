@@ -23,6 +23,13 @@ use brics_bench::{scale_from_env, TableWriter};
 use brics_graph::telemetry::RunRecorder;
 use brics_graph::traversal::HybridParams;
 
+/// Benchmarks run under the same tracking allocator as the CLI, so the
+/// emitted document carries a `memory` block (live/peak/allocation totals)
+/// that `brics report diff` can gate alongside the timing counters.
+#[global_allocator]
+static ALLOC: brics_graph::telemetry::TrackingAllocator =
+    brics_graph::telemetry::TrackingAllocator;
+
 struct Opts {
     smoke: bool,
     out: String,
@@ -231,6 +238,7 @@ fn main() {
         "reps": opts.reps,
         "threads": threads,
         "params": serde_json::json!({"alpha": params.alpha, "beta": params.beta}),
+        "memory": brics_bench::memory_doc(),
         "graphs": graph_docs,
         "summary": serde_json::json!({
             "all_kernels_equivalent": all_equal,

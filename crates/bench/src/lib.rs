@@ -25,3 +25,19 @@ pub fn scale_from_env() -> f64 {
         .filter(|s| *s > 0.0 && s.is_finite())
         .unwrap_or(1.0)
 }
+
+/// Process-level memory ledger snapshot for a benchmark document's
+/// `memory` block. Meaningful when the bench binary installs
+/// [`brics_graph::telemetry::TrackingAllocator`] (all shipped ones do);
+/// otherwise `tracking` is `false` and every figure reads zero, which
+/// `brics report diff` treats like any other numeric leaf.
+pub fn memory_doc() -> serde_json::Value {
+    use brics_graph::telemetry::memory;
+    let stats = memory::stats();
+    serde_json::json!({
+        "tracking": memory::tracking_active(),
+        "live_bytes": stats.live_bytes(),
+        "process_peak_bytes": memory::peak_bytes(),
+        "allocations": stats.allocations,
+    })
+}

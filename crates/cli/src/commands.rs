@@ -4,8 +4,9 @@ use crate::args::{parse, Parsed};
 use crate::error::CliError;
 use brics::{
     run_degraded, ArtifactInfo, CentralityError, DegradationPolicy, DegradedRequest,
-    ExecutionContext, Kernel, KernelConfig, Method, PrepareConfig, PreparedGraph,
-    ProgressConfig, ProgressMeter, RunControl, RunOutcome, RunRecorder, SampleSize,
+    ExecutionContext, Kernel, KernelConfig, MemoryPlan, Method, PrepareConfig,
+    PreparedGraph, ProgressConfig, ProgressMeter, RunControl, RunOutcome, RunRecorder,
+    SampleSize,
 };
 use brics_bicc::biconnected_components;
 use brics_graph::telemetry::{timed, ArtifactProvenance, Counter, FaultSiteRecord, Recorder};
@@ -70,6 +71,26 @@ USAGE:
       .graph/.metis METIS, by extension; stdout edge list when --out is
       omitted). `rmat` is a Graph500-parameter stress generator.
 
+  brics report check <report.json> [--schema v3] [--assert SPEC[,SPEC...]]
+      Validate a --metrics run report: schema name, counter/phase/memory
+      block shape, histogram quantile ordering. Each SPEC is a dotted-path
+      comparison against a numeric or string leaf, e.g.
+      `counters.bfs_sources>=1` or `memory.plan_accuracy<=1.0`
+      (operators <=, >=, ==, !=, <, >). A failed assertion exits 3.
+      `--schema v2` accepts pre-memory reports; `--schema none` skips
+      structural validation so assertions can gate any JSON document
+      (bench output, trace-event arrays); `--absent PATH[,PATH...]`
+      requires the listed paths to NOT resolve. Dotted paths address
+      array elements by index, by `length`/`last`, or by name-like field
+      value (`phases.estimate.count`, `faults_injected.bfs.source.fired`).
+
+  brics report diff <old.json> <new.json> [--fail-on SPEC[,SPEC...]]
+      Compare two run reports (or any JSON documents). Each SPEC is
+      `PATH:PCT`: fail (exit 3) when the numeric leaf at dotted PATH
+      drifts more than PCT percent between old and new (PCT 0 = must be
+      bit-equal; strings always compare exactly). The regression gate CI
+      runs instead of ad-hoc jq assertions.
+
 ARTIFACTS (prepare → farness, compare, topk):
   --artifact FILE    Start from a prepared-graph artifact written by
                      `brics prepare` instead of a graph file. FILE
@@ -111,7 +132,13 @@ EXECUTION LIMITS (farness, compare, topk, betweenness):
                      exit 4; `topk` and `--method exact` refuse (they
                      promise exact answers) and exit 4 with no output.
   --max-mem-mb N     Refuse up-front (exit 3) if the run's dominant
-                     allocations would exceed N MiB.
+                     allocations would exceed N MiB. Once a run is
+                     admitted, the tracking allocator keeps policing it:
+                     live heap growing more than N MiB past the admission
+                     baseline stops the run cooperatively at the next
+                     per-level/per-batch checkpoint — partial results are
+                     kept and the run exits 4 (`memory-limit`), with a
+                     `memory_limit` event in the report.
 
 ROBUSTNESS (farness, compare):
   --degrade [RATE]   Arm the graceful-degradation ladder. When the run
@@ -137,17 +164,21 @@ ROBUSTNESS (farness, compare):
 
 TELEMETRY (every command):
   --metrics PATH     Write a machine-readable run report — JSON with the
-                     stable schema `brics.run_report/v2`: per-phase
-                     wall-time spans, kernel/reduction counters (BFS
-                     sources, edges scanned/MTEPS, per-rule removals,
-                     BCT shape), p50/p90/p99/max latency histograms
-                     (per-source BFS time, frontier sizes, per-level and
-                     per-query time) and execution events (deadline hits,
-                     cancellations, isolated panics). PATH `-` prints the
-                     report to stdout. Interrupted runs still report.
-                     (v1 reports had no `histograms` or per-kind drop
-                     counts and rated `mteps` against whole-run time —
-                     now reported as `whole_run_mteps`.)
+                     stable schema `brics.run_report/v3`: per-phase
+                     wall-time spans with per-span heap footprints,
+                     kernel/reduction counters (BFS sources, edges
+                     scanned/MTEPS, per-rule removals, BCT shape),
+                     p50/p90/p99/max latency histograms (per-source BFS
+                     time, frontier sizes, per-level and per-query time),
+                     a `memory` block (live/peak bytes from the tracking
+                     allocator, planned vs observed-peak plan accuracy)
+                     and execution events (deadline hits, cancellations,
+                     memory overruns, isolated panics). PATH `-` prints
+                     the report to stdout. Interrupted runs still report.
+                     (v2 reports had no `memory` block or per-span heap
+                     fields; v1 additionally lacked `histograms` and
+                     rated `mteps` against whole-run time — now reported
+                     as `whole_run_mteps`. v3 readers accept both.)
   --metrics-summary  Print a human-readable phase/counter table to stderr.
   --trace PATH       Write a Chrome trace-event JSON timeline — open it in
                      Perfetto (ui.perfetto.dev) or chrome://tracing. Spans
@@ -186,6 +217,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         Some("topk") => topk(&parsed),
         Some("betweenness") => betweenness(&parsed),
         Some("generate") => generate(&parsed),
+        Some("report") => crate::report::report(&parsed),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -287,6 +319,11 @@ struct Metrics {
     /// (`prepare`) or loaded (`--artifact`), stamped into the report's
     /// `artifact` block at emit time.
     artifact: std::cell::RefCell<Option<ArtifactProvenance>>,
+    /// The run's planned query-scratch bytes (the admission figure from
+    /// the [`brics::MemoryPlan`]), stamped into the report's `memory`
+    /// block at emit time for the plan-vs-actual accuracy ratio. Zero
+    /// when the command never planned (help, generate, report).
+    planned_bytes: std::cell::Cell<u64>,
 }
 
 fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliError> {
@@ -345,7 +382,18 @@ fn metrics_from(p: &Parsed, ctl: &RunControl) -> Result<Option<Metrics>, CliErro
         faults: ctl.fault_plan().cloned(),
         degradation_path: std::cell::RefCell::new(Vec::new()),
         artifact: std::cell::RefCell::new(None),
+        planned_bytes: std::cell::Cell::new(0),
     }))
+}
+
+/// Stamps the run's planned query-scratch bytes for the report's
+/// plan-vs-actual block (no-op without telemetry). Commands that run
+/// several estimates (`compare`) keep the largest figure — the plan is a
+/// per-query envelope, not a sum.
+fn note_planned_bytes(m: &Option<Metrics>, bytes: u64) {
+    if let Some(m) = m {
+        m.planned_bytes.set(m.planned_bytes.get().max(bytes));
+    }
 }
 
 /// Records the ladder walk for the run report (no-op without telemetry).
@@ -420,6 +468,7 @@ fn emit_metrics(m: &Option<Metrics>) -> Result<(), CliError> {
     }
     report.degradation_path = m.degradation_path.borrow().clone();
     report.artifact = m.artifact.borrow().clone();
+    report.stamp_planned_bytes(m.planned_bytes.get());
     if let Some(target) = &m.out {
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| CliError::Internal(format!("serializing run report: {e}")))?;
@@ -450,6 +499,7 @@ fn outcome_name(o: RunOutcome) -> &'static str {
         RunOutcome::Complete => "complete",
         RunOutcome::Deadline => "deadline",
         RunOutcome::Cancelled => "cancelled",
+        RunOutcome::MemoryLimit => "memory-limit",
         RunOutcome::Degraded => "degraded",
     }
 }
@@ -786,6 +836,17 @@ fn farness(p: &Parsed) -> Result<(), CliError> {
         || loaded.as_ref().expect("graph or artifact").num_nodes(),
         |prepared| prepared.original().num_nodes(),
     );
+    // Plan-vs-actual: stamp the admission figure this query runs under, so
+    // the report's memory block can rate observed peak against it.
+    let plan = MemoryPlan::compute(n, ctx.thread_count());
+    note_planned_bytes(
+        &m,
+        match method_name {
+            "exact" => plan.exact_bytes,
+            "random" | "cr" | "icr" => plan.accumulate_bytes,
+            _ => plan.cumulative_bytes,
+        },
+    );
 
     if policy.is_some() {
         // --degrade: route through the quality ladder instead of the plain
@@ -1063,6 +1124,21 @@ fn compare(p: &Parsed) -> Result<(), CliError> {
         }
     };
     let n = g.as_ref().map_or_else(|| prepared.original().num_nodes(), CsrGraph::num_nodes);
+    // The comparison's planned figure is the widest single query: the plan
+    // is a per-query envelope (queries run one after another), not a sum.
+    let plan = MemoryPlan::compute(n, ctx.thread_count());
+    for method in &methods {
+        note_planned_bytes(
+            &m,
+            match method.as_str() {
+                "random" | "reduced" => plan.accumulate_bytes,
+                _ => plan.cumulative_bytes,
+            },
+        );
+    }
+    if p.has("exact") {
+        note_planned_bytes(&m, plan.exact_bytes);
+    }
     let mut any_degraded = minimal_fallback || !prepared.prepare_degradation().is_empty();
     if minimal_fallback {
         note_degradation_path(&m, &["prepare:minimal".to_string()]);
@@ -1271,6 +1347,9 @@ fn topk(p: &Parsed) -> Result<(), CliError> {
             return Err(e.into());
         }
     };
+    // Top-k runs the cumulative estimate plus verification sweeps, both
+    // covered by the cumulative admission envelope.
+    note_planned_bytes(&m, MemoryPlan::compute(n, ctx.thread_count()).cumulative_bytes);
     eprintln!(
         "note: {} pruned, {} cut mid-sweep, {} verified by BFS, {} for free (of {})",
         t.pruned,

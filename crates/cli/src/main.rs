@@ -14,8 +14,19 @@
 mod args;
 mod commands;
 mod error;
+mod report;
 
 use std::process::ExitCode;
+
+/// Every `brics` invocation runs under the thread-sharded tracking
+/// allocator, so run reports carry real live/peak byte figures and
+/// `--max-mem-mb` can police *live* growth, not just the up-front plan.
+/// The tracker is a pair of relaxed atomic adjustments around the system
+/// allocator — the telemetry-invariance suite pins that results are
+/// bit-identical with and without it installed.
+#[global_allocator]
+static ALLOC: brics_graph::telemetry::TrackingAllocator =
+    brics_graph::telemetry::TrackingAllocator;
 
 fn main() -> ExitCode {
     // Piping into `head`/`less` closes stdout early; Rust's print macros

@@ -1,0 +1,644 @@
+//! `brics report` — validate and diff machine-readable run reports.
+//!
+//! CI used to police `--metrics` output and the bench JSON documents with
+//! ad-hoc `jq` one-liners: schema strings compared by hand, quantile
+//! ordering re-derived per workflow, checksum equality spelled out twice.
+//! This module replaces those with two typed subcommands:
+//!
+//! * `brics report check <report.json>` — structural validation of a
+//!   `brics.run_report/v3` (or v2) document plus optional dotted-path
+//!   assertions (`--assert counters.bfs_sources>=1,memory.plan_accuracy<=1`).
+//! * `brics report diff <old.json> <new.json>` — leaf-by-leaf comparison of
+//!   two JSON documents with per-path drift tolerances
+//!   (`--fail-on derived.mteps:20,counters.edges_scanned:0`), the
+//!   regression gate the bench baselines run under.
+//!
+//! Dotted paths walk objects by key (keys containing literal dots resolve
+//! via longest-prefix matching), arrays by index, by `length`, or by the
+//! value of a name-like field (`name`, `metric`, `kernel`, `graph`, `site`,
+//! `dataset`) — so `histograms.source_bfs_ns.p50` finds the histogram row
+//! whose `metric` is `source_bfs_ns`.
+//!
+//! Exit codes follow the CLI's contract: 2 for a malformed invocation or
+//! spec, 3 for an unreadable document, a failed validation, a failed
+//! assertion, or drift past a tolerance.
+
+use crate::args::Parsed;
+use crate::error::CliError;
+use serde_json::Value;
+
+/// Entry point for `brics report <check|diff> ...`.
+pub fn report(p: &Parsed) -> Result<(), CliError> {
+    match p.positional.get(1).map(String::as_str) {
+        Some("check") => check(p),
+        Some("diff") => diff(p),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown report subcommand '{other}' (expected check or diff)"
+        ))),
+        None => Err(CliError::Usage("usage: brics report <check|diff> ...".into())),
+    }
+}
+
+fn load(path: &str) -> Result<Value, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))
+}
+
+/// A resolved leaf: the only shapes assertions and diffs compare.
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// An aggregate (object/array) — named so error messages can say what
+    /// the path actually hit.
+    Aggregate(&'static str),
+}
+
+impl std::fmt::Display for Leaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Leaf::Num(x) => write!(f, "{x}"),
+            Leaf::Str(s) => write!(f, "\"{s}\""),
+            Leaf::Bool(b) => write!(f, "{b}"),
+            Leaf::Null => write!(f, "null"),
+            Leaf::Aggregate(k) => write!(f, "<{k}>"),
+        }
+    }
+}
+
+fn leaf_of(v: &Value) -> Leaf {
+    match v {
+        Value::Null => Leaf::Null,
+        Value::Bool(b) => Leaf::Bool(*b),
+        Value::Str(s) => Leaf::Str(s.clone()),
+        Value::Array(_) => Leaf::Aggregate("array"),
+        Value::Object(_) => Leaf::Aggregate("object"),
+        other => other.as_f64().map_or(Leaf::Aggregate("number"), Leaf::Num),
+    }
+}
+
+/// Array elements addressable by name: the first of these fields whose
+/// string value equals the path segment selects the element.
+const NAME_KEYS: [&str; 6] = ["name", "metric", "kernel", "graph", "site", "dataset"];
+
+fn walk_segs(v: &Value, segs: &[&str]) -> Option<Leaf> {
+    let Some(&seg) = segs.first() else { return Some(leaf_of(v)) };
+    match v {
+        Value::Object(pairs) => {
+            // Longest-prefix join first, so keys containing literal dots
+            // (dataset names like `road.el`) still resolve.
+            for take in (1..=segs.len()).rev() {
+                let key = segs[..take].join(".");
+                if let Some((_, child)) = pairs.iter().find(|(k, _)| *k == key) {
+                    if let Some(hit) = walk_segs(child, &segs[take..]) {
+                        return Some(hit);
+                    }
+                }
+            }
+            None
+        }
+        Value::Array(items) => {
+            if seg == "length" && segs.len() == 1 {
+                return Some(Leaf::Num(items.len() as f64));
+            }
+            if seg == "last" {
+                return items.last().and_then(|c| walk_segs(c, &segs[1..]));
+            }
+            if let Ok(i) = seg.parse::<usize>() {
+                return items.get(i).and_then(|c| walk_segs(c, &segs[1..]));
+            }
+            // Name values may themselves contain dots (fault sites like
+            // `bfs.source`), so try longest-prefix joins here too.
+            for take in (1..=segs.len()).rev() {
+                let key = segs[..take].join(".");
+                let hit = items
+                    .iter()
+                    .filter(|item| {
+                        item.as_array().is_none()
+                            && NAME_KEYS.iter().any(|k| {
+                                item.get(k).and_then(Value::as_str) == Some(key.as_str())
+                            })
+                    })
+                    .find_map(|item| walk_segs(item, &segs[take..]));
+                if hit.is_some() {
+                    return hit;
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn lookup(v: &Value, path: &str) -> Option<Leaf> {
+    let segs: Vec<&str> = path.split('.').collect();
+    if segs.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    walk_segs(v, &segs)
+}
+
+// ---------------------------------------------------------------- check --
+
+/// One `--assert` comparison: `PATH OP VALUE`.
+struct Assertion {
+    path: String,
+    op: &'static str,
+    value: String,
+}
+
+/// Operators, multi-character first so `<=` is never read as `<` + `=`.
+const OPS: [&str; 6] = ["<=", ">=", "==", "!=", "<", ">"];
+
+fn parse_assertion(spec: &str) -> Result<Assertion, CliError> {
+    for op in OPS {
+        if let Some(idx) = spec.find(op) {
+            let (path, rest) = spec.split_at(idx);
+            let value = &rest[op.len()..];
+            if path.is_empty() || value.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "--assert '{spec}': expected PATH{op}VALUE"
+                )));
+            }
+            return Ok(Assertion {
+                path: path.trim().to_string(),
+                op,
+                value: value.trim().to_string(),
+            });
+        }
+    }
+    Err(CliError::Usage(format!(
+        "--assert '{spec}': no comparison operator (expected one of {})",
+        OPS.join(" ")
+    )))
+}
+
+fn check_assertion(doc: &Value, a: &Assertion) -> Result<(), String> {
+    let leaf = lookup(doc, &a.path)
+        .ok_or_else(|| format!("{}: path not found in the document", a.path))?;
+    let ok = if let Ok(want) = a.value.parse::<f64>() {
+        let Leaf::Num(have) = leaf else {
+            return Err(format!("{}: expected a number, found {leaf}", a.path));
+        };
+        match a.op {
+            "<=" => have <= want,
+            ">=" => have >= want,
+            "==" => have == want,
+            "!=" => have != want,
+            "<" => have < want,
+            ">" => have > want,
+            _ => unreachable!(),
+        }
+    } else {
+        // Non-numeric comparand: string/bool equality only.
+        let have = leaf.to_string();
+        let want_quoted = format!("\"{}\"", a.value);
+        let equal = have == a.value || have == want_quoted;
+        match a.op {
+            "==" => equal,
+            "!=" => !equal,
+            op => {
+                return Err(format!(
+                    "{}: operator {op} needs a numeric comparand, got '{}'",
+                    a.path, a.value
+                ))
+            }
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("{} {} {}: actual value is {}", a.path, a.op, a.value, {
+            lookup(doc, &a.path).expect("looked up above")
+        }))
+    }
+}
+
+/// The report schemas `check` understands. `--schema` takes the short
+/// form; a full schema string (containing `/`) is accepted verbatim, and
+/// `none` skips structural validation so `--assert` can gate arbitrary
+/// JSON documents (bench output, trace-event arrays).
+fn schema_string(arg: &str) -> Result<Option<String>, CliError> {
+    match arg {
+        "v3" => Ok(Some("brics.run_report/v3".to_string())),
+        "v2" => Ok(Some("brics.run_report/v2".to_string())),
+        "none" => Ok(None),
+        s if s.contains('/') => Ok(Some(s.to_string())),
+        other => Err(CliError::Usage(format!(
+            "--schema {other}: expected v2, v3, none, or a full schema string"
+        ))),
+    }
+}
+
+/// Structural validation of a run report document. Everything here used to
+/// be a `jq` expression in CI; failures are input errors (exit 3) so the
+/// workflows can branch on the code alone.
+fn validate_run_report(path: &str, doc: &Value, want_schema: &str) -> Result<(), CliError> {
+    let fail = |msg: String| Err(CliError::Input(format!("{path}: {msg}")));
+    let Some(schema) = doc.get("schema").and_then(Value::as_str) else {
+        return fail("no `schema` string".into());
+    };
+    if schema != want_schema {
+        return fail(format!("schema is '{schema}', expected '{want_schema}'"));
+    }
+    let Some(Value::Object(counters)) = doc.get("counters") else {
+        return fail("no `counters` object".into());
+    };
+    for (name, v) in counters {
+        if v.as_u64().is_none() {
+            return fail(format!("counter '{name}' is not a non-negative integer"));
+        }
+    }
+    if let Some(Value::Array(phases)) = doc.get("phases") {
+        for ph in phases {
+            if ph.get("name").and_then(Value::as_str).is_none() {
+                return fail("a phase entry has no `name`".into());
+            }
+        }
+    } else {
+        return fail("no `phases` array".into());
+    }
+    if let Some(Value::Array(rows)) = doc.get("histograms") {
+        for row in rows {
+            let metric = row.get("metric").and_then(Value::as_str).unwrap_or("?");
+            let q = |k: &str| row.get(k).and_then(Value::as_u64);
+            let (Some(p50), Some(p90), Some(p99), Some(max)) =
+                (q("p50"), q("p90"), q("p99"), q("max"))
+            else {
+                return fail(format!("histogram '{metric}' is missing a quantile"));
+            };
+            if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                return fail(format!(
+                    "histogram '{metric}' quantiles are out of order: \
+                     p50 {p50} p90 {p90} p99 {p99} max {max}"
+                ));
+            }
+        }
+    }
+    if want_schema.ends_with("/v3") {
+        let Some(mem) = doc.get("memory") else {
+            return fail("v3 report has no `memory` block".into());
+        };
+        for field in
+            ["planned_bytes", "observed_peak_bytes", "live_bytes", "process_peak_bytes", "allocations"]
+        {
+            if mem.get(field).and_then(Value::as_u64).is_none() {
+                return fail(format!("memory block has no numeric `{field}`"));
+            }
+        }
+        if mem.get("tracking").and_then(Value::as_bool).is_none() {
+            return fail("memory block has no boolean `tracking`".into());
+        }
+    }
+    Ok(())
+}
+
+fn check(p: &Parsed) -> Result<(), CliError> {
+    let path = p
+        .positional
+        .get(2)
+        .ok_or_else(|| CliError::Usage("usage: brics report check <report.json>".into()))?;
+    let doc = load(path)?;
+    let want_schema = schema_string(p.get("schema").filter(|s| !s.is_empty()).unwrap_or("v3"))?;
+    if let Some(schema) = &want_schema {
+        validate_run_report(path, &doc, schema)?;
+    }
+    let mut checked = 0usize;
+    if let Some(specs) = p.get("assert").filter(|s| !s.is_empty()) {
+        for spec in specs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let a = parse_assertion(spec)?;
+            check_assertion(&doc, &a)
+                .map_err(|msg| CliError::Input(format!("{path}: assertion failed: {msg}")))?;
+            checked += 1;
+        }
+    }
+    // `--absent` inverts resolution: each listed path must NOT exist
+    // (e.g. an artifact-backed run must record no `prepare` phase).
+    if let Some(specs) = p.get("absent").filter(|s| !s.is_empty()) {
+        for spec in specs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(leaf) = lookup(&doc, spec) {
+                return Err(CliError::Input(format!(
+                    "{path}: path '{spec}' must be absent but resolves to {leaf}"
+                )));
+            }
+            checked += 1;
+        }
+    }
+    match &want_schema {
+        Some(schema) => {
+            eprintln!("ok: {path} is a valid {schema} report ({checked} assertions)")
+        }
+        None => eprintln!("ok: {path} ({checked} assertions, no schema validation)"),
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- diff --
+
+/// One `--fail-on` tolerance: `PATH:PCT`.
+struct Tolerance {
+    path: String,
+    pct: f64,
+}
+
+fn parse_tolerance(spec: &str) -> Result<Tolerance, CliError> {
+    let Some((path, pct)) = spec.rsplit_once(':') else {
+        return Err(CliError::Usage(format!("--fail-on '{spec}': expected PATH:PCT")));
+    };
+    let pct: f64 = pct
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--fail-on '{spec}': bad percentage: {e}")))?;
+    if path.is_empty() || !pct.is_finite() || pct < 0.0 {
+        return Err(CliError::Usage(format!(
+            "--fail-on '{spec}': PCT must be a finite non-negative percentage"
+        )));
+    }
+    Ok(Tolerance { path: path.to_string(), pct })
+}
+
+/// Percentage drift between two numeric leaves; `None` when old is zero
+/// and new is not (infinite drift).
+fn drift_pct(old: f64, new: f64) -> Option<f64> {
+    if old == new {
+        Some(0.0)
+    } else if old == 0.0 {
+        None
+    } else {
+        Some(((new - old).abs() / old.abs()) * 100.0)
+    }
+}
+
+/// Compares the leaf at `path` in both documents against a tolerance.
+/// Returns a human line describing the comparison; `Err` lines failed.
+fn diff_path(old: &Value, new: &Value, t: &Tolerance) -> Result<String, String> {
+    let a = lookup(old, &t.path);
+    let b = lookup(new, &t.path);
+    let (a, b) = match (a, b) {
+        (Some(a), Some(b)) => (a, b),
+        (None, None) => return Err(format!("{}: path found in neither document", t.path)),
+        (None, _) => return Err(format!("{}: path missing from the old document", t.path)),
+        (_, None) => return Err(format!("{}: path missing from the new document", t.path)),
+    };
+    match (&a, &b) {
+        (Leaf::Num(x), Leaf::Num(y)) => match drift_pct(*x, *y) {
+            Some(d) if d <= t.pct => {
+                Ok(format!("  ok {}: {x} -> {y} ({d:.2}% <= {:.2}%)", t.path, t.pct))
+            }
+            Some(d) => Err(format!(
+                "{}: {x} -> {y} drifted {d:.2}% (tolerance {:.2}%)",
+                t.path, t.pct
+            )),
+            None => Err(format!("{}: {x} -> {y} (from zero; any change fails)", t.path)),
+        },
+        // Non-numeric leaves must be identical regardless of tolerance.
+        _ if a == b => Ok(format!("  ok {}: {a} (equal)", t.path)),
+        _ => Err(format!("{}: {a} -> {b} (non-numeric leaves must be equal)", t.path)),
+    }
+}
+
+/// Recursively collects `path -> numeric leaf` pairs for the untargeted
+/// summary diff (no `--fail-on`): changed values are printed, nothing
+/// fails. Arrays are keyed by name-like field when present, else index.
+fn collect_numeric(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Object(pairs) => {
+            for (k, child) in pairs {
+                let p = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                collect_numeric(&p, child, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let key = NAME_KEYS
+                    .iter()
+                    .find_map(|k| child.get(k).and_then(Value::as_str))
+                    .map_or_else(|| i.to_string(), str::to_string);
+                collect_numeric(&format!("{prefix}.{key}"), child, out);
+            }
+        }
+        other => {
+            if let Some(x) = other.as_f64() {
+                out.push((prefix.to_string(), x));
+            }
+        }
+    }
+}
+
+fn diff(p: &Parsed) -> Result<(), CliError> {
+    let old_path = p.positional.get(2).ok_or_else(|| {
+        CliError::Usage("usage: brics report diff <old.json> <new.json>".into())
+    })?;
+    let new_path = p.positional.get(3).ok_or_else(|| {
+        CliError::Usage("usage: brics report diff <old.json> <new.json>".into())
+    })?;
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(specs) = p.get("fail-on").filter(|s| !s.is_empty()) {
+        for spec in specs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let t = parse_tolerance(spec)?;
+            match diff_path(&old, &new, &t) {
+                Ok(line) => eprintln!("{line}"),
+                Err(msg) => failures.push(msg),
+            }
+        }
+    } else {
+        // Untargeted mode: summarize every numeric leaf that moved.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        collect_numeric("", &old, &mut a);
+        collect_numeric("", &new, &mut b);
+        let index: std::collections::BTreeMap<&str, f64> =
+            a.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let mut moved = 0usize;
+        for (k, y) in &b {
+            if let Some(&x) = index.get(k.as_str()) {
+                if x != *y {
+                    let d = drift_pct(x, *y).map_or("inf".to_string(), |d| format!("{d:.2}"));
+                    println!("{k}: {x} -> {y} ({d}%)");
+                    moved += 1;
+                }
+            }
+        }
+        eprintln!("note: {moved} numeric leaves changed ({old_path} -> {new_path})");
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("fail {f}");
+        }
+        Err(CliError::Input(format!(
+            "{} of the --fail-on comparisons regressed ({old_path} -> {new_path})",
+            failures.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("brics-report-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    fn run(args: &[&str]) -> Result<(), CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        report(&parse(&argv).unwrap())
+    }
+
+    const V3_DOC: &str = r#"{
+        "schema": "brics.run_report/v3",
+        "counters": {"bfs_sources": 12, "edges_scanned": 300},
+        "phases": [{"name": "estimate", "count": 1}],
+        "histograms": [
+            {"metric": "source_bfs_ns", "p50": 10, "p90": 20, "p99": 30, "max": 40}
+        ],
+        "memory": {
+            "tracking": true, "planned_bytes": 1000, "observed_peak_bytes": 800,
+            "live_bytes": 100, "process_peak_bytes": 5000, "allocations": 42,
+            "plan_accuracy": 0.8
+        }
+    }"#;
+
+    #[test]
+    fn dotted_path_walker_handles_names_indices_and_length() {
+        let doc: Value = serde_json::from_str(V3_DOC).unwrap();
+        assert_eq!(lookup(&doc, "counters.bfs_sources"), Some(Leaf::Num(12.0)));
+        assert_eq!(lookup(&doc, "histograms.source_bfs_ns.p90"), Some(Leaf::Num(20.0)));
+        assert_eq!(lookup(&doc, "histograms.0.p50"), Some(Leaf::Num(10.0)));
+        assert_eq!(lookup(&doc, "phases.length"), Some(Leaf::Num(1.0)));
+        assert_eq!(lookup(&doc, "memory.tracking"), Some(Leaf::Bool(true)));
+        assert_eq!(
+            lookup(&doc, "schema"),
+            Some(Leaf::Str("brics.run_report/v3".to_string()))
+        );
+        assert_eq!(lookup(&doc, "counters.no_such"), None);
+        // Keys containing literal dots resolve by longest-prefix join.
+        let nested: Value =
+            serde_json::from_str(r#"{"runs": {"road.el": {"seconds": 2}}}"#).unwrap();
+        assert_eq!(lookup(&nested, "runs.road.el.seconds"), Some(Leaf::Num(2.0)));
+        // Array elements by dotted name value, plus `last`.
+        let audit: Value = serde_json::from_str(
+            r#"{"faults": [{"site": "bfs.source", "fired": 1}],
+                "ladder": ["random", "partial-lower-bounds"]}"#,
+        )
+        .unwrap();
+        assert_eq!(lookup(&audit, "faults.bfs.source.fired"), Some(Leaf::Num(1.0)));
+        assert_eq!(
+            lookup(&audit, "ladder.last"),
+            Some(Leaf::Str("partial-lower-bounds".to_string()))
+        );
+    }
+
+    #[test]
+    fn schema_none_asserts_arbitrary_json() {
+        // Trace-event arrays and bench documents are not run reports;
+        // `--schema none` still lets CI gate them with assertions.
+        let p = tmp(
+            "trace.json",
+            r#"[{"name": "prepare", "ph": "X", "ts": 0, "dur": 9},
+                {"name": "reduce", "ph": "X", "ts": 1, "dur": 2}]"#,
+        );
+        let f = p.to_str().unwrap();
+        run(&["report", "check", f, "--schema", "none", "--assert",
+              "length==2,prepare.ph==X,reduce.ts>=0,last.dur>=0"])
+            .unwrap();
+        let err = run(&["report", "check", f, "--schema", "none", "--assert", "length==3"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // Without `none` the same document fails structural validation.
+        assert_eq!(run(&["report", "check", f]).unwrap_err().exit_code(), 3);
+    }
+
+    #[test]
+    fn check_validates_and_asserts() {
+        let p = tmp("ok.json", V3_DOC);
+        let f = p.to_str().unwrap();
+        run(&["report", "check", f]).unwrap();
+        run(&["report", "check", f, "--assert",
+              "counters.bfs_sources>=1,memory.plan_accuracy<=1.0,schema==brics.run_report/v3"])
+            .unwrap();
+        // `--absent` passes for missing paths, fails for present ones.
+        run(&["report", "check", f, "--absent", "phases.reduce,counters.no_such"]).unwrap();
+        let err =
+            run(&["report", "check", f, "--absent", "phases.estimate"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // A failed assertion is an input error (exit 3), not a usage error.
+        let err = run(&["report", "check", f, "--assert", "counters.bfs_sources>=100"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // A malformed assertion is a usage error.
+        let err = run(&["report", "check", f, "--assert", "counters.bfs_sources"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        // Missing paths fail loudly instead of vacuously passing.
+        let err = run(&["report", "check", f, "--assert", "no.such.path==1"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn check_rejects_structural_problems() {
+        let bad_schema = V3_DOC.replace("brics.run_report/v3", "brics.run_report/v1");
+        let p = tmp("badschema.json", &bad_schema);
+        assert_eq!(run(&["report", "check", p.to_str().unwrap()]).unwrap_err().exit_code(), 3);
+        let bad_quant = V3_DOC.replace("\"p90\": 20", "\"p90\": 35");
+        let p = tmp("badquant.json", &bad_quant);
+        assert_eq!(run(&["report", "check", p.to_str().unwrap()]).unwrap_err().exit_code(), 3);
+        let no_memory = V3_DOC.replace("\"memory\"", "\"memory_gone\"");
+        let p = tmp("nomem.json", &no_memory);
+        assert_eq!(run(&["report", "check", p.to_str().unwrap()]).unwrap_err().exit_code(), 3);
+        // The same document without a memory block is a fine v2 report.
+        let v2 = no_memory.replace("brics.run_report/v3", "brics.run_report/v2");
+        let p = tmp("v2.json", &v2);
+        run(&["report", "check", p.to_str().unwrap(), "--schema", "v2"]).unwrap();
+        assert_eq!(run(&["report", "check", p.to_str().unwrap()]).unwrap_err().exit_code(), 3);
+        // Unreadable file: input error, not a panic.
+        assert_eq!(run(&["report", "check", "/nonexistent.json"]).unwrap_err().exit_code(), 3);
+    }
+
+    #[test]
+    fn diff_gates_on_injected_regression() {
+        let old = tmp("diff-old.json", V3_DOC);
+        let newer = tmp("diff-new.json", &V3_DOC.replace("\"edges_scanned\": 300", "\"edges_scanned\": 390"));
+        let (o, n) = (old.to_str().unwrap(), newer.to_str().unwrap());
+        // 30% drift: passes a 50% gate, fails a 10% gate and an exact gate.
+        run(&["report", "diff", o, n, "--fail-on", "counters.edges_scanned:50"]).unwrap();
+        let err = run(&["report", "diff", o, n, "--fail-on", "counters.edges_scanned:10"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let err = run(&["report", "diff", o, n, "--fail-on", "counters.edges_scanned:0"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // Untouched counters pass an exact gate; strings compare equal.
+        run(&["report", "diff", o, n,
+              "--fail-on", "counters.bfs_sources:0,schema:0"]).unwrap();
+        // Missing paths and from-zero drifts fail.
+        let err = run(&["report", "diff", o, n, "--fail-on", "no.such:0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // Untargeted mode summarizes without failing.
+        run(&["report", "diff", o, n]).unwrap();
+        // Bad specs are usage errors.
+        let err = run(&["report", "diff", o, n, "--fail-on", "counters.bfs_sources"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = run(&["report", "diff", o, n, "--fail-on", "x:-5"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn report_usage_errors() {
+        assert_eq!(run(&["report"]).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&["report", "merge"]).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&["report", "check"]).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&["report", "diff", "a.json"]).unwrap_err().exit_code(), 2);
+    }
+}

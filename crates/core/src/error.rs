@@ -89,6 +89,9 @@ impl fmt::Display for CentralityError {
                 let cause = match outcome {
                     RunOutcome::Deadline => "wall-clock deadline expired",
                     RunOutcome::Cancelled => "run was cancelled",
+                    RunOutcome::MemoryLimit => {
+                        "live memory grew past the configured budget"
+                    }
                     RunOutcome::Degraded => "run degraded below the requested estimate",
                     RunOutcome::Complete => "run completed", // unreachable in practice
                 };

@@ -42,6 +42,12 @@ pub enum RunOutcome {
     /// The run was cancelled through a [`CancelToken`]; remaining sources
     /// were skipped.
     Cancelled,
+    /// Live tracked bytes grew past the configured memory budget after
+    /// admission; remaining sources were skipped. Only reachable when the
+    /// tracking allocator is installed (see
+    /// [`crate::telemetry::memory`]) — without it live bytes read as zero
+    /// and the budget is enforced against the planning figures alone.
+    MemoryLimit,
     /// The run answered, but through a degradation fallback: a cheaper rung
     /// of the quality ladder, or with some sources permanently quarantined
     /// after worker failures. The values returned are still sound lower
@@ -55,10 +61,14 @@ impl RunOutcome {
         matches!(self, RunOutcome::Complete)
     }
 
-    /// Whether the run was stopped early by a deadline or cancellation
-    /// (degradation is an answer, not an interruption).
+    /// Whether the run was stopped early by a deadline, cancellation or
+    /// the live-memory limit (degradation is an answer, not an
+    /// interruption).
     pub fn is_interrupted(&self) -> bool {
-        matches!(self, RunOutcome::Deadline | RunOutcome::Cancelled)
+        matches!(
+            self,
+            RunOutcome::Deadline | RunOutcome::Cancelled | RunOutcome::MemoryLimit
+        )
     }
 
     /// Merges two outcomes from consecutive phases of one run: the first
@@ -559,12 +569,30 @@ impl FaultPlan {
 /// let ctl = RunControl::new().with_timeout(Duration::from_secs(30));
 /// assert!(ctl.should_stop().is_none());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RunControl {
     deadline: Option<Instant>,
     cancel: CancelToken,
     max_mem_bytes: Option<u64>,
     faults: Option<FaultPlan>,
+    /// Tracked live bytes at the last successful budgeted admission —
+    /// the reference level live-bytes enforcement measures growth from.
+    /// `u64::MAX` (shared across clones) until armed; enforcement is
+    /// inert before the first admission so a plain `should_stop` loop
+    /// with no admission call keeps v2 semantics.
+    mem_baseline: Arc<AtomicU64>,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl {
+            deadline: None,
+            cancel: CancelToken::default(),
+            max_mem_bytes: None,
+            faults: None,
+            mem_baseline: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
 }
 
 impl RunControl {
@@ -630,10 +658,12 @@ impl RunControl {
         self.cancel.clone()
     }
 
-    /// Checks the cancel flag, then the (possibly fault-forced) deadline.
+    /// Checks the cancel flag, then the (possibly fault-forced) deadline,
+    /// then — once a budgeted [`RunControl::admit_memory`] has armed the
+    /// baseline — live tracked heap growth against the memory budget.
     /// `None` means keep going; otherwise the cause of the stop. Called
-    /// once per BFS source — an `Instant::now()` per source is noise next
-    /// to a BFS.
+    /// once per BFS source / level / batch — an `Instant::now()` and two
+    /// relaxed loads per source are noise next to a BFS.
     pub fn should_stop(&self) -> Option<RunOutcome> {
         if self.cancel.is_cancelled() {
             return Some(RunOutcome::Cancelled);
@@ -646,6 +676,15 @@ impl RunControl {
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 return Some(RunOutcome::Deadline);
+            }
+        }
+        if let Some(budget) = self.max_mem_bytes {
+            let baseline = self.mem_baseline.load(Ordering::Relaxed);
+            if baseline != u64::MAX {
+                let live = crate::telemetry::memory::live_bytes();
+                if live.saturating_sub(baseline) > budget {
+                    return Some(RunOutcome::MemoryLimit);
+                }
             }
         }
         None
@@ -666,6 +705,13 @@ impl RunControl {
     /// Call before the large `O(n·k)` / per-block allocations. A fired
     /// `mem-deny` fault (here or sticky from another site) denies the
     /// admission regardless of the configured budget.
+    ///
+    /// A *successful* admission against a configured budget additionally
+    /// arms live-bytes enforcement: the tracked heap level at this moment
+    /// becomes the baseline, and [`RunControl::should_stop`] reports
+    /// [`RunOutcome::MemoryLimit`] once live bytes grow more than the
+    /// budget above it. With the tracking allocator absent live bytes
+    /// read zero and the check never fires.
     pub fn admit_memory(&self, required_bytes: u64) -> Result<(), MemoryBudgetExceeded> {
         if let Some(plan) = &self.faults {
             let fired_here =
@@ -684,7 +730,12 @@ impl RunControl {
             Some(budget) if required_bytes > budget => {
                 Err(MemoryBudgetExceeded { required_bytes, budget_bytes: budget })
             }
-            _ => Ok(()),
+            Some(_) => {
+                self.mem_baseline
+                    .store(crate::telemetry::memory::live_bytes(), Ordering::Relaxed);
+                Ok(())
+            }
+            None => Ok(()),
         }
     }
 
@@ -779,25 +830,34 @@ mod tests {
     #[test]
     fn outcome_merge_full_pair_matrix() {
         use RunOutcome::*;
-        // (earlier, later) -> merged, for all 16 pairs. Interruptions are
+        // (earlier, later) -> merged, for all 25 pairs. Interruptions are
         // sticky; Degraded absorbs Complete/Degraded but yields to a later
         // interruption; Complete adopts whatever comes later.
         let cases = [
             (Complete, Complete, Complete),
             (Complete, Deadline, Deadline),
             (Complete, Cancelled, Cancelled),
+            (Complete, MemoryLimit, MemoryLimit),
             (Complete, Degraded, Degraded),
             (Deadline, Complete, Deadline),
             (Deadline, Deadline, Deadline),
             (Deadline, Cancelled, Deadline),
+            (Deadline, MemoryLimit, Deadline),
             (Deadline, Degraded, Deadline),
             (Cancelled, Complete, Cancelled),
             (Cancelled, Deadline, Cancelled),
             (Cancelled, Cancelled, Cancelled),
+            (Cancelled, MemoryLimit, Cancelled),
             (Cancelled, Degraded, Cancelled),
+            (MemoryLimit, Complete, MemoryLimit),
+            (MemoryLimit, Deadline, MemoryLimit),
+            (MemoryLimit, Cancelled, MemoryLimit),
+            (MemoryLimit, MemoryLimit, MemoryLimit),
+            (MemoryLimit, Degraded, MemoryLimit),
             (Degraded, Complete, Degraded),
             (Degraded, Deadline, Deadline),
             (Degraded, Cancelled, Cancelled),
+            (Degraded, MemoryLimit, MemoryLimit),
             (Degraded, Degraded, Degraded),
         ];
         for (a, b, want) in cases {
@@ -806,6 +866,23 @@ mod tests {
         assert!(!Degraded.is_complete());
         assert!(!Degraded.is_interrupted());
         assert!(Deadline.is_interrupted() && Cancelled.is_interrupted());
+        assert!(MemoryLimit.is_interrupted() && !MemoryLimit.is_complete());
+    }
+
+    #[test]
+    fn live_budget_enforcement_requires_armed_baseline_and_tracking() {
+        // Budget configured but admit_memory never called: the baseline
+        // stays unarmed and should_stop keeps v2 semantics.
+        let ctl = RunControl::new().with_memory_budget_bytes(0);
+        assert_eq!(ctl.should_stop(), None);
+        // After a successful admission the baseline arms — but this test
+        // binary has no tracking allocator, so live bytes read zero and a
+        // zero budget still never trips (growth is 0 > 0 = false). The
+        // installed-allocator behavior is pinned in tests/memory_tracking.
+        assert!(ctl.admit_memory(0).is_ok());
+        assert_eq!(ctl.should_stop(), None);
+        // Clones share the armed baseline like they share cancellation.
+        assert_eq!(ctl.clone().should_stop(), None);
     }
 
     #[test]

@@ -14,7 +14,14 @@
 //! * [`RunRecorder`] — thread-safe collection into atomic counters,
 //!   sharded span tables, lock-free log-bucketed [`histogram`]s and an
 //!   optional [`trace`] timeline, snapshotted into a [`RunReport`] whose
-//!   JSON schema (`brics.run_report/v2`) is stable across releases.
+//!   JSON schema (`brics.run_report/v3`) is stable across releases.
+//!
+//! When the binary installs the [`memory::TrackingAllocator`], every
+//! [`timed`]/[`timed_metric`] span additionally snapshots heap state
+//! (bytes live at open, peak within the span — see [`MemSpan`]) and the
+//! report's `memory` block carries live/peak bytes plus the plan-vs-actual
+//! figures stamped by [`RunReport::stamp_planned_bytes`]. Without the
+//! allocator every memory figure is zero and nothing else changes.
 //!
 //! Distribution metrics ([`Metric`]) complement the monotone [`Counter`]s:
 //! a counter tells you *how much* work happened, a histogram tells you how
@@ -42,17 +49,19 @@
 //! rec.observe(Metric::FrontierSize, 17);
 //! let report = rec.report();
 //! assert_eq!(report.counters["bfs_sources"], 1);
-//! assert_eq!(report.schema, "brics.run_report/v2");
+//! assert_eq!(report.schema, "brics.run_report/v3");
 //! let frontier = report.histograms.iter().find(|h| h.metric == "frontier_size").unwrap();
 //! assert_eq!(frontier.count, 1);
 //! assert_eq!(frontier.max, 17);
 //! ```
 
 pub mod histogram;
+pub mod memory;
 pub mod progress;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSummary, MergedHistogram};
+pub use memory::TrackingAllocator;
 pub use progress::{ProgressConfig, ProgressMeter};
 pub use trace::{chrome_trace_json, TraceEvent};
 
@@ -164,11 +173,15 @@ pub enum Counter {
     /// artifact — the read-into-heap fallback, misaligned sections, or a
     /// foreign element layout. Zero on the pure mmap path.
     ArtifactBytesCopied,
+    /// Runs truncated because *live tracked bytes* grew past the
+    /// configured memory budget after admission (requires the
+    /// [`memory::TrackingAllocator`] to be installed).
+    MemoryLimitStops,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 40] = [
         Counter::BfsSources,
         Counter::BfsSourcesSkipped,
         Counter::VerticesVisited,
@@ -208,6 +221,7 @@ impl Counter {
         Counter::ArtifactBytesWritten,
         Counter::ArtifactBytesMapped,
         Counter::ArtifactBytesCopied,
+        Counter::MemoryLimitStops,
     ];
 
     /// Stable snake_case key for this counter in the JSON report.
@@ -252,6 +266,7 @@ impl Counter {
             Counter::ArtifactBytesWritten => "artifact_bytes_written",
             Counter::ArtifactBytesMapped => "artifact_bytes_mapped",
             Counter::ArtifactBytesCopied => "artifact_bytes_copied",
+            Counter::MemoryLimitStops => "memory_limit_stops",
         }
     }
 }
@@ -321,6 +336,34 @@ impl Metric {
 
 const NUM_METRICS: usize = Metric::ALL.len();
 
+/// Heap snapshot for one timed span, captured by [`timed`] /
+/// [`timed_metric`] from the [`memory`] ledger (all-zero when the
+/// tracking allocator is not installed).
+///
+/// `peak_bytes` is exact when the span advanced the process high-watermark
+/// (the common case for the scratch-heavy phases the plan models); when it
+/// did not, the value falls back to `max(open, close)` — a sound
+/// *non-inflating* bound, never above the true in-span peak's watermark.
+/// Concurrent spans each observe the shared process counters, so a span's
+/// footprint attributes all threads' traffic during its window; per-phase
+/// numbers are upper bounds on that phase's own allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemSpan {
+    /// Tracked live bytes when the span opened.
+    pub open_bytes: u64,
+    /// Peak tracked live bytes within the span (see above for the exact
+    /// semantics when the process watermark did not move).
+    pub peak_bytes: u64,
+}
+
+impl MemSpan {
+    /// Bytes the span grew the heap above its opening level — the figure
+    /// compared against the planning estimates.
+    pub fn footprint(&self) -> u64 {
+        self.peak_bytes.saturating_sub(self.open_bytes)
+    }
+}
+
 /// Observer for run telemetry. All methods default to no-ops so
 /// [`NullRecorder`] costs nothing; implementors override what they store.
 ///
@@ -362,6 +405,15 @@ pub trait Recorder: Sync {
         let _ = (phase, elapsed);
     }
 
+    /// [`Recorder::span`] with a heap snapshot attached. Defaults to
+    /// dropping the snapshot and forwarding to `span`, so existing
+    /// recorders keep working; [`RunRecorder`] overrides it to fold the
+    /// snapshot into the phase table.
+    fn span_mem(&self, phase: &'static str, elapsed: Duration, mem: MemSpan) {
+        let _ = mem;
+        self.span(phase, elapsed);
+    }
+
     /// Whether [`Recorder::trace_span`] stores anything. Lets call sites
     /// skip the extra end-timestamp bookkeeping when only aggregated
     /// spans are collected.
@@ -382,18 +434,34 @@ pub trait Recorder: Sync {
     }
 }
 
+/// Closes the heap snapshot opened before a timed region: exact when the
+/// region advanced the process high-watermark, a `max(open, close)`
+/// fallback (sound, never inflating) otherwise. See [`MemSpan`].
+fn close_mem_span(open_bytes: u64, peak_before: u64) -> MemSpan {
+    let peak_after = memory::peak_bytes();
+    let peak_bytes = if peak_after > peak_before {
+        peak_after
+    } else {
+        open_bytes.max(memory::live_bytes())
+    };
+    MemSpan { open_bytes, peak_bytes }
+}
+
 /// Runs `f`, recording its wall time as a span named `phase` when the
 /// recorder is enabled (and as a timestamped trace event when tracing is
-/// on). With a disabled recorder this is exactly `f()` — not even the
-/// clock is read.
+/// on), with a [`MemSpan`] heap snapshot attached when the tracking
+/// allocator is installed. With a disabled recorder this is exactly
+/// `f()` — not even the clock is read.
 pub fn timed<R: Recorder, T>(rec: &R, phase: &'static str, f: impl FnOnce() -> T) -> T {
     if !rec.enabled() {
         return f();
     }
+    let open_bytes = memory::live_bytes();
+    let peak_before = memory::peak_bytes();
     let start = Instant::now();
     let out = f();
     let end = Instant::now();
-    rec.span(phase, end - start);
+    rec.span_mem(phase, end - start, close_mem_span(open_bytes, peak_before));
     if rec.trace_enabled() {
         rec.trace_span(phase, start, end);
     }
@@ -412,10 +480,12 @@ pub fn timed_metric<R: Recorder, T>(
     if !rec.enabled() {
         return f();
     }
+    let open_bytes = memory::live_bytes();
+    let peak_before = memory::peak_bytes();
     let start = Instant::now();
     let out = f();
     let end = Instant::now();
-    rec.span(phase, end - start);
+    rec.span_mem(phase, end - start, close_mem_span(open_bytes, peak_before));
     rec.observe(metric, (end - start).as_nanos() as u64);
     if rec.trace_enabled() {
         rec.trace_span(phase, start, end);
@@ -438,6 +508,10 @@ pub fn record_outcome<R: Recorder>(rec: &R, outcome: crate::control::RunOutcome,
         crate::control::RunOutcome::Cancelled => {
             rec.incr(Counter::Cancellations);
             rec.event("cancelled", what);
+        }
+        crate::control::RunOutcome::MemoryLimit => {
+            rec.incr(Counter::MemoryLimitStops);
+            rec.event("memory_limit", what);
         }
         crate::control::RunOutcome::Degraded => {
             rec.event("degraded", what);
@@ -501,6 +575,9 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     fn span(&self, phase: &'static str, elapsed: Duration) {
         (**self).span(phase, elapsed);
     }
+    fn span_mem(&self, phase: &'static str, elapsed: Duration, mem: MemSpan) {
+        (**self).span_mem(phase, elapsed, mem);
+    }
     fn trace_enabled(&self) -> bool {
         (**self).trace_enabled()
     }
@@ -541,6 +618,11 @@ impl<R: Recorder> Recorder for Option<R> {
             r.span(phase, elapsed);
         }
     }
+    fn span_mem(&self, phase: &'static str, elapsed: Duration, mem: MemSpan) {
+        if let Some(r) = self {
+            r.span_mem(phase, elapsed, mem);
+        }
+    }
     fn trace_enabled(&self) -> bool {
         self.as_ref().is_some_and(Recorder::trace_enabled)
     }
@@ -572,8 +654,54 @@ const EVENT_TAIL: usize = MAX_EVENTS - EVENT_HEAD;
 /// a push/scan under an uncontended per-shard mutex.
 const SPAN_SHARDS: usize = 8;
 
-/// One completed phase observation: name, elapsed time, occurrence count.
-type SpanEntry = (&'static str, Duration, u64);
+/// Accumulated observations of one phase within one shard: elapsed time,
+/// occurrence count and — when the tracking allocator is installed — the
+/// heap envelope across occurrences. `mem_open` keeps the *minimum*
+/// bytes-at-open (`u64::MAX` until a snapshot arrives), `mem_peak` the
+/// maximum in-span peak, and `mem_footprint` the maximum *per-occurrence*
+/// growth (tracked per occurrence rather than recomputed from the
+/// aggregates, which would pair one occurrence's low open with another's
+/// high peak and overstate the phase).
+#[derive(Clone, Copy)]
+struct SpanEntry {
+    name: &'static str,
+    total: Duration,
+    count: u64,
+    mem_open: u64,
+    mem_peak: u64,
+    mem_footprint: u64,
+}
+
+impl SpanEntry {
+    fn new(name: &'static str) -> Self {
+        SpanEntry {
+            name,
+            total: Duration::ZERO,
+            count: 0,
+            mem_open: u64::MAX,
+            mem_peak: 0,
+            mem_footprint: 0,
+        }
+    }
+
+    fn fold(&mut self, elapsed: Duration, count: u64, mem: Option<MemSpan>) {
+        self.total += elapsed;
+        self.count += count;
+        if let Some(m) = mem {
+            self.mem_open = self.mem_open.min(m.open_bytes);
+            self.mem_peak = self.mem_peak.max(m.peak_bytes);
+            self.mem_footprint = self.mem_footprint.max(m.footprint());
+        }
+    }
+
+    fn merge(&mut self, other: &SpanEntry) {
+        self.total += other.total;
+        self.count += other.count;
+        self.mem_open = self.mem_open.min(other.mem_open);
+        self.mem_peak = self.mem_peak.max(other.mem_peak);
+        self.mem_footprint = self.mem_footprint.max(other.mem_footprint);
+    }
+}
 
 #[derive(Default)]
 struct EventLog {
@@ -679,16 +807,26 @@ impl RunRecorder {
         chrome_trace_json(&self.trace_events())
     }
 
-    fn merged_phases(&self) -> Vec<(&'static str, Duration, u64)> {
-        let mut merged: Vec<(&'static str, Duration, u64)> = Vec::new();
+    fn record_span(&self, phase: &'static str, elapsed: Duration, mem: Option<MemSpan>) {
+        let shard = histogram::thread_index() % SPAN_SHARDS;
+        let mut spans = self.span_shards[shard].lock().expect("telemetry span lock");
+        match spans.iter_mut().find(|e| e.name == phase) {
+            Some(entry) => entry.fold(elapsed, 1, mem),
+            None => {
+                let mut entry = SpanEntry::new(phase);
+                entry.fold(elapsed, 1, mem);
+                spans.push(entry);
+            }
+        }
+    }
+
+    fn merged_phases(&self) -> Vec<SpanEntry> {
+        let mut merged: Vec<SpanEntry> = Vec::new();
         for shard in self.span_shards.iter() {
-            for &(name, total, count) in shard.lock().expect("telemetry span lock").iter() {
-                match merged.iter_mut().find(|(n, _, _)| *n == name) {
-                    Some(entry) => {
-                        entry.1 += total;
-                        entry.2 += count;
-                    }
-                    None => merged.push((name, total, count)),
+            for entry in shard.lock().expect("telemetry span lock").iter() {
+                match merged.iter_mut().find(|e| e.name == entry.name) {
+                    Some(m) => m.merge(entry),
+                    None => merged.push(*entry),
                 }
             }
         }
@@ -704,10 +842,13 @@ impl RunRecorder {
         let phases: Vec<PhaseSpan> = self
             .merged_phases()
             .into_iter()
-            .map(|(name, total, count)| PhaseSpan {
-                name: name.to_string(),
-                total_seconds: total.as_secs_f64(),
-                count,
+            .map(|e| PhaseSpan {
+                name: e.name.to_string(),
+                total_seconds: e.total.as_secs_f64(),
+                count: e.count,
+                mem_open_bytes: if e.mem_open == u64::MAX { 0 } else { e.mem_open },
+                mem_peak_bytes: e.mem_peak,
+                mem_footprint_bytes: e.mem_footprint,
             })
             .collect();
         let histograms = Metric::ALL
@@ -736,6 +877,13 @@ impl RunRecorder {
         // recorded, against whole-run wall time otherwise (benches time
         // their own phases and record no `estimate` span).
         let mteps_basis = if estimate_seconds > 0.0 { estimate_seconds } else { elapsed };
+        let observed_peak_bytes = phases
+            .iter()
+            .filter(|p| PLANNED_PHASES.contains(&p.name.as_str()))
+            .map(|p| p.mem_footprint_bytes)
+            .max()
+            .unwrap_or(0);
+        let mem_stats = memory::stats();
         RunReport {
             schema: RunReport::SCHEMA.to_string(),
             counters,
@@ -748,6 +896,15 @@ impl RunRecorder {
             retries: self.counter(Counter::FaultRetries),
             degradation_path: Vec::new(),
             artifact: None,
+            memory: MemoryBlock {
+                tracking: memory::tracking_active(),
+                planned_bytes: 0,
+                observed_peak_bytes,
+                live_bytes: memory::live_bytes(),
+                process_peak_bytes: memory::peak_bytes(),
+                allocations: mem_stats.allocations,
+                plan_accuracy: None,
+            },
             derived: DerivedMetrics {
                 elapsed_seconds: elapsed,
                 estimate_seconds,
@@ -776,15 +933,11 @@ impl Recorder for RunRecorder {
     }
 
     fn span(&self, phase: &'static str, elapsed: Duration) {
-        let shard = histogram::thread_index() % SPAN_SHARDS;
-        let mut spans = self.span_shards[shard].lock().expect("telemetry span lock");
-        match spans.iter_mut().find(|(name, _, _)| *name == phase) {
-            Some(entry) => {
-                entry.1 += elapsed;
-                entry.2 += 1;
-            }
-            None => spans.push((phase, elapsed, 1)),
-        }
+        self.record_span(phase, elapsed, None);
+    }
+
+    fn span_mem(&self, phase: &'static str, elapsed: Duration, mem: MemSpan) {
+        self.record_span(phase, elapsed, Some(mem));
     }
 
     fn trace_enabled(&self) -> bool {
@@ -812,6 +965,19 @@ pub struct PhaseSpan {
     pub total_seconds: f64,
     /// How many times the phase executed.
     pub count: u64,
+    /// Minimum tracked live bytes at span open across executions (0 when
+    /// tracking was off — added in v3).
+    #[serde(default)]
+    pub mem_open_bytes: u64,
+    /// Maximum in-span peak of tracked live bytes across executions (0
+    /// when tracking was off — added in v3).
+    #[serde(default)]
+    pub mem_peak_bytes: u64,
+    /// Largest single-execution heap growth (`peak − open`, computed per
+    /// occurrence) — the phase's footprint, compared against the planning
+    /// figures (added in v3).
+    #[serde(default)]
+    pub mem_footprint_bytes: u64,
 }
 
 /// One discrete event captured during the run.
@@ -850,6 +1016,37 @@ pub struct ArtifactProvenance {
     pub source: String,
 }
 
+/// Phases whose footprint the planning figures in `budget.rs` model:
+/// query-time traversal scratch, not the prepare-phase CSR/reduction
+/// structures. `observed_peak_bytes` is the max footprint over these.
+const PLANNED_PHASES: [&str; 3] = ["estimate", "bfs.batch", "topk.verify"];
+
+/// Memory accounting for one run — the plan-vs-actual block of a v3
+/// report. All-zero (with `tracking: false`) when the
+/// [`memory::TrackingAllocator`] is not installed in the process.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBlock {
+    /// Whether the tracking allocator was installed (all other fields are
+    /// zero/absent when it was not).
+    pub tracking: bool,
+    /// Bytes the planning model budgeted for query scratch; 0 until
+    /// [`RunReport::stamp_planned_bytes`] runs.
+    pub planned_bytes: u64,
+    /// Largest observed footprint (`peak − open`) of any planned phase —
+    /// see [`PhaseSpan::mem_footprint_bytes`].
+    pub observed_peak_bytes: u64,
+    /// Tracked live bytes at snapshot time.
+    pub live_bytes: u64,
+    /// Process-lifetime high-watermark of tracked live bytes.
+    pub process_peak_bytes: u64,
+    /// Successful allocations since process start.
+    pub allocations: u64,
+    /// `observed_peak_bytes / planned_bytes`; `None` until stamped or when
+    /// no plan was made. Values ≤ 1.0 mean the plan was an upper bound, as
+    /// intended; > 1.0 fires a `memory.overrun` event.
+    pub plan_accuracy: Option<f64>,
+}
+
 /// Metrics derived from the raw counters at snapshot time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DerivedMetrics {
@@ -869,9 +1066,18 @@ pub struct DerivedMetrics {
 }
 
 /// Snapshot of one run's telemetry, serialized with the stable schema tag
-/// `brics.run_report/v2`. All counter keys and all histogram metrics are
+/// `brics.run_report/v3`. All counter keys and all histogram metrics are
 /// always present (zeros included) so downstream tooling can rely on the
 /// key set.
+///
+/// v2 → v3 migration: the top-level `memory` block ([`MemoryBlock`]) and
+/// the per-phase `mem_open_bytes` / `mem_peak_bytes` /
+/// `mem_footprint_bytes` fields are new (all zero when the tracking
+/// allocator is not installed), and the counter set gained
+/// `memory_limit_stops`. Nothing was removed or renamed, so v2 consumers
+/// that look fields up by name keep working; v2 documents deserialize into
+/// this struct with the new fields defaulted (`brics report check
+/// --schema v2` accepts them explicitly).
 ///
 /// v1 → v2 migration: `histograms`, `dropped_events_by_kind`,
 /// `derived.estimate_seconds` and `derived.whole_run_mteps` are new;
@@ -918,13 +1124,42 @@ pub struct RunReport {
     /// within v2 like the fault fields: always present, `null` on runs
     /// that prepared from scratch. Stamped by the CLI.
     pub artifact: Option<ArtifactProvenance>,
+    /// Memory accounting (new in v3): tracked live/peak bytes and the
+    /// plan-vs-actual figures. Defaults so v2 documents still parse.
+    #[serde(default)]
+    pub memory: MemoryBlock,
     /// Metrics derived from the counters at snapshot time.
     pub derived: DerivedMetrics,
 }
 
 impl RunReport {
     /// The stable schema tag emitted in every report.
-    pub const SCHEMA: &'static str = "brics.run_report/v2";
+    pub const SCHEMA: &'static str = "brics.run_report/v3";
+
+    /// The previous schema tag, still accepted by `brics report check
+    /// --schema v2` (v3 is a strict superset).
+    pub const SCHEMA_V2: &'static str = "brics.run_report/v2";
+
+    /// Closes the plan-vs-actual loop: records what the planning model
+    /// budgeted for query scratch, derives
+    /// [`MemoryBlock::plan_accuracy`], and — when tracking is on and the
+    /// observed footprint exceeded the plan — appends a `memory.overrun`
+    /// event. Call after the report is snapshotted (the CLI does this in
+    /// its metrics-emission path so `compare`/`topk` rows get it too).
+    pub fn stamp_planned_bytes(&mut self, planned_bytes: u64) {
+        self.memory.planned_bytes = planned_bytes;
+        let observed = self.memory.observed_peak_bytes;
+        self.memory.plan_accuracy =
+            (planned_bytes > 0).then(|| observed as f64 / planned_bytes as f64);
+        if self.memory.tracking && planned_bytes > 0 && observed > planned_bytes {
+            self.events.push(ReportEvent {
+                kind: "memory.overrun".to_string(),
+                detail: format!(
+                    "observed peak {observed} bytes exceeds planned {planned_bytes} bytes"
+                ),
+            });
+        }
+    }
 
     /// Renders a compact human-readable table (for `--metrics-summary`):
     /// phases with times, histogram quantiles, then all non-zero counters,
@@ -981,6 +1216,20 @@ impl RunReport {
         }
         if let Some(a) = &self.artifact {
             out.push_str(&format!("  artifact: v{} {} ({})\n", a.version, a.checksum, a.source));
+        }
+        if self.memory.tracking {
+            let m = &self.memory;
+            out.push_str(&format!(
+                "  memory: live {} peak {} observed-span-peak {}",
+                m.live_bytes, m.process_peak_bytes, m.observed_peak_bytes
+            ));
+            if m.planned_bytes > 0 {
+                out.push_str(&format!(" planned {}", m.planned_bytes));
+                if let Some(acc) = m.plan_accuracy {
+                    out.push_str(&format!(" (accuracy {acc:.2})"));
+                }
+            }
+            out.push('\n');
         }
         if !self.events.is_empty() {
             out.push_str("  events:\n");
@@ -1201,7 +1450,7 @@ mod tests {
         rec.observe(Metric::QueryNanos, 1234);
         let report = rec.report();
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("brics.run_report/v2"));
+        assert!(json.contains("brics.run_report/v3"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.counters["edges_scanned"], 42);
         assert_eq!(back.schema, RunReport::SCHEMA);
@@ -1210,6 +1459,114 @@ mod tests {
             back.histograms.iter().find(|h| h.metric == "query_ns").unwrap().max,
             1234
         );
+        // The v3 memory block round-trips; this binary does not install
+        // the tracking allocator, so it reports all-off.
+        assert!(!back.memory.tracking);
+        assert_eq!(back.memory, report.memory);
+    }
+
+    #[test]
+    fn v2_document_without_memory_fields_still_parses() {
+        // A v3 reader must accept v2 documents: serialize, strip the new
+        // fields, deserialize — serde fills the defaults back in.
+        let report = RunRecorder::new().report();
+        let serde_json::Value::Object(mut pairs) = serde_json::to_value(&report) else {
+            panic!("report must serialize to an object");
+        };
+        pairs.retain(|(k, _)| k != "memory");
+        for (k, v) in pairs.iter_mut() {
+            if k == "schema" {
+                *v = serde_json::Value::Str(RunReport::SCHEMA_V2.to_string());
+            }
+        }
+        let back: RunReport =
+            serde_json::from_value(&serde_json::Value::Object(pairs)).unwrap();
+        assert_eq!(back.schema, RunReport::SCHEMA_V2);
+        assert_eq!(back.memory, MemoryBlock::default());
+    }
+
+    #[test]
+    fn span_mem_folds_heap_envelope_per_occurrence() {
+        let rec = RunRecorder::new();
+        rec.span_mem(
+            "estimate",
+            Duration::from_millis(1),
+            MemSpan { open_bytes: 100, peak_bytes: 400 },
+        );
+        rec.span_mem(
+            "estimate",
+            Duration::from_millis(1),
+            MemSpan { open_bytes: 50, peak_bytes: 300 },
+        );
+        let report = rec.report();
+        let p = report.phases.iter().find(|p| p.name == "estimate").unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.mem_open_bytes, 50);
+        assert_eq!(p.mem_peak_bytes, 400);
+        // Per-occurrence footprints are 300 and 250; pairing min-open with
+        // max-peak across occurrences would claim 350. The ledger keeps
+        // the honest per-occurrence max.
+        assert_eq!(p.mem_footprint_bytes, 300);
+        assert_eq!(report.memory.observed_peak_bytes, 300);
+    }
+
+    #[test]
+    fn observed_peak_only_counts_planned_phases() {
+        let rec = RunRecorder::new();
+        rec.span_mem(
+            "prepare",
+            Duration::from_millis(1),
+            MemSpan { open_bytes: 0, peak_bytes: 10_000 },
+        );
+        rec.span_mem(
+            "bfs.batch",
+            Duration::from_millis(1),
+            MemSpan { open_bytes: 100, peak_bytes: 600 },
+        );
+        let report = rec.report();
+        // prepare's CSR build dwarfs query scratch but is not what the
+        // plan models; the observed peak tracks the planned phases only.
+        assert_eq!(report.memory.observed_peak_bytes, 500);
+    }
+
+    #[test]
+    fn stamp_planned_bytes_sets_accuracy_and_overrun_event() {
+        let rec = RunRecorder::new();
+        rec.span_mem(
+            "estimate",
+            Duration::from_millis(1),
+            MemSpan { open_bytes: 0, peak_bytes: 1_500 },
+        );
+        let mut report = rec.report();
+        report.memory.tracking = true; // as if the allocator were installed
+        report.stamp_planned_bytes(1_000);
+        assert_eq!(report.memory.planned_bytes, 1_000);
+        assert!((report.memory.plan_accuracy.unwrap() - 1.5).abs() < 1e-12);
+        assert!(report.events.iter().any(|e| e.kind == "memory.overrun"));
+
+        // Within plan: accuracy ≤ 1, no event.
+        let mut ok = rec.report();
+        ok.memory.tracking = true;
+        ok.stamp_planned_bytes(3_000);
+        assert!(ok.memory.plan_accuracy.unwrap() <= 1.0);
+        assert!(!ok.events.iter().any(|e| e.kind == "memory.overrun"));
+
+        // No plan: accuracy stays None and nothing fires.
+        let mut unplanned = rec.report();
+        unplanned.stamp_planned_bytes(0);
+        assert_eq!(unplanned.memory.plan_accuracy, None);
+        assert!(!unplanned.events.iter().any(|e| e.kind == "memory.overrun"));
+    }
+
+    #[test]
+    fn plain_span_never_invents_memory_figures() {
+        let rec = RunRecorder::new();
+        rec.span("estimate", Duration::from_millis(1));
+        let report = rec.report();
+        let p = report.phases.iter().find(|p| p.name == "estimate").unwrap();
+        assert_eq!(p.mem_open_bytes, 0);
+        assert_eq!(p.mem_peak_bytes, 0);
+        assert_eq!(p.mem_footprint_bytes, 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use super::{Counter, Recorder, RunRecorder};
+use super::{memory, Counter, Recorder, RunRecorder};
 use crate::control::{RunControl, RunOutcome};
 
 /// Tuning for a [`ProgressMeter`].
@@ -49,6 +49,12 @@ struct Sample {
     planned: u64,
     edges: u64,
     reduce_rounds: u64,
+    /// Tracked live heap bytes (0 when the tracking allocator is absent).
+    /// Deliberately excluded from the fingerprint — background allocator
+    /// churn must not mask a genuinely stalled run.
+    mem_live: u64,
+    /// Process peak of tracked live bytes (0 without the allocator).
+    mem_peak: u64,
     /// Wrapping sum of every counter — advances iff anything advanced.
     fingerprint: u64,
 }
@@ -65,8 +71,26 @@ impl Sample {
             planned: rec.counter(Counter::BfsSourcesPlanned),
             edges: rec.counter(Counter::EdgesScanned),
             reduce_rounds: rec.counter(Counter::ReduceRounds),
+            mem_live: memory::live_bytes(),
+            mem_peak: memory::peak_bytes(),
             fingerprint,
         }
+    }
+}
+
+/// Renders a byte count with a binary-unit suffix, one decimal place.
+fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
     }
 }
 
@@ -102,6 +126,16 @@ fn format_heartbeat(now: &Sample, prev: Option<(&Sample, Duration)>, elapsed: Du
     if now.reduce_rounds > 0 {
         line.push_str(&format!(" | reduce rounds {}", now.reduce_rounds));
     }
+    // Only rendered when the tracking allocator is installed (peak > 0) —
+    // uninstrumented binaries keep the pre-v3 line shape. The final
+    // heartbeat goes through here too, so peak bytes always close the run.
+    if now.mem_peak > 0 {
+        line.push_str(&format!(
+            " | mem {} (peak {})",
+            fmt_bytes(now.mem_live),
+            fmt_bytes(now.mem_peak)
+        ));
+    }
     line.push_str(&format!(" | elapsed {secs:.1}s"));
     line
 }
@@ -111,6 +145,7 @@ fn control_state(ctl: &RunControl) -> &'static str {
         None => "limits ok",
         Some(RunOutcome::Deadline) => "deadline already expired",
         Some(RunOutcome::Cancelled) => "run already cancelled",
+        Some(RunOutcome::MemoryLimit) => "memory budget already exceeded",
         Some(RunOutcome::Complete) | Some(RunOutcome::Degraded) => "limits ok",
     }
 }
@@ -204,7 +239,16 @@ mod tests {
     use super::*;
 
     fn sample(done: u64, planned: u64, edges: u64) -> Sample {
-        Sample { done, skipped: 0, planned, edges, reduce_rounds: 0, fingerprint: 0 }
+        Sample {
+            done,
+            skipped: 0,
+            planned,
+            edges,
+            reduce_rounds: 0,
+            mem_live: 0,
+            mem_peak: 0,
+            fingerprint: 0,
+        }
     }
 
     #[test]
@@ -236,12 +280,36 @@ mod tests {
             planned: 10,
             edges: 0,
             reduce_rounds: 2,
+            mem_live: 0,
+            mem_peak: 0,
             fingerprint: 0,
         };
         let line = format_heartbeat(&now, None, Duration::from_secs(1));
         assert!(line.contains("sources 10/10 (100.0%)"), "{line}");
         assert!(line.contains("reduce rounds 2"), "{line}");
         assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn heartbeat_shows_memory_only_when_tracking() {
+        // Untracked (peak 0): no memory segment at all.
+        let plain = format_heartbeat(&sample(1, 10, 0), None, Duration::from_secs(1));
+        assert!(!plain.contains("mem"), "{plain}");
+        // Tracked: live and peak render with binary units.
+        let mut s = sample(1, 10, 0);
+        s.mem_live = 3 * 1024 * 1024;
+        s.mem_peak = 2 * 1024 * 1024 * 1024;
+        let line = format_heartbeat(&s, None, Duration::from_secs(1));
+        assert!(line.contains("mem 3.0MiB (peak 2.0GiB)"), "{line}");
+    }
+
+    #[test]
+    fn bytes_format_picks_sane_units() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 + 512 * 1024), "5.5MiB");
+        assert_eq!(fmt_bytes(u64::MAX), format!("{:.1}GiB", u64::MAX as f64 / (1u64 << 30) as f64));
     }
 
     #[test]

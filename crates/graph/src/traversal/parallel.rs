@@ -133,6 +133,7 @@ impl StopCell {
             RunOutcome::Complete | RunOutcome::Degraded => return,
             RunOutcome::Deadline => 1,
             RunOutcome::Cancelled => 2,
+            RunOutcome::MemoryLimit => 3,
         };
         // First writer wins; later causes are strictly less interesting.
         let _ = self.0.compare_exchange(Self::NONE, code, Ordering::Relaxed, Ordering::Relaxed);
@@ -142,6 +143,7 @@ impl StopCell {
         match self.0.load(Ordering::Relaxed) {
             1 => RunOutcome::Deadline,
             2 => RunOutcome::Cancelled,
+            3 => RunOutcome::MemoryLimit,
             _ => RunOutcome::Complete,
         }
     }

@@ -145,6 +145,23 @@ pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
     }
 }
 
+/// [`__field`] for fields annotated `#[serde(default)]`: a missing key
+/// (or an explicit `null` for non-Option targets, matching how real serde
+/// treats defaulted fields that fail as absent) yields `T::default()`
+/// instead of an error — how v3 report readers accept v2 documents.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(_) => match v.get(name) {
+            None | Some(Value::Null) => Ok(T::default()),
+            Some(field) => {
+                T::from_value(field).map_err(|e| DeError(format!("field `{name}`: {e}")))
+            }
+        },
+        other => Err(DeError(format!("expected object, found {}", other.kind()))),
+    }
+}
+
 #[doc(hidden)]
 pub fn __tuple_payload<'v>(
     v: &'v Value,

@@ -8,7 +8,9 @@
 //! Supported shapes (everything this workspace derives):
 //! * structs with named fields,
 //! * enums whose variants are unit, tuple, or struct-like,
-//! * no generic parameters, no `#[serde(...)]` attributes.
+//! * no generic parameters; of `#[serde(...)]` attributes only the
+//!   per-field `#[serde(default)]` (missing key → `Default::default()`
+//!   on deserialize, serialization unchanged).
 //!
 //! Unsupported shapes fail loudly at compile time rather than silently
 //! producing wrong serialization.
@@ -18,7 +20,13 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialize a missing key as `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -27,7 +35,7 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<Variant> },
 }
 
@@ -62,15 +70,70 @@ fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
     }
 }
 
-/// Parses `name: Type, name: Type, ...` returning the field names.
-/// Splits on commas at angle-bracket depth zero; commas nested in `(...)`
-/// or `[...]` are invisible because those arrive as single `Group` tokens.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Like [`skip_attrs_and_vis`], but inspects each skipped attribute for
+/// `#[serde(...)]`. Returns the new cursor plus whether `#[serde(default)]`
+/// was present. Any serde argument other than `default` fails the build
+/// loudly instead of being silently dropped.
+fn skip_field_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if serde_attr_is_default(g.stream()) {
+                        default = true;
+                    }
+                    i += 1; // [ ... ]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // (crate) / (super) / ...
+                    }
+                }
+            }
+            _ => return (i, default),
+        }
+    }
+}
+
+/// True iff the attribute body (the stream inside `#[...]`) is exactly
+/// `serde(default)`. Non-serde attributes (doc comments etc.) return false;
+/// serde attributes with any other argument panic.
+fn serde_attr_is_default(body: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => panic!("serde shim derive: malformed #[serde(...)] attribute"),
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    match (args.len(), args.first()) {
+        (1, Some(TokenTree::Ident(id))) if id.to_string() == "default" => true,
+        _ => panic!(
+            "serde shim derive: unsupported serde attribute `{}` (only `default` is supported)",
+            args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+        ),
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` returning the fields (name plus
+/// `#[serde(default)]` flag). Splits on commas at angle-bracket depth zero;
+/// commas nested in `(...)` or `[...]` are invisible because those arrive
+/// as single `Group` tokens.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        let (next, default) = skip_field_attrs_and_vis(&tokens, i);
+        i = next;
         if i >= tokens.len() {
             break;
         }
@@ -81,7 +144,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => panic!("serde shim derive: expected ':' after field `{name}`, got {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // Skip the type: consume until a ',' at angle depth 0.
         let mut angle = 0i32;
         while i < tokens.len() {
@@ -197,14 +260,23 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-fn fields_to_object(prefix: &str, fields: &[String]) -> String {
+fn fields_to_object(prefix: &str, fields: &[Field]) -> String {
     let pairs: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({prefix}{f}))")
         })
         .collect();
     format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+/// The deserializer for one named field: `__field_or_default` when the
+/// field carries `#[serde(default)]`, plain `__field` otherwise.
+fn field_init(f: &Field, source: &str) -> String {
+    let name = &f.name;
+    let getter = if f.default { "__field_or_default" } else { "__field" };
+    format!("{name}: ::serde::{getter}({source}, \"{name}\")?,")
 }
 
 fn derive_serialize_impl(item: &Item) -> String {
@@ -244,7 +316,11 @@ fn derive_serialize_impl(item: &Item) -> String {
                             )
                         }
                         Shape::Struct(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let obj = fields_to_object("", fields);
                             format!(
                                 "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {obj})]),"
@@ -269,10 +345,7 @@ fn derive_serialize_impl(item: &Item) -> String {
 fn derive_deserialize_impl(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__field(__v, \"{f}\")?,"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "__v")).collect();
             format!(
                 "#[automatically_derived]\n\
                  impl ::serde::Deserialize for {name} {{\n\
@@ -311,10 +384,8 @@ fn derive_deserialize_impl(item: &Item) -> String {
                             ))
                         }
                         Shape::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::__field(__payload, \"{f}\")?,"))
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, "__payload")).collect();
                             Some(format!(
                                 "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
                                 inits.join(" ")
@@ -350,13 +421,13 @@ fn derive_deserialize_impl(item: &Item) -> String {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     derive_serialize_impl(&item).parse().expect("serde shim derive: generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     derive_deserialize_impl(&item)

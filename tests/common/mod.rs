@@ -1,0 +1,39 @@
+//! Shared fixture for the allocator-invariance suites.
+//!
+//! `memory_tracking` (tracking allocator installed as `#[global_allocator]`)
+//! and `telemetry_invariance` (system allocator, nothing installed) are
+//! separate test binaries that both compute [`reference_fingerprint`] and
+//! compare it against the pinned [`REFERENCE_FINGERPRINT`]. A tracking
+//! allocator that perturbed results — padding sizes, reordering, anything —
+//! would make exactly one binary disagree with the constant.
+
+// Each test binary uses a subset of these items.
+#![allow(dead_code)]
+
+use brics::ExecutionContext;
+use brics_graph::generators::{ClassParams, GraphClass};
+
+/// Exact farness of the fixture graph, folded to 64 bits with FNV-1a.
+/// Captured once from a run on the system allocator; exact BFS is
+/// deterministic, so every platform and allocator must reproduce it.
+pub const REFERENCE_FINGERPRINT: u64 = 0xc01f_ce93_6659_420a;
+
+/// FNV-1a over the exact farness vector of a fixed seeded social graph.
+/// Exact computation (no sampling) so the value is independent of thread
+/// count and scheduling.
+pub fn reference_fingerprint() -> u64 {
+    let g = GraphClass::Social.generate(ClassParams::new(500, 77));
+    let farness = brics::exact_farness_in(&g, &ExecutionContext::new()).unwrap();
+    fnv1a_u64s(&farness)
+}
+
+fn fnv1a_u64s(values: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}

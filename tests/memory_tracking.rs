@@ -1,0 +1,190 @@
+//! The tracking allocator under load: this binary installs
+//! [`brics_graph::telemetry::TrackingAllocator`] as the global allocator
+//! (the only test binary that does — the others deliberately run on the
+//! system allocator) and pins the ledger's contract:
+//!
+//! * results are bit-identical to the uninstrumented binaries
+//!   (fingerprint shared with `telemetry_invariance`),
+//! * the budget planner's figures are genuine upper bounds on the
+//!   observed per-span heap footprint for every method and kernel,
+//! * the v3 report's memory block is populated and internally consistent,
+//! * live-growth policing trips [`RunOutcome::MemoryLimit`] once a
+//!   budgeted admission has armed the baseline.
+//!
+//! Tests that assert on process-global live/peak figures serialize on
+//! [`MEM_LOCK`] so one test's transient allocations don't inflate another's
+//! observed span peaks.
+
+mod common;
+
+use std::sync::Mutex;
+
+use brics::{BricsEstimator, ExecutionContext, MemoryPlan, Method, RunRecorder, SampleSize};
+use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::telemetry::memory;
+use brics_graph::{RunControl, RunOutcome};
+
+#[global_allocator]
+static ALLOC: brics_graph::telemetry::TrackingAllocator =
+    brics_graph::telemetry::TrackingAllocator;
+
+/// Serializes tests whose assertions read the process-global ledger.
+static MEM_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn tracking_allocator_reports_live_and_peak() {
+    let _guard = MEM_LOCK.lock().unwrap();
+    assert!(memory::tracking_active(), "global allocator not registered");
+    let before = memory::live_bytes();
+    let block = vec![0u8; 1 << 20];
+    let during = memory::live_bytes();
+    assert!(
+        during >= before + (1 << 20),
+        "1 MiB allocation invisible to the ledger: {before} -> {during}"
+    );
+    assert!(memory::peak_bytes() >= during, "peak below live");
+    drop(block);
+    assert!(memory::live_bytes() < during, "free not debited");
+    let stats = memory::stats();
+    assert!(stats.allocations > 0);
+    assert_eq!(stats.live_bytes(), stats.allocated_bytes - stats.freed_bytes);
+}
+
+/// The other half of this pin lives in `telemetry_invariance` (no
+/// allocator installed): both binaries must agree with the constant, so
+/// the tracker provably does not perturb results.
+#[test]
+fn results_are_bit_identical_with_tracker_installed() {
+    assert_eq!(
+        common::reference_fingerprint(),
+        common::REFERENCE_FINGERPRINT,
+        "tracking allocator changed computed farness"
+    );
+}
+
+#[test]
+fn planned_bytes_bound_observed_span_peaks() {
+    let _guard = MEM_LOCK.lock().unwrap();
+    let g = GraphClass::Social.generate(ClassParams::new(700, 13));
+    let ctx_probe = ExecutionContext::new();
+    let plan = MemoryPlan::compute(g.num_nodes(), ctx_probe.thread_count());
+    let cases = [
+        (Method::RandomSampling, plan.accumulate_bytes),
+        (Method::CR, plan.accumulate_bytes),
+        (Method::ICR, plan.accumulate_bytes),
+        (Method::Cumulative, plan.cumulative_bytes),
+    ];
+    for (method, planned) in cases {
+        let rec = RunRecorder::new();
+        let ctx = ExecutionContext::new().with_recorder(&rec);
+        let est =
+            BricsEstimator::new(method).sample(SampleSize::Fraction(0.4)).seed(19);
+        est.run_in(&g, &ctx).unwrap();
+        let mut report = rec.report();
+        report.stamp_planned_bytes(planned);
+        let mem = &report.memory;
+        assert!(mem.tracking, "{}: tracking flag off", method.name());
+        assert!(
+            mem.observed_peak_bytes <= planned,
+            "{}: observed span peak {} exceeds planned {planned} — \
+             budget.rs constants no longer dominate this kernel",
+            method.name(),
+            mem.observed_peak_bytes,
+        );
+        let accuracy = mem.plan_accuracy.expect("stamped plan must yield accuracy");
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "{}: plan accuracy {accuracy} out of [0, 1]",
+            method.name()
+        );
+    }
+
+    // Exact sweeps and top-k verification go through their own planners.
+    let rec = RunRecorder::new();
+    let ctx = ExecutionContext::new().with_recorder(&rec);
+    brics::exact_farness_in(&g, &ctx).unwrap();
+    let mut report = rec.report();
+    report.stamp_planned_bytes(plan.exact_bytes);
+    assert!(
+        report.memory.observed_peak_bytes <= plan.exact_bytes,
+        "exact: observed {} > planned {}",
+        report.memory.observed_peak_bytes,
+        plan.exact_bytes
+    );
+
+    let rec = RunRecorder::new();
+    let ctx = ExecutionContext::new().with_recorder(&rec);
+    let est = BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Fraction(0.4))
+        .seed(19);
+    brics::topk::top_k_closeness_in(&g, 10, &est, &ctx).unwrap();
+    let mut report = rec.report();
+    report.stamp_planned_bytes(plan.cumulative_bytes);
+    assert!(
+        report.memory.observed_peak_bytes <= plan.cumulative_bytes,
+        "topk: observed {} > planned {} (verify span included)",
+        report.memory.observed_peak_bytes,
+        plan.cumulative_bytes
+    );
+}
+
+#[test]
+fn report_memory_block_is_populated_and_consistent() {
+    let _guard = MEM_LOCK.lock().unwrap();
+    let g = GraphClass::Web.generate(ClassParams::new(500, 5));
+    let rec = RunRecorder::new();
+    let ctx = ExecutionContext::new().with_recorder(&rec);
+    BricsEstimator::new(Method::Cumulative)
+        .sample(SampleSize::Fraction(0.3))
+        .seed(2)
+        .run_in(&g, &ctx)
+        .unwrap();
+    let report = rec.report();
+    assert_eq!(report.schema, brics::RunReport::SCHEMA);
+    let mem = &report.memory;
+    assert!(mem.tracking);
+    assert!(mem.live_bytes > 0, "nothing live at snapshot time?");
+    assert!(mem.process_peak_bytes >= mem.live_bytes, "peak below live");
+    assert!(mem.process_peak_bytes >= mem.observed_peak_bytes);
+    assert!(mem.allocations > 0);
+    // Unstamped report: no plan, no accuracy — but spans still carry
+    // their envelopes.
+    assert_eq!(mem.planned_bytes, 0);
+    assert!(mem.plan_accuracy.is_none());
+    let estimate =
+        report.phases.iter().find(|p| p.name == "estimate").expect("estimate span");
+    assert!(
+        estimate.mem_peak_bytes >= estimate.mem_open_bytes,
+        "span peak below its opening level"
+    );
+    assert_eq!(
+        estimate.mem_footprint_bytes,
+        estimate.mem_peak_bytes - estimate.mem_open_bytes,
+    );
+}
+
+#[test]
+fn live_growth_past_budget_trips_memory_limit() {
+    let _guard = MEM_LOCK.lock().unwrap();
+    let ctl = RunControl::new().with_memory_budget_mb(1);
+    // Budget configured but baseline not yet armed: growth is not policed.
+    assert_eq!(ctl.should_stop(), None);
+    let _pre = vec![1u8; 4 << 20];
+    assert_eq!(ctl.should_stop(), None, "must not police before admission");
+
+    // A successful small admission arms the baseline at the current level…
+    ctl.admit_memory(64 * 1024).expect("64 KiB fits a 1 MiB budget");
+    assert_eq!(ctl.should_stop(), None, "no growth yet");
+
+    // …after which exceeding the budget in *live growth* trips the stop.
+    // 32 MiB against a 1 MiB budget leaves generous margin for concurrent
+    // test-harness allocations shifting the baseline.
+    let hog = vec![7u8; 32 << 20];
+    assert_eq!(ctl.should_stop(), Some(RunOutcome::MemoryLimit));
+    assert!(RunOutcome::MemoryLimit.is_interrupted());
+
+    // Freeing the hog drops live bytes back under the budget: the stop
+    // condition is a live measurement, not a latch.
+    drop(hog);
+    assert_eq!(ctl.should_stop(), None, "stop must clear when memory is freed");
+}

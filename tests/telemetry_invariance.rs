@@ -6,12 +6,16 @@
 //! headline counters cross-checked against the estimate it produced, so a
 //! recorder that lies (or perturbs) fails here too.
 
+mod common;
+
 use brics::RunRecorder;
 use brics::{BricsEstimator, ExecutionContext, FarnessEstimate, Method, SampleSize};
 use brics_graph::generators::{ClassParams, GraphClass};
+use brics_graph::telemetry::memory::{AllocStats, ShardedCounters, NUM_SHARDS};
 use brics_graph::telemetry::Counter;
 use brics_graph::traversal::{Kernel, KernelConfig};
 use brics_graph::{RunControl, RunOutcome};
+use proptest::prelude::*;
 
 const METHODS: [Method; 4] =
     [Method::RandomSampling, Method::CR, Method::ICR, Method::Cumulative];
@@ -232,5 +236,61 @@ fn traced_interrupted_runs_match_unrecorded_ones() {
         let json = rec.chrome_trace_json();
         assert!(json.trim_start().starts_with('['), "{}: trace json", method.name());
         assert!(json.trim_end().ends_with(']'), "{}: trace json", method.name());
+    }
+}
+
+/// This binary runs on the **system** allocator (no `#[global_allocator]`
+/// here); the `memory_tracking` binary runs the same computation with the
+/// tracking allocator installed. Both must match the pinned constant, which
+/// proves the tracker changes no result — the memory ledger is observe-only
+/// in exactly the same sense the recorder is.
+#[test]
+fn reference_fingerprint_matches_without_tracking_allocator() {
+    assert!(
+        !brics_graph::telemetry::memory::tracking_active(),
+        "this suite must stay uninstrumented — move allocator tests to memory_tracking"
+    );
+    assert_eq!(common::reference_fingerprint(), common::REFERENCE_FINGERPRINT);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sharding is an implementation detail of the allocation ledger:
+    /// scattering any interleaving of alloc/free events across the shards
+    /// (by arbitrary shard index, as the pointer hash would) must merge to
+    /// exactly the totals of funnelling every event through one shard.
+    #[test]
+    fn shard_merge_equals_single_shard(
+        events in proptest::collection::vec(
+            (0usize..NUM_SHARDS, 1u64..1 << 20, any::<bool>()),
+            0..200,
+        )
+    ) {
+        let sharded = ShardedCounters::new();
+        let single = ShardedCounters::new();
+        let mut live: u64 = 0;
+        for &(shard, bytes, is_alloc) in &events {
+            // Frees only debit what is actually live, mirroring real
+            // alloc/dealloc pairing.
+            if is_alloc {
+                sharded.record_alloc_in(shard, bytes);
+                single.record_alloc_in(0, bytes);
+                live += bytes;
+            } else {
+                let freed = bytes.min(live);
+                if freed > 0 {
+                    sharded.record_free_in(shard, freed);
+                    single.record_free_in(0, freed);
+                    live -= freed;
+                }
+            }
+        }
+        let a: AllocStats = sharded.merged();
+        let b: AllocStats = single.merged();
+        prop_assert_eq!(a.allocated_bytes, b.allocated_bytes);
+        prop_assert_eq!(a.freed_bytes, b.freed_bytes);
+        prop_assert_eq!(a.allocations, b.allocations);
+        prop_assert_eq!(a.live_bytes(), live);
     }
 }
